@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the CDRL engine: environment step latency (with and without the
+//! compliance machinery), policy forward passes, and the end-of-session reward — the
+//! quantities behind §7.4's claim that the LDX-compliance reward adds negligible
+//! overhead to session generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linx_cdrl::{AgentAction, CdrlConfig, CdrlVariant, LinxAgent, LinxEnv};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::Value;
+use linx_explore::QueryOp;
+use linx_ldx::parse_ldx;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(variant: CdrlVariant) -> (LinxEnv, LinxAgent) {
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(2_000),
+            seed: 3,
+        },
+    );
+    let ldx = parse_ldx(
+        "ROOT CHILDREN {A1,A2}\n\
+         A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+         B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+         A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+         B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+    )
+    .unwrap();
+    let config = CdrlConfig {
+        variant,
+        ..CdrlConfig::default()
+    };
+    let agent = LinxAgent::new(&dataset, &ldx, &config);
+    let env = LinxEnv::new(dataset, ldx, config);
+    (env, agent)
+}
+
+fn bench_cdrl(c: &mut Criterion) {
+    for (name, variant) in [
+        ("full", CdrlVariant::Full),
+        ("atena_no_compliance", CdrlVariant::Atena),
+    ] {
+        let (mut env, agent) = setup(variant);
+        let mut rng = StdRng::seed_from_u64(5);
+        c.bench_function(&format!("env_episode_{name}"), |b| {
+            b.iter(|| {
+                env.reset();
+                let mut total = 0.0;
+                while !env.is_done() {
+                    let obs = env.observe();
+                    let (action, _) = agent.select_action(&env, &obs, &mut rng);
+                    total += env.step(action).reward;
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+
+    let (mut env, agent) = setup(CdrlVariant::Full);
+    env.reset();
+    env.step(AgentAction::Apply(QueryOp::filter(
+        "country",
+        CompareOp::Eq,
+        Value::str("India"),
+    )));
+    let obs = env.observe();
+    c.bench_function("policy_forward_and_masking", |b| {
+        b.iter(|| std::hint::black_box(agent.greedy_action(&env, &obs)))
+    });
+    c.bench_function("end_of_session_reward", |b| {
+        b.iter(|| std::hint::black_box(env.end_of_session_bonus(5)))
+    });
+}
+
+criterion_group!(benches, bench_cdrl);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the dataframe substrate: the filter and group-and-aggregate
+//! operators executed at every CDRL environment step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::Value;
+
+fn bench_dataframe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataframe");
+    for rows in [1_000usize, 10_000] {
+        let df = generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(rows),
+                seed: 3,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("filter_eq", rows), &df, |b, df| {
+            b.iter(|| {
+                std::hint::black_box(
+                    df.filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
+                        .unwrap()
+                        .num_rows(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("group_by_count", rows), &df, |b, df| {
+            b.iter(|| {
+                std::hint::black_box(
+                    df.group_by("rating", AggFunc::Count, "show_id")
+                        .unwrap()
+                        .num_rows(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("histogram_entropy", rows), &df, |b, df| {
+            b.iter(|| std::hint::black_box(df.histogram("rating").unwrap().entropy()))
+        });
+        group.bench_with_input(BenchmarkId::new("kl_divergence", rows), &df, |b, df| {
+            let india = df
+                .filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
+                .unwrap();
+            let h_india = india.histogram("rating").unwrap();
+            let h_all = df.histogram("rating").unwrap();
+            b.iter(|| std::hint::black_box(h_india.kl_divergence(&h_all)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataframe);
+criterion_main!(benches);

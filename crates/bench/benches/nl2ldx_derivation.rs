@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the specification-derivation pipeline (paper §6, §7.2): the cost
+//! of turning a natural-language goal into an LDX specification (intent classification,
+//! schema linking, PyLDX template, PyLDX→LDX compile) and of the two evaluation metrics
+//! used in Table 2 (lev² and xTED).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_metrics::{lev2_similarity, xted_similarity};
+use linx_nl2ldx::SpecDeriver;
+
+fn criterion_benchmark(c: &mut Criterion) {
+    let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(400), seed: 7 });
+    let schema = dataset.schema();
+    let sample = dataset.head(200);
+    let deriver = SpecDeriver::new();
+    let goal = "Find a country with different viewing habits than the rest of the world";
+
+    c.bench_function("derive_ldx_from_goal", |b| {
+        b.iter(|| {
+            let d = deriver.derive(
+                std::hint::black_box(goal),
+                "netflix",
+                &schema,
+                Some(&sample),
+            );
+            std::hint::black_box(d.ldx.canonical().len())
+        })
+    });
+
+    let gold = deriver.derive(goal, "netflix", &schema, Some(&sample)).ldx;
+    let other = deriver
+        .derive(
+            "Examine characteristics of successful TV shows",
+            "netflix",
+            &schema,
+            Some(&sample),
+        )
+        .ldx;
+
+    c.bench_function("lev2_similarity", |b| {
+        b.iter(|| std::hint::black_box(lev2_similarity(&gold, &other)))
+    });
+    c.bench_function("xted_similarity", |b| {
+        b.iter(|| std::hint::black_box(xted_similarity(&gold, &other)))
+    });
+}
+
+criterion_group!(benches, criterion_benchmark);
+criterion_main!(benches);

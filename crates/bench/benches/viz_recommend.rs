@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the visualization recommender (`linx-viz`): recommending charts
+//! for a full exploration session and exporting a chart to Vega-Lite JSON.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::Value;
+use linx_explore::{ExplorationTree, NodeId, QueryOp};
+use linx_viz::{recommend_session, to_vega_lite};
+
+fn session() -> ExplorationTree {
+    let mut t = ExplorationTree::new();
+    let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+    t.add_child(f1, QueryOp::group_by("type", AggFunc::Count, "show_id"));
+    t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
+    let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+    t.add_child(f2, QueryOp::group_by("type", AggFunc::Count, "show_id"));
+    t
+}
+
+fn criterion_benchmark(c: &mut Criterion) {
+    let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(2000), seed: 7 });
+    let tree = session();
+
+    c.bench_function("recommend_session", |b| {
+        b.iter(|| std::hint::black_box(recommend_session(&dataset, &tree).len()))
+    });
+
+    let charts = recommend_session(&dataset, &tree);
+    let chart = charts
+        .iter()
+        .flat_map(|c| &c.charts)
+        .next()
+        .expect("at least one chart")
+        .clone();
+    c.bench_function("chart_to_vega_lite", |b| {
+        b.iter(|| std::hint::black_box(to_vega_lite(&chart)))
+    });
+}
+
+criterion_group!(benches, criterion_benchmark);
+criterion_main!(benches);

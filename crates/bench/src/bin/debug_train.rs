@@ -1,0 +1,63 @@
+//! Ad-hoc training diagnostics (not part of the experiment suite).
+//!
+//! Prints, per seed, the per-decile rate of structurally / fully compliant episodes and
+//! the smoothed episode return, which makes policy-learning progress (or the lack of it)
+//! visible. Budget and data scale come from `LINX_TRAIN_EPISODES` / `LINX_DATA_ROWS`.
+use linx_cdrl::{CdrlConfig, CdrlTrainer};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_ldx::parse_ldx;
+
+fn main() {
+    let episodes = linx_bench::env_usize("LINX_TRAIN_EPISODES", 350);
+    let rows = linx_bench::env_usize("LINX_DATA_ROWS", 600);
+    let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(rows), seed: 3 });
+    // The paper's running example (Fig. 1c).
+    let ldx = parse_ldx(
+        "ROOT CHILDREN {A1,A2}\n\
+         A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+         B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+         A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+         B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+    )
+    .unwrap();
+    for seed in [0x11acu64, 7, 99] {
+        let config = CdrlConfig { episodes, seed, ..CdrlConfig::default() };
+        let start = std::time::Instant::now();
+        let outcome = CdrlTrainer::new(config).train(dataset.clone(), ldx.clone());
+        let log = &outcome.log;
+        println!(
+            "seed {seed}: best_structural {}, best_compliant {}, {:?}",
+            outcome.best_structural,
+            outcome.best_compliant,
+            start.elapsed(),
+        );
+        let n = log.episodes();
+        let deciles = 10usize;
+        print!("  struct rate by decile : ");
+        for d in 0..deciles {
+            let lo = d * n / deciles;
+            let hi = ((d + 1) * n / deciles).max(lo + 1).min(n);
+            let rate = log.episode_structural[lo..hi].iter().filter(|&&b| b).count() as f64
+                / (hi - lo) as f64;
+            print!("{rate:5.2}");
+        }
+        println!();
+        print!("  full rate by decile   : ");
+        for d in 0..deciles {
+            let lo = d * n / deciles;
+            let hi = ((d + 1) * n / deciles).max(lo + 1).min(n);
+            let rate = log.episode_compliant[lo..hi].iter().filter(|&&b| b).count() as f64
+                / (hi - lo) as f64;
+            print!("{rate:5.2}");
+        }
+        println!();
+        print!("  mean return by decile : ");
+        for d in 0..deciles {
+            let lo = d * n / deciles;
+            let hi = ((d + 1) * n / deciles).max(lo + 1).min(n);
+            let mean = log.episode_returns[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            print!("{mean:7.2}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 7 — Informativeness and comprehensibility ratings (1–7), averaged over the
+//! three datasets (simulated reviewer panel).
+
+use linx_study::{run_study, StudyConfig};
+
+fn main() {
+    let config = StudyConfig {
+        goals_per_dataset: linx_bench::env_usize("LINX_GOALS_PER_DATASET", 4),
+        rows: linx_bench::env_usize("LINX_DATA_ROWS", 2000),
+        linx_episodes: linx_bench::env_usize("LINX_TRAIN_EPISODES", 300),
+        seed: linx_bench::env_usize("LINX_SEED", 0x57d1) as u64,
+    };
+    let results = run_study(&config);
+    println!("Figure 7: Informativeness & Comprehensibility Rating (1-7)\n");
+    println!("{:<14} {:>16} {:>18}", "System", "Informativeness", "Comprehensibility");
+    let info = results.mean_informativeness();
+    let comp = results.mean_comprehensibility();
+    for system in linx_study::System::ALL {
+        let i = results.system_mean(&info, system).unwrap_or(0.0);
+        let c = results.system_mean(&comp, system).unwrap_or(0.0);
+        println!(
+            "{:<14} {:>16} {:>18}",
+            system.label(),
+            linx_bench::cell(i),
+            linx_bench::cell(c)
+        );
+    }
+}

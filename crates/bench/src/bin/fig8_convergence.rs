@@ -1,0 +1,81 @@
+//! Figure 8 — Convergence comparison to ATENA: normalized smoothed episode reward vs.
+//! cumulative training steps, for the 12 study LDX queries (LINX) and the goal-agnostic
+//! ATENA baseline, per dataset.
+
+use linx_benchgen::generate_benchmark;
+use linx_cdrl::{CdrlConfig, CdrlTrainer, CdrlVariant};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+
+fn main() {
+    let seed = linx_bench::env_usize("LINX_SEED", 7) as u64;
+    let episodes = linx_bench::env_usize("LINX_TRAIN_EPISODES", 300);
+    let rows = linx_bench::env_usize("LINX_DATA_ROWS", 1500);
+    let benchmark = generate_benchmark(seed);
+
+    println!("Figure 8: Convergence comparison to ATENA (normalized reward at 25%/50%/75%/100% of training)\n");
+    let mut query_index = 0usize;
+    for kind in DatasetKind::ALL {
+        println!("== {} ==", kind.name());
+        println!("{:<12} {:>12} {:>8} {:>8} {:>8} {:>8}", "Curve", "total steps", "25%", "50%", "75%", "100%");
+        let dataset = generate(
+            kind,
+            ScaleConfig {
+                rows: Some(rows),
+                seed,
+            },
+        );
+        // Four LINX queries for this dataset.
+        let mut metas_seen = Vec::new();
+        let mut shown = 0usize;
+        for inst in benchmark.for_dataset(kind) {
+            if shown >= 4 {
+                break;
+            }
+            if metas_seen.contains(&inst.meta_goal) {
+                continue;
+            }
+            metas_seen.push(inst.meta_goal);
+            shown += 1;
+            query_index += 1;
+            let config = CdrlConfig {
+                episodes,
+                seed,
+                ..CdrlConfig::default()
+            };
+            let outcome = CdrlTrainer::new(config).train(dataset.clone(), inst.gold_ldx.clone());
+            print_curve(&format!("LINX #{query_index}"), &outcome.log);
+        }
+        // The ATENA baseline (goal-agnostic; one curve per dataset).
+        let config = CdrlConfig {
+            variant: CdrlVariant::Atena,
+            episodes,
+            seed,
+            ..CdrlConfig::default()
+        };
+        let some_ldx = benchmark.for_dataset(kind)[0].gold_ldx.clone();
+        let outcome = CdrlTrainer::new(config).train(dataset, some_ldx);
+        print_curve("ATENA", &outcome.log);
+        println!();
+    }
+}
+
+fn print_curve(label: &str, log: &linx_cdrl::TrainLog) {
+    let curve = log.normalized_curve(20);
+    let total = log.total_env_steps();
+    let at = |frac: f64| -> f64 {
+        if curve.is_empty() {
+            return 0.0;
+        }
+        let idx = ((curve.len() - 1) as f64 * frac) as usize;
+        curve[idx].1
+    };
+    println!(
+        "{:<12} {:>12} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        label,
+        total,
+        at(0.25),
+        at(0.5),
+        at(0.75),
+        at(1.0)
+    );
+}

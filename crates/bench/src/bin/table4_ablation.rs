@@ -1,0 +1,71 @@
+//! Table 4 — Ablation study: structural / full compliance of the generated sessions for
+//! the 12 user-study LDX queries, for each engine variant.
+
+use linx_benchgen::generate_benchmark;
+use linx_cdrl::{CdrlConfig, CdrlTrainer, CdrlVariant};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+
+fn main() {
+    let seed = linx_bench::env_usize("LINX_SEED", 7) as u64;
+    let episodes = linx_bench::env_usize("LINX_TRAIN_EPISODES", 300);
+    let rows = linx_bench::env_usize("LINX_DATA_ROWS", 1500);
+    let benchmark = generate_benchmark(seed);
+
+    // The 12 study queries: 4 per dataset, from distinct meta-goal families.
+    let mut queries = Vec::new();
+    for kind in DatasetKind::ALL {
+        let mut metas_seen = Vec::new();
+        for inst in benchmark.for_dataset(kind) {
+            if queries.iter().filter(|(k, _)| *k == kind).count() >= 4 {
+                break;
+            }
+            if !metas_seen.contains(&inst.meta_goal) {
+                metas_seen.push(inst.meta_goal);
+                queries.push((kind, inst.clone()));
+            }
+        }
+    }
+    println!(
+        "Table 4: Ablation study — compliance over {} LDX queries ({} episodes per run)\n",
+        queries.len(),
+        episodes
+    );
+    println!("{:<22} {:>22} {:>18}", "LINX Version", "Structure Compliance", "Full Compliance");
+    for variant in CdrlVariant::TABLE4 {
+        let mut structural = 0usize;
+        let mut full = 0usize;
+        for (kind, inst) in &queries {
+            let dataset = generate(
+                *kind,
+                ScaleConfig {
+                    rows: Some(rows),
+                    seed,
+                },
+            );
+            let config = CdrlConfig {
+                variant,
+                episodes,
+                seed,
+                ..CdrlConfig::default()
+            };
+            let outcome = CdrlTrainer::new(config).train(dataset, inst.gold_ldx.clone());
+            if outcome.best_structural {
+                structural += 1;
+            }
+            if outcome.best_compliant {
+                full += 1;
+            }
+        }
+        let n = queries.len();
+        println!(
+            "{:<22} {:>15}/{} ({:>3.0}%) {:>11}/{} ({:>3.0}%)",
+            variant.paper_label(),
+            structural,
+            n,
+            100.0 * structural as f64 / n as f64,
+            full,
+            n,
+            100.0 * full as f64 / n as f64
+        );
+    }
+}

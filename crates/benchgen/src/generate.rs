@@ -1,0 +1,308 @@
+//! The benchmark generation pipeline (paper Figure 4): populate the meta-goal templates
+//! from the dataset domains, paraphrase the populated goals, filter implausible ones,
+//! and assemble the 182-instance benchmark with the per-meta-goal counts of Table 1.
+
+use linx_data::DatasetKind;
+use linx_nl2ldx::{MetaGoal, TemplateParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::instance::GoalInstance;
+use crate::paraphrase::{is_plausible, paraphrase};
+
+/// The number of instances per meta-goal in the paper's benchmark (Table 1).
+pub const TABLE1_COUNTS: [usize; 8] = [18, 16, 22, 21, 27, 22, 28, 28];
+
+/// The complete generated benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// All goal instances.
+    pub instances: Vec<GoalInstance>,
+    /// Number of populated candidates that were discarded by the plausibility filter
+    /// (the paper reports 18 of 200).
+    pub discarded: usize,
+}
+
+impl Benchmark {
+    /// Total number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the benchmark is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Instance count per meta-goal, in Table 1 order.
+    pub fn counts_by_meta_goal(&self) -> Vec<(MetaGoal, usize)> {
+        MetaGoal::ALL
+            .iter()
+            .map(|m| {
+                (
+                    *m,
+                    self.instances.iter().filter(|i| i.meta_goal == *m).count(),
+                )
+            })
+            .collect()
+    }
+
+    /// Instances referring to a dataset.
+    pub fn for_dataset(&self, dataset: DatasetKind) -> Vec<&GoalInstance> {
+        self.instances
+            .iter()
+            .filter(|i| i.dataset == dataset)
+            .collect()
+    }
+
+    /// The exemplar instance (first) of a meta-goal, used by the user-study harness
+    /// which evaluates g1–g8 plus four extra goals.
+    pub fn exemplar(&self, meta: MetaGoal) -> Option<&GoalInstance> {
+        self.instances.iter().find(|i| i.meta_goal == meta)
+    }
+
+    /// Render the Table 1 style overview rows: (index, description, example goal, count).
+    pub fn table1_rows(&self) -> Vec<(usize, String, String, usize)> {
+        self.counts_by_meta_goal()
+            .into_iter()
+            .map(|(meta, count)| {
+                let example = self
+                    .exemplar(meta)
+                    .map(|i| i.goal_text.clone())
+                    .unwrap_or_default();
+                (
+                    meta.index(),
+                    meta.description().to_string(),
+                    example,
+                    count,
+                )
+            })
+            .collect()
+    }
+}
+
+/// The candidate parameter pool of one dataset: subset-defining conditions and
+/// entity / survey attributes drawn from its schema and value domains.
+struct DomainPool {
+    dataset: DatasetKind,
+    domain: &'static str,
+    entity_attrs: Vec<&'static str>,
+    subset_conditions: Vec<(&'static str, &'static str, &'static str)>,
+    survey_attrs: Vec<(&'static str, &'static str)>,
+    investigate_attrs: Vec<&'static str>,
+}
+
+fn pools() -> Vec<DomainPool> {
+    vec![
+        DomainPool {
+            dataset: DatasetKind::Netflix,
+            domain: "titles",
+            entity_attrs: vec!["country", "type", "rating", "genre", "director"],
+            subset_conditions: vec![
+                ("type", "eq", "TV Show"),
+                ("type", "eq", "Movie"),
+                ("country", "eq", "India"),
+                ("country", "eq", "United States"),
+                ("rating", "eq", "TV-MA"),
+                ("genre", "eq", "Dramas"),
+                ("release_year", "ge", "2015"),
+                ("duration", "ge", "120"),
+            ],
+            survey_attrs: vec![
+                ("duration", "type"),
+                ("release_year", "country"),
+                ("cast_size", "genre"),
+            ],
+            investigate_attrs: vec!["rating", "genre", "country"],
+        },
+        DomainPool {
+            dataset: DatasetKind::Flights,
+            domain: "flights",
+            entity_attrs: vec!["airline", "origin_airport", "delay_reason", "month"],
+            subset_conditions: vec![
+                ("month", "ge", "6"),
+                ("month", "le", "2"),
+                ("origin_airport", "neq", "BOS"),
+                ("origin_airport", "eq", "ATL"),
+                ("delay_reason", "eq", "Weather"),
+                ("distance", "ge", "2000"),
+                ("departure_delay", "ge", "60"),
+                ("cancelled", "eq", "true"),
+            ],
+            survey_attrs: vec![
+                ("departure_delay", "airline"),
+                ("distance", "origin_airport"),
+                ("arrival_delay", "month"),
+            ],
+            investigate_attrs: vec!["delay_reason", "airline", "month"],
+        },
+        DomainPool {
+            dataset: DatasetKind::PlayStore,
+            domain: "apps",
+            entity_attrs: vec!["category", "content_rating", "app_type", "android_version"],
+            subset_conditions: vec![
+                ("installs", "ge", "1000000"),
+                ("price", "eq", "0"),
+                ("price", "gt", "10"),
+                ("category", "eq", "GAME"),
+                ("rating", "ge", "4.5"),
+                ("content_rating", "eq", "Teen"),
+                ("reviews", "ge", "100000"),
+                ("app_size_kb", "ge", "100000"),
+            ],
+            survey_attrs: vec![
+                ("price", "category"),
+                ("rating", "content_rating"),
+                ("reviews", "category"),
+            ],
+            investigate_attrs: vec!["category", "android_version", "content_rating"],
+        },
+    ]
+}
+
+/// Candidate template parameters for a meta-goal over one dataset pool.
+fn candidates(meta: MetaGoal, pool: &DomainPool) -> Vec<TemplateParams> {
+    let mk = |attr: &str, op: &str, term: &str, second: Option<&str>| TemplateParams {
+        domain: pool.domain.to_string(),
+        attr: attr.to_string(),
+        op: op.to_string(),
+        term: term.to_string(),
+        second_attr: second.map(str::to_string),
+    };
+    match meta {
+        MetaGoal::IdentifyUncommonEntity | MetaGoal::DiscoverContrastingSubsets => pool
+            .entity_attrs
+            .iter()
+            .map(|a| mk(a, "eq", "", None))
+            .collect(),
+        MetaGoal::ExaminePhenomenon
+        | MetaGoal::DescribeUnusualSubset
+        | MetaGoal::ExploreThroughSubset
+        | MetaGoal::HighlightSubgroups => pool
+            .subset_conditions
+            .iter()
+            .map(|(a, o, t)| mk(a, o, t, None))
+            .collect(),
+        MetaGoal::SurveyAttribute => pool
+            .survey_attrs
+            .iter()
+            .map(|(a, second)| mk(a, "eq", "", Some(second)))
+            .collect(),
+        MetaGoal::InvestigateAspects => pool
+            .investigate_attrs
+            .iter()
+            .map(|a| mk(a, "eq", "", None))
+            .collect(),
+    }
+}
+
+/// Generate the benchmark deterministically from a seed, matching the Table 1 counts.
+pub fn generate_benchmark(seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbe9c);
+    let pools = pools();
+    let mut instances = Vec::new();
+    let mut discarded = 0usize;
+
+    for (gi, meta) in MetaGoal::ALL.iter().enumerate() {
+        let target = TABLE1_COUNTS[gi];
+        // Interleave datasets so every meta-goal spans all three.
+        let mut per_pool: Vec<Vec<TemplateParams>> =
+            pools.iter().map(|p| candidates(*meta, p)).collect();
+        let mut produced = 0usize;
+        let mut round = 0usize;
+        while produced < target {
+            let pool_idx = round % pools.len();
+            round += 1;
+            let pool = &pools[pool_idx];
+            let cands = &mut per_pool[pool_idx];
+            if cands.is_empty() {
+                // Refill (later rounds reuse conditions with varied paraphrases).
+                *cands = candidates(*meta, pool);
+            }
+            let params = cands.remove(0);
+            let raw_goal = meta.goal_template(&params);
+            let goal_text = paraphrase(&raw_goal, &mut rng);
+            if !is_plausible(&goal_text) {
+                discarded += 1;
+                continue;
+            }
+            let gold_ldx = meta.ldx_template(&params);
+            debug_assert!(gold_ldx.validate().is_ok());
+            produced += 1;
+            instances.push(GoalInstance {
+                id: format!("g{}-{}", meta.index(), produced),
+                dataset: pool.dataset,
+                meta_goal: *meta,
+                goal_text,
+                params,
+                gold_ldx,
+            });
+        }
+    }
+    Benchmark {
+        instances,
+        discarded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_has_182_instances_with_table1_counts() {
+        let b = generate_benchmark(7);
+        assert_eq!(b.len(), 182);
+        let counts: Vec<usize> = b.counts_by_meta_goal().iter().map(|(_, c)| *c).collect();
+        assert_eq!(counts, TABLE1_COUNTS.to_vec());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn benchmark_is_deterministic_and_seed_sensitive() {
+        let a = generate_benchmark(7);
+        let b = generate_benchmark(7);
+        assert_eq!(a.instances[0].goal_text, b.instances[0].goal_text);
+        assert_eq!(a.instances[100].goal_text, b.instances[100].goal_text);
+        let c = generate_benchmark(8);
+        let identical = a
+            .instances
+            .iter()
+            .zip(&c.instances)
+            .all(|(x, y)| x.goal_text == y.goal_text);
+        assert!(!identical);
+    }
+
+    #[test]
+    fn every_instance_has_a_valid_gold_specification() {
+        let b = generate_benchmark(3);
+        for inst in &b.instances {
+            assert!(inst.gold_ldx.validate().is_ok(), "{}", inst.id);
+            assert!(inst.gold_ldx.min_operations() >= 2, "{}", inst.id);
+            assert!(!inst.goal_text.is_empty());
+        }
+    }
+
+    #[test]
+    fn instances_span_all_three_datasets() {
+        let b = generate_benchmark(11);
+        for kind in DatasetKind::ALL {
+            assert!(
+                b.for_dataset(kind).len() > 30,
+                "dataset {kind} under-represented"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_rows_are_complete() {
+        let b = generate_benchmark(5);
+        let rows = b.table1_rows();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].0, 1);
+        assert!(rows.iter().all(|(_, desc, example, count)| {
+            !desc.is_empty() && !example.is_empty() && *count > 0
+        }));
+        assert!(b.exemplar(MetaGoal::SurveyAttribute).is_some());
+    }
+}

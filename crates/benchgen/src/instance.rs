@@ -1,0 +1,58 @@
+//! A single benchmark instance: an analytical goal paired with its gold LDX
+//! specification over one of the three datasets.
+
+use linx_data::DatasetKind;
+use linx_ldx::Ldx;
+use linx_nl2ldx::{MetaGoal, TemplateParams};
+
+/// One goal/specification pair of the benchmark.
+#[derive(Debug, Clone)]
+pub struct GoalInstance {
+    /// Stable instance id (`g<meta>-<n>`).
+    pub id: String,
+    /// The dataset the goal refers to.
+    pub dataset: DatasetKind,
+    /// The meta-goal family (Table 1 row).
+    pub meta_goal: MetaGoal,
+    /// The populated, paraphrased analytical goal text.
+    pub goal_text: String,
+    /// The template parameters used to populate the goal (kept for analysis).
+    pub params: TemplateParams,
+    /// The gold LDX specification.
+    pub gold_ldx: Ldx,
+}
+
+impl GoalInstance {
+    /// A one-line description for experiment output.
+    pub fn describe(&self) -> String {
+        format!(
+            "[{}] ({}, meta-goal {}) {}",
+            self.id,
+            self.dataset.name(),
+            self.meta_goal.index(),
+            self.goal_text
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_contains_id_dataset_and_text() {
+        let inst = GoalInstance {
+            id: "g1-1".into(),
+            dataset: DatasetKind::Netflix,
+            meta_goal: MetaGoal::IdentifyUncommonEntity,
+            goal_text: "Find an atypical country".into(),
+            params: TemplateParams::default(),
+            gold_ldx: Ldx::default(),
+        };
+        let d = inst.describe();
+        assert!(d.contains("g1-1"));
+        assert!(d.contains("Netflix"));
+        assert!(d.contains("atypical country"));
+        assert!(d.contains("meta-goal 1"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `linx-benchgen` — the goal-oriented ADE benchmark generator (paper §7.1, Table 1,
+//! Figure 4).
+//!
+//! The paper builds its benchmark by (1) characterizing eight exploration meta-goals
+//! from real Kaggle notebooks, (2) composing an exemplar goal + LDX specification per
+//! meta-goal, (3) stripping dataset-specific traits to obtain templates, (4) populating
+//! the templates with values from the three datasets, (5) paraphrasing the populated
+//! goals with an LLM, and (6) manually discarding nonsensical goals, ending with 182
+//! goal/LDX pairs.
+//!
+//! This crate reproduces that pipeline deterministically: the meta-goal templates live
+//! in `linx-nl2ldx` (they double as the derivation pipeline's knowledge), the population
+//! step draws attributes/operators/terms from each dataset's schema and value domains,
+//! the paraphrase step applies seeded synonym/word-order rewrites (standing in for the
+//! LLM paraphraser), and the plausibility filter drops combinations that do not make
+//! sense (mirroring the 200 → 182 manual cut).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod instance;
+pub mod paraphrase;
+
+pub use generate::{generate_benchmark, Benchmark};
+pub use instance::GoalInstance;
+pub use paraphrase::paraphrase;

@@ -1,0 +1,119 @@
+//! Seeded paraphrasing of populated goal texts.
+//!
+//! The paper feeds the populated goal templates through ChatGPT to obtain naturally
+//! phrased, diverse goals; here a deterministic rewriter applies synonym substitutions
+//! and clause reorderings drawn from a seeded RNG. The rewrites intentionally preserve
+//! schema mentions (attribute names, values, numbers) — exactly the property the real
+//! paraphrases have, since they must remain answerable over the same dataset — while
+//! varying the surface phrasing enough that the derivation pipeline cannot rely on an
+//! exact template match.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Synonym groups applied to goal texts (first entry is the template's own wording).
+const SYNONYMS: &[&[&str]] = &[
+    &["Find", "Identify", "Locate", "Spot"],
+    &["Examine", "Look into", "Inspect", "Study"],
+    &["Analyze", "Explore", "Dig into"],
+    &["Investigate", "Probe", "Look closely at"],
+    &["Survey", "Give an overview of", "Map out"],
+    &["Highlight", "Point out", "Surface"],
+    &["interesting", "notable", "noteworthy"],
+    &["characteristics", "properties", "traits"],
+    &["sub-groups", "subgroups", "segments"],
+];
+
+/// Paraphrase a goal text deterministically with the given RNG.
+pub fn paraphrase(goal: &str, rng: &mut StdRng) -> String {
+    let mut text = goal.to_string();
+    for group in SYNONYMS {
+        let original = group[0];
+        if text.contains(original) && rng.gen::<f64>() < 0.6 {
+            let replacement = group[rng.gen_range(0..group.len())];
+            text = text.replacen(original, replacement, 1);
+        }
+    }
+    // Occasionally move a trailing "with X" clause to the front ("With X, ...").
+    if rng.gen::<f64>() < 0.25 {
+        if let Some(pos) = text.find(", with a focus on ") {
+            let (head, tail) = text.split_at(pos);
+            let tail = tail.trim_start_matches(", with a focus on ");
+            text = format!("With a focus on {tail}, {}", lowercase_first(head));
+        }
+    }
+    // Occasionally add a polite framing prefix.
+    if rng.gen::<f64>() < 0.2 {
+        text = format!("Please {}", lowercase_first(&text));
+    }
+    text
+}
+
+/// A plausibility check standing in for the paper's manual filter of nonsensical
+/// populated goals: goals must mention an attribute-like token and must not pair a
+/// numeric comparison with an obviously non-numeric surface form.
+pub fn is_plausible(goal: &str) -> bool {
+    let text = goal.to_lowercase();
+    if text.split_whitespace().count() < 5 {
+        return false;
+    }
+    // "at least <non-number>" reads as nonsense (artifact of template population).
+    if let Some(pos) = text.find("at least ") {
+        let after = &text[pos + "at least ".len()..];
+        let token = after.split_whitespace().next().unwrap_or("");
+        if token.chars().next().map(|c| c.is_alphabetic()).unwrap_or(false) {
+            return false;
+        }
+    }
+    true
+}
+
+fn lowercase_first(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paraphrase_is_deterministic_per_seed() {
+        let goal = "Find an atypical country among the titles, one with different habits than the rest";
+        let a = paraphrase(goal, &mut StdRng::seed_from_u64(1));
+        let b = paraphrase(goal, &mut StdRng::seed_from_u64(1));
+        let c = paraphrase(goal, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+        // Some seed should eventually produce a different surface form.
+        let mut any_diff = c != a;
+        for s in 2..20 {
+            any_diff |= paraphrase(goal, &mut StdRng::seed_from_u64(s)) != a;
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn paraphrase_preserves_schema_mentions() {
+        let goal = "Analyze the dataset, with a focus on flights with origin airport other than BOS";
+        for seed in 0..30 {
+            let p = paraphrase(goal, &mut StdRng::seed_from_u64(seed));
+            assert!(p.contains("BOS"), "{p}");
+            assert!(p.to_lowercase().contains("origin airport"), "{p}");
+        }
+    }
+
+    #[test]
+    fn plausibility_filter_rejects_nonsense() {
+        assert!(is_plausible(
+            "Highlight interesting sub-groups of apps with installs at least 1000000"
+        ));
+        assert!(!is_plausible("Survey the price"));
+        assert!(!is_plausible(
+            "Highlight interesting sub-groups of apps with category at least FAMILY"
+        ));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the goal-oriented ADE benchmark generator (paper §7.1,
+//! Table 1): the benchmark always has 182 instances distributed per Table 1, every gold
+//! specification validates and is derivable, and generation is deterministic per seed.
+
+use linx_benchgen::generate_benchmark;
+use linx_nl2ldx::MetaGoal;
+use proptest::prelude::*;
+
+#[test]
+fn benchmark_has_182_instances_distributed_per_table1() {
+    let b = generate_benchmark(42);
+    assert_eq!(b.len(), 182);
+    // Table 1 per-meta-goal counts.
+    let expected = [18, 16, 22, 21, 27, 22, 28, 28];
+    for (meta, exp) in MetaGoal::ALL.iter().zip(expected) {
+        let got = b.instances.iter().filter(|i| i.meta_goal == *meta).count();
+        assert_eq!(got, exp, "meta-goal {} count", meta.index());
+    }
+    assert_eq!(expected.iter().sum::<usize>(), 182);
+}
+
+#[test]
+fn every_gold_specification_validates() {
+    let b = generate_benchmark(7);
+    for inst in &b.instances {
+        assert!(
+            inst.gold_ldx.validate().is_ok(),
+            "instance {} has an invalid gold LDX:\n{}",
+            inst.id,
+            inst.gold_ldx.canonical()
+        );
+        assert!(inst.gold_ldx.min_operations() >= 2);
+        assert!(!inst.goal_text.trim().is_empty());
+    }
+}
+
+#[test]
+fn instance_ids_are_unique() {
+    let b = generate_benchmark(1);
+    let mut ids: Vec<&str> = b.instances.iter().map(|i| i.id.as_str()).collect();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "instance ids must be unique");
+}
+
+#[test]
+fn table1_rows_cover_all_eight_meta_goals() {
+    let b = generate_benchmark(3);
+    let rows = b.table1_rows();
+    assert_eq!(rows.len(), 8);
+    for (i, (index, desc, example, count)) in rows.iter().enumerate() {
+        assert_eq!(*index, i + 1);
+        assert!(!desc.is_empty());
+        assert!(!example.is_empty());
+        assert!(*count > 0);
+    }
+}
+
+proptest! {
+    /// Generation is deterministic per seed and always yields exactly 182 instances.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..2000) {
+        let a = generate_benchmark(seed);
+        let b = generate_benchmark(seed);
+        prop_assert_eq!(a.len(), 182);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.instances.iter().zip(&b.instances) {
+            prop_assert_eq!(&x.id, &y.id);
+            prop_assert_eq!(&x.goal_text, &y.goal_text);
+            prop_assert_eq!(x.gold_ldx.canonical(), y.gold_ldx.canonical());
+        }
+    }
+
+    /// Every dataset partition is non-empty and every instance belongs to exactly one
+    /// dataset partition.
+    #[test]
+    fn dataset_partitions_cover_every_instance(seed in 0u64..500) {
+        let b = generate_benchmark(seed);
+        let mut total = 0;
+        for kind in linx_data::DatasetKind::ALL {
+            let n = b.for_dataset(kind).len();
+            prop_assert!(n > 0, "dataset {:?} has no instances", kind);
+            total += n;
+        }
+        prop_assert_eq!(total, b.len());
+    }
+}

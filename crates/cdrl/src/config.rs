@@ -1,0 +1,199 @@
+//! Configuration of the CDRL engine and the ablation variants of Table 4.
+
+use serde::{Deserialize, Serialize};
+
+/// Which engine variant to run. The paper's ablation (Table 4) compares the full engine
+/// against versions with parts of the compliance machinery removed; the goal-agnostic
+/// ATENA baseline is the degenerate variant with no compliance machinery at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CdrlVariant {
+    /// Goal-agnostic ATENA: generic exploration reward only, basic network.
+    Atena,
+    /// "Binary Reward Only": a binary end-of-session compliance signal (compliant /
+    /// non-compliant), no graded reward, no immediate reward, basic network.
+    BinaryOnly,
+    /// "Binary+Imm. Reward": the graded end-of-session reward scheme of §5.2, but
+    /// without the immediate per-operation reward and without the specification-aware
+    /// network.
+    GradedEos,
+    /// "W/O Spec. Aware NN": the full reward scheme (graded EOS + immediate reward) with
+    /// the basic (non-specification-aware) network.
+    NoSpecAwareNet,
+    /// The full LINX-CDRL engine.
+    Full,
+}
+
+impl CdrlVariant {
+    /// All ablation variants in the order of Table 4 (ATENA excluded).
+    pub const TABLE4: [CdrlVariant; 4] = [
+        CdrlVariant::BinaryOnly,
+        CdrlVariant::GradedEos,
+        CdrlVariant::NoSpecAwareNet,
+        CdrlVariant::Full,
+    ];
+
+    /// The label used in the paper's Table 4 (or "ATENA" for the baseline).
+    pub fn paper_label(&self) -> &'static str {
+        match self {
+            CdrlVariant::Atena => "ATENA",
+            CdrlVariant::BinaryOnly => "Binary Reward Only",
+            CdrlVariant::GradedEos => "Binary+Imm. Reward",
+            CdrlVariant::NoSpecAwareNet => "W/O Spec. Aware NN",
+            CdrlVariant::Full => "LINX-CDRL (Full)",
+        }
+    }
+
+    /// Whether the variant uses any compliance reward at all.
+    pub fn uses_compliance(&self) -> bool {
+        !matches!(self, CdrlVariant::Atena)
+    }
+
+    /// Whether the end-of-session compliance reward is graded (Algorithm 2) rather than
+    /// binary.
+    pub fn graded_eos(&self) -> bool {
+        matches!(
+            self,
+            CdrlVariant::GradedEos | CdrlVariant::NoSpecAwareNet | CdrlVariant::Full
+        )
+    }
+
+    /// Whether the immediate (per-operation) structural reward is active.
+    pub fn immediate_reward(&self) -> bool {
+        matches!(self, CdrlVariant::NoSpecAwareNet | CdrlVariant::Full)
+    }
+
+    /// Whether the specification-aware (snippet) network extension is active.
+    pub fn spec_aware_network(&self) -> bool {
+        matches!(self, CdrlVariant::Full)
+    }
+}
+
+/// Hyperparameters of the CDRL engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdrlConfig {
+    /// Engine variant.
+    pub variant: CdrlVariant,
+    /// Weight of the generic exploration reward (α).
+    pub alpha: f64,
+    /// Weight of the compliance reward (β).
+    pub beta: f64,
+    /// Weight of the end-of-session compliance component (γ).
+    pub gamma_eos: f64,
+    /// Weight of the immediate compliance component (δ).
+    pub delta_imm: f64,
+    /// Reward granted for a fully compliant session (POS_REWARD in Algorithm 2).
+    pub pos_reward: f64,
+    /// Penalty for a structurally non-compliant session (NEG_REWARD in Algorithm 2).
+    pub neg_reward: f64,
+    /// Penalty per immediate structural violation.
+    pub imm_penalty: f64,
+    /// Penalty for an invalid operation (e.g. filtering a non-existent column).
+    pub invalid_penalty: f64,
+    /// Number of query operations per episode; `None` derives it from the LDX query
+    /// (min operations + slack).
+    pub episode_ops: Option<usize>,
+    /// Extra operations beyond the LDX minimum when deriving the episode length.
+    pub episode_slack: usize,
+    /// Number of training episodes.
+    pub episodes: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Minimum number of steps before the immediate reward is evaluated (the paper
+    /// skips the first few steps to bound the number of tree completions).
+    pub imm_min_step: usize,
+    /// Number of candidate filter terms retained per column.
+    pub term_slots: usize,
+    /// Learning rate of the policy-gradient trainer.
+    pub learning_rate: f64,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f64,
+    /// Whether to run the post-training parameter-refinement pass (coordinate ascent over
+    /// the free continuity parameters of the best compliant session to maximize the
+    /// generic exploration utility, §3 / Fig. 1d). On by default; disable to measure the
+    /// raw policy output.
+    pub refine: bool,
+}
+
+impl Default for CdrlConfig {
+    fn default() -> Self {
+        CdrlConfig {
+            variant: CdrlVariant::Full,
+            alpha: 1.0,
+            beta: 3.0,
+            gamma_eos: 1.0,
+            delta_imm: 1.0,
+            pos_reward: 10.0,
+            neg_reward: -10.0,
+            imm_penalty: -1.0,
+            invalid_penalty: -0.5,
+            episode_ops: None,
+            episode_slack: 1,
+            episodes: 400,
+            seed: 0x11ac,
+            imm_min_step: 3,
+            term_slots: 12,
+            learning_rate: 3e-3,
+            entropy_coef: 0.05,
+            refine: true,
+        }
+    }
+}
+
+impl CdrlConfig {
+    /// A configuration for a specific variant, other parameters default.
+    pub fn for_variant(variant: CdrlVariant) -> Self {
+        CdrlConfig {
+            variant,
+            ..Default::default()
+        }
+    }
+
+    /// A fast configuration for unit tests (few episodes).
+    pub fn fast_test() -> Self {
+        CdrlConfig {
+            episodes: 60,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_capabilities_match_the_ablation_definitions() {
+        assert!(!CdrlVariant::Atena.uses_compliance());
+        assert!(CdrlVariant::BinaryOnly.uses_compliance());
+        assert!(!CdrlVariant::BinaryOnly.graded_eos());
+        assert!(!CdrlVariant::BinaryOnly.immediate_reward());
+        assert!(CdrlVariant::GradedEos.graded_eos());
+        assert!(!CdrlVariant::GradedEos.immediate_reward());
+        assert!(CdrlVariant::NoSpecAwareNet.immediate_reward());
+        assert!(!CdrlVariant::NoSpecAwareNet.spec_aware_network());
+        assert!(CdrlVariant::Full.spec_aware_network());
+        assert!(CdrlVariant::Full.immediate_reward());
+    }
+
+    #[test]
+    fn table4_order_and_labels() {
+        let labels: Vec<&str> = CdrlVariant::TABLE4.iter().map(|v| v.paper_label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Binary Reward Only",
+                "Binary+Imm. Reward",
+                "W/O Spec. Aware NN",
+                "LINX-CDRL (Full)"
+            ]
+        );
+    }
+
+    #[test]
+    fn default_config_is_full_variant() {
+        let c = CdrlConfig::default();
+        assert_eq!(c.variant, CdrlVariant::Full);
+        assert!(c.pos_reward > 0.0 && c.neg_reward < 0.0);
+        assert!(CdrlConfig::fast_test().episodes < c.episodes);
+    }
+}

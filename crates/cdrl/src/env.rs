@@ -1,0 +1,428 @@
+//! The MDP environment (paper §5.1).
+//!
+//! Each episode generates one exploration session over the dataset. At every step the
+//! agent either applies a parametric query operation (which becomes a child of the
+//! current node and the new current node) or takes the `back` action (moving the current
+//! pointer to the parent). The per-step reward is the bi-objective
+//! `α·R_gen + β·R_comp` combination; the End-of-Session component of `R_comp` is
+//! computed by [`LinxEnv::end_of_session_bonus`] once the episode terminates and is
+//! distributed equally across the episode's steps by the trainer (Algorithm 2).
+
+use std::collections::HashMap;
+
+use linx_dataframe::DataFrame;
+use linx_explore::{ExplorationReward, ExplorationTree, NodeId, QueryOp, SessionExecutor};
+use linx_ldx::Ldx;
+
+use crate::compliance::ComplianceReward;
+use crate::config::CdrlConfig;
+use crate::featurize::Featurizer;
+use crate::terms::TermInventory;
+
+/// An action the agent can take at each step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentAction {
+    /// Move the current pointer back to the parent node.
+    Back,
+    /// Apply a query operation under the current node.
+    Apply(QueryOp),
+}
+
+/// The result of one environment step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepOutcome {
+    /// Immediate reward for the step (excluding the end-of-session component).
+    pub reward: f64,
+    /// Whether the episode has terminated.
+    pub done: bool,
+    /// Whether a new operation node was added to the session tree.
+    pub applied: bool,
+}
+
+/// The LINX MDP environment for one (dataset, LDX query) pair.
+#[derive(Debug, Clone)]
+pub struct LinxEnv {
+    executor: SessionExecutor,
+    explore_reward: ExplorationReward,
+    compliance: ComplianceReward,
+    featurizer: Featurizer,
+    terms: TermInventory,
+    config: CdrlConfig,
+    max_ops: usize,
+    max_steps: usize,
+    // Episode state.
+    tree: ExplorationTree,
+    views: HashMap<NodeId, DataFrame>,
+    steps_taken: usize,
+}
+
+impl LinxEnv {
+    /// Create an environment.
+    pub fn new(dataset: DataFrame, ldx: Ldx, config: CdrlConfig) -> Self {
+        let max_ops = config
+            .episode_ops
+            .unwrap_or_else(|| (ldx.min_operations() + config.episode_slack).max(2));
+        let max_steps = max_ops * 2 + 2;
+        let featurizer = Featurizer::new(&dataset);
+        let terms = TermInventory::build(&dataset, config.term_slots);
+        let compliance = ComplianceReward::new(ldx, config.clone());
+        let mut views = HashMap::new();
+        views.insert(NodeId::ROOT, dataset.clone());
+        LinxEnv {
+            executor: SessionExecutor::new(dataset),
+            explore_reward: ExplorationReward::default(),
+            compliance,
+            featurizer,
+            terms,
+            config,
+            max_ops,
+            max_steps,
+            tree: ExplorationTree::new(),
+            views,
+            steps_taken: 0,
+        }
+    }
+
+    /// The maximum number of query operations per episode.
+    pub fn max_ops(&self) -> usize {
+        self.max_ops
+    }
+
+    /// The term inventory derived from the root dataset.
+    pub fn terms(&self) -> &TermInventory {
+        &self.terms
+    }
+
+    /// The featurizer (exposed so the agent knows the observation dimension).
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// The compliance reward calculator (exposed for the trainer and tests).
+    pub fn compliance(&self) -> &ComplianceReward {
+        &self.compliance
+    }
+
+    /// The root dataset.
+    pub fn dataset(&self) -> &DataFrame {
+        self.executor.dataset()
+    }
+
+    /// The ongoing (or final) session tree of the current episode.
+    pub fn tree(&self) -> &ExplorationTree {
+        &self.tree
+    }
+
+    /// The result view of the current node.
+    pub fn current_view(&self) -> &DataFrame {
+        self.views
+            .get(&self.tree.current())
+            .unwrap_or_else(|| self.executor.dataset())
+    }
+
+    /// Reset to a fresh episode.
+    pub fn reset(&mut self) {
+        self.tree = ExplorationTree::new();
+        self.views.clear();
+        self.views
+            .insert(NodeId::ROOT, self.executor.dataset().clone());
+        self.steps_taken = 0;
+    }
+
+    /// Whether the episode is over.
+    pub fn is_done(&self) -> bool {
+        self.tree.num_ops() >= self.max_ops || self.steps_taken >= self.max_steps
+    }
+
+    /// The current observation vector.
+    pub fn observe(&self) -> Vec<f64> {
+        let remaining = self.max_ops.saturating_sub(self.tree.num_ops());
+        let completable = if self.compliance.variant().immediate_reward() {
+            // Reuse the immediate-signal machinery: a zero penalty means completable.
+            self.compliance
+                .immediate(&self.tree, self.tree.current(), usize::MAX, remaining)
+                >= 0.0
+                && self
+                    .compliance
+                    .immediate(&self.tree, self.tree.current(), self.config.imm_min_step, remaining)
+                    >= 0.0
+        } else {
+            true
+        };
+        self.featurizer.featurize(
+            self.current_view(),
+            &self.tree,
+            self.steps_taken,
+            self.max_steps,
+            completable,
+        )
+    }
+
+    /// Take one step.
+    pub fn step(&mut self, action: AgentAction) -> StepOutcome {
+        self.steps_taken += 1;
+        let mut applied = false;
+        let reward = match action {
+            AgentAction::Back => {
+                if self.tree.back() {
+                    // Navigation is free: the agent must stay willing to branch the
+                    // session tree (required by most LDX structures).
+                    0.0
+                } else {
+                    // back at the root is a wasted step
+                    self.config.invalid_penalty * 0.5
+                }
+            }
+            AgentAction::Apply(op) => {
+                let parent = self.tree.current();
+                let parent_view = self.views[&parent].clone();
+                match self.executor.execute_op(&parent_view, &op) {
+                    Err(_) => self.config.invalid_penalty,
+                    Ok(view) => {
+                        let node = self.tree.push_op(op.clone());
+                        self.views.insert(node, view.clone());
+                        applied = true;
+                        // Generic exploration reward components for this operation.
+                        let interest =
+                            self.explore_reward.interestingness(&op, &parent_view, &view);
+                        let diversity = self.explore_reward.diversity(&self.tree, &self.views, node);
+                        let w = self.explore_reward.weights();
+                        let r_gen = w.mu * interest + w.lambda * diversity;
+                        // Immediate compliance signal.
+                        let remaining = self.max_ops.saturating_sub(self.tree.num_ops());
+                        let imm = self.compliance.immediate(
+                            &self.tree,
+                            self.tree.current(),
+                            self.tree.num_ops(),
+                            remaining,
+                        );
+                        self.config.alpha * r_gen
+                            + self.config.beta * self.config.delta_imm * imm
+                    }
+                }
+            }
+        };
+        StepOutcome {
+            reward,
+            done: self.is_done(),
+            applied,
+        }
+    }
+
+    /// Whether taking an action of the given kind (`None` = `back`) in the current state
+    /// can still lead to a *structurally* compliant session within the remaining
+    /// operation budget.
+    ///
+    /// This is the feasibility test behind the specification-aware network's action
+    /// shifting (§5.3): the agent's operation-type distribution is restricted to choices
+    /// that keep a compliant completion reachable, which is how the reproduction
+    /// realizes the paper's "dynamically shifting the action distribution probabilities
+    /// toward queries that are more likely to be included in a specifications-compliant
+    /// exploration session".
+    pub fn action_keeps_structure_feasible(&self, kind: Option<linx_explore::OpKind>) -> bool {
+        use linx_dataframe::filter::CompareOp;
+        use linx_dataframe::groupby::AggFunc;
+        use linx_dataframe::Value;
+        use linx_explore::OpKind;
+
+        let remaining = self.max_ops.saturating_sub(self.tree.num_ops());
+        match kind {
+            None => {
+                if self.tree.current() == NodeId::ROOT {
+                    return false;
+                }
+                let mut probe = self.tree.clone();
+                probe.back();
+                self.compliance.can_complete(&probe, probe.current(), remaining)
+            }
+            Some(kind) => {
+                if remaining == 0 {
+                    return false;
+                }
+                let mut probe = self.tree.clone();
+                // A placeholder operation of the right kind; structural specifications
+                // constrain only the operation kind, so the parameters are irrelevant.
+                let op = match kind {
+                    OpKind::Filter => QueryOp::filter("__probe", CompareOp::Eq, Value::Null),
+                    OpKind::GroupBy => QueryOp::group_by("__probe", AggFunc::Count, "__probe"),
+                };
+                let node = probe.push_op(op);
+                self.compliance.can_complete(&probe, node, remaining - 1)
+            }
+        }
+    }
+
+    /// The End-of-Session compliance bonus for the finished episode, already weighted by
+    /// `β·γ` and divided by the number of steps so the trainer can add it to every
+    /// step's reward (Algorithm 2 distributes it equally).
+    pub fn end_of_session_bonus(&self, num_steps: usize) -> f64 {
+        if num_steps == 0 {
+            return 0.0;
+        }
+        let eos = self.compliance.end_of_session(&self.tree);
+        self.config.beta * self.config.gamma_eos * eos / num_steps as f64
+    }
+
+    /// The generic exploration score of the final session (used for reporting and for
+    /// picking the best session across episodes).
+    pub fn session_score(&self) -> f64 {
+        self.explore_reward.session_score(&self.executor, &self.tree)
+    }
+
+    /// Whether the final session is fully / structurally compliant.
+    pub fn compliance_status(&self) -> (bool, bool) {
+        (
+            self.compliance.is_compliant(&self.tree),
+            self.compliance.is_structurally_compliant(&self.tree),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
+    use linx_ldx::parse_ldx;
+
+    fn dataset() -> DataFrame {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let country = if i % 3 == 0 { "India" } else { "US" };
+            let typ = if i % 3 == 0 || i % 2 == 0 { "Movie" } else { "TV Show" };
+            rows.push(vec![
+                Value::str(country),
+                Value::str(typ),
+                Value::Int(i as i64),
+            ]);
+        }
+        DataFrame::from_rows(&["country", "type", "id"], rows).unwrap()
+    }
+
+    fn ldx() -> Ldx {
+        parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn episode_length_derived_from_ldx() {
+        let env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
+        assert_eq!(env.max_ops(), 5); // 4 named ops + 1 slack
+        assert_eq!(env.observe().len(), env.featurizer().obs_dim());
+    }
+
+    #[test]
+    fn valid_operations_build_the_tree_and_reward_is_finite() {
+        let mut env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
+        env.reset();
+        let out = env.step(AgentAction::Apply(QueryOp::filter(
+            "country",
+            CompareOp::Eq,
+            Value::str("India"),
+        )));
+        assert!(out.applied);
+        assert!(out.reward.is_finite());
+        assert_eq!(env.tree().num_ops(), 1);
+        assert!(env.current_view().num_rows() > 0);
+
+        let out = env.step(AgentAction::Apply(QueryOp::group_by(
+            "type",
+            AggFunc::Count,
+            "id",
+        )));
+        assert!(out.applied);
+        assert_eq!(env.tree().num_ops(), 2);
+    }
+
+    #[test]
+    fn invalid_operation_is_penalized_and_not_applied() {
+        let cfg = CdrlConfig::default();
+        let mut env = LinxEnv::new(dataset(), ldx(), cfg.clone());
+        env.reset();
+        let out = env.step(AgentAction::Apply(QueryOp::filter(
+            "no_such_column",
+            CompareOp::Eq,
+            Value::Int(0),
+        )));
+        assert!(!out.applied);
+        assert_eq!(out.reward, cfg.invalid_penalty);
+        assert_eq!(env.tree().num_ops(), 0);
+    }
+
+    #[test]
+    fn back_action_moves_the_cursor() {
+        let mut env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
+        env.reset();
+        env.step(AgentAction::Apply(QueryOp::filter(
+            "country",
+            CompareOp::Eq,
+            Value::str("India"),
+        )));
+        let before = env.tree().current();
+        env.step(AgentAction::Back);
+        assert_ne!(env.tree().current(), before);
+        assert_eq!(env.tree().current(), NodeId::ROOT);
+        // Back at root is allowed but wasteful.
+        let out = env.step(AgentAction::Back);
+        assert!(out.reward < 0.0);
+    }
+
+    #[test]
+    fn episode_terminates_after_max_ops() {
+        let cfg = CdrlConfig {
+            episode_ops: Some(2),
+            ..CdrlConfig::default()
+        };
+        let mut env = LinxEnv::new(dataset(), ldx(), cfg);
+        env.reset();
+        env.step(AgentAction::Apply(QueryOp::filter(
+            "country",
+            CompareOp::Eq,
+            Value::str("India"),
+        )));
+        assert!(!env.is_done());
+        let out = env.step(AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")));
+        assert!(out.done);
+        assert!(env.is_done());
+    }
+
+    #[test]
+    fn eos_bonus_rewards_compliant_sessions() {
+        let mut env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
+        env.reset();
+        // Build the fully compliant session.
+        env.step(AgentAction::Apply(QueryOp::filter("country", CompareOp::Eq, Value::str("India"))));
+        env.step(AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")));
+        env.step(AgentAction::Back);
+        env.step(AgentAction::Back);
+        env.step(AgentAction::Apply(QueryOp::filter("country", CompareOp::Neq, Value::str("India"))));
+        env.step(AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")));
+        let (full, structural) = env.compliance_status();
+        assert!(full && structural);
+        assert!(env.end_of_session_bonus(6) > 0.0);
+        assert!(env.session_score() > 0.0);
+
+        // A fresh episode with a useless session gets a negative bonus.
+        env.reset();
+        env.step(AgentAction::Apply(QueryOp::group_by("country", AggFunc::Count, "id")));
+        assert!(env.end_of_session_bonus(1) < 0.0);
+    }
+
+    #[test]
+    fn reset_clears_episode_state() {
+        let mut env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
+        env.reset();
+        env.step(AgentAction::Apply(QueryOp::group_by("country", AggFunc::Count, "id")));
+        assert_eq!(env.tree().num_ops(), 1);
+        env.reset();
+        assert_eq!(env.tree().num_ops(), 0);
+        assert_eq!(env.current_view().num_rows(), env.dataset().num_rows());
+    }
+}

@@ -1,0 +1,50 @@
+//! `linx-cdrl` — the Constrained Deep Reinforcement Learning engine at the core of LINX
+//! (paper §5).
+//!
+//! Given a dataset `D` and LDX specifications `Q_X`, the engine trains a policy that
+//! generates an exploration session `T_D` maximizing the bi-objective reward
+//!
+//! ```text
+//! R(S_i, a) = α · R_gen(S_i, a)  +  β · R_comp(S_i, a, Q_X)
+//! ```
+//!
+//! where `R_gen` is ATENA's generic exploration reward (implemented in `linx-explore`)
+//! and `R_comp` is LINX's compliance reward, composed of
+//!
+//! * an **End-of-Session** signal (Algorithm 2): a large positive reward for fully
+//!   compliant sessions, a fixed penalty for structurally non-compliant ones, and a
+//!   graded reward proportional to the number of satisfied operation parameters in
+//!   between, distributed equally over the episode's steps, and
+//! * an **immediate** per-operation signal: a penalty whenever the ongoing session can
+//!   no longer be completed into a structurally compliant tree within the remaining
+//!   step budget (`linx-ldx::partial`).
+//!
+//! The policy is the **specification-aware network** (paper §5.3): the standard ATENA
+//! multi-softmax architecture (operation type + one segment per parameter) extended with
+//! a *snippet* segment whose entries are operation shortcuts derived from the
+//! operational specifications `opr(Q_X)`.
+//!
+//! The goal-agnostic **ATENA** baseline and the paper's ablation variants (Table 4) are
+//! all expressed as [`CdrlVariant`]s of the same engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod compliance;
+pub mod config;
+pub mod env;
+pub mod featurize;
+pub mod refine;
+pub mod snippets;
+pub mod terms;
+pub mod trainer;
+
+pub use agent::LinxAgent;
+pub use compliance::ComplianceReward;
+pub use config::{CdrlConfig, CdrlVariant};
+pub use env::{AgentAction, LinxEnv, StepOutcome};
+pub use refine::refine_session;
+pub use snippets::Snippet;
+pub use terms::TermInventory;
+pub use trainer::{CdrlTrainer, TrainLog, TrainOutcome};

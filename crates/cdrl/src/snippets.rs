@@ -1,0 +1,254 @@
+//! Snippet derivation (paper §5.3, Appendix A.4).
+//!
+//! The specification-aware network adds a *snippet* softmax segment whose entries are
+//! operation shortcuts derived from the operational specifications `opr(Q_X)`. A snippet
+//! pins the parameters that the specification fixes (e.g. `F, country, eq`) and leaves
+//! the genuinely free parameters (e.g. the filter term) to be chosen by the ordinary
+//! parameter segments. Disjunctions in a specification (`SUM|AVG`) expand into one
+//! snippet per alternative.
+
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::groupby::AggFunc;
+use linx_explore::OpKind;
+use linx_ldx::{Ldx, OpPattern, TokenPattern};
+use serde::{Deserialize, Serialize};
+
+/// An operation shortcut derived from one operational specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snippet {
+    /// The named LDX node the snippet came from (for logging / analysis).
+    pub source_node: String,
+    /// The operation kind (filter / group-by). Patterns whose kind is unconstrained
+    /// expand into one snippet per kind.
+    pub kind: OpKind,
+    /// Pinned primary attribute (filter attr / group-by attr), if specified.
+    pub attr: Option<String>,
+    /// Pinned comparison operator (filters only).
+    pub op: Option<CompareOp>,
+    /// Pinned filter term (filters only).
+    pub term: Option<String>,
+    /// Pinned aggregation function (group-bys only).
+    pub agg: Option<AggFunc>,
+    /// Pinned aggregation attribute (group-bys only).
+    pub agg_attr: Option<String>,
+}
+
+impl Snippet {
+    /// Which of the three operation parameters remain free (must be picked by the
+    /// ordinary parameter segments).
+    pub fn free_params(&self) -> Vec<FreeParam> {
+        let mut free = Vec::new();
+        match self.kind {
+            OpKind::Filter => {
+                if self.attr.is_none() {
+                    free.push(FreeParam::FilterAttr);
+                }
+                if self.op.is_none() {
+                    free.push(FreeParam::FilterOp);
+                }
+                if self.term.is_none() {
+                    free.push(FreeParam::FilterTerm);
+                }
+            }
+            OpKind::GroupBy => {
+                if self.attr.is_none() {
+                    free.push(FreeParam::GroupAttr);
+                }
+                if self.agg.is_none() {
+                    free.push(FreeParam::AggFunc);
+                }
+                if self.agg_attr.is_none() {
+                    free.push(FreeParam::AggAttr);
+                }
+            }
+        }
+        free
+    }
+
+    /// A short human-readable label (used in logs, e.g. `F,country,eq,*`).
+    pub fn label(&self) -> String {
+        match self.kind {
+            OpKind::Filter => format!(
+                "F,{},{},{}",
+                self.attr.as_deref().unwrap_or("*"),
+                self.op.map(|o| o.token()).unwrap_or("*"),
+                self.term.as_deref().unwrap_or("*"),
+            ),
+            OpKind::GroupBy => format!(
+                "G,{},{},{}",
+                self.attr.as_deref().unwrap_or("*"),
+                self.agg.map(|a| a.token()).unwrap_or("*"),
+                self.agg_attr.as_deref().unwrap_or("*"),
+            ),
+        }
+    }
+}
+
+/// A free parameter slot of a snippet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FreeParam {
+    /// Filter attribute.
+    FilterAttr,
+    /// Filter comparison operator.
+    FilterOp,
+    /// Filter term.
+    FilterTerm,
+    /// Group-by attribute.
+    GroupAttr,
+    /// Aggregation function.
+    AggFunc,
+    /// Aggregation attribute.
+    AggAttr,
+}
+
+/// Derive the snippet list for an LDX query: one snippet per operational specification,
+/// expanded over disjunctions (and over both kinds when the kind is unconstrained).
+pub fn derive_snippets(ldx: &Ldx) -> Vec<Snippet> {
+    let mut snippets: Vec<Snippet> = Vec::new();
+    for (node, pattern) in ldx.operational_specs() {
+        for snippet in expand_pattern(node, pattern) {
+            // Deduplicate by operational content (two named nodes with identical
+            // constraints need only one shared shortcut).
+            if !snippets
+                .iter()
+                .any(|s| s.kind == snippet.kind && s.label() == snippet.label())
+            {
+                snippets.push(snippet);
+            }
+        }
+    }
+    snippets
+}
+
+fn expand_pattern(node: &str, pattern: &OpPattern) -> Vec<Snippet> {
+    let kinds: Vec<OpKind> = match literal_options(&pattern.kind_pattern()) {
+        Some(options) => options
+            .iter()
+            .filter_map(|k| match k.to_ascii_uppercase().as_str() {
+                "F" => Some(OpKind::Filter),
+                "G" => Some(OpKind::GroupBy),
+                _ => None,
+            })
+            .collect(),
+        None => vec![OpKind::Filter, OpKind::GroupBy],
+    };
+
+    let mut out = Vec::new();
+    for kind in kinds {
+        // Parameter option lists (None = free).
+        let p0 = literal_options(&pattern.param_pattern(0));
+        let p1 = literal_options(&pattern.param_pattern(1));
+        let p2 = literal_options(&pattern.param_pattern(2));
+        for a in options_or_free(&p0) {
+            for b in options_or_free(&p1) {
+                for c in options_or_free(&p2) {
+                    let snippet = match kind {
+                        OpKind::Filter => Snippet {
+                            source_node: node.to_string(),
+                            kind,
+                            attr: a.clone(),
+                            op: b.as_deref().and_then(CompareOp::parse),
+                            term: c.clone(),
+                            agg: None,
+                            agg_attr: None,
+                        },
+                        OpKind::GroupBy => Snippet {
+                            source_node: node.to_string(),
+                            kind,
+                            attr: a.clone(),
+                            op: None,
+                            term: None,
+                            agg: b.as_deref().and_then(AggFunc::parse),
+                            agg_attr: c.clone(),
+                        },
+                    };
+                    out.push(snippet);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The literal options of a pattern: `Some(vec)` for literals/alternations, `None` for
+/// wildcards and captures (free parameters).
+fn literal_options(pattern: &TokenPattern) -> Option<Vec<String>> {
+    match pattern {
+        TokenPattern::Literal(l) => Some(vec![l.clone()]),
+        TokenPattern::Alt(opts) => Some(opts.clone()),
+        TokenPattern::Capture { inner, .. } => literal_options(inner),
+        TokenPattern::Any => None,
+    }
+}
+
+fn options_or_free(options: &Option<Vec<String>>) -> Vec<Option<String>> {
+    match options {
+        None => vec![None],
+        Some(opts) => opts.iter().map(|o| Some(o.clone())).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_ldx::parse_ldx;
+
+    #[test]
+    fn fig2_snippet_from_country_filter() {
+        let ldx = parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap();
+        let snippets = derive_snippets(&ldx);
+        // Only A1/A2 carry constraining parameters -> two snippets.
+        assert_eq!(snippets.len(), 2);
+        assert_eq!(snippets[0].label(), "F,country,eq,*");
+        assert_eq!(snippets[1].label(), "F,country,neq,*");
+        assert_eq!(snippets[0].free_params(), vec![FreeParam::FilterTerm]);
+    }
+
+    #[test]
+    fn disjunction_expands_into_multiple_snippets() {
+        let ldx = parse_ldx("ROOT CHILDREN {A}\nA LIKE [G,'country',SUM|AVG,.*]").unwrap();
+        let snippets = derive_snippets(&ldx);
+        assert_eq!(snippets.len(), 2);
+        assert_eq!(snippets[0].agg, Some(AggFunc::Sum));
+        assert_eq!(snippets[1].agg, Some(AggFunc::Avg));
+        assert_eq!(snippets[0].attr.as_deref(), Some("country"));
+        assert_eq!(snippets[0].free_params(), vec![FreeParam::AggAttr]);
+    }
+
+    #[test]
+    fn unconstrained_specs_yield_no_snippets() {
+        let ldx = parse_ldx("ROOT CHILDREN {A}\nA LIKE [G,(?<COL>.*),.*]").unwrap();
+        assert!(derive_snippets(&ldx).is_empty());
+    }
+
+    #[test]
+    fn duplicate_snippets_are_deduplicated() {
+        let ldx = parse_ldx(
+            "ROOT CHILDREN {A,B}\nA LIKE [F,month,ge,6]\nB LIKE [F,month,ge,6]",
+        )
+        .unwrap();
+        let snippets = derive_snippets(&ldx);
+        assert_eq!(snippets.len(), 1);
+        assert_eq!(snippets[0].term.as_deref(), Some("6"));
+        assert!(snippets[0].free_params().is_empty());
+    }
+
+    #[test]
+    fn groupby_snippet_free_params() {
+        let ldx = parse_ldx("ROOT CHILDREN {A}\nA LIKE [G,month,.*,.*]").unwrap();
+        let snippets = derive_snippets(&ldx);
+        assert_eq!(snippets.len(), 1);
+        assert_eq!(
+            snippets[0].free_params(),
+            vec![FreeParam::AggFunc, FreeParam::AggAttr]
+        );
+        assert_eq!(snippets[0].label(), "G,month,*,*");
+    }
+}

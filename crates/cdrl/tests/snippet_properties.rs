@@ -1,0 +1,106 @@
+//! Property-based tests for snippet derivation (paper §5.3 / Appendix A.4) and the
+//! specification-aware agent: derived snippets pin exactly the specified parameters and
+//! leave the rest free, disjunctions expand, and sampled actions are always executable.
+
+use linx_cdrl::snippets::{derive_snippets, FreeParam};
+use linx_cdrl::{CdrlConfig, LinxAgent, LinxEnv};
+use linx_dataframe::{DataFrame, Value};
+use linx_explore::OpKind;
+use linx_ldx::parse_ldx;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> DataFrame {
+    let mut rows = Vec::new();
+    for i in 0..60 {
+        rows.push(vec![
+            Value::str(if i % 3 == 0 { "India" } else { "US" }),
+            Value::str(if i % 2 == 0 { "Movie" } else { "TV Show" }),
+            Value::Int(i as i64),
+        ]);
+    }
+    DataFrame::from_rows(&["country", "type", "id"], rows).unwrap()
+}
+
+#[test]
+fn filter_snippet_pins_attr_and_op_leaves_term_free() {
+    let ldx = parse_ldx(
+        "ROOT CHILDREN {A1}\nA1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\nB1 LIKE [G,.*]",
+    )
+    .unwrap();
+    let snippets = derive_snippets(&ldx);
+    let f = snippets.iter().find(|s| s.kind == OpKind::Filter).unwrap();
+    assert_eq!(f.attr.as_deref(), Some("country"));
+    assert!(f.op.is_some());
+    assert!(f.term.is_none());
+    assert_eq!(f.free_params(), vec![FreeParam::FilterTerm]);
+}
+
+#[test]
+fn disjunction_expands_into_one_snippet_per_alternative() {
+    let ldx = parse_ldx("ROOT CHILDREN {A1}\nA1 LIKE [G,country,SUM|AVG,.*]").unwrap();
+    let snippets = derive_snippets(&ldx);
+    let aggs: Vec<_> = snippets.iter().filter_map(|s| s.agg).collect();
+    assert!(aggs.contains(&linx_dataframe::groupby::AggFunc::Sum));
+    assert!(aggs.contains(&linx_dataframe::groupby::AggFunc::Avg));
+}
+
+proptest! {
+    /// A derived snippet's free-parameter list is exactly the unspecified slots, and
+    /// every pinned slot is consistent with the snippet's kind.
+    #[test]
+    fn snippet_free_params_are_the_unspecified_slots(
+        attr in prop::option::of(prop::sample::select(vec!["country", "type"])),
+        pin_op in any::<bool>(),
+    ) {
+        let attr_tok = attr.map(str::to_string).unwrap_or_else(|| ".*".to_string());
+        let op_tok = if pin_op { "eq" } else { ".*" };
+        let text = format!(
+            "ROOT CHILDREN {{A1}}\nA1 LIKE [F,{attr_tok},{op_tok},(?<X>.*)]"
+        );
+        let ldx = parse_ldx(&text).unwrap();
+        let snippets = derive_snippets(&ldx);
+        // A fully-wildcard filter has no operational constraints, so no snippet.
+        if attr.is_none() && !pin_op {
+            prop_assert!(snippets.iter().all(|s| s.kind != OpKind::Filter) || snippets.is_empty());
+            return Ok(());
+        }
+        let f = snippets.iter().find(|s| s.kind == OpKind::Filter).unwrap();
+        let free = f.free_params();
+        prop_assert_eq!(f.attr.is_none(), free.contains(&FreeParam::FilterAttr));
+        prop_assert_eq!(f.op.is_none(), free.contains(&FreeParam::FilterOp));
+        // The term is always free here (captured wildcard).
+        prop_assert!(free.contains(&FreeParam::FilterTerm));
+    }
+
+    /// Every action the spec-aware agent samples over a rollout is executable (no invalid
+    /// operation is ever produced), regardless of seed.
+    #[test]
+    fn sampled_actions_always_execute(seed in 0u64..64) {
+        let data = dataset();
+        let ldx = parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap();
+        let cfg = CdrlConfig::default();
+        let mut env = LinxEnv::new(data.clone(), ldx.clone(), cfg.clone());
+        let agent = LinxAgent::new(&data, &ldx, &cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        env.reset();
+        let mut steps = 0;
+        while !env.is_done() && steps < 20 {
+            let obs = env.observe();
+            let (action, taken) = agent.select_action(&env, &obs, &mut rng);
+            prop_assert!(!taken.is_empty());
+            let out = env.step(action);
+            // Reward is always finite; invalid ops are impossible (masks guarantee it).
+            prop_assert!(out.reward.is_finite());
+            steps += 1;
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Implementation of the `linx` subcommands.
+//!
+//! Every command returns its output as a `String` (or an error message), which keeps the
+//! commands unit-testable; writing to files / stdout happens at the edges.
+
+use std::path::PathBuf;
+
+use clap::Args;
+use linx::{Linx, LinxConfig};
+use linx_benchgen::generate_benchmark;
+use linx_data::{generate, ScaleConfig};
+use linx_dataframe::csv::{read_csv, write_csv, CsvOptions};
+use linx_dataframe::DataFrame;
+use linx_explore::to_ipynb_string;
+use linx_ldx::parse_ldx;
+use linx_viz::{recommend_session, render_ascii, session_gallery};
+
+use crate::{DatasetArg, FormatArg};
+
+/// Arguments shared by commands that need an input dataset.
+#[derive(Debug, Clone, Args)]
+pub struct DatasetSelection {
+    /// Use one of the built-in synthetic benchmark datasets.
+    #[arg(long, value_enum, conflicts_with = "csv")]
+    pub dataset: Option<DatasetArg>,
+    /// Load the dataset from a CSV file instead.
+    #[arg(long)]
+    pub csv: Option<PathBuf>,
+    /// Dataset name used in prompts and notebook titles (defaults to the built-in
+    /// dataset's name or the CSV file stem).
+    #[arg(long)]
+    pub name: Option<String>,
+    /// Number of rows to generate for a built-in dataset (defaults to a small,
+    /// representative scale).
+    #[arg(long)]
+    pub rows: Option<usize>,
+    /// Random seed for synthetic data generation.
+    #[arg(long, default_value_t = 42)]
+    pub seed: u64,
+}
+
+impl DatasetSelection {
+    /// Load the selected dataset and resolve its display name.
+    pub fn load(&self) -> Result<(DataFrame, String), String> {
+        if let Some(path) = &self.csv {
+            let df = read_csv(path, CsvOptions::default())
+                .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+            let name = self.name.clone().unwrap_or_else(|| {
+                path.file_stem()
+                    .map(|s| s.to_string_lossy().to_string())
+                    .unwrap_or_else(|| "dataset".to_string())
+            });
+            return Ok((df, name));
+        }
+        let Some(dataset) = self.dataset else {
+            return Err("select a dataset with --dataset or --csv".to_string());
+        };
+        let kind = dataset.kind();
+        let rows = self.rows.or(Some(kind.small_rows()));
+        let df = generate(
+            kind,
+            ScaleConfig {
+                rows,
+                seed: self.seed,
+            },
+        );
+        let name = self
+            .name
+            .clone()
+            .unwrap_or_else(|| kind.name().to_lowercase());
+        Ok((df, name))
+    }
+}
+
+/// Arguments of `linx explore`.
+#[derive(Debug, Args)]
+pub struct ExploreArgs {
+    /// Dataset selection.
+    #[command(flatten)]
+    pub data: DatasetSelection,
+    /// The analytical goal, in natural language.
+    #[arg(long)]
+    pub goal: String,
+    /// Training episodes for the CDRL engine (more episodes → better sessions, longer
+    /// runtime).
+    #[arg(long)]
+    pub episodes: Option<usize>,
+    /// Output format.
+    #[arg(long, value_enum, default_value_t = FormatArg::Text)]
+    pub format: FormatArg,
+    /// Write the output to this file instead of stdout.
+    #[arg(long)]
+    pub out: Option<PathBuf>,
+    /// Include ASCII chart recommendations for each cell (text format only).
+    #[arg(long)]
+    pub charts: bool,
+    /// Print the derived LDX specification before the notebook.
+    #[arg(long)]
+    pub show_ldx: bool,
+    /// Also write a self-contained HTML chart gallery of the session to this path.
+    #[arg(long)]
+    pub gallery: Option<PathBuf>,
+}
+
+// `DatasetSelection` is flattened into `ExploreArgs`/`DeriveArgs`, so expose the fields
+// the tests and callers address most often.
+impl std::ops::Deref for ExploreArgs {
+    type Target = DatasetSelection;
+    fn deref(&self) -> &DatasetSelection {
+        &self.data
+    }
+}
+
+/// Run `linx explore`.
+pub fn explore(args: &ExploreArgs) -> Result<String, String> {
+    let (dataset, name) = args.data.load()?;
+    let mut config = LinxConfig::default();
+    if let Some(episodes) = args.episodes {
+        config.cdrl.episodes = episodes;
+    }
+    let linx = Linx::new(config);
+    let outcome = linx.explore(&dataset, &name, &args.goal);
+
+    let mut output = String::new();
+    if args.show_ldx && args.format != FormatArg::Ipynb {
+        output.push_str("-- Derived LDX specification --\n");
+        output.push_str(&outcome.derivation.ldx.canonical());
+        output.push_str("\n\n");
+    }
+    match args.format {
+        FormatArg::Text => {
+            output.push_str(&outcome.notebook.to_text());
+            if !outcome.narrative.is_empty() {
+                output.push_str("\n-- Session summary --\n");
+                output.push_str(&outcome.narrative.headline);
+                output.push('\n');
+                for bullet in &outcome.narrative.bullets {
+                    output.push_str(&format!("  * {bullet}\n"));
+                }
+            }
+            if args.charts {
+                output.push_str("\n-- Recommended charts --\n");
+                for cell in recommend_session(&dataset, &outcome.training.best_tree) {
+                    for chart in &cell.charts {
+                        output.push_str(&render_ascii(chart, 40));
+                        output.push('\n');
+                    }
+                }
+            }
+        }
+        FormatArg::Markdown => {
+            output.push_str(&outcome.notebook.to_markdown());
+            if !outcome.narrative.is_empty() {
+                output.push_str("\n## Session summary\n\n");
+                output.push_str(&outcome.narrative.to_markdown());
+            }
+        }
+        FormatArg::Ipynb => {
+            output = to_ipynb_string(&outcome.notebook, Some(&outcome.narrative));
+        }
+    }
+    if let Some(path) = &args.gallery {
+        let cells = recommend_session(&dataset, &outcome.training.best_tree);
+        let html = session_gallery(&format!("{name} — {}", args.goal), &cells);
+        std::fs::write(path, html)
+            .map_err(|e| format!("failed to write gallery {}: {e}", path.display()))?;
+    }
+    write_or_return(output, &args.out)
+}
+
+/// Arguments of `linx derive`.
+#[derive(Debug, Args)]
+pub struct DeriveArgs {
+    /// Dataset selection.
+    #[command(flatten)]
+    pub data: DatasetSelection,
+    /// The analytical goal, in natural language.
+    #[arg(long)]
+    pub goal: String,
+}
+
+/// Run `linx derive`.
+pub fn derive(args: &DeriveArgs) -> Result<String, String> {
+    let (dataset, name) = args.data.load()?;
+    let linx = Linx::new(LinxConfig::default());
+    let derivation = linx.derive_specs(&dataset, &name, &args.goal);
+    let mut out = String::new();
+    out.push_str(&format!("Goal       : {}\n", args.goal));
+    out.push_str(&format!(
+        "Meta-goal  : {} ({})\n",
+        derivation.meta_goal.index(),
+        derivation.meta_goal.description()
+    ));
+    out.push_str(&format!("Attribute  : {}\n", derivation.params.attr));
+    out.push_str("\n-- PyLDX intermediate code (Fig. 1b) --\n");
+    out.push_str(&derivation.pyldx.render());
+    out.push_str("\n-- LDX specification (Fig. 1c) --\n");
+    out.push_str(&derivation.ldx.canonical());
+    out.push('\n');
+    Ok(out)
+}
+
+/// Arguments of `linx check`.
+#[derive(Debug, Args)]
+pub struct CheckArgs {
+    /// Path to a file containing an LDX specification.
+    pub path: PathBuf,
+}
+
+/// Run `linx check`.
+pub fn check(args: &CheckArgs) -> Result<String, String> {
+    let text = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("failed to read {}: {e}", args.path.display()))?;
+    let ldx = parse_ldx(&text).map_err(|e| format!("parse error: {e}"))?;
+    ldx.validate().map_err(|e| format!("invalid LDX: {e}"))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "OK: {} named nodes, at least {} operations\n",
+        ldx.node_names().len(),
+        ldx.min_operations()
+    ));
+    let continuity: Vec<String> = ldx.continuity_vars().into_iter().collect();
+    out.push_str(&format!(
+        "continuity variables: {}\n",
+        if continuity.is_empty() {
+            "(none)".to_string()
+        } else {
+            continuity.join(", ")
+        }
+    ));
+    out.push_str(&format!(
+        "operational specifications: {}\n",
+        ldx.operational_specs().len()
+    ));
+    out.push_str("\n-- canonical form --\n");
+    out.push_str(&ldx.canonical());
+    out.push('\n');
+    Ok(out)
+}
+
+/// Arguments of `linx benchmark`.
+#[derive(Debug, Args)]
+pub struct BenchmarkArgs {
+    /// Seed for benchmark generation (the paper's benchmark is a fixed artifact; the
+    /// seed controls template population and paraphrasing).
+    #[arg(long, default_value_t = 42)]
+    pub seed: u64,
+    /// Only list goals over this dataset.
+    #[arg(long, value_enum)]
+    pub dataset: Option<DatasetArg>,
+    /// Only list goals of this meta-goal family (1–8, Table 1).
+    #[arg(long)]
+    pub meta_goal: Option<usize>,
+    /// Maximum number of instances to list.
+    #[arg(long, default_value_t = 20)]
+    pub limit: usize,
+    /// Also print each instance's gold LDX specification.
+    #[arg(long)]
+    pub show_ldx: bool,
+}
+
+/// Run `linx benchmark`.
+pub fn benchmark(args: &BenchmarkArgs) -> Result<String, String> {
+    let benchmark = generate_benchmark(args.seed);
+    let mut out = format!("benchmark: {} instances\n", benchmark.len());
+    let mut listed = 0usize;
+    for inst in benchmark.instances.iter() {
+        if let Some(dataset) = args.dataset {
+            if inst.dataset != dataset.kind() {
+                continue;
+            }
+        }
+        if let Some(meta) = args.meta_goal {
+            if inst.meta_goal.index() != meta {
+                continue;
+            }
+        }
+        if listed >= args.limit {
+            out.push_str("... (use --limit to list more)\n");
+            break;
+        }
+        out.push_str(&inst.describe());
+        out.push('\n');
+        if args.show_ldx {
+            for line in inst.gold_ldx.canonical().lines() {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        listed += 1;
+    }
+    if listed == 0 {
+        out.push_str("(no instances match the filters)\n");
+    }
+    Ok(out)
+}
+
+/// Arguments of `linx generate-data`.
+#[derive(Debug, Args)]
+pub struct GenerateDataArgs {
+    /// Which synthetic dataset to generate.
+    #[arg(long, value_enum)]
+    pub dataset: DatasetArg,
+    /// Number of rows (defaults to the dataset's paper-like scale).
+    #[arg(long)]
+    pub rows: Option<usize>,
+    /// Random seed.
+    #[arg(long, default_value_t = 42)]
+    pub seed: u64,
+    /// Output CSV path.
+    #[arg(long)]
+    pub out: PathBuf,
+}
+
+/// Run `linx generate-data`.
+pub fn generate_data(args: &GenerateDataArgs) -> Result<String, String> {
+    let kind = args.dataset.kind();
+    let df = generate(
+        kind,
+        ScaleConfig {
+            rows: args.rows,
+            seed: args.seed,
+        },
+    );
+    write_csv(&df, &args.out, ',').map_err(|e| format!("failed to write CSV: {e}"))?;
+    Ok(format!(
+        "wrote {} rows x {} columns of {} to {}",
+        df.num_rows(),
+        df.num_columns(),
+        kind.name(),
+        args.out.display()
+    ))
+}
+
+fn write_or_return(output: String, out: &Option<PathBuf>) -> Result<String, String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, &output)
+                .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
+            Ok(format!("wrote {} bytes to {}", output.len(), path.display()))
+        }
+        None => Ok(output),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("linx-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn netflix_selection(rows: usize) -> DatasetSelection {
+        DatasetSelection {
+            dataset: Some(DatasetArg::Netflix),
+            csv: None,
+            name: None,
+            rows: Some(rows),
+            seed: 7,
+            }
+    }
+
+    #[test]
+    fn dataset_selection_requires_a_source() {
+        let sel = DatasetSelection {
+            dataset: None,
+            csv: None,
+            name: None,
+            rows: None,
+            seed: 1,
+        };
+        assert!(sel.load().is_err());
+    }
+
+    #[test]
+    fn dataset_selection_loads_builtin_and_csv_sources() {
+        let (df, name) = netflix_selection(300).load().unwrap();
+        assert_eq!(df.num_rows(), 300);
+        assert_eq!(name, "netflix");
+
+        // Round-trip through CSV.
+        let path = temp_path("roundtrip.csv");
+        write_csv(&df, &path, ',').unwrap();
+        let sel = DatasetSelection {
+            dataset: None,
+            csv: Some(path.clone()),
+            name: None,
+            rows: None,
+            seed: 1,
+        };
+        let (loaded, csv_name) = sel.load().unwrap();
+        assert_eq!(loaded.num_rows(), 300);
+        assert!(csv_name.starts_with("linx-cli-test"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn derive_prints_pyldx_and_ldx() {
+        let args = DeriveArgs {
+            data: netflix_selection(300),
+            goal: "Find a country with different viewing habits than the rest of the world"
+                .to_string(),
+        };
+        let out = derive(&args).unwrap();
+        assert!(out.contains("Meta-goal  : 1"));
+        assert!(out.contains("PyLDX"));
+        assert!(out.contains("[F,country,eq,(?<X>.*)]"));
+    }
+
+    #[test]
+    fn check_validates_ldx_files_and_rejects_bad_ones() {
+        let path = temp_path("spec.ldx");
+        std::fs::write(
+            &path,
+            "ROOT CHILDREN {A1}\nA1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\nB1 LIKE [G,.*]",
+        )
+        .unwrap();
+        let out = check(&CheckArgs { path: path.clone() }).unwrap();
+        assert!(out.starts_with("OK: 3 named nodes"));
+        assert!(out.contains("continuity variables: X"));
+        std::fs::remove_file(&path).ok();
+
+        let bad = temp_path("bad.ldx");
+        std::fs::write(&bad, "ROOT CHILDREN {A1}").unwrap();
+        assert!(check(&CheckArgs { path: bad.clone() }).is_err());
+        std::fs::remove_file(&bad).ok();
+
+        assert!(check(&CheckArgs {
+            path: temp_path("missing.ldx")
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn benchmark_listing_respects_filters_and_limits() {
+        let out = benchmark(&BenchmarkArgs {
+            seed: 42,
+            dataset: Some(DatasetArg::Flights),
+            meta_goal: Some(7),
+            limit: 3,
+            show_ldx: true,
+        })
+        .unwrap();
+        assert!(out.contains("benchmark: 182 instances"));
+        assert!(out.contains("meta-goal 7"));
+        assert!(out.contains("DESCENDANTS") || out.contains("CHILDREN"));
+        // No more than `limit` described instances.
+        assert!(out.matches("(Flights, meta-goal 7)").count() <= 3);
+
+        let none = benchmark(&BenchmarkArgs {
+            seed: 42,
+            dataset: Some(DatasetArg::Netflix),
+            meta_goal: Some(99),
+            limit: 3,
+            show_ldx: false,
+        })
+        .unwrap();
+        assert!(none.contains("no instances match"));
+    }
+
+    #[test]
+    fn generate_data_writes_csv() {
+        let path = temp_path("netflix.csv");
+        let out = generate_data(&GenerateDataArgs {
+            dataset: DatasetArg::Netflix,
+            rows: Some(150),
+            seed: 3,
+            out: path.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote 150 rows"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 100);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn explore_produces_an_ipynb_document_end_to_end() {
+        let args = ExploreArgs {
+            data: netflix_selection(250),
+            goal: "Examine characteristics of titles from India".to_string(),
+            episodes: Some(40),
+            format: FormatArg::Ipynb,
+            out: None,
+            charts: false,
+            show_ldx: false,
+            gallery: None,
+        };
+        let out = explore(&args).unwrap();
+        assert!(out.contains("\"nbformat\": 4"));
+        assert!(out.contains("\"cell_type\": \"code\""));
+    }
+
+    #[test]
+    fn explore_text_output_with_charts_and_file_redirection() {
+        let path = temp_path("notebook.txt");
+        let args = ExploreArgs {
+            data: netflix_selection(250),
+            goal: "Survey the duration of the titles".to_string(),
+            episodes: Some(40),
+            format: FormatArg::Text,
+            out: Some(path.clone()),
+            charts: true,
+            show_ldx: true,
+            gallery: None,
+        };
+        let summary = explore(&args).unwrap();
+        assert!(summary.contains("wrote"));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("Derived LDX specification"));
+        assert!(contents.contains("==="));
+        std::fs::remove_file(path).ok();
+    }
+}

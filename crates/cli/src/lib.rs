@@ -1,0 +1,161 @@
+//! `linx-cli` — the command-line interface to the LINX reproduction.
+//!
+//! The binary is called `linx` and exposes the end-to-end system plus the pieces a user
+//! typically wants on their own:
+//!
+//! * `linx explore`  — dataset + natural-language goal → exploration notebook
+//!   (text / Markdown / Jupyter `.ipynb`), optionally with ASCII chart recommendations
+//!   and the spelled-out insight narrative.
+//! * `linx derive`   — only Step 1: goal → meta-goal intent → PyLDX template → LDX.
+//! * `linx check`    — parse and validate an LDX specification file; print its
+//!   structural / operational split and continuity variables.
+//! * `linx benchmark`— list instances of the 182-goal benchmark (Table 1).
+//! * `linx generate-data` — write one of the synthetic benchmark datasets to CSV.
+//!
+//! The command definitions and their execution live in this library crate so they can be
+//! unit-tested without spawning processes; `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+
+use clap::{Parser, Subcommand, ValueEnum};
+use linx_data::DatasetKind;
+
+/// Goal-oriented automated data exploration (a Rust reproduction of LINX, EDBT 2025).
+#[derive(Debug, Parser)]
+#[command(name = "linx", version, about)]
+pub struct Cli {
+    /// The subcommand to run.
+    #[command(subcommand)]
+    pub command: Command,
+}
+
+/// Which built-in synthetic dataset to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ValueEnum)]
+pub enum DatasetArg {
+    /// Netflix Movies and TV Shows.
+    Netflix,
+    /// Flight delays and cancellations.
+    Flights,
+    /// Google Play Store apps.
+    Playstore,
+}
+
+impl DatasetArg {
+    /// The corresponding dataset kind.
+    pub fn kind(&self) -> DatasetKind {
+        match self {
+            DatasetArg::Netflix => DatasetKind::Netflix,
+            DatasetArg::Flights => DatasetKind::Flights,
+            DatasetArg::Playstore => DatasetKind::PlayStore,
+        }
+    }
+}
+
+/// Output format of an exploration notebook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ValueEnum)]
+pub enum FormatArg {
+    /// Plain text (terminal friendly).
+    Text,
+    /// Markdown.
+    Markdown,
+    /// Jupyter notebook JSON (`.ipynb`).
+    Ipynb,
+}
+
+/// The `linx` subcommands.
+#[derive(Debug, Subcommand)]
+pub enum Command {
+    /// Run the full pipeline: dataset + goal → specification → compliant session → notebook.
+    Explore(commands::ExploreArgs),
+    /// Derive LDX specifications for a goal without running the CDRL engine.
+    Derive(commands::DeriveArgs),
+    /// Parse and validate an LDX specification file.
+    Check(commands::CheckArgs),
+    /// List instances of the goal-oriented benchmark (paper Table 1).
+    Benchmark(commands::BenchmarkArgs),
+    /// Generate a synthetic benchmark dataset and write it to CSV.
+    GenerateData(commands::GenerateDataArgs),
+}
+
+/// Execute a parsed command line and return its textual output.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Explore(args) => commands::explore(args),
+        Command::Derive(args) => commands::derive(args),
+        Command::Check(args) => commands::check(args),
+        Command::Benchmark(args) => commands::benchmark(args),
+        Command::GenerateData(args) => commands::generate_data(args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clap::CommandFactory;
+
+    #[test]
+    fn cli_definition_is_well_formed() {
+        Cli::command().debug_assert();
+    }
+
+    #[test]
+    fn dataset_arg_maps_to_kinds() {
+        assert_eq!(DatasetArg::Netflix.kind(), DatasetKind::Netflix);
+        assert_eq!(DatasetArg::Flights.kind(), DatasetKind::Flights);
+        assert_eq!(DatasetArg::Playstore.kind(), DatasetKind::PlayStore);
+    }
+
+    #[test]
+    fn explore_command_parses_with_defaults() {
+        let cli = Cli::try_parse_from([
+            "linx",
+            "explore",
+            "--dataset",
+            "netflix",
+            "--goal",
+            "Find an atypical country",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Explore(args) => {
+                assert_eq!(args.dataset, Some(DatasetArg::Netflix));
+                assert_eq!(args.goal, "Find an atypical country");
+                assert_eq!(args.format, FormatArg::Text);
+                assert!(args.csv.is_none());
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn benchmark_command_parses_filters() {
+        let cli = Cli::try_parse_from([
+            "linx",
+            "benchmark",
+            "--dataset",
+            "flights",
+            "--meta-goal",
+            "7",
+            "--limit",
+            "5",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Benchmark(args) => {
+                assert_eq!(args.dataset, Some(DatasetArg::Flights));
+                assert_eq!(args.meta_goal, Some(7));
+                assert_eq!(args.limit, 5);
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_goal_is_a_parse_error() {
+        assert!(Cli::try_parse_from(["linx", "explore", "--dataset", "netflix"]).is_err());
+        assert!(Cli::try_parse_from(["linx", "derive"]).is_err());
+    }
+}

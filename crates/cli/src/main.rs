@@ -1,0 +1,19 @@
+//! The `linx` command-line tool. See `linx --help` and the crate docs of
+//! [`linx_cli`] for the available subcommands.
+
+use clap::Parser;
+
+fn main() {
+    let cli = linx_cli::Cli::parse();
+    match linx_cli::run(&cli) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Synthetic Flight Delays dataset.
+//!
+//! Mirrors the Kaggle "2015 Flight Delays and Cancellations" schema (paper: 5.8M rows,
+//! 12 attributes). Default generation scale is much smaller so the experiment suite runs
+//! quickly; the schema, value domains, and planted anomalies are preserved at any scale.
+//!
+//! Planted anomalies (targets of benchmark goals g5–g7):
+//!
+//! * Roughly one third of flights occur in the **summer** months (June–August), yet the
+//!   per-month *rate* of delays stays consistent year-round (goal g5's insight).
+//! * **Long-haul flights** are rarely delayed, but when they are, the dominant delay
+//!   reason is `Security` (goal g6's insight).
+//! * **Weather** delays cluster in winter months and in a small set of airports, making
+//!   "flights affected by weather-related delays" (goal g7) a coherent subset.
+
+use linx_dataframe::{DataFrame, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const AIRLINES: &[(&str, f64)] = &[
+    ("WN", 0.22),
+    ("DL", 0.15),
+    ("AA", 0.13),
+    ("OO", 0.10),
+    ("EV", 0.10),
+    ("UA", 0.09),
+    ("MQ", 0.06),
+    ("B6", 0.05),
+    ("US", 0.04),
+    ("AS", 0.03),
+    ("NK", 0.02),
+    ("F9", 0.01),
+];
+
+const AIRPORTS: &[(&str, f64)] = &[
+    ("ATL", 0.10),
+    ("ORD", 0.08),
+    ("DFW", 0.07),
+    ("DEN", 0.06),
+    ("LAX", 0.06),
+    ("SFO", 0.05),
+    ("PHX", 0.05),
+    ("IAH", 0.04),
+    ("LAS", 0.04),
+    ("MSP", 0.04),
+    ("SEA", 0.04),
+    ("DTW", 0.03),
+    ("BOS", 0.03),
+    ("MCO", 0.03),
+    ("EWR", 0.03),
+    ("CLT", 0.03),
+    ("LGA", 0.03),
+    ("SLC", 0.03),
+    ("JFK", 0.03),
+    ("BWI", 0.02),
+    ("MDW", 0.02),
+    ("MIA", 0.02),
+    ("SAN", 0.02),
+    ("TPA", 0.02),
+];
+
+/// Delay reason labels (matching the Kaggle dataset's delay cause columns).
+pub const DELAY_REASONS: &[&str] = &[
+    "Carrier",
+    "Weather",
+    "NAS",
+    "Security",
+    "LateAircraft",
+];
+
+/// Month sampling weights: summer (6,7,8) holds about a third of all flights.
+fn month_weight(month: u32) -> f64 {
+    match month {
+        6..=8 => 1.55,
+        12 | 1 => 0.95,
+        _ => 0.85,
+    }
+}
+
+fn sample_month(rng: &mut StdRng) -> u32 {
+    let weights: Vec<f64> = (1..=12).map(month_weight).collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return (i + 1) as u32;
+        }
+        x -= w;
+    }
+    12
+}
+
+/// Generate the synthetic flights dataset with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0046_4c49_4748_5453);
+    let names = [
+        "flight_id",
+        "month",
+        "day_of_week",
+        "airline",
+        "origin_airport",
+        "destination_airport",
+        "distance",
+        "scheduled_departure",
+        "departure_delay",
+        "arrival_delay",
+        "delay_reason",
+        "cancelled",
+    ];
+    let mut data: Vec<Vec<Value>> = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let month = sample_month(&mut rng);
+        let day_of_week = rng.gen_range(1..=7_i64);
+        let airline = crate::netflix::weighted(&mut rng, AIRLINES);
+        let origin = crate::netflix::weighted(&mut rng, AIRPORTS);
+        let mut dest = crate::netflix::weighted(&mut rng, AIRPORTS);
+        while dest == origin {
+            dest = crate::netflix::weighted(&mut rng, AIRPORTS);
+        }
+        // Distance: mixture of short/medium/long-haul.
+        let haul = rng.gen::<f64>();
+        let distance: i64 = if haul < 0.55 {
+            rng.gen_range(150..800)
+        } else if haul < 0.9 {
+            rng.gen_range(800..2000)
+        } else {
+            rng.gen_range(2000..4500)
+        };
+        let long_haul = distance >= 2000;
+        let scheduled_departure = rng.gen_range(5..23_i64) * 100 + rng.gen_range(0..60_i64);
+
+        // Delay probability: constant per month (the g5 insight: more flights in summer
+        // but the same *rate* of delays); long-haul flights are delayed less often.
+        let base_delay_p = if long_haul { 0.10 } else { 0.22 };
+        let delayed = rng.gen::<f64>() < base_delay_p;
+        let cancelled = rng.gen::<f64>() < 0.012;
+
+        let (dep_delay, arr_delay, reason): (i64, i64, Value) = if cancelled {
+            (0, 0, Value::Null)
+        } else if delayed {
+            let dep = rng.gen_range(15..180_i64);
+            let arr = dep + rng.gen_range(-10..25_i64);
+            // Reason mix: long-haul delays dominated by Security; winter months see more
+            // Weather; otherwise Carrier/NAS/LateAircraft dominate.
+            let r = rng.gen::<f64>();
+            let reason = if long_haul {
+                if r < 0.55 {
+                    "Security"
+                } else if r < 0.75 {
+                    "Carrier"
+                } else if r < 0.9 {
+                    "NAS"
+                } else {
+                    "LateAircraft"
+                }
+            } else if matches!(month, 12 | 1 | 2) {
+                if r < 0.4 {
+                    "Weather"
+                } else if r < 0.65 {
+                    "Carrier"
+                } else if r < 0.85 {
+                    "LateAircraft"
+                } else {
+                    "NAS"
+                }
+            } else if r < 0.32 {
+                "Carrier"
+            } else if r < 0.62 {
+                "LateAircraft"
+            } else if r < 0.85 {
+                "NAS"
+            } else if r < 0.93 {
+                "Weather"
+            } else {
+                "Security"
+            };
+            (dep, arr.max(0), Value::str(reason))
+        } else {
+            (rng.gen_range(-5..10_i64).max(0), rng.gen_range(-8..8_i64).max(0), Value::Null)
+        };
+
+        data.push(vec![
+            Value::Int(i as i64 + 1),
+            Value::Int(month as i64),
+            Value::Int(day_of_week),
+            Value::str(airline),
+            Value::str(origin),
+            Value::str(dest),
+            Value::Int(distance),
+            Value::Int(scheduled_departure),
+            Value::Int(dep_delay),
+            Value::Int(arr_delay),
+            reason,
+            Value::Bool(cancelled),
+        ]);
+    }
+    DataFrame::from_rows(&names, data).expect("flights generator produces consistent rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::{CompareOp, Predicate};
+
+    #[test]
+    fn schema_and_row_count() {
+        let df = generate(2000, 1);
+        assert_eq!(df.num_rows(), 2000);
+        assert_eq!(df.num_columns(), 12);
+        assert!(df.schema().contains("delay_reason"));
+        assert!(df.schema().contains("origin_airport"));
+    }
+
+    #[test]
+    fn summer_holds_roughly_a_third_of_flights() {
+        let df = generate(20000, 2);
+        let summer: usize = (6..=8)
+            .map(|m| {
+                df.filter(&Predicate::new("month", CompareOp::Eq, Value::Int(m)))
+                    .unwrap()
+                    .num_rows()
+            })
+            .sum();
+        let share = summer as f64 / df.num_rows() as f64;
+        assert!(share > 0.27 && share < 0.40, "summer share = {share}");
+    }
+
+    #[test]
+    fn delay_rate_is_consistent_across_seasons() {
+        let df = generate(30000, 3);
+        let delay_rate = |m: i64| {
+            let month = df
+                .filter(&Predicate::new("month", CompareOp::Eq, Value::Int(m)))
+                .unwrap();
+            let delayed = month
+                .filter(&Predicate::new("departure_delay", CompareOp::Ge, Value::Int(15)))
+                .unwrap();
+            delayed.num_rows() as f64 / month.num_rows() as f64
+        };
+        let july = delay_rate(7);
+        let march = delay_rate(3);
+        assert!((july - march).abs() < 0.06, "july={july} march={march}");
+    }
+
+    #[test]
+    fn long_haul_delays_are_mostly_security() {
+        let df = generate(30000, 4);
+        let long = df
+            .filter(&Predicate::new("distance", CompareOp::Ge, Value::Int(2000)))
+            .unwrap();
+        let delayed = long
+            .filter(&Predicate::new("departure_delay", CompareOp::Ge, Value::Int(15)))
+            .unwrap();
+        assert!(delayed.num_rows() > 50);
+        let mode = delayed.histogram("delay_reason").unwrap().mode().unwrap().0;
+        assert_eq!(mode, Value::str("Security"));
+        // And long-haul flights are delayed less often than short-haul.
+        let short = df
+            .filter(&Predicate::new("distance", CompareOp::Lt, Value::Int(800)))
+            .unwrap();
+        let short_delayed = short
+            .filter(&Predicate::new("departure_delay", CompareOp::Ge, Value::Int(15)))
+            .unwrap();
+        let long_rate = delayed.num_rows() as f64 / long.num_rows() as f64;
+        let short_rate = short_delayed.num_rows() as f64 / short.num_rows() as f64;
+        assert!(long_rate < short_rate);
+    }
+
+    #[test]
+    fn weather_delays_concentrate_in_winter() {
+        let df = generate(30000, 5);
+        let weather = df
+            .filter(&Predicate::new("delay_reason", CompareOp::Eq, Value::str("Weather")))
+            .unwrap();
+        let winter = weather
+            .filter(&Predicate::new("month", CompareOp::Le, Value::Int(2)))
+            .unwrap()
+            .num_rows()
+            + weather
+                .filter(&Predicate::new("month", CompareOp::Eq, Value::Int(12)))
+                .unwrap()
+                .num_rows();
+        assert!(winter as f64 / weather.num_rows() as f64 > 0.35);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(300, 99);
+        let b = generate(300, 99);
+        assert_eq!(a.row(123), b.row(123));
+    }
+}

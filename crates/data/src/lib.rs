@@ -1,0 +1,30 @@
+//! `linx-data` — deterministic synthetic generators for the three benchmark datasets
+//! used in the LINX paper's evaluation (§7.1):
+//!
+//! 1. **Netflix Titles** (~9K rows, 11 attributes) — movies and TV shows with country,
+//!    rating, type, genre, release year, duration.
+//! 2. **Flight Delays** (paper: 5.8M rows, 12 attributes) — flights with origin /
+//!    destination airports, airline, month, delays, and delay reasons. Generated at a
+//!    configurable scale (default 200K rows) so the full experiment suite runs on a
+//!    laptop; pass a larger [`ScaleConfig`] to approach paper scale.
+//! 3. **Google Play Store Apps** (~10K rows, 11 attributes) — apps with category, rating,
+//!    reviews, size, installs, price, content rating.
+//!
+//! The real datasets are Kaggle exports we cannot redistribute; these generators
+//! reproduce the *structural* properties the LINX experiments depend on: the schemas,
+//! attribute cardinalities, value domains, and — crucially — planted statistical
+//! anomalies (e.g. a country whose movie/TV-show ratio is atypical, a month with
+//! unusual delay reasons, an install-tier with distinctive app properties) that the
+//! benchmark's analytical goals ask the system to surface.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flights;
+pub mod netflix;
+pub mod playstore;
+pub mod registry;
+
+pub use registry::{DatasetKind, ScaleConfig, generate, schema_of};

@@ -1,0 +1,222 @@
+//! Synthetic Netflix Titles dataset.
+//!
+//! Mirrors the Kaggle "Netflix Movies and TV Shows" schema used by the paper's running
+//! example (Example 1.1/1.2): ~8.8K titles, 11 attributes. The generator plants the
+//! anomaly that the paper's goal *g1* ("Find a country with different viewing habits
+//! than the rest of the world") is meant to surface:
+//!
+//! * Globally, most titles are rated `TV-MA` and about 66% are movies.
+//! * Titles from **India** are overwhelmingly movies (~93%) and most are rated `TV-14`.
+//! * The **US** contributes the plurality of titles ("Most Netflix titles originated in
+//!   the US" — the generic, goal-agnostic insight ATENA produces).
+
+use linx_dataframe::{DataFrame, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Countries with their sampling weights (US dominant, as in the real data).
+const COUNTRIES: &[(&str, f64)] = &[
+    ("United States", 0.36),
+    ("India", 0.11),
+    ("United Kingdom", 0.08),
+    ("Japan", 0.05),
+    ("South Korea", 0.05),
+    ("Canada", 0.04),
+    ("France", 0.04),
+    ("Spain", 0.04),
+    ("Mexico", 0.03),
+    ("Egypt", 0.03),
+    ("Turkey", 0.03),
+    ("Nigeria", 0.02),
+    ("Brazil", 0.02),
+    ("Germany", 0.02),
+    ("Australia", 0.02),
+    ("Argentina", 0.02),
+    ("Italy", 0.02),
+    ("Indonesia", 0.02),
+];
+
+const RATINGS_WORLD: &[(&str, f64)] = &[
+    ("TV-MA", 0.36),
+    ("TV-14", 0.24),
+    ("TV-PG", 0.10),
+    ("R", 0.09),
+    ("PG-13", 0.06),
+    ("PG", 0.05),
+    ("TV-Y7", 0.04),
+    ("TV-Y", 0.03),
+    ("TV-G", 0.02),
+    ("G", 0.01),
+];
+
+const RATINGS_INDIA: &[(&str, f64)] = &[
+    ("TV-14", 0.46),
+    ("TV-MA", 0.22),
+    ("TV-PG", 0.14),
+    ("PG-13", 0.06),
+    ("TV-Y7", 0.04),
+    ("PG", 0.04),
+    ("TV-G", 0.02),
+    ("R", 0.02),
+];
+
+const GENRES: &[(&str, f64)] = &[
+    ("Dramas", 0.22),
+    ("Comedies", 0.16),
+    ("Documentaries", 0.10),
+    ("Action & Adventure", 0.10),
+    ("International", 0.12),
+    ("Romantic", 0.08),
+    ("Thrillers", 0.07),
+    ("Kids", 0.06),
+    ("Horror", 0.05),
+    ("Stand-Up Comedy", 0.04),
+];
+
+const DIRECTORS: &[&str] = &[
+    "R. Kapoor", "S. Lee", "M. Scorsese", "A. Kurosawa", "J. Campion", "P. Almodovar",
+    "L. Wachowski", "D. Villeneuve", "C. Nolan", "G. del Toro", "N. Meyers", "S. Coppola",
+];
+
+/// Weighted choice helper.
+pub(crate) fn weighted<'a>(rng: &mut StdRng, table: &[(&'a str, f64)]) -> &'a str {
+    let total: f64 = table.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (name, w) in table {
+        if x < *w {
+            return name;
+        }
+        x -= w;
+    }
+    table.last().unwrap().0
+}
+
+/// Generate the synthetic Netflix titles dataset with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x004e_4554_464c_4958);
+    let names = [
+        "show_id",
+        "title",
+        "type",
+        "country",
+        "release_year",
+        "date_added_year",
+        "rating",
+        "duration",
+        "genre",
+        "director",
+        "cast_size",
+    ];
+    let mut data: Vec<Vec<Value>> = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let country = weighted(&mut rng, COUNTRIES);
+        let is_india = country == "India";
+        // Movie probability: 93% for India, 66% elsewhere (the planted g1 anomaly).
+        let movie_p = if is_india { 0.93 } else { 0.66 };
+        let is_movie = rng.gen::<f64>() < movie_p;
+        let show_type = if is_movie { "Movie" } else { "TV Show" };
+        let rating = if is_india {
+            weighted(&mut rng, RATINGS_INDIA)
+        } else {
+            weighted(&mut rng, RATINGS_WORLD)
+        };
+        let release_year = 1998 + (rng.gen::<f64>().powf(0.45) * 23.0) as i64;
+        let date_added_year = (release_year + rng.gen_range(0..=4)).min(2021);
+        // Duration: minutes for movies, seasons for TV shows (like the real dataset
+        // where the column mixes semantics — we keep it numeric).
+        let duration = if is_movie {
+            rng.gen_range(60..=180)
+        } else {
+            rng.gen_range(1..=9)
+        };
+        let genre = weighted(&mut rng, GENRES);
+        let director = if rng.gen::<f64>() < 0.18 {
+            Value::Null
+        } else {
+            Value::str(DIRECTORS[rng.gen_range(0..DIRECTORS.len())])
+        };
+        let cast_size = rng.gen_range(2..=25);
+        data.push(vec![
+            Value::str(format!("s{}", i + 1)),
+            Value::str(format!("Title {}", i + 1)),
+            Value::str(show_type),
+            Value::str(country),
+            Value::Int(release_year),
+            Value::Int(date_added_year),
+            Value::str(rating),
+            Value::Int(duration),
+            Value::str(genre),
+            director,
+            Value::Int(cast_size),
+        ]);
+    }
+    DataFrame::from_rows(&names, data).expect("netflix generator produces consistent rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::{CompareOp, Predicate};
+    use linx_dataframe::groupby::AggFunc;
+
+    #[test]
+    fn generates_requested_rows_and_schema() {
+        let df = generate(500, 7);
+        assert_eq!(df.num_rows(), 500);
+        assert_eq!(df.num_columns(), 11);
+        assert!(df.schema().contains("country"));
+        assert!(df.schema().contains("rating"));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(200, 42);
+        let b = generate(200, 42);
+        for i in [0usize, 57, 199] {
+            assert_eq!(a.row(i), b.row(i));
+        }
+        let c = generate(200, 43);
+        let same = (0..200).all(|i| a.row(i) == c.row(i));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn india_anomaly_is_planted() {
+        let df = generate(6000, 11);
+        let india = df
+            .filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
+            .unwrap();
+        let rest = df
+            .filter(&Predicate::new("country", CompareOp::Neq, Value::str("India")))
+            .unwrap();
+        assert!(india.num_rows() > 100, "India should be well represented");
+
+        let movie_share = |d: &DataFrame| {
+            let movies = d
+                .filter(&Predicate::new("type", CompareOp::Eq, Value::str("Movie")))
+                .unwrap();
+            movies.num_rows() as f64 / d.num_rows() as f64
+        };
+        assert!(movie_share(&india) > 0.85);
+        assert!(movie_share(&rest) < 0.75);
+
+        // Modal rating differs: TV-14 in India vs TV-MA elsewhere.
+        let mode = |d: &DataFrame| d.histogram("rating").unwrap().mode().unwrap().0;
+        assert_eq!(mode(&india), Value::str("TV-14"));
+        assert_eq!(mode(&rest), Value::str("TV-MA"));
+    }
+
+    #[test]
+    fn us_is_the_plurality_country() {
+        let df = generate(4000, 3);
+        let mode = df.histogram("country").unwrap().mode().unwrap().0;
+        assert_eq!(mode, Value::str("United States"));
+    }
+
+    #[test]
+    fn group_by_works_on_generated_data() {
+        let df = generate(1000, 5);
+        let agg = df.group_by("type", AggFunc::Count, "show_id").unwrap();
+        assert_eq!(agg.num_rows(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Synthetic Google Play Store Apps dataset.
+//!
+//! Mirrors the Kaggle "Google Play Store Apps" schema (~10K rows, 11 attributes).
+//!
+//! Planted anomalies (targets of benchmark goals g4 and g8):
+//!
+//! * Price distribution is heavily skewed: most apps are free; the paid tail spans a
+//!   wide range with a few outliers (goal g4, "Survey apps' price").
+//! * Apps with at least **1M installs** are typically free, highly rated, and target
+//!   Android 4.x (goal g8's insight, Table 3).
+
+use linx_dataframe::{DataFrame, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const CATEGORIES: &[(&str, f64)] = &[
+    ("FAMILY", 0.19),
+    ("GAME", 0.12),
+    ("TOOLS", 0.09),
+    ("BUSINESS", 0.05),
+    ("MEDICAL", 0.04),
+    ("PERSONALIZATION", 0.04),
+    ("PRODUCTIVITY", 0.04),
+    ("LIFESTYLE", 0.04),
+    ("FINANCE", 0.04),
+    ("SPORTS", 0.03),
+    ("COMMUNICATION", 0.03),
+    ("HEALTH_AND_FITNESS", 0.03),
+    ("PHOTOGRAPHY", 0.03),
+    ("NEWS_AND_MAGAZINES", 0.03),
+    ("SOCIAL", 0.03),
+    ("TRAVEL_AND_LOCAL", 0.02),
+    ("SHOPPING", 0.02),
+    ("ART_AND_DESIGN", 0.02),
+    ("DATING", 0.02),
+    ("EDUCATION", 0.02),
+    ("ENTERTAINMENT", 0.02),
+    ("VIDEO_PLAYERS", 0.02),
+    ("MAPS_AND_NAVIGATION", 0.01),
+    ("FOOD_AND_DRINK", 0.01),
+    ("WEATHER", 0.01),
+];
+
+const CONTENT_RATINGS: &[(&str, f64)] = &[
+    ("Everyone", 0.8),
+    ("Teen", 0.11),
+    ("Mature 17+", 0.05),
+    ("Everyone 10+", 0.04),
+];
+
+/// Install-count tiers matching the Play Store's bucketed display values.
+pub const INSTALL_TIERS: &[i64] = &[
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+/// Generate the synthetic Play Store dataset with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x504c_4159_5354_4f52);
+    let names = [
+        "app_id",
+        "name",
+        "category",
+        "rating",
+        "reviews",
+        "app_size_kb",
+        "installs",
+        "app_type",
+        "price",
+        "content_rating",
+        "android_version",
+    ];
+    let mut data: Vec<Vec<Value>> = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let category = crate::netflix::weighted(&mut rng, CATEGORIES);
+        // Install tier: log-skewed, most apps in the low-mid tiers.
+        let tier_idx = (rng.gen::<f64>().powf(1.6) * INSTALL_TIERS.len() as f64) as usize;
+        let installs = INSTALL_TIERS[tier_idx.min(INSTALL_TIERS.len() - 1)];
+        let popular = installs >= 1_000_000;
+
+        // Planted g8 anomaly: popular apps are almost always free, highly rated, and
+        // compatible with Android 4.x.
+        let is_free = if popular {
+            rng.gen::<f64>() < 0.97
+        } else {
+            rng.gen::<f64>() < 0.88
+        };
+        let price = if is_free {
+            0.0
+        } else {
+            // Skewed paid price: mostly under $10 with rare expensive outliers (g4).
+            let base: f64 = rng.gen::<f64>();
+            if base < 0.9 {
+                (rng.gen_range(99..999) as f64) / 100.0
+            } else if base < 0.99 {
+                (rng.gen_range(1000..3000) as f64) / 100.0
+            } else {
+                399.99
+            }
+        };
+        let rating = if popular {
+            4.2 + rng.gen::<f64>() * 0.7
+        } else {
+            3.0 + rng.gen::<f64>() * 1.8
+        };
+        let rating = (rating * 10.0).round() / 10.0;
+        let reviews = ((installs as f64) * rng.gen_range(0.01..0.08)) as i64;
+        let app_size_kb = rng.gen_range(1_500..150_000_i64);
+        let android_version = if popular {
+            if rng.gen::<f64>() < 0.7 {
+                "4.0 and up"
+            } else {
+                "4.4 and up"
+            }
+        } else {
+            match rng.gen_range(0..5) {
+                0 => "4.0 and up",
+                1 => "4.4 and up",
+                2 => "5.0 and up",
+                3 => "6.0 and up",
+                _ => "7.0 and up",
+            }
+        };
+        let content_rating = crate::netflix::weighted(&mut rng, CONTENT_RATINGS);
+        data.push(vec![
+            Value::Int(i as i64 + 1),
+            Value::str(format!("App {}", i + 1)),
+            Value::str(category),
+            Value::float(rating),
+            Value::Int(reviews),
+            Value::Int(app_size_kb),
+            Value::Int(installs),
+            Value::str(if is_free { "Free" } else { "Paid" }),
+            Value::float(price),
+            Value::str(content_rating),
+            Value::str(android_version),
+        ]);
+    }
+    DataFrame::from_rows(&names, data).expect("playstore generator produces consistent rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::{CompareOp, Predicate};
+
+    #[test]
+    fn schema_and_row_count() {
+        let df = generate(1000, 1);
+        assert_eq!(df.num_rows(), 1000);
+        assert_eq!(df.num_columns(), 11);
+        assert!(df.schema().contains("installs"));
+        assert!(df.schema().contains("price"));
+    }
+
+    #[test]
+    fn most_apps_are_free_and_price_is_skewed() {
+        let df = generate(8000, 2);
+        let free = df
+            .filter(&Predicate::new("price", CompareOp::Eq, Value::Float(0.0)))
+            .unwrap();
+        assert!(free.num_rows() as f64 / df.num_rows() as f64 > 0.8);
+        let expensive = df
+            .filter(&Predicate::new("price", CompareOp::Gt, Value::Float(100.0)))
+            .unwrap();
+        assert!(expensive.num_rows() > 0);
+        assert!((expensive.num_rows() as f64) < df.num_rows() as f64 * 0.01);
+    }
+
+    #[test]
+    fn popular_apps_are_free_high_rated_android4() {
+        let df = generate(8000, 3);
+        let popular = df
+            .filter(&Predicate::new("installs", CompareOp::Ge, Value::Int(1_000_000)))
+            .unwrap();
+        assert!(popular.num_rows() > 200);
+        let free_share = popular
+            .filter(&Predicate::new("app_type", CompareOp::Eq, Value::str("Free")))
+            .unwrap()
+            .num_rows() as f64
+            / popular.num_rows() as f64;
+        assert!(free_share > 0.93);
+        let avg_rating = popular.column("rating").unwrap().mean().unwrap();
+        let overall_rating = df.column("rating").unwrap().mean().unwrap();
+        assert!(avg_rating > overall_rating + 0.2);
+        let android4 = popular
+            .filter(&Predicate::new(
+                "android_version",
+                CompareOp::StartsWith,
+                Value::str("4"),
+            ))
+            .unwrap();
+        assert!(android4.num_rows() as f64 / popular.num_rows() as f64 > 0.8);
+    }
+
+    #[test]
+    fn install_tiers_are_bucketed() {
+        let df = generate(2000, 4);
+        for v in df.distinct_values("installs").unwrap() {
+            assert!(INSTALL_TIERS.contains(&v.as_i64().unwrap()));
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(300, 77);
+        let b = generate(300, 77);
+        assert_eq!(a.row(7), b.row(7));
+        assert_eq!(a.row(299), b.row(299));
+    }
+}

@@ -1,0 +1,179 @@
+//! Dataset registry: the three benchmark datasets behind one enum, with default scales
+//! and schema descriptions used by the specification-derivation prompts.
+
+use linx_dataframe::{DataFrame, Schema};
+
+/// The three benchmark datasets used in the LINX evaluation (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Netflix Movies and TV Shows.
+    Netflix,
+    /// Flight delays and cancellations.
+    Flights,
+    /// Google Play Store apps.
+    PlayStore,
+}
+
+impl DatasetKind {
+    /// All dataset kinds.
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Netflix,
+        DatasetKind::Flights,
+        DatasetKind::PlayStore,
+    ];
+
+    /// Human-readable name used in experiment output (matches the paper's labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Netflix => "Netflix",
+            DatasetKind::Flights => "Flights",
+            DatasetKind::PlayStore => "Play Store",
+        }
+    }
+
+    /// The default generated row count: scaled-down but statistically representative.
+    pub fn default_rows(&self) -> usize {
+        match self {
+            DatasetKind::Netflix => 8_800,
+            DatasetKind::Flights => 60_000,
+            DatasetKind::PlayStore => 10_000,
+        }
+    }
+
+    /// A small row count suitable for unit tests and fast CI runs.
+    pub fn small_rows(&self) -> usize {
+        match self {
+            DatasetKind::Netflix => 1_200,
+            DatasetKind::Flights => 3_000,
+            DatasetKind::PlayStore => 1_500,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scale configuration for dataset generation.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Number of rows to generate, or `None` for the dataset's default.
+    pub rows: Option<usize>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            rows: None,
+            seed: 0x11ac,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// A small-scale configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        ScaleConfig {
+            rows: Some(0), // resolved per dataset in `generate`
+            seed,
+        }
+        .mark_small()
+    }
+
+    fn mark_small(mut self) -> Self {
+        self.rows = None;
+        self.seed |= 1 << 63;
+        self
+    }
+
+    fn is_small(&self) -> bool {
+        self.seed & (1 << 63) != 0
+    }
+}
+
+/// Generate a dataset of the given kind at the configured scale.
+pub fn generate(kind: DatasetKind, config: ScaleConfig) -> DataFrame {
+    let rows = config.rows.unwrap_or_else(|| {
+        if config.is_small() {
+            kind.small_rows()
+        } else {
+            kind.default_rows()
+        }
+    });
+    let seed = config.seed & !(1 << 63);
+    match kind {
+        DatasetKind::Netflix => crate::netflix::generate(rows, seed),
+        DatasetKind::Flights => crate::flights::generate(rows, seed),
+        DatasetKind::PlayStore => crate::playstore::generate(rows, seed),
+    }
+}
+
+/// The schema of a dataset kind (generated from a tiny sample; cheap).
+pub fn schema_of(kind: DatasetKind) -> Schema {
+    generate(
+        kind,
+        ScaleConfig {
+            rows: Some(50),
+            seed: 1,
+        },
+    )
+    .schema()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_small_scales() {
+        let df = generate(DatasetKind::Netflix, ScaleConfig::small(3));
+        assert_eq!(df.num_rows(), DatasetKind::Netflix.small_rows());
+        let df = generate(
+            DatasetKind::PlayStore,
+            ScaleConfig {
+                rows: Some(123),
+                seed: 9,
+            },
+        );
+        assert_eq!(df.num_rows(), 123);
+    }
+
+    #[test]
+    fn schema_of_matches_generated_schema() {
+        for kind in DatasetKind::ALL {
+            let s = schema_of(kind);
+            let df = generate(
+                kind,
+                ScaleConfig {
+                    rows: Some(30),
+                    seed: 2,
+                },
+            );
+            assert_eq!(s.names(), df.schema().names());
+        }
+    }
+
+    #[test]
+    fn names_are_paper_labels() {
+        assert_eq!(DatasetKind::Netflix.name(), "Netflix");
+        assert_eq!(DatasetKind::Flights.to_string(), "Flights");
+        assert_eq!(DatasetKind::PlayStore.name(), "Play Store");
+    }
+
+    #[test]
+    fn small_seed_flag_does_not_leak_into_generator() {
+        let a = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(100), seed: 5 });
+        let b = generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(100),
+                seed: 5 | (1 << 63),
+            },
+        );
+        assert_eq!(a.row(10), b.row(10));
+    }
+}

@@ -1,0 +1,244 @@
+//! Column storage.
+//!
+//! A [`Column`] is a named vector of [`Value`]s plus an inferred [`DataType`]. Columns
+//! are the unit of storage inside a [`crate::DataFrame`]; filter and group-by operations
+//! materialize new columns by gathering row indices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{DataType, Field};
+use crate::value::Value;
+
+/// A named, typed vector of values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    dtype: DataType,
+    values: Vec<Value>,
+}
+
+impl Column {
+    /// Create a column from values, inferring the dominant data type.
+    ///
+    /// Values whose type disagrees with the dominant type are kept as-is (the dataframe
+    /// is permissive, like Pandas object columns); nulls do not influence inference.
+    /// An all-null column defaults to [`DataType::Str`].
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
+        let dtype = infer_dtype(&values);
+        Column {
+            name: name.into(),
+            dtype,
+            values,
+        }
+    }
+
+    /// Create a column with an explicit data type (no inference).
+    pub fn with_dtype(name: impl Into<String>, dtype: DataType, values: Vec<Value>) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            values,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column data type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// The field (name + dtype) describing this column.
+    pub fn field(&self) -> Field {
+        Field::new(self.name.clone(), self.dtype)
+    }
+
+    /// Number of values (rows).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a row index.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Number of null values.
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_null()).count()
+    }
+
+    /// Number of distinct non-null values.
+    pub fn n_unique(&self) -> usize {
+        use std::collections::HashSet;
+        self.values
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.group_key())
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    /// Gather a subset of rows into a new column (preserving the declared dtype).
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        let values = indices
+            .iter()
+            .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        Column {
+            name: self.name.clone(),
+            dtype: self.dtype,
+            values,
+        }
+    }
+
+    /// Sum of the numeric values, ignoring nulls and non-numeric cells.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().filter_map(|v| v.as_f64()).sum()
+    }
+
+    /// Mean of the numeric values, or `None` if there are none.
+    pub fn mean(&self) -> Option<f64> {
+        let nums: Vec<f64> = self.values.iter().filter_map(|v| v.as_f64()).collect();
+        if nums.is_empty() {
+            None
+        } else {
+            Some(nums.iter().sum::<f64>() / nums.len() as f64)
+        }
+    }
+
+    /// Minimum value (by total order), ignoring nulls.
+    pub fn min(&self) -> Option<&Value> {
+        self.values.iter().filter(|v| !v.is_null()).min()
+    }
+
+    /// Maximum value (by total order), ignoring nulls.
+    pub fn max(&self) -> Option<&Value> {
+        self.values.iter().filter(|v| !v.is_null()).max()
+    }
+
+    /// Append a value (used by builders; dtype is not re-inferred).
+    pub fn push(&mut self, value: Value) {
+        self.values.push(value);
+    }
+}
+
+/// Infer a column type from values: the most common non-null type wins; ties break in
+/// favour of the more general type (Float > Int, Str > everything).
+fn infer_dtype(values: &[Value]) -> DataType {
+    let mut counts = [0usize; 4]; // Int, Float, Str, Bool
+    for v in values {
+        match v {
+            Value::Int(_) => counts[0] += 1,
+            Value::Float(_) => counts[1] += 1,
+            Value::Str(_) => counts[2] += 1,
+            Value::Bool(_) => counts[3] += 1,
+            Value::Null => {}
+        }
+    }
+    // If any strings exist alongside other types, treat as Str (mixed/object column).
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return DataType::Str;
+    }
+    if counts[2] > 0 && counts[2] * 2 >= total {
+        return DataType::Str;
+    }
+    // Numeric columns with any float become Float.
+    if counts[1] > 0 && counts[2] == 0 && counts[3] == 0 {
+        return DataType::Float;
+    }
+    let max_idx = (0..4).max_by_key(|&i| counts[i]).unwrap();
+    match max_idx {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        _ => DataType::Bool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_inference_prefers_dominant_type() {
+        let c = Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Null]);
+        assert_eq!(c.dtype(), DataType::Int);
+        let c = Column::new("b", vec![Value::Int(1), Value::Float(2.5)]);
+        assert_eq!(c.dtype(), DataType::Float);
+        let c = Column::new("c", vec![Value::str("x"), Value::str("y"), Value::Int(1)]);
+        assert_eq!(c.dtype(), DataType::Str);
+        let c = Column::new("d", vec![Value::Null, Value::Null]);
+        assert_eq!(c.dtype(), DataType::Str);
+        let c = Column::new("e", vec![Value::Bool(true), Value::Bool(false)]);
+        assert_eq!(c.dtype(), DataType::Bool);
+    }
+
+    #[test]
+    fn gather_preserves_name_and_dtype() {
+        let c = Column::new("a", vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
+        let g = c.gather(&[2, 0]);
+        assert_eq!(g.name(), "a");
+        assert_eq!(g.dtype(), DataType::Int);
+        assert_eq!(g.values(), &[Value::Int(30), Value::Int(10)]);
+    }
+
+    #[test]
+    fn gather_out_of_range_yields_null() {
+        let c = Column::new("a", vec![Value::Int(1)]);
+        let g = c.gather(&[0, 5]);
+        assert_eq!(g.values(), &[Value::Int(1), Value::Null]);
+    }
+
+    #[test]
+    fn aggregates_ignore_nulls() {
+        let c = Column::new(
+            "a",
+            vec![Value::Int(1), Value::Null, Value::Int(3), Value::Float(2.0)],
+        );
+        assert_eq!(c.sum(), 6.0);
+        assert_eq!(c.mean(), Some(2.0));
+        assert_eq!(c.min(), Some(&Value::Int(1)));
+        assert_eq!(c.max(), Some(&Value::Int(3)));
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.n_unique(), 3);
+    }
+
+    #[test]
+    fn empty_column_aggregates() {
+        let c = Column::new("a", vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.sum(), 0.0);
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.min(), None);
+        assert_eq!(c.max(), None);
+    }
+
+    #[test]
+    fn n_unique_counts_distinct_non_null() {
+        let c = Column::new(
+            "a",
+            vec![
+                Value::str("x"),
+                Value::str("x"),
+                Value::str("y"),
+                Value::Null,
+            ],
+        );
+        assert_eq!(c.n_unique(), 2);
+    }
+}

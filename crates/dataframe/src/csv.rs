@@ -1,0 +1,269 @@
+//! Minimal CSV / TSV reader and writer.
+//!
+//! The LINX benchmark datasets are Kaggle CSV exports; this module lets the reproduction
+//! load real exports when present, and write generated synthetic datasets to disk for
+//! inspection. It supports RFC-4180-style quoting (double quotes, embedded delimiters,
+//! doubled quote escapes) which is sufficient for those files.
+
+use std::fs;
+use std::path::Path;
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field delimiter (`,` for CSV, `\t` for TSV).
+    pub delimiter: char,
+    /// Whether the first record is a header row.
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+        }
+    }
+}
+
+/// Parse CSV text into a dataframe, inferring column types.
+pub fn parse_csv(text: &str, options: CsvOptions) -> Result<DataFrame> {
+    let records = split_records(text, options.delimiter)?;
+    if records.is_empty() {
+        return Ok(DataFrame::empty());
+    }
+    let (header, data): (Vec<String>, &[Vec<String>]) = if options.has_header {
+        (records[0].clone(), &records[1..])
+    } else {
+        let width = records[0].len();
+        ((0..width).map(|i| format!("col{i}")).collect(), &records[..])
+    };
+    let width = header.len();
+    let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(data.len()); width];
+    for (line_no, rec) in data.iter().enumerate() {
+        if rec.len() != width {
+            return Err(DataFrameError::Csv(format!(
+                "record {} has {} fields, expected {}",
+                line_no + 1,
+                rec.len(),
+                width
+            )));
+        }
+        for (i, field) in rec.iter().enumerate() {
+            columns[i].push(Value::parse_infer(field));
+        }
+    }
+    DataFrame::new(
+        header
+            .into_iter()
+            .zip(columns)
+            .map(|(name, vals)| Column::new(name, vals))
+            .collect(),
+    )
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv(path: impl AsRef<Path>, options: CsvOptions) -> Result<DataFrame> {
+    let text = fs::read_to_string(path.as_ref())
+        .map_err(|e| DataFrameError::Csv(format!("{}: {e}", path.as_ref().display())))?;
+    parse_csv(&text, options)
+}
+
+/// Serialize a dataframe to CSV text.
+pub fn to_csv(df: &DataFrame, delimiter: char) -> String {
+    let mut out = String::new();
+    let names = df.column_names();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| quote_field(n, delimiter))
+            .collect::<Vec<_>>()
+            .join(&delimiter.to_string()),
+    );
+    out.push('\n');
+    for i in 0..df.num_rows() {
+        let row: Vec<String> = df
+            .row(i)
+            .iter()
+            .map(|v| quote_field(&v.to_string(), delimiter))
+            .collect();
+        out.push_str(&row.join(&delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataframe to a CSV file on disk.
+pub fn write_csv(df: &DataFrame, path: impl AsRef<Path>, delimiter: char) -> Result<()> {
+    fs::write(path.as_ref(), to_csv(df, delimiter))
+        .map_err(|e| DataFrameError::Csv(format!("{}: {e}", path.as_ref().display())))
+}
+
+fn quote_field(field: &str, delimiter: char) -> String {
+    if field.contains(delimiter) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split raw CSV text into records of string fields, honouring quotes.
+fn split_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        field.push(c);
+                    }
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    if !(record.len() == 1 && record[0].is_empty()) {
+                        records.push(std::mem::take(&mut record));
+                    } else {
+                        record.clear();
+                    }
+                }
+                c if c == delimiter => record.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataFrameError::Csv("unterminated quoted field".to_string()));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn parse_simple_csv_with_type_inference() {
+        let text = "name,age,score\nalice,30,4.5\nbob,25,3.9\n";
+        let df = parse_csv(text, CsvOptions::default()).unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.column_names(), vec!["name", "age", "score"]);
+        assert_eq!(df.column("age").unwrap().dtype(), DataType::Int);
+        assert_eq!(df.column("score").unwrap().dtype(), DataType::Float);
+        assert_eq!(df.value(0, "name").unwrap(), &Value::str("alice"));
+    }
+
+    #[test]
+    fn parse_quoted_fields_and_embedded_delimiters() {
+        let text = "title,country\n\"Love, Actually\",\"UK\"\n\"He said \"\"hi\"\"\",US\n";
+        let df = parse_csv(text, CsvOptions::default()).unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.value(0, "title").unwrap(), &Value::str("Love, Actually"));
+        assert_eq!(df.value(1, "title").unwrap(), &Value::str("He said \"hi\""));
+    }
+
+    #[test]
+    fn parse_tsv_and_headerless() {
+        let text = "1\tx\n2\ty\n";
+        let df = parse_csv(
+            text,
+            CsvOptions {
+                delimiter: '\t',
+                has_header: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(df.column_names(), vec!["col0", "col1"]);
+        assert_eq!(df.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_record_is_an_error() {
+        let text = "a,b\n1,2\n3\n";
+        assert!(matches!(
+            parse_csv(text, CsvOptions::default()),
+            Err(DataFrameError::Csv(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let text = "a,b\n\"oops,2\n";
+        assert!(parse_csv(text, CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let text = "a,b\n1,\n,2\n";
+        let df = parse_csv(text, CsvOptions::default()).unwrap();
+        assert!(df.value(0, "b").unwrap().is_null());
+        assert!(df.value(1, "a").unwrap().is_null());
+    }
+
+    #[test]
+    fn round_trip_through_to_csv() {
+        let text = "name,age\n\"a,b\",3\nplain,4\n";
+        let df = parse_csv(text, CsvOptions::default()).unwrap();
+        let serialized = to_csv(&df, ',');
+        let df2 = parse_csv(&serialized, CsvOptions::default()).unwrap();
+        assert_eq!(df2.num_rows(), df.num_rows());
+        assert_eq!(df2.value(0, "name").unwrap(), &Value::str("a,b"));
+        assert_eq!(df2.value(1, "age").unwrap(), &Value::Int(4));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("linx_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let df = DataFrame::from_rows(
+            &["x", "y"],
+            vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Int(2), Value::str("b")],
+            ],
+        )
+        .unwrap();
+        write_csv(&df, &path, ',').unwrap();
+        let back = read_csv(&path, CsvOptions::default()).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.value(1, "y").unwrap(), &Value::str("b"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_text_gives_empty_frame() {
+        let df = parse_csv("", CsvOptions::default()).unwrap();
+        assert_eq!(df.num_rows(), 0);
+        assert_eq!(df.num_columns(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the dataframe engine.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataFrameError>;
+
+/// Errors produced by dataframe construction and query operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataFrameError {
+    /// A referenced column does not exist.
+    ColumnNotFound(String),
+    /// Two columns share the same name.
+    DuplicateColumn(String),
+    /// Columns have mismatched lengths.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Observed number of rows.
+        found: usize,
+        /// The offending column.
+        column: String,
+    },
+    /// An operation required a numeric column but got a non-numeric one.
+    NotNumeric(String),
+    /// A row had the wrong number of cells.
+    RowArity {
+        /// Expected number of cells.
+        expected: usize,
+        /// Observed number of cells.
+        found: usize,
+    },
+    /// CSV parsing failed.
+    Csv(String),
+    /// An aggregation or operation was invalid for another reason.
+    Invalid(String),
+}
+
+impl fmt::Display for DataFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataFrameError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            DataFrameError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+            DataFrameError::LengthMismatch {
+                expected,
+                found,
+                column,
+            } => write!(
+                f,
+                "column {column} has {found} rows, expected {expected}"
+            ),
+            DataFrameError::NotNumeric(c) => write!(f, "column {c} is not numeric"),
+            DataFrameError::RowArity { expected, found } => {
+                write!(f, "row has {found} cells, expected {expected}")
+            }
+            DataFrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            DataFrameError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataFrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(
+            DataFrameError::ColumnNotFound("x".into()).to_string(),
+            "column not found: x"
+        );
+        assert!(DataFrameError::LengthMismatch {
+            expected: 3,
+            found: 2,
+            column: "c".into()
+        }
+        .to_string()
+        .contains("expected 3"));
+        assert!(DataFrameError::Csv("bad quote".into())
+            .to_string()
+            .contains("bad quote"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Filter predicates.
+//!
+//! A LINX filter operation is `[F, attr, op, term]` (paper §3). The comparison
+//! operators supported here match the set used by ATENA/LINX: equality, inequality,
+//! ordering comparisons, and substring containment.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Comparison operators usable in filter operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `attr == term`
+    Eq,
+    /// `attr != term`
+    Neq,
+    /// `attr > term`
+    Gt,
+    /// `attr >= term`
+    Ge,
+    /// `attr < term`
+    Lt,
+    /// `attr <= term`
+    Le,
+    /// `term` is a substring of `attr` (string columns).
+    Contains,
+    /// `attr` starts with `term` (string columns).
+    StartsWith,
+}
+
+impl CompareOp {
+    /// All operators, in a canonical order (used to enumerate the CDRL action space).
+    pub const ALL: [CompareOp; 8] = [
+        CompareOp::Eq,
+        CompareOp::Neq,
+        CompareOp::Gt,
+        CompareOp::Ge,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Contains,
+        CompareOp::StartsWith,
+    ];
+
+    /// The canonical token used in LDX specifications (e.g. `eq`, `neq`, `contains`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "eq",
+            CompareOp::Neq => "neq",
+            CompareOp::Gt => "gt",
+            CompareOp::Ge => "ge",
+            CompareOp::Lt => "lt",
+            CompareOp::Le => "le",
+            CompareOp::Contains => "contains",
+            CompareOp::StartsWith => "startswith",
+        }
+    }
+
+    /// Parse an operator token (accepts LDX tokens plus common symbols like `=`, `!=`).
+    pub fn parse(token: &str) -> Option<CompareOp> {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "eq" | "=" | "==" => Some(CompareOp::Eq),
+            "neq" | "ne" | "!=" | "<>" => Some(CompareOp::Neq),
+            "gt" | ">" => Some(CompareOp::Gt),
+            "ge" | "gte" | ">=" => Some(CompareOp::Ge),
+            "lt" | "<" => Some(CompareOp::Lt),
+            "le" | "lte" | "<=" => Some(CompareOp::Le),
+            "contains" | "in" => Some(CompareOp::Contains),
+            "startswith" | "starts_with" | "prefix" => Some(CompareOp::StartsWith),
+            _ => None,
+        }
+    }
+
+    /// Evaluate `lhs op rhs`. Null values never satisfy a predicate except `Neq`, which
+    /// follows the intuitive "not equal" semantics (null != term is true when term is
+    /// non-null), matching Pandas' `!=` on object columns under the LINX usage.
+    pub fn eval(&self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CompareOp::Eq => lhs.semantic_eq(rhs),
+            CompareOp::Neq => !lhs.semantic_eq(rhs),
+            CompareOp::Gt | CompareOp::Ge | CompareOp::Lt | CompareOp::Le => {
+                if lhs.is_null() || rhs.is_null() {
+                    return false;
+                }
+                // Numeric comparison when both sides are numeric, lexicographic otherwise.
+                let ord = match (lhs.as_f64(), rhs.as_f64()) {
+                    (Some(a), Some(b)) => a.partial_cmp(&b),
+                    _ => match (lhs.as_str(), rhs.as_str()) {
+                        (Some(a), Some(b)) => Some(a.cmp(b)),
+                        _ => None,
+                    },
+                };
+                match (self, ord) {
+                    (CompareOp::Gt, Some(o)) => o.is_gt(),
+                    (CompareOp::Ge, Some(o)) => o.is_ge(),
+                    (CompareOp::Lt, Some(o)) => o.is_lt(),
+                    (CompareOp::Le, Some(o)) => o.is_le(),
+                    _ => false,
+                }
+            }
+            CompareOp::Contains => match (lhs.as_str(), rhs.as_str()) {
+                (Some(a), Some(b)) => a.to_ascii_lowercase().contains(&b.to_ascii_lowercase()),
+                _ => false,
+            },
+            CompareOp::StartsWith => match (lhs.as_str(), rhs.as_str()) {
+                (Some(a), Some(b)) => a.to_ascii_lowercase().starts_with(&b.to_ascii_lowercase()),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A complete filter predicate: `attr op term`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The attribute (column) to test.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// The filter term.
+    pub term: Value,
+}
+
+impl Predicate {
+    /// Create a predicate.
+    pub fn new(attr: impl Into<String>, op: CompareOp, term: Value) -> Self {
+        Predicate {
+            attr: attr.into(),
+            op,
+            term,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_and_neq_semantics() {
+        assert!(CompareOp::Eq.eval(&Value::str("India"), &Value::str("India")));
+        assert!(!CompareOp::Eq.eval(&Value::str("India"), &Value::str("US")));
+        assert!(CompareOp::Neq.eval(&Value::str("India"), &Value::str("US")));
+        assert!(CompareOp::Eq.eval(&Value::Int(3), &Value::Float(3.0)));
+        assert!(!CompareOp::Eq.eval(&Value::Null, &Value::Int(0)));
+        assert!(CompareOp::Neq.eval(&Value::Null, &Value::Int(0)));
+    }
+
+    #[test]
+    fn ordering_comparisons_numeric_and_string() {
+        assert!(CompareOp::Gt.eval(&Value::Int(5), &Value::Int(3)));
+        assert!(CompareOp::Ge.eval(&Value::Float(3.0), &Value::Int(3)));
+        assert!(CompareOp::Lt.eval(&Value::Int(1), &Value::Float(1.5)));
+        assert!(CompareOp::Le.eval(&Value::Int(2), &Value::Int(2)));
+        assert!(CompareOp::Gt.eval(&Value::str("b"), &Value::str("a")));
+        assert!(!CompareOp::Gt.eval(&Value::Null, &Value::Int(1)));
+        // Mixed string/number comparisons are false rather than panicking.
+        assert!(!CompareOp::Lt.eval(&Value::str("x"), &Value::Int(1)));
+    }
+
+    #[test]
+    fn contains_and_startswith_case_insensitive() {
+        assert!(CompareOp::Contains.eval(&Value::str("United States"), &Value::str("states")));
+        assert!(!CompareOp::Contains.eval(&Value::str("India"), &Value::str("pak")));
+        assert!(CompareOp::StartsWith.eval(&Value::str("TV-MA"), &Value::str("tv")));
+        assert!(!CompareOp::StartsWith.eval(&Value::Int(5), &Value::str("5")));
+    }
+
+    #[test]
+    fn parse_accepts_symbols_and_tokens() {
+        assert_eq!(CompareOp::parse("="), Some(CompareOp::Eq));
+        assert_eq!(CompareOp::parse("!="), Some(CompareOp::Neq));
+        assert_eq!(CompareOp::parse(">="), Some(CompareOp::Ge));
+        assert_eq!(CompareOp::parse("CONTAINS"), Some(CompareOp::Contains));
+        assert_eq!(CompareOp::parse("bogus"), None);
+        for op in CompareOp::ALL {
+            assert_eq!(CompareOp::parse(op.token()), Some(op));
+        }
+    }
+
+    #[test]
+    fn predicate_display() {
+        let p = Predicate::new("country", CompareOp::Neq, Value::str("India"));
+        assert_eq!(p.to_string(), "country neq India");
+    }
+}

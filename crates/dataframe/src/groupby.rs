@@ -1,0 +1,228 @@
+//! Group-and-aggregate operations.
+//!
+//! A LINX group-and-aggregate operation is `[G, g_attr, agg_func, agg_attr]` (paper §3):
+//! group the input view on `g_attr` and aggregate `agg_attr` using `agg_func`. The
+//! result is a two-column table `(g_attr, agg_func(agg_attr))`, matching the Pandas
+//! `df.groupby(g_attr).agg({agg_attr: agg_func})` shape LINX's notebook cells display.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Aggregation functions supported by the engine (the set used by LINX / ATENA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Count of (non-null-group) rows.
+    Count,
+    /// Sum of the aggregation attribute.
+    Sum,
+    /// Mean of the aggregation attribute.
+    Avg,
+    /// Minimum of the aggregation attribute.
+    Min,
+    /// Maximum of the aggregation attribute.
+    Max,
+    /// Number of distinct values of the aggregation attribute.
+    CountDistinct,
+}
+
+impl AggFunc {
+    /// All functions in canonical order (used to enumerate the CDRL action space).
+    pub const ALL: [AggFunc; 6] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::CountDistinct,
+    ];
+
+    /// Canonical LDX token (e.g. `count`, `sum`, `avg`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::CountDistinct => "nunique",
+        }
+    }
+
+    /// Parse a token (accepts a few aliases, e.g. `mean` for `avg`, `cnt` for `count`).
+    pub fn parse(token: &str) -> Option<AggFunc> {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "count" | "cnt" | "size" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" | "mean" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "nunique" | "count_distinct" | "distinct" => Some(AggFunc::CountDistinct),
+            _ => None,
+        }
+    }
+
+    /// Whether this function requires a numeric aggregation attribute.
+    pub fn requires_numeric(&self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Avg)
+    }
+
+    /// Apply the aggregation to a set of values (one group).
+    pub fn apply(&self, values: &[&Value]) -> Value {
+        match self {
+            AggFunc::Count => Value::Int(values.len() as i64),
+            AggFunc::Sum => Value::float(values.iter().filter_map(|v| v.as_f64()).sum()),
+            AggFunc::Avg => {
+                let nums: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            AggFunc::Min => values
+                .iter()
+                .filter(|v| !v.is_null())
+                .min()
+                .map(|v| (*v).clone())
+                .unwrap_or(Value::Null),
+            AggFunc::Max => values
+                .iter()
+                .filter(|v| !v.is_null())
+                .max()
+                .map(|v| (*v).clone())
+                .unwrap_or(Value::Null),
+            AggFunc::CountDistinct => {
+                use std::collections::HashSet;
+                let set: HashSet<String> = values
+                    .iter()
+                    .filter(|v| !v.is_null())
+                    .map(|v| v.group_key())
+                    .collect();
+                Value::Int(set.len() as i64)
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// The raw grouping result before materializing into a dataframe: ordered group keys and
+/// the row indices in each group. Groups preserve first-occurrence order so aggregations
+/// are deterministic.
+#[derive(Debug, Clone)]
+pub struct Groups {
+    /// Representative key value per group (the group-by attribute value).
+    pub keys: Vec<Value>,
+    /// Row indices of each group, parallel to `keys`.
+    pub indices: Vec<Vec<usize>>,
+}
+
+impl Groups {
+    /// Build groups from a column of key values.
+    pub fn from_values(values: &[Value]) -> Groups {
+        let mut map: HashMap<String, usize> = HashMap::new();
+        let mut keys = Vec::new();
+        let mut indices: Vec<Vec<usize>> = Vec::new();
+        for (row, v) in values.iter().enumerate() {
+            let key = v.group_key();
+            let gid = *map.entry(key).or_insert_with(|| {
+                keys.push(v.clone());
+                indices.push(Vec::new());
+                keys.len() - 1
+            });
+            indices[gid].push(row);
+        }
+        Groups { keys, indices }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Sizes of each group.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.indices.iter().map(|g| g.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_preserve_first_occurrence_order() {
+        let vals = vec![
+            Value::str("b"),
+            Value::str("a"),
+            Value::str("b"),
+            Value::str("c"),
+            Value::str("a"),
+        ];
+        let g = Groups::from_values(&vals);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.keys, vec![Value::str("b"), Value::str("a"), Value::str("c")]);
+        assert_eq!(g.indices, vec![vec![0, 2], vec![1, 4], vec![3]]);
+        assert_eq!(g.sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn null_is_its_own_group() {
+        let vals = vec![Value::Null, Value::str("a"), Value::Null];
+        let g = Groups::from_values(&vals);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.indices[0], vec![0, 2]);
+    }
+
+    #[test]
+    fn agg_count_and_sum() {
+        let vals = [Value::Int(2), Value::Int(3), Value::Null];
+        let refs: Vec<&Value> = vals.iter().collect();
+        assert_eq!(AggFunc::Count.apply(&refs), Value::Int(3));
+        assert_eq!(AggFunc::Sum.apply(&refs), Value::Float(5.0));
+        assert_eq!(AggFunc::Avg.apply(&refs), Value::Float(2.5));
+        assert_eq!(AggFunc::Min.apply(&refs), Value::Int(2));
+        assert_eq!(AggFunc::Max.apply(&refs), Value::Int(3));
+        assert_eq!(AggFunc::CountDistinct.apply(&refs), Value::Int(2));
+    }
+
+    #[test]
+    fn agg_on_empty_group() {
+        let refs: Vec<&Value> = vec![];
+        assert_eq!(AggFunc::Count.apply(&refs), Value::Int(0));
+        assert_eq!(AggFunc::Avg.apply(&refs), Value::Null);
+        assert_eq!(AggFunc::Min.apply(&refs), Value::Null);
+    }
+
+    #[test]
+    fn parse_tokens_and_aliases() {
+        assert_eq!(AggFunc::parse("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("mean"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("nunique"), Some(AggFunc::CountDistinct));
+        assert_eq!(AggFunc::parse("median"), None);
+        for f in AggFunc::ALL {
+            assert_eq!(AggFunc::parse(f.token()), Some(f));
+        }
+    }
+
+    #[test]
+    fn requires_numeric_flags() {
+        assert!(AggFunc::Sum.requires_numeric());
+        assert!(AggFunc::Avg.requires_numeric());
+        assert!(!AggFunc::Count.requires_numeric());
+        assert!(!AggFunc::Max.requires_numeric());
+    }
+}

@@ -1,0 +1,68 @@
+//! `linx-dataframe` — the in-memory columnar table engine underpinning the LINX
+//! reproduction.
+//!
+//! The LINX paper (EDBT 2025) executes exploration sessions composed of two parametric
+//! query operation types over a tabular dataset:
+//!
+//! * **Filter** — `[F, attr, op, term]`: keep the rows of the input view whose value in
+//!   `attr` satisfies `op term`.
+//! * **Group-and-Aggregate** — `[G, g_attr, agg_func, agg_attr]`: group the input view on
+//!   `g_attr` and aggregate `agg_attr` with `agg_func`.
+//!
+//! The original system uses Python Pandas; this crate provides an equivalent, dependency
+//! free substrate with exactly the semantics the LINX reward functions need:
+//!
+//! * typed columns ([`Column`]) with null support,
+//! * a [`DataFrame`] holding named columns of equal length,
+//! * filter predicates ([`filter::Predicate`], [`filter::CompareOp`]),
+//! * hash group-by with the aggregation functions used by the paper
+//!   ([`groupby::AggFunc`]),
+//! * value histograms, entropy, and KL-divergence helpers ([`stats`]) used by the
+//!   generic exploration reward, and
+//! * a small CSV reader/writer ([`csv`]) so real Kaggle exports can be loaded when
+//!   available.
+//!
+//! # Example
+//!
+//! ```
+//! use linx_dataframe::{DataFrame, Value};
+//! use linx_dataframe::filter::{CompareOp, Predicate};
+//! use linx_dataframe::groupby::AggFunc;
+//!
+//! let df = DataFrame::from_rows(
+//!     &["country", "type", "duration"],
+//!     vec![
+//!         vec![Value::str("India"), Value::str("Movie"), Value::Int(120)],
+//!         vec![Value::str("India"), Value::str("Movie"), Value::Int(95)],
+//!         vec![Value::str("US"), Value::str("TV Show"), Value::Int(45)],
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let india = df
+//!     .filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
+//!     .unwrap();
+//! assert_eq!(india.num_rows(), 2);
+//!
+//! let agg = india.group_by("type", AggFunc::Count, "duration").unwrap();
+//! assert_eq!(agg.num_rows(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod filter;
+pub mod frame;
+pub mod groupby;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use column::Column;
+pub use error::{DataFrameError, Result};
+pub use frame::DataFrame;
+pub use schema::{DataType, Field, Schema};
+pub use value::Value;

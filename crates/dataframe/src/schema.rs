@@ -1,0 +1,211 @@
+//! Schema metadata: field names, data types, and schema descriptions.
+//!
+//! LINX's specification-derivation component (`linx-nl2ldx`) performs *schema linking* —
+//! matching goal tokens against attribute names — so the schema carries both the raw
+//! field list and helper lookups.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataFrameError, Result};
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// UTF-8 strings (categorical or free text).
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl DataType {
+    /// Whether the type is numeric (usable as an aggregation target for SUM/AVG).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// A short lowercase name for display and prompt construction.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single named, typed column description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Create a new field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s describing a table.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from fields. Field names must be unique.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(DataFrameError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Whether the schema contains a column with the given name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Names of the numeric columns (candidate aggregation targets).
+    pub fn numeric_columns(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.dtype.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of the categorical (string / bool) columns (candidate group-by keys).
+    pub fn categorical_columns(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| !f.dtype.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// A one-line textual description, e.g. `"country:str, duration:int"`, used when
+    /// constructing the (simulated) LLM prompt context.
+    pub fn describe(&self) -> String {
+        self.fields
+            .iter()
+            .map(|f| format!("{}:{}", f.name, f.dtype))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("country", DataType::Str),
+            Field::new("duration", DataType::Int),
+            Field::new("rating", DataType::Float),
+            Field::new("is_movie", DataType::Bool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_column_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DataFrameError::DuplicateColumn(n) if n == "a"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = sample();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("rating"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.contains("country"));
+        assert_eq!(s.field("duration").unwrap().dtype, DataType::Int);
+    }
+
+    #[test]
+    fn numeric_and_categorical_partitions() {
+        let s = sample();
+        assert_eq!(s.numeric_columns(), vec!["duration", "rating"]);
+        assert_eq!(s.categorical_columns(), vec!["country", "is_movie"]);
+    }
+
+    #[test]
+    fn describe_lists_fields_in_order() {
+        assert_eq!(
+            sample().describe(),
+            "country:str, duration:int, rating:float, is_movie:bool"
+        );
+    }
+
+    #[test]
+    fn datatype_properties() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert_eq!(DataType::Bool.to_string(), "bool");
+    }
+}

@@ -1,0 +1,317 @@
+//! Scalar cell values.
+//!
+//! A [`Value`] is a single cell in a [`crate::DataFrame`]. LINX query operations compare
+//! values (filter terms) and aggregate them (group-and-aggregate), so the type supports
+//! total ordering, hashing of a canonical key, numeric coercion, and display formatting.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::DataType;
+
+/// A single scalar cell value.
+///
+/// `Float` values are compared via a total order (`f64::total_cmp`) so that `Value` can
+/// be sorted and used as a group-by key deterministically. NaN floats are normalized to
+/// `Null` at construction time by [`Value::float`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (never NaN when constructed through [`Value::float`]).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Construct a float value, normalizing NaN to [`Value::Null`].
+    pub fn float(f: f64) -> Self {
+        if f.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(f)
+        }
+    }
+
+    /// Whether this value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The [`DataType`] of this value, or `None` for nulls.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Interpret the value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an integer if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// A canonical, hashable grouping key for this value.
+    ///
+    /// Group-by uses string keys so heterogeneous columns still group deterministically;
+    /// floats are rendered with enough precision to round-trip.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Int(i) => format!("i:{i}"),
+            Value::Float(f) => format!("f:{f:?}"),
+            Value::Str(s) => format!("s:{s}"),
+            Value::Bool(b) => format!("b:{b}"),
+        }
+    }
+
+    /// Compare two values with a total order usable for sorting mixed columns.
+    ///
+    /// Ordering across types: Null < Bool < numeric (Int/Float unified) < Str.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let fa = a.as_f64().unwrap_or(f64::NEG_INFINITY);
+                let fb = b.as_f64().unwrap_or(f64::NEG_INFINITY);
+                fa.total_cmp(&fb)
+            }
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Semantic equality used by filter predicates: numeric values compare by value
+    /// (so `Int(3) == Float(3.0)`), strings compare case-sensitively, null equals only
+    /// null.
+    pub fn semantic_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+
+    /// Parse a raw textual token into the "most specific" value type.
+    ///
+    /// Empty strings and the literals `null`, `NULL`, `NaN`, `nan` become [`Value::Null`].
+    pub fn parse_infer(token: &str) -> Value {
+        let t = token.trim();
+        if t.is_empty() || t.eq_ignore_ascii_case("null") || t.eq_ignore_ascii_case("nan") {
+            return Value::Null;
+        }
+        if t.eq_ignore_ascii_case("true") {
+            return Value::Bool(true);
+        }
+        if t.eq_ignore_ascii_case("false") {
+            return Value::Bool(false);
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            return Value::float(f);
+        }
+        Value::Str(t.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_infer_covers_all_types() {
+        assert_eq!(Value::parse_infer("42"), Value::Int(42));
+        assert_eq!(Value::parse_infer("-3"), Value::Int(-3));
+        assert_eq!(Value::parse_infer("3.5"), Value::Float(3.5));
+        assert_eq!(Value::parse_infer("true"), Value::Bool(true));
+        assert_eq!(Value::parse_infer("FALSE"), Value::Bool(false));
+        assert_eq!(Value::parse_infer("hello"), Value::str("hello"));
+        assert!(Value::parse_infer("").is_null());
+        assert!(Value::parse_infer("null").is_null());
+        assert!(Value::parse_infer("NaN").is_null());
+    }
+
+    #[test]
+    fn float_nan_becomes_null() {
+        assert!(Value::float(f64::NAN).is_null());
+        assert_eq!(Value::float(2.5), Value::Float(2.5));
+    }
+
+    #[test]
+    fn semantic_eq_coerces_numeric() {
+        assert!(Value::Int(3).semantic_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).semantic_eq(&Value::Float(3.5)));
+        assert!(Value::Null.semantic_eq(&Value::Null));
+        assert!(!Value::Null.semantic_eq(&Value::Int(0)));
+        assert!(Value::str("a").semantic_eq(&Value::str("a")));
+        assert!(!Value::str("a").semantic_eq(&Value::str("A")));
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        let mut vals = vec![
+            Value::str("zebra"),
+            Value::Int(5),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::str("apple"),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Float(2.5),
+                Value::Int(5),
+                Value::str("apple"),
+                Value::str("zebra"),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_keys_distinguish_types() {
+        assert_ne!(Value::Int(1).group_key(), Value::str("1").group_key());
+        assert_ne!(Value::Bool(true).group_key(), Value::Int(1).group_key());
+        assert_eq!(Value::Int(7).group_key(), Value::Int(7).group_key());
+    }
+
+    #[test]
+    fn display_round_trip_for_common_values() {
+        assert_eq!(Value::Int(10).to_string(), "10");
+        assert_eq!(Value::str("x y").to_string(), "x y");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn as_f64_and_as_i64() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_f64(), Some(4.5));
+        assert_eq!(Value::Bool(true).as_i64(), Some(1));
+        assert_eq!(Value::str("4").as_f64(), None);
+        assert_eq!(Value::Null.as_i64(), None);
+    }
+}

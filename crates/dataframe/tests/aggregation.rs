@@ -1,0 +1,96 @@
+//! Correctness tests for the group-and-aggregate operator across all aggregation
+//! functions, including null handling and group-order determinism. These complement the
+//! property tests (sum/count conservation) with exact small-input checks.
+
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{DataFrame, Value};
+
+fn frame() -> DataFrame {
+    DataFrame::from_rows(
+        &["team", "points"],
+        vec![
+            vec![Value::str("A"), Value::Int(10)],
+            vec![Value::str("A"), Value::Int(30)],
+            vec![Value::str("A"), Value::Null],
+            vec![Value::str("B"), Value::Int(5)],
+            vec![Value::str("B"), Value::Int(5)],
+        ],
+    )
+    .unwrap()
+}
+
+/// Look up a group's aggregate value by key in a two-column aggregate view.
+fn agg_of(view: &DataFrame, key: &str) -> Value {
+    for i in 0..view.num_rows() {
+        let row = view.row(i);
+        if row[0].as_str() == Some(key) {
+            return row[1].clone();
+        }
+    }
+    Value::Null
+}
+
+#[test]
+fn count_includes_null_valued_rows() {
+    let v = frame().group_by("team", AggFunc::Count, "points").unwrap();
+    assert_eq!(agg_of(&v, "A"), Value::Int(3)); // includes the null-points row
+    assert_eq!(agg_of(&v, "B"), Value::Int(2));
+}
+
+#[test]
+fn sum_skips_nulls() {
+    let v = frame().group_by("team", AggFunc::Sum, "points").unwrap();
+    assert_eq!(agg_of(&v, "A").as_f64(), Some(40.0));
+    assert_eq!(agg_of(&v, "B").as_f64(), Some(10.0));
+}
+
+#[test]
+fn avg_is_over_non_null_values_only() {
+    let v = frame().group_by("team", AggFunc::Avg, "points").unwrap();
+    assert_eq!(agg_of(&v, "A").as_f64(), Some(20.0)); // (10+30)/2, null excluded
+    assert_eq!(agg_of(&v, "B").as_f64(), Some(5.0));
+}
+
+#[test]
+fn min_and_max_ignore_nulls() {
+    let mn = frame().group_by("team", AggFunc::Min, "points").unwrap();
+    let mx = frame().group_by("team", AggFunc::Max, "points").unwrap();
+    assert_eq!(agg_of(&mn, "A").as_i64(), Some(10));
+    assert_eq!(agg_of(&mx, "A").as_i64(), Some(30));
+    assert_eq!(agg_of(&mn, "B").as_i64(), Some(5));
+}
+
+#[test]
+fn count_distinct_counts_unique_non_null_values() {
+    let v = frame().group_by("team", AggFunc::CountDistinct, "points").unwrap();
+    assert_eq!(agg_of(&v, "A"), Value::Int(2)); // {10, 30}
+    assert_eq!(agg_of(&v, "B"), Value::Int(1)); // {5}
+}
+
+#[test]
+fn groups_preserve_first_occurrence_order() {
+    // Team A occurs first, so it must be the first group row — deterministic ordering.
+    let v = frame().group_by("team", AggFunc::Count, "points").unwrap();
+    assert_eq!(v.row(0)[0].as_str(), Some("A"));
+    assert_eq!(v.row(1)[0].as_str(), Some("B"));
+}
+
+#[test]
+fn aggregation_after_filter_operates_on_the_subset() {
+    let subset = frame()
+        .filter(&Predicate::new("team", CompareOp::Eq, Value::str("A")))
+        .unwrap();
+    let v = subset.group_by("team", AggFunc::Sum, "points").unwrap();
+    assert_eq!(v.num_rows(), 1);
+    assert_eq!(agg_of(&v, "A").as_f64(), Some(40.0));
+}
+
+#[test]
+fn aggregation_functions_round_trip_their_tokens() {
+    for f in AggFunc::ALL {
+        assert_eq!(AggFunc::parse(f.token()), Some(f));
+    }
+    assert_eq!(AggFunc::parse("COUNT"), Some(AggFunc::Count));
+    assert_eq!(AggFunc::parse("nonsense"), None);
+}

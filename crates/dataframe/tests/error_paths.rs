@@ -1,0 +1,143 @@
+//! Failure-injection and edge-case tests for the dataframe engine: malformed
+//! construction, missing columns, type-mismatched aggregations, degenerate frames, and
+//! CSV parse errors. These complement the property tests (which exercise the happy path)
+//! by pinning down the error behaviour the rest of the system relies on.
+
+use linx_dataframe::csv::{parse_csv, to_csv, CsvOptions};
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{DataFrame, DataFrameError, Value};
+
+fn frame() -> DataFrame {
+    DataFrame::from_rows(
+        &["country", "type", "runtime"],
+        vec![
+            vec![Value::str("India"), Value::str("Movie"), Value::Int(120)],
+            vec![Value::str("US"), Value::str("TV Show"), Value::Int(3)],
+            vec![Value::str("US"), Value::str("Movie"), Value::Null],
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn construction_rejects_ragged_rows() {
+    let err = DataFrame::from_rows(&["a", "b"], vec![vec![Value::Int(1)]]).unwrap_err();
+    assert!(matches!(err, DataFrameError::RowArity { expected: 2, found: 1 }));
+}
+
+#[test]
+fn construction_rejects_duplicate_columns() {
+    let err = DataFrame::from_rows(
+        &["a", "a"],
+        vec![vec![Value::Int(1), Value::Int(2)]],
+    )
+    .unwrap_err();
+    assert!(matches!(err, DataFrameError::DuplicateColumn(c) if c == "a"));
+}
+
+#[test]
+fn missing_column_access_is_an_error() {
+    let df = frame();
+    assert!(matches!(
+        df.column("nope").unwrap_err(),
+        DataFrameError::ColumnNotFound(c) if c == "nope"
+    ));
+    assert!(df.filter(&Predicate::new("nope", CompareOp::Eq, Value::Int(1))).is_err());
+    assert!(df.group_by("nope", AggFunc::Count, "runtime").is_err());
+    assert!(df.histogram("nope").is_err());
+}
+
+#[test]
+fn numeric_aggregation_on_text_column_errors() {
+    let df = frame();
+    // SUM over a string column is invalid.
+    assert!(df.group_by("type", AggFunc::Sum, "country").is_err());
+    // COUNT works regardless of the aggregated column's type.
+    assert!(df.group_by("type", AggFunc::Count, "country").is_ok());
+}
+
+#[test]
+fn filter_on_empty_frame_stays_empty() {
+    let empty = DataFrame::empty();
+    assert_eq!(empty.num_rows(), 0);
+    assert_eq!(empty.num_columns(), 0);
+    // A histogram of a missing column in an empty frame is an error, not a panic.
+    assert!(empty.histogram("x").is_err());
+}
+
+#[test]
+fn filter_never_matching_yields_zero_rows_without_error() {
+    let df = frame();
+    let none = df
+        .filter(&Predicate::new("country", CompareOp::Eq, Value::str("Atlantis")))
+        .unwrap();
+    assert_eq!(none.num_rows(), 0);
+    // Group-by over an empty subset returns zero groups, not an error.
+    let agg = none.group_by("type", AggFunc::Count, "runtime").unwrap();
+    assert_eq!(agg.num_rows(), 0);
+}
+
+#[test]
+fn aggregations_skip_nulls_in_numeric_columns() {
+    let df = frame();
+    // runtime has a null in one US/Movie row; SUM should skip it rather than fail.
+    let agg = df.group_by("country", AggFunc::Sum, "runtime").unwrap();
+    let total: f64 = (0..agg.num_rows())
+        .map(|i| agg.row(i)[1].as_f64().unwrap_or(0.0))
+        .sum();
+    assert_eq!(total, 123.0);
+}
+
+#[test]
+fn csv_parse_errors_are_reported_not_panicked() {
+    // Unterminated quote.
+    assert!(parse_csv("a,b\n\"oops,1", CsvOptions::default()).is_err());
+    // Ragged record (more fields than header).
+    assert!(parse_csv("a,b\n1,2,3", CsvOptions::default()).is_err());
+}
+
+#[test]
+fn csv_round_trip_preserves_shape_and_values() {
+    let df = frame();
+    let text = to_csv(&df, ',');
+    let back = parse_csv(&text, CsvOptions::default()).unwrap();
+    assert_eq!(back.num_rows(), df.num_rows());
+    assert_eq!(back.num_columns(), df.num_columns());
+    assert_eq!(back.value(0, "country").unwrap().to_string(), "India");
+}
+
+#[test]
+fn tsv_delimiter_round_trips() {
+    let df = frame();
+    let tsv = to_csv(&df, '\t');
+    let back = parse_csv(
+        &tsv,
+        CsvOptions {
+            delimiter: '\t',
+            has_header: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(back.num_columns(), 3);
+}
+
+#[test]
+fn select_rejects_missing_columns_and_keeps_order() {
+    let df = frame();
+    let sub = df.select(&["type", "country"]).unwrap();
+    assert_eq!(sub.column_names(), vec!["type", "country"]);
+    assert!(df.select(&["type", "ghost"]).is_err());
+}
+
+#[test]
+fn value_comparisons_handle_mixed_and_null_operands() {
+    // Null never satisfies a comparison.
+    assert!(!CompareOp::Eq.eval(&Value::Null, &Value::Int(1)));
+    assert!(!CompareOp::Gt.eval(&Value::Int(1), &Value::Null));
+    // Numeric/string cross-type comparison does not panic and is false for eq.
+    assert!(!CompareOp::Eq.eval(&Value::Int(1), &Value::str("1")));
+    // Contains only applies to strings.
+    assert!(CompareOp::Contains.eval(&Value::str("hello world"), &Value::str("world")));
+    assert!(!CompareOp::Contains.eval(&Value::Int(5), &Value::str("5")));
+}

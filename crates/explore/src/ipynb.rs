@@ -1,0 +1,199 @@
+//! Jupyter notebook (`.ipynb`) export.
+//!
+//! LINX presents its output sessions as scientific notebooks (paper §1, Fig. 1e); the
+//! paper's artifacts are Jupyter notebooks. This module serializes a rendered
+//! [`Notebook`] to the Jupyter *nbformat 4.5* JSON document so it can be opened directly
+//! in Jupyter / VS Code: a Markdown title cell, then one code cell per query operation
+//! whose output is the text preview of the result view, preceded by a Markdown caption
+//! cell (optionally including the session narrative).
+
+use serde_json::{json, Value as Json};
+
+use crate::narrative::Narrative;
+use crate::notebook::Notebook;
+
+/// The nbformat major/minor version emitted.
+pub const NBFORMAT: (u64, u64) = (4, 5);
+
+/// Serialize a notebook as a Jupyter nbformat JSON value.
+///
+/// `narrative` — when provided — is rendered as a Markdown cell right under the title,
+/// so the spelled-out insights appear before the queries.
+pub fn to_ipynb(notebook: &Notebook, narrative: Option<&Narrative>) -> Json {
+    let mut cells = Vec::new();
+    cells.push(markdown_cell(&format!("# {}", notebook.title)));
+    if let Some(narrative) = narrative {
+        if !narrative.is_empty() {
+            cells.push(markdown_cell(&format!(
+                "## Session summary\n\n{}",
+                narrative.to_markdown()
+            )));
+        }
+    }
+    for (i, cell) in notebook.cells.iter().enumerate() {
+        cells.push(markdown_cell(&format!(
+            "### Cell {} — {}",
+            i + 1,
+            cell.caption
+        )));
+        cells.push(code_cell(i + 1, &cell.code, &cell.result_preview));
+    }
+    json!({
+        "nbformat": NBFORMAT.0,
+        "nbformat_minor": NBFORMAT.1,
+        "metadata": {
+            "kernelspec": {
+                "display_name": "Python 3",
+                "language": "python",
+                "name": "python3",
+            },
+            "language_info": { "name": "python" },
+            "linx": { "generator": "linx-rs", "cells": notebook.cells.len() },
+        },
+        "cells": cells,
+    })
+}
+
+/// Serialize a notebook as a pretty-printed `.ipynb` JSON string.
+pub fn to_ipynb_string(notebook: &Notebook, narrative: Option<&Narrative>) -> String {
+    serde_json::to_string_pretty(&to_ipynb(notebook, narrative))
+        .unwrap_or_else(|_| "{}".to_string())
+}
+
+/// nbformat represents cell text as a list of lines, each retaining its trailing newline.
+fn source_lines(text: &str) -> Vec<String> {
+    let mut lines: Vec<String> = text.split('\n').map(|l| format!("{l}\n")).collect();
+    if let Some(last) = lines.last_mut() {
+        // The final line has no trailing newline in nbformat.
+        last.pop();
+        if last.is_empty() {
+            lines.pop();
+        }
+    }
+    lines
+}
+
+fn markdown_cell(text: &str) -> Json {
+    json!({
+        "cell_type": "markdown",
+        "metadata": {},
+        "source": source_lines(text),
+    })
+}
+
+fn code_cell(execution_count: usize, code: &str, output_text: &str) -> Json {
+    json!({
+        "cell_type": "code",
+        "execution_count": execution_count,
+        "metadata": {},
+        "source": source_lines(code),
+        "outputs": [{
+            "output_type": "execute_result",
+            "execution_count": execution_count,
+            "metadata": {},
+            "data": { "text/plain": source_lines(output_text) },
+        }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notebook::Notebook;
+    use crate::session::SessionExecutor;
+    use crate::tree::{ExplorationTree, NodeId};
+    use crate::QueryOp;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::{DataFrame, Value};
+
+    fn dataset() -> DataFrame {
+        DataFrame::from_rows(
+            &["country", "type", "duration"],
+            vec![
+                vec![Value::str("India"), Value::str("Movie"), Value::Int(120)],
+                vec![Value::str("India"), Value::str("Movie"), Value::Int(90)],
+                vec![Value::str("US"), Value::str("TV Show"), Value::Int(4)],
+                vec![Value::str("US"), Value::str("Movie"), Value::Int(100)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn notebook() -> (Notebook, ExplorationTree, DataFrame) {
+        let data = dataset();
+        let mut t = ExplorationTree::new();
+        let f = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
+        t.add_child(f, QueryOp::group_by("type", AggFunc::Count, "duration"));
+        let exec = SessionExecutor::new(data.clone());
+        (Notebook::render("Netflix — g1", &exec, &t), t, data)
+    }
+
+    #[test]
+    fn ipynb_has_nbformat_metadata_and_one_code_cell_per_operation() {
+        let (nb, _, _) = notebook();
+        let doc = to_ipynb(&nb, None);
+        assert_eq!(doc["nbformat"], 4);
+        assert_eq!(doc["nbformat_minor"], 5);
+        let cells = doc["cells"].as_array().unwrap();
+        // Title + (caption + code) per operation.
+        assert_eq!(cells.len(), 1 + 2 * nb.len());
+        let code_cells: Vec<&Json> = cells
+            .iter()
+            .filter(|c| c["cell_type"] == "code")
+            .collect();
+        assert_eq!(code_cells.len(), nb.len());
+        assert_eq!(code_cells[0]["execution_count"], 1);
+        assert!(code_cells[0]["source"][0]
+            .as_str()
+            .unwrap()
+            .contains("df[df['country'] == 'India']"));
+        assert_eq!(code_cells[0]["outputs"][0]["output_type"], "execute_result");
+    }
+
+    #[test]
+    fn narrative_is_emitted_as_a_summary_cell() {
+        let (nb, _, _) = notebook();
+        let narrative = Narrative {
+            headline: "In India, the majority of titles are movies.".to_string(),
+            bullets: vec!["In India, the majority of titles are movies (93%).".to_string()],
+        };
+        let doc = to_ipynb(&nb, Some(&narrative));
+        let cells = doc["cells"].as_array().unwrap();
+        let summary = cells
+            .iter()
+            .find(|c| {
+                c["cell_type"] == "markdown"
+                    && c["source"]
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .any(|l| l.as_str().unwrap_or("").contains("Session summary"))
+            })
+            .expect("summary cell present");
+        assert_eq!(summary["cell_type"], "markdown");
+        // An empty narrative adds no cell.
+        let empty_doc = to_ipynb(&nb, Some(&Narrative::default()));
+        assert_eq!(empty_doc["cells"].as_array().unwrap().len(), cells.len() - 1);
+    }
+
+    #[test]
+    fn source_lines_round_trip_newlines() {
+        assert_eq!(source_lines("a\nb"), vec!["a\n".to_string(), "b".to_string()]);
+        assert_eq!(source_lines("single"), vec!["single".to_string()]);
+        assert_eq!(source_lines("trailing\n"), vec!["trailing\n".to_string()]);
+        assert!(source_lines("").is_empty());
+    }
+
+    #[test]
+    fn string_export_parses_back_as_json() {
+        let (nb, _, _) = notebook();
+        let s = to_ipynb_string(&nb, None);
+        let parsed: Json = serde_json::from_str(&s).unwrap();
+        assert_eq!(parsed["metadata"]["linx"]["generator"], "linx-rs");
+        assert_eq!(parsed["metadata"]["linx"]["cells"], nb.len() as u64);
+    }
+}

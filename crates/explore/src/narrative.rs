@@ -1,0 +1,416 @@
+//! Natural-language narration of exploration sessions.
+//!
+//! The paper lists "spelled-out insights" as an explicit future extension (§3, §8): in
+//! addition to the raw query results, users may prefer short natural-language sentences
+//! summarizing what the session shows — the kind of statements the user-study
+//! participants wrote down (Table 3), e.g. *"In India, the majority of titles are movies
+//! (93%), whereas in the rest of the world movies comprise only 66% of the titles."*
+//!
+//! [`narrate`] produces such a summary from an exploration tree and the dataset it was
+//! generated for. Three kinds of statements are derived:
+//!
+//! * **Contrast statements** — pairs of group-and-aggregate cells over the *same*
+//!   grouping attribute, computed under *complementary or differing* filters (the shape
+//!   of the paper's running example): the leading group of each side is compared.
+//! * **Dominance statements** — a single group-and-aggregate whose leading group holds
+//!   an outsized share of the aggregate.
+//! * **Coverage statements** — filters that isolate notably small or large subsets.
+
+use std::collections::HashMap;
+
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{DataFrame, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::op::QueryOp;
+use crate::session::SessionExecutor;
+use crate::tree::{ExplorationTree, NodeId};
+
+/// A leading group's share must exceed this fraction for a dominance statement.
+const DOMINANCE_THRESHOLD: f64 = 0.5;
+/// A filter subset must cover less than this fraction (or more than its complement) of
+/// its input for a coverage statement.
+const SMALL_SUBSET_THRESHOLD: f64 = 0.25;
+
+/// A natural-language summary of an exploration session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Narrative {
+    /// A one-sentence headline (the strongest statement found).
+    pub headline: String,
+    /// All derived statements, strongest first.
+    pub bullets: Vec<String>,
+}
+
+impl Narrative {
+    /// Render as a Markdown bullet list with the headline as a lead-in sentence.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.headline.is_empty() {
+            out.push_str(&format!("**{}**\n\n", self.headline));
+        }
+        for b in &self.bullets {
+            out.push_str(&format!("- {b}\n"));
+        }
+        out
+    }
+
+    /// Whether no statement could be derived.
+    pub fn is_empty(&self) -> bool {
+        self.bullets.is_empty()
+    }
+}
+
+/// Derive a natural-language narrative for a session over a dataset.
+pub fn narrate(dataset: &DataFrame, tree: &ExplorationTree) -> Narrative {
+    let executor = SessionExecutor::new(dataset.clone());
+    let views = executor.execute_tree_lenient(tree);
+    let mut bullets = Vec::new();
+    bullets.extend(contrast_statements(tree, &views));
+    bullets.extend(dominance_statements(tree, &views));
+    bullets.extend(coverage_statements(tree, &views));
+    let headline = bullets.first().cloned().unwrap_or_else(|| {
+        format!(
+            "An exploration of {} queries over {} rows.",
+            tree.num_ops(),
+            dataset.num_rows()
+        )
+    });
+    Narrative { headline, bullets }
+}
+
+/// Description of the filter subset a node is computed under (its nearest filter
+/// ancestor), if any.
+fn subset_of(tree: &ExplorationTree, id: NodeId) -> Option<(String, CompareOp, String)> {
+    let mut cur = tree.parent(id);
+    while let Some(p) = cur {
+        if let Some(QueryOp::Filter { attr, op, term }) = tree.op(p) {
+            return Some((attr.clone(), *op, term.to_string()));
+        }
+        cur = tree.parent(p);
+    }
+    None
+}
+
+/// Human phrasing of a subset, e.g. `country = India` → "in India",
+/// `country != India` → "in the rest of the data".
+fn subset_phrase(subset: &Option<(String, CompareOp, String)>) -> String {
+    match subset {
+        None => "across the whole dataset".to_string(),
+        Some((attr, op, term)) => match op {
+            CompareOp::Eq => format!("where {attr} is {term}"),
+            CompareOp::Neq => format!("where {attr} is not {term}"),
+            CompareOp::Ge => format!("where {attr} is at least {term}"),
+            CompareOp::Gt => format!("where {attr} exceeds {term}"),
+            CompareOp::Le => format!("where {attr} is at most {term}"),
+            CompareOp::Lt => format!("where {attr} is below {term}"),
+            CompareOp::Contains => format!("where {attr} contains {term}"),
+            CompareOp::StartsWith => format!("where {attr} starts with {term}"),
+        },
+    }
+}
+
+/// The leading group of an aggregate view: `(key, value, share)`.
+///
+/// The share is the leading value's fraction of the aggregate total; it is only
+/// meaningful for additive aggregates (count / sum) and is reported as `None` otherwise.
+fn leading_group(view: &DataFrame, g_attr: &str, agg: AggFunc) -> Option<(String, f64, Option<f64>)> {
+    if view.num_rows() == 0 || !view.schema().contains(g_attr) {
+        return None;
+    }
+    let value_col = view
+        .column_names()
+        .into_iter()
+        .find(|n| *n != g_attr)?
+        .to_string();
+    let mut best: Option<(String, f64)> = None;
+    let mut total = 0.0;
+    for i in 0..view.num_rows() {
+        let key = view.value(i, g_attr).ok()?.to_string();
+        let val = view.value(i, &value_col).ok().and_then(Value::as_f64)?;
+        total += val.max(0.0);
+        if best.as_ref().map(|(_, b)| val > *b).unwrap_or(true) {
+            best = Some((key, val));
+        }
+    }
+    let (key, val) = best?;
+    let share = if matches!(agg, AggFunc::Count | AggFunc::Sum) && total > 0.0 {
+        Some(val / total)
+    } else {
+        None
+    };
+    Some((key, val, share))
+}
+
+/// A group-by node annotated with its grouping attribute, aggregate, and enclosing
+/// filter subset (attribute, operator, term).
+type GroupNode = (NodeId, String, AggFunc, Option<(String, CompareOp, String)>);
+
+/// Contrast statements: pairs of group-bys on the same attribute under differing filters.
+fn contrast_statements(
+    tree: &ExplorationTree,
+    views: &HashMap<NodeId, DataFrame>,
+) -> Vec<String> {
+    // Collect (node, g_attr, agg, subset) for every group-by node.
+    let group_nodes: Vec<GroupNode> = tree
+        .ops_in_order()
+        .into_iter()
+        .filter_map(|(id, op)| match op {
+            QueryOp::GroupBy { g_attr, agg, .. } => {
+                Some((id, g_attr.clone(), *agg, subset_of(tree, id)))
+            }
+            QueryOp::Filter { .. } => None,
+        })
+        .collect();
+
+    let mut statements = Vec::new();
+    for (i, (id_a, attr_a, agg_a, sub_a)) in group_nodes.iter().enumerate() {
+        for (id_b, attr_b, agg_b, sub_b) in group_nodes.iter().skip(i + 1) {
+            if attr_a != attr_b || agg_a != agg_b {
+                continue;
+            }
+            // The two cells must be computed under genuinely different subsets, on the
+            // same subset-defining attribute (the "X vs. rest of the world" shape), or
+            // one under a subset and one over the whole data.
+            let comparable = match (sub_a, sub_b) {
+                (Some((fa, _, _)), Some((fb, _, _))) => fa == fb && sub_a != sub_b,
+                (Some(_), None) | (None, Some(_)) => true,
+                (None, None) => false,
+            };
+            if !comparable {
+                continue;
+            }
+            let (Some(va), Some(vb)) = (views.get(id_a), views.get(id_b)) else { continue };
+            let (Some((top_a, _, share_a)), Some((top_b, _, share_b))) = (
+                leading_group(va, attr_a, *agg_a),
+                leading_group(vb, attr_b, *agg_b),
+            ) else {
+                continue;
+            };
+            let phrase_a = subset_phrase(sub_a);
+            let phrase_b = subset_phrase(sub_b);
+            let statement = if top_a != top_b {
+                format!(
+                    "The leading {attr_a} {pa} is {top_a}{sa}, whereas {pb} it is {top_b}{sb}.",
+                    pa = phrase_a,
+                    sa = share_suffix(share_a),
+                    pb = phrase_b,
+                    sb = share_suffix(share_b),
+                )
+            } else {
+                match (share_a, share_b) {
+                    (Some(sa), Some(sb)) if (sa - sb).abs() >= 0.1 => format!(
+                        "{top_a} leads {attr_a} on both sides, but its share shifts from {:.0}% {pa} to {:.0}% {pb}.",
+                        sa * 100.0,
+                        sb * 100.0,
+                        pa = phrase_a,
+                        pb = phrase_b,
+                    ),
+                    _ => continue,
+                }
+            };
+            statements.push(statement);
+        }
+    }
+    statements
+}
+
+fn share_suffix(share: Option<f64>) -> String {
+    match share {
+        Some(s) => format!(" ({:.0}%)", s * 100.0),
+        None => String::new(),
+    }
+}
+
+/// Dominance statements for group-bys whose leading group holds an outsized share.
+fn dominance_statements(
+    tree: &ExplorationTree,
+    views: &HashMap<NodeId, DataFrame>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (id, op) in tree.ops_in_order() {
+        let QueryOp::GroupBy { g_attr, agg, agg_attr } = op else { continue };
+        let Some(view) = views.get(&id) else { continue };
+        let Some((top, value, share)) = leading_group(view, g_attr, *agg) else { continue };
+        let phrase = subset_phrase(&subset_of(tree, id));
+        match share {
+            Some(s) if s >= DOMINANCE_THRESHOLD && view.num_rows() >= 2 => out.push(format!(
+                "{top} accounts for {:.0}% of {agg}({agg_attr}) by {g_attr} {phrase}.",
+                s * 100.0,
+                agg = agg.token(),
+            )),
+            None => out.push(format!(
+                "{top} has the highest {agg}({agg_attr}) among {g_attr} values {phrase} ({value:.1}).",
+                agg = agg.token(),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Coverage statements for filters isolating notably small subsets.
+fn coverage_statements(
+    tree: &ExplorationTree,
+    views: &HashMap<NodeId, DataFrame>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (id, op) in tree.ops_in_order() {
+        let QueryOp::Filter { attr, op, term } = op else { continue };
+        let Some(view) = views.get(&id) else { continue };
+        let parent = tree.parent(id).unwrap_or(NodeId::ROOT);
+        let Some(parent_view) = views.get(&parent) else { continue };
+        if parent_view.num_rows() == 0 {
+            continue;
+        }
+        let share = view.num_rows() as f64 / parent_view.num_rows() as f64;
+        if share <= SMALL_SUBSET_THRESHOLD && view.num_rows() > 0 {
+            out.push(format!(
+                "Only {:.0}% of the rows satisfy {attr} {} {term} ({} of {}).",
+                share * 100.0,
+                op.token(),
+                view.num_rows(),
+                parent_view.num_rows(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+
+    /// A small Netflix-like table where India is dominated by movies while the rest of
+    /// the world is closer to balanced — the paper's Example 1.2 contrast.
+    fn dataset() -> DataFrame {
+        let mut rows = Vec::new();
+        for _ in 0..9 {
+            rows.push(vec![Value::str("India"), Value::str("Movie"), Value::Int(100)]);
+        }
+        rows.push(vec![Value::str("India"), Value::str("TV Show"), Value::Int(2)]);
+        for _ in 0..12 {
+            rows.push(vec![Value::str("US"), Value::str("Movie"), Value::Int(110)]);
+        }
+        for _ in 0..8 {
+            rows.push(vec![Value::str("US"), Value::str("TV Show"), Value::Int(3)]);
+        }
+        DataFrame::from_rows(&["country", "type", "duration"], rows).unwrap()
+    }
+
+    fn contrast_tree() -> ExplorationTree {
+        let mut t = ExplorationTree::new();
+        let a = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
+        t.add_child(a, QueryOp::group_by("type", AggFunc::Count, "duration"));
+        let b = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
+        );
+        t.add_child(b, QueryOp::group_by("type", AggFunc::Count, "duration"));
+        t
+    }
+
+    #[test]
+    fn contrast_pair_produces_a_share_shift_statement() {
+        let narrative = narrate(&dataset(), &contrast_tree());
+        assert!(!narrative.is_empty());
+        // Movie leads on both sides here, so the narrative reports the share shift.
+        assert!(
+            narrative.headline.contains("share shifts") || narrative.headline.contains("whereas"),
+            "{}",
+            narrative.headline
+        );
+        assert!(narrative.headline.contains("90%") || narrative.headline.contains("60%"));
+    }
+
+    #[test]
+    fn dominance_statement_for_a_single_skewed_group_by() {
+        let mut t = ExplorationTree::new();
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("country", AggFunc::Count, "duration"),
+        );
+        let narrative = narrate(&dataset(), &t);
+        assert!(narrative
+            .bullets
+            .iter()
+            .any(|b| b.contains("US accounts for 67%")), "{:?}", narrative.bullets);
+    }
+
+    #[test]
+    fn non_additive_aggregates_use_highest_phrasing_without_shares() {
+        let mut t = ExplorationTree::new();
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("type", AggFunc::Avg, "duration"),
+        );
+        let narrative = narrate(&dataset(), &t);
+        assert!(narrative
+            .bullets
+            .iter()
+            .any(|b| b.contains("highest avg(duration)")), "{:?}", narrative.bullets);
+        assert!(!narrative.bullets.iter().any(|b| b.contains('%')));
+    }
+
+    #[test]
+    fn small_subsets_get_a_coverage_statement() {
+        // A table where TV shows are rare (3 of 23 rows), so the filter isolates a
+        // notably small subset.
+        let mut rows = Vec::new();
+        for _ in 0..20 {
+            rows.push(vec![Value::str("US"), Value::str("Movie"), Value::Int(100)]);
+        }
+        for _ in 0..3 {
+            rows.push(vec![Value::str("US"), Value::str("TV Show"), Value::Int(3)]);
+        }
+        let data = DataFrame::from_rows(&["country", "type", "duration"], rows).unwrap();
+        let mut t = ExplorationTree::new();
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("type", CompareOp::Eq, Value::str("TV Show")),
+        );
+        let narrative = narrate(&data, &t);
+        assert!(narrative
+            .bullets
+            .iter()
+            .any(|b| b.starts_with("Only") && b.contains("type eq TV Show")), "{:?}", narrative.bullets);
+    }
+
+    #[test]
+    fn empty_session_still_produces_a_headline() {
+        let narrative = narrate(&dataset(), &ExplorationTree::new());
+        assert!(narrative.is_empty());
+        assert!(narrative.headline.contains("0 queries"));
+    }
+
+    #[test]
+    fn markdown_rendering_lists_every_bullet() {
+        let narrative = narrate(&dataset(), &contrast_tree());
+        let md = narrative.to_markdown();
+        assert!(md.starts_with("**"));
+        assert_eq!(
+            md.lines().filter(|l| l.starts_with("- ")).count(),
+            narrative.bullets.len()
+        );
+    }
+
+    #[test]
+    fn unrelated_group_bys_do_not_produce_contrast_statements() {
+        let mut t = ExplorationTree::new();
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("type", AggFunc::Count, "duration"),
+        );
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("country", AggFunc::Count, "duration"),
+        );
+        let views = SessionExecutor::new(dataset()).execute_tree_lenient(&t);
+        assert!(contrast_statements(&t, &views).is_empty());
+    }
+}

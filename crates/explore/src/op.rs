@@ -1,0 +1,230 @@
+//! Parametric query operations.
+//!
+//! The paper (§3) fixes two operation types. A **filter** `[F, attr, op, term]` and a
+//! **group-and-aggregate** `[G, g_attr, agg_func, agg_attr]`. Operations are the node
+//! labels of exploration trees, the actions of the CDRL engine, and the objects that LDX
+//! single-node specifications constrain.
+
+use std::fmt;
+
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::Value;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a query operation (used for structural matching and featurization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Filter operation `[F, ...]`.
+    Filter,
+    /// Group-and-aggregate operation `[G, ...]`.
+    GroupBy,
+}
+
+impl OpKind {
+    /// The single-letter LDX tag (`F` or `G`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OpKind::Filter => "F",
+            OpKind::GroupBy => "G",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A parametric query operation — one node of an exploration session tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryOp {
+    /// `[F, attr, op, term]` — keep rows where `attr op term` holds.
+    Filter {
+        /// Filtered attribute.
+        attr: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Filter term.
+        term: Value,
+    },
+    /// `[G, g_attr, agg_func, agg_attr]` — group on `g_attr`, aggregate `agg_attr`.
+    GroupBy {
+        /// Grouping attribute.
+        g_attr: String,
+        /// Aggregation function.
+        agg: AggFunc,
+        /// Aggregated attribute.
+        agg_attr: String,
+    },
+}
+
+impl QueryOp {
+    /// Construct a filter operation.
+    pub fn filter(attr: impl Into<String>, op: CompareOp, term: impl Into<Value>) -> Self {
+        QueryOp::Filter {
+            attr: attr.into(),
+            op,
+            term: term.into(),
+        }
+    }
+
+    /// Construct a group-and-aggregate operation.
+    pub fn group_by(
+        g_attr: impl Into<String>,
+        agg: AggFunc,
+        agg_attr: impl Into<String>,
+    ) -> Self {
+        QueryOp::GroupBy {
+            g_attr: g_attr.into(),
+            agg,
+            agg_attr: agg_attr.into(),
+        }
+    }
+
+    /// The operation kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            QueryOp::Filter { .. } => OpKind::Filter,
+            QueryOp::GroupBy { .. } => OpKind::GroupBy,
+        }
+    }
+
+    /// The primary attribute of the operation (filter attr / group-by attr).
+    pub fn primary_attr(&self) -> &str {
+        match self {
+            QueryOp::Filter { attr, .. } => attr,
+            QueryOp::GroupBy { g_attr, .. } => g_attr,
+        }
+    }
+
+    /// The operation as its canonical parameter token list, e.g.
+    /// `["F", "country", "eq", "India"]` or `["G", "rating", "count", "show_id"]`.
+    ///
+    /// This is the representation LDX operation patterns match against and the metric
+    /// crate's label distance compares.
+    pub fn tokens(&self) -> Vec<String> {
+        match self {
+            QueryOp::Filter { attr, op, term } => vec![
+                "F".to_string(),
+                attr.clone(),
+                op.token().to_string(),
+                term.to_string(),
+            ],
+            QueryOp::GroupBy {
+                g_attr,
+                agg,
+                agg_attr,
+            } => vec![
+                "G".to_string(),
+                g_attr.clone(),
+                agg.token().to_string(),
+                agg_attr.clone(),
+            ],
+        }
+    }
+
+    /// Build the dataframe predicate for a filter op (panics for group-by; callers check
+    /// [`Self::kind`]).
+    pub fn as_predicate(&self) -> Option<Predicate> {
+        match self {
+            QueryOp::Filter { attr, op, term } => {
+                Some(Predicate::new(attr.clone(), *op, term.clone()))
+            }
+            QueryOp::GroupBy { .. } => None,
+        }
+    }
+
+    /// Render the operation as the pseudo-Pandas line shown in notebook cells.
+    pub fn to_pandas(&self, input_var: &str, output_var: &str) -> String {
+        match self {
+            QueryOp::Filter { attr, op, term } => {
+                let term_repr = match term {
+                    Value::Str(s) => format!("'{s}'"),
+                    other => other.to_string(),
+                };
+                let sym = match op {
+                    CompareOp::Eq => "==",
+                    CompareOp::Neq => "!=",
+                    CompareOp::Gt => ">",
+                    CompareOp::Ge => ">=",
+                    CompareOp::Lt => "<",
+                    CompareOp::Le => "<=",
+                    CompareOp::Contains => ".str.contains",
+                    CompareOp::StartsWith => ".str.startswith",
+                };
+                match op {
+                    CompareOp::Contains | CompareOp::StartsWith => format!(
+                        "{output_var} = {input_var}[{input_var}['{attr}']{sym}({term_repr})]"
+                    ),
+                    _ => format!(
+                        "{output_var} = {input_var}[{input_var}['{attr}'] {sym} {term_repr}]"
+                    ),
+                }
+            }
+            QueryOp::GroupBy {
+                g_attr,
+                agg,
+                agg_attr,
+            } => format!(
+                "{output_var} = {input_var}.groupby('{g_attr}').agg({{'{agg_attr}': '{}'}})",
+                agg.token()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for QueryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.tokens().join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip_display() {
+        let f = QueryOp::filter("country", CompareOp::Neq, Value::str("India"));
+        assert_eq!(f.to_string(), "[F,country,neq,India]");
+        assert_eq!(f.kind(), OpKind::Filter);
+        assert_eq!(f.primary_attr(), "country");
+
+        let g = QueryOp::group_by("rating", AggFunc::Count, "show_id");
+        assert_eq!(g.to_string(), "[G,rating,count,show_id]");
+        assert_eq!(g.kind(), OpKind::GroupBy);
+        assert_eq!(g.primary_attr(), "rating");
+    }
+
+    #[test]
+    fn predicate_only_for_filters() {
+        let f = QueryOp::filter("x", CompareOp::Gt, 5i64);
+        assert!(f.as_predicate().is_some());
+        let g = QueryOp::group_by("x", AggFunc::Max, "y");
+        assert!(g.as_predicate().is_none());
+    }
+
+    #[test]
+    fn pandas_rendering() {
+        let f = QueryOp::filter("country", CompareOp::Eq, Value::str("India"));
+        assert_eq!(
+            f.to_pandas("df", "india"),
+            "india = df[df['country'] == 'India']"
+        );
+        let c = QueryOp::filter("title", CompareOp::Contains, Value::str("love"));
+        assert!(c.to_pandas("df", "out").contains(".str.contains('love')"));
+        let g = QueryOp::group_by("rating", AggFunc::Count, "show_id");
+        assert_eq!(
+            g.to_pandas("india", "agg1"),
+            "agg1 = india.groupby('rating').agg({'show_id': 'count'})"
+        );
+    }
+
+    #[test]
+    fn op_kind_tags() {
+        assert_eq!(OpKind::Filter.tag(), "F");
+        assert_eq!(OpKind::GroupBy.to_string(), "G");
+    }
+}

@@ -1,0 +1,294 @@
+//! The generic exploration reward `R_gen` (paper §5.1, following ATENA [6]).
+//!
+//! `R_gen(S_i, a) = μ · Σ_{j≤i} Interestingness(q_j) + λ · Diversity(S_i)` where
+//!
+//! * **Interestingness** of a *filter* is the KL divergence between the filtered view's
+//!   value distributions and the parent view's (an unusual subset scores high), scaled
+//!   by a coverage factor so near-empty or near-total filters score low.
+//! * **Interestingness** of a *group-by* is the conciseness of the grouping (moderately
+//!   many, well-populated groups score high; groupings by unique identifiers score low).
+//! * **Diversity** of the session is the minimum result distance between the latest
+//!   query and every previous query (total-variation distance over the primary column's
+//!   distribution) — repeating a near-identical query scores 0.
+
+use linx_dataframe::stats::{conciseness, Histogram};
+use linx_dataframe::DataFrame;
+use serde::{Deserialize, Serialize};
+
+use crate::op::QueryOp;
+use crate::session::SessionExecutor;
+use crate::tree::{ExplorationTree, NodeId};
+
+/// Weights of the generic exploration reward.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RewardWeights {
+    /// Weight of the summed per-query interestingness (μ).
+    pub mu: f64,
+    /// Weight of the session diversity term (λ).
+    pub lambda: f64,
+    /// Maximum number of groups considered "readable" in a group-by result.
+    pub max_groups: usize,
+}
+
+impl Default for RewardWeights {
+    fn default() -> Self {
+        RewardWeights {
+            mu: 1.0,
+            lambda: 0.5,
+            max_groups: 15,
+        }
+    }
+}
+
+/// Computes the generic exploration reward for sessions and individual operations.
+#[derive(Debug, Clone)]
+pub struct ExplorationReward {
+    weights: RewardWeights,
+}
+
+impl Default for ExplorationReward {
+    fn default() -> Self {
+        ExplorationReward::new(RewardWeights::default())
+    }
+}
+
+impl ExplorationReward {
+    /// Create a reward calculator with explicit weights.
+    pub fn new(weights: RewardWeights) -> Self {
+        ExplorationReward { weights }
+    }
+
+    /// The configured weights.
+    pub fn weights(&self) -> RewardWeights {
+        self.weights
+    }
+
+    /// Interestingness of a single operation given its input (parent) view and output
+    /// view, in `[0, 1]`-ish range (KL is clipped).
+    pub fn interestingness(&self, op: &QueryOp, input: &DataFrame, output: &DataFrame) -> f64 {
+        match op {
+            QueryOp::Filter { attr, .. } => {
+                if input.num_rows() == 0 || output.num_rows() == 0 {
+                    return 0.0;
+                }
+                let coverage = output.num_rows() as f64 / input.num_rows() as f64;
+                // Near-total filters (>95% of rows kept) or tiny remnants (<0.5%) carry
+                // little information.
+                let coverage_factor = if coverage > 0.95 {
+                    0.1
+                } else if coverage < 0.005 {
+                    0.2
+                } else {
+                    1.0
+                };
+                // Divergence of the other columns' distributions between subset and
+                // parent — the essence of "this subset behaves differently".
+                let mut divergences = Vec::new();
+                for col in input.schema().names() {
+                    if col == attr {
+                        continue;
+                    }
+                    let (Ok(hi), Ok(ho)) = (input.histogram(col), output.histogram(col)) else {
+                        continue;
+                    };
+                    if hi.n_distinct() == 0 {
+                        continue;
+                    }
+                    divergences.push(ho.kl_divergence(&hi).min(3.0) / 3.0);
+                }
+                if divergences.is_empty() {
+                    return 0.0;
+                }
+                let mean_div = divergences.iter().sum::<f64>() / divergences.len() as f64;
+                (mean_div * coverage_factor).clamp(0.0, 1.0)
+            }
+            QueryOp::GroupBy { g_attr, .. } => {
+                if input.num_rows() == 0 {
+                    return 0.0;
+                }
+                match input.groups(g_attr) {
+                    Ok(groups) => conciseness(&groups.sizes(), self.weights.max_groups),
+                    Err(_) => 0.0,
+                }
+            }
+        }
+    }
+
+    /// Diversity contribution of a node: the minimum total-variation distance between
+    /// its result view and the result view of any earlier (pre-order) node. 1.0 when it
+    /// is the first operation.
+    pub fn diversity(
+        &self,
+        tree: &ExplorationTree,
+        views: &std::collections::HashMap<NodeId, DataFrame>,
+        node: NodeId,
+    ) -> f64 {
+        let Some(view) = views.get(&node) else { return 0.0 };
+        let this_hist = primary_histogram(tree, view, node);
+        let mut min_dist: Option<f64> = None;
+        for id in tree.pre_order() {
+            if id == node || id == NodeId::ROOT {
+                continue;
+            }
+            if id.index() >= node.index() {
+                continue;
+            }
+            let Some(other) = views.get(&id) else { continue };
+            let other_hist = primary_histogram(tree, other, id);
+            let d = this_hist.total_variation(&other_hist);
+            min_dist = Some(min_dist.map_or(d, |m: f64| m.min(d)));
+        }
+        min_dist.unwrap_or(1.0)
+    }
+
+    /// The full generic exploration score of a session: mean per-op interestingness
+    /// (weighted by μ) plus mean per-op diversity (weighted by λ). Invalid operations
+    /// contribute zero. Returns 0 for an empty session.
+    pub fn session_score(&self, executor: &SessionExecutor, tree: &ExplorationTree) -> f64 {
+        if tree.num_ops() == 0 {
+            return 0.0;
+        }
+        let views = executor.execute_tree_lenient(tree);
+        let mut interest_sum = 0.0;
+        let mut diversity_sum = 0.0;
+        let n = tree.num_ops() as f64;
+        for (id, op) in tree.ops_in_order() {
+            let parent = tree.parent(id).unwrap_or(NodeId::ROOT);
+            if let (Some(input), Some(output)) = (views.get(&parent), views.get(&id)) {
+                interest_sum += self.interestingness(op, input, output);
+                diversity_sum += self.diversity(tree, &views, id);
+            }
+        }
+        (self.weights.mu * interest_sum + self.weights.lambda * diversity_sum) / n
+    }
+}
+
+/// Histogram of the node's "primary" column in its result view (the operation's primary
+/// attribute if still present, otherwise the first column). Used for diversity distance.
+fn primary_histogram(tree: &ExplorationTree, view: &DataFrame, node: NodeId) -> Histogram {
+    let col = tree
+        .op(node)
+        .map(|op| op.primary_attr().to_string())
+        .filter(|c| view.schema().contains(c))
+        .or_else(|| view.column_names().first().map(|s| s.to_string()));
+    match col {
+        Some(c) => view.histogram(&c).unwrap_or_default(),
+        None => Histogram::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
+
+    fn dataset() -> DataFrame {
+        // 40 rows: country A rows are mostly Movies, country B rows are balanced.
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let country = if i % 4 == 0 { "B" } else { "A" };
+            let typ = if country == "A" {
+                if i % 10 == 0 { "TV Show" } else { "Movie" }
+            } else if i % 2 == 0 {
+                "Movie"
+            } else {
+                "TV Show"
+            };
+            rows.push(vec![
+                Value::str(country),
+                Value::str(typ),
+                Value::Int(i as i64),
+            ]);
+        }
+        DataFrame::from_rows(&["country", "type", "id"], rows).unwrap()
+    }
+
+    #[test]
+    fn filter_interestingness_higher_for_divergent_subset() {
+        let df = dataset();
+        let reward = ExplorationReward::default();
+        let exec = SessionExecutor::new(df.clone());
+
+        // Filter to country B (distribution of `type` differs from parent).
+        let op_b = QueryOp::filter("country", CompareOp::Eq, Value::str("B"));
+        let out_b = exec.execute_op(&df, &op_b).unwrap();
+        let score_b = reward.interestingness(&op_b, &df, &out_b);
+
+        // Filter keeping nearly everything (id >= 0) — low information.
+        let op_all = QueryOp::filter("id", CompareOp::Ge, Value::Int(0));
+        let out_all = exec.execute_op(&df, &op_all).unwrap();
+        let score_all = reward.interestingness(&op_all, &df, &out_all);
+
+        assert!(score_b > score_all, "divergent subset {score_b} vs trivial {score_all}");
+    }
+
+    #[test]
+    fn groupby_interestingness_prefers_low_cardinality_keys() {
+        let df = dataset();
+        let reward = ExplorationReward::default();
+        let good = QueryOp::group_by("type", AggFunc::Count, "id");
+        let bad = QueryOp::group_by("id", AggFunc::Count, "id"); // unique key
+        let g = reward.interestingness(&good, &df, &df);
+        let b = reward.interestingness(&bad, &df, &df);
+        assert!(g > b, "type grouping {g} should beat id grouping {b}");
+    }
+
+    #[test]
+    fn empty_views_score_zero() {
+        let df = dataset();
+        let reward = ExplorationReward::default();
+        let op = QueryOp::filter("country", CompareOp::Eq, Value::str("ZZZ"));
+        let out = SessionExecutor::new(df.clone()).execute_op(&df, &op).unwrap();
+        assert_eq!(reward.interestingness(&op, &df, &out), 0.0);
+    }
+
+    #[test]
+    fn diversity_rewards_distinct_queries() {
+        let df = dataset();
+        let exec = SessionExecutor::new(df);
+        let reward = ExplorationReward::default();
+
+        // Session with two identical filters vs. two different filters.
+        let mut same = ExplorationTree::new();
+        same.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("A")));
+        same.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("A")));
+        let views_same = exec.execute_tree_lenient(&same);
+        let d_same = reward.diversity(&same, &views_same, NodeId(2));
+
+        let mut diff = ExplorationTree::new();
+        diff.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("A")));
+        diff.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("B")));
+        let views_diff = exec.execute_tree_lenient(&diff);
+        let d_diff = reward.diversity(&diff, &views_diff, NodeId(2));
+
+        assert!(d_same < 1e-9);
+        assert!(d_diff > 0.5);
+    }
+
+    #[test]
+    fn session_score_positive_for_meaningful_session_and_zero_for_empty() {
+        let df = dataset();
+        let exec = SessionExecutor::new(df);
+        let reward = ExplorationReward::default();
+        assert_eq!(reward.session_score(&exec, &ExplorationTree::new()), 0.0);
+
+        let mut tree = ExplorationTree::new();
+        let f = tree.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("B")));
+        tree.add_child(f, QueryOp::group_by("type", AggFunc::Count, "id"));
+        let score = reward.session_score(&exec, &tree);
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn invalid_ops_do_not_crash_session_score() {
+        let df = dataset();
+        let exec = SessionExecutor::new(df);
+        let reward = ExplorationReward::default();
+        let mut tree = ExplorationTree::new();
+        tree.push_op(QueryOp::filter("missing_col", CompareOp::Eq, Value::Int(1)));
+        let score = reward.session_score(&exec, &tree);
+        assert_eq!(score, 0.0);
+    }
+}

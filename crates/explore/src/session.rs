@@ -1,0 +1,182 @@
+//! Session execution: materializing the result view of every node in an exploration
+//! tree against an input dataframe.
+//!
+//! The CDRL environment executes operations incrementally (one per step); the notebook
+//! renderer and the user-study simulator execute full trees. Both go through
+//! [`SessionExecutor`], which caches the per-node views so shared prefixes are computed
+//! once.
+
+use std::collections::HashMap;
+
+use linx_dataframe::{DataFrame, DataFrameError, Result};
+
+use crate::op::QueryOp;
+use crate::tree::{ExplorationTree, NodeId};
+
+/// Executes exploration trees against a dataset, caching node result views.
+#[derive(Debug, Clone)]
+pub struct SessionExecutor {
+    dataset: DataFrame,
+}
+
+impl SessionExecutor {
+    /// Create an executor over a dataset (the tree's root view).
+    pub fn new(dataset: DataFrame) -> Self {
+        SessionExecutor { dataset }
+    }
+
+    /// The root dataset.
+    pub fn dataset(&self) -> &DataFrame {
+        &self.dataset
+    }
+
+    /// Execute a single operation against an input view.
+    pub fn execute_op(&self, input: &DataFrame, op: &QueryOp) -> Result<DataFrame> {
+        match op {
+            QueryOp::Filter { .. } => {
+                let pred = op.as_predicate().expect("filter has a predicate");
+                input.filter(&pred)
+            }
+            QueryOp::GroupBy {
+                g_attr,
+                agg,
+                agg_attr,
+            } => input.group_by(g_attr, *agg, agg_attr),
+        }
+    }
+
+    /// Execute every node of the tree, returning a map from node id to its result view.
+    /// The root maps to the raw dataset.
+    ///
+    /// Nodes whose parent failed (e.g. filter on a column that no longer exists after a
+    /// group-by) propagate the error.
+    pub fn execute_tree(&self, tree: &ExplorationTree) -> Result<HashMap<NodeId, DataFrame>> {
+        let mut views: HashMap<NodeId, DataFrame> = HashMap::new();
+        views.insert(NodeId::ROOT, self.dataset.clone());
+        for id in tree.pre_order() {
+            if id == NodeId::ROOT {
+                continue;
+            }
+            let parent = tree
+                .parent(id)
+                .ok_or_else(|| DataFrameError::Invalid("non-root node without parent".into()))?;
+            let parent_view = views
+                .get(&parent)
+                .ok_or_else(|| DataFrameError::Invalid("parent view missing".into()))?
+                .clone();
+            let op = tree
+                .op(id)
+                .ok_or_else(|| DataFrameError::Invalid("non-root node without op".into()))?;
+            let view = self.execute_op(&parent_view, op)?;
+            views.insert(id, view);
+        }
+        Ok(views)
+    }
+
+    /// Execute the tree but tolerate per-node failures: failed nodes (and their
+    /// descendants) are simply absent from the returned map. Used by reward computation,
+    /// where an invalid operation should score poorly rather than abort the episode.
+    pub fn execute_tree_lenient(&self, tree: &ExplorationTree) -> HashMap<NodeId, DataFrame> {
+        let mut views: HashMap<NodeId, DataFrame> = HashMap::new();
+        views.insert(NodeId::ROOT, self.dataset.clone());
+        for id in tree.pre_order() {
+            if id == NodeId::ROOT {
+                continue;
+            }
+            let Some(parent) = tree.parent(id) else { continue };
+            let Some(parent_view) = views.get(&parent).cloned() else {
+                continue;
+            };
+            let Some(op) = tree.op(id) else { continue };
+            if let Ok(view) = self.execute_op(&parent_view, op) {
+                views.insert(id, view);
+            }
+        }
+        views
+    }
+
+    /// Whether an operation is valid to apply to the given view (column exists, correct
+    /// typing). Used by the CDRL environment to mask invalid actions.
+    pub fn op_is_valid(&self, input: &DataFrame, op: &QueryOp) -> bool {
+        self.execute_op(input, op).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
+
+    fn dataset() -> DataFrame {
+        DataFrame::from_rows(
+            &["country", "type", "duration"],
+            vec![
+                vec![Value::str("India"), Value::str("Movie"), Value::Int(120)],
+                vec![Value::str("India"), Value::str("Movie"), Value::Int(90)],
+                vec![Value::str("India"), Value::str("TV Show"), Value::Int(2)],
+                vec![Value::str("US"), Value::str("Movie"), Value::Int(100)],
+                vec![Value::str("US"), Value::str("TV Show"), Value::Int(4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn execute_tree_materializes_all_nodes() {
+        let mut tree = ExplorationTree::new();
+        let f = tree.push_op(QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        let g = tree.push_op(QueryOp::group_by("type", AggFunc::Count, "duration"));
+        let exec = SessionExecutor::new(dataset());
+        let views = exec.execute_tree(&tree).unwrap();
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[&NodeId::ROOT].num_rows(), 5);
+        assert_eq!(views[&f].num_rows(), 3);
+        assert_eq!(views[&g].num_rows(), 2);
+    }
+
+    #[test]
+    fn group_by_result_feeds_children() {
+        // Filtering the result of a group-by by the aggregate column is legal.
+        let mut tree = ExplorationTree::new();
+        tree.push_op(QueryOp::group_by("country", AggFunc::Count, "duration"));
+        tree.push_op(QueryOp::filter("count(duration)", CompareOp::Ge, Value::Int(3)));
+        let exec = SessionExecutor::new(dataset());
+        let views = exec.execute_tree(&tree).unwrap();
+        assert_eq!(views[&NodeId(2)].num_rows(), 1); // only India has >= 3 titles
+    }
+
+    #[test]
+    fn strict_execution_propagates_errors() {
+        let mut tree = ExplorationTree::new();
+        tree.push_op(QueryOp::group_by("country", AggFunc::Count, "duration"));
+        // 'type' no longer exists after the group-by.
+        tree.push_op(QueryOp::filter("type", CompareOp::Eq, Value::str("Movie")));
+        let exec = SessionExecutor::new(dataset());
+        assert!(exec.execute_tree(&tree).is_err());
+    }
+
+    #[test]
+    fn lenient_execution_skips_failed_subtrees() {
+        let mut tree = ExplorationTree::new();
+        tree.push_op(QueryOp::group_by("country", AggFunc::Count, "duration"));
+        tree.push_op(QueryOp::filter("type", CompareOp::Eq, Value::str("Movie")));
+        tree.push_op(QueryOp::group_by("type", AggFunc::Count, "duration"));
+        let exec = SessionExecutor::new(dataset());
+        let views = exec.execute_tree_lenient(&tree);
+        assert!(views.contains_key(&NodeId(1)));
+        assert!(!views.contains_key(&NodeId(2)));
+        assert!(!views.contains_key(&NodeId(3)), "descendant of failed node skipped");
+    }
+
+    #[test]
+    fn op_validity_checks() {
+        let exec = SessionExecutor::new(dataset());
+        let df = dataset();
+        assert!(exec.op_is_valid(&df, &QueryOp::filter("country", CompareOp::Eq, Value::str("x"))));
+        assert!(!exec.op_is_valid(&df, &QueryOp::filter("bogus", CompareOp::Eq, Value::str("x"))));
+        assert!(exec.op_is_valid(&df, &QueryOp::group_by("type", AggFunc::Avg, "duration")));
+        assert!(!exec.op_is_valid(&df, &QueryOp::group_by("type", AggFunc::Sum, "country")));
+    }
+}

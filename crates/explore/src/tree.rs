@@ -1,0 +1,334 @@
+//! The exploration-session tree.
+//!
+//! Paper §3: each query operation is a node; it is applied on the *results* of its
+//! parent node; the root is the raw dataset (no operation); the execution/display order
+//! of the session is the pre-order traversal of the tree.
+//!
+//! The CDRL engine builds trees incrementally: the "current" node is the most recently
+//! added node, a new operation becomes a child of the current node, and a `back`
+//! action moves the current pointer to the parent (so the next operation becomes a
+//! sibling subtree). This module encodes exactly those dynamics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::QueryOp;
+
+/// Identifier of a node inside an [`ExplorationTree`]. The root is always `NodeId(0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The root node id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One node of the exploration tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    /// Parent node (None only for the root).
+    pub parent: Option<NodeId>,
+    /// The operation at this node (None only for the root, which is the raw dataset).
+    pub op: Option<QueryOp>,
+    /// Children in insertion order.
+    pub children: Vec<NodeId>,
+}
+
+/// An exploration-session tree.
+///
+/// Invariants:
+/// * node 0 is the root and carries no operation;
+/// * every non-root node has exactly one parent and carries an operation;
+/// * children are stored in insertion order, and because nodes are only ever appended as
+///   children of the *current rightmost path*, node ids are a valid pre-order numbering
+///   of the tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplorationTree {
+    nodes: Vec<Node>,
+    current: NodeId,
+}
+
+impl Default for ExplorationTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExplorationTree {
+    /// A tree containing only the root (the raw dataset).
+    pub fn new() -> Self {
+        ExplorationTree {
+            nodes: vec![Node {
+                id: NodeId::ROOT,
+                parent: None,
+                op: None,
+                children: vec![],
+            }],
+            current: NodeId::ROOT,
+        }
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of operation nodes (excluding the root).
+    pub fn num_ops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The node the next operation would be appended under.
+    pub fn current(&self) -> NodeId {
+        self.current
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0)
+    }
+
+    /// The operation at a node (None for the root).
+    pub fn op(&self, id: NodeId) -> Option<&QueryOp> {
+        self.nodes.get(id.0).and_then(|n| n.op.as_ref())
+    }
+
+    /// The parent of a node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes.get(id.0).and_then(|n| n.parent)
+    }
+
+    /// The children of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        self.nodes
+            .get(id.0)
+            .map(|n| n.children.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All node ids in pre-order (root first). Because of the append-under-rightmost-
+    /// path construction, this is simply id order; the method still performs an explicit
+    /// traversal so that trees built by other means (e.g. tests) stay correct.
+    pub fn pre_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // push children in reverse so the first child is visited first
+            for &c in self.children(id).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The operations in session (pre-order) order, excluding the root.
+    pub fn ops_in_order(&self) -> Vec<(NodeId, &QueryOp)> {
+        self.pre_order()
+            .into_iter()
+            .filter_map(|id| self.op(id).map(|op| (id, op)))
+            .collect()
+    }
+
+    /// Append an operation as a child of the current node, making it the new current
+    /// node. Returns the new node's id.
+    pub fn push_op(&mut self, op: QueryOp) -> NodeId {
+        self.add_child(self.current, op)
+    }
+
+    /// Append an operation as a child of an explicit parent, making it the new current
+    /// node.
+    pub fn add_child(&mut self, parent: NodeId, op: QueryOp) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            parent: Some(parent),
+            op: Some(op),
+            children: vec![],
+        });
+        self.nodes[parent.0].children.push(id);
+        self.current = id;
+        id
+    }
+
+    /// The `back` action: move the current pointer to the parent of the current node.
+    /// Returns `false` (and does nothing) if the current node is already the root.
+    pub fn back(&mut self) -> bool {
+        match self.parent(self.current) {
+            Some(p) => {
+                self.current = p;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn max_depth(&self) -> usize {
+        (0..self.nodes.len())
+            .map(|i| self.depth(NodeId(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether `ancestor` is an ancestor of `node` (or the node itself).
+    pub fn is_ancestor_or_self(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// All descendant node ids of `id` (not including `id`).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).to_vec();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend_from_slice(self.children(n));
+        }
+        out.sort();
+        out
+    }
+
+    /// A compact single-line rendering like `ROOT(F[...](G[...]),F[...])`, useful in
+    /// logs and test failure messages.
+    pub fn to_compact_string(&self) -> String {
+        fn rec(tree: &ExplorationTree, id: NodeId, out: &mut String) {
+            match tree.op(id) {
+                None => out.push_str("ROOT"),
+                Some(op) => out.push_str(&op.to_string()),
+            }
+            let children = tree.children(id);
+            if !children.is_empty() {
+                out.push('(');
+                for (i, &c) in children.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    rec(tree, c, out);
+                }
+                out.push(')');
+            }
+        }
+        let mut s = String::new();
+        rec(self, NodeId::ROOT, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
+
+    fn fig1_tree() -> ExplorationTree {
+        // The running-example tree (Fig. 1d): two country filters off the root, each
+        // followed by two group-bys.
+        let mut t = ExplorationTree::new();
+        let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
+        t.add_child(f1, QueryOp::group_by("type", AggFunc::Count, "show_id"));
+        let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+        t.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
+        t.add_child(f2, QueryOp::group_by("type", AggFunc::Count, "show_id"));
+        t
+    }
+
+    #[test]
+    fn new_tree_has_only_root() {
+        let t = ExplorationTree::new();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.num_ops(), 0);
+        assert_eq!(t.current(), NodeId::ROOT);
+        assert!(t.op(NodeId::ROOT).is_none());
+    }
+
+    #[test]
+    fn push_and_back_follow_current_pointer() {
+        let mut t = ExplorationTree::new();
+        let a = t.push_op(QueryOp::filter("x", CompareOp::Eq, 1i64));
+        assert_eq!(t.current(), a);
+        let b = t.push_op(QueryOp::group_by("y", AggFunc::Count, "x"));
+        assert_eq!(t.parent(b), Some(a));
+        assert!(t.back());
+        assert_eq!(t.current(), a);
+        let c = t.push_op(QueryOp::group_by("z", AggFunc::Count, "x"));
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.children(a), &[b, c]);
+        assert!(t.back());
+        assert!(t.back());
+        assert_eq!(t.current(), NodeId::ROOT);
+        assert!(!t.back(), "back at root is a no-op");
+    }
+
+    #[test]
+    fn pre_order_matches_id_order_for_incremental_construction() {
+        let mut t = ExplorationTree::new();
+        t.push_op(QueryOp::filter("a", CompareOp::Eq, 1i64));
+        t.push_op(QueryOp::group_by("b", AggFunc::Count, "a"));
+        t.back();
+        t.push_op(QueryOp::group_by("c", AggFunc::Count, "a"));
+        t.back();
+        t.back();
+        t.push_op(QueryOp::filter("d", CompareOp::Neq, 1i64));
+        let order = t.pre_order();
+        assert_eq!(order, (0..t.len()).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fig1_tree_structure() {
+        let t = fig1_tree();
+        assert_eq!(t.num_ops(), 6);
+        assert_eq!(t.children(NodeId::ROOT).len(), 2);
+        assert_eq!(t.max_depth(), 2);
+        let ops = t.ops_in_order();
+        assert_eq!(ops.len(), 6);
+        assert_eq!(ops[0].1.primary_attr(), "country");
+        let s = t.to_compact_string();
+        assert!(s.starts_with("ROOT("));
+        assert!(s.contains("[F,country,eq,India]"));
+        assert!(s.contains("[G,type,count,show_id]"));
+    }
+
+    #[test]
+    fn ancestry_and_descendants() {
+        let t = fig1_tree();
+        let f1 = NodeId(1);
+        assert!(t.is_ancestor_or_self(NodeId::ROOT, NodeId(3)));
+        assert!(t.is_ancestor_or_self(f1, NodeId(2)));
+        assert!(!t.is_ancestor_or_self(f1, NodeId(5)));
+        assert_eq!(t.descendants(f1), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(t.descendants(NodeId::ROOT).len(), 6);
+        assert_eq!(t.depth(NodeId(3)), 2);
+    }
+}

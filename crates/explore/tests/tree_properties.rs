@@ -1,0 +1,116 @@
+//! Property-based tests for the exploration-tree model and session execution: pre-order
+//! traversal invariants, parent/child consistency, and that executing a session never
+//! invents rows (every view is a subset-or-aggregate of its parent).
+
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{DataFrame, Value};
+use linx_explore::{ExplorationTree, NodeId, OpKind, QueryOp, SessionExecutor};
+use proptest::prelude::*;
+
+/// A script of tree-building actions: add a filter/group-by, or go back.
+#[derive(Debug, Clone)]
+enum Step {
+    Filter(&'static str),
+    Group(&'static str),
+    Back,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => prop::sample::select(vec!["A", "B", "C"]).prop_map(Step::Filter),
+        3 => prop::sample::select(vec!["k", "v"]).prop_map(Step::Group),
+        1 => Just(Step::Back),
+    ]
+}
+
+fn build(steps: &[Step]) -> ExplorationTree {
+    let mut t = ExplorationTree::new();
+    for s in steps {
+        match s {
+            Step::Filter(term) => {
+                t.push_op(QueryOp::filter("k", CompareOp::Eq, Value::str(*term)));
+            }
+            Step::Group(attr) => {
+                t.push_op(QueryOp::group_by(*attr, AggFunc::Count, "v"));
+            }
+            Step::Back => {
+                t.back();
+            }
+        }
+    }
+    t
+}
+
+fn dataset() -> DataFrame {
+    let mut rows = Vec::new();
+    for i in 0..60 {
+        let k = ["A", "B", "C"][i % 3];
+        rows.push(vec![Value::str(k), Value::Int((i % 7) as i64)]);
+    }
+    DataFrame::from_rows(&["k", "v"], rows).unwrap()
+}
+
+proptest! {
+    /// Pre-order traversal visits every node exactly once, root first, and each
+    /// non-root node appears after its parent.
+    #[test]
+    fn pre_order_is_a_valid_traversal(steps in prop::collection::vec(step_strategy(), 0..14)) {
+        let tree = build(&steps);
+        let order = tree.pre_order();
+        prop_assert_eq!(order.len(), tree.len());
+        prop_assert_eq!(order[0], NodeId::ROOT);
+        let mut seen = std::collections::HashSet::new();
+        for &id in &order {
+            if let Some(parent) = tree.parent(id) {
+                prop_assert!(seen.contains(&parent), "node visited before its parent");
+            }
+            prop_assert!(seen.insert(id), "node visited twice");
+        }
+    }
+
+    /// num_ops equals the number of non-root nodes, and every op node has a parent.
+    #[test]
+    fn op_count_and_parent_consistency(steps in prop::collection::vec(step_strategy(), 0..14)) {
+        let tree = build(&steps);
+        prop_assert_eq!(tree.num_ops(), tree.len() - 1);
+        for (id, _) in tree.ops_in_order() {
+            prop_assert!(tree.parent(id).is_some());
+            prop_assert!(tree.op(id).is_some());
+        }
+        // The root carries no operation.
+        prop_assert!(tree.op(NodeId::ROOT).is_none());
+    }
+
+    /// Executing a session never invents rows: a filter view is no larger than its
+    /// parent, and a group-by view has at most as many rows as the parent's distinct keys.
+    #[test]
+    fn execution_never_invents_rows(steps in prop::collection::vec(step_strategy(), 0..12)) {
+        let data = dataset();
+        let tree = build(&steps);
+        let exec = SessionExecutor::new(data.clone());
+        let views = exec.execute_tree_lenient(&tree);
+        for (id, op) in tree.ops_in_order() {
+            let (Some(view), Some(parent)) = (views.get(&id), tree.parent(id)) else { continue };
+            let Some(pview) = views.get(&parent) else { continue };
+            match op.kind() {
+                OpKind::Filter => prop_assert!(view.num_rows() <= pview.num_rows()),
+                OpKind::GroupBy => {
+                    // One row per distinct group key; at most the parent's row count.
+                    prop_assert!(view.num_rows() <= pview.num_rows().max(1));
+                }
+            }
+        }
+    }
+
+    /// depth(root) is 0 and a child's depth is exactly one more than its parent's.
+    #[test]
+    fn depth_increments_by_one_per_level(steps in prop::collection::vec(step_strategy(), 0..14)) {
+        let tree = build(&steps);
+        prop_assert_eq!(tree.depth(NodeId::ROOT), 0);
+        for (id, _) in tree.ops_in_order() {
+            let parent = tree.parent(id).unwrap();
+            prop_assert_eq!(tree.depth(id), tree.depth(parent) + 1);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Parser for the textual LDX syntax used throughout the paper.
+//!
+//! Grammar (one specification per line; `and` joins several constraints for the same
+//! named node):
+//!
+//! ```text
+//! query      := spec ("\n" spec)*
+//! spec       := NAME constraint ("and" constraint)*
+//! constraint := "LIKE" "[" pattern "]"
+//!             | "CHILDREN" node_list
+//!             | "DESCENDANTS" node_list
+//! node_list  := ("{" | "<") NAME ("," NAME)* ("," "+")* ("}" | ">")
+//! ```
+//!
+//! `ROOT` and `BEGIN` both name the root node and are normalized to `ROOT`.
+
+use std::fmt;
+
+use crate::ast::{ChildrenSpec, Ldx, NodeSpec, OpPattern, ROOT_NAME};
+
+/// Parsing error with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdxParseError {
+    /// 1-based line number of the offending specification.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LdxParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LDX parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LdxParseError {}
+
+/// Parse an LDX query from text.
+///
+/// Lines that are empty or start with `#` or `//` are ignored. Multiple specifications
+/// for the same node are merged.
+pub fn parse_ldx(text: &str) -> Result<Ldx, LdxParseError> {
+    let mut specs: Vec<NodeSpec> = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let spec = parse_spec_line(line, line_no)?;
+        match specs.iter_mut().find(|s| s.name == spec.name) {
+            Some(existing) => merge_spec(existing, spec),
+            None => specs.push(spec),
+        }
+    }
+    let ldx = Ldx::new(specs);
+    Ok(ldx)
+}
+
+fn merge_spec(existing: &mut NodeSpec, new: NodeSpec) {
+    if existing.like.is_none() {
+        existing.like = new.like;
+    }
+    match (&mut existing.children, new.children) {
+        (Some(e), Some(n)) => {
+            for name in n.named {
+                if !e.named.contains(&name) {
+                    e.named.push(name);
+                }
+            }
+            e.extra += n.extra;
+        }
+        (None, Some(n)) => existing.children = Some(n),
+        _ => {}
+    }
+    for d in new.descendants {
+        if !existing.descendants.contains(&d) {
+            existing.descendants.push(d);
+        }
+    }
+}
+
+fn normalize_name(name: &str) -> String {
+    let trimmed = name.trim();
+    if trimmed.eq_ignore_ascii_case("ROOT") || trimmed.eq_ignore_ascii_case("BEGIN") {
+        ROOT_NAME.to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn parse_spec_line(line: &str, line_no: usize) -> Result<NodeSpec, LdxParseError> {
+    let err = |msg: String| LdxParseError {
+        line: line_no,
+        message: msg,
+    };
+    // Node name = first whitespace-separated token.
+    let mut rest = line;
+    let name_end = rest
+        .find(char::is_whitespace)
+        .ok_or_else(|| err(format!("expected constraints after node name in {line:?}")))?;
+    let name = normalize_name(&rest[..name_end]);
+    rest = rest[name_end..].trim();
+
+    let mut spec = NodeSpec::named(name);
+
+    // Split the remainder into constraints on the keyword boundaries. We scan for the
+    // keywords LIKE / CHILDREN / DESCENDANTS; the connective "and" between them is
+    // optional noise.
+    let mut tokens = split_constraints(rest);
+    if tokens.is_empty() {
+        return Err(err("no constraints found".to_string()));
+    }
+    for (keyword, body) in tokens.drain(..) {
+        match keyword.to_ascii_uppercase().as_str() {
+            "LIKE" => {
+                if !body.trim_start().starts_with('[') {
+                    return Err(err(format!("LIKE expects a [..] pattern, got {body:?}")));
+                }
+                spec.like = Some(OpPattern::parse(&body));
+            }
+            "CHILDREN" => {
+                let children = parse_node_list(&body).map_err(&err)?;
+                let mut cs = ChildrenSpec::default();
+                for c in children {
+                    if c == "+" {
+                        cs.extra += 1;
+                    } else {
+                        cs.named.push(normalize_name(&c));
+                    }
+                }
+                spec.children = Some(cs);
+            }
+            "DESCENDANTS" => {
+                let descendants = parse_node_list(&body).map_err(&err)?;
+                for d in descendants {
+                    if d == "+" {
+                        return Err(err("'+' is only valid in CHILDREN lists".to_string()));
+                    }
+                    spec.descendants.push(normalize_name(&d));
+                }
+            }
+            other => return Err(err(format!("unknown constraint keyword {other:?}"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// Split `"LIKE [..] and CHILDREN {..}"` into `[("LIKE", "[..]"), ("CHILDREN", "{..}")]`.
+fn split_constraints(text: &str) -> Vec<(String, String)> {
+    const KEYWORDS: [&str; 3] = ["LIKE", "CHILDREN", "DESCENDANTS"];
+    let mut out: Vec<(String, usize, usize)> = Vec::new(); // (keyword, start of body, end)
+    let upper = text.to_ascii_uppercase();
+    let mut positions: Vec<(usize, &str)> = Vec::new();
+    for kw in KEYWORDS {
+        let mut start = 0;
+        while let Some(pos) = upper[start..].find(kw) {
+            let abs = start + pos;
+            // keyword must be at a word boundary
+            let before_ok = abs == 0
+                || !upper.as_bytes()[abs - 1].is_ascii_alphanumeric();
+            let after = abs + kw.len();
+            let after_ok = after >= upper.len() || !upper.as_bytes()[after].is_ascii_alphanumeric();
+            if before_ok && after_ok {
+                positions.push((abs, kw));
+            }
+            start = abs + kw.len();
+        }
+    }
+    positions.sort_by_key(|(p, _)| *p);
+    for (i, (pos, kw)) in positions.iter().enumerate() {
+        let body_start = pos + kw.len();
+        let body_end = positions
+            .get(i + 1)
+            .map(|(p, _)| *p)
+            .unwrap_or(text.len());
+        out.push((kw.to_string(), body_start, body_end));
+    }
+    out.into_iter()
+        .map(|(kw, s, e)| {
+            let body = text[s..e].trim();
+            let body = body
+                .trim_end_matches(|c: char| c.is_whitespace())
+                .trim_end();
+            // Strip a trailing "and" connective.
+            let body = body
+                .strip_suffix("and")
+                .map(str::trim_end)
+                .unwrap_or(body)
+                .to_string();
+            (kw, body)
+        })
+        .collect()
+}
+
+/// Parse a node list `{A, B, +}` or `<A,B>`.
+fn parse_node_list(text: &str) -> Result<Vec<String>, String> {
+    let t = text.trim();
+    let inner = if (t.starts_with('{') && t.ends_with('}'))
+        || (t.starts_with('<') && t.ends_with('>'))
+    {
+        &t[1..t.len() - 1]
+    } else {
+        t
+    };
+    let items: Vec<String> = inner
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if items.is_empty() {
+        return Err(format!("empty node list in {text:?}"));
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TokenPattern;
+
+    #[test]
+    fn parses_hello_world_example() {
+        // Example 4.1 from the paper.
+        let text = "ROOT CHILDREN <A,B>\nA LIKE [G,(?<X>.*),.*]\nB LIKE [F,(?<X>.*),.*]";
+        let ldx = parse_ldx(text).unwrap();
+        assert_eq!(ldx.node_names(), vec!["ROOT", "A", "B"]);
+        assert_eq!(ldx.declared_parent("A"), Some("ROOT"));
+        assert_eq!(ldx.declared_parent("B"), Some("ROOT"));
+        let a = ldx.spec("A").unwrap();
+        assert_eq!(
+            a.like.as_ref().unwrap().kind_pattern(),
+            TokenPattern::lit("G")
+        );
+        assert_eq!(ldx.continuity_vars().len(), 1);
+        assert!(ldx.validate().is_ok());
+    }
+
+    #[test]
+    fn parses_fig1c_query_with_and_connectives() {
+        let text = "BEGIN CHILDREN {A1,A2}\n\
+                    A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+                    B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+                    A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+                    B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]";
+        let ldx = parse_ldx(text).unwrap();
+        assert_eq!(ldx.node_names(), vec!["ROOT", "A1", "B1", "A2", "B2"]);
+        assert_eq!(ldx.declared_parent("B1"), Some("A1"));
+        assert_eq!(ldx.declared_parent("A2"), Some("ROOT"));
+        let vars = ldx.continuity_vars();
+        assert!(vars.contains("X") && vars.contains("COL") && vars.contains("AGG"));
+        assert!(ldx.validate().is_ok());
+    }
+
+    #[test]
+    fn parses_children_plus_and_descendants() {
+        let text = "BEGIN DESCENDANTS {A1}\nA1 LIKE [F,.*] and CHILDREN {B1,+}\nB1 LIKE [G,.*]";
+        let ldx = parse_ldx(text).unwrap();
+        let root = ldx.spec("ROOT").unwrap();
+        assert_eq!(root.descendants, vec!["A1"]);
+        let a1 = ldx.spec("A1").unwrap();
+        let cs = a1.children.as_ref().unwrap();
+        assert_eq!(cs.named, vec!["B1"]);
+        assert_eq!(cs.extra, 1);
+        assert_eq!(cs.min_children(), 2);
+        assert_eq!(ldx.declared_ancestor("A1"), Some("ROOT"));
+        assert_eq!(ldx.min_operations(), 3);
+    }
+
+    #[test]
+    fn merges_repeated_specs_for_same_node() {
+        let text = "ROOT CHILDREN {A}\nROOT CHILDREN {B}\nA LIKE [F,.*]\nB LIKE [G,.*]";
+        let ldx = parse_ldx(text).unwrap();
+        let root = ldx.spec("ROOT").unwrap();
+        assert_eq!(root.children.as_ref().unwrap().named, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn ignores_comments_and_blank_lines() {
+        let text = "# the root\nROOT CHILDREN {A}\n\n// op\nA LIKE [F,.*]\n";
+        let ldx = parse_ldx(text).unwrap();
+        assert_eq!(ldx.specs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_ldx("JUSTANAME").is_err());
+        assert!(parse_ldx("A FOO {B}").is_err());
+        assert!(parse_ldx("A LIKE country").is_err());
+        assert!(parse_ldx("A CHILDREN {}").is_err());
+        assert!(parse_ldx("A DESCENDANTS {+}").is_err());
+        let err = parse_ldx("ROOT CHILDREN {A}\nA BLAH [F]").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn round_trips_through_canonical_form() {
+        let text = "ROOT CHILDREN {A1,A2}\n\
+                    A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+                    B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+                    A2 LIKE [F,country,neq,(?<X>.*)]";
+        let ldx = parse_ldx(text).unwrap();
+        let reparsed = parse_ldx(&ldx.canonical()).unwrap();
+        assert_eq!(ldx, reparsed);
+    }
+}

@@ -1,0 +1,252 @@
+//! The token-pattern language used inside LDX operation specifications.
+//!
+//! An operation pattern like `[F, 'country', eq, (?<X>.*)]` is a list of token patterns,
+//! one per operation parameter. Each token pattern is one of:
+//!
+//! * a **literal** (`country`, `eq`, `3`, quoted `'country'`),
+//! * a **wildcard** (`.*` or `*`) matching any token,
+//! * an **alternation** (`SUM|AVG`) matching any of the listed literals,
+//! * a **capture** (`(?<X>.*)`, `(?<X>SUM|AVG)`, or the `<X>` shorthand used by the
+//!   PyLDX templates) which matches like its inner pattern and *binds* the matched token
+//!   to the continuity variable `X`.
+//!
+//! This is the subset of regular-expression syntax the paper's LDX queries use; a full
+//! regex engine is unnecessary (and the `regex` crate is outside the allowed offline
+//! dependency set), so matching is implemented directly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The bindings of continuity variables to concrete tokens accumulated during matching.
+pub type Bindings = BTreeMap<String, String>;
+
+/// A pattern over a single operation parameter token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenPattern {
+    /// Matches any token (`.*` / `*`).
+    Any,
+    /// Matches a specific token, case-insensitively.
+    Literal(String),
+    /// Matches any of the listed tokens, case-insensitively.
+    Alt(Vec<String>),
+    /// Matches like `inner` and binds the matched token to continuity variable `var`.
+    Capture {
+        /// Continuity variable name.
+        var: String,
+        /// Inner pattern.
+        inner: Box<TokenPattern>,
+    },
+}
+
+impl TokenPattern {
+    /// Shorthand for a capture over a wildcard: `(?<var>.*)`.
+    pub fn capture_any(var: impl Into<String>) -> TokenPattern {
+        TokenPattern::Capture {
+            var: var.into(),
+            inner: Box::new(TokenPattern::Any),
+        }
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(s: impl Into<String>) -> TokenPattern {
+        TokenPattern::Literal(s.into())
+    }
+
+    /// Whether this pattern constrains the token at all (i.e. is not a bare wildcard or
+    /// a capture over a wildcard). Used when counting "specified parameters" for the
+    /// operational compliance reward.
+    pub fn is_constraining(&self) -> bool {
+        match self {
+            TokenPattern::Any => false,
+            TokenPattern::Literal(_) | TokenPattern::Alt(_) => true,
+            TokenPattern::Capture { inner, .. } => inner.is_constraining(),
+        }
+    }
+
+    /// The continuity variable captured by this pattern, if any.
+    pub fn capture_var(&self) -> Option<&str> {
+        match self {
+            TokenPattern::Capture { var, .. } => Some(var),
+            _ => None,
+        }
+    }
+
+    /// Try to match a token given the already-bound continuity variables.
+    ///
+    /// Returns `Some(new_bindings)` on success (possibly empty), `None` on mismatch.
+    /// A capture whose variable is already bound only matches the bound value; an
+    /// unbound capture matches like its inner pattern and produces a new binding.
+    pub fn matches(&self, token: &str, bound: &Bindings) -> Option<Bindings> {
+        match self {
+            TokenPattern::Any => Some(Bindings::new()),
+            TokenPattern::Literal(l) => {
+                if eq_ci(l, token) {
+                    Some(Bindings::new())
+                } else {
+                    None
+                }
+            }
+            TokenPattern::Alt(options) => {
+                if options.iter().any(|o| eq_ci(o, token)) {
+                    Some(Bindings::new())
+                } else {
+                    None
+                }
+            }
+            TokenPattern::Capture { var, inner } => {
+                if let Some(existing) = bound.get(var) {
+                    if !eq_ci(existing, token) {
+                        return None;
+                    }
+                    // Also check the inner pattern (e.g. (?<X>SUM|AVG) must still be one
+                    // of the alternatives).
+                    inner.matches(token, bound)
+                } else {
+                    let inner_binds = inner.matches(token, bound)?;
+                    let mut out = inner_binds;
+                    out.insert(var.clone(), token.to_string());
+                    Some(out)
+                }
+            }
+        }
+    }
+
+    /// Parse a single token pattern from its textual form.
+    pub fn parse(text: &str) -> TokenPattern {
+        let t = text.trim();
+        let t = t.trim_matches(|c| c == '\'' || c == '"');
+        if t.is_empty() || t == ".*" || t == "*" {
+            return TokenPattern::Any;
+        }
+        // Named-group capture: (?<X>inner)
+        if let Some(rest) = t.strip_prefix("(?<") {
+            if let Some(gt) = rest.find('>') {
+                let var = &rest[..gt];
+                let inner_text = rest[gt + 1..].trim_end_matches(')');
+                return TokenPattern::Capture {
+                    var: var.to_string(),
+                    inner: Box::new(TokenPattern::parse(inner_text)),
+                };
+            }
+        }
+        // PyLDX-style placeholder <COL> — a capture over a wildcard whose variable name
+        // is the placeholder.
+        if t.starts_with('<') && t.ends_with('>') && t.len() > 2 {
+            return TokenPattern::capture_any(&t[1..t.len() - 1]);
+        }
+        if t.contains('|') {
+            return TokenPattern::Alt(
+                t.split('|')
+                    .map(|s| s.trim().trim_matches(|c| c == '\'' || c == '"').to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+            );
+        }
+        TokenPattern::Literal(t.to_string())
+    }
+}
+
+impl fmt::Display for TokenPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenPattern::Any => write!(f, ".*"),
+            TokenPattern::Literal(l) => write!(f, "{l}"),
+            TokenPattern::Alt(opts) => write!(f, "{}", opts.join("|")),
+            TokenPattern::Capture { var, inner } => write!(f, "(?<{var}>{inner})"),
+        }
+    }
+}
+
+/// Case-insensitive token comparison (LDX treats `eq` / `EQ`, `count` / `CNT` casing
+/// and attribute casing leniently, as the LLM output does).
+fn eq_ci(a: &str, b: &str) -> bool {
+    a.eq_ignore_ascii_case(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_wildcards_literals_and_alternations() {
+        assert_eq!(TokenPattern::parse(".*"), TokenPattern::Any);
+        assert_eq!(TokenPattern::parse("*"), TokenPattern::Any);
+        assert_eq!(TokenPattern::parse("'country'"), TokenPattern::lit("country"));
+        assert_eq!(TokenPattern::parse("eq"), TokenPattern::lit("eq"));
+        assert_eq!(
+            TokenPattern::parse("SUM|AVG"),
+            TokenPattern::Alt(vec!["SUM".into(), "AVG".into()])
+        );
+    }
+
+    #[test]
+    fn parse_captures_and_placeholders() {
+        let p = TokenPattern::parse("(?<X>.*)");
+        assert_eq!(p, TokenPattern::capture_any("X"));
+        let p = TokenPattern::parse("(?<F>SUM|AVG)");
+        match &p {
+            TokenPattern::Capture { var, inner } => {
+                assert_eq!(var, "F");
+                assert!(matches!(**inner, TokenPattern::Alt(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(TokenPattern::parse("<COL>"), TokenPattern::capture_any("COL"));
+    }
+
+    #[test]
+    fn literal_and_alt_matching_is_case_insensitive() {
+        let b = Bindings::new();
+        assert!(TokenPattern::lit("country").matches("Country", &b).is_some());
+        assert!(TokenPattern::lit("country").matches("rating", &b).is_none());
+        let alt = TokenPattern::Alt(vec!["sum".into(), "avg".into()]);
+        assert!(alt.matches("AVG", &b).is_some());
+        assert!(alt.matches("count", &b).is_none());
+        assert!(TokenPattern::Any.matches("anything", &b).is_some());
+    }
+
+    #[test]
+    fn capture_binds_and_enforces_consistency() {
+        let p = TokenPattern::capture_any("X");
+        let b = Bindings::new();
+        let binds = p.matches("India", &b).unwrap();
+        assert_eq!(binds.get("X").map(String::as_str), Some("India"));
+
+        // Once bound, only the same value matches.
+        let mut bound = Bindings::new();
+        bound.insert("X".to_string(), "India".to_string());
+        assert!(p.matches("India", &bound).is_some());
+        assert!(p.matches("US", &bound).is_none());
+    }
+
+    #[test]
+    fn capture_with_constrained_inner_pattern() {
+        let p = TokenPattern::parse("(?<AGG>sum|avg)");
+        let b = Bindings::new();
+        assert!(p.matches("sum", &b).is_some());
+        assert!(p.matches("count", &b).is_none());
+        let mut bound = Bindings::new();
+        bound.insert("AGG".to_string(), "sum".to_string());
+        assert!(p.matches("sum", &bound).is_some());
+        assert!(p.matches("avg", &bound).is_none(), "bound value wins over alternation");
+    }
+
+    #[test]
+    fn is_constraining_classification() {
+        assert!(!TokenPattern::Any.is_constraining());
+        assert!(!TokenPattern::capture_any("X").is_constraining());
+        assert!(TokenPattern::lit("country").is_constraining());
+        assert!(TokenPattern::parse("(?<F>SUM|AVG)").is_constraining());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for text in [".*", "country", "SUM|AVG", "(?<X>.*)", "(?<F>sum|avg)"] {
+            let p = TokenPattern::parse(text);
+            let p2 = TokenPattern::parse(&p.to_string());
+            assert_eq!(p, p2, "round trip failed for {text}");
+        }
+    }
+}

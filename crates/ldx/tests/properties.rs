@@ -1,0 +1,159 @@
+//! Property-based tests for the LDX language: parser/printer round-tripping, the
+//! structural/operational partition, and verification-engine soundness (a tree built to
+//! satisfy a query verifies; structurally-broken mutations do not).
+
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::Value;
+use linx_explore::{ExplorationTree, NodeId, QueryOp};
+use linx_ldx::{parse_ldx, Ldx, VerifyEngine};
+use proptest::prelude::*;
+
+/// A generated filter/group-by specification skeleton for one "A_i -> B_i" branch.
+#[derive(Debug, Clone)]
+struct Branch {
+    filter_attr: String,
+    filter_op: &'static str,
+    group_attr: String,
+}
+
+fn attr_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["country", "type", "rating", "genre"]).prop_map(str::to_string)
+}
+
+fn op_strategy() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["eq", "neq"])
+}
+
+fn branch_strategy() -> impl Strategy<Value = Branch> {
+    (attr_strategy(), op_strategy(), attr_strategy()).prop_map(|(fa, fo, ga)| Branch {
+        filter_attr: fa,
+        filter_op: fo,
+        group_attr: ga,
+    })
+}
+
+/// Build an LDX query text from 1-3 branches (each: a filter child of ROOT with a
+/// group-by child).
+fn ldx_text(branches: &[Branch]) -> String {
+    let mut lines = Vec::new();
+    let child_names: Vec<String> = (0..branches.len()).map(|i| format!("A{}", i + 1)).collect();
+    lines.push(format!("ROOT CHILDREN {{{}}}", child_names.join(",")));
+    for (i, b) in branches.iter().enumerate() {
+        let a = format!("A{}", i + 1);
+        let bn = format!("B{}", i + 1);
+        lines.push(format!(
+            "{a} LIKE [F,{},{},.*] and CHILDREN {{{bn}}}",
+            b.filter_attr, b.filter_op
+        ));
+        lines.push(format!("{bn} LIKE [G,{},count,.*]", b.group_attr));
+    }
+    lines.join("\n")
+}
+
+/// Build a tree that satisfies the generated query (filter then group-by per branch).
+fn compliant_tree(branches: &[Branch]) -> ExplorationTree {
+    let mut tree = ExplorationTree::new();
+    for b in branches {
+        let op = CompareOp::parse(b.filter_op).unwrap();
+        let f = tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter(&b.filter_attr, op, Value::str("x")),
+        );
+        tree.add_child(f, QueryOp::group_by(&b.group_attr, AggFunc::Count, "k"));
+    }
+    tree
+}
+
+proptest! {
+    /// Parsing and canonical printing round-trips: reparsing the canonical form yields an
+    /// equal query.
+    #[test]
+    fn parse_print_round_trip(branches in prop::collection::vec(branch_strategy(), 1..3)) {
+        let text = ldx_text(&branches);
+        let parsed = parse_ldx(&text).unwrap();
+        let canonical = parsed.canonical();
+        let reparsed = parse_ldx(&canonical).unwrap();
+        prop_assert_eq!(parsed.canonical(), reparsed.canonical());
+    }
+
+    /// A parsed query always validates and its min_operations equals the number of
+    /// declared operation nodes (no `+` markers generated here).
+    #[test]
+    fn parsed_queries_validate(branches in prop::collection::vec(branch_strategy(), 1..3)) {
+        let parsed = parse_ldx(&ldx_text(&branches)).unwrap();
+        prop_assert!(parsed.validate().is_ok());
+        prop_assert_eq!(parsed.min_operations(), branches.len() * 2);
+    }
+
+    /// Structural reduction keeps every node but drops all constraining parameters.
+    #[test]
+    fn structural_reduction_preserves_node_count(branches in prop::collection::vec(branch_strategy(), 1..3)) {
+        let parsed = parse_ldx(&ldx_text(&branches)).unwrap();
+        let structural = parsed.structural();
+        prop_assert_eq!(structural.specs.len(), parsed.specs.len());
+        prop_assert!(structural.operational_specs().is_empty());
+    }
+
+    /// Soundness: a tree built to satisfy the query verifies (both full and structural).
+    #[test]
+    fn compliant_tree_verifies(branches in prop::collection::vec(branch_strategy(), 1..3)) {
+        let parsed = parse_ldx(&ldx_text(&branches)).unwrap();
+        let tree = compliant_tree(&branches);
+        let engine = VerifyEngine::new(parsed);
+        prop_assert!(engine.verify_structural(&tree));
+        prop_assert!(engine.verify(&tree));
+    }
+
+    /// Completeness (negative): an empty session never satisfies a non-empty query, and a
+    /// single stray group-by off the root does not satisfy a two-filter structure.
+    #[test]
+    fn broken_trees_do_not_verify(branches in prop::collection::vec(branch_strategy(), 2..3)) {
+        let parsed = parse_ldx(&ldx_text(&branches)).unwrap();
+        let engine = VerifyEngine::new(parsed);
+        prop_assert!(!engine.verify(&ExplorationTree::new()));
+
+        let mut stray = ExplorationTree::new();
+        stray.add_child(NodeId::ROOT, QueryOp::group_by("type", AggFunc::Count, "k"));
+        prop_assert!(!engine.verify_structural(&stray));
+    }
+
+    /// Dropping the last branch's group-by child breaks structural compliance when the
+    /// query required it.
+    #[test]
+    fn missing_group_by_child_breaks_structure(branches in prop::collection::vec(branch_strategy(), 1..3)) {
+        let parsed = parse_ldx(&ldx_text(&branches)).unwrap();
+        let engine = VerifyEngine::new(parsed);
+        // A tree with only the filters (no group-by children).
+        let mut tree = ExplorationTree::new();
+        for b in &branches {
+            let op = CompareOp::parse(b.filter_op).unwrap();
+            tree.add_child(NodeId::ROOT, QueryOp::filter(&b.filter_attr, op, Value::str("x")));
+        }
+        prop_assert!(!engine.verify_structural(&tree));
+    }
+}
+
+/// A continuity variable shared across two filters forces the same term.
+#[test]
+fn continuity_variable_enforced_by_verification() {
+    let ldx: Ldx = parse_ldx(
+        "ROOT CHILDREN {A1,A2}\n\
+         A1 LIKE [F,country,eq,(?<X>.*)]\n\
+         A2 LIKE [F,country,neq,(?<X>.*)]",
+    )
+    .unwrap();
+    let engine = VerifyEngine::new(ldx);
+
+    // Same term on both sides: compliant.
+    let mut ok = ExplorationTree::new();
+    ok.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+    ok.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+    assert!(engine.verify(&ok));
+
+    // Different terms: violates the continuity constraint.
+    let mut bad = ExplorationTree::new();
+    bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+    bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("US")));
+    assert!(!engine.verify(&bad));
+}

@@ -1,0 +1,203 @@
+//! `linx` — the end-to-end LINX system (paper §1–§3): language-driven, goal-oriented
+//! automated data exploration.
+//!
+//! Given a tabular dataset and an analytical goal described in natural language, LINX
+//!
+//! 1. derives a set of **LDX exploration specifications** from the goal (the
+//!    `linx-nl2ldx` pipeline — NL → PyLDX template → LDX), and
+//! 2. runs the **CDRL modular ADE engine** (`linx-cdrl`) to generate an exploration
+//!    session that maximizes the generic exploration utility while complying with the
+//!    derived specifications, and
+//! 3. renders the session as a notebook (`linx-explore`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use linx::{Linx, LinxConfig};
+//! use linx_data::{generate, DatasetKind, ScaleConfig};
+//!
+//! // A small synthetic Netflix-like dataset (see `linx-data` for the full generators).
+//! let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(400), seed: 7 });
+//!
+//! let mut config = LinxConfig::default();
+//! config.cdrl.episodes = 60; // keep the doctest fast; the default is higher
+//!
+//! let linx = Linx::new(config);
+//! let outcome = linx.explore(
+//!     &dataset,
+//!     "netflix",
+//!     "Find a country with different viewing habits than the rest of the world",
+//! );
+//!
+//! assert!(outcome.notebook.len() >= 2);
+//! println!("{}", outcome.notebook.to_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use linx_cdrl::{CdrlConfig, CdrlTrainer, TrainOutcome};
+use linx_dataframe::DataFrame;
+use linx_explore::{narrate, Narrative, Notebook, SessionExecutor};
+use linx_ldx::Ldx;
+use linx_nl2ldx::{DerivationResult, SpecDeriver};
+
+/// Configuration of the end-to-end system.
+#[derive(Debug, Clone, Default)]
+pub struct LinxConfig {
+    /// CDRL engine configuration (variant, reward weights, training budget).
+    pub cdrl: CdrlConfig,
+    /// Number of dataset rows included as the data sample for schema/value linking
+    /// (the paper's prompts include the first five rows; value linking benefits from a
+    /// slightly larger sample).
+    pub sample_rows: usize,
+}
+
+impl LinxConfig {
+    /// A configuration with a reduced training budget for tests and demos.
+    pub fn fast() -> Self {
+        LinxConfig {
+            cdrl: CdrlConfig {
+                episodes: 80,
+                ..CdrlConfig::default()
+            },
+            sample_rows: 200,
+        }
+    }
+}
+
+/// The result of one end-to-end exploration request.
+#[derive(Debug, Clone)]
+pub struct LinxOutcome {
+    /// The specification-derivation result (meta-goal, PyLDX template, LDX).
+    pub derivation: DerivationResult,
+    /// The CDRL training outcome (best session, compliance flags, training log).
+    pub training: TrainOutcome,
+    /// The rendered notebook of the best session.
+    pub notebook: Notebook,
+    /// Spelled-out natural-language insights derived from the best session (the paper's
+    /// stated future extension; may be empty when the session surfaces no clear
+    /// contrast).
+    pub narrative: Narrative,
+}
+
+/// The LINX system facade.
+#[derive(Debug, Clone, Default)]
+pub struct Linx {
+    config: LinxConfig,
+}
+
+impl Linx {
+    /// Create a system with the given configuration.
+    pub fn new(config: LinxConfig) -> Self {
+        let mut config = config;
+        if config.sample_rows == 0 {
+            config.sample_rows = 200;
+        }
+        Linx { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &LinxConfig {
+        &self.config
+    }
+
+    /// Step 1 only: derive LDX specifications for a goal over a dataset.
+    pub fn derive_specs(
+        &self,
+        dataset: &DataFrame,
+        dataset_name: &str,
+        goal: &str,
+    ) -> DerivationResult {
+        let sample = dataset.head(self.config.sample_rows.max(5));
+        SpecDeriver::new().derive(goal, dataset_name, &dataset.schema(), Some(&sample))
+    }
+
+    /// Step 2 only: run the CDRL engine for explicit LDX specifications and render the
+    /// resulting notebook.
+    pub fn explore_with_ldx(
+        &self,
+        dataset: &DataFrame,
+        ldx: Ldx,
+        title: &str,
+    ) -> (TrainOutcome, Notebook) {
+        let trainer = CdrlTrainer::new(self.config.cdrl.clone());
+        let outcome = trainer.train(dataset.clone(), ldx);
+        let executor = SessionExecutor::new(dataset.clone());
+        let notebook = Notebook::render(title, &executor, &outcome.best_tree);
+        (outcome, notebook)
+    }
+
+    /// The full pipeline: goal → specifications → compliant exploration session →
+    /// notebook.
+    pub fn explore(&self, dataset: &DataFrame, dataset_name: &str, goal: &str) -> LinxOutcome {
+        let derivation = self.derive_specs(dataset, dataset_name, goal);
+        let title = format!("{dataset_name} — {goal}");
+        let (training, notebook) =
+            self.explore_with_ldx(dataset, derivation.ldx.clone(), &title);
+        let narrative = narrate(dataset, &training.best_tree);
+        LinxOutcome {
+            derivation,
+            training,
+            notebook,
+            narrative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_data::{generate, DatasetKind, ScaleConfig};
+
+    fn netflix() -> DataFrame {
+        generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(600),
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn derive_specs_matches_the_running_example() {
+        let linx = Linx::new(LinxConfig::fast());
+        let d = linx.derive_specs(
+            &netflix(),
+            "netflix",
+            "Find a country with different viewing habits than the rest of the world",
+        );
+        assert_eq!(d.params.attr, "country");
+        assert!(d.ldx.canonical().contains("[F,country,eq,(?<X>.*)]"));
+        assert!(d.pyldx.render().contains("pd.read_csv"));
+    }
+
+    #[test]
+    fn end_to_end_produces_a_compliant_notebook() {
+        let mut config = LinxConfig::fast();
+        config.cdrl.episodes = 350;
+        let linx = Linx::new(config);
+        let outcome = linx.explore(
+            &netflix(),
+            "netflix",
+            "Examine characteristics of titles from India",
+        );
+        assert!(outcome.training.best_structural);
+        assert!(outcome.notebook.len() >= 2);
+        let text = outcome.notebook.to_text();
+        assert!(text.contains("India") || text.contains("country"));
+    }
+
+    #[test]
+    fn explore_with_explicit_ldx_skips_derivation() {
+        let linx = Linx::new(LinxConfig::fast());
+        let ldx = linx_ldx::parse_ldx(
+            "ROOT CHILDREN {A1}\nA1 LIKE [F,type,eq,Movie] and CHILDREN {B1}\nB1 LIKE [G,.*]",
+        )
+        .unwrap();
+        let (outcome, notebook) = linx.explore_with_ldx(&netflix(), ldx, "manual spec");
+        assert!(outcome.best_tree.num_ops() >= 1);
+        assert_eq!(notebook.title, "manual spec");
+    }
+}

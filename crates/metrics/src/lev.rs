@@ -1,0 +1,192 @@
+//! Two-way Levenshtein similarity (`lev²`, paper §7.2).
+//!
+//! Plain edit distance over the full LDX text over-penalizes queries that are
+//! conceptually equivalent but, e.g., declare operations in a different order. `lev²`
+//! therefore compares the *structural* part (tree-shape declarations with operation
+//! kinds) and the *operational* part (the parameter patterns) separately:
+//!
+//! * the structural score is the normalized Levenshtein distance between the canonical
+//!   structural strings,
+//! * the operational score matches every operational specification of the first query
+//!   with its closest counterpart in the second (by normalized Levenshtein) and averages
+//!   the distances (both directions are averaged to keep the measure symmetric), and
+//! * the final similarity is the harmonic mean of the two complement scores.
+
+use linx_ldx::Ldx;
+
+/// Classic Levenshtein edit distance between two strings (character level).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance normalized by the longer string's length (0 = identical,
+/// 1 = completely different). Two empty strings have distance 0.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// The canonical structural string of an LDX query (lower-cased, whitespace-normalized).
+fn structural_string(ldx: &Ldx) -> String {
+    normalize(&ldx.structural().canonical())
+}
+
+/// The canonical operational strings of an LDX query.
+fn operational_strings(ldx: &Ldx) -> Vec<String> {
+    ldx.operational_specs()
+        .iter()
+        .map(|(_, pattern)| normalize(&pattern.to_string()))
+        .collect()
+}
+
+fn normalize(s: &str) -> String {
+    s.to_ascii_lowercase()
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != '\'' && *c != '"')
+        .collect()
+}
+
+/// Mean, over the specifications of `from`, of the distance to the closest
+/// specification of `to`. Empty `from` gives 0 (nothing to miss); empty `to` with a
+/// non-empty `from` gives 1.
+fn directed_operational_distance(from: &[String], to: &[String]) -> f64 {
+    if from.is_empty() {
+        return 0.0;
+    }
+    if to.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = from
+        .iter()
+        .map(|o| {
+            to.iter()
+                .map(|o2| normalized_levenshtein(o, o2))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / from.len() as f64
+}
+
+/// The `lev²` similarity between two LDX queries, in `[0, 1]` (1 = equivalent).
+pub fn lev2_similarity(a: &Ldx, b: &Ldx) -> f64 {
+    let structural_distance = normalized_levenshtein(&structural_string(a), &structural_string(b));
+    let a_ops = operational_strings(a);
+    let b_ops = operational_strings(b);
+    let operational_distance = 0.5
+        * (directed_operational_distance(&a_ops, &b_ops)
+            + directed_operational_distance(&b_ops, &a_ops));
+
+    let s_struct = (1.0 - structural_distance).clamp(0.0, 1.0);
+    let s_opr = (1.0 - operational_distance).clamp(0.0, 1.0);
+    if s_struct + s_opr <= 1e-12 {
+        return 0.0;
+    }
+    2.0 * s_struct * s_opr / (s_struct + s_opr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_ldx::parse_ldx;
+
+    fn gold() -> Ldx {
+        parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert!((normalized_levenshtein("abcd", "abce") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_queries_score_one() {
+        let g = gold();
+        assert!((lev2_similarity(&g, &g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operation_order_changes_barely_matter() {
+        // Same query with the two filter branches declared in the opposite order.
+        let reordered = parse_ldx(
+            "ROOT CHILDREN {A2,A1}\n\
+             A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap();
+        let sim = lev2_similarity(&gold(), &reordered);
+        assert!(sim > 0.9, "reordering should score high, got {sim}");
+    }
+
+    #[test]
+    fn wrong_attribute_lowers_the_score_moderately() {
+        let wrong_attr = parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,genre,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A2 LIKE [F,genre,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap();
+        let sim = lev2_similarity(&gold(), &wrong_attr);
+        assert!(sim > 0.5 && sim < 0.98, "sim = {sim}");
+        assert!(sim < lev2_similarity(&gold(), &gold()));
+    }
+
+    #[test]
+    fn unrelated_query_scores_low() {
+        let other = parse_ldx("ROOT CHILDREN {A}\nA LIKE [G,price,avg,installs]").unwrap();
+        let sim = lev2_similarity(&gold(), &other);
+        assert!(sim < 0.65, "sim = {sim}");
+        assert!(sim < lev2_similarity(&gold(), &gold()));
+    }
+
+    #[test]
+    fn symmetric() {
+        let other = parse_ldx("ROOT CHILDREN {A}\nA LIKE [F,month,ge,6] and CHILDREN {B}\nB LIKE [G,.*]").unwrap();
+        let ab = lev2_similarity(&gold(), &other);
+        let ba = lev2_similarity(&other, &gold());
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_without_operational_specs_fall_back_to_structure() {
+        let a = parse_ldx("ROOT CHILDREN {A}\nA LIKE [G,.*]").unwrap();
+        let b = parse_ldx("ROOT CHILDREN {A}\nA LIKE [G,.*]").unwrap();
+        assert!((lev2_similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+}

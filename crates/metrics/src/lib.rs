@@ -1,0 +1,23 @@
+//! `linx-metrics` — the evaluation measures used to score derived LDX specifications
+//! against gold specifications (paper §7.2 and Appendix B.2):
+//!
+//! * **Two-way Levenshtein similarity (`lev²`)** — the structural and operational parts
+//!   of the two queries are compared separately with normalized edit distance and
+//!   combined with a harmonic mean, so conceptually similar queries that merely reorder
+//!   operations are not over-penalized.
+//! * **Exploration Tree Edit Distance (`xTED`)** — each LDX query is converted to its
+//!   *minimal tree* (descendant constraints become direct children; continuity variables
+//!   are masked per category), and a Zhang-Shasha tree edit distance with a dedicated
+//!   operation-label distance is computed and normalized.
+//!
+//! Both measures are reported as similarities in `[0, 1]` (higher = better), matching
+//! the way Table 2 reports `1 − score`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lev;
+pub mod tree;
+
+pub use lev::{lev2_similarity, levenshtein, normalized_levenshtein};
+pub use tree::{ldx_minimal_tree, xted_similarity, zhang_shasha, LabeledTree};

@@ -1,0 +1,355 @@
+//! Exploration Tree Edit Distance (`xTED`, paper §7.2 and Appendix B.2).
+//!
+//! Each compared LDX query is converted into its *minimal tree*: one node per named
+//! specification, attached to its declared parent (descendant declarations become direct
+//! children, with the "children type" recorded as an extra label component so the
+//! distinction still costs something), continuity variables masked per category
+//! (`att1`, `fn1`, `val1`, ...) so naming differences are not penalized.
+//!
+//! The distance itself is the Zhang–Shasha tree edit distance with a per-label cost in
+//! `[0, 1]` that counts differing operation parameters, normalized by the larger tree
+//! size; `xTED` similarity is its complement.
+
+use std::collections::BTreeMap;
+
+use linx_ldx::{Ldx, TokenPattern};
+use serde::{Deserialize, Serialize};
+
+/// A small ordered labeled tree (node 0 is the root).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabeledTree {
+    labels: Vec<Vec<String>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl LabeledTree {
+    /// Create a tree containing just a root with the given label.
+    pub fn with_root(label: Vec<String>) -> Self {
+        LabeledTree {
+            labels: vec![label],
+            children: vec![vec![]],
+        }
+    }
+
+    /// Add a node under `parent`, returning its index.
+    pub fn add_child(&mut self, parent: usize, label: Vec<String>) -> usize {
+        let idx = self.labels.len();
+        self.labels.push(label);
+        self.children.push(Vec::new());
+        self.children[parent].push(idx);
+        idx
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the tree is empty (never true once constructed with a root).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of a node.
+    pub fn label(&self, idx: usize) -> &[String] {
+        &self.labels[idx]
+    }
+
+    /// Post-order traversal of node indices.
+    fn post_order(&self) -> Vec<usize> {
+        fn rec(tree: &LabeledTree, node: usize, out: &mut Vec<usize>) {
+            for &c in &tree.children[node] {
+                rec(tree, c, out);
+            }
+            out.push(node);
+        }
+        let mut out = Vec::with_capacity(self.len());
+        if !self.is_empty() {
+            rec(self, 0, &mut out);
+        }
+        out
+    }
+
+    /// For each post-order position, the post-order position of the leftmost leaf of
+    /// the subtree rooted there.
+    fn leftmost_leaves(&self, post: &[usize]) -> Vec<usize> {
+        // Map original index -> post-order position.
+        let mut pos = vec![0usize; self.len()];
+        for (p, &orig) in post.iter().enumerate() {
+            pos[orig] = p;
+        }
+        let mut lml = vec![0usize; post.len()];
+        for (p, &orig) in post.iter().enumerate() {
+            let mut cur = orig;
+            while let Some(&first) = self.children[cur].first() {
+                cur = first;
+            }
+            lml[p] = pos[cur];
+        }
+        lml
+    }
+}
+
+/// Distance between two node labels, in `[0, 1]`: the fraction of differing label
+/// components (padded to the longer label).
+pub fn label_distance(a: &[String], b: &[String]) -> f64 {
+    let n = a.len().max(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut diff = 0usize;
+    for i in 0..n {
+        let x = a.get(i).map(String::as_str).unwrap_or("");
+        let y = b.get(i).map(String::as_str).unwrap_or("");
+        if !x.eq_ignore_ascii_case(y) {
+            diff += 1;
+        }
+    }
+    diff as f64 / n as f64
+}
+
+/// Zhang–Shasha tree edit distance with unit insert/delete costs and
+/// [`label_distance`] relabel cost.
+pub fn zhang_shasha(t1: &LabeledTree, t2: &LabeledTree) -> f64 {
+    if t1.is_empty() && t2.is_empty() {
+        return 0.0;
+    }
+    if t1.is_empty() {
+        return t2.len() as f64;
+    }
+    if t2.is_empty() {
+        return t1.len() as f64;
+    }
+    let post1 = t1.post_order();
+    let post2 = t2.post_order();
+    let lml1 = t1.leftmost_leaves(&post1);
+    let lml2 = t2.leftmost_leaves(&post2);
+    let keyroots = |lml: &[usize]| -> Vec<usize> {
+        let n = lml.len();
+        (0..n)
+            .filter(|&i| !(i + 1..n).any(|j| lml[j] == lml[i]))
+            .collect()
+    };
+    let kr1 = keyroots(&lml1);
+    let kr2 = keyroots(&lml2);
+    let n1 = post1.len();
+    let n2 = post2.len();
+    let mut td = vec![vec![0.0f64; n2]; n1];
+
+    for &i in &kr1 {
+        for &j in &kr2 {
+            // Forest distance computation for keyroot pair (i, j).
+            let li = lml1[i];
+            let lj = lml2[j];
+            let rows = i - li + 2;
+            let cols = j - lj + 2;
+            let mut fd = vec![vec![0.0f64; cols]; rows];
+            for x in 1..rows {
+                fd[x][0] = fd[x - 1][0] + 1.0;
+            }
+            for y in 1..cols {
+                fd[0][y] = fd[0][y - 1] + 1.0;
+            }
+            for x in 1..rows {
+                for y in 1..cols {
+                    let di = li + x - 1;
+                    let dj = lj + y - 1;
+                    if lml1[di] == li && lml2[dj] == lj {
+                        let relabel = label_distance(
+                            t1.label(post1[di]),
+                            t2.label(post2[dj]),
+                        );
+                        fd[x][y] = (fd[x - 1][y] + 1.0)
+                            .min(fd[x][y - 1] + 1.0)
+                            .min(fd[x - 1][y - 1] + relabel);
+                        td[di][dj] = fd[x][y];
+                    } else {
+                        let prev_x = lml1[di] - li;
+                        let prev_y = lml2[dj] - lj;
+                        fd[x][y] = (fd[x - 1][y] + 1.0)
+                            .min(fd[x][y - 1] + 1.0)
+                            .min(fd[prev_x][prev_y] + td[di][dj]);
+                    }
+                }
+            }
+        }
+    }
+    td[n1 - 1][n2 - 1]
+}
+
+/// Build the minimal tree of an LDX query (Appendix B.2): one node per specification,
+/// descendants attached as direct children with a `desc` child-type marker, continuity
+/// variables masked per parameter category.
+pub fn ldx_minimal_tree(ldx: &Ldx) -> LabeledTree {
+    let mut tree = LabeledTree::with_root(vec!["ROOT".to_string()]);
+    let mut index_of: BTreeMap<String, usize> = BTreeMap::new();
+    index_of.insert("ROOT".to_string(), 0);
+    let mut masks: [BTreeMap<String, String>; 3] = Default::default();
+
+    // Attach nodes in declaration order; unresolved parents default to the root.
+    for spec in &ldx.specs {
+        if spec.name == "ROOT" {
+            continue;
+        }
+        let (parent_name, child_type) = match ldx.declared_parent(&spec.name) {
+            Some(p) => (p.to_string(), "child"),
+            None => match ldx.declared_ancestor(&spec.name) {
+                Some(a) => (a.to_string(), "desc"),
+                None => ("ROOT".to_string(), "child"),
+            },
+        };
+        let parent_idx = *index_of.get(&parent_name).unwrap_or(&0);
+        let mut label = vec![String::new(); 5];
+        if let Some(pattern) = &spec.like {
+            label[0] = token_text(&pattern.kind_pattern(), 0, &mut masks);
+            for p in 0..3 {
+                label[p + 1] = token_text(&pattern.param_pattern(p), p, &mut masks);
+            }
+        } else {
+            label[0] = "*".to_string();
+        }
+        label[4] = child_type.to_string();
+        let idx = tree.add_child(parent_idx, label);
+        index_of.insert(spec.name.clone(), idx);
+    }
+    tree
+}
+
+/// Render a token pattern, masking continuity variables per parameter category
+/// (`att#` for the first parameter, `fn#` for the second, `val#` for the third).
+fn token_text(
+    pattern: &TokenPattern,
+    param_index: usize,
+    masks: &mut [BTreeMap<String, String>; 3],
+) -> String {
+    match pattern {
+        TokenPattern::Capture { var, inner } => {
+            let category = ["att", "fn", "val"][param_index.min(2)];
+            let table = &mut masks[param_index.min(2)];
+            let next = table.len() + 1;
+            let masked = table
+                .entry(var.clone())
+                .or_insert_with(|| format!("{category}{next}"))
+                .clone();
+            match inner.as_ref() {
+                TokenPattern::Any => masked,
+                other => format!("{masked}:{other}"),
+            }
+        }
+        other => other.to_string().to_ascii_lowercase(),
+    }
+}
+
+/// `xTED` similarity between two LDX queries, in `[0, 1]` (1 = identical minimal trees).
+pub fn xted_similarity(a: &Ldx, b: &Ldx) -> f64 {
+    let ta = ldx_minimal_tree(a);
+    let tb = ldx_minimal_tree(b);
+    let dist = zhang_shasha(&ta, &tb);
+    let norm = ta.len().max(tb.len()).max(1) as f64;
+    (1.0 - dist / norm).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_ldx::parse_ldx;
+
+    fn gold() -> Ldx {
+        parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn label_distance_counts_component_differences() {
+        let a = vec!["F".into(), "country".into(), "eq".into(), "val1".into(), "child".into()];
+        let b = vec!["F".into(), "country".into(), "neq".into(), "val1".into(), "child".into()];
+        assert!((label_distance(&a, &b) - 0.2).abs() < 1e-9);
+        assert_eq!(label_distance(&a, &a), 0.0);
+        assert_eq!(label_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn zhang_shasha_identity_and_simple_edits() {
+        let mut t1 = LabeledTree::with_root(vec!["ROOT".into()]);
+        let a = t1.add_child(0, vec!["F".into()]);
+        t1.add_child(a, vec!["G".into()]);
+        assert_eq!(zhang_shasha(&t1, &t1), 0.0);
+
+        // Removing a node costs 1.
+        let mut t2 = LabeledTree::with_root(vec!["ROOT".into()]);
+        t2.add_child(0, vec!["F".into()]);
+        assert!((zhang_shasha(&t1, &t2) - 1.0).abs() < 1e-9);
+
+        // Relabeling a node costs the label distance.
+        let mut t3 = LabeledTree::with_root(vec!["ROOT".into()]);
+        let b = t3.add_child(0, vec!["G".into()]);
+        t3.add_child(b, vec!["G".into()]);
+        let d = zhang_shasha(&t1, &t3);
+        assert!(d > 0.0 && d <= 1.0, "{d}");
+    }
+
+    #[test]
+    fn minimal_tree_masks_continuity_variables() {
+        let t = ldx_minimal_tree(&gold());
+        assert_eq!(t.len(), 5);
+        // The group-by nodes should have masked variable labels, identical across the
+        // two branches (same variables COL/AGG).
+        let labels: Vec<&[String]> = (1..5).map(|i| t.label(i)).collect();
+        let g1 = labels[1];
+        let g2 = labels[3];
+        assert_eq!(g1, g2);
+        assert!(g1[1].starts_with("att"));
+        assert!(g1[2].starts_with("fn"));
+    }
+
+    #[test]
+    fn xted_identity_and_ordering() {
+        let g = gold();
+        assert!((xted_similarity(&g, &g) - 1.0).abs() < 1e-9);
+
+        // Different variable names only: still 1.0 thanks to masking.
+        let renamed = parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,country,eq,(?<Y>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<C2>.*),(?<A2>.*),.*]\n\
+             A2 LIKE [F,country,neq,(?<Y>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<C2>.*),(?<A2>.*),.*]",
+        )
+        .unwrap();
+        assert!((xted_similarity(&g, &renamed) - 1.0).abs() < 1e-9);
+
+        // A structurally different (flat) query scores lower than a near-miss.
+        let near = parse_ldx(
+            "ROOT CHILDREN {A1,A2}\n\
+             A1 LIKE [F,genre,eq,(?<X>.*)] and CHILDREN {B1}\n\
+             B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+             A2 LIKE [F,genre,neq,(?<X>.*)] and CHILDREN {B2}\n\
+             B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+        )
+        .unwrap();
+        let flat = parse_ldx("ROOT CHILDREN {A}\nA LIKE [G,price,avg,installs]").unwrap();
+        let s_near = xted_similarity(&g, &near);
+        let s_flat = xted_similarity(&g, &flat);
+        assert!(s_near > s_flat, "near {s_near} flat {s_flat}");
+        assert!(s_near > 0.8 && s_near < 1.0);
+        assert!(s_flat < 0.5);
+    }
+
+    #[test]
+    fn descendants_attach_as_children_with_marker() {
+        let ldx = parse_ldx("ROOT DESCENDANTS {A}\nA LIKE [F,month,ge,6]").unwrap();
+        let t = ldx_minimal_tree(&ldx);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.label(1)[4], "desc");
+        // And it is near — but not equal to — the CHILDREN version.
+        let child_version = parse_ldx("ROOT CHILDREN {A}\nA LIKE [F,month,ge,6]").unwrap();
+        let sim = xted_similarity(&ldx, &child_version);
+        assert!(sim > 0.8 && sim < 1.0, "{sim}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the evaluation metrics: Levenshtein and tree-edit-distance
+//! axioms (identity, symmetry, bounds) and the derived `lev²` / `xTED` LDX similarities.
+
+use linx_ldx::parse_ldx;
+use linx_metrics::{
+    lev2_similarity, levenshtein, normalized_levenshtein, xted_similarity, zhang_shasha,
+    ldx_minimal_tree,
+};
+use proptest::prelude::*;
+
+fn small_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!['a', 'b', 'c', ' ', ',']), 0..16)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry, and the triangle bound on a pair.
+    #[test]
+    fn levenshtein_identity_and_symmetry(a in small_string(), b in small_string()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Bounded by the longer string length.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    /// Normalized Levenshtein is in [0, 1], 0 iff equal.
+    #[test]
+    fn normalized_levenshtein_bounds(a in small_string(), b in small_string()) {
+        let d = normalized_levenshtein(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        if a == b {
+            prop_assert!(d < 1e-9);
+        }
+    }
+
+    /// Triangle inequality for Levenshtein over three strings.
+    #[test]
+    fn levenshtein_triangle(a in small_string(), b in small_string(), c in small_string()) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+}
+
+/// Query-similarity measures are 1.0 for a query against itself and strictly below 1.0
+/// for structurally different queries.
+#[test]
+fn self_similarity_is_one_and_distinct_is_less() {
+    let q1 = parse_ldx(
+        "ROOT CHILDREN {A1,A2}\n\
+         A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+         B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+         A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+         B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+    )
+    .unwrap();
+    assert!((lev2_similarity(&q1, &q1) - 1.0).abs() < 1e-9);
+    assert!((xted_similarity(&q1, &q1) - 1.0).abs() < 1e-9);
+
+    // A structurally simpler query (one branch) is less similar.
+    let q2 = parse_ldx(
+        "ROOT CHILDREN {A1}\nA1 LIKE [F,country,eq,India] and CHILDREN {B1}\nB1 LIKE [G,.*]",
+    )
+    .unwrap();
+    assert!(lev2_similarity(&q1, &q2) < 1.0);
+    assert!(xted_similarity(&q1, &q2) < 1.0);
+    // Similarity is symmetric.
+    assert!((lev2_similarity(&q1, &q2) - lev2_similarity(&q2, &q1)).abs() < 1e-9);
+    assert!((xted_similarity(&q1, &q2) - xted_similarity(&q2, &q1)).abs() < 1e-9);
+}
+
+/// A query more similar in both structure and operations scores higher than a less
+/// similar one (monotonicity the Table 2 measures rely on).
+#[test]
+fn closer_queries_score_higher() {
+    let gold = parse_ldx(
+        "ROOT CHILDREN {A1,A2}\n\
+         A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+         B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+         A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}\n\
+         B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+    )
+    .unwrap();
+    // Near-miss: wrong filter operator on the second branch.
+    let near = parse_ldx(
+        "ROOT CHILDREN {A1,A2}\n\
+         A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
+         B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+         A2 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B2}\n\
+         B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+    )
+    .unwrap();
+    // Far: a single unrelated group-by.
+    let far = parse_ldx("ROOT CHILDREN {A1}\nA1 LIKE [G,genre,count,id]").unwrap();
+
+    assert!(lev2_similarity(&gold, &near) > lev2_similarity(&gold, &far));
+    assert!(xted_similarity(&gold, &near) > xted_similarity(&gold, &far));
+}
+
+/// Zhang-Shasha tree edit distance is zero for identical minimal trees and positive
+/// otherwise.
+#[test]
+fn tree_edit_distance_identity() {
+    let q = parse_ldx("ROOT CHILDREN {A1}\nA1 LIKE [F,country,eq,India]").unwrap();
+    let t = ldx_minimal_tree(&q);
+    assert!(zhang_shasha(&t, &t) < 1e-9);
+
+    let q2 = parse_ldx("ROOT CHILDREN {A1}\nA1 LIKE [G,genre,count,id]").unwrap();
+    let t2 = ldx_minimal_tree(&q2);
+    assert!(zhang_shasha(&t, &t2) > 0.0);
+}

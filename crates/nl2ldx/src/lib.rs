@@ -1,0 +1,38 @@
+//! `linx-nl2ldx` — deriving LDX exploration specifications from a natural-language
+//! analytical goal (paper §6).
+//!
+//! The original system prompts an LLM with a two-stage chained prompt
+//! (**NL → non-executable Pandas template → LDX**, coined *NL2PD2LDX*). No LLM is
+//! available offline, so this crate substitutes a *simulated LLM*: a transparent
+//! semantic-parsing pipeline with the same two stages plus a calibrated noise model.
+//!
+//! * [`metagoal`] — the eight exploration meta-goals of Table 1, each with a goal-text
+//!   template, an LDX skeleton, and intent keywords (this doubles as the "few-shot
+//!   knowledge" the LLM prompt encodes).
+//! * [`linker`] — schema linking: matching goal tokens against attribute names, known
+//!   values, comparison operators, and aggregation functions.
+//! * [`pyldx`] — the PyLDX intermediate representation: a non-executable Pandas-style
+//!   template program with `<VALUE>` / `<COL>` / `<AGG>` placeholders, compilable to
+//!   LDX (the paper's Fig. 1b → Fig. 1c step).
+//! * [`pipeline`] — the end-to-end deriver: intent classification → schema linking →
+//!   PyLDX template → LDX (the chained *NL2PD2LDX* route) or directly to LDX (the
+//!   weaker single-prompt *NL2LDX* route).
+//! * [`capability`] — the simulated-LLM capability model used by the Table 2 harness:
+//!   per-scenario (seen/unseen dataset, seen/unseen meta-goal), per-tier (ChatGPT /
+//!   GPT-4), per-prompting-style (direct vs. chained) error rates, applied as concrete
+//!   corruptions (structure drops, wrong attributes, wrong operators, broken continuity)
+//!   to the derived specification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod linker;
+pub mod metagoal;
+pub mod pipeline;
+pub mod pyldx;
+
+pub use capability::{ModelTier, Scenario, SimulatedLlm};
+pub use metagoal::{MetaGoal, TemplateParams};
+pub use pipeline::{DerivationResult, SpecDeriver};
+pub use pyldx::PyLdx;

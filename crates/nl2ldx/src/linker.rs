@@ -1,0 +1,250 @@
+//! Schema linking: matching tokens of the analytical-goal text against the dataset's
+//! attribute names, candidate values, comparison operators, and aggregation functions.
+//! This mirrors the schema-grounding behaviour text-to-SQL systems (and the paper's
+//! prompts, which include the schema and a data sample) rely on.
+
+use linx_dataframe::{DataFrame, Schema};
+use serde::{Deserialize, Serialize};
+
+/// The result of linking a goal text against a schema.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkedGoal {
+    /// Attributes mentioned in the goal, ordered by first appearance.
+    pub attributes: Vec<String>,
+    /// Values mentioned in the goal, paired with the column they belong to.
+    pub values: Vec<(String, String)>,
+    /// Comparison operator tokens implied by the text.
+    pub operators: Vec<String>,
+    /// Aggregation function tokens implied by the text.
+    pub aggregations: Vec<String>,
+    /// Numbers appearing in the goal text.
+    pub numbers: Vec<f64>,
+}
+
+/// Whether `needle` appears in `haystack` delimited by non-alphanumeric characters.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !haystack[..abs]
+                .chars()
+                .next_back()
+                .map(|c| c.is_alphanumeric())
+                .unwrap_or(false);
+        let end = abs + needle.len();
+        let after_ok = end >= haystack.len()
+            || !haystack[end..]
+                .chars()
+                .next()
+                .map(|c| c.is_alphanumeric())
+                .unwrap_or(false);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + 1;
+    }
+    false
+}
+
+/// Link a goal description against a schema (and optionally a data sample, used to spot
+/// value mentions such as "India" or "BOS").
+pub fn link(goal: &str, schema: &Schema, sample: Option<&DataFrame>) -> LinkedGoal {
+    let text = goal.to_lowercase();
+    let mut linked = LinkedGoal::default();
+
+    // Attribute linking: match the column name or its space-separated form.
+    let mut attr_hits: Vec<(usize, String)> = Vec::new();
+    for field in schema.fields() {
+        let name = field.name.to_lowercase();
+        let spaced = name.replace('_', " ");
+        let singular = spaced.trim_end_matches('s').to_string();
+        for pattern in [&name, &spaced, &singular] {
+            if pattern.len() >= 3 {
+                if let Some(pos) = text.find(pattern.as_str()) {
+                    attr_hits.push((pos, field.name.clone()));
+                    break;
+                }
+            }
+        }
+    }
+    attr_hits.sort();
+    for (_, a) in attr_hits {
+        if !linked.attributes.contains(&a) {
+            linked.attributes.push(a);
+        }
+    }
+
+    // Value linking against a sample of the data (whole-token matches only, so the
+    // install tier "100000" does not match inside "1000000").
+    if let Some(df) = sample {
+        for field in schema.fields() {
+            if let Ok(values) = df.distinct_values(&field.name) {
+                for v in values.iter().take(60) {
+                    let s = v.to_string();
+                    if s.len() >= 3 && contains_word(&text, &s.to_lowercase()) {
+                        let pair = (field.name.clone(), s);
+                        if !linked.values.contains(&pair) {
+                            linked.values.push(pair);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Operator cues.
+    let op_cues: [(&str, &str); 10] = [
+        ("at least", "ge"),
+        ("or more", "ge"),
+        ("greater than", "gt"),
+        ("more than", "gt"),
+        ("at most", "le"),
+        ("less than", "lt"),
+        ("below", "lt"),
+        ("other than", "neq"),
+        ("not from", "neq"),
+        ("do not originate", "neq"),
+    ];
+    for (cue, op) in op_cues {
+        if text.contains(cue) && !linked.operators.contains(&op.to_string()) {
+            linked.operators.push(op.to_string());
+        }
+    }
+    if linked.operators.is_empty() && (text.contains(" with ") || text.contains(" equal")) {
+        linked.operators.push("eq".to_string());
+    }
+
+    // Aggregation cues.
+    let agg_cues: [(&str, &str); 6] = [
+        ("average", "avg"),
+        ("mean", "avg"),
+        ("total", "sum"),
+        ("count", "count"),
+        ("number of", "count"),
+        ("maximum", "max"),
+    ];
+    for (cue, agg) in agg_cues {
+        if text.contains(cue) && !linked.aggregations.contains(&agg.to_string()) {
+            linked.aggregations.push(agg.to_string());
+        }
+    }
+
+    // Numbers (handles "1m"/"1,000,000" style install counts too).
+    for raw in text.split(|c: char| !(c.is_ascii_digit() || c == '.' || c == ',' || c == 'm' || c == 'k')) {
+        let _ = raw;
+    }
+    let mut token = String::new();
+    let mut tokens: Vec<String> = Vec::new();
+    for c in text.chars() {
+        // Digits and separators always extend the current number; a trailing unit
+        // suffix (`m`/`k`) extends it only when a number is already in progress.
+        let extends = c.is_ascii_digit()
+            || c == '.'
+            || c == ','
+            || ((c == 'm' || c == 'k') && !token.is_empty());
+        if extends {
+            token.push(c);
+        } else if !token.is_empty() {
+            tokens.push(std::mem::take(&mut token));
+        }
+    }
+    if !token.is_empty() {
+        tokens.push(token);
+    }
+    for t in tokens {
+        let cleaned = t.replace(',', "");
+        let (num_part, multiplier) = if let Some(stripped) = cleaned.strip_suffix('m') {
+            (stripped.to_string(), 1_000_000.0)
+        } else if let Some(stripped) = cleaned.strip_suffix('k') {
+            (stripped.to_string(), 1_000.0)
+        } else {
+            (cleaned, 1.0)
+        };
+        if let Ok(n) = num_part.parse::<f64>() {
+            linked.numbers.push(n * multiplier);
+        }
+    }
+
+    linked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::Value;
+
+    fn schema_and_sample() -> (Schema, DataFrame) {
+        let df = DataFrame::from_rows(
+            &["country", "type", "origin_airport", "installs"],
+            vec![
+                vec![Value::str("India"), Value::str("Movie"), Value::str("BOS"), Value::Int(1000)],
+                vec![Value::str("US"), Value::str("TV Show"), Value::str("ATL"), Value::Int(5000)],
+            ],
+        )
+        .unwrap();
+        (df.schema(), df)
+    }
+
+    #[test]
+    fn links_attribute_mentions_including_spaced_forms() {
+        let (schema, df) = schema_and_sample();
+        let linked = link(
+            "Investigate flights that do not originate from the origin airport BOS",
+            &schema,
+            Some(&df),
+        );
+        assert!(linked.attributes.contains(&"origin_airport".to_string()));
+        assert!(linked.values.contains(&("origin_airport".to_string(), "BOS".to_string())));
+        assert!(linked.operators.contains(&"neq".to_string()));
+    }
+
+    #[test]
+    fn links_values_and_numbers() {
+        let (schema, df) = schema_and_sample();
+        let linked = link(
+            "Highlight interesting sub-groups of apps with installs of at least 1,000,000",
+            &schema,
+            Some(&df),
+        );
+        assert!(linked.attributes.contains(&"installs".to_string()));
+        assert!(linked.operators.contains(&"ge".to_string()));
+        assert!(linked.numbers.contains(&1_000_000.0));
+    }
+
+    #[test]
+    fn links_country_value_example() {
+        let (schema, df) = schema_and_sample();
+        let linked = link("Examine characteristics of titles from India", &schema, Some(&df));
+        assert!(linked.values.contains(&("country".to_string(), "India".to_string())));
+    }
+
+    #[test]
+    fn aggregation_cues() {
+        let (schema, _) = schema_and_sample();
+        let linked = link("Survey the average installs per type", &schema, None);
+        assert!(linked.aggregations.contains(&"avg".to_string()));
+        assert!(linked.attributes.contains(&"installs".to_string()));
+    }
+
+    #[test]
+    fn missing_mentions_yield_empty_links() {
+        let (schema, _) = schema_and_sample();
+        let linked = link("Tell me something interesting", &schema, None);
+        assert!(linked.attributes.is_empty());
+        assert!(linked.values.is_empty());
+        assert!(linked.numbers.is_empty());
+    }
+
+    #[test]
+    fn shorthand_numbers_are_expanded() {
+        let (schema, _) = schema_and_sample();
+        let linked = link("apps with at least 1m installs", &schema, None);
+        assert!(linked.numbers.contains(&1_000_000.0));
+        let linked = link("apps with 50k reviews or more", &schema, None);
+        assert!(linked.numbers.contains(&50_000.0));
+    }
+}

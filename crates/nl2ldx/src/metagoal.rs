@@ -1,0 +1,338 @@
+//! The eight exploration meta-goals of the LINX benchmark (paper Table 1), with the
+//! goal-text templates and LDX skeletons used both by the benchmark generator and by
+//! the specification-derivation pipeline (its "few-shot knowledge").
+
+use linx_ldx::{Ldx, LdxBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The eight meta-goals of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetaGoal {
+    /// 1 — Identify an uncommon entity ("Find an atypical country").
+    IdentifyUncommonEntity,
+    /// 2 — Examine a phenomenon / subset ("Examine characteristics of successful TV shows").
+    ExaminePhenomenon,
+    /// 3 — Discover contrasting subsets ("Find three actors with contrasting traits").
+    DiscoverContrastingSubsets,
+    /// 4 — Survey an attribute ("Survey apps' price").
+    SurveyAttribute,
+    /// 5 — Describe an unusual subset ("Highlight distinctive characteristics of summer-month flights").
+    DescribeUnusualSubset,
+    /// 6 — Investigate various aspects of an attribute ("Investigate reasons for delay").
+    InvestigateAspects,
+    /// 7 — Explore through a subset ("Analyze the dataset, with a focus on flights affected by weather delays").
+    ExploreThroughSubset,
+    /// 8 — Highlight interesting sub-groups ("Highlight interesting sub-groups of apps with at least 1M installs").
+    HighlightSubgroups,
+}
+
+/// Parameters filled into a meta-goal template (Figure 4's "populate" step).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TemplateParams {
+    /// Plural noun describing the dataset's entities ("titles", "flights", "apps").
+    pub domain: String,
+    /// The primary attribute of the goal.
+    pub attr: String,
+    /// Comparison operator token (for subset-defining goals).
+    pub op: String,
+    /// The filter term (for subset-defining goals).
+    pub term: String,
+    /// An optional secondary attribute (group-by target for survey-like goals).
+    pub second_attr: Option<String>,
+}
+
+impl MetaGoal {
+    /// All meta-goals in Table 1 order.
+    pub const ALL: [MetaGoal; 8] = [
+        MetaGoal::IdentifyUncommonEntity,
+        MetaGoal::ExaminePhenomenon,
+        MetaGoal::DiscoverContrastingSubsets,
+        MetaGoal::SurveyAttribute,
+        MetaGoal::DescribeUnusualSubset,
+        MetaGoal::InvestigateAspects,
+        MetaGoal::ExploreThroughSubset,
+        MetaGoal::HighlightSubgroups,
+    ];
+
+    /// The 1-based index used in the paper (g1–g8).
+    pub fn index(&self) -> usize {
+        MetaGoal::ALL.iter().position(|m| m == self).unwrap() + 1
+    }
+
+    /// The paper's description of the meta-goal.
+    pub fn description(&self) -> &'static str {
+        match self {
+            MetaGoal::IdentifyUncommonEntity => "Identify an uncommon entity",
+            MetaGoal::ExaminePhenomenon => "Examine a phenomenon (subset)",
+            MetaGoal::DiscoverContrastingSubsets => "Discover contrasting subsets",
+            MetaGoal::SurveyAttribute => "Survey an attribute",
+            MetaGoal::DescribeUnusualSubset => "Describe an unusual subset",
+            MetaGoal::InvestigateAspects => "Investigate various aspects of an attribute",
+            MetaGoal::ExploreThroughSubset => "Explore through a subset",
+            MetaGoal::HighlightSubgroups => "Highlight interesting sub-groups",
+        }
+    }
+
+    /// Keyword cues used by the intent classifier. The first keyword group is the most
+    /// indicative phrase of the meta-goal.
+    pub fn keywords(&self) -> &'static [&'static str] {
+        match self {
+            MetaGoal::IdentifyUncommonEntity => {
+                &["atypical", "uncommon", "than the rest", "different from the rest", "stands out", "anomalous", "unusual"]
+            }
+            MetaGoal::ExaminePhenomenon => {
+                &["examine characteristics", "characteristics of", "examine", "properties of"]
+            }
+            MetaGoal::DiscoverContrastingSubsets => {
+                &["contrasting", "three", "compare several", "differing traits"]
+            }
+            MetaGoal::SurveyAttribute => &["survey", "overview of", "distribution of"],
+            MetaGoal::DescribeUnusualSubset => {
+                &["distinctive characteristics", "highlight distinctive", "distinctive"]
+            }
+            MetaGoal::InvestigateAspects => {
+                &["investigate", "reasons for", "aspects of", "drivers of"]
+            }
+            MetaGoal::ExploreThroughSubset => {
+                &["focus on", "focusing on", "with a focus", "analyze the dataset"]
+            }
+            MetaGoal::HighlightSubgroups => {
+                &["sub-groups", "subgroups", "interesting groups", "segments of"]
+            }
+        }
+    }
+
+    /// The natural-language goal template (before paraphrasing).
+    pub fn goal_template(&self, p: &TemplateParams) -> String {
+        let second = p.second_attr.clone().unwrap_or_else(|| p.attr.clone());
+        match self {
+            MetaGoal::IdentifyUncommonEntity => format!(
+                "Find an atypical {attr} among the {domain}, one with different habits than the rest",
+                attr = human(&p.attr),
+                domain = p.domain
+            ),
+            MetaGoal::ExaminePhenomenon => format!(
+                "Examine characteristics of {domain} with {attr} {op} {term}",
+                domain = p.domain,
+                attr = human(&p.attr),
+                op = human_op(&p.op),
+                term = p.term
+            ),
+            MetaGoal::DiscoverContrastingSubsets => format!(
+                "Find three {attr} values among the {domain} with contrasting traits",
+                attr = human(&p.attr),
+                domain = p.domain
+            ),
+            MetaGoal::SurveyAttribute => format!(
+                "Survey the {attr} of the {domain}, including its distribution by {second}",
+                attr = human(&p.attr),
+                domain = p.domain,
+                second = human(&second)
+            ),
+            MetaGoal::DescribeUnusualSubset => format!(
+                "Highlight distinctive characteristics of {domain} with {attr} {op} {term}",
+                domain = p.domain,
+                attr = human(&p.attr),
+                op = human_op(&p.op),
+                term = p.term
+            ),
+            MetaGoal::InvestigateAspects => format!(
+                "Investigate the {attr} of the {domain}, covering its various aspects",
+                attr = human(&p.attr),
+                domain = p.domain
+            ),
+            MetaGoal::ExploreThroughSubset => format!(
+                "Analyze the dataset, with a focus on {domain} with {attr} {op} {term}",
+                domain = p.domain,
+                attr = human(&p.attr),
+                op = human_op(&p.op),
+                term = p.term
+            ),
+            MetaGoal::HighlightSubgroups => format!(
+                "Highlight interesting sub-groups of {domain} with {attr} {op} {term}",
+                domain = p.domain,
+                attr = human(&p.attr),
+                op = human_op(&p.op),
+                term = p.term
+            ),
+        }
+    }
+
+    /// The LDX skeleton of the meta-goal, instantiated with the parameters.
+    pub fn ldx_template(&self, p: &TemplateParams) -> Ldx {
+        let attr = &p.attr;
+        let op = if p.op.is_empty() { "eq" } else { &p.op };
+        let term = &p.term;
+        let inverse = inverse_op(op);
+        match self {
+            MetaGoal::IdentifyUncommonEntity => LdxBuilder::new()
+                .child_of("ROOT", "A1", &format!("[F,{attr},eq,(?<X>.*)]"))
+                .child_of("A1", "B1", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .child_of("ROOT", "A2", &format!("[F,{attr},neq,(?<X>.*)]"))
+                .child_of("A2", "B2", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .build()
+                .expect("valid template"),
+            MetaGoal::ExaminePhenomenon => LdxBuilder::new()
+                .child_of("ROOT", "A1", &format!("[F,{attr},{op},{term}]"))
+                .child_of("A1", "B1", "[G,(?<COL>.*),.*]")
+                .child_of("A1", "B2", "[G,.*]")
+                .build()
+                .expect("valid template"),
+            MetaGoal::DiscoverContrastingSubsets => LdxBuilder::new()
+                .child_of("ROOT", "A1", &format!("[F,{attr},eq,.*]"))
+                .child_of("A1", "B1", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .child_of("ROOT", "A2", &format!("[F,{attr},eq,.*]"))
+                .child_of("A2", "B2", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .child_of("ROOT", "A3", &format!("[F,{attr},eq,.*]"))
+                .child_of("A3", "B3", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .build()
+                .expect("valid template"),
+            MetaGoal::SurveyAttribute => {
+                let second = p.second_attr.clone().unwrap_or_else(|| ".*".to_string());
+                LdxBuilder::new()
+                    .child_of("ROOT", "A1", &format!("[G,{second},.*,{attr}]"))
+                    .child_of("ROOT", "A2", &format!("[G,.*,.*,{attr}]"))
+                    .build()
+                    .expect("valid template")
+            }
+            MetaGoal::DescribeUnusualSubset => LdxBuilder::new()
+                .child_of("ROOT", "A1", &format!("[F,{attr},{op},{term}]"))
+                .child_of("A1", "B1", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .child_of("ROOT", "A2", &format!("[F,{attr},{inverse},{term}]"))
+                .child_of("A2", "B2", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .build()
+                .expect("valid template"),
+            MetaGoal::InvestigateAspects => LdxBuilder::new()
+                .child_of("ROOT", "A1", &format!("[G,{attr},.*,.*]"))
+                .child_of("ROOT", "A2", &format!("[F,{attr},.*,.*]"))
+                .child_of("A2", "B1", "[G,.*]")
+                .build()
+                .expect("valid template"),
+            MetaGoal::ExploreThroughSubset => LdxBuilder::new()
+                .descendant_of("ROOT", "A1", &format!("[F,{attr},{op},{term}]"))
+                .child_of("A1", "B1", "[G,.*]")
+                .child_of("A1", "B2", "[G,.*]")
+                .build()
+                .expect("valid template"),
+            MetaGoal::HighlightSubgroups => LdxBuilder::new()
+                .child_of("ROOT", "A1", &format!("[F,{attr},{op},{term}]"))
+                .child_of("A1", "B1", "[G,(?<COL>.*),(?<AGG>.*),.*]")
+                .extra_children("A1", 1)
+                .build()
+                .expect("valid template"),
+        }
+    }
+}
+
+/// The inverse comparison operator (used for "subset vs. rest of the data" templates).
+pub fn inverse_op(op: &str) -> &'static str {
+    match op {
+        "eq" => "neq",
+        "neq" => "eq",
+        "ge" => "lt",
+        "gt" => "le",
+        "le" => "gt",
+        "lt" => "ge",
+        _ => "neq",
+    }
+}
+
+/// Human-readable rendering of an attribute name (underscores become spaces).
+pub fn human(attr: &str) -> String {
+    attr.replace('_', " ")
+}
+
+/// Human-readable rendering of an operator token.
+pub fn human_op(op: &str) -> &'static str {
+    match op {
+        "eq" => "equal to",
+        "neq" => "other than",
+        "ge" => "at least",
+        "gt" => "greater than",
+        "le" => "at most",
+        "lt" => "below",
+        "contains" => "containing",
+        "startswith" => "starting with",
+        _ => "equal to",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TemplateParams {
+        TemplateParams {
+            domain: "titles".into(),
+            attr: "country".into(),
+            op: "eq".into(),
+            term: "India".into(),
+            second_attr: Some("type".into()),
+        }
+    }
+
+    #[test]
+    fn indices_and_descriptions_follow_table1() {
+        assert_eq!(MetaGoal::IdentifyUncommonEntity.index(), 1);
+        assert_eq!(MetaGoal::HighlightSubgroups.index(), 8);
+        assert_eq!(MetaGoal::ALL.len(), 8);
+        for m in MetaGoal::ALL {
+            assert!(!m.description().is_empty());
+            assert!(!m.keywords().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_ldx_templates_are_valid() {
+        let p = params();
+        for m in MetaGoal::ALL {
+            let ldx = m.ldx_template(&p);
+            assert!(ldx.validate().is_ok(), "meta-goal {m:?}");
+            assert!(ldx.min_operations() >= 2, "meta-goal {m:?}");
+        }
+    }
+
+    #[test]
+    fn g1_template_matches_the_papers_running_example() {
+        let ldx = MetaGoal::IdentifyUncommonEntity.ldx_template(&params());
+        let text = ldx.canonical();
+        assert!(text.contains("[F,country,eq,(?<X>.*)]"));
+        assert!(text.contains("[F,country,neq,(?<X>.*)]"));
+        assert_eq!(ldx.min_operations(), 4);
+    }
+
+    #[test]
+    fn goal_templates_mention_the_attribute() {
+        let p = params();
+        for m in MetaGoal::ALL {
+            let text = m.goal_template(&p);
+            assert!(
+                text.to_lowercase().contains("country") || text.to_lowercase().contains("titles"),
+                "{m:?}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_ops() {
+        assert_eq!(inverse_op("eq"), "neq");
+        assert_eq!(inverse_op("ge"), "lt");
+        assert_eq!(inverse_op("contains"), "neq");
+        assert_eq!(human("origin_airport"), "origin airport");
+        assert_eq!(human_op("ge"), "at least");
+    }
+
+    #[test]
+    fn keywords_discriminate_between_goals() {
+        // The most indicative keyword of each meta-goal should not appear in another
+        // meta-goal's primary keyword.
+        let firsts: Vec<&str> = MetaGoal::ALL.iter().map(|m| m.keywords()[0]).collect();
+        for (i, a) in firsts.iter().enumerate() {
+            for (j, b) in firsts.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! PyLDX — the non-executable Pandas-style intermediate representation (paper Fig. 1b).
+//!
+//! The chained prompting approach first expresses the exploration specification as a
+//! Python/Pandas *template* with `<VALUE>` / `<COL>` / `<AGG>` placeholders, and only
+//! then translates it into LDX. Representing that intermediate program explicitly keeps
+//! the reproduction's pipeline structurally identical to the paper's and lets the
+//! examples print the same two artifacts the paper shows.
+
+use linx_ldx::{Ldx, LdxBuilder};
+use serde::{Deserialize, Serialize};
+
+/// A single PyLDX statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PyStatement {
+    /// `df = pd.read_csv("<dataset>.csv")`
+    ReadCsv {
+        /// Dataset file stem.
+        dataset: String,
+    },
+    /// `var = source[source['attr'] op term]` — `term = None` renders the `<VALUE>`
+    /// placeholder.
+    Filter {
+        /// Output variable name.
+        var: String,
+        /// Input variable name.
+        source: String,
+        /// Filtered attribute.
+        attr: String,
+        /// Comparison operator token (`eq`, `neq`, `ge`, ...).
+        op: String,
+        /// Concrete term, or `None` for a `<VALUE>` placeholder.
+        term: Option<String>,
+    },
+    /// `var = source.groupby(col).agg(agg_col: agg)` — `None` fields render `<COL>` /
+    /// `<AGG>` placeholders.
+    GroupAgg {
+        /// Output variable name.
+        var: String,
+        /// Input variable name.
+        source: String,
+        /// Grouping column, or `None` for `<COL>`.
+        col: Option<String>,
+        /// Aggregation function, or `None` for `<AGG>`.
+        agg: Option<String>,
+        /// Aggregated column, or `None` for `<AGG_COL>`.
+        agg_col: Option<String>,
+    },
+}
+
+/// A PyLDX program: a sequence of statements over dataframe variables.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PyLdx {
+    /// The statements in order.
+    pub statements: Vec<PyStatement>,
+}
+
+impl PyLdx {
+    /// Start a program with the `read_csv` preamble.
+    pub fn new(dataset: impl Into<String>) -> Self {
+        PyLdx {
+            statements: vec![PyStatement::ReadCsv {
+                dataset: dataset.into(),
+            }],
+        }
+    }
+
+    /// Append a filter statement.
+    pub fn filter(
+        mut self,
+        var: &str,
+        source: &str,
+        attr: &str,
+        op: &str,
+        term: Option<&str>,
+    ) -> Self {
+        self.statements.push(PyStatement::Filter {
+            var: var.to_string(),
+            source: source.to_string(),
+            attr: attr.to_string(),
+            op: op.to_string(),
+            term: term.map(str::to_string),
+        });
+        self
+    }
+
+    /// Append a group-and-aggregate statement.
+    pub fn group_agg(
+        mut self,
+        var: &str,
+        source: &str,
+        col: Option<&str>,
+        agg: Option<&str>,
+        agg_col: Option<&str>,
+    ) -> Self {
+        self.statements.push(PyStatement::GroupAgg {
+            var: var.to_string(),
+            source: source.to_string(),
+            col: col.map(str::to_string),
+            agg: agg.map(str::to_string),
+            agg_col: agg_col.map(str::to_string),
+        });
+        self
+    }
+
+    /// Render the template as (non-executable) Python/Pandas code with placeholders.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for stmt in &self.statements {
+            match stmt {
+                PyStatement::ReadCsv { dataset } => {
+                    out.push_str(&format!("df = pd.read_csv(\"{dataset}.csv\")\n"));
+                }
+                PyStatement::Filter {
+                    var,
+                    source,
+                    attr,
+                    op,
+                    term,
+                } => {
+                    let sym = match op.as_str() {
+                        "eq" => "==",
+                        "neq" => "!=",
+                        "ge" => ">=",
+                        "gt" => ">",
+                        "le" => "<=",
+                        "lt" => "<",
+                        other => other,
+                    };
+                    let term_text = term.clone().unwrap_or_else(|| "<VALUE>".to_string());
+                    out.push_str(&format!(
+                        "{var} = {source}[{source}['{attr}'] {sym} {term_text}]\n"
+                    ));
+                }
+                PyStatement::GroupAgg {
+                    var,
+                    source,
+                    col,
+                    agg,
+                    agg_col,
+                } => {
+                    let col_text = col.clone().unwrap_or_else(|| "<COL>".to_string());
+                    let agg_text = agg.clone().unwrap_or_else(|| "<AGG>".to_string());
+                    let agg_col_text = agg_col.clone().unwrap_or_else(|| "<AGG_COL>".to_string());
+                    out.push_str(&format!(
+                        "{var} = {source}.groupby({col_text}).agg({{{agg_col_text}: {agg_text}}})\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compile the PyLDX template into an LDX specification (the Pandas-to-LDX stage).
+    ///
+    /// Dataframe variables become named LDX nodes; a statement's `source` determines its
+    /// parent; placeholders become continuity variables shared by every statement that
+    /// uses the same placeholder slot (`<VALUE>`, `<COL>`, `<AGG>`), matching how the
+    /// paper's prompt translates shared placeholders into shared continuity variables.
+    pub fn compile(&self) -> Result<Ldx, String> {
+        let mut builder = LdxBuilder::new();
+        let mut var_to_node: Vec<(String, String)> = vec![("df".to_string(), "ROOT".to_string())];
+        let mut next_id = 1usize;
+        for stmt in &self.statements {
+            match stmt {
+                PyStatement::ReadCsv { .. } => {}
+                PyStatement::Filter {
+                    var,
+                    source,
+                    attr,
+                    op,
+                    term,
+                } => {
+                    let parent = lookup(&var_to_node, source)?;
+                    let node = format!("A{next_id}");
+                    next_id += 1;
+                    let term_pat = match term {
+                        Some(t) => t.clone(),
+                        None => "(?<X>.*)".to_string(),
+                    };
+                    builder = builder.child_of(
+                        &parent,
+                        &node,
+                        &format!("[F,{attr},{op},{term_pat}]"),
+                    );
+                    var_to_node.push((var.clone(), node));
+                }
+                PyStatement::GroupAgg {
+                    var,
+                    source,
+                    col,
+                    agg,
+                    agg_col,
+                } => {
+                    let parent = lookup(&var_to_node, source)?;
+                    let node = format!("A{next_id}");
+                    next_id += 1;
+                    let col_pat = col.clone().unwrap_or_else(|| "(?<COL>.*)".to_string());
+                    let agg_pat = agg.clone().unwrap_or_else(|| "(?<AGG>.*)".to_string());
+                    let agg_col_pat = agg_col.clone().unwrap_or_else(|| ".*".to_string());
+                    builder = builder.child_of(
+                        &parent,
+                        &node,
+                        &format!("[G,{col_pat},{agg_pat},{agg_col_pat}]"),
+                    );
+                    var_to_node.push((var.clone(), node));
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+fn lookup(map: &[(String, String)], var: &str) -> Result<String, String> {
+    map.iter()
+        .rev()
+        .find(|(v, _)| v == var)
+        .map(|(_, n)| n.clone())
+        .ok_or_else(|| format!("unknown dataframe variable {var:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_ldx::VerifyEngine;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
+    use linx_explore::{ExplorationTree, NodeId, QueryOp};
+
+    /// The paper's Fig. 1b program for the "atypical country" goal.
+    fn fig1b() -> PyLdx {
+        PyLdx::new("netflix")
+            .filter("some_country", "df", "country", "eq", None)
+            .group_agg("some_country_agg", "some_country", None, None, None)
+            .filter("other_countries", "df", "country", "neq", None)
+            .group_agg("other_countries_agg", "other_countries", None, None, None)
+    }
+
+    #[test]
+    fn renders_pandas_with_placeholders() {
+        let code = fig1b().render();
+        assert!(code.contains("df = pd.read_csv(\"netflix.csv\")"));
+        assert!(code.contains("some_country = df[df['country'] == <VALUE>]"));
+        assert!(code.contains("other_countries = df[df['country'] != <VALUE>]"));
+        assert!(code.contains(".groupby(<COL>).agg({<AGG_COL>: <AGG>})"));
+    }
+
+    #[test]
+    fn compiles_to_an_ldx_that_accepts_the_expected_session() {
+        let ldx = fig1b().compile().unwrap();
+        assert_eq!(ldx.min_operations(), 4);
+        let engine = VerifyEngine::new(ldx);
+        let mut t = ExplorationTree::new();
+        let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "id"));
+        let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+        t.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "id"));
+        assert!(engine.verify(&t));
+
+        // Mismatched countries break the shared <VALUE> continuity variable.
+        let mut bad = ExplorationTree::new();
+        let f1 = bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        bad.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "id"));
+        let f2 = bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("US")));
+        bad.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "id"));
+        assert!(!engine.verify(&bad));
+    }
+
+    #[test]
+    fn concrete_parameters_survive_compilation() {
+        let py = PyLdx::new("flights")
+            .filter("summer", "df", "month", "ge", Some("6"))
+            .group_agg("agg", "summer", Some("delay_reason"), Some("count"), Some("flight_id"));
+        let ldx = py.compile().unwrap();
+        let text = ldx.canonical();
+        assert!(text.contains("[F,month,ge,6]"));
+        assert!(text.contains("[G,delay_reason,count,flight_id]"));
+    }
+
+    #[test]
+    fn chained_sources_become_nested_nodes() {
+        let py = PyLdx::new("apps")
+            .filter("popular", "df", "installs", "ge", Some("1000000"))
+            .group_agg("by_cat", "popular", Some("category"), Some("count"), Some("app_id"));
+        let ldx = py.compile().unwrap();
+        assert_eq!(ldx.declared_parent("A2"), Some("A1"));
+        assert_eq!(ldx.declared_parent("A1"), Some("ROOT"));
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let py = PyLdx::new("x").group_agg("a", "nonexistent", None, None, None);
+        assert!(py.compile().is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! The Adam optimizer (Kingma & Ba), operating over parameters visited in a fixed
+//! order through [`crate::dense::Dense::visit_params`].
+
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical stability constant.
+    pub eps: f64,
+    /// Gradient-norm clip applied elementwise (0 disables clipping).
+    pub grad_clip: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Create an optimizer with the given learning rate and default hyperparameters.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            grad_clip: 5.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of update steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Perform one update step over a sequence of layers. The closure `visit` must call
+    /// its argument once per `(param, grad)` pair, in the same order every step.
+    pub fn step(&mut self, visit: impl FnOnce(&mut dyn FnMut(&mut f64, f64))) {
+        self.t += 1;
+        let t = self.t as f64;
+        let lr_t = self.lr * (1.0 - self.beta2.powf(t)).sqrt() / (1.0 - self.beta1.powf(t));
+        let (beta1, beta2, eps, clip) = (self.beta1, self.beta2, self.eps, self.grad_clip);
+        let m = &mut self.m;
+        let v = &mut self.v;
+        let mut idx = 0usize;
+        visit(&mut |param: &mut f64, grad: f64| {
+            if idx >= m.len() {
+                m.push(0.0);
+                v.push(0.0);
+            }
+            let g = if clip > 0.0 {
+                grad.clamp(-clip, clip)
+            } else {
+                grad
+            };
+            m[idx] = beta1 * m[idx] + (1.0 - beta1) * g;
+            v[idx] = beta2 * v[idx] + (1.0 - beta2) * g * g;
+            *param -= lr_t * m[idx] / (v[idx].sqrt() + eps);
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adam minimizes a simple quadratic.
+    #[test]
+    fn minimizes_quadratic() {
+        let mut params = vec![5.0, -3.0];
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let grads: Vec<f64> = params.iter().map(|p| 2.0 * p).collect();
+            let g = grads.clone();
+            opt.step(|f| {
+                for (p, gr) in params.iter_mut().zip(&g) {
+                    f(p, *gr);
+                }
+            });
+        }
+        assert!(params.iter().all(|p| p.abs() < 1e-2), "{params:?}");
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_updates() {
+        let mut param = [0.0];
+        let mut opt = Adam::new(0.1);
+        opt.grad_clip = 1.0;
+        opt.step(|f| f(&mut param[0], 1e9));
+        // First Adam step size is ~lr regardless, but must be finite and small.
+        assert!(param[0].abs() < 0.2);
+        assert!(param[0].is_finite());
+    }
+
+    #[test]
+    fn state_grows_with_parameters() {
+        let mut a = [1.0];
+        let mut b = [2.0, 3.0];
+        let mut opt = Adam::new(0.01);
+        opt.step(|f| {
+            f(&mut a[0], 0.1);
+            for p in b.iter_mut() {
+                f(p, -0.1);
+            }
+        });
+        assert_eq!(opt.m.len(), 3);
+        assert_eq!(opt.v.len(), 3);
+    }
+}

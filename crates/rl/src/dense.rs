@@ -1,0 +1,286 @@
+//! Fully connected layers with manual backpropagation.
+//!
+//! The forward/backward passes are explicit index-based matrix loops (row-major weight
+//! layout `w[o * in_dim + i]`); the range indices are the natural expression here, so the
+//! `needless_range_loop` lint is silenced for the module.
+#![allow(clippy::needless_range_loop)]
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after the affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (used for output heads).
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// A dense (fully connected) layer `y = act(W x + b)`.
+///
+/// The layer caches the last input and pre-activation so that [`Dense::backward`] can be
+/// called after [`Dense::forward`]; gradients accumulate into `grad_w` / `grad_b` until
+/// [`Dense::zero_grad`] is called.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix, row-major: `out_dim` rows of `in_dim` weights.
+    pub w: Vec<f64>,
+    /// Bias vector of length `out_dim`.
+    pub b: Vec<f64>,
+    /// Accumulated weight gradients.
+    pub grad_w: Vec<f64>,
+    /// Accumulated bias gradients.
+    pub grad_b: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    #[serde(skip)]
+    last_input: Vec<f64>,
+    #[serde(skip)]
+    last_pre: Vec<f64>,
+}
+
+impl Dense {
+    /// Create a layer with Xavier/He-style initialization.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let scale = match activation {
+            Activation::Relu => (2.0 / in_dim as f64).sqrt(),
+            _ => (1.0 / in_dim as f64).sqrt(),
+        };
+        let w = (0..in_dim * out_dim)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Dense {
+            w,
+            b: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            activation,
+            last_input: Vec::new(),
+            last_pre: Vec::new(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward pass, caching input and pre-activation for the subsequent backward pass.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut pre = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            pre[o] = acc;
+        }
+        self.last_input = x.to_vec();
+        self.last_pre = pre.clone();
+        match self.activation {
+            Activation::Linear => pre,
+            Activation::Relu => pre.iter().map(|v| v.max(0.0)).collect(),
+            Activation::Tanh => pre.iter().map(|v| v.tanh()).collect(),
+        }
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &[f64]) -> Vec<f64> {
+        let mut pre = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            pre[o] = acc;
+        }
+        match self.activation {
+            Activation::Linear => pre,
+            Activation::Relu => pre.iter().map(|v| v.max(0.0)).collect(),
+            Activation::Tanh => pre.iter().map(|v| v.tanh()).collect(),
+        }
+    }
+
+    /// Backward pass: given `dL/dy`, accumulate parameter gradients and return `dL/dx`.
+    ///
+    /// Must be called after [`Dense::forward`] on the same input.
+    pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(grad_out.len(), self.out_dim);
+        debug_assert_eq!(self.last_input.len(), self.in_dim, "backward without forward");
+        // Through the activation.
+        let mut dpre = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            let d = match self.activation {
+                Activation::Linear => 1.0,
+                Activation::Relu => {
+                    if self.last_pre[o] > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Activation::Tanh => {
+                    let t = self.last_pre[o].tanh();
+                    1.0 - t * t
+                }
+            };
+            dpre[o] = grad_out[o] * d;
+        }
+        // Parameter gradients and input gradient.
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            self.grad_b[o] += dpre[o];
+            for i in 0..self.in_dim {
+                self.grad_w[o * self.in_dim + i] += dpre[o] * self.last_input[i];
+                dx[i] += dpre[o] * self.w[o * self.in_dim + i];
+            }
+        }
+        dx
+    }
+
+    /// Reset accumulated gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Visit `(param, grad)` pairs mutably in a fixed order (used by the optimizer).
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut f64, f64)) {
+        for (p, g) in self.w.iter_mut().zip(self.grad_w.iter()) {
+            f(p, *g);
+        }
+        for (p, g) in self.b.iter_mut().zip(self.grad_b.iter()) {
+            f(p, *g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, Activation::Linear, &mut r);
+        let y1 = layer.forward(&[1.0, 2.0, 3.0]);
+        let y2 = layer.forward_inference(&[1.0, 2.0, 3.0]);
+        assert_eq!(y1.len(), 2);
+        assert_eq!(y1, y2);
+        assert_eq!(layer.num_params(), 8);
+    }
+
+    #[test]
+    fn relu_and_tanh_activations() {
+        let mut r = rng();
+        let mut relu = Dense::new(1, 1, Activation::Relu, &mut r);
+        relu.w = vec![1.0];
+        relu.b = vec![-5.0];
+        assert_eq!(relu.forward(&[1.0]), vec![0.0]);
+        assert_eq!(relu.forward(&[10.0]), vec![5.0]);
+
+        let mut tanh = Dense::new(1, 1, Activation::Tanh, &mut r);
+        tanh.w = vec![1.0];
+        tanh.b = vec![0.0];
+        let y = tanh.forward(&[100.0]);
+        assert!((y[0] - 1.0).abs() < 1e-6);
+    }
+
+    /// Numerical gradient check: analytic gradients from backward() match finite
+    /// differences of a scalar loss.
+    #[test]
+    fn gradient_check() {
+        let mut r = rng();
+        let mut layer = Dense::new(4, 3, Activation::Tanh, &mut r);
+        let x = vec![0.3, -0.7, 0.2, 0.9];
+        // Loss = sum(y * coeff)
+        let coeff = [0.5, -1.0, 2.0];
+        let loss = |layer: &Dense, x: &[f64]| -> f64 {
+            layer
+                .forward_inference(x)
+                .iter()
+                .zip(coeff.iter())
+                .map(|(y, c)| y * c)
+                .sum()
+        };
+
+        layer.zero_grad();
+        let _y = layer.forward(&x);
+        let dx = layer.backward(&coeff);
+
+        let eps = 1e-6;
+        // Check a sample of weight gradients.
+        for &idx in &[0usize, 5, 11] {
+            let orig = layer.w[idx];
+            layer.w[idx] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.w[idx] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.w[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - layer.grad_w[idx]).abs() < 1e-5,
+                "w[{idx}]: numeric {numeric} vs analytic {}",
+                layer.grad_w[idx]
+            );
+        }
+        // Check input gradients.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let lp = loss(&layer, &xp);
+            xp[i] -= 2.0 * eps;
+            let lm = loss(&layer, &xp);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - dx[i]).abs() < 1e-5, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 1, Activation::Linear, &mut r);
+        layer.forward(&[1.0, 1.0]);
+        layer.backward(&[1.0]);
+        let g1 = layer.grad_b[0];
+        layer.forward(&[1.0, 1.0]);
+        layer.backward(&[1.0]);
+        assert!((layer.grad_b[0] - 2.0 * g1).abs() < 1e-12);
+        layer.zero_grad();
+        assert_eq!(layer.grad_b[0], 0.0);
+    }
+
+    #[test]
+    fn visit_params_touches_every_parameter() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, Activation::Linear, &mut r);
+        let mut count = 0;
+        layer.visit_params(|_, _| count += 1);
+        assert_eq!(count, layer.num_params());
+    }
+}

@@ -1,0 +1,34 @@
+//! `linx-rl` — the deep-reinforcement-learning substrate of the LINX reproduction.
+//!
+//! The original system builds its Deep Reinforcement Learning agent on ChainerRL
+//! (paper §7); no equivalent mature crate is available offline, so this crate implements
+//! the required substrate from scratch:
+//!
+//! * [`dense`] — fully connected layers with cached activations and backpropagation,
+//! * [`network`] — [`MultiHeadNet`], the ATENA/LINX policy architecture: a shared MLP
+//!   trunk feeding several independent softmax *segments* (operation type, one segment
+//!   per operation parameter, and — in LINX — the snippet segment) plus a scalar value
+//!   head (paper Fig. 2),
+//! * [`policy`] — masked softmax, categorical sampling, log-probabilities, entropy,
+//! * [`adam`] — the Adam optimizer,
+//! * [`trainer`] — an advantage actor-critic (policy-gradient with learned baseline and
+//!   entropy regularization) trainer operating on recorded episodes.
+//!
+//! The crate is deliberately small and dependency-free: networks here have a few
+//! thousand parameters and episodes a handful of steps, so clarity and determinism
+//! (seeded RNG everywhere) matter more than throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod dense;
+pub mod network;
+pub mod policy;
+pub mod trainer;
+
+pub use adam::Adam;
+pub use dense::Dense;
+pub use network::{MultiHeadNet, NetworkConfig};
+pub use policy::{masked_softmax, sample_categorical, softmax};
+pub use trainer::{ActionTaken, EpisodeStep, PolicyGradientTrainer, TrainerConfig};

@@ -1,0 +1,174 @@
+//! Categorical policy utilities: softmax, masking, sampling, log-probabilities, and
+//! entropy, all numerically stabilized.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Logit value used to mask out invalid actions.
+pub const MASK_LOGIT: f64 = -1e9;
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Degenerate case: uniform distribution.
+        return vec![1.0 / logits.len() as f64; logits.len()];
+    }
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Softmax with an optional validity mask (`false` entries get probability ~0).
+/// If every entry is masked, falls back to a uniform distribution.
+pub fn masked_softmax(logits: &[f64], mask: Option<&[bool]>) -> Vec<f64> {
+    match mask {
+        None => softmax(logits),
+        Some(m) => {
+            debug_assert_eq!(m.len(), logits.len());
+            if !m.iter().any(|&ok| ok) {
+                return vec![1.0 / logits.len().max(1) as f64; logits.len()];
+            }
+            let masked: Vec<f64> = logits
+                .iter()
+                .zip(m)
+                .map(|(&l, &ok)| if ok { l } else { MASK_LOGIT })
+                .collect();
+            softmax(&masked)
+        }
+    }
+}
+
+/// Sample an index from a categorical distribution.
+pub fn sample_categorical(probs: &[f64], rng: &mut StdRng) -> usize {
+    debug_assert!(!probs.is_empty());
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// The index of the maximum probability (greedy action).
+pub fn argmax(probs: &[f64]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// `log p[idx]` with a floor to avoid `-inf`.
+pub fn log_prob(probs: &[f64], idx: usize) -> f64 {
+    probs.get(idx).copied().unwrap_or(0.0).max(1e-12).ln()
+}
+
+/// Shannon entropy of the distribution (nats).
+pub fn entropy(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 1e-12)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Gradient of the policy-gradient + entropy-regularized loss with respect to logits.
+///
+/// For loss `L = -log π(a) · A − β · H(π)` the gradient w.r.t. logit `j` is
+/// `(π_j − 1[j = a]) · A + β · π_j · (log π_j + H)`.
+pub fn policy_loss_grad(probs: &[f64], action: usize, advantage: f64, entropy_coef: f64) -> Vec<f64> {
+    let h = entropy(probs);
+    probs
+        .iter()
+        .enumerate()
+        .map(|(j, &p)| {
+            let indicator = if j == action { 1.0 } else { 0.0 };
+            (p - indicator) * advantage + entropy_coef * p * (p.max(1e-12).ln() + h)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Large logits remain stable.
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p[1] > p[0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_invalid_entries() {
+        let p = masked_softmax(&[0.0, 0.0, 5.0], Some(&[true, true, false]));
+        assert!(p[2] < 1e-6);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        // All-masked falls back to uniform.
+        let p = masked_softmax(&[1.0, 2.0], Some(&[false, false]));
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = vec![0.1, 0.8, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[sample_categorical(&probs, &mut rng)] += 1;
+        }
+        assert!(counts[1] > 3500 && counts[1] < 4500, "{counts:?}");
+        assert_eq!(argmax(&probs), 1);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(entropy(&[1.0, 0.0, 0.0]) < 1e-9);
+        let uniform = entropy(&[0.25; 4]);
+        assert!((uniform - (4.0_f64).ln()).abs() < 1e-9);
+        assert!(log_prob(&[0.5, 0.5], 0) < 0.0);
+        assert!(log_prob(&[1.0, 0.0], 1).is_finite());
+    }
+
+    /// The analytic gradient of the policy loss matches a finite-difference estimate on
+    /// the softmax parametrization.
+    #[test]
+    fn policy_loss_gradient_check() {
+        let logits = vec![0.2, -0.4, 0.9, 0.1];
+        let action = 2;
+        let advantage = 1.7;
+        let beta = 0.05;
+        let loss = |logits: &[f64]| {
+            let p = softmax(logits);
+            -log_prob(&p, action) * advantage - beta * entropy(&p)
+        };
+        let probs = softmax(&logits);
+        let grad = policy_loss_grad(&probs, action, advantage, beta);
+        let eps = 1e-6;
+        for j in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp[j] += eps;
+            let mut lm = logits.clone();
+            lm[j] -= eps;
+            let numeric = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+            assert!(
+                (numeric - grad[j]).abs() < 1e-5,
+                "logit {j}: numeric {numeric} vs analytic {}",
+                grad[j]
+            );
+        }
+    }
+}

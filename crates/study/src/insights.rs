@@ -1,0 +1,294 @@
+//! The insight-extraction oracle for the objective study (paper §7.3, Figure 6 and
+//! Table 3): given a notebook, count the goal-relevant insights a reader could derive
+//! from it, and verbalize them.
+//!
+//! An *insight* here is a statistically meaningful contrast surfaced by a notebook cell:
+//! a group-by whose distribution over the grouping attribute, computed inside a filtered
+//! subset, differs substantially from the distribution over the rest of the data (or
+//! over the full dataset). An insight is *goal-relevant* when the subset / grouping
+//! attributes are the ones the gold specification constrains — the same notion the
+//! paper's experts used when validating participants' reported insights.
+
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::DataFrame;
+use linx_explore::{ExplorationTree, QueryOp, SessionExecutor};
+use linx_ldx::{Ldx, TokenPattern};
+use serde::{Deserialize, Serialize};
+
+/// Minimum total-variation distance between a subset's distribution and the rest of the
+/// data for a contrast to count as an insight.
+const INSIGHT_THRESHOLD: f64 = 0.12;
+/// Minimum share of a single group for a dominance insight.
+const DOMINANCE_SHARE: f64 = 0.55;
+/// Minimum gap between the subset's dominant-group share and the rest of the data's for
+/// the dominance to count as distinctive (so a globally-dominant value is not reported
+/// as a per-subset insight).
+const DOMINANCE_GAP: f64 = 0.12;
+
+/// One extracted insight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Insight {
+    /// Which node (by pre-order index) surfaced the insight.
+    pub node: usize,
+    /// The subset description (filter), if any.
+    pub subset: Option<String>,
+    /// The contrasted attribute.
+    pub attribute: String,
+    /// The strength of the contrast (total-variation distance).
+    pub strength: f64,
+    /// Whether the insight is relevant to the gold specification.
+    pub relevant: bool,
+    /// A verbalization of the insight (Table 3 style).
+    pub text: String,
+}
+
+/// Extract all insights surfaced by a session.
+pub fn extract_insights(dataset: &DataFrame, tree: &ExplorationTree, gold: &Ldx) -> Vec<Insight> {
+    let executor = SessionExecutor::new(dataset.clone());
+    let views = executor.execute_tree_lenient(tree);
+    let target_attrs = gold_attributes(gold);
+    let mut insights = Vec::new();
+
+    for (id, op) in tree.ops_in_order() {
+        let QueryOp::GroupBy { g_attr, .. } = op else { continue };
+        // The subset is defined by the nearest filter ancestor (if any).
+        let mut subset_filter: Option<(String, CompareOp, String)> = None;
+        let mut cur = tree.parent(id);
+        while let Some(p) = cur {
+            if let Some(QueryOp::Filter { attr, op, term }) = tree.op(p) {
+                subset_filter = Some((attr.clone(), *op, term.to_string()));
+                break;
+            }
+            cur = tree.parent(p);
+        }
+        let Some(parent_view) = tree.parent(id).and_then(|p| views.get(&p)) else { continue };
+        if parent_view.num_rows() == 0 || !parent_view.schema().contains(g_attr) {
+            continue;
+        }
+        // Contrast: distribution of g_attr inside the subset vs. in the rest of the data.
+        let (Ok(subset_hist), Ok(full_hist)) =
+            (parent_view.histogram(g_attr), dataset.histogram(g_attr))
+        else {
+            continue;
+        };
+        let rest_hist = match &subset_filter {
+            Some((attr, op, term)) => {
+                let complement_op = match op {
+                    CompareOp::Eq => CompareOp::Neq,
+                    CompareOp::Neq => CompareOp::Eq,
+                    CompareOp::Ge => CompareOp::Lt,
+                    CompareOp::Gt => CompareOp::Le,
+                    CompareOp::Le => CompareOp::Gt,
+                    CompareOp::Lt => CompareOp::Ge,
+                    other => *other,
+                };
+                dataset
+                    .filter(&Predicate::new(
+                        attr,
+                        complement_op,
+                        linx_dataframe::Value::parse_infer(term),
+                    ))
+                    .and_then(|rest| rest.histogram(g_attr))
+                    .unwrap_or(full_hist.clone())
+            }
+            None => full_hist.clone(),
+        };
+        if subset_hist.total() == 0 {
+            continue;
+        }
+        let relevant = match &subset_filter {
+            Some((attr, _, _)) => {
+                target_attrs.iter().any(|t| t.eq_ignore_ascii_case(attr))
+                    || target_attrs.iter().any(|t| t.eq_ignore_ascii_case(g_attr))
+            }
+            None => target_attrs.iter().any(|t| t.eq_ignore_ascii_case(g_attr)),
+        };
+        let subset_desc = subset_filter
+            .as_ref()
+            .map(|(a, o, t)| format!("{a} {} {t}", o.token()));
+
+        // (1) Contrast insight: the subset's distribution over `g_attr` differs from the
+        // rest of the data (the paper's "India differs from the rest of the world").
+        let strength = subset_hist.total_variation(&rest_hist);
+        if strength >= INSIGHT_THRESHOLD {
+            let text = verbalize(&subset_desc, g_attr, &subset_hist, &rest_hist);
+            insights.push(Insight {
+                node: id.index(),
+                subset: subset_desc.clone(),
+                attribute: g_attr.clone(),
+                strength,
+                relevant,
+                text,
+            });
+        }
+
+        // (2) Dominance insight: within the subset, one `g_attr` value holds a
+        // commanding share that is also distinctively higher than in the rest of the
+        // data ("the majority of titles in India are movies"). Tied to a subset so that
+        // flat, goal-agnostic notebooks (ChatGPT's descriptive statistics with no
+        // filters) do not accrue these.
+        if subset_filter.is_some() {
+            if let Some((mode, share)) = subset_hist.mode() {
+                let rest_share = rest_hist.freq(&mode);
+                if share >= DOMINANCE_SHARE && (share - rest_share) >= DOMINANCE_GAP {
+                    let scope = subset_desc
+                        .clone()
+                        .map(|s| format!("Among rows where {s}"))
+                        .unwrap_or_else(|| "In this subset".to_string());
+                    insights.push(Insight {
+                        node: id.index(),
+                        subset: subset_desc.clone(),
+                        attribute: g_attr.clone(),
+                        strength: share - rest_share,
+                        relevant,
+                        text: format!(
+                            "{scope}, {mode} makes up the majority of {g_attr} ({:.0}% vs {:.0}% elsewhere).",
+                            share * 100.0,
+                            rest_share * 100.0
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    dedup_insights(insights)
+}
+
+/// Collapse near-duplicate insights (same subset + attribute + text), keeping the
+/// strongest, so the count reflects distinct findings a reader would report.
+fn dedup_insights(mut insights: Vec<Insight>) -> Vec<Insight> {
+    insights.sort_by(|a, b| b.strength.partial_cmp(&a.strength).unwrap_or(std::cmp::Ordering::Equal));
+    let mut seen = std::collections::HashSet::new();
+    insights.retain(|i| seen.insert((i.subset.clone(), i.attribute.clone(), i.text.clone())));
+    insights
+}
+
+/// Count only the goal-relevant insights (the Figure 6 measure).
+pub fn count_relevant_insights(dataset: &DataFrame, tree: &ExplorationTree, gold: &Ldx) -> usize {
+    extract_insights(dataset, tree, gold)
+        .iter()
+        .filter(|i| i.relevant)
+        .count()
+}
+
+/// Verbalized, goal-relevant insights (Table 3 style sentences).
+pub fn describe_insights(dataset: &DataFrame, tree: &ExplorationTree, gold: &Ldx) -> Vec<String> {
+    extract_insights(dataset, tree, gold)
+        .into_iter()
+        .filter(|i| i.relevant)
+        .map(|i| i.text)
+        .collect()
+}
+
+fn gold_attributes(gold: &Ldx) -> Vec<String> {
+    gold.specs
+        .iter()
+        .filter_map(|s| s.like.as_ref())
+        .filter_map(|p| match p.param_pattern(0) {
+            TokenPattern::Literal(a) => Some(a),
+            _ => None,
+        })
+        .collect()
+}
+
+fn verbalize(
+    subset: &Option<String>,
+    attribute: &str,
+    subset_hist: &linx_dataframe::stats::Histogram,
+    rest_hist: &linx_dataframe::stats::Histogram,
+) -> String {
+    let (subset_mode, subset_share) = subset_hist
+        .mode()
+        .map(|(v, f)| (v.to_string(), f))
+        .unwrap_or(("?".to_string(), 0.0));
+    let rest_share = rest_hist.freq(&linx_dataframe::Value::parse_infer(&subset_mode));
+    let scope = subset
+        .clone()
+        .map(|s| format!("Among rows where {s}"))
+        .unwrap_or_else(|| "Across the data".to_string());
+    format!(
+        "{scope}, the most common {attribute} is {subset_mode} ({:.0}% of rows), compared to {:.0}% elsewhere.",
+        subset_share * 100.0,
+        rest_share * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{atena_session, chatgpt_session, expert_session};
+    use linx_data::{generate, DatasetKind, ScaleConfig};
+    use linx_nl2ldx::{MetaGoal, TemplateParams};
+
+    fn netflix() -> DataFrame {
+        generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(1200),
+                seed: 13,
+            },
+        )
+    }
+
+    fn g1_gold() -> Ldx {
+        MetaGoal::IdentifyUncommonEntity.ldx_template(&TemplateParams {
+            domain: "titles".into(),
+            attr: "country".into(),
+            op: "eq".into(),
+            term: String::new(),
+            second_attr: None,
+        })
+    }
+
+    #[test]
+    fn expert_notebook_yields_relevant_insights() {
+        let data = netflix();
+        let gold = g1_gold();
+        let tree = expert_session(&data, &gold);
+        let insights = extract_insights(&data, &tree, &gold);
+        assert!(!insights.is_empty());
+        let relevant = count_relevant_insights(&data, &tree, &gold);
+        assert!(relevant >= 1, "expected at least one relevant insight, got {relevant}");
+        let texts = describe_insights(&data, &tree, &gold);
+        assert!(texts.iter().any(|t| t.contains("country")));
+    }
+
+    #[test]
+    fn goal_oriented_sessions_beat_goal_agnostic_ones() {
+        let data = netflix();
+        let gold = g1_gold();
+        let expert = count_relevant_insights(&data, &expert_session(&data, &gold), &gold);
+        let atena = count_relevant_insights(&data, &atena_session(&data), &gold);
+        let chatgpt =
+            count_relevant_insights(&data, &chatgpt_session(&data, "Find an atypical country"), &gold);
+        assert!(expert >= atena, "expert {expert} vs atena {atena}");
+        assert!(expert >= chatgpt, "expert {expert} vs chatgpt {chatgpt}");
+        assert!(expert >= 1);
+    }
+
+    #[test]
+    fn flat_descriptive_notebooks_produce_few_insights() {
+        let data = netflix();
+        let gold = g1_gold();
+        let chatgpt = chatgpt_session(&data, "Find an atypical country");
+        // Flat group-bys over the whole dataset compare the data with itself, so they
+        // cannot surface subset contrasts.
+        assert_eq!(count_relevant_insights(&data, &chatgpt, &gold), 0);
+    }
+
+    #[test]
+    fn empty_session_has_no_insights() {
+        let data = netflix();
+        let gold = g1_gold();
+        assert!(extract_insights(&data, &ExplorationTree::new(), &gold).is_empty());
+    }
+
+    #[test]
+    fn insight_text_mentions_shares() {
+        let data = netflix();
+        let gold = g1_gold();
+        let tree = expert_session(&data, &gold);
+        let texts = describe_insights(&data, &tree, &gold);
+        assert!(texts.iter().all(|t| t.contains('%')));
+    }
+}

@@ -1,0 +1,34 @@
+//! `linx-study` — the baselines and the simulated user study of the LINX evaluation
+//! (paper §7.3, Figures 5–7, Table 3 and Figure 6).
+//!
+//! The paper's study asks 30 human participants to rate exploration notebooks
+//! (relevance to the goal, informativeness, comprehensibility) and to extract
+//! goal-relevant insights from them, comparing LINX against a human expert, ATENA,
+//! ChatGPT-generated notebooks, and Google Sheets' Explore feature. A human study cannot
+//! ship inside a library, so this crate substitutes:
+//!
+//! * [`baselines`] — faithful mechanistic stand-ins for the compared systems: the gold
+//!   compliant session for the human expert, a goal-agnostic generic exploration for
+//!   ATENA, a flat descriptive-statistics notebook for ChatGPT, and a column/subset
+//!   restricted notebook for Google Sheets Explore,
+//! * [`reviewers`] — a panel of simulated reviewers that score notebooks with the
+//!   paper's rubric (relevance from specification compliance and attribute overlap,
+//!   informativeness from statistical interestingness and coverage, comprehensibility
+//!   from session size and operation simplicity), and
+//! * [`insights`] — an insight-extraction oracle that counts statistically significant,
+//!   goal-relevant contrasts surfaced by a notebook and can verbalize them (Table 3).
+//!
+//! The [`runner`] module assembles these into the full Figure 5/6/7 experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod insights;
+pub mod reviewers;
+pub mod runner;
+
+pub use baselines::{atena_session, chatgpt_session, expert_session, sheets_session, System};
+pub use insights::{count_relevant_insights, describe_insights};
+pub use reviewers::{ReviewerPanel, Scores};
+pub use runner::{run_study, StudyConfig, StudyResults};

@@ -1,0 +1,275 @@
+//! The simulated reviewer panel: scores an exploration session on the three criteria
+//! the paper's participants rated (relevance to the goal, informativeness,
+//! comprehensibility), each on the paper's 1–7 scale.
+
+use linx_dataframe::DataFrame;
+use linx_explore::{ExplorationReward, ExplorationTree, OpKind, SessionExecutor};
+use linx_ldx::{Ldx, TokenPattern, VerifyEngine};
+use linx_nl2ldx::linker::link;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Mean panel scores on the 1–7 scale.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Scores {
+    /// Relevance of the notebook to the analytical goal.
+    pub relevance: f64,
+    /// How much useful information about the data the notebook provides.
+    pub informativeness: f64,
+    /// How easy the notebook is to follow.
+    pub comprehensibility: f64,
+}
+
+/// A panel of simulated reviewers.
+#[derive(Debug, Clone)]
+pub struct ReviewerPanel {
+    /// Number of reviewers (the paper recruited 30, 10 per dataset-task pairing).
+    pub reviewers: usize,
+    /// Noise seed.
+    pub seed: u64,
+    /// Per-reviewer rating noise (standard deviation on the 1–7 scale).
+    pub noise: f64,
+}
+
+impl Default for ReviewerPanel {
+    fn default() -> Self {
+        ReviewerPanel {
+            reviewers: 10,
+            seed: 0x5717d7,
+            noise: 0.35,
+        }
+    }
+}
+
+impl ReviewerPanel {
+    /// Score a session against the goal and its gold specification.
+    pub fn score(
+        &self,
+        dataset: &DataFrame,
+        tree: &ExplorationTree,
+        gold: &Ldx,
+        goal: &str,
+    ) -> Scores {
+        let relevance_raw = relevance_score(dataset, tree, gold, goal);
+        let informativeness_raw = informativeness_score(dataset, tree);
+        let comprehensibility_raw = comprehensibility_score(tree);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ hash_str(goal));
+        let mut totals = [0.0f64; 3];
+        for _ in 0..self.reviewers.max(1) {
+            for (i, raw) in [relevance_raw, informativeness_raw, comprehensibility_raw]
+                .iter()
+                .enumerate()
+            {
+                let noise = (rng.gen::<f64>() - 0.5) * 2.0 * self.noise;
+                totals[i] += (1.0 + 6.0 * raw + noise).clamp(1.0, 7.0);
+            }
+        }
+        let n = self.reviewers.max(1) as f64;
+        Scores {
+            relevance: totals[0] / n,
+            informativeness: totals[1] / n,
+            comprehensibility: totals[2] / n,
+        }
+    }
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Relevance in `[0, 1]`: dominated by compliance with the gold specification, with a
+/// smaller contribution from simply touching the attributes the goal cares about.
+fn relevance_score(dataset: &DataFrame, tree: &ExplorationTree, gold: &Ldx, goal: &str) -> f64 {
+    if tree.num_ops() == 0 {
+        return 0.0;
+    }
+    let engine = VerifyEngine::new(gold.clone());
+    let full = engine.verify(tree);
+    let structural = engine.verify_structural(tree);
+    let opr = engine.best_operational_score(tree);
+
+    // Attribute overlap between the session and the goal/specification.
+    let mut target_attrs: Vec<String> = gold
+        .specs
+        .iter()
+        .filter_map(|s| s.like.as_ref())
+        .filter_map(|p| match p.param_pattern(0) {
+            TokenPattern::Literal(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+    let linked = link(goal, &dataset.schema(), Some(&dataset.head(50)));
+    target_attrs.extend(linked.attributes);
+    target_attrs.sort();
+    target_attrs.dedup();
+    let overlap = if target_attrs.is_empty() {
+        0.5
+    } else {
+        let touched = target_attrs
+            .iter()
+            .filter(|a| {
+                tree.ops_in_order()
+                    .iter()
+                    .any(|(_, op)| op.primary_attr().eq_ignore_ascii_case(a))
+            })
+            .count();
+        touched as f64 / target_attrs.len() as f64
+    };
+
+    let compliance_part = if full {
+        1.0
+    } else if structural {
+        0.45 + 0.25 * opr
+    } else {
+        0.2 * opr
+    };
+    (0.7 * compliance_part + 0.3 * overlap).clamp(0.0, 1.0)
+}
+
+/// Informativeness in `[0, 1]`: statistical interestingness of the session plus column
+/// coverage (how much of the data the notebook looks at).
+fn informativeness_score(dataset: &DataFrame, tree: &ExplorationTree) -> f64 {
+    if tree.num_ops() == 0 {
+        return 0.0;
+    }
+    let executor = SessionExecutor::new(dataset.clone());
+    let reward = ExplorationReward::default();
+    let score = reward.session_score(&executor, tree).clamp(0.0, 1.2) / 1.2;
+    let touched: std::collections::HashSet<&str> = tree
+        .ops_in_order()
+        .iter()
+        .map(|(_, op)| op.primary_attr())
+        .collect();
+    let coverage =
+        (touched.len() as f64 / dataset.num_columns().max(1) as f64).clamp(0.0, 1.0);
+    let volume = (tree.num_ops() as f64 / 6.0).clamp(0.2, 1.0);
+    // Depth bonus: aggregations computed *inside* a subset (a filter ancestor) carry
+    // contrastive information that flat whole-dataset descriptive statistics lack —
+    // the distinction the paper draws between LINX/expert notebooks and ChatGPT's.
+    let groupbys: Vec<_> = tree
+        .ops_in_order()
+        .into_iter()
+        .filter(|(_, op)| op.kind() == OpKind::GroupBy)
+        .collect();
+    let contrastive = groupbys
+        .iter()
+        .filter(|(id, _)| {
+            let mut cur = tree.parent(*id);
+            while let Some(p) = cur {
+                if tree.op(p).map(|o| o.kind() == OpKind::Filter).unwrap_or(false) {
+                    return true;
+                }
+                cur = tree.parent(p);
+            }
+            false
+        })
+        .count();
+    let depth_bonus = if groupbys.is_empty() {
+        0.0
+    } else {
+        contrastive as f64 / groupbys.len() as f64
+    };
+    (0.45 * score + 0.2 * coverage + 0.15 * volume + 0.2 * depth_bonus).clamp(0.0, 1.0)
+}
+
+/// Comprehensibility in `[0, 1]`: small sessions of simple, familiar operations read
+/// best; deep nesting and very long sessions read worse.
+fn comprehensibility_score(tree: &ExplorationTree) -> f64 {
+    if tree.num_ops() == 0 {
+        return 0.3;
+    }
+    let n = tree.num_ops() as f64;
+    let size_penalty = ((n - 6.0).max(0.0) / 10.0).min(0.5);
+    let depth_penalty = ((tree.max_depth() as f64 - 2.0).max(0.0) / 6.0).min(0.3);
+    let groupby_share = tree
+        .ops_in_order()
+        .iter()
+        .filter(|(_, op)| op.kind() == OpKind::GroupBy)
+        .count() as f64
+        / n;
+    (0.92 - size_penalty - depth_penalty + 0.08 * groupby_share).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{atena_session, chatgpt_session, expert_session};
+    use linx_data::{generate, DatasetKind, ScaleConfig};
+    use linx_nl2ldx::{MetaGoal, TemplateParams};
+
+    fn netflix() -> DataFrame {
+        generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(600),
+                seed: 9,
+            },
+        )
+    }
+
+    fn g1_gold() -> Ldx {
+        MetaGoal::IdentifyUncommonEntity.ldx_template(&TemplateParams {
+            domain: "titles".into(),
+            attr: "country".into(),
+            op: "eq".into(),
+            term: String::new(),
+            second_attr: None,
+        })
+    }
+
+    #[test]
+    fn compliant_sessions_outscore_goal_agnostic_ones_on_relevance() {
+        let data = netflix();
+        let gold = g1_gold();
+        let goal = "Find a country with different viewing habits than the rest of the world";
+        let panel = ReviewerPanel::default();
+        let expert = panel.score(&data, &expert_session(&data, &gold), &gold, goal);
+        let atena = panel.score(&data, &atena_session(&data), &gold, goal);
+        let chatgpt = panel.score(&data, &chatgpt_session(&data, goal), &gold, goal);
+        assert!(expert.relevance > 5.5, "expert relevance {}", expert.relevance);
+        assert!(expert.relevance > atena.relevance + 1.5);
+        assert!(expert.relevance > chatgpt.relevance + 1.0);
+    }
+
+    #[test]
+    fn chatgpt_reads_easily_but_informs_less_than_the_expert() {
+        let data = netflix();
+        let gold = g1_gold();
+        let goal = "Find an atypical country";
+        let panel = ReviewerPanel::default();
+        let expert = panel.score(&data, &expert_session(&data, &gold), &gold, goal);
+        let chatgpt = panel.score(&data, &chatgpt_session(&data, goal), &gold, goal);
+        assert!(chatgpt.comprehensibility > 5.0);
+        assert!(expert.informativeness >= chatgpt.informativeness - 0.5);
+    }
+
+    #[test]
+    fn scores_are_bounded_and_deterministic() {
+        let data = netflix();
+        let gold = g1_gold();
+        let goal = "Find an atypical country";
+        let panel = ReviewerPanel::default();
+        let tree = expert_session(&data, &gold);
+        let a = panel.score(&data, &tree, &gold, goal);
+        let b = panel.score(&data, &tree, &gold, goal);
+        for s in [a.relevance, a.informativeness, a.comprehensibility] {
+            assert!((1.0..=7.0).contains(&s));
+        }
+        assert_eq!(a.relevance, b.relevance);
+        assert_eq!(a.informativeness, b.informativeness);
+    }
+
+    #[test]
+    fn empty_sessions_score_poorly() {
+        let data = netflix();
+        let gold = g1_gold();
+        let panel = ReviewerPanel::default();
+        let empty = ExplorationTree::new();
+        let s = panel.score(&data, &empty, &gold, "anything at all here");
+        assert!(s.relevance < 2.0);
+        assert!(s.informativeness < 2.0);
+    }
+}

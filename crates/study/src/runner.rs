@@ -1,0 +1,248 @@
+//! The user-study runner: reproduces Figures 5–7 and Figure 6's insight counts by
+//! generating one notebook per (goal, system) pair and scoring them with the reviewer
+//! panel and the insight oracle.
+
+use linx::{Linx, LinxConfig};
+use linx_benchgen::{generate_benchmark, GoalInstance};
+use linx_cdrl::CdrlConfig;
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::DataFrame;
+use linx_explore::ExplorationTree;
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::{atena_session, chatgpt_session, expert_session, sheets_session, System};
+use crate::insights::count_relevant_insights;
+use crate::reviewers::{ReviewerPanel, Scores};
+
+/// Configuration of the study harness.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Goals evaluated per dataset (the paper uses 4, for 12 in total).
+    pub goals_per_dataset: usize,
+    /// Dataset rows to generate.
+    pub rows: usize,
+    /// CDRL training episodes for the LINX system.
+    pub linx_episodes: usize,
+    /// Seed for data generation, training, and the reviewer panel.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            goals_per_dataset: 4,
+            rows: 2_000,
+            linx_episodes: 250,
+            seed: 0x57d1,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for tests.
+    pub fn fast() -> Self {
+        StudyConfig {
+            goals_per_dataset: 1,
+            rows: 600,
+            linx_episodes: 80,
+            seed: 0x57d1,
+        }
+    }
+}
+
+/// One scored (goal, system) cell of the study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyCell {
+    /// Goal instance id.
+    pub goal_id: String,
+    /// Dataset.
+    pub dataset: String,
+    /// System under evaluation.
+    pub system: System,
+    /// Panel scores (1–7).
+    pub scores: Scores,
+    /// Number of goal-relevant insights extractable from the notebook.
+    pub relevant_insights: usize,
+}
+
+/// The complete study results.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StudyResults {
+    /// All scored cells.
+    pub cells: Vec<StudyCell>,
+}
+
+impl StudyResults {
+    /// Mean relevance per (dataset, system) — the Figure 5 table.
+    pub fn relevance_by_dataset(&self) -> Vec<(String, System, f64)> {
+        let mut out = Vec::new();
+        for kind in DatasetKind::ALL {
+            for system in System::ALL {
+                let vals: Vec<f64> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.dataset == kind.name() && c.system == system)
+                    .map(|c| c.scores.relevance)
+                    .collect();
+                if !vals.is_empty() {
+                    out.push((
+                        kind.name().to_string(),
+                        system,
+                        vals.iter().sum::<f64>() / vals.len() as f64,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean of a metric over all datasets per system.
+    fn mean_by_system(&self, f: impl Fn(&StudyCell) -> f64) -> Vec<(System, f64)> {
+        System::ALL
+            .iter()
+            .filter_map(|system| {
+                let vals: Vec<f64> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.system == *system)
+                    .map(&f)
+                    .collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some((*system, vals.iter().sum::<f64>() / vals.len() as f64))
+                }
+            })
+            .collect()
+    }
+
+    /// Mean relevance per system (summary of Figure 5).
+    pub fn mean_relevance(&self) -> Vec<(System, f64)> {
+        self.mean_by_system(|c| c.scores.relevance)
+    }
+
+    /// Mean informativeness per system (Figure 7, left).
+    pub fn mean_informativeness(&self) -> Vec<(System, f64)> {
+        self.mean_by_system(|c| c.scores.informativeness)
+    }
+
+    /// Mean comprehensibility per system (Figure 7, right).
+    pub fn mean_comprehensibility(&self) -> Vec<(System, f64)> {
+        self.mean_by_system(|c| c.scores.comprehensibility)
+    }
+
+    /// Mean number of goal-relevant insights per system (Figure 6).
+    pub fn mean_insights(&self) -> Vec<(System, f64)> {
+        self.mean_by_system(|c| c.relevant_insights as f64)
+    }
+
+    /// The score of one system in [`StudyResults::mean_relevance`]-style summaries.
+    pub fn system_mean(&self, summary: &[(System, f64)], system: System) -> Option<f64> {
+        summary.iter().find(|(s, _)| *s == system).map(|(_, v)| *v)
+    }
+}
+
+/// Generate the notebook of one system for one goal instance.
+fn session_for(
+    system: System,
+    dataset: &DataFrame,
+    instance: &GoalInstance,
+    config: &StudyConfig,
+) -> ExplorationTree {
+    match system {
+        System::HumanExpert => expert_session(dataset, &instance.gold_ldx),
+        System::Atena => atena_session(dataset),
+        System::ChatGpt => chatgpt_session(dataset, &instance.goal_text),
+        System::GoogleSheets => sheets_session(dataset, &instance.goal_text),
+        System::Linx => {
+            let linx = Linx::new(LinxConfig {
+                cdrl: CdrlConfig {
+                    episodes: config.linx_episodes,
+                    seed: config.seed ^ instance.id.len() as u64,
+                    ..CdrlConfig::default()
+                },
+                sample_rows: 200,
+            });
+            linx.explore(dataset, &instance.dataset.name().to_lowercase(), &instance.goal_text)
+                .training
+                .best_tree
+        }
+    }
+}
+
+/// Run the full study.
+pub fn run_study(config: &StudyConfig) -> StudyResults {
+    let benchmark = generate_benchmark(config.seed);
+    let panel = ReviewerPanel {
+        seed: config.seed,
+        ..ReviewerPanel::default()
+    };
+    let mut results = StudyResults::default();
+
+    for kind in DatasetKind::ALL {
+        let dataset = generate(
+            kind,
+            ScaleConfig {
+                rows: Some(config.rows),
+                seed: config.seed,
+            },
+        );
+        // Pick goals from distinct meta-goal families for this dataset.
+        let mut chosen: Vec<&GoalInstance> = Vec::new();
+        for inst in benchmark.for_dataset(kind) {
+            if chosen.len() >= config.goals_per_dataset {
+                break;
+            }
+            if chosen.iter().all(|c| c.meta_goal != inst.meta_goal) {
+                chosen.push(inst);
+            }
+        }
+        for instance in chosen {
+            for system in System::ALL {
+                let tree = session_for(system, &dataset, instance, config);
+                let scores = panel.score(&dataset, &tree, &instance.gold_ldx, &instance.goal_text);
+                let relevant_insights =
+                    count_relevant_insights(&dataset, &tree, &instance.gold_ldx);
+                results.cells.push(StudyCell {
+                    goal_id: instance.id.clone(),
+                    dataset: kind.name().to_string(),
+                    system,
+                    scores,
+                    relevant_insights,
+                });
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_study_reproduces_the_papers_ordering() {
+        let results = run_study(&StudyConfig::fast());
+        assert_eq!(results.cells.len(), 3 * System::ALL.len());
+
+        let relevance = results.mean_relevance();
+        let expert = results.system_mean(&relevance, System::HumanExpert).unwrap();
+        let linx = results.system_mean(&relevance, System::Linx).unwrap();
+        let atena = results.system_mean(&relevance, System::Atena).unwrap();
+        let sheets = results.system_mean(&relevance, System::GoogleSheets).unwrap();
+
+        // Figure 5's qualitative ordering: Expert ≳ LINX ≫ {ATENA, Sheets}.
+        assert!(expert >= linx - 0.8, "expert {expert} vs linx {linx}");
+        assert!(linx > atena, "linx {linx} vs atena {atena}");
+        assert!(linx > sheets, "linx {linx} vs sheets {sheets}");
+
+        // Figure 6's qualitative ordering on insights.
+        let insights = results.mean_insights();
+        let linx_i = results.system_mean(&insights, System::Linx).unwrap();
+        let chat_i = results.system_mean(&insights, System::ChatGpt).unwrap();
+        assert!(linx_i >= chat_i, "linx {linx_i} vs chatgpt {chat_i}");
+
+        // Per-dataset breakdown exists for every dataset.
+        assert_eq!(results.relevance_by_dataset().len(), 15);
+    }
+}

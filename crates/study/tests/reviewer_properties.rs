@@ -1,0 +1,110 @@
+//! Integration / property tests for the simulated reviewer panel and study runner: the
+//! panel's scores stay on the 1–7 scale, a specification-compliant session is rated more
+//! relevant than a goal-agnostic one, and the study runner reproduces the paper's system
+//! ordering (LINX ≈ Expert ≫ ATENA / ChatGPT / Sheets on relevance).
+
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_nl2ldx::{MetaGoal, TemplateParams};
+use linx_study::{
+    atena_session, chatgpt_session, expert_session, run_study, ReviewerPanel, StudyConfig, System,
+};
+
+fn netflix() -> linx_dataframe::DataFrame {
+    generate(DatasetKind::Netflix, ScaleConfig { rows: Some(1000), seed: 5 })
+}
+
+fn g1_gold() -> linx_ldx::Ldx {
+    MetaGoal::IdentifyUncommonEntity.ldx_template(&TemplateParams {
+        domain: "titles".into(),
+        attr: "country".into(),
+        op: "eq".into(),
+        term: String::new(),
+        second_attr: None,
+    })
+}
+
+const GOAL: &str = "Find an atypical country among the titles";
+
+#[test]
+fn scores_stay_on_the_1_to_7_scale() {
+    let data = netflix();
+    let gold = g1_gold();
+    let panel = ReviewerPanel::default();
+    for tree in [
+        expert_session(&data, &gold),
+        atena_session(&data),
+        chatgpt_session(&data, GOAL),
+    ] {
+        let s = panel.score(&data, &tree, &gold, GOAL);
+        for v in [s.relevance, s.informativeness, s.comprehensibility] {
+            assert!((1.0..=7.0).contains(&v), "score {v} out of range");
+        }
+    }
+}
+
+#[test]
+fn compliant_expert_session_is_more_relevant_than_goal_agnostic_atena() {
+    let data = netflix();
+    let gold = g1_gold();
+    let panel = ReviewerPanel::default();
+    let expert = panel.score(&data, &expert_session(&data, &gold), &gold, GOAL);
+    let atena = panel.score(&data, &atena_session(&data), &gold, GOAL);
+    assert!(
+        expert.relevance > atena.relevance + 1.0,
+        "expert {:.2} should clearly beat ATENA {:.2} on relevance",
+        expert.relevance,
+        atena.relevance
+    );
+}
+
+#[test]
+fn chatgpt_is_comprehensible_but_not_the_most_relevant() {
+    let data = netflix();
+    let gold = g1_gold();
+    let panel = ReviewerPanel::default();
+    let chatgpt = panel.score(&data, &chatgpt_session(&data, GOAL), &gold, GOAL);
+    let expert = panel.score(&data, &expert_session(&data, &gold), &gold, GOAL);
+    // ChatGPT's flat descriptive stats are comprehensible...
+    assert!(chatgpt.comprehensibility >= 5.0);
+    // ...but not as relevant as the goal-compliant expert session.
+    assert!(chatgpt.relevance < expert.relevance);
+}
+
+#[test]
+fn empty_session_scores_low_on_relevance() {
+    let data = netflix();
+    let panel = ReviewerPanel::default();
+    let s = panel.score(&data, &linx_explore::ExplorationTree::new(), &g1_gold(), GOAL);
+    assert!(s.relevance < 2.5, "empty notebook relevance {:.2}", s.relevance);
+}
+
+#[test]
+fn study_runner_reproduces_the_paper_system_ordering() {
+    // A fast study (few goals, small budget) still reproduces the qualitative ordering.
+    let config = StudyConfig {
+        goals_per_dataset: 2,
+        rows: 1000,
+        linx_episodes: 200,
+        seed: 0x5317,
+    };
+    let results = run_study(&config);
+    let mean = results.mean_relevance();
+    let get = |sys: System| results.system_mean(&mean, sys).unwrap_or(0.0);
+
+    let expert = get(System::HumanExpert);
+    let linx = get(System::Linx);
+    let atena = get(System::Atena);
+    let chatgpt = get(System::ChatGpt);
+    let sheets = get(System::GoogleSheets);
+
+    // LINX is close to the expert upper bound and well above the goal-unaware baselines.
+    assert!(linx > atena, "LINX {linx:.2} > ATENA {atena:.2}");
+    assert!(linx > sheets, "LINX {linx:.2} > Sheets {sheets:.2}");
+    assert!(linx > chatgpt, "LINX {linx:.2} > ChatGPT {chatgpt:.2}");
+    assert!(expert >= linx - 1.0, "Expert {expert:.2} ~>= LINX {linx:.2}");
+    // Insight counts: LINX leads the automatic systems.
+    let insights = results.mean_insights();
+    let linx_ins = results.system_mean(&insights, System::Linx).unwrap_or(0.0);
+    let chatgpt_ins = results.system_mean(&insights, System::ChatGpt).unwrap_or(0.0);
+    assert!(linx_ins >= chatgpt_ins, "LINX insights {linx_ins} >= ChatGPT {chatgpt_ins}");
+}

@@ -1,0 +1,165 @@
+//! ASCII rendering of chart specifications.
+//!
+//! Terminals, examples, and experiment logs have no graphics stack, so recommended
+//! charts are rendered as horizontal bar charts made of `#` runs — enough to see the
+//! shape of a distribution or the contrast between two subsets at a glance.
+
+use crate::spec::{ChartSpec, Mark};
+
+/// Render a chart as ASCII art.
+///
+/// `width` is the maximum width of the longest bar in characters (clamped to at least
+/// 10). Table fallbacks and empty charts render as a one-line note.
+pub fn render_ascii(chart: &ChartSpec, width: usize) -> String {
+    let width = width.max(10);
+    let mut out = format!("{} [{}]\n", chart.title, chart.mark);
+    if chart.mark == Mark::Table || chart.is_empty() {
+        out.push_str("  (no chartable values — see the table preview)\n");
+        return out;
+    }
+    let max = chart.max_value();
+    let label_width = chart
+        .data
+        .iter()
+        .map(|p| display_label(&p.label).chars().count())
+        .max()
+        .unwrap_or(0)
+        .min(24);
+    for point in &chart.data {
+        let bar_len = if max > 0.0 {
+            ((point.value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let bar: String = std::iter::repeat_n('#', bar_len.min(width))
+            .collect();
+        out.push_str(&format!(
+            "  {:<label_width$} | {:<width$} {}\n",
+            truncate(&display_label(&point.label), label_width),
+            bar,
+            format_value(point.value),
+        ));
+    }
+    out.push_str(&format!(
+        "  x: {}, y: {}\n",
+        chart.x.label(),
+        chart.y.label()
+    ));
+    out
+}
+
+fn display_label(label: &str) -> String {
+    if label.is_empty() {
+        "<empty>".to_string()
+    } else {
+        label.to_string()
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let mut out: String = s.chars().take(max.saturating_sub(1)).collect();
+        out.push('…');
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Encoding, Mark};
+
+    fn chart() -> ChartSpec {
+        ChartSpec::new(
+            "count(show_id) by type",
+            Mark::Bar,
+            Encoding::nominal("type"),
+            Encoding::quantitative("show_id").aggregated("count"),
+            vec![("Movie".into(), 93.0), ("TV Show".into(), 7.0)],
+        )
+    }
+
+    #[test]
+    fn bars_are_scaled_to_the_maximum() {
+        let text = render_ascii(&chart(), 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("count(show_id) by type"));
+        let movie_bar = lines[1].matches('#').count();
+        let tv_bar = lines[2].matches('#').count();
+        assert_eq!(movie_bar, 40);
+        assert!((1..=5).contains(&tv_bar));
+        assert!(text.ends_with("x: type, y: count(show_id)\n"));
+    }
+
+    #[test]
+    fn width_is_clamped_to_a_sane_minimum() {
+        let text = render_ascii(&chart(), 1);
+        assert!(text.lines().nth(1).unwrap().matches('#').count() <= 10);
+    }
+
+    #[test]
+    fn table_fallback_renders_a_note() {
+        let spec = ChartSpec::new(
+            "table preview (0 rows x 3 columns)",
+            Mark::Table,
+            Encoding::nominal("row"),
+            Encoding::quantitative("value"),
+            vec![],
+        );
+        let text = render_ascii(&spec, 40);
+        assert!(text.contains("no chartable values"));
+    }
+
+    #[test]
+    fn long_and_empty_labels_are_displayed_safely() {
+        let spec = ChartSpec::new(
+            "t",
+            Mark::Bar,
+            Encoding::nominal("x"),
+            Encoding::quantitative("y"),
+            vec![
+                ("a".repeat(60), 5.0),
+                (String::new(), 3.0),
+            ],
+        );
+        let text = render_ascii(&spec, 20);
+        assert!(text.contains('…'));
+        assert!(text.contains("<empty>"));
+    }
+
+    #[test]
+    fn zero_valued_charts_render_without_bars() {
+        let spec = ChartSpec::new(
+            "t",
+            Mark::Bar,
+            Encoding::nominal("x"),
+            Encoding::quantitative("y"),
+            vec![("a".into(), 0.0), ("b".into(), 0.0)],
+        );
+        let text = render_ascii(&spec, 20);
+        assert_eq!(text.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn fractional_values_keep_two_decimals() {
+        let spec = ChartSpec::new(
+            "t",
+            Mark::Histogram,
+            Encoding::ordinal("x"),
+            Encoding::quantitative("y").aggregated("avg"),
+            vec![("[0, 5)".into(), 2.5)],
+        );
+        let text = render_ascii(&spec, 20);
+        assert!(text.contains("2.50"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Equal-width binning for numeric attribute distributions.
+//!
+//! Filter views expose raw rows; to recommend a distribution chart for a numeric column
+//! the values are grouped into a small number of equal-width bins (the same choice LUX
+//! and Vega-Lite's default `bin: true` make for quantitative histograms).
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram bin over a numeric domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the final bin).
+    pub hi: f64,
+    /// Number of values falling in the bin.
+    pub count: usize,
+}
+
+impl Bin {
+    /// A compact label for axis ticks, e.g. `"[0, 50)"`.
+    pub fn label(&self) -> String {
+        format!("[{}, {})", fmt_bound(self.lo), fmt_bound(self.hi))
+    }
+}
+
+fn fmt_bound(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Bin numeric values into `bins` equal-width bins over their observed range.
+///
+/// Non-finite values are ignored. Returns an empty vector when there are no finite
+/// values or `bins == 0`. When all values are identical a single bin containing every
+/// value is returned.
+pub fn bin_numeric(values: &[f64], bins: usize) -> Vec<Bin> {
+    if bins == 0 {
+        return Vec::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Vec::new();
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return vec![Bin {
+            lo,
+            hi,
+            count: finite.len(),
+        }];
+    }
+    let width = (hi - lo) / bins as f64;
+    let mut out: Vec<Bin> = (0..bins)
+        .map(|i| Bin {
+            lo: lo + i as f64 * width,
+            hi: if i + 1 == bins { hi } else { lo + (i + 1) as f64 * width },
+            count: 0,
+        })
+        .collect();
+    for v in finite {
+        let mut idx = ((v - lo) / width) as usize;
+        if idx >= bins {
+            idx = bins - 1;
+        }
+        out[idx].count += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_cover_the_range_and_count_every_value() {
+        let values = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let bins = bin_numeric(&values, 5);
+        assert_eq!(bins.len(), 5);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), values.len());
+        assert_eq!(bins[0].lo, 0.0);
+        assert_eq!(bins[4].hi, 10.0);
+    }
+
+    #[test]
+    fn constant_values_collapse_to_one_bin() {
+        let bins = bin_numeric(&[3.0, 3.0, 3.0], 6);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 3);
+        assert_eq!(bins[0].label(), "[3, 3)");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(bin_numeric(&[], 4).is_empty());
+        assert!(bin_numeric(&[1.0, 2.0], 0).is_empty());
+        assert!(bin_numeric(&[f64::NAN, f64::INFINITY], 4).is_empty());
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored_but_finite_ones_counted() {
+        let bins = bin_numeric(&[1.0, f64::NAN, 2.0, f64::NEG_INFINITY, 3.0], 3);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn labels_format_integers_without_decimals() {
+        let bins = bin_numeric(&[0.0, 100.0], 2);
+        assert_eq!(bins[0].label(), "[0, 50)");
+        let bins = bin_numeric(&[0.0, 1.0], 2);
+        assert_eq!(bins[0].label(), "[0, 0.50)");
+    }
+
+    proptest! {
+        #[test]
+        fn every_finite_value_lands_in_exactly_one_bin(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            bins in 1usize..12,
+        ) {
+            let out = bin_numeric(&values, bins);
+            prop_assert_eq!(out.iter().map(|b| b.count).sum::<usize>(), values.len());
+            // Bins are contiguous and ordered.
+            for w in out.windows(2) {
+                prop_assert!(w[0].hi <= w[1].lo + 1e-9);
+                prop_assert!(w[0].lo <= w[0].hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Self-contained HTML gallery export.
+//!
+//! [`session_gallery`] renders the recommended charts for an entire exploration session
+//! as a single HTML document that embeds the Vega-Lite specifications and loads the Vega
+//! runtime from a CDN. The output is a complete, openable page — the "always-on
+//! visualization" surface the paper envisions (§3/§8) realized as a shareable artifact.
+//!
+//! The page degrades gracefully without network access: each chart also includes its
+//! ASCII rendering inside a `<pre>` fallback, so the gallery is readable even when the
+//! Vega CDN is unreachable.
+
+use crate::ascii::render_ascii;
+use crate::recommend::CellCharts;
+use crate::vegalite::to_vega_lite;
+
+/// Vega / Vega-Lite / Vega-Embed CDN script tags.
+const VEGA_CDN: &str = r#"<script src="https://cdn.jsdelivr.net/npm/vega@5"></script>
+<script src="https://cdn.jsdelivr.net/npm/vega-lite@5"></script>
+<script src="https://cdn.jsdelivr.net/npm/vega-embed@6"></script>"#;
+
+/// Render a full session's chart recommendations as a standalone HTML gallery.
+///
+/// `title` is the page heading; `cells` is the output of
+/// [`crate::recommend_session`]. Only the top-ranked chart of each cell is embedded as a
+/// live Vega-Lite view; the remaining candidates appear as ASCII fallbacks.
+pub fn session_gallery(title: &str, cells: &[CellCharts]) -> String {
+    let mut body = String::new();
+    let mut embed_calls = String::new();
+    let mut chart_id = 0usize;
+
+    for cell in cells {
+        if cell.charts.is_empty() {
+            continue;
+        }
+        body.push_str(&format!(
+            "<section class=\"cell\">\n<h2>Cell {} — <code>{}</code></h2>\n",
+            cell.node,
+            escape_html(&cell.op.to_string())
+        ));
+        for (rank, chart) in cell.charts.iter().enumerate() {
+            let id = format!("chart{chart_id}");
+            chart_id += 1;
+            let spec = to_vega_lite(chart);
+            let spec_json = serde_json::to_string(&spec).unwrap_or_else(|_| "{}".into());
+            body.push_str(&format!(
+                "<div class=\"chart\">\n<h3>{}{}</h3>\n<div id=\"{id}\"></div>\n<pre class=\"fallback\">{}</pre>\n</div>\n",
+                escape_html(&chart.title),
+                if rank == 0 { " <span class=\"badge\">recommended</span>" } else { "" },
+                escape_html(&render_ascii(chart, 48))
+            ));
+            embed_calls.push_str(&format!(
+                "vegaEmbed('#{id}', {spec_json}).catch(console.error);\n"
+            ));
+        }
+        body.push_str("</section>\n");
+    }
+
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n<title>{title}</title>\n{VEGA_CDN}\n<style>{STYLE}</style>\n</head>\n<body>\n<h1>{title}</h1>\n{body}<script>\n{embed_calls}</script>\n</body>\n</html>\n",
+        title = escape_html(title),
+        STYLE = STYLE,
+    )
+}
+
+const STYLE: &str = "body{font-family:system-ui,sans-serif;margin:2rem;max-width:960px}\
+h1{border-bottom:2px solid #333}\
+.cell{margin:2rem 0;padding:1rem;border:1px solid #ddd;border-radius:8px}\
+.chart{margin:1rem 0}\
+.badge{font-size:.7rem;background:#2a7;color:#fff;padding:.1rem .4rem;border-radius:4px;vertical-align:middle}\
+.fallback{background:#f6f6f6;padding:.5rem;overflow-x:auto;font-size:.8rem}\
+code{background:#eef;padding:.1rem .3rem;border-radius:3px}";
+
+fn escape_html(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recommend::recommend_session;
+    use linx_data::{generate, DatasetKind, ScaleConfig};
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
+    use linx_explore::{ExplorationTree, NodeId, QueryOp};
+
+    fn cells() -> Vec<CellCharts> {
+        let data = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(400), seed: 3 });
+        let mut tree = ExplorationTree::new();
+        let f = tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
+        tree.add_child(f, QueryOp::group_by("type", AggFunc::Count, "show_id"));
+        recommend_session(&data, &tree)
+    }
+
+    #[test]
+    fn gallery_is_a_complete_html_document() {
+        let html = session_gallery("Netflix — g1", &cells());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<title>Netflix — g1</title>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        // Embeds the Vega runtime and at least one vegaEmbed call.
+        assert!(html.contains("vega-lite@5"));
+        assert!(html.contains("vegaEmbed('#chart0'"));
+        // Each embedded spec is valid JSON containing a mark.
+        assert!(html.contains("\"mark\""));
+        // ASCII fallback present.
+        assert!(html.contains("class=\"fallback\""));
+    }
+
+    #[test]
+    fn html_special_characters_are_escaped() {
+        let data = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(100), seed: 1 });
+        let mut tree = ExplorationTree::new();
+        tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("title", CompareOp::Contains, Value::str("<b>&\"")),
+        );
+        let html = session_gallery("t", &recommend_session(&data, &tree));
+        assert!(!html.contains("<b>&\""));
+        assert!(html.contains("&lt;b&gt;") || html.contains("&amp;"));
+    }
+
+    #[test]
+    fn empty_session_produces_a_valid_but_chartless_page() {
+        let html = session_gallery("empty", &[]);
+        assert!(html.contains("<h1>empty</h1>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        assert!(!html.contains("vegaEmbed"));
+    }
+}

@@ -1,0 +1,55 @@
+//! `linx-viz` — auto-visualization recommendations for LINX exploration notebooks.
+//!
+//! The LINX paper lists visualization as an explicit extension point (§3 "Future
+//! Extension: Spelled-out Insights and Visualizations" and §8): the generated query
+//! operations are meant to be handed to an always-on visualization recommender in the
+//! style of LUX \[39\] or Voyager \[78\], which picks an appropriate chart for each query
+//! result. This crate implements that extension:
+//!
+//! * a small, serializable **chart specification model** ([`ChartSpec`], [`Mark`],
+//!   [`Encoding`]) in the spirit of Vega-Lite's grammar \[60\],
+//! * a rule-based **recommender** ([`recommend_cell`], [`recommend_session`]) that maps
+//!   each exploration-tree node and its result view to ranked chart candidates,
+//! * an **ASCII renderer** ([`render_ascii`]) so charts can be inspected in terminals,
+//!   examples, and experiment logs without a graphics stack, and
+//! * a **Vega-Lite exporter** ([`to_vega_lite`]) producing JSON specs that can be pasted
+//!   into the Vega editor or embedded in the exported Jupyter notebooks.
+//!
+//! # Example
+//!
+//! ```
+//! use linx_dataframe::{DataFrame, Value};
+//! use linx_dataframe::groupby::AggFunc;
+//! use linx_explore::QueryOp;
+//! use linx_viz::{recommend_cell, render_ascii, Mark};
+//!
+//! let view = DataFrame::from_rows(
+//!     &["type", "count(show_id)"],
+//!     vec![
+//!         vec![Value::str("Movie"), Value::Int(93)],
+//!         vec![Value::str("TV Show"), Value::Int(7)],
+//!     ],
+//! )
+//! .unwrap();
+//! let op = QueryOp::group_by("type", AggFunc::Count, "show_id");
+//! let charts = recommend_cell(&op, &view, None);
+//! assert_eq!(charts[0].mark, Mark::Bar);
+//! println!("{}", render_ascii(&charts[0], 40));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod bins;
+pub mod html;
+pub mod recommend;
+pub mod spec;
+pub mod vegalite;
+
+pub use ascii::render_ascii;
+pub use bins::{bin_numeric, Bin};
+pub use html::session_gallery;
+pub use recommend::{recommend_cell, recommend_session, CellCharts};
+pub use spec::{ChartSpec, Encoding, FieldType, Mark};
+pub use vegalite::{to_vega_lite, to_vega_lite_string};

@@ -1,0 +1,415 @@
+//! Rule-based chart recommendation for exploration-session views.
+//!
+//! The recommender follows the "always-on" philosophy of LUX \[39\]: every notebook cell
+//! gets a small ranked set of chart candidates, derived from the operation that produced
+//! the view and from the statistics of the view itself.
+//!
+//! * **Group-and-aggregate views** become a bar chart over the grouping attribute (or a
+//!   line chart when the grouping attribute is temporal/ordinal), sorted by the
+//!   aggregate, top categories first.
+//! * **Filter views** become *Occurrence* charts — value-count bars for the most
+//!   informative low-cardinality columns — plus a histogram for one numeric column.
+//! * Views that support no informative chart fall back to a [`Mark::Table`] spec.
+//!
+//! The recommendation score favours skewed distributions over uniform ones (the same
+//! intuition as the conciseness/interestingness notions used by the exploration reward),
+//! so the most "insight-bearing" chart is listed first.
+
+use linx_dataframe::{DataFrame, Value};
+use linx_explore::{ExplorationTree, NodeId, QueryOp, SessionExecutor};
+use serde::{Deserialize, Serialize};
+
+use crate::bins::bin_numeric;
+use crate::spec::{ChartSpec, Encoding, Mark};
+
+/// Maximum number of categories plotted on a bar chart before the tail is truncated.
+const MAX_BARS: usize = 12;
+/// Number of bins for numeric histograms.
+const NUM_BINS: usize = 8;
+/// Maximum charts recommended for a single cell.
+const MAX_CHARTS_PER_CELL: usize = 3;
+
+/// The chart recommendations for one exploration-tree node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellCharts {
+    /// The tree node the charts visualize (pre-order index).
+    pub node: usize,
+    /// The operation that produced the view.
+    pub op: QueryOp,
+    /// Ranked chart candidates, best first.
+    pub charts: Vec<ChartSpec>,
+}
+
+/// Recommend charts for every node of an exploration session.
+///
+/// The tree is executed leniently against the dataset (exactly as notebook rendering
+/// does), so invalid nodes simply produce an empty recommendation list.
+pub fn recommend_session(dataset: &DataFrame, tree: &ExplorationTree) -> Vec<CellCharts> {
+    let executor = SessionExecutor::new(dataset.clone());
+    let views = executor.execute_tree_lenient(tree);
+    tree.ops_in_order()
+        .into_iter()
+        .map(|(id, op)| {
+            let parent = tree.parent(id).unwrap_or(NodeId::ROOT);
+            let charts = match views.get(&id) {
+                Some(view) => recommend_cell(op, view, views.get(&parent)),
+                None => Vec::new(),
+            };
+            CellCharts {
+                node: id.index(),
+                op: op.clone(),
+                charts,
+            }
+        })
+        .collect()
+}
+
+/// Recommend ranked charts for a single operation and its result view.
+///
+/// `parent` is the view the operation was applied to (used to contextualize filter
+/// charts — e.g. to compare subset shares); it may be omitted.
+pub fn recommend_cell(op: &QueryOp, view: &DataFrame, parent: Option<&DataFrame>) -> Vec<ChartSpec> {
+    let mut charts = match op {
+        QueryOp::GroupBy {
+            g_attr,
+            agg,
+            agg_attr,
+        } => group_by_charts(view, g_attr, agg.token(), agg_attr),
+        QueryOp::Filter { attr, op, term } => {
+            filter_charts(view, parent, &format!("{attr} {} {term}", op.token()))
+        }
+    };
+    if charts.is_empty() {
+        charts.push(table_fallback(view));
+    }
+    charts.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    charts.truncate(MAX_CHARTS_PER_CELL);
+    charts
+}
+
+/// A bar (or line, for temporal groupings) chart of an aggregate view.
+fn group_by_charts(view: &DataFrame, g_attr: &str, agg: &str, agg_attr: &str) -> Vec<ChartSpec> {
+    if view.num_rows() == 0 || !view.schema().contains(g_attr) {
+        return Vec::new();
+    }
+    // The aggregate view has the group keys in `g_attr` and the aggregate in its other
+    // column; plot key → aggregate.
+    let value_col = view
+        .column_names()
+        .into_iter()
+        .find(|n| *n != g_attr)
+        .map(str::to_string);
+    let Some(value_col) = value_col else {
+        return Vec::new();
+    };
+    let mut points: Vec<(String, f64)> = Vec::with_capacity(view.num_rows());
+    for i in 0..view.num_rows() {
+        let key = view
+            .value(i, g_attr)
+            .map(|v| v.to_string())
+            .unwrap_or_default();
+        let val = view
+            .value(i, &value_col)
+            .ok()
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        points.push((key, val));
+    }
+    let temporal = is_temporal_attr(g_attr);
+    if temporal {
+        // Keep the natural (ordered) key order for temporal groupings.
+        points.sort_by(|a, b| numeric_or_lexical(&a.0, &b.0));
+    } else {
+        points.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    }
+    let truncated = points.len() > MAX_BARS;
+    points.truncate(MAX_BARS);
+    let score = skew_score(&points.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    let mark = if temporal { Mark::Line } else { Mark::Bar };
+    let title = if truncated {
+        format!("{agg}({agg_attr}) by {g_attr} (top {MAX_BARS})")
+    } else {
+        format!("{agg}({agg_attr}) by {g_attr}")
+    };
+    vec![ChartSpec::new(
+        title,
+        mark,
+        if temporal {
+            Encoding::ordinal(g_attr)
+        } else {
+            Encoding::nominal(g_attr)
+        },
+        Encoding::quantitative(agg_attr).aggregated(agg),
+        points,
+    )
+    .with_score(score)]
+}
+
+/// Occurrence + distribution charts for a filtered subset.
+fn filter_charts(view: &DataFrame, parent: Option<&DataFrame>, subset: &str) -> Vec<ChartSpec> {
+    if view.num_rows() == 0 {
+        return Vec::new();
+    }
+    let mut charts = Vec::new();
+
+    // Occurrence bars for the most skewed low-cardinality columns.
+    let mut candidates: Vec<(f64, ChartSpec)> = Vec::new();
+    for field in view.schema().fields() {
+        let Ok(col) = view.column(&field.name) else { continue };
+        let distinct = col.n_unique();
+        if !(2..=MAX_BARS * 2).contains(&distinct) {
+            continue;
+        }
+        let Ok(hist) = view.histogram(&field.name) else { continue };
+        let mut points: Vec<(String, f64)> = hist
+            .sorted()
+            .into_iter()
+            .take(MAX_BARS)
+            .map(|(v, c)| (v.to_string(), c as f64))
+            .collect();
+        points.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut score = skew_score(&points.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+        // LUX's "Filter" action boost: a column whose subset distribution diverges from
+        // the parent distribution is the most interesting thing to show for a filter.
+        if let Some(parent) = parent {
+            if let (Ok(sub_hist), Ok(par_hist)) =
+                (view.histogram(&field.name), parent.histogram(&field.name))
+            {
+                score = (score + sub_hist.total_variation(&par_hist)).min(1.0);
+            }
+        }
+        let spec = ChartSpec::new(
+            format!("count by {} — {subset}", field.name),
+            Mark::Bar,
+            Encoding::nominal(&field.name),
+            Encoding::quantitative(&field.name).aggregated("count"),
+            points,
+        )
+        .with_score(score);
+        candidates.push((score, spec));
+    }
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    charts.extend(candidates.into_iter().take(2).map(|(_, c)| c));
+
+    // One histogram over the widest-ranging numeric column.
+    if let Some(numeric) = pick_numeric_column(view) {
+        if let Ok(col) = view.column(&numeric) {
+            let values: Vec<f64> = col.values().iter().filter_map(Value::as_f64).collect();
+            let bins = bin_numeric(&values, NUM_BINS);
+            if bins.len() >= 2 {
+                let counts: Vec<f64> = bins.iter().map(|b| b.count as f64).collect();
+                let score = 0.5 * skew_score(&counts);
+                let points = bins
+                    .iter()
+                    .map(|b| (b.label(), b.count as f64))
+                    .collect::<Vec<_>>();
+                charts.push(
+                    ChartSpec::new(
+                        format!("distribution of {numeric} — {subset}"),
+                        Mark::Histogram,
+                        Encoding::ordinal(&numeric),
+                        Encoding::quantitative(&numeric).aggregated("count"),
+                        points,
+                    )
+                    .with_score(score),
+                );
+            }
+        }
+    }
+    charts
+}
+
+/// A plain-table fallback spec for views that support no informative chart.
+fn table_fallback(view: &DataFrame) -> ChartSpec {
+    let cols = view.num_columns();
+    ChartSpec::new(
+        format!("table preview ({} rows x {cols} columns)", view.num_rows()),
+        Mark::Table,
+        Encoding::nominal("row"),
+        Encoding::quantitative("value"),
+        vec![],
+    )
+}
+
+/// Pick the numeric column with the most distinct values (the most histogram-worthy).
+fn pick_numeric_column(view: &DataFrame) -> Option<String> {
+    view.schema()
+        .fields()
+        .iter()
+        .filter(|f| f.dtype.is_numeric())
+        .filter_map(|f| {
+            view.column(&f.name)
+                .ok()
+                .map(|c| (c.n_unique(), f.name.clone()))
+        })
+        .filter(|(distinct, _)| *distinct > MAX_BARS)
+        .max_by_key(|(distinct, _)| *distinct)
+        .map(|(_, name)| name)
+}
+
+/// Whether an attribute name suggests an ordered / temporal domain.
+fn is_temporal_attr(attr: &str) -> bool {
+    let lower = attr.to_ascii_lowercase();
+    ["month", "year", "date", "day", "week", "hour", "time"]
+        .iter()
+        .any(|k| lower.contains(k))
+}
+
+/// How far the value distribution is from uniform, in `[0, 1]`.
+///
+/// 0 means perfectly uniform bars (an uninteresting chart); values approach 1 as a single
+/// bar dominates. Computed as the total-variation distance from the uniform distribution.
+fn skew_score(values: &[f64]) -> f64 {
+    let total: f64 = values.iter().copied().filter(|v| *v > 0.0).sum();
+    if values.len() < 2 || total <= 0.0 {
+        return 0.0;
+    }
+    let uniform = 1.0 / values.len() as f64;
+    0.5 * values
+        .iter()
+        .map(|v| ((v.max(0.0) / total) - uniform).abs())
+        .sum::<f64>()
+}
+
+/// Order two bar labels numerically when both parse as numbers, lexically otherwise.
+fn numeric_or_lexical(a: &str, b: &str) -> std::cmp::Ordering {
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.cmp(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::filter::CompareOp;
+    use linx_dataframe::groupby::AggFunc;
+    use linx_data::{generate, DatasetKind, ScaleConfig};
+
+    fn netflix() -> DataFrame {
+        generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(400),
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn group_by_view_becomes_a_sorted_bar_chart() {
+        let data = netflix();
+        let view = data.group_by("rating", AggFunc::Count, "show_id").unwrap();
+        let op = QueryOp::group_by("rating", AggFunc::Count, "show_id");
+        let charts = recommend_cell(&op, &view, Some(&data));
+        assert_eq!(charts[0].mark, Mark::Bar);
+        assert!(charts[0].len() >= 2);
+        // Sorted descending by aggregate.
+        for w in charts[0].data.windows(2) {
+            assert!(w[0].value >= w[1].value);
+        }
+        assert!(charts[0].title.contains("count(show_id) by rating"));
+    }
+
+    #[test]
+    fn temporal_grouping_becomes_a_line_chart_in_key_order() {
+        let df = DataFrame::from_rows(
+            &["month", "delay"],
+            vec![
+                vec![Value::Int(3), Value::float(12.0)],
+                vec![Value::Int(1), Value::float(9.0)],
+                vec![Value::Int(2), Value::float(30.0)],
+            ],
+        )
+        .unwrap();
+        let op = QueryOp::group_by("month", AggFunc::Avg, "delay");
+        let charts = recommend_cell(&op, &df, None);
+        assert_eq!(charts[0].mark, Mark::Line);
+        let labels: Vec<&str> = charts[0].data.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn filter_view_gets_occurrence_and_histogram_charts() {
+        let data = netflix();
+        let view = data
+            .filter(&linx_dataframe::filter::Predicate::new(
+                "country",
+                CompareOp::Eq,
+                Value::str("India"),
+            ))
+            .unwrap();
+        let op = QueryOp::filter("country", CompareOp::Eq, Value::str("India"));
+        let charts = recommend_cell(&op, &view, Some(&data));
+        assert!(!charts.is_empty());
+        assert!(charts.len() <= MAX_CHARTS_PER_CELL);
+        assert!(charts.iter().any(|c| c.mark == Mark::Bar));
+        // Ranked by score, best first.
+        for w in charts.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn empty_view_falls_back_to_a_table_spec() {
+        let data = netflix();
+        let view = data
+            .filter(&linx_dataframe::filter::Predicate::new(
+                "country",
+                CompareOp::Eq,
+                Value::str("Atlantis"),
+            ))
+            .unwrap();
+        let op = QueryOp::filter("country", CompareOp::Eq, Value::str("Atlantis"));
+        let charts = recommend_cell(&op, &view, Some(&data));
+        assert_eq!(charts.len(), 1);
+        assert_eq!(charts[0].mark, Mark::Table);
+        assert!(charts[0].is_empty());
+    }
+
+    #[test]
+    fn session_recommendation_covers_every_operation() {
+        let data = netflix();
+        let mut tree = ExplorationTree::new();
+        let f = tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
+        tree.add_child(f, QueryOp::group_by("type", AggFunc::Count, "show_id"));
+        tree.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("rating", AggFunc::Count, "show_id"),
+        );
+        let cells = recommend_session(&data, &tree);
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().all(|c| !c.charts.is_empty()));
+        assert_eq!(cells[1].op.kind(), linx_explore::OpKind::GroupBy);
+    }
+
+    #[test]
+    fn invalid_operation_yields_no_charts() {
+        let data = netflix();
+        let mut tree = ExplorationTree::new();
+        tree.push_op(QueryOp::filter("no_such_column", CompareOp::Eq, Value::Int(1)));
+        let cells = recommend_session(&data, &tree);
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].charts.is_empty());
+    }
+
+    #[test]
+    fn skew_score_ranks_dominated_distributions_above_uniform_ones() {
+        assert!(skew_score(&[90.0, 5.0, 5.0]) > skew_score(&[34.0, 33.0, 33.0]));
+        assert_eq!(skew_score(&[10.0]), 0.0);
+        assert_eq!(skew_score(&[0.0, 0.0]), 0.0);
+        let s = skew_score(&[100.0, 0.0, 0.0, 0.0]);
+        assert!(s > 0.7 && s <= 1.0);
+    }
+
+    #[test]
+    fn temporal_attr_detection() {
+        assert!(is_temporal_attr("month"));
+        assert!(is_temporal_attr("release_year"));
+        assert!(is_temporal_attr("scheduled_departure_time"));
+        assert!(!is_temporal_attr("country"));
+    }
+}

@@ -1,0 +1,264 @@
+//! The chart specification model.
+//!
+//! A [`ChartSpec`] is a declarative description of a single chart over a query-result
+//! view: a mark type, an x/y encoding, and the (already aggregated) data points to plot.
+//! The model is intentionally a small subset of Vega-Lite's grammar — enough to express
+//! the charts that the filter / group-and-aggregate views of LINX sessions call for —
+//! so it can be rendered as ASCII ([`crate::render_ascii`]) or exported as a Vega-Lite
+//! JSON spec ([`crate::to_vega_lite`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The graphical mark of a chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mark {
+    /// A bar per category (group-and-aggregate results, value-count distributions).
+    Bar,
+    /// A bar per numeric bin (distributions of numeric attributes).
+    Histogram,
+    /// A point-to-point line (aggregates over an ordered / temporal grouping attribute).
+    Line,
+    /// A plain table preview (fallback when no chart is informative).
+    Table,
+}
+
+impl Mark {
+    /// The Vega-Lite mark name.
+    pub fn vega_name(&self) -> &'static str {
+        match self {
+            Mark::Bar | Mark::Histogram => "bar",
+            Mark::Line => "line",
+            Mark::Table => "text",
+        }
+    }
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Mark::Bar => "bar",
+            Mark::Histogram => "histogram",
+            Mark::Line => "line",
+            Mark::Table => "table",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The measurement type of an encoded field (Vega-Lite's `type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldType {
+    /// Categorical / unordered values.
+    Nominal,
+    /// Ordered categories (e.g. numeric bins, month numbers).
+    Ordinal,
+    /// Continuous numeric values.
+    Quantitative,
+}
+
+impl FieldType {
+    /// The Vega-Lite type name.
+    pub fn vega_name(&self) -> &'static str {
+        match self {
+            FieldType::Nominal => "nominal",
+            FieldType::Ordinal => "ordinal",
+            FieldType::Quantitative => "quantitative",
+        }
+    }
+}
+
+/// One encoding channel: which field feeds an axis and how it is typed / aggregated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Encoding {
+    /// The source field (column) name.
+    pub field: String,
+    /// The measurement type.
+    pub field_type: FieldType,
+    /// An aggregate applied to the field ("count", "sum", "avg", ...), if the values in
+    /// [`ChartSpec::data`] are aggregates of it.
+    pub aggregate: Option<String>,
+}
+
+impl Encoding {
+    /// A nominal (categorical) encoding of a field.
+    pub fn nominal(field: impl Into<String>) -> Self {
+        Encoding {
+            field: field.into(),
+            field_type: FieldType::Nominal,
+            aggregate: None,
+        }
+    }
+
+    /// An ordinal encoding of a field.
+    pub fn ordinal(field: impl Into<String>) -> Self {
+        Encoding {
+            field: field.into(),
+            field_type: FieldType::Ordinal,
+            aggregate: None,
+        }
+    }
+
+    /// A quantitative encoding of a field.
+    pub fn quantitative(field: impl Into<String>) -> Self {
+        Encoding {
+            field: field.into(),
+            field_type: FieldType::Quantitative,
+            aggregate: None,
+        }
+    }
+
+    /// Attach an aggregate label to this encoding.
+    pub fn aggregated(mut self, agg: impl Into<String>) -> Self {
+        self.aggregate = Some(agg.into());
+        self
+    }
+
+    /// The axis label: `agg(field)` when aggregated, the bare field name otherwise.
+    pub fn label(&self) -> String {
+        match &self.aggregate {
+            Some(a) => format!("{a}({})", self.field),
+            None => self.field.clone(),
+        }
+    }
+}
+
+/// One pre-aggregated data point: a label on the x axis and a numeric value on y.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// The category / bin label.
+    pub label: String,
+    /// The plotted value.
+    pub value: f64,
+}
+
+/// A single recommended chart for one query-result view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartSpec {
+    /// A short title ("count(show_id) by rating — country = India").
+    pub title: String,
+    /// The graphical mark.
+    pub mark: Mark,
+    /// The x (category / bin) encoding.
+    pub x: Encoding,
+    /// The y (value) encoding.
+    pub y: Encoding,
+    /// The pre-aggregated points, in display order.
+    pub data: Vec<DataPoint>,
+    /// An interestingness score in `[0, 1]` used to rank recommendations (the LUX-style
+    /// "relevance" of the chart): skewed or contrast-rich views rank above uniform ones.
+    pub score: f64,
+}
+
+impl ChartSpec {
+    /// Create a chart spec from labelled points.
+    pub fn new(
+        title: impl Into<String>,
+        mark: Mark,
+        x: Encoding,
+        y: Encoding,
+        data: Vec<(String, f64)>,
+    ) -> Self {
+        ChartSpec {
+            title: title.into(),
+            mark,
+            x,
+            y,
+            data: data
+                .into_iter()
+                .map(|(label, value)| DataPoint { label, value })
+                .collect(),
+            score: 0.0,
+        }
+    }
+
+    /// Set the recommendation score.
+    pub fn with_score(mut self, score: f64) -> Self {
+        self.score = score.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of plotted points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the chart has no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The largest plotted value (0 for an empty chart).
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().map(|p| p.value).fold(0.0_f64, f64::max)
+    }
+
+    /// The sum of plotted values.
+    pub fn total(&self) -> f64 {
+        self.data.iter().map(|p| p.value).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChartSpec {
+        ChartSpec::new(
+            "count(show_id) by type",
+            Mark::Bar,
+            Encoding::nominal("type"),
+            Encoding::quantitative("show_id").aggregated("count"),
+            vec![("Movie".into(), 93.0), ("TV Show".into(), 7.0)],
+        )
+    }
+
+    #[test]
+    fn encoding_labels() {
+        assert_eq!(Encoding::nominal("type").label(), "type");
+        assert_eq!(
+            Encoding::quantitative("show_id").aggregated("count").label(),
+            "count(show_id)"
+        );
+        assert_eq!(Encoding::ordinal("month").field_type, FieldType::Ordinal);
+    }
+
+    #[test]
+    fn mark_and_type_names() {
+        assert_eq!(Mark::Bar.vega_name(), "bar");
+        assert_eq!(Mark::Histogram.vega_name(), "bar");
+        assert_eq!(Mark::Line.vega_name(), "line");
+        assert_eq!(Mark::Table.vega_name(), "text");
+        assert_eq!(Mark::Histogram.to_string(), "histogram");
+        assert_eq!(FieldType::Quantitative.vega_name(), "quantitative");
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let s = spec();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.max_value(), 93.0);
+        assert_eq!(s.total(), 100.0);
+    }
+
+    #[test]
+    fn score_is_clamped() {
+        assert_eq!(spec().with_score(2.0).score, 1.0);
+        assert_eq!(spec().with_score(-1.0).score, 0.0);
+        assert_eq!(spec().with_score(0.4).score, 0.4);
+    }
+
+    #[test]
+    fn empty_chart_max_is_zero() {
+        let s = ChartSpec::new(
+            "empty",
+            Mark::Table,
+            Encoding::nominal("a"),
+            Encoding::quantitative("b"),
+            vec![],
+        );
+        assert!(s.is_empty());
+        assert_eq!(s.max_value(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Vega-Lite export.
+//!
+//! [`to_vega_lite`] converts a [`ChartSpec`] into a Vega-Lite v5 JSON specification with
+//! inline data values. The output is valid Vega-Lite for the bar/line/histogram charts
+//! this crate recommends and can be pasted into the Vega editor, attached to exported
+//! Jupyter notebooks, or served to a web front end.
+
+use serde_json::{json, Value as Json};
+
+use crate::spec::{ChartSpec, Mark};
+
+/// The Vega-Lite schema URL emitted in every spec.
+pub const VEGA_LITE_SCHEMA: &str = "https://vega.github.io/schema/vega-lite/v5.json";
+
+/// Convert a chart specification to a Vega-Lite v5 JSON value.
+pub fn to_vega_lite(chart: &ChartSpec) -> Json {
+    let values: Vec<Json> = chart
+        .data
+        .iter()
+        .map(|p| {
+            json!({
+                chart.x.field.clone(): p.label,
+                "value": p.value,
+            })
+        })
+        .collect();
+    let mut x_enc = json!({
+        "field": chart.x.field,
+        "type": chart.x.field_type.vega_name(),
+    });
+    if chart.mark == Mark::Line || chart.x.field_type == crate::spec::FieldType::Ordinal {
+        // Keep the data order (temporal / binned axes) instead of Vega's default
+        // alphabetical sort.
+        x_enc["sort"] = Json::Null;
+    }
+    let y_title = chart.y.label();
+    json!({
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": chart.title,
+        "mark": chart.mark.vega_name(),
+        "data": { "values": values },
+        "encoding": {
+            "x": x_enc,
+            "y": {
+                "field": "value",
+                "type": "quantitative",
+                "title": y_title,
+            },
+        },
+    })
+}
+
+/// Convert a chart specification to a pretty-printed Vega-Lite JSON string.
+pub fn to_vega_lite_string(chart: &ChartSpec) -> String {
+    serde_json::to_string_pretty(&to_vega_lite(chart)).unwrap_or_else(|_| "{}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChartSpec, Encoding, Mark};
+
+    fn chart() -> ChartSpec {
+        ChartSpec::new(
+            "count(show_id) by rating",
+            Mark::Bar,
+            Encoding::nominal("rating"),
+            Encoding::quantitative("show_id").aggregated("count"),
+            vec![("TV-MA".into(), 120.0), ("TV-14".into(), 80.0)],
+        )
+    }
+
+    #[test]
+    fn spec_contains_schema_mark_and_inline_data() {
+        let v = to_vega_lite(&chart());
+        assert_eq!(v["$schema"], VEGA_LITE_SCHEMA);
+        assert_eq!(v["mark"], "bar");
+        assert_eq!(v["title"], "count(show_id) by rating");
+        assert_eq!(v["data"]["values"].as_array().unwrap().len(), 2);
+        assert_eq!(v["data"]["values"][0]["rating"], "TV-MA");
+        assert_eq!(v["data"]["values"][0]["value"], 120.0);
+        assert_eq!(v["encoding"]["x"]["field"], "rating");
+        assert_eq!(v["encoding"]["x"]["type"], "nominal");
+        assert_eq!(v["encoding"]["y"]["title"], "count(show_id)");
+    }
+
+    #[test]
+    fn line_and_ordinal_charts_disable_the_default_sort() {
+        let mut c = chart();
+        c.mark = Mark::Line;
+        let v = to_vega_lite(&c);
+        assert!(v["encoding"]["x"].get("sort").is_some());
+        assert!(v["encoding"]["x"]["sort"].is_null());
+
+        let bar = to_vega_lite(&chart());
+        assert!(bar["encoding"]["x"].get("sort").is_none());
+    }
+
+    #[test]
+    fn string_rendering_is_pretty_printed_json() {
+        let s = to_vega_lite_string(&chart());
+        assert!(s.starts_with('{'));
+        assert!(s.contains("\"$schema\""));
+        let parsed: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(parsed["mark"], "bar");
+    }
+
+    #[test]
+    fn empty_chart_exports_an_empty_data_array() {
+        let empty = ChartSpec::new(
+            "t",
+            Mark::Table,
+            Encoding::nominal("row"),
+            Encoding::quantitative("value"),
+            vec![],
+        );
+        let v = to_vega_lite(&empty);
+        assert_eq!(v["data"]["values"].as_array().unwrap().len(), 0);
+        assert_eq!(v["mark"], "text");
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the visualization recommender: recommendations are bounded,
+//! score-ordered, and well-formed, and every chart exports to valid Vega-Lite JSON.
+
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{DataFrame, Value};
+use linx_explore::QueryOp;
+use linx_viz::{recommend_cell, to_vega_lite, Mark};
+use proptest::prelude::*;
+
+/// A small categorical/numeric frame with a configurable skew.
+fn frame(skew: usize, n: usize) -> DataFrame {
+    let mut rows = Vec::new();
+    for i in 0..n {
+        let cat = if i % (skew + 1) == 0 { "A" } else { "B" };
+        rows.push(vec![
+            Value::str(cat),
+            Value::str(if i % 3 == 0 { "x" } else { "y" }),
+            Value::Int((i % 50) as i64),
+        ]);
+    }
+    DataFrame::from_rows(&["cat", "cat2", "num"], rows).unwrap()
+}
+
+proptest! {
+    /// Group-by recommendations: at most 3 charts, score-ordered, scores in [0, 1], and
+    /// the leading chart is a bar or line.
+    #[test]
+    fn group_by_recommendations_are_bounded_and_ordered(skew in 0usize..5, n in 10usize..120) {
+        let df = frame(skew, n);
+        let view = df.group_by("cat", AggFunc::Count, "num").unwrap();
+        let op = QueryOp::group_by("cat", AggFunc::Count, "num");
+        let charts = recommend_cell(&op, &view, Some(&df));
+        prop_assert!(!charts.is_empty());
+        prop_assert!(charts.len() <= 3);
+        for w in charts.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-9);
+        }
+        for c in &charts {
+            prop_assert!((0.0..=1.0).contains(&c.score));
+            // Vega-Lite export is well-formed.
+            let vl = to_vega_lite(c);
+            prop_assert_eq!(vl["mark"].as_str().unwrap(), c.mark.vega_name());
+        }
+        prop_assert!(matches!(charts[0].mark, Mark::Bar | Mark::Line));
+    }
+
+    /// Filter recommendations never panic and are bounded, for any subset size.
+    #[test]
+    fn filter_recommendations_are_bounded(n in 10usize..120, cat in prop::sample::select(vec!["A", "B", "Z"])) {
+        let df = frame(2, n);
+        let view = df
+            .filter(&Predicate::new("cat", CompareOp::Eq, Value::str(cat)))
+            .unwrap();
+        let op = QueryOp::filter("cat", CompareOp::Eq, Value::str(cat));
+        let charts = recommend_cell(&op, &view, Some(&df));
+        prop_assert!(!charts.is_empty());
+        prop_assert!(charts.len() <= 3);
+        // Every chart's points have finite, non-negative values.
+        for c in &charts {
+            for p in &c.data {
+                prop_assert!(p.value.is_finite() && p.value >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Browse the goal-oriented ADE benchmark (paper §7.1, Table 1) and measure how close
+//! the derived specifications are to the gold ones for a handful of instances — a
+//! laptop-scale slice of the Table 2 experiment.
+//!
+//! Run with: `cargo run --release --example benchmark_browse`
+
+use linx_benchgen::generate_benchmark;
+use linx_data::{generate, ScaleConfig};
+use linx_metrics::{lev2_similarity, xted_similarity};
+use linx_nl2ldx::SpecDeriver;
+
+fn main() {
+    let benchmark = generate_benchmark(42);
+    println!(
+        "Benchmark: {} goal/specification pairs over 3 datasets\n",
+        benchmark.len()
+    );
+
+    println!("{:<3} {:<45} {:<12} {:>5}", "#", "Meta-goal", "Example dataset", "count");
+    for (index, description, example, count) in benchmark.table1_rows() {
+        println!("{index:<3} {description:<45} {example:<12} {count:>5}");
+    }
+
+    println!("\nSample instances:");
+    for inst in benchmark.instances.iter().step_by(37) {
+        println!("  {}", inst.describe());
+    }
+
+    // Derive specifications for every 23rd instance and compare with the gold LDX using
+    // the paper's two measures (lev² and exploration-tree edit distance).
+    println!("\nSpecification-derivation quality on a benchmark slice:");
+    let deriver = SpecDeriver::new();
+    let mut lev_sum = 0.0;
+    let mut ted_sum = 0.0;
+    let mut n = 0usize;
+    for inst in benchmark.instances.iter().step_by(23) {
+        let sample = generate(
+            inst.dataset,
+            ScaleConfig {
+                rows: Some(400),
+                seed: 5,
+            },
+        );
+        let derived = deriver.derive(
+            &inst.goal_text,
+            inst.dataset.name(),
+            &sample.schema(),
+            Some(&sample),
+        );
+        let lev = lev2_similarity(&derived.ldx, &inst.gold_ldx);
+        let ted = xted_similarity(&derived.ldx, &inst.gold_ldx);
+        println!("  {:<10} lev2 = {lev:.2}  xTED = {ted:.2}   {}", inst.id, inst.goal_text);
+        lev_sum += lev;
+        ted_sum += ted;
+        n += 1;
+    }
+    println!(
+        "\nmean over {n} instances: lev2 = {:.2}, xTED = {:.2}",
+        lev_sum / n as f64,
+        ted_sum / n as f64
+    );
+}

@@ -1,0 +1,61 @@
+//! Export a LINX session as a Jupyter notebook plus Vega-Lite chart specifications —
+//! the artifact shape the paper's user study presented to participants (Jupyter
+//! notebooks, Fig. 1e), extended with the visualization output the paper plans as future
+//! work.
+//!
+//! The files are written to `target/linx-export/`.
+//!
+//! Run with: `cargo run --release --example export_ipynb`
+
+use std::fs;
+use std::path::PathBuf;
+
+use linx::{Linx, LinxConfig};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_explore::to_ipynb_string;
+use linx_viz::{recommend_session, session_gallery, to_vega_lite_string};
+
+fn main() {
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(3_000),
+            seed: 7,
+        },
+    );
+    let goal = "Find a country with different viewing habits than the rest of the world";
+
+    let mut config = LinxConfig::default();
+    config.cdrl.episodes = 600;
+    let linx = Linx::new(config);
+    let outcome = linx.explore(&dataset, "netflix", goal);
+
+    let out_dir = PathBuf::from("target/linx-export");
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // 1. The Jupyter notebook, with the session narrative as a summary cell.
+    let ipynb = to_ipynb_string(&outcome.notebook, Some(&outcome.narrative));
+    let nb_path = out_dir.join("netflix_atypical_country.ipynb");
+    fs::write(&nb_path, ipynb).expect("write notebook");
+    println!("wrote {}", nb_path.display());
+
+    // 2. One Vega-Lite spec per recommended chart.
+    let cells = recommend_session(&dataset, &outcome.training.best_tree);
+    let mut written = 0usize;
+    for cell in &cells {
+        for (i, chart) in cell.charts.iter().enumerate() {
+            let path = out_dir.join(format!("cell{}_chart{}.vl.json", cell.node, i + 1));
+            fs::write(&path, to_vega_lite_string(chart)).expect("write chart spec");
+            written += 1;
+        }
+    }
+    println!("wrote {written} Vega-Lite chart specifications to {}", out_dir.display());
+
+    // 3. A single self-contained HTML gallery of the whole session.
+    let gallery_path = out_dir.join("gallery.html");
+    fs::write(&gallery_path, session_gallery(&format!("netflix — {goal}"), &cells))
+        .expect("write gallery");
+    println!("wrote {}", gallery_path.display());
+
+    println!("\nSession summary: {}", outcome.narrative.headline);
+}

@@ -1,0 +1,37 @@
+//! Goal-oriented exploration of the flights dataset (benchmark meta-goals g5–g7).
+//!
+//! Demonstrates deriving specifications for a subset-focused goal and inspecting the
+//! resulting notebook alongside the insight oracle's verbalized findings.
+//!
+//! Run with: `cargo run --release --example flights_delays`
+
+use linx::{Linx, LinxConfig};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_study::describe_insights;
+
+fn main() {
+    let dataset = generate(
+        DatasetKind::Flights,
+        ScaleConfig {
+            rows: Some(8_000),
+            seed: 11,
+        },
+    );
+    println!("Dataset: Flights ({} rows)", dataset.num_rows());
+
+    let goal = "Highlight distinctive characteristics of flights with month at least 6";
+    println!("Analytical goal: {goal}\n");
+
+    let mut config = LinxConfig::default();
+    config.cdrl.episodes = 350;
+    let linx = Linx::new(config);
+    let outcome = linx.explore(&dataset, "flights", goal);
+
+    println!("Derived LDX:\n{}\n", outcome.derivation.ldx.canonical());
+    println!("{}", outcome.notebook.to_text());
+
+    println!("\n--- Insights the notebook supports ---");
+    for insight in describe_insights(&dataset, &outcome.training.best_tree, &outcome.derivation.ldx) {
+        println!("* {insight}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Power-user workflow: writing LDX specifications by hand (the ATENA-PRO / demo-paper
+//! usage) and handing them straight to the modular CDRL ADE engine, bypassing the
+//! natural-language front end.
+//!
+//! Run with: `cargo run --release --example manual_ldx`
+
+use linx::{Linx, LinxConfig};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_ldx::{parse_ldx, VerifyEngine};
+
+fn main() {
+    let dataset = generate(
+        DatasetKind::PlayStore,
+        ScaleConfig {
+            rows: Some(4_000),
+            seed: 21,
+        },
+    );
+    println!("Dataset: Play Store apps ({} rows)", dataset.num_rows());
+
+    // "Compare highly-installed apps with the rest, broken down the same way."
+    let ldx = parse_ldx(
+        "ROOT CHILDREN {A1,A2}\n\
+         A1 LIKE [F,installs,ge,1000000] and CHILDREN {B1}\n\
+         B1 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]\n\
+         A2 LIKE [F,installs,lt,1000000] and CHILDREN {B2}\n\
+         B2 LIKE [G,(?<COL>.*),(?<AGG>.*),.*]",
+    )
+    .expect("hand-written LDX parses");
+    println!("\nHand-written LDX specification:\n{}\n", ldx.canonical());
+
+    let mut config = LinxConfig::default();
+    config.cdrl.episodes = 350;
+    let linx = Linx::new(config);
+    let (outcome, notebook) = linx.explore_with_ldx(&dataset, ldx.clone(), "Popular vs. niche apps");
+
+    let engine = VerifyEngine::new(ldx);
+    println!(
+        "Best session compliant with the hand-written specification: {}",
+        engine.verify(&outcome.best_tree)
+    );
+    println!("\n{}", notebook.to_text());
+}

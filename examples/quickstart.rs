@@ -1,0 +1,48 @@
+//! Quickstart: the paper's running example (Example 1.2 / Figure 1).
+//!
+//! A data scientist uploads the Netflix dataset and asks LINX to *"Find a country with
+//! different viewing habits than the rest of the world"*. LINX derives LDX
+//! specifications from the goal, runs the CDRL engine, and returns an exploration
+//! notebook comparing the chosen country against the rest of the world.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use linx::{Linx, LinxConfig};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+
+fn main() {
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(3_000),
+            seed: 7,
+        },
+    );
+    println!("Dataset: Netflix titles ({} rows)", dataset.num_rows());
+    println!("Schema:  {}", dataset.schema().describe());
+
+    let goal = "Find a country with different viewing habits than the rest of the world";
+    println!("\nAnalytical goal: {goal}\n");
+
+    let mut config = LinxConfig::default();
+    config.cdrl.episodes = 600;
+    let linx = Linx::new(config);
+
+    // Step 1 — derive the exploration specifications (NL -> PyLDX -> LDX).
+    let derivation = linx.derive_specs(&dataset, "netflix", goal);
+    println!("Meta-goal: {} (g{})", derivation.meta_goal.description(), derivation.meta_goal.index());
+    println!("\n--- PyLDX template (Fig. 1b) ---\n{}", derivation.pyldx.render());
+    println!("--- LDX specification (Fig. 1c) ---\n{}\n", derivation.ldx.canonical());
+
+    // Step 2 — CDRL generates a compliant, high-utility exploration session.
+    let outcome = linx.explore(&dataset, "netflix", goal);
+    println!(
+        "CDRL: {} episodes, best session compliant = {}, structural = {}, score = {:.3}",
+        outcome.training.log.episodes(),
+        outcome.training.best_compliant,
+        outcome.training.best_structural,
+        outcome.training.best_score,
+    );
+    println!("\n--- Exploration notebook (Fig. 1e) ---");
+    println!("{}", outcome.notebook.to_text());
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests: the full pipeline from benchmark generation through
+//! specification derivation, CDRL training, verification, metrics, and the study
+//! harness.
+
+use linx::{Linx, LinxConfig};
+use linx_benchgen::generate_benchmark;
+use linx_cdrl::CdrlConfig;
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_ldx::VerifyEngine;
+use linx_metrics::{lev2_similarity, xted_similarity};
+use linx_nl2ldx::SpecDeriver;
+use linx_study::{count_relevant_insights, expert_session};
+
+#[test]
+fn benchmark_goals_are_derivable_and_measurable() {
+    let benchmark = generate_benchmark(42);
+    assert_eq!(benchmark.len(), 182);
+    let deriver = SpecDeriver::new();
+    // Evaluate derivation quality on a slice of the benchmark (full sweep is the
+    // Table 2 harness); derived specifications should be far closer to gold than to an
+    // unrelated specification.
+    let mut sims = Vec::new();
+    for inst in benchmark.instances.iter().step_by(13) {
+        let sample = generate(
+            inst.dataset,
+            ScaleConfig {
+                rows: Some(300),
+                seed: 1,
+            },
+        );
+        let derived = deriver.derive(
+            &inst.goal_text,
+            inst.dataset.name(),
+            &sample.schema(),
+            Some(&sample),
+        );
+        let lev = lev2_similarity(&derived.ldx, &inst.gold_ldx);
+        let ted = xted_similarity(&derived.ldx, &inst.gold_ldx);
+        sims.push((lev, ted));
+    }
+    let mean_lev: f64 = sims.iter().map(|(l, _)| l).sum::<f64>() / sims.len() as f64;
+    let mean_ted: f64 = sims.iter().map(|(_, t)| t).sum::<f64>() / sims.len() as f64;
+    assert!(mean_lev > 0.6, "mean lev2 similarity too low: {mean_lev}");
+    assert!(mean_ted > 0.6, "mean xTED similarity too low: {mean_ted}");
+}
+
+#[test]
+fn expert_sessions_comply_with_every_benchmark_meta_goal() {
+    let benchmark = generate_benchmark(7);
+    for meta_index in 1..=8 {
+        let inst = benchmark
+            .instances
+            .iter()
+            .find(|i| i.meta_goal.index() == meta_index)
+            .unwrap();
+        let dataset = generate(
+            inst.dataset,
+            ScaleConfig {
+                rows: Some(800),
+                seed: 3,
+            },
+        );
+        let tree = expert_session(&dataset, &inst.gold_ldx);
+        let engine = VerifyEngine::new(inst.gold_ldx.clone());
+        assert!(
+            engine.verify_structural(&tree),
+            "meta-goal {meta_index}: expert session not structurally compliant: {}",
+            tree.to_compact_string()
+        );
+        // The expert session should also support at least some analysis of the data.
+        let _ = count_relevant_insights(&dataset, &tree, &inst.gold_ldx);
+    }
+}
+
+#[test]
+fn linx_end_to_end_on_the_running_example() {
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(700),
+            seed: 9,
+        },
+    );
+    let linx = Linx::new(LinxConfig {
+        cdrl: CdrlConfig {
+            episodes: 250,
+            ..CdrlConfig::default()
+        },
+        sample_rows: 200,
+    });
+    let outcome = linx.explore(
+        &dataset,
+        "netflix",
+        "Find a country with different viewing habits than the rest of the world",
+    );
+    // The derived specification matches the paper's Fig. 1c shape and the engine finds a
+    // structurally compliant session; the notebook renders it.
+    assert!(outcome.derivation.ldx.canonical().contains("[F,country,eq,(?<X>.*)]"));
+    assert!(outcome.training.best_structural);
+    assert!(outcome.notebook.len() >= 3);
+}
