@@ -45,7 +45,7 @@ fn bench_cdrl(c: &mut Criterion) {
     ] {
         let (mut env, agent) = setup(variant);
         let mut rng = StdRng::seed_from_u64(5);
-        c.bench_function(&format!("env_episode_{name}"), |b| {
+        c.bench_function(format!("env_episode_{name}"), |b| {
             b.iter(|| {
                 env.reset();
                 let mut total = 0.0;

@@ -20,9 +20,13 @@ fn bench_dataframe(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("filter_eq", rows), &df, |b, df| {
             b.iter(|| {
                 std::hint::black_box(
-                    df.filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
-                        .unwrap()
-                        .num_rows(),
+                    df.filter(&Predicate::new(
+                        "country",
+                        CompareOp::Eq,
+                        Value::str("India"),
+                    ))
+                    .unwrap()
+                    .num_rows(),
                 )
             })
         });
@@ -40,7 +44,11 @@ fn bench_dataframe(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("kl_divergence", rows), &df, |b, df| {
             let india = df
-                .filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
+                .filter(&Predicate::new(
+                    "country",
+                    CompareOp::Eq,
+                    Value::str("India"),
+                ))
                 .unwrap();
             let h_india = india.histogram("rating").unwrap();
             let h_all = df.histogram("rating").unwrap();

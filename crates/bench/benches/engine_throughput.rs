@@ -1,0 +1,125 @@
+//! Engine throughput: batched + cached serving vs N sequential `Linx::explore` calls.
+//!
+//! The acceptance bar for the serving layer: a batch of 8 goal requests through
+//! `linx-engine` must beat the same 8 requests run sequentially through the one-shot
+//! facade, and a repeated batch must be served from the result cache. Run with
+//! `cargo bench --bench engine_throughput`; `LINX_TRAIN_EPISODES` scales the training
+//! budget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use linx::{Linx, LinxConfig};
+use linx_cdrl::CdrlConfig;
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_engine::{run_batch, BatchRequest, Engine, EngineConfig};
+
+const GOALS: [&str; 8] = [
+    "Find a country with different viewing habits than the rest of the world",
+    "Examine characteristics of titles from India",
+    "Survey the duration of the titles",
+    "Examine characteristics of titles from US",
+    "Survey the rating of the titles",
+    "Find an atypical type",
+    "Examine characteristics of movies",
+    "Survey the release year of the titles",
+];
+
+fn episodes() -> usize {
+    linx_bench::env_usize("LINX_TRAIN_EPISODES", 40)
+}
+
+fn dataset() -> linx_dataframe::DataFrame {
+    generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(linx_bench::env_usize("LINX_DATA_ROWS", 300)),
+            seed: 7,
+        },
+    )
+}
+
+fn batch_request() -> BatchRequest {
+    BatchRequest::new("netflix", GOALS.iter().map(|g| g.to_string()).collect())
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let data = dataset();
+    let linx = Linx::new(LinxConfig {
+        cdrl: CdrlConfig {
+            episodes: episodes(),
+            ..CdrlConfig::default()
+        },
+        sample_rows: 200,
+    });
+    c.bench_function("sequential/8_distinct_goals", |b| {
+        b.iter(|| {
+            for goal in GOALS {
+                black_box(linx.explore(&data, "netflix", goal));
+            }
+        })
+    });
+    // The serving workload: 8 requests over 4 distinct goals (two "users" each). The
+    // facade has no dedup, so it trains all 8.
+    c.bench_function("sequential/8_requests_4_distinct", |b| {
+        b.iter(|| {
+            for i in 0..8 {
+                black_box(linx.explore(&data, "netflix", GOALS[i % 4]));
+            }
+        })
+    });
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let data = dataset();
+    let mut config = EngineConfig::default();
+    config.cdrl.episodes = episodes();
+    // Cold batches: a fresh engine per iteration so nothing is cached.
+    c.bench_function("engine/8_distinct_goals_batch_cold", |b| {
+        b.iter(|| {
+            let engine = Engine::new(config.clone());
+            let outcome = run_batch(&engine, &data, batch_request());
+            assert_eq!(outcome.succeeded(), GOALS.len());
+            engine.shutdown();
+            black_box(outcome.total_micros)
+        })
+    });
+    // The serving workload, cold: duplicates are deduplicated by single-flight
+    // coalescing, so only 4 training runs happen for the 8 requests.
+    c.bench_function("engine/8_requests_4_distinct_batch_cold", |b| {
+        b.iter(|| {
+            let engine = Engine::new(config.clone());
+            let goals = (0..8).map(|i| GOALS[i % 4].to_string()).collect();
+            let outcome = run_batch(&engine, &data, BatchRequest::new("netflix", goals));
+            assert_eq!(outcome.succeeded(), 8);
+            assert_eq!(
+                outcome
+                    .responses
+                    .iter()
+                    .filter(|r| r.served_from_cache)
+                    .count(),
+                4
+            );
+            engine.shutdown();
+            black_box(outcome.total_micros)
+        })
+    });
+
+    // Warm batches: one engine across iterations; after the first, everything is a
+    // cache hit — this is the steady-state serving cost of repeated goals.
+    let engine = Engine::new(config);
+    let warmup = run_batch(&engine, &data, batch_request());
+    assert_eq!(warmup.succeeded(), GOALS.len());
+    c.bench_function("engine/8_distinct_goals_batch_cached", |b| {
+        b.iter(|| {
+            let outcome = run_batch(&engine, &data, batch_request());
+            assert_eq!(outcome.cache_hits(), GOALS.len(), "warm batch is all hits");
+            black_box(outcome.total_micros)
+        })
+    });
+    let stats = engine.stats();
+    assert!(stats.cache.hits > 0);
+    println!("engine stats after cached runs: {}", stats.summary());
+    engine.shutdown();
+}
+
+criterion_group!(benches, bench_sequential, bench_engine_batch);
+criterion_main!(benches);

@@ -23,13 +23,25 @@ fn fig1c_engine() -> VerifyEngine {
 
 fn compliant_tree() -> ExplorationTree {
     let mut t = ExplorationTree::new();
-    let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+    let f1 = t.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+    );
     t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
-    let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+    let f2 = t.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
+    );
     t.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
     // A few extra exploratory nodes to make matching non-trivial.
-    t.add_child(NodeId::ROOT, QueryOp::group_by("type", AggFunc::Count, "show_id"));
-    t.add_child(NodeId::ROOT, QueryOp::filter("release_year", CompareOp::Ge, Value::Int(2015)));
+    t.add_child(
+        NodeId::ROOT,
+        QueryOp::group_by("type", AggFunc::Count, "show_id"),
+    );
+    t.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("release_year", CompareOp::Ge, Value::Int(2015)),
+    );
     t
 }
 
@@ -49,7 +61,10 @@ fn bench_verification(c: &mut Criterion) {
     // Partial (ongoing-session) verification with tree completions.
     let ldx = engine.ldx().clone();
     let mut prefix = ExplorationTree::new();
-    let f = prefix.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+    let f = prefix.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+    );
     prefix.add_child(f, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
     c.bench_function("partial_completion_check_3_remaining", |b| {
         b.iter(|| {

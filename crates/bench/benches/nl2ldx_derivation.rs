@@ -9,7 +9,13 @@ use linx_metrics::{lev2_similarity, xted_similarity};
 use linx_nl2ldx::SpecDeriver;
 
 fn criterion_benchmark(c: &mut Criterion) {
-    let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(400), seed: 7 });
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(400),
+            seed: 7,
+        },
+    );
     let schema = dataset.schema();
     let sample = dataset.head(200);
     let deriver = SpecDeriver::new();

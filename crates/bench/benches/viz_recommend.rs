@@ -11,16 +11,28 @@ use linx_viz::{recommend_session, to_vega_lite};
 
 fn session() -> ExplorationTree {
     let mut t = ExplorationTree::new();
-    let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+    let f1 = t.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+    );
     t.add_child(f1, QueryOp::group_by("type", AggFunc::Count, "show_id"));
     t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
-    let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+    let f2 = t.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
+    );
     t.add_child(f2, QueryOp::group_by("type", AggFunc::Count, "show_id"));
     t
 }
 
 fn criterion_benchmark(c: &mut Criterion) {
-    let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(2000), seed: 7 });
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(2000),
+            seed: 7,
+        },
+    );
     let tree = session();
 
     c.bench_function("recommend_session", |b| {

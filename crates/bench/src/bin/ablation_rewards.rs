@@ -13,7 +13,13 @@ fn main() {
     let episodes = linx_bench::env_usize("LINX_TRAIN_EPISODES", 400);
     let rows = linx_bench::env_usize("LINX_DATA_ROWS", 1500);
     let trials = linx_bench::env_usize("LINX_TRIALS", 5);
-    let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(rows), seed: 3 });
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(rows),
+            seed: 3,
+        },
+    );
     let ldx = parse_ldx(
         "ROOT CHILDREN {A1,A2}\n\
          A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}\n\
@@ -23,11 +29,20 @@ fn main() {
     )
     .unwrap();
 
-    println!("Reward-design ablation on the Fig. 1c query ({trials} seeds, {episodes} episodes each)\n");
-    println!("{:<28} {:>12} {:>12}", "configuration", "struct %", "full %");
+    println!(
+        "Reward-design ablation on the Fig. 1c query ({trials} seeds, {episodes} episodes each)\n"
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "configuration", "struct %", "full %"
+    );
 
     // (beta, label) — alpha fixed at 1.0.
-    let betas = [(0.5, "alpha=1 beta=0.5 (weak)"), (3.0, "alpha=1 beta=3 (default)"), (8.0, "alpha=1 beta=8 (strong)")];
+    let betas = [
+        (0.5, "alpha=1 beta=0.5 (weak)"),
+        (3.0, "alpha=1 beta=3 (default)"),
+        (8.0, "alpha=1 beta=8 (strong)"),
+    ];
     for (beta, label) in betas {
         let (s, f) = run_trials(&dataset, &ldx, episodes, trials, |c| {
             c.beta = beta;
@@ -39,13 +54,23 @@ fn main() {
     let (s, f) = run_trials(&dataset, &ldx, episodes, trials, |c| {
         c.delta_imm = 0.0;
     });
-    println!("{:<28} {:>11.0}% {:>11.0}%", "no immediate reward", s * 100.0, f * 100.0);
+    println!(
+        "{:<28} {:>11.0}% {:>11.0}%",
+        "no immediate reward",
+        s * 100.0,
+        f * 100.0
+    );
 
     // No end-of-session reward (only immediate): structure pressure only.
     let (s, f) = run_trials(&dataset, &ldx, episodes, trials, |c| {
         c.gamma_eos = 0.0;
     });
-    println!("{:<28} {:>11.0}% {:>11.0}%", "no end-of-session reward", s * 100.0, f * 100.0);
+    println!(
+        "{:<28} {:>11.0}% {:>11.0}%",
+        "no end-of-session reward",
+        s * 100.0,
+        f * 100.0
+    );
 }
 
 fn run_trials(
@@ -72,5 +97,8 @@ fn run_trials(
             full += 1;
         }
     }
-    (structural as f64 / trials as f64, full as f64 / trials as f64)
+    (
+        structural as f64 / trials as f64,
+        full as f64 / trials as f64,
+    )
 }

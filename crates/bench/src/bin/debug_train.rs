@@ -10,7 +10,13 @@ use linx_ldx::parse_ldx;
 fn main() {
     let episodes = linx_bench::env_usize("LINX_TRAIN_EPISODES", 350);
     let rows = linx_bench::env_usize("LINX_DATA_ROWS", 600);
-    let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(rows), seed: 3 });
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(rows),
+            seed: 3,
+        },
+    );
     // The paper's running example (Fig. 1c).
     let ldx = parse_ldx(
         "ROOT CHILDREN {A1,A2}\n\
@@ -21,7 +27,11 @@ fn main() {
     )
     .unwrap();
     for seed in [0x11acu64, 7, 99] {
-        let config = CdrlConfig { episodes, seed, ..CdrlConfig::default() };
+        let config = CdrlConfig {
+            episodes,
+            seed,
+            ..CdrlConfig::default()
+        };
         let start = std::time::Instant::now();
         let outcome = CdrlTrainer::new(config).train(dataset.clone(), ldx.clone());
         let log = &outcome.log;
@@ -37,7 +47,10 @@ fn main() {
         for d in 0..deciles {
             let lo = d * n / deciles;
             let hi = ((d + 1) * n / deciles).max(lo + 1).min(n);
-            let rate = log.episode_structural[lo..hi].iter().filter(|&&b| b).count() as f64
+            let rate = log.episode_structural[lo..hi]
+                .iter()
+                .filter(|&&b| b)
+                .count() as f64
                 / (hi - lo) as f64;
             print!("{rate:5.2}");
         }

@@ -4,14 +4,31 @@ use linx_cdrl::CdrlConfig;
 use linx_data::{generate, DatasetKind, ScaleConfig};
 
 fn main() {
-    let data = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(3000), seed: 7 });
+    let data = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(3000),
+            seed: 7,
+        },
+    );
     let goal = "Find a country with different viewing habits than the rest of the world";
     for eps in [400usize, 600, 800, 1000] {
         for seed in [0x11acu64, 7] {
-            let linx = Linx::new(LinxConfig { cdrl: CdrlConfig { episodes: eps, seed, ..Default::default() }, sample_rows: 200 });
+            let linx = Linx::new(LinxConfig {
+                cdrl: CdrlConfig {
+                    episodes: eps,
+                    seed,
+                    ..Default::default()
+                },
+                sample_rows: 200,
+            });
             let o = linx.explore(&data, "netflix", goal);
-            println!("eps={eps} seed={seed}: compliant={} structural={} insights={}",
-                o.training.best_compliant, o.training.best_structural, o.narrative.bullets.len());
+            println!(
+                "eps={eps} seed={seed}: compliant={} structural={} insights={}",
+                o.training.best_compliant,
+                o.training.best_structural,
+                o.narrative.bullets.len()
+            );
         }
     }
 }

@@ -12,7 +12,10 @@ fn main() {
     };
     let results = run_study(&config);
     println!("Figure 5: Relevance (to Goal) Rating per dataset (1-7, higher is better)\n");
-    println!("{:<14} {:>10} {:>10} {:>10}", "System", "Netflix", "Flights", "Play Store");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "System", "Netflix", "Flights", "Play Store"
+    );
     for system in linx_study::System::ALL {
         let by_dataset = results.relevance_by_dataset();
         let get = |ds: &str| {

@@ -12,7 +12,10 @@ fn main() {
     };
     let results = run_study(&config);
     println!("Figure 7: Informativeness & Comprehensibility Rating (1-7)\n");
-    println!("{:<14} {:>16} {:>18}", "System", "Informativeness", "Comprehensibility");
+    println!(
+        "{:<14} {:>16} {:>18}",
+        "System", "Informativeness", "Comprehensibility"
+    );
     let info = results.mean_informativeness();
     let comp = results.mean_comprehensibility();
     for system in linx_study::System::ALL {

@@ -16,7 +16,10 @@ fn main() {
     let mut query_index = 0usize;
     for kind in DatasetKind::ALL {
         println!("== {} ==", kind.name());
-        println!("{:<12} {:>12} {:>8} {:>8} {:>8} {:>8}", "Curve", "total steps", "25%", "50%", "75%", "100%");
+        println!(
+            "{:<12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            "Curve", "total steps", "25%", "50%", "75%", "100%"
+        );
         let dataset = generate(
             kind,
             ScaleConfig {

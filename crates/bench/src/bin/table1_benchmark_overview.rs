@@ -5,9 +5,16 @@ use linx_benchgen::generate_benchmark;
 fn main() {
     let benchmark = generate_benchmark(linx_bench::env_usize("LINX_SEED", 7) as u64);
     println!("Table 1: Overview of the Goal-Oriented ADE Benchmark ({} instances, {} discarded during generation)\n", benchmark.len(), benchmark.discarded);
-    println!("{:<3} {:<45} {:<72} {:>5}", "#", "Exploration Meta Goal", "Example (concrete) Goal", "# Ex.");
+    println!(
+        "{:<3} {:<45} {:<72} {:>5}",
+        "#", "Exploration Meta Goal", "Example (concrete) Goal", "# Ex."
+    );
     for (idx, description, example, count) in benchmark.table1_rows() {
-        let example = if example.len() > 70 { format!("{}…", &example[..69]) } else { example };
+        let example = if example.len() > 70 {
+            format!("{}…", &example[..69])
+        } else {
+            example
+        };
         println!("{idx:<3} {description:<45} {example:<72} {count:>5}");
     }
     let total: usize = benchmark.table1_rows().iter().map(|(_, _, _, c)| c).sum();

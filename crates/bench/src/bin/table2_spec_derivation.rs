@@ -15,7 +15,9 @@ fn main() {
     let deriver = SpecDeriver::new();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7ab1e2);
 
-    println!("Table 2: Specification Derivation (NL-to-LDX) Results — similarity (higher is better)\n");
+    println!(
+        "Table 2: Specification Derivation (NL-to-LDX) Results — similarity (higher is better)\n"
+    );
     for scenario in Scenario::ALL {
         println!("== {} ==", scenario.label());
         println!("{:<14} {:>7} {:>7}", "Model", "lev2", "xTED");

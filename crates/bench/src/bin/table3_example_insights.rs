@@ -19,7 +19,9 @@ fn main() {
         MetaGoal::InvestigateAspects,
         MetaGoal::HighlightSubgroups,
     ] {
-        let Some(inst) = benchmark.exemplar(meta) else { continue };
+        let Some(inst) = benchmark.exemplar(meta) else {
+            continue;
+        };
         let dataset = generate(
             inst.dataset,
             ScaleConfig {
@@ -36,7 +38,12 @@ fn main() {
             sample_rows: 200,
         });
         let outcome = linx.explore(&dataset, inst.dataset.name(), &inst.goal_text);
-        println!("Goal g{} ({}): {}", meta.index(), inst.dataset.name(), inst.goal_text);
+        println!(
+            "Goal g{} ({}): {}",
+            meta.index(),
+            inst.dataset.name(),
+            inst.goal_text
+        );
         let insights = describe_insights(&dataset, &outcome.training.best_tree, &inst.gold_ldx);
         if insights.is_empty() {
             println!("  (no statistically significant goal-relevant contrast found at this scale)");

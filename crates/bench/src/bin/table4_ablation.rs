@@ -30,7 +30,10 @@ fn main() {
         queries.len(),
         episodes
     );
-    println!("{:<22} {:>22} {:>18}", "LINX Version", "Structure Compliance", "Full Compliance");
+    println!(
+        "{:<22} {:>22} {:>18}",
+        "LINX Version", "Structure Compliance", "Full Compliance"
+    );
     for variant in CdrlVariant::TABLE4 {
         let mut structural = 0usize;
         let mut full = 0usize;

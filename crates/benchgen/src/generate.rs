@@ -70,12 +70,7 @@ impl Benchmark {
                     .exemplar(meta)
                     .map(|i| i.goal_text.clone())
                     .unwrap_or_default();
-                (
-                    meta.index(),
-                    meta.description().to_string(),
-                    example,
-                    count,
-                )
+                (meta.index(), meta.description().to_string(), example, count)
             })
             .collect()
     }

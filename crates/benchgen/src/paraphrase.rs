@@ -61,7 +61,12 @@ pub fn is_plausible(goal: &str) -> bool {
     if let Some(pos) = text.find("at least ") {
         let after = &text[pos + "at least ".len()..];
         let token = after.split_whitespace().next().unwrap_or("");
-        if token.chars().next().map(|c| c.is_alphabetic()).unwrap_or(false) {
+        if token
+            .chars()
+            .next()
+            .map(|c| c.is_alphabetic())
+            .unwrap_or(false)
+        {
             return false;
         }
     }
@@ -83,7 +88,8 @@ mod tests {
 
     #[test]
     fn paraphrase_is_deterministic_per_seed() {
-        let goal = "Find an atypical country among the titles, one with different habits than the rest";
+        let goal =
+            "Find an atypical country among the titles, one with different habits than the rest";
         let a = paraphrase(goal, &mut StdRng::seed_from_u64(1));
         let b = paraphrase(goal, &mut StdRng::seed_from_u64(1));
         let c = paraphrase(goal, &mut StdRng::seed_from_u64(99));
@@ -98,7 +104,8 @@ mod tests {
 
     #[test]
     fn paraphrase_preserves_schema_mentions() {
-        let goal = "Analyze the dataset, with a focus on flights with origin airport other than BOS";
+        let goal =
+            "Analyze the dataset, with a focus on flights with origin airport other than BOS";
         for seed in 0..30 {
             let p = paraphrase(goal, &mut StdRng::seed_from_u64(seed));
             assert!(p.contains("BOS"), "{p}");

@@ -81,7 +81,10 @@ impl LinxAgent {
             ("agg_attr".to_string(), columns.len().max(1)),
             ("snippet".to_string(), snippets.len().max(1)),
         ];
-        let net = MultiHeadNet::new(&NetworkConfig::with_default_trunk(obs_dim, heads), config.seed);
+        let net = MultiHeadNet::new(
+            &NetworkConfig::with_default_trunk(obs_dim, heads),
+            config.seed,
+        );
         let h = |name: &str| net.head_index(name).expect("head exists");
         LinxAgent {
             h_op: h("op_type"),
@@ -137,13 +140,7 @@ impl LinxAgent {
         rng: &mut StdRng,
         forced_op_type: usize,
     ) -> (AgentAction, Vec<ActionTaken>) {
-        self.decide(
-            env,
-            obs,
-            sample_categorical,
-            rng,
-            Some(forced_op_type),
-        )
+        self.decide(env, obs, sample_categorical, rng, Some(forced_op_type))
     }
 
     /// Greedy (argmax) action selection, used to extract the learned session after
@@ -194,11 +191,30 @@ impl LinxAgent {
         let action = match op_choice {
             OP_BACK => AgentAction::Back,
             OP_FILTER => {
-                let op = self.compose_filter(env, view, &fwd.head_logits, &mut pick, rng, &mut taken, None, None, None);
+                let op = self.compose_filter(
+                    env,
+                    view,
+                    &fwd.head_logits,
+                    &mut pick,
+                    rng,
+                    &mut taken,
+                    None,
+                    None,
+                    None,
+                );
                 AgentAction::Apply(op)
             }
             OP_GROUPBY => {
-                let op = self.compose_groupby(view, &fwd.head_logits, &mut pick, rng, &mut taken, None, None, None);
+                let op = self.compose_groupby(
+                    view,
+                    &fwd.head_logits,
+                    &mut pick,
+                    rng,
+                    &mut taken,
+                    None,
+                    None,
+                    None,
+                );
                 AgentAction::Apply(op)
             }
             _ => {
@@ -211,11 +227,8 @@ impl LinxAgent {
                     choice: snip_choice,
                     mask: Some(snip_mask),
                 });
-                let snippet = self
-                    .snippets
-                    .get(snip_choice)
-                    .cloned()
-                    .unwrap_or_else(|| self.snippets.first().cloned().unwrap_or(Snippet {
+                let snippet = self.snippets.get(snip_choice).cloned().unwrap_or_else(|| {
+                    self.snippets.first().cloned().unwrap_or(Snippet {
                         source_node: String::new(),
                         kind: OpKind::GroupBy,
                         attr: None,
@@ -223,8 +236,17 @@ impl LinxAgent {
                         term: None,
                         agg: None,
                         agg_attr: None,
-                    }));
-                let op = self.instantiate_snippet(env, view, &snippet, &fwd.head_logits, &mut pick, rng, &mut taken);
+                    })
+                });
+                let op = self.instantiate_snippet(
+                    env,
+                    view,
+                    &snippet,
+                    &fwd.head_logits,
+                    &mut pick,
+                    rng,
+                    &mut taken,
+                );
                 AgentAction::Apply(op)
             }
         };
@@ -355,10 +377,7 @@ impl LinxAgent {
                     choice,
                     mask: Some(mask),
                 });
-                self.columns
-                    .get(choice)
-                    .cloned()
-                    .unwrap_or(g_attr.clone())
+                self.columns.get(choice).cloned().unwrap_or(g_attr.clone())
             }
         };
         QueryOp::GroupBy {
@@ -453,13 +472,10 @@ impl LinxAgent {
         let back_ok = env.action_keeps_structure_feasible(None);
         let filter_ok = env.action_keeps_structure_feasible(Some(OpKind::Filter));
         let group_ok = env.action_keeps_structure_feasible(Some(OpKind::GroupBy));
-        let snippet_ok = self
-            .snippets
-            .iter()
-            .any(|s| match s.kind {
-                OpKind::Filter => filter_ok,
-                OpKind::GroupBy => group_ok,
-            });
+        let snippet_ok = self.snippets.iter().any(|s| match s.kind {
+            OpKind::Filter => filter_ok,
+            OpKind::GroupBy => group_ok,
+        });
         let refined = vec![
             base[OP_BACK] && back_ok,
             base[OP_FILTER] && filter_ok,
@@ -672,6 +688,9 @@ mod tests {
                 }
             }
         }
-        assert!(saw_country_filter, "snippets should surface country eq/neq filters");
+        assert!(
+            saw_country_filter,
+            "snippets should surface country eq/neq filters"
+        );
     }
 }

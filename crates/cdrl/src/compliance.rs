@@ -89,12 +89,15 @@ impl ComplianceReward {
         let structural = &self.structural;
         // Required kind multiset and required (parent kind, child kind) edges.
         let kind_of = |name: &str| -> Option<OpKind> {
-            structural.spec(name).and_then(|s| s.like.as_ref()).map(|p| {
-                match p.kind_pattern() {
-                    linx_ldx::TokenPattern::Literal(ref k) if k.eq_ignore_ascii_case("F") => OpKind::Filter,
+            structural
+                .spec(name)
+                .and_then(|s| s.like.as_ref())
+                .map(|p| match p.kind_pattern() {
+                    linx_ldx::TokenPattern::Literal(ref k) if k.eq_ignore_ascii_case("F") => {
+                        OpKind::Filter
+                    }
                     _ => OpKind::GroupBy,
-                }
-            })
+                })
         };
         let required_nodes: Vec<OpKind> = structural
             .operation_node_names()
@@ -125,13 +128,13 @@ impl ComplianceReward {
                 OpKind::Filter => present_filters += 1,
                 OpKind::GroupBy => present_groups += 1,
             }
-            let parent_kind = tree
-                .parent(id)
-                .and_then(|p| tree.op(p))
-                .map(|o| o.kind());
+            let parent_kind = tree.parent(id).and_then(|p| tree.op(p)).map(|o| o.kind());
             present_edges.push((parent_kind, op.kind()));
         }
-        let need_filters = required_nodes.iter().filter(|k| **k == OpKind::Filter).count();
+        let need_filters = required_nodes
+            .iter()
+            .filter(|k| **k == OpKind::Filter)
+            .count();
         let need_groups = required_nodes.len() - need_filters;
         let kind_credit = (present_filters.min(need_filters) + present_groups.min(need_groups))
             as f64
@@ -207,25 +210,40 @@ mod tests {
 
     fn compliant() -> ExplorationTree {
         let mut t = ExplorationTree::new();
-        let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        let f1 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
         t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "id"));
-        let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+        let f2 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
+        );
         t.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "id"));
         t
     }
 
     fn structurally_compliant_only() -> ExplorationTree {
         let mut t = ExplorationTree::new();
-        let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("genre", CompareOp::Eq, Value::str("Dramas")));
+        let f1 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("genre", CompareOp::Eq, Value::str("Dramas")),
+        );
         t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "id"));
-        let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("genre", CompareOp::Neq, Value::str("Dramas")));
+        let f2 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("genre", CompareOp::Neq, Value::str("Dramas")),
+        );
         t.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "id"));
         t
     }
 
     fn non_compliant() -> ExplorationTree {
         let mut t = ExplorationTree::new();
-        t.add_child(NodeId::ROOT, QueryOp::group_by("rating", AggFunc::Count, "id"));
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("rating", AggFunc::Count, "id"),
+        );
         t
     }
 
@@ -235,7 +253,10 @@ mod tests {
         let r = ComplianceReward::new(ldx(), cfg.clone());
         assert_eq!(r.end_of_session(&compliant()), cfg.pos_reward);
         let partial = r.end_of_session(&structurally_compliant_only());
-        assert!(partial > 0.0 && partial < cfg.pos_reward, "graded reward: {partial}");
+        assert!(
+            partial > 0.0 && partial < cfg.pos_reward,
+            "graded reward: {partial}"
+        );
         // Structurally non-compliant sessions are penalized; the penalty is graded by
         // how far the structure is from the specification, but stays strictly negative
         // and bounded by NEG_REWARD.
@@ -253,7 +274,10 @@ mod tests {
         let cfg = CdrlConfig::for_variant(CdrlVariant::BinaryOnly);
         let r = ComplianceReward::new(ldx(), cfg.clone());
         assert_eq!(r.end_of_session(&compliant()), cfg.pos_reward);
-        assert_eq!(r.end_of_session(&structurally_compliant_only()), cfg.neg_reward);
+        assert_eq!(
+            r.end_of_session(&structurally_compliant_only()),
+            cfg.neg_reward
+        );
     }
 
     #[test]
@@ -274,7 +298,10 @@ mod tests {
         // Prefix with a stray group-by and not enough remaining budget to satisfy the
         // structure is a dead end.
         let mut t = ExplorationTree::new();
-        t.add_child(NodeId::ROOT, QueryOp::group_by("rating", AggFunc::Count, "id"));
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("rating", AggFunc::Count, "id"),
+        );
         assert_eq!(r.immediate(&t, NodeId(1), 1, 2), cfg.imm_penalty);
         // With enough budget it is not penalized.
         assert_eq!(r.immediate(&t, NodeId(1), 1, 4), 0.0);
@@ -285,8 +312,15 @@ mod tests {
         let cfg = CdrlConfig::default(); // imm_min_step = 3
         let r = ComplianceReward::new(ldx(), cfg);
         let mut t = ExplorationTree::new();
-        t.add_child(NodeId::ROOT, QueryOp::group_by("rating", AggFunc::Count, "id"));
-        assert_eq!(r.immediate(&t, NodeId(1), 1, 0), 0.0, "too early to evaluate");
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("rating", AggFunc::Count, "id"),
+        );
+        assert_eq!(
+            r.immediate(&t, NodeId(1), 1, 0),
+            0.0,
+            "too early to evaluate"
+        );
     }
 
     #[test]
@@ -297,7 +331,10 @@ mod tests {
         };
         let r = ComplianceReward::new(ldx(), cfg);
         let mut t = ExplorationTree::new();
-        t.add_child(NodeId::ROOT, QueryOp::group_by("rating", AggFunc::Count, "id"));
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("rating", AggFunc::Count, "id"),
+        );
         assert_eq!(r.immediate(&t, NodeId(1), 5, 0), 0.0);
     }
 }

@@ -177,7 +177,10 @@ mod tests {
 
     #[test]
     fn table4_order_and_labels() {
-        let labels: Vec<&str> = CdrlVariant::TABLE4.iter().map(|v| v.paper_label()).collect();
+        let labels: Vec<&str> = CdrlVariant::TABLE4
+            .iter()
+            .map(|v| v.paper_label())
+            .collect();
         assert_eq!(
             labels,
             vec![

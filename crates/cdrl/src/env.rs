@@ -53,12 +53,25 @@ pub struct LinxEnv {
     // Episode state.
     tree: ExplorationTree,
     views: HashMap<NodeId, DataFrame>,
+    /// Canonical op path per node (see [`SessionExecutor::child_path`]), so op results
+    /// route through the executor's shared memo when it has one.
+    paths: HashMap<NodeId, String>,
     steps_taken: usize,
 }
 
 impl LinxEnv {
     /// Create an environment.
     pub fn new(dataset: DataFrame, ldx: Ldx, config: CdrlConfig) -> Self {
+        let executor = SessionExecutor::new(dataset);
+        Self::with_executor(executor, ldx, config)
+    }
+
+    /// Create an environment around an existing executor (and thereby its shared
+    /// [`linx_explore::OpMemo`], when it has one): repeated op executions across
+    /// episodes — and across goals served over the same dataset — hit the memo instead
+    /// of recomputing views.
+    pub fn with_executor(executor: SessionExecutor, ldx: Ldx, config: CdrlConfig) -> Self {
+        let dataset = executor.dataset().clone();
         let max_ops = config
             .episode_ops
             .unwrap_or_else(|| (ldx.min_operations() + config.episode_slack).max(2));
@@ -67,9 +80,11 @@ impl LinxEnv {
         let terms = TermInventory::build(&dataset, config.term_slots);
         let compliance = ComplianceReward::new(ldx, config.clone());
         let mut views = HashMap::new();
-        views.insert(NodeId::ROOT, dataset.clone());
+        views.insert(NodeId::ROOT, dataset);
+        let mut paths = HashMap::new();
+        paths.insert(NodeId::ROOT, String::new());
         LinxEnv {
-            executor: SessionExecutor::new(dataset),
+            executor,
             explore_reward: ExplorationReward::default(),
             compliance,
             featurizer,
@@ -79,6 +94,7 @@ impl LinxEnv {
             max_steps,
             tree: ExplorationTree::new(),
             views,
+            paths,
             steps_taken: 0,
         }
     }
@@ -126,6 +142,8 @@ impl LinxEnv {
         self.views.clear();
         self.views
             .insert(NodeId::ROOT, self.executor.dataset().clone());
+        self.paths.clear();
+        self.paths.insert(NodeId::ROOT, String::new());
         self.steps_taken = 0;
     }
 
@@ -142,10 +160,12 @@ impl LinxEnv {
             self.compliance
                 .immediate(&self.tree, self.tree.current(), usize::MAX, remaining)
                 >= 0.0
-                && self
-                    .compliance
-                    .immediate(&self.tree, self.tree.current(), self.config.imm_min_step, remaining)
-                    >= 0.0
+                && self.compliance.immediate(
+                    &self.tree,
+                    self.tree.current(),
+                    self.config.imm_min_step,
+                    remaining,
+                ) >= 0.0
         } else {
             true
         };
@@ -176,16 +196,20 @@ impl LinxEnv {
             AgentAction::Apply(op) => {
                 let parent = self.tree.current();
                 let parent_view = self.views[&parent].clone();
-                match self.executor.execute_op(&parent_view, &op) {
+                let path = SessionExecutor::child_path(&self.paths[&parent], &op);
+                match self.executor.execute_op_at(Some(&path), &parent_view, &op) {
                     Err(_) => self.config.invalid_penalty,
                     Ok(view) => {
                         let node = self.tree.push_op(op.clone());
                         self.views.insert(node, view.clone());
+                        self.paths.insert(node, path);
                         applied = true;
                         // Generic exploration reward components for this operation.
                         let interest =
-                            self.explore_reward.interestingness(&op, &parent_view, &view);
-                        let diversity = self.explore_reward.diversity(&self.tree, &self.views, node);
+                            self.explore_reward
+                                .interestingness(&op, &parent_view, &view);
+                        let diversity =
+                            self.explore_reward.diversity(&self.tree, &self.views, node);
                         let w = self.explore_reward.weights();
                         let r_gen = w.mu * interest + w.lambda * diversity;
                         // Immediate compliance signal.
@@ -196,8 +220,7 @@ impl LinxEnv {
                             self.tree.num_ops(),
                             remaining,
                         );
-                        self.config.alpha * r_gen
-                            + self.config.beta * self.config.delta_imm * imm
+                        self.config.alpha * r_gen + self.config.beta * self.config.delta_imm * imm
                     }
                 }
             }
@@ -233,7 +256,8 @@ impl LinxEnv {
                 }
                 let mut probe = self.tree.clone();
                 probe.back();
-                self.compliance.can_complete(&probe, probe.current(), remaining)
+                self.compliance
+                    .can_complete(&probe, probe.current(), remaining)
             }
             Some(kind) => {
                 if remaining == 0 {
@@ -266,7 +290,8 @@ impl LinxEnv {
     /// The generic exploration score of the final session (used for reporting and for
     /// picking the best session across episodes).
     pub fn session_score(&self) -> f64 {
-        self.explore_reward.session_score(&self.executor, &self.tree)
+        self.explore_reward
+            .session_score(&self.executor, &self.tree)
     }
 
     /// Whether the final session is fully / structurally compliant.
@@ -290,7 +315,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..60 {
             let country = if i % 3 == 0 { "India" } else { "US" };
-            let typ = if i % 3 == 0 || i % 2 == 0 { "Movie" } else { "TV Show" };
+            let typ = if i % 3 == 0 || i % 2 == 0 {
+                "Movie"
+            } else {
+                "TV Show"
+            };
             rows.push(vec![
                 Value::str(country),
                 Value::str(typ),
@@ -388,7 +417,11 @@ mod tests {
             Value::str("India"),
         )));
         assert!(!env.is_done());
-        let out = env.step(AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")));
+        let out = env.step(AgentAction::Apply(QueryOp::group_by(
+            "type",
+            AggFunc::Count,
+            "id",
+        )));
         assert!(out.done);
         assert!(env.is_done());
     }
@@ -398,12 +431,28 @@ mod tests {
         let mut env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
         env.reset();
         // Build the fully compliant session.
-        env.step(AgentAction::Apply(QueryOp::filter("country", CompareOp::Eq, Value::str("India"))));
-        env.step(AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")));
+        env.step(AgentAction::Apply(QueryOp::filter(
+            "country",
+            CompareOp::Eq,
+            Value::str("India"),
+        )));
+        env.step(AgentAction::Apply(QueryOp::group_by(
+            "type",
+            AggFunc::Count,
+            "id",
+        )));
         env.step(AgentAction::Back);
         env.step(AgentAction::Back);
-        env.step(AgentAction::Apply(QueryOp::filter("country", CompareOp::Neq, Value::str("India"))));
-        env.step(AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")));
+        env.step(AgentAction::Apply(QueryOp::filter(
+            "country",
+            CompareOp::Neq,
+            Value::str("India"),
+        )));
+        env.step(AgentAction::Apply(QueryOp::group_by(
+            "type",
+            AggFunc::Count,
+            "id",
+        )));
         let (full, structural) = env.compliance_status();
         assert!(full && structural);
         assert!(env.end_of_session_bonus(6) > 0.0);
@@ -411,7 +460,11 @@ mod tests {
 
         // A fresh episode with a useless session gets a negative bonus.
         env.reset();
-        env.step(AgentAction::Apply(QueryOp::group_by("country", AggFunc::Count, "id")));
+        env.step(AgentAction::Apply(QueryOp::group_by(
+            "country",
+            AggFunc::Count,
+            "id",
+        )));
         assert!(env.end_of_session_bonus(1) < 0.0);
     }
 
@@ -419,7 +472,11 @@ mod tests {
     fn reset_clears_episode_state() {
         let mut env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
         env.reset();
-        env.step(AgentAction::Apply(QueryOp::group_by("country", AggFunc::Count, "id")));
+        env.step(AgentAction::Apply(QueryOp::group_by(
+            "country",
+            AggFunc::Count,
+            "id",
+        )));
         assert_eq!(env.tree().num_ops(), 1);
         env.reset();
         assert_eq!(env.tree().num_ops(), 0);

@@ -94,9 +94,21 @@ impl Featurizer {
         obs.push(depth.min(1.0));
         obs.push(progress.min(1.0));
         obs.push(ops.min(1.0));
-        obs.push(if last_kind == Some(OpKind::Filter) { 1.0 } else { 0.0 });
-        obs.push(if last_kind == Some(OpKind::GroupBy) { 1.0 } else { 0.0 });
-        obs.push(if tree.current() == NodeId::ROOT { 1.0 } else { 0.0 });
+        obs.push(if last_kind == Some(OpKind::Filter) {
+            1.0
+        } else {
+            0.0
+        });
+        obs.push(if last_kind == Some(OpKind::GroupBy) {
+            1.0
+        } else {
+            0.0
+        });
+        obs.push(if tree.current() == NodeId::ROOT {
+            1.0
+        } else {
+            0.0
+        });
         obs.push(if completable { 1.0 } else { 0.0 });
         debug_assert_eq!(obs.len(), OBS_DIM);
         obs
@@ -153,7 +165,10 @@ mod tests {
             ))
             .unwrap();
         let obs = f.featurize(&view, &tree, 1, 4, false);
-        assert!((obs[OBS_DIM - 8] - 0.5).abs() < 1e-9, "coverage should be 1/2");
+        assert!(
+            (obs[OBS_DIM - 8] - 0.5).abs() < 1e-9,
+            "coverage should be 1/2"
+        );
         assert_eq!(obs[OBS_DIM - 4], 1.0, "last op was a filter");
         assert_eq!(obs[OBS_DIM - 2], 0.0, "no longer at root");
         assert_eq!(obs[OBS_DIM - 1], 0.0, "not completable flag");
@@ -165,7 +180,11 @@ mod tests {
         let f = Featurizer::new(&root);
         // Aggregate view lacks the root columns entirely except country.
         let agg = root
-            .group_by("country", linx_dataframe::groupby::AggFunc::Count, "duration")
+            .group_by(
+                "country",
+                linx_dataframe::groupby::AggFunc::Count,
+                "duration",
+            )
             .unwrap();
         let tree = ExplorationTree::new();
         let obs = f.featurize(&agg, &tree, 1, 4, true);

@@ -48,7 +48,12 @@ pub fn refine_session(
     // Candidate value pools.
     let filter_attrs = filter_attributes(&best);
     let group_cols = groupable_columns(dataset);
-    let agg_choices = [AggFunc::Count, AggFunc::CountDistinct, AggFunc::Sum, AggFunc::Avg];
+    let agg_choices = [
+        AggFunc::Count,
+        AggFunc::CountDistinct,
+        AggFunc::Sum,
+        AggFunc::Avg,
+    ];
 
     // A few rounds of coordinate ascent (the search space is tiny; it converges fast).
     for _ in 0..3 {
@@ -163,7 +168,11 @@ fn map_ops(tree: &ExplorationTree, f: impl Fn(&QueryOp) -> QueryOp) -> Explorati
 
 fn map_filter_terms(tree: &ExplorationTree, attr: &str, term: &Value) -> ExplorationTree {
     map_ops(tree, |op| match op {
-        QueryOp::Filter { attr: a, op: o, term: t } if a == attr => QueryOp::Filter {
+        QueryOp::Filter {
+            attr: a,
+            op: o,
+            term: t,
+        } if a == attr => QueryOp::Filter {
             attr: a.clone(),
             op: *o,
             term: coerce_term(*o, term, t),
@@ -222,10 +231,18 @@ mod tests {
     fn dataset() -> DataFrame {
         let mut rows = Vec::new();
         for _ in 0..60 {
-            rows.push(vec![Value::str("India"), Value::str("Movie"), Value::Int(100)]);
+            rows.push(vec![
+                Value::str("India"),
+                Value::str("Movie"),
+                Value::Int(100),
+            ]);
         }
         for _ in 0..4 {
-            rows.push(vec![Value::str("India"), Value::str("TV Show"), Value::Int(3)]);
+            rows.push(vec![
+                Value::str("India"),
+                Value::str("TV Show"),
+                Value::Int(3),
+            ]);
         }
         for i in 0..80 {
             let t = if i % 2 == 0 { "Movie" } else { "TV Show" };
@@ -252,9 +269,15 @@ mod tests {
     /// A compliant session that picked a bland country (UK) instead of the anomaly.
     fn bland_session() -> ExplorationTree {
         let mut t = ExplorationTree::new();
-        let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("UK")));
+        let f1 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("UK")),
+        );
         t.add_child(f1, QueryOp::group_by("type", AggFunc::Count, "duration"));
-        let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("UK")));
+        let f2 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Neq, Value::str("UK")),
+        );
         t.add_child(f2, QueryOp::group_by("type", AggFunc::Count, "duration"));
         t
     }
@@ -269,14 +292,29 @@ mod tests {
         // an identifier-like column (duration) under a bland filter. Refinement should
         // move to a higher-utility configuration while preserving compliance.
         let mut weak = ExplorationTree::new();
-        let f1 = weak.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("UK")));
-        weak.add_child(f1, QueryOp::group_by("duration", AggFunc::Count, "duration"));
-        let f2 = weak.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("UK")));
-        weak.add_child(f2, QueryOp::group_by("duration", AggFunc::Count, "duration"));
+        let f1 = weak.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("UK")),
+        );
+        weak.add_child(
+            f1,
+            QueryOp::group_by("duration", AggFunc::Count, "duration"),
+        );
+        let f2 = weak.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Neq, Value::str("UK")),
+        );
+        weak.add_child(
+            f2,
+            QueryOp::group_by("duration", AggFunc::Count, "duration"),
+        );
         assert!(engine.verify(&weak));
 
         let refined = refine_session(&weak, &data, &engine, &terms, &reward);
-        assert!(engine.verify(&refined), "refined session must stay compliant");
+        assert!(
+            engine.verify(&refined),
+            "refined session must stay compliant"
+        );
 
         let exec = SessionExecutor::new(data.clone());
         // Refinement moved the group-by off the identifier-like `duration` column onto a
@@ -297,7 +335,10 @@ mod tests {
         let reward = ExplorationReward::default();
         // A lone group-by is not compliant with the two-filter structure.
         let mut t = ExplorationTree::new();
-        t.add_child(NodeId::ROOT, QueryOp::group_by("type", AggFunc::Count, "duration"));
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("type", AggFunc::Count, "duration"),
+        );
         let refined = refine_session(&t, &data, &engine, &terms, &reward);
         assert_eq!(refined.to_compact_string(), t.to_compact_string());
     }

@@ -230,10 +230,8 @@ mod tests {
 
     #[test]
     fn duplicate_snippets_are_deduplicated() {
-        let ldx = parse_ldx(
-            "ROOT CHILDREN {A,B}\nA LIKE [F,month,ge,6]\nB LIKE [F,month,ge,6]",
-        )
-        .unwrap();
+        let ldx =
+            parse_ldx("ROOT CHILDREN {A,B}\nA LIKE [F,month,ge,6]\nB LIKE [F,month,ge,6]").unwrap();
         let snippets = derive_snippets(&ldx);
         assert_eq!(snippets.len(), 1);
         assert_eq!(snippets[0].term.as_deref(), Some("6"));

@@ -76,16 +76,18 @@ impl TermInventory {
     /// The slot index of a specific term in a column's inventory, if present (used by
     /// the gold-session tests and the expert baseline).
     pub fn slot_of(&self, column: &str, term: &Value) -> Option<usize> {
-        self.terms_for(column)
-            .iter()
-            .position(|t| t.semantic_eq(term) || t.to_string().eq_ignore_ascii_case(&term.to_string()))
+        self.terms_for(column).iter().position(|t| {
+            t.semantic_eq(term) || t.to_string().eq_ignore_ascii_case(&term.to_string())
+        })
     }
 }
 
 /// Representative numeric terms: min, max, and evenly spaced quantiles of the sorted
 /// distinct values.
 fn numeric_terms(df: &DataFrame, column: &str, slots: usize) -> Vec<Value> {
-    let Ok(col) = df.column(column) else { return Vec::new() };
+    let Ok(col) = df.column(column) else {
+        return Vec::new();
+    };
     let mut values: Vec<f64> = col.values().iter().filter_map(|v| v.as_f64()).collect();
     if values.is_empty() {
         return Vec::new();

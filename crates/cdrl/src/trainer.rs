@@ -60,8 +60,7 @@ impl TrainLog {
         for i in 0..self.episode_returns.len() {
             cum_steps += self.episode_steps[i];
             let lo = i.saturating_sub(window - 1);
-            let avg: f64 =
-                self.episode_returns[lo..=i].iter().sum::<f64>() / (i - lo + 1) as f64;
+            let avg: f64 = self.episode_returns[lo..=i].iter().sum::<f64>() / (i - lo + 1) as f64;
             curve.push((cum_steps, avg));
         }
         let max = curve
@@ -130,7 +129,16 @@ impl CdrlTrainer {
 
     /// Train and return the best session found plus the training log.
     pub fn train(&self, dataset: DataFrame, ldx: Ldx) -> TrainOutcome {
-        let mut env = LinxEnv::new(dataset.clone(), ldx.clone(), self.config.clone());
+        self.train_with_executor(SessionExecutor::new(dataset), ldx)
+    }
+
+    /// Like [`Self::train`], but executing query operations through an existing
+    /// executor — and thereby its shared [`linx_explore::OpMemo`], when it has one.
+    /// The serving layer (`linx-engine`) uses this to share materialized views across
+    /// episodes and across concurrently trained goals over the same dataset.
+    pub fn train_with_executor(&self, executor: SessionExecutor, ldx: Ldx) -> TrainOutcome {
+        let dataset = executor.dataset().clone();
+        let mut env = LinxEnv::with_executor(executor.clone(), ldx.clone(), self.config.clone());
         let agent_proto = LinxAgent::new(&dataset, &ldx, &self.config);
         let mut agent = agent_proto;
         let mut pg = PolicyGradientTrainer::new(TrainerConfig {
@@ -241,7 +249,7 @@ impl CdrlTrainer {
                 env.terms(),
                 &reward,
             );
-            let refined_score = reward.session_score(&SessionExecutor::new(dataset.clone()), &refined);
+            let refined_score = reward.session_score(&executor, &refined);
             if refined_score >= best_score {
                 best_score = refined_score;
                 best_tree = refined;
@@ -336,9 +344,7 @@ fn consider_best(
     let candidate_rank = (compliant, structural, score);
     let better = match best {
         None => true,
-        Some((bc, bs, bscore, _)) => {
-            candidate_rank > (*bc, *bs, *bscore)
-        }
+        Some((bc, bs, bscore, _)) => candidate_rank > (*bc, *bs, *bscore),
     };
     if better {
         *best = Some((compliant, structural, score, tree));
@@ -356,7 +362,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..80 {
             let country = if i % 4 == 0 { "India" } else { "US" };
-            let typ = if i % 4 == 0 || i % 2 == 0 { "Movie" } else { "TV Show" };
+            let typ = if i % 4 == 0 || i % 2 == 0 {
+                "Movie"
+            } else {
+                "TV Show"
+            };
             rows.push(vec![
                 Value::str(country),
                 Value::str(typ),
@@ -383,8 +393,14 @@ mod tests {
             ..CdrlConfig::default()
         };
         let outcome = CdrlTrainer::new(config).train(dataset(), simple_ldx());
-        assert!(outcome.best_structural, "structure should be learned quickly");
-        assert!(outcome.best_compliant, "full compliance expected for the simple spec");
+        assert!(
+            outcome.best_structural,
+            "structure should be learned quickly"
+        );
+        assert!(
+            outcome.best_compliant,
+            "full compliance expected for the simple spec"
+        );
         assert!(outcome.best_tree.num_ops() >= 2);
         assert_eq!(outcome.log.episodes(), 150);
         assert!(outcome.log.total_env_steps() > 0);

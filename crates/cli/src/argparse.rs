@@ -1,0 +1,143 @@
+//! A small hand-rolled command-line parser.
+//!
+//! The repository builds fully offline, so instead of `clap` the CLI uses this module:
+//! a token cursor plus typed flag helpers. Conventions match what the previous
+//! clap-derive definition exposed — `--kebab-case` long flags, each taking one value
+//! (except boolean switches), value enums parsed from lowercase names, and
+//! `-h`/`--help` at any position.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why parsing stopped: a user error, or an explicit request for help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The command line is invalid; the message explains how.
+    Invalid(String),
+    /// The user asked for help; the payload is the help text to print (not an error).
+    Help(String),
+}
+
+impl ParseError {
+    /// Whether this is a help request rather than a genuine error.
+    pub fn is_help(&self) -> bool {
+        matches!(self, ParseError::Help(_))
+    }
+
+    /// The message/help text payload.
+    pub fn message(&self) -> &str {
+        match self {
+            ParseError::Invalid(m) | ParseError::Help(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+pub(crate) fn invalid(msg: impl Into<String>) -> ParseError {
+    ParseError::Invalid(msg.into())
+}
+
+/// A cursor over the raw argument tokens of one subcommand.
+pub(crate) struct Cursor {
+    toks: VecDeque<String>,
+}
+
+impl Cursor {
+    pub fn new(toks: impl IntoIterator<Item = String>) -> Self {
+        // Accept the `--flag=value` spelling by splitting it into two tokens up
+        // front (positional arguments never start with `--`, so this is unambiguous).
+        let toks = toks
+            .into_iter()
+            .flat_map(|t| match t.strip_prefix("--") {
+                Some(rest) if rest.contains('=') => {
+                    let (flag, value) = rest.split_once('=').expect("contains '='");
+                    vec![format!("--{flag}"), value.to_string()]
+                }
+                _ => vec![t],
+            })
+            .collect();
+        Cursor { toks }
+    }
+
+    /// Next token, if any.
+    pub fn next(&mut self) -> Option<String> {
+        self.toks.pop_front()
+    }
+
+    /// The value following a `--flag`, or an error naming the flag.
+    ///
+    /// A following `--other-flag` token is a missing value, not a value: a forgotten
+    /// argument must error rather than silently swallow the next flag. Single-dash
+    /// tokens stay valid values (negative numbers).
+    pub fn value_of(&mut self, flag: &str) -> ParseResult<String> {
+        match self.toks.front() {
+            Some(next) if !next.starts_with("--") => {
+                Ok(self.toks.pop_front().expect("front checked"))
+            }
+            _ => Err(invalid(format!("flag {flag} requires a value"))),
+        }
+    }
+
+    /// Typed value following a `--flag`; the type's own parse error is included so
+    /// value enums can name their valid variants.
+    pub fn parse_value<T>(&mut self, flag: &str) -> ParseResult<T>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        let raw = self.value_of(flag)?;
+        raw.parse()
+            .map_err(|e| invalid(format!("invalid value '{raw}' for {flag}: {e}")))
+    }
+
+    /// Path value following a `--flag`.
+    pub fn path_value(&mut self, flag: &str) -> ParseResult<PathBuf> {
+        Ok(PathBuf::from(self.value_of(flag)?))
+    }
+}
+
+/// Reject a duplicated flag: `set_once(&mut slot, value, "--flag")`.
+pub(crate) fn set_once<T>(slot: &mut Option<T>, value: T, flag: &str) -> ParseResult<()> {
+    if slot.is_some() {
+        return Err(invalid(format!("{flag} given more than once")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_walks_and_reports_missing_values() {
+        let mut c = Cursor::new(["--a", "1"].map(String::from));
+        assert_eq!(c.next().as_deref(), Some("--a"));
+        assert_eq!(c.parse_value::<usize>("--a").unwrap(), 1);
+        assert!(c.value_of("--b").is_err());
+    }
+
+    #[test]
+    fn set_once_rejects_duplicates() {
+        let mut slot = None;
+        set_once(&mut slot, 1, "--x").unwrap();
+        assert!(set_once(&mut slot, 2, "--x").is_err());
+    }
+
+    #[test]
+    fn help_errors_are_distinguished() {
+        assert!(ParseError::Help("h".into()).is_help());
+        assert!(!invalid("bad").is_help());
+    }
+}

@@ -4,39 +4,122 @@
 //! commands unit-testable; writing to files / stdout happens at the edges.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
-use clap::Args;
 use linx::{Linx, LinxConfig};
 use linx_benchgen::generate_benchmark;
 use linx_data::{generate, ScaleConfig};
 use linx_dataframe::csv::{read_csv, write_csv, CsvOptions};
 use linx_dataframe::DataFrame;
+use linx_engine::{run_batch, BatchRequest, Engine, EngineConfig, JobError};
 use linx_explore::to_ipynb_string;
 use linx_ldx::parse_ldx;
 use linx_viz::{recommend_session, render_ascii, session_gallery};
 
+use crate::argparse::{invalid, set_once, Cursor, ParseError, ParseResult};
 use crate::{DatasetArg, FormatArg};
 
 /// Arguments shared by commands that need an input dataset.
-#[derive(Debug, Clone, Args)]
+#[derive(Debug, Clone)]
 pub struct DatasetSelection {
     /// Use one of the built-in synthetic benchmark datasets.
-    #[arg(long, value_enum, conflicts_with = "csv")]
     pub dataset: Option<DatasetArg>,
     /// Load the dataset from a CSV file instead.
-    #[arg(long)]
     pub csv: Option<PathBuf>,
     /// Dataset name used in prompts and notebook titles (defaults to the built-in
     /// dataset's name or the CSV file stem).
-    #[arg(long)]
     pub name: Option<String>,
     /// Number of rows to generate for a built-in dataset (defaults to a small,
     /// representative scale).
-    #[arg(long)]
     pub rows: Option<usize>,
     /// Random seed for synthetic data generation.
-    #[arg(long, default_value_t = 42)]
     pub seed: u64,
+}
+
+impl Default for DatasetSelection {
+    fn default() -> Self {
+        DatasetSelection {
+            dataset: None,
+            csv: None,
+            name: None,
+            rows: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Render a command's help text.
+fn help_text(name: &str, about: &str, flags: &str, with_dataset_flags: bool) -> String {
+    let mut out = format!("{about}\n\nUsage: {name} [OPTIONS]\n\nOptions:\n{flags}\n");
+    if with_dataset_flags {
+        out.push_str(DATASET_FLAGS_HELP);
+        out.push('\n');
+    }
+    out.push_str("  -h, --help         Print this help\n");
+    out
+}
+
+/// The help fragment describing the shared dataset-selection flags.
+const DATASET_FLAGS_HELP: &str = "\
+      --dataset <netflix|flights|playstore>  Use a built-in synthetic dataset
+      --csv <PATH>       Load the dataset from a CSV file instead
+      --name <NAME>      Dataset name used in prompts and titles
+      --rows <N>         Rows to generate for a built-in dataset
+      --seed <N>         Random seed for synthetic data generation [default: 42]";
+
+/// Parse-time draft of [`DatasetSelection`]: every flag (including `--seed`) gets
+/// consistent duplicate-flag rejection via [`set_once`].
+#[derive(Debug, Default)]
+struct DatasetFlags {
+    dataset: Option<DatasetArg>,
+    csv: Option<PathBuf>,
+    name: Option<String>,
+    rows: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl DatasetFlags {
+    /// Consume one dataset-selection flag if `flag` is one, returning whether it was.
+    fn try_flag(&mut self, flag: &str, cursor: &mut Cursor) -> ParseResult<bool> {
+        match flag {
+            "--dataset" => {
+                let v = cursor.parse_value(flag)?;
+                set_once(&mut self.dataset, v, flag)?;
+            }
+            "--csv" => {
+                let v = cursor.path_value(flag)?;
+                set_once(&mut self.csv, v, flag)?;
+            }
+            "--name" => {
+                let v = cursor.value_of(flag)?;
+                set_once(&mut self.name, v, flag)?;
+            }
+            "--rows" => {
+                let v = cursor.parse_value(flag)?;
+                set_once(&mut self.rows, v, flag)?;
+            }
+            "--seed" => {
+                let v = cursor.parse_value(flag)?;
+                set_once(&mut self.seed, v, flag)?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Validate cross-flag constraints and produce the selection.
+    fn finish(self) -> ParseResult<DatasetSelection> {
+        if self.dataset.is_some() && self.csv.is_some() {
+            return Err(invalid("--dataset conflicts with --csv: pick one source"));
+        }
+        Ok(DatasetSelection {
+            dataset: self.dataset,
+            csv: self.csv,
+            name: self.name,
+            rows: self.rows,
+            seed: self.seed.unwrap_or(42),
+        })
+    }
 }
 
 impl DatasetSelection {
@@ -73,32 +156,24 @@ impl DatasetSelection {
 }
 
 /// Arguments of `linx explore`.
-#[derive(Debug, Args)]
+#[derive(Debug, Clone)]
 pub struct ExploreArgs {
     /// Dataset selection.
-    #[command(flatten)]
     pub data: DatasetSelection,
     /// The analytical goal, in natural language.
-    #[arg(long)]
     pub goal: String,
     /// Training episodes for the CDRL engine (more episodes → better sessions, longer
     /// runtime).
-    #[arg(long)]
     pub episodes: Option<usize>,
     /// Output format.
-    #[arg(long, value_enum, default_value_t = FormatArg::Text)]
     pub format: FormatArg,
     /// Write the output to this file instead of stdout.
-    #[arg(long)]
     pub out: Option<PathBuf>,
     /// Include ASCII chart recommendations for each cell (text format only).
-    #[arg(long)]
     pub charts: bool,
     /// Print the derived LDX specification before the notebook.
-    #[arg(long)]
     pub show_ldx: bool,
     /// Also write a self-contained HTML chart gallery of the session to this path.
-    #[arg(long)]
     pub gallery: Option<PathBuf>,
 }
 
@@ -108,6 +183,54 @@ impl std::ops::Deref for ExploreArgs {
     type Target = DatasetSelection;
     fn deref(&self) -> &DatasetSelection {
         &self.data
+    }
+}
+
+impl ExploreArgs {
+    fn help() -> String {
+        help_text(
+            "linx explore",
+            "Run the full pipeline: dataset + goal -> specification -> session -> notebook",
+            "      --goal <TEXT>      The analytical goal, in natural language (required)
+      --episodes <N>     Training episodes for the CDRL engine
+      --format <text|markdown|ipynb>  Output format [default: text]
+      --out <PATH>       Write the output to this file instead of stdout
+      --charts           Include ASCII chart recommendations (text format only)
+      --show-ldx         Print the derived LDX specification before the notebook
+      --gallery <PATH>   Also write a self-contained HTML chart gallery",
+            true,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let mut data = DatasetFlags::default();
+        let (mut goal, mut episodes, mut format, mut out, mut gallery) =
+            (None, None, None, None, None);
+        let (mut charts, mut show_ldx) = (false, false);
+        while let Some(flag) = cursor.next() {
+            match flag.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                "--goal" => set_once(&mut goal, cursor.value_of(&flag)?, &flag)?,
+                "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
+                "--format" => set_once(&mut format, cursor.parse_value(&flag)?, &flag)?,
+                "--out" => set_once(&mut out, cursor.path_value(&flag)?, &flag)?,
+                "--gallery" => set_once(&mut gallery, cursor.path_value(&flag)?, &flag)?,
+                "--charts" => charts = true,
+                "--show-ldx" => show_ldx = true,
+                _ if data.try_flag(&flag, cursor)? => {}
+                other => return Err(invalid(format!("unknown flag '{other}' for explore"))),
+            }
+        }
+        Ok(ExploreArgs {
+            data: data.finish()?,
+            goal: goal.ok_or_else(|| invalid("explore requires --goal"))?,
+            episodes,
+            format: format.unwrap_or(FormatArg::Text),
+            out,
+            charts,
+            show_ldx,
+            gallery,
+        })
     }
 }
 
@@ -169,14 +292,40 @@ pub fn explore(args: &ExploreArgs) -> Result<String, String> {
 }
 
 /// Arguments of `linx derive`.
-#[derive(Debug, Args)]
+#[derive(Debug, Clone)]
 pub struct DeriveArgs {
     /// Dataset selection.
-    #[command(flatten)]
     pub data: DatasetSelection,
     /// The analytical goal, in natural language.
-    #[arg(long)]
     pub goal: String,
+}
+
+impl DeriveArgs {
+    fn help() -> String {
+        help_text(
+            "linx derive",
+            "Derive LDX specifications for a goal without running the CDRL engine",
+            "      --goal <TEXT>      The analytical goal, in natural language (required)",
+            true,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let mut data = DatasetFlags::default();
+        let mut goal = None;
+        while let Some(flag) = cursor.next() {
+            match flag.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                "--goal" => set_once(&mut goal, cursor.value_of(&flag)?, &flag)?,
+                _ if data.try_flag(&flag, cursor)? => {}
+                other => return Err(invalid(format!("unknown flag '{other}' for derive"))),
+            }
+        }
+        Ok(DeriveArgs {
+            data: data.finish()?,
+            goal: goal.ok_or_else(|| invalid("derive requires --goal"))?,
+        })
+    }
 }
 
 /// Run `linx derive`.
@@ -201,10 +350,37 @@ pub fn derive(args: &DeriveArgs) -> Result<String, String> {
 }
 
 /// Arguments of `linx check`.
-#[derive(Debug, Args)]
+#[derive(Debug, Clone)]
 pub struct CheckArgs {
     /// Path to a file containing an LDX specification.
     pub path: PathBuf,
+}
+
+impl CheckArgs {
+    fn help() -> String {
+        help_text(
+            "linx check <PATH>",
+            "Parse and validate an LDX specification file",
+            "      <PATH>             Path to a file containing an LDX specification",
+            false,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let mut path: Option<PathBuf> = None;
+        while let Some(tok) = cursor.next() {
+            match tok.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                other if other.starts_with('-') => {
+                    return Err(invalid(format!("unknown flag '{other}' for check")))
+                }
+                other => set_once(&mut path, PathBuf::from(other), "<PATH>")?,
+            }
+        }
+        Ok(CheckArgs {
+            path: path.ok_or_else(|| invalid("check requires a specification file path"))?,
+        })
+    }
 }
 
 /// Run `linx check`.
@@ -239,24 +415,58 @@ pub fn check(args: &CheckArgs) -> Result<String, String> {
 }
 
 /// Arguments of `linx benchmark`.
-#[derive(Debug, Args)]
+#[derive(Debug, Clone)]
 pub struct BenchmarkArgs {
     /// Seed for benchmark generation (the paper's benchmark is a fixed artifact; the
     /// seed controls template population and paraphrasing).
-    #[arg(long, default_value_t = 42)]
     pub seed: u64,
     /// Only list goals over this dataset.
-    #[arg(long, value_enum)]
     pub dataset: Option<DatasetArg>,
     /// Only list goals of this meta-goal family (1–8, Table 1).
-    #[arg(long)]
     pub meta_goal: Option<usize>,
     /// Maximum number of instances to list.
-    #[arg(long, default_value_t = 20)]
     pub limit: usize,
     /// Also print each instance's gold LDX specification.
-    #[arg(long)]
     pub show_ldx: bool,
+}
+
+impl BenchmarkArgs {
+    fn help() -> String {
+        help_text(
+            "linx benchmark",
+            "List instances of the goal-oriented benchmark (paper Table 1)",
+            "      --seed <N>         Seed for benchmark generation [default: 42]
+      --dataset <netflix|flights|playstore>  Only list goals over this dataset
+      --meta-goal <1-8>  Only list goals of this meta-goal family
+      --limit <N>        Maximum number of instances to list [default: 20]
+      --show-ldx         Also print each instance's gold LDX specification",
+            false,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let (mut dataset, mut meta_goal, mut limit) = (None, None, None);
+        let mut seed = None;
+        let mut show_ldx = false;
+        while let Some(flag) = cursor.next() {
+            match flag.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                "--seed" => set_once(&mut seed, cursor.parse_value(&flag)?, &flag)?,
+                "--dataset" => set_once(&mut dataset, cursor.parse_value(&flag)?, &flag)?,
+                "--meta-goal" => set_once(&mut meta_goal, cursor.parse_value(&flag)?, &flag)?,
+                "--limit" => set_once(&mut limit, cursor.parse_value(&flag)?, &flag)?,
+                "--show-ldx" => show_ldx = true,
+                other => return Err(invalid(format!("unknown flag '{other}' for benchmark"))),
+            }
+        }
+        Ok(BenchmarkArgs {
+            seed: seed.unwrap_or(42),
+            dataset,
+            meta_goal,
+            limit: limit.unwrap_or(20),
+            show_ldx,
+        })
+    }
 }
 
 /// Run `linx benchmark`.
@@ -295,20 +505,51 @@ pub fn benchmark(args: &BenchmarkArgs) -> Result<String, String> {
 }
 
 /// Arguments of `linx generate-data`.
-#[derive(Debug, Args)]
+#[derive(Debug, Clone)]
 pub struct GenerateDataArgs {
     /// Which synthetic dataset to generate.
-    #[arg(long, value_enum)]
     pub dataset: DatasetArg,
     /// Number of rows (defaults to the dataset's paper-like scale).
-    #[arg(long)]
     pub rows: Option<usize>,
     /// Random seed.
-    #[arg(long, default_value_t = 42)]
     pub seed: u64,
     /// Output CSV path.
-    #[arg(long)]
     pub out: PathBuf,
+}
+
+impl GenerateDataArgs {
+    fn help() -> String {
+        help_text(
+            "linx generate-data",
+            "Generate a synthetic benchmark dataset and write it to CSV",
+            "      --dataset <netflix|flights|playstore>  Which dataset to generate (required)
+      --rows <N>         Number of rows (defaults to the dataset's paper-like scale)
+      --seed <N>         Random seed [default: 42]
+      --out <PATH>       Output CSV path (required)",
+            false,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let (mut dataset, mut rows, mut out) = (None, None, None);
+        let mut seed = None;
+        while let Some(flag) = cursor.next() {
+            match flag.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                "--dataset" => set_once(&mut dataset, cursor.parse_value(&flag)?, &flag)?,
+                "--rows" => set_once(&mut rows, cursor.parse_value(&flag)?, &flag)?,
+                "--seed" => set_once(&mut seed, cursor.parse_value(&flag)?, &flag)?,
+                "--out" => set_once(&mut out, cursor.path_value(&flag)?, &flag)?,
+                other => return Err(invalid(format!("unknown flag '{other}' for generate-data"))),
+            }
+        }
+        Ok(GenerateDataArgs {
+            dataset: dataset.ok_or_else(|| invalid("generate-data requires --dataset"))?,
+            rows,
+            seed: seed.unwrap_or(42),
+            out: out.ok_or_else(|| invalid("generate-data requires --out"))?,
+        })
+    }
 }
 
 /// Run `linx generate-data`.
@@ -331,12 +572,301 @@ pub fn generate_data(args: &GenerateDataArgs) -> Result<String, String> {
     ))
 }
 
+/// Arguments of `linx serve-batch`.
+#[derive(Debug, Clone)]
+pub struct ServeBatchArgs {
+    /// Dataset selection.
+    pub data: DatasetSelection,
+    /// The goals to explore (given inline and/or via a file).
+    pub goals: Vec<String>,
+    /// Training episodes for the CDRL engine.
+    pub episodes: Option<usize>,
+    /// Worker threads (defaults to the engine's choice).
+    pub workers: Option<usize>,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: Option<usize>,
+    /// How many times to submit the whole batch (> 1 demonstrates the result cache).
+    pub repeat: usize,
+}
+
+impl ServeBatchArgs {
+    fn help() -> String {
+        help_text(
+            "linx serve-batch",
+            "Serve many goals against one dataset through the concurrent linx-engine",
+            "      --goals <G1;G2;..> Semicolon-separated goals (may repeat)
+      --goals-file <PATH> File with one goal per line ('#' comments allowed)
+      --episodes <N>     Training episodes for the CDRL engine
+      --workers <N>      Worker threads
+      --cache-capacity <N>  Result-cache capacity in entries
+      --repeat <N>       Submit the whole batch N times [default: 1]",
+            true,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let mut data = DatasetFlags::default();
+        let mut goals = Vec::new();
+        let (mut episodes, mut workers, mut cache_capacity, mut repeat) = (None, None, None, None);
+        while let Some(flag) = cursor.next() {
+            match flag.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                "--goals" => {
+                    let list = cursor.value_of(&flag)?;
+                    goals.extend(
+                        list.split(';')
+                            .map(str::trim)
+                            .filter(|g| !g.is_empty())
+                            .map(String::from),
+                    );
+                }
+                "--goals-file" => {
+                    let path = cursor.path_value(&flag)?;
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| invalid(format!("failed to read {}: {e}", path.display())))?;
+                    goals.extend(
+                        text.lines()
+                            .map(str::trim)
+                            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                            .map(String::from),
+                    );
+                }
+                "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
+                "--workers" => set_once(&mut workers, cursor.parse_value(&flag)?, &flag)?,
+                "--cache-capacity" => {
+                    set_once(&mut cache_capacity, cursor.parse_value(&flag)?, &flag)?
+                }
+                "--repeat" => set_once(&mut repeat, cursor.parse_value(&flag)?, &flag)?,
+                _ if data.try_flag(&flag, cursor)? => {}
+                other => return Err(invalid(format!("unknown flag '{other}' for serve-batch"))),
+            }
+        }
+        let data = data.finish()?;
+        if goals.is_empty() {
+            return Err(invalid(
+                "serve-batch requires at least one goal (--goals or --goals-file)",
+            ));
+        }
+        Ok(ServeBatchArgs {
+            data,
+            goals,
+            episodes,
+            workers,
+            cache_capacity,
+            repeat: repeat.unwrap_or(1).max(1),
+        })
+    }
+}
+
+/// Build an [`EngineConfig`] from the CLI knobs shared by `serve-batch`/`bench-engine`.
+fn engine_config(
+    episodes: Option<usize>,
+    workers: Option<usize>,
+    cache_capacity: Option<usize>,
+) -> EngineConfig {
+    let mut config = EngineConfig::default();
+    if let Some(episodes) = episodes {
+        config.cdrl.episodes = episodes;
+    }
+    if let Some(workers) = workers {
+        config.workers = workers;
+    }
+    if let Some(capacity) = cache_capacity {
+        config.cache_capacity = capacity;
+    }
+    config
+}
+
+/// Run `linx serve-batch`.
+pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
+    let (dataset, name) = args.data.load()?;
+    let engine = Engine::new(engine_config(
+        args.episodes,
+        args.workers,
+        args.cache_capacity,
+    ));
+
+    let mut out = format!(
+        "serving {} goal(s) x {} round(s) against '{name}' ({} rows) with {} worker(s)\n",
+        args.goals.len(),
+        args.repeat,
+        dataset.num_rows(),
+        engine.config().workers,
+    );
+    for round in 1..=args.repeat {
+        let outcome = run_batch(
+            &engine,
+            &dataset,
+            BatchRequest::new(name.clone(), args.goals.clone()),
+        );
+        out.push_str(&format!(
+            "-- round {round}: {}/{} ok, {} from cache, {:.1} ms total (memo: {} hits / {} misses)\n",
+            outcome.succeeded(),
+            outcome.responses.len(),
+            outcome.cache_hits(),
+            outcome.total_micros as f64 / 1000.0,
+            outcome.memo.hits,
+            outcome.memo.misses,
+        ));
+        for r in &outcome.responses {
+            let status = match &r.outcome {
+                Ok(result) => {
+                    let compliance = if result.best_structural {
+                        "ok"
+                    } else {
+                        "partial"
+                    };
+                    let source = if r.served_from_cache {
+                        "cache"
+                    } else {
+                        "fresh"
+                    };
+                    format!("{compliance:>7} [{source}]")
+                }
+                Err(JobError::Panicked(_)) => " panic [fresh]".to_string(),
+                Err(_) => "  fail [fresh]".to_string(),
+            };
+            out.push_str(&format!(
+                "   {} {status} {:>8.1} ms  {} cells  {}\n",
+                r.id,
+                r.total_micros as f64 / 1000.0,
+                r.outcome
+                    .as_ref()
+                    .map(|res| res.notebook.len())
+                    .unwrap_or(0),
+                r.goal,
+            ));
+        }
+    }
+    out.push_str(&format!("engine: {}\n", engine.stats().summary()));
+    engine.shutdown();
+    Ok(out)
+}
+
+/// Arguments of `linx bench-engine`.
+#[derive(Debug, Clone)]
+pub struct BenchEngineArgs {
+    /// Dataset selection (must be a built-in dataset; goals come from the benchmark).
+    pub data: DatasetSelection,
+    /// Number of benchmark goals to run.
+    pub goals: usize,
+    /// Training episodes for the CDRL engine.
+    pub episodes: Option<usize>,
+    /// Worker threads.
+    pub workers: Option<usize>,
+}
+
+impl BenchEngineArgs {
+    fn help() -> String {
+        help_text(
+            "linx bench-engine",
+            "Benchmark the engine: batched+cached vs sequential Linx::explore",
+            "      --goals <N>        Number of benchmark goals to run [default: 8]
+      --episodes <N>     Training episodes for the CDRL engine [default: 60]
+      --workers <N>      Worker threads",
+            true,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let mut data = DatasetFlags::default();
+        let (mut goals, mut episodes, mut workers) = (None, None, None);
+        while let Some(flag) = cursor.next() {
+            match flag.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                "--goals" => set_once(&mut goals, cursor.parse_value(&flag)?, &flag)?,
+                "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
+                "--workers" => set_once(&mut workers, cursor.parse_value(&flag)?, &flag)?,
+                _ if data.try_flag(&flag, cursor)? => {}
+                other => return Err(invalid(format!("unknown flag '{other}' for bench-engine"))),
+            }
+        }
+        Ok(BenchEngineArgs {
+            data: data.finish()?,
+            goals: goals.unwrap_or(8).max(1),
+            episodes,
+            workers,
+        })
+    }
+}
+
+/// Run `linx bench-engine`.
+pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
+    let Some(dataset_arg) = args.data.dataset else {
+        return Err(
+            "bench-engine needs a built-in --dataset (goals come from the benchmark)".to_string(),
+        );
+    };
+    let (dataset, name) = args.data.load()?;
+    let goals: Vec<String> = generate_benchmark(args.data.seed)
+        .instances
+        .iter()
+        .filter(|inst| inst.dataset == dataset_arg.kind())
+        .take(args.goals)
+        .map(|inst| inst.goal_text.clone())
+        .collect();
+    if goals.len() < args.goals {
+        return Err(format!(
+            "benchmark has only {} goals for this dataset (asked for {})",
+            goals.len(),
+            args.goals
+        ));
+    }
+    let episodes = args.episodes.unwrap_or(60);
+
+    // Baseline: N sequential one-shot calls through the facade.
+    let mut linx_config = LinxConfig::default();
+    linx_config.cdrl.episodes = episodes;
+    let linx = Linx::new(linx_config);
+    let seq_start = Instant::now();
+    for goal in &goals {
+        let _ = linx.explore(&dataset, &name, goal);
+    }
+    let sequential = seq_start.elapsed();
+
+    // The engine: one batch over the worker pool, then the identical batch again to
+    // show cache serving.
+    let engine = Engine::new(engine_config(Some(episodes), args.workers, None));
+    let cold = run_batch(
+        &engine,
+        &dataset,
+        BatchRequest::new(name.clone(), goals.clone()),
+    );
+    let warm = run_batch(&engine, &dataset, BatchRequest::new(name.clone(), goals));
+    let stats = engine.stats();
+
+    let cold_secs = cold.total_micros as f64 / 1e6;
+    let warm_secs = warm.total_micros as f64 / 1e6;
+    let seq_secs = sequential.as_secs_f64();
+    let mut out = format!(
+        "bench-engine: {} goals over '{name}' ({} rows), {} episodes, {} workers\n",
+        cold.responses.len(),
+        dataset.num_rows(),
+        episodes,
+        engine.config().workers,
+    );
+    out.push_str(&format!(
+        "  sequential Linx::explore : {seq_secs:>8.2} s\n  engine batch (cold)      : {cold_secs:>8.2} s  ({:.2}x speedup, memo {} hits)\n  engine batch (cached)    : {warm_secs:>8.2} s  ({} of {} served from cache)\n",
+        seq_secs / cold_secs.max(1e-9),
+        cold.memo.hits,
+        warm.cache_hits(),
+        warm.responses.len(),
+    ));
+    out.push_str(&format!("  engine: {}\n", stats.summary()));
+    engine.shutdown();
+    Ok(out)
+}
+
 fn write_or_return(output: String, out: &Option<PathBuf>) -> Result<String, String> {
     match out {
         Some(path) => {
             std::fs::write(path, &output)
                 .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
-            Ok(format!("wrote {} bytes to {}", output.len(), path.display()))
+            Ok(format!(
+                "wrote {} bytes to {}",
+                output.len(),
+                path.display()
+            ))
         }
         None => Ok(output),
     }
@@ -359,7 +889,7 @@ mod tests {
             name: None,
             rows: Some(rows),
             seed: 7,
-            }
+        }
     }
 
     #[test]

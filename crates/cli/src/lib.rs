@@ -11,29 +11,47 @@
 //!   structural / operational split and continuity variables.
 //! * `linx benchmark`— list instances of the 182-goal benchmark (Table 1).
 //! * `linx generate-data` — write one of the synthetic benchmark datasets to CSV.
+//! * `linx serve-batch` — run many goals against one dataset through the concurrent,
+//!   cache-aware `linx-engine` service.
+//! * `linx bench-engine` — measure the engine against sequential `Linx::explore` calls
+//!   (batch speedup + cache-hit demonstration).
 //!
 //! The command definitions and their execution live in this library crate so they can be
-//! unit-tested without spawning processes; `main.rs` is a thin wrapper.
+//! unit-tested without spawning processes; `main.rs` is a thin wrapper. Argument parsing
+//! is hand-rolled (see [`argparse`]) because the workspace builds offline, without
+//! crates.io dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod argparse;
 pub mod commands;
 
-use clap::{Parser, Subcommand, ValueEnum};
+use argparse::{invalid, Cursor, ParseError, ParseResult};
 use linx_data::DatasetKind;
 
-/// Goal-oriented automated data exploration (a Rust reproduction of LINX, EDBT 2025).
-#[derive(Debug, Parser)]
-#[command(name = "linx", version, about)]
-pub struct Cli {
-    /// The subcommand to run.
-    #[command(subcommand)]
-    pub command: Command,
-}
+/// Top-level usage text.
+const USAGE: &str = "\
+linx — goal-oriented automated data exploration (a Rust reproduction of LINX, EDBT 2025)
+
+Usage: linx <COMMAND> [OPTIONS]
+
+Commands:
+  explore        Run the full pipeline: dataset + goal -> specification -> session -> notebook
+  derive         Derive LDX specifications for a goal without running the CDRL engine
+  check          Parse and validate an LDX specification file
+  benchmark      List instances of the goal-oriented benchmark (paper Table 1)
+  generate-data  Generate a synthetic benchmark dataset and write it to CSV
+  serve-batch    Serve many goals against one dataset via the concurrent linx-engine
+  bench-engine   Benchmark the engine against sequential Linx::explore calls
+
+Options:
+  -h, --help     Print this help (or a command's help after the command)
+  -V, --version  Print the version
+";
 
 /// Which built-in synthetic dataset to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, ValueEnum)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetArg {
     /// Netflix Movies and TV Shows.
     Netflix,
@@ -54,8 +72,22 @@ impl DatasetArg {
     }
 }
 
+impl std::str::FromStr for DatasetArg {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "netflix" => Ok(DatasetArg::Netflix),
+            "flights" => Ok(DatasetArg::Flights),
+            "playstore" => Ok(DatasetArg::Playstore),
+            other => Err(format!(
+                "unknown dataset '{other}' (expected netflix, flights, or playstore)"
+            )),
+        }
+    }
+}
+
 /// Output format of an exploration notebook.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, ValueEnum)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FormatArg {
     /// Plain text (terminal friendly).
     Text,
@@ -65,8 +97,22 @@ pub enum FormatArg {
     Ipynb,
 }
 
+impl std::str::FromStr for FormatArg {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(FormatArg::Text),
+            "markdown" => Ok(FormatArg::Markdown),
+            "ipynb" => Ok(FormatArg::Ipynb),
+            other => Err(format!(
+                "unknown format '{other}' (expected text, markdown, or ipynb)"
+            )),
+        }
+    }
+}
+
 /// The `linx` subcommands.
-#[derive(Debug, Subcommand)]
+#[derive(Debug)]
 pub enum Command {
     /// Run the full pipeline: dataset + goal → specification → compliant session → notebook.
     Explore(commands::ExploreArgs),
@@ -78,6 +124,74 @@ pub enum Command {
     Benchmark(commands::BenchmarkArgs),
     /// Generate a synthetic benchmark dataset and write it to CSV.
     GenerateData(commands::GenerateDataArgs),
+    /// Serve a batch of goals against one dataset through `linx-engine`.
+    ServeBatch(commands::ServeBatchArgs),
+    /// Benchmark `linx-engine` against sequential `Linx::explore` calls.
+    BenchEngine(commands::BenchEngineArgs),
+}
+
+/// A parsed `linx` invocation.
+#[derive(Debug)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+}
+
+impl Cli {
+    /// Parse from an explicit token iterator (the first token is the program name).
+    pub fn try_parse_from<I, S>(args: I) -> ParseResult<Cli>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut toks: Vec<String> = args.into_iter().map(Into::into).collect();
+        if !toks.is_empty() {
+            toks.remove(0); // program name
+        }
+        // Top-level help only when it appears before the subcommand; otherwise the
+        // subcommand's parser emits its own help.
+        if toks.first().is_some_and(|t| t == "-h" || t == "--help") {
+            return Err(ParseError::Help(USAGE.to_string()));
+        }
+        if toks.first().is_some_and(|t| t == "-V" || t == "--version") {
+            return Err(ParseError::Help(format!(
+                "linx {}",
+                env!("CARGO_PKG_VERSION")
+            )));
+        }
+        let mut cursor = Cursor::new(toks);
+        let Some(name) = cursor.next() else {
+            return Err(ParseError::Help(USAGE.to_string()));
+        };
+        let command = match name.as_str() {
+            "explore" => Command::Explore(commands::ExploreArgs::parse(&mut cursor)?),
+            "derive" => Command::Derive(commands::DeriveArgs::parse(&mut cursor)?),
+            "check" => Command::Check(commands::CheckArgs::parse(&mut cursor)?),
+            "benchmark" => Command::Benchmark(commands::BenchmarkArgs::parse(&mut cursor)?),
+            "generate-data" => {
+                Command::GenerateData(commands::GenerateDataArgs::parse(&mut cursor)?)
+            }
+            "serve-batch" => Command::ServeBatch(commands::ServeBatchArgs::parse(&mut cursor)?),
+            "bench-engine" => Command::BenchEngine(commands::BenchEngineArgs::parse(&mut cursor)?),
+            other => return Err(invalid(format!("unknown command '{other}'\n\n{USAGE}"))),
+        };
+        Ok(Cli { command })
+    }
+
+    /// Parse the process arguments, printing help or errors and exiting as appropriate.
+    pub fn parse() -> Cli {
+        match Cli::try_parse_from(std::env::args()) {
+            Ok(cli) => cli,
+            Err(err) if err.is_help() => {
+                println!("{}", err.message());
+                std::process::exit(0);
+            }
+            Err(err) => {
+                eprintln!("error: {}", err.message());
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 /// Execute a parsed command line and return its textual output.
@@ -88,17 +202,39 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         Command::Check(args) => commands::check(args),
         Command::Benchmark(args) => commands::benchmark(args),
         Command::GenerateData(args) => commands::generate_data(args),
+        Command::ServeBatch(args) => commands::serve_batch(args),
+        Command::BenchEngine(args) => commands::bench_engine(args),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clap::CommandFactory;
 
     #[test]
     fn cli_definition_is_well_formed() {
-        Cli::command().debug_assert();
+        // Every command's help renders, and the top-level help lists every command.
+        for cmd in [
+            "explore",
+            "derive",
+            "check",
+            "benchmark",
+            "generate-data",
+            "serve-batch",
+            "bench-engine",
+        ] {
+            let err = Cli::try_parse_from(["linx", cmd, "--help"]).unwrap_err();
+            assert!(err.is_help(), "{cmd} --help should render help");
+            assert!(err.message().contains(cmd), "{cmd} help names the command");
+            assert!(USAGE.contains(cmd), "top-level usage lists {cmd}");
+        }
+        assert!(Cli::try_parse_from(["linx", "--help"])
+            .unwrap_err()
+            .is_help());
+        assert!(Cli::try_parse_from(["linx"]).unwrap_err().is_help());
+        assert!(!Cli::try_parse_from(["linx", "frobnicate"])
+            .unwrap_err()
+            .is_help());
     }
 
     #[test]
@@ -121,10 +257,10 @@ mod tests {
         .unwrap();
         match cli.command {
             Command::Explore(args) => {
-                assert_eq!(args.dataset, Some(DatasetArg::Netflix));
+                assert_eq!(args.data.dataset, Some(DatasetArg::Netflix));
                 assert_eq!(args.goal, "Find an atypical country");
                 assert_eq!(args.format, FormatArg::Text);
-                assert!(args.csv.is_none());
+                assert!(args.data.csv.is_none());
             }
             other => panic!("unexpected command: {other:?}"),
         }
@@ -157,5 +293,56 @@ mod tests {
     fn missing_goal_is_a_parse_error() {
         assert!(Cli::try_parse_from(["linx", "explore", "--dataset", "netflix"]).is_err());
         assert!(Cli::try_parse_from(["linx", "derive"]).is_err());
+    }
+
+    #[test]
+    fn dataset_and_csv_conflict() {
+        let err = Cli::try_parse_from([
+            "linx",
+            "explore",
+            "--dataset",
+            "netflix",
+            "--csv",
+            "data.csv",
+            "--goal",
+            "g",
+        ])
+        .unwrap_err();
+        assert!(err.message().contains("--csv"));
+    }
+
+    #[test]
+    fn serve_batch_parses_goals_and_engine_knobs() {
+        let cli = Cli::try_parse_from([
+            "linx",
+            "serve-batch",
+            "--dataset",
+            "netflix",
+            "--goals",
+            "goal one;goal two",
+            "--workers",
+            "3",
+            "--episodes",
+            "50",
+            "--repeat",
+            "2",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::ServeBatch(args) => {
+                assert_eq!(args.goals, vec!["goal one", "goal two"]);
+                assert_eq!(args.workers, Some(3));
+                assert_eq!(args.episodes, Some(50));
+                assert_eq!(args.repeat, 2);
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_command() {
+        assert!(Cli::try_parse_from(["linx", "explore", "--goal", "g", "--bogus"]).is_err());
+        assert!(Cli::try_parse_from(["linx", "benchmark", "--bogus"]).is_err());
+        assert!(Cli::try_parse_from(["linx", "bench-engine", "--bogus"]).is_err());
     }
 }

@@ -1,8 +1,6 @@
 //! The `linx` command-line tool. See `linx --help` and the crate docs of
 //! [`linx_cli`] for the available subcommands.
 
-use clap::Parser;
-
 fn main() {
     let cli = linx_cli::Cli::parse();
     match linx_cli::run(&cli) {

@@ -60,13 +60,7 @@ const AIRPORTS: &[(&str, f64)] = &[
 ];
 
 /// Delay reason labels (matching the Kaggle dataset's delay cause columns).
-pub const DELAY_REASONS: &[&str] = &[
-    "Carrier",
-    "Weather",
-    "NAS",
-    "Security",
-    "LateAircraft",
-];
+pub const DELAY_REASONS: &[&str] = &["Carrier", "Weather", "NAS", "Security", "LateAircraft"];
 
 /// Month sampling weights: summer (6,7,8) holds about a third of all flights.
 fn month_weight(month: u32) -> f64 {
@@ -176,7 +170,11 @@ pub fn generate(rows: usize, seed: u64) -> DataFrame {
             };
             (dep, arr.max(0), Value::str(reason))
         } else {
-            (rng.gen_range(-5..10_i64).max(0), rng.gen_range(-8..8_i64).max(0), Value::Null)
+            (
+                rng.gen_range(-5..10_i64).max(0),
+                rng.gen_range(-8..8_i64).max(0),
+                Value::Null,
+            )
         };
 
         data.push(vec![
@@ -233,7 +231,11 @@ mod tests {
                 .filter(&Predicate::new("month", CompareOp::Eq, Value::Int(m)))
                 .unwrap();
             let delayed = month
-                .filter(&Predicate::new("departure_delay", CompareOp::Ge, Value::Int(15)))
+                .filter(&Predicate::new(
+                    "departure_delay",
+                    CompareOp::Ge,
+                    Value::Int(15),
+                ))
                 .unwrap();
             delayed.num_rows() as f64 / month.num_rows() as f64
         };
@@ -249,7 +251,11 @@ mod tests {
             .filter(&Predicate::new("distance", CompareOp::Ge, Value::Int(2000)))
             .unwrap();
         let delayed = long
-            .filter(&Predicate::new("departure_delay", CompareOp::Ge, Value::Int(15)))
+            .filter(&Predicate::new(
+                "departure_delay",
+                CompareOp::Ge,
+                Value::Int(15),
+            ))
             .unwrap();
         assert!(delayed.num_rows() > 50);
         let mode = delayed.histogram("delay_reason").unwrap().mode().unwrap().0;
@@ -259,7 +265,11 @@ mod tests {
             .filter(&Predicate::new("distance", CompareOp::Lt, Value::Int(800)))
             .unwrap();
         let short_delayed = short
-            .filter(&Predicate::new("departure_delay", CompareOp::Ge, Value::Int(15)))
+            .filter(&Predicate::new(
+                "departure_delay",
+                CompareOp::Ge,
+                Value::Int(15),
+            ))
             .unwrap();
         let long_rate = delayed.num_rows() as f64 / long.num_rows() as f64;
         let short_rate = short_delayed.num_rows() as f64 / short.num_rows() as f64;
@@ -270,7 +280,11 @@ mod tests {
     fn weather_delays_concentrate_in_winter() {
         let df = generate(30000, 5);
         let weather = df
-            .filter(&Predicate::new("delay_reason", CompareOp::Eq, Value::str("Weather")))
+            .filter(&Predicate::new(
+                "delay_reason",
+                CompareOp::Eq,
+                Value::str("Weather"),
+            ))
             .unwrap();
         let winter = weather
             .filter(&Predicate::new("month", CompareOp::Le, Value::Int(2)))

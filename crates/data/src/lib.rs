@@ -27,4 +27,4 @@ pub mod netflix;
 pub mod playstore;
 pub mod registry;
 
-pub use registry::{DatasetKind, ScaleConfig, generate, schema_of};
+pub use registry::{generate, schema_of, DatasetKind, ScaleConfig};

@@ -74,8 +74,18 @@ const GENRES: &[(&str, f64)] = &[
 ];
 
 const DIRECTORS: &[&str] = &[
-    "R. Kapoor", "S. Lee", "M. Scorsese", "A. Kurosawa", "J. Campion", "P. Almodovar",
-    "L. Wachowski", "D. Villeneuve", "C. Nolan", "G. del Toro", "N. Meyers", "S. Coppola",
+    "R. Kapoor",
+    "S. Lee",
+    "M. Scorsese",
+    "A. Kurosawa",
+    "J. Campion",
+    "P. Almodovar",
+    "L. Wachowski",
+    "D. Villeneuve",
+    "C. Nolan",
+    "G. del Toro",
+    "N. Meyers",
+    "S. Coppola",
 ];
 
 /// Weighted choice helper.
@@ -121,7 +131,7 @@ pub fn generate(rows: usize, seed: u64) -> DataFrame {
             weighted(&mut rng, RATINGS_WORLD)
         };
         let release_year = 1998 + (rng.gen::<f64>().powf(0.45) * 23.0) as i64;
-        let date_added_year = (release_year + rng.gen_range(0..=4)).min(2021);
+        let date_added_year = (release_year + rng.gen_range(0..=4_i64)).min(2021);
         // Duration: minutes for movies, seasons for TV shows (like the real dataset
         // where the column mixes semantics — we keep it numeric).
         let duration = if is_movie {
@@ -184,10 +194,18 @@ mod tests {
     fn india_anomaly_is_planted() {
         let df = generate(6000, 11);
         let india = df
-            .filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
+            .filter(&Predicate::new(
+                "country",
+                CompareOp::Eq,
+                Value::str("India"),
+            ))
             .unwrap();
         let rest = df
-            .filter(&Predicate::new("country", CompareOp::Neq, Value::str("India")))
+            .filter(&Predicate::new(
+                "country",
+                CompareOp::Neq,
+                Value::str("India"),
+            ))
             .unwrap();
         assert!(india.num_rows() > 100, "India should be well represented");
 

@@ -180,11 +180,19 @@ mod tests {
     fn popular_apps_are_free_high_rated_android4() {
         let df = generate(8000, 3);
         let popular = df
-            .filter(&Predicate::new("installs", CompareOp::Ge, Value::Int(1_000_000)))
+            .filter(&Predicate::new(
+                "installs",
+                CompareOp::Ge,
+                Value::Int(1_000_000),
+            ))
             .unwrap();
         assert!(popular.num_rows() > 200);
         let free_share = popular
-            .filter(&Predicate::new("app_type", CompareOp::Eq, Value::str("Free")))
+            .filter(&Predicate::new(
+                "app_type",
+                CompareOp::Eq,
+                Value::str("Free"),
+            ))
             .unwrap()
             .num_rows() as f64
             / popular.num_rows() as f64;

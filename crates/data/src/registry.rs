@@ -166,7 +166,13 @@ mod tests {
 
     #[test]
     fn small_seed_flag_does_not_leak_into_generator() {
-        let a = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(100), seed: 5 });
+        let a = generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(100),
+                seed: 5,
+            },
+        );
         let b = generate(
             DatasetKind::Netflix,
             ScaleConfig {

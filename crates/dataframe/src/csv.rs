@@ -41,7 +41,10 @@ pub fn parse_csv(text: &str, options: CsvOptions) -> Result<DataFrame> {
         (records[0].clone(), &records[1..])
     } else {
         let width = records[0].len();
-        ((0..width).map(|i| format!("col{i}")).collect(), &records[..])
+        (
+            (0..width).map(|i| format!("col{i}")).collect(),
+            &records[..],
+        )
     };
     let width = header.len();
     let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(data.len()); width];

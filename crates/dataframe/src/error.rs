@@ -45,10 +45,7 @@ impl fmt::Display for DataFrameError {
                 expected,
                 found,
                 column,
-            } => write!(
-                f,
-                "column {column} has {found} rows, expected {expected}"
-            ),
+            } => write!(f, "column {column} has {found} rows, expected {expected}"),
             DataFrameError::NotNumeric(c) => write!(f, "column {c} is not numeric"),
             DataFrameError::RowArity { expected, found } => {
                 write!(f, "row has {found} cells, expected {expected}")

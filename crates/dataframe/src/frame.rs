@@ -85,6 +85,22 @@ impl DataFrame {
         self.columns.len()
     }
 
+    /// A stable 64-bit content fingerprint of this dataframe: column order, names,
+    /// dtypes, and every cell.
+    ///
+    /// Stable across runs and platforms (FNV-1a, see [`crate::fingerprint`]), so it can
+    /// key persistent or cross-process caches — the `linx-engine` result cache keys
+    /// exploration results by `(dataset fingerprint, goal, config)`. Cost is one linear
+    /// scan of the data.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv1a::new();
+        h.write_u64(self.columns.len() as u64);
+        for c in &self.columns {
+            h.write_u64(crate::fingerprint::column_fingerprint(c));
+        }
+        h.finish()
+    }
+
     /// The schema (names + dtypes) of this dataframe.
     pub fn schema(&self) -> Schema {
         Schema::new(self.columns.iter().map(|c| c.field()).collect())
@@ -262,12 +278,42 @@ mod tests {
         DataFrame::from_rows(
             &["country", "type", "rating", "duration"],
             vec![
-                vec![Value::str("India"), Value::str("Movie"), Value::str("TV-14"), Value::Int(120)],
-                vec![Value::str("India"), Value::str("Movie"), Value::str("TV-14"), Value::Int(95)],
-                vec![Value::str("India"), Value::str("TV Show"), Value::str("TV-MA"), Value::Int(2)],
-                vec![Value::str("US"), Value::str("Movie"), Value::str("TV-MA"), Value::Int(110)],
-                vec![Value::str("US"), Value::str("TV Show"), Value::str("TV-MA"), Value::Int(3)],
-                vec![Value::str("UK"), Value::str("TV Show"), Value::str("TV-PG"), Value::Int(1)],
+                vec![
+                    Value::str("India"),
+                    Value::str("Movie"),
+                    Value::str("TV-14"),
+                    Value::Int(120),
+                ],
+                vec![
+                    Value::str("India"),
+                    Value::str("Movie"),
+                    Value::str("TV-14"),
+                    Value::Int(95),
+                ],
+                vec![
+                    Value::str("India"),
+                    Value::str("TV Show"),
+                    Value::str("TV-MA"),
+                    Value::Int(2),
+                ],
+                vec![
+                    Value::str("US"),
+                    Value::str("Movie"),
+                    Value::str("TV-MA"),
+                    Value::Int(110),
+                ],
+                vec![
+                    Value::str("US"),
+                    Value::str("TV Show"),
+                    Value::str("TV-MA"),
+                    Value::Int(3),
+                ],
+                vec![
+                    Value::str("UK"),
+                    Value::str("TV Show"),
+                    Value::str("TV-PG"),
+                    Value::Int(1),
+                ],
             ],
         )
         .unwrap()
@@ -293,17 +339,31 @@ mod tests {
     #[test]
     fn from_rows_checks_arity() {
         let err = DataFrame::from_rows(&["a", "b"], vec![vec![Value::Int(1)]]).unwrap_err();
-        assert!(matches!(err, DataFrameError::RowArity { expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            DataFrameError::RowArity {
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]
     fn filter_eq_and_neq_partition_rows() {
         let df = netflix_like();
         let india = df
-            .filter(&Predicate::new("country", CompareOp::Eq, Value::str("India")))
+            .filter(&Predicate::new(
+                "country",
+                CompareOp::Eq,
+                Value::str("India"),
+            ))
             .unwrap();
         let rest = df
-            .filter(&Predicate::new("country", CompareOp::Neq, Value::str("India")))
+            .filter(&Predicate::new(
+                "country",
+                CompareOp::Neq,
+                Value::str("India"),
+            ))
             .unwrap();
         assert_eq!(india.num_rows(), 3);
         assert_eq!(rest.num_rows(), 3);
@@ -366,7 +426,10 @@ mod tests {
     fn distinct_values_order_and_content() {
         let df = netflix_like();
         let dv = df.distinct_values("country").unwrap();
-        assert_eq!(dv, vec![Value::str("India"), Value::str("US"), Value::str("UK")]);
+        assert_eq!(
+            dv,
+            vec![Value::str("India"), Value::str("US"), Value::str("UK")]
+        );
     }
 
     #[test]

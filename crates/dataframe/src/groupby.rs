@@ -174,7 +174,10 @@ mod tests {
         ];
         let g = Groups::from_values(&vals);
         assert_eq!(g.len(), 3);
-        assert_eq!(g.keys, vec![Value::str("b"), Value::str("a"), Value::str("c")]);
+        assert_eq!(
+            g.keys,
+            vec![Value::str("b"), Value::str("a"), Value::str("c")]
+        );
         assert_eq!(g.indices, vec![vec![0, 2], vec![1, 4], vec![3]]);
         assert_eq!(g.sizes(), vec![2, 2, 1]);
     }

@@ -55,6 +55,7 @@ pub mod column;
 pub mod csv;
 pub mod error;
 pub mod filter;
+pub mod fingerprint;
 pub mod frame;
 pub mod groupby;
 pub mod schema;

@@ -63,7 +63,9 @@ fn min_and_max_ignore_nulls() {
 
 #[test]
 fn count_distinct_counts_unique_non_null_values() {
-    let v = frame().group_by("team", AggFunc::CountDistinct, "points").unwrap();
+    let v = frame()
+        .group_by("team", AggFunc::CountDistinct, "points")
+        .unwrap();
     assert_eq!(agg_of(&v, "A"), Value::Int(2)); // {10, 30}
     assert_eq!(agg_of(&v, "B"), Value::Int(1)); // {5}
 }

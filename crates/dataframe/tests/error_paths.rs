@@ -23,16 +23,19 @@ fn frame() -> DataFrame {
 #[test]
 fn construction_rejects_ragged_rows() {
     let err = DataFrame::from_rows(&["a", "b"], vec![vec![Value::Int(1)]]).unwrap_err();
-    assert!(matches!(err, DataFrameError::RowArity { expected: 2, found: 1 }));
+    assert!(matches!(
+        err,
+        DataFrameError::RowArity {
+            expected: 2,
+            found: 1
+        }
+    ));
 }
 
 #[test]
 fn construction_rejects_duplicate_columns() {
-    let err = DataFrame::from_rows(
-        &["a", "a"],
-        vec![vec![Value::Int(1), Value::Int(2)]],
-    )
-    .unwrap_err();
+    let err =
+        DataFrame::from_rows(&["a", "a"], vec![vec![Value::Int(1), Value::Int(2)]]).unwrap_err();
     assert!(matches!(err, DataFrameError::DuplicateColumn(c) if c == "a"));
 }
 
@@ -43,7 +46,9 @@ fn missing_column_access_is_an_error() {
         df.column("nope").unwrap_err(),
         DataFrameError::ColumnNotFound(c) if c == "nope"
     ));
-    assert!(df.filter(&Predicate::new("nope", CompareOp::Eq, Value::Int(1))).is_err());
+    assert!(df
+        .filter(&Predicate::new("nope", CompareOp::Eq, Value::Int(1)))
+        .is_err());
     assert!(df.group_by("nope", AggFunc::Count, "runtime").is_err());
     assert!(df.histogram("nope").is_err());
 }
@@ -70,7 +75,11 @@ fn filter_on_empty_frame_stays_empty() {
 fn filter_never_matching_yields_zero_rows_without_error() {
     let df = frame();
     let none = df
-        .filter(&Predicate::new("country", CompareOp::Eq, Value::str("Atlantis")))
+        .filter(&Predicate::new(
+            "country",
+            CompareOp::Eq,
+            Value::str("Atlantis"),
+        ))
         .unwrap();
     assert_eq!(none.num_rows(), 0);
     // Group-by over an empty subset returns zero groups, not an error.

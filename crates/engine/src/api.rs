@@ -1,0 +1,228 @@
+//! The request/response surface of the exploration service.
+
+use std::fmt;
+
+use linx_cdrl::CdrlConfig;
+use linx_explore::{Narrative, Notebook};
+
+/// Identifies one submitted request within an engine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{:06}", self.0)
+    }
+}
+
+/// Scheduling priority of a request. Higher priorities are dequeued first; ties are
+/// served in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work (benchmark sweeps, prefetching).
+    Low,
+    /// The default for interactive requests.
+    #[default]
+    Normal,
+    /// Latency-sensitive requests; jump the queue.
+    High,
+}
+
+/// Per-request resource limits, applied on top of the engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Cap on CDRL training episodes (`None` = engine default). Lower = faster,
+    /// coarser sessions.
+    pub max_episodes: Option<usize>,
+    /// Cap on the number of dataset rows sampled for schema/value linking.
+    pub max_sample_rows: Option<usize>,
+}
+
+impl Budget {
+    /// The episode budget for this request given the engine default.
+    pub fn episodes(&self, default_episodes: usize) -> usize {
+        match self.max_episodes {
+            Some(cap) => cap.min(default_episodes.max(1)).max(1),
+            None => default_episodes,
+        }
+    }
+
+    /// The sample-row budget for this request given the engine default.
+    pub fn sample_rows(&self, default_rows: usize) -> usize {
+        match self.max_sample_rows {
+            Some(cap) => cap.min(default_rows.max(5)).max(5),
+            None => default_rows,
+        }
+    }
+}
+
+/// One exploration request: a natural-language goal against a named dataset.
+///
+/// The dataset itself is passed alongside the request at submission time; `dataset_id`
+/// is the stable name used in prompts, titles, and telemetry.
+#[derive(Debug, Clone)]
+pub struct ExploreRequest {
+    /// Stable dataset name (e.g. `"netflix"`).
+    pub dataset_id: String,
+    /// The analytical goal, in natural language.
+    pub goal: String,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Per-request budget caps.
+    pub budget: Budget,
+}
+
+impl ExploreRequest {
+    /// A normal-priority, default-budget request.
+    pub fn new(dataset_id: impl Into<String>, goal: impl Into<String>) -> Self {
+        ExploreRequest {
+            dataset_id: dataset_id.into(),
+            goal: goal.into(),
+            priority: Priority::Normal,
+            budget: Budget::default(),
+        }
+    }
+
+    /// Set the priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The payload of a successful exploration: what a serving layer returns to a client.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Canonical form of the derived LDX specification.
+    pub ldx_canonical: String,
+    /// The rendered notebook of the best session.
+    pub notebook: Notebook,
+    /// Spelled-out insights for the best session.
+    pub narrative: Narrative,
+    /// Whether the best session was structurally compliant with the specification.
+    pub best_structural: bool,
+    /// The best session's generic exploration score.
+    pub best_score: f64,
+}
+
+/// Why a request produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the worker survived and the panic message is preserved.
+    Panicked(String),
+    /// The engine is shutting down and did not accept the job.
+    ShuttingDown,
+    /// The worker disappeared without a response (should not happen; indicates a bug).
+    WorkerLost,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "exploration job panicked: {msg}"),
+            JobError::ShuttingDown => write!(f, "engine is shutting down"),
+            JobError::WorkerLost => write!(f, "worker lost before responding"),
+        }
+    }
+}
+
+/// The response to one [`ExploreRequest`].
+#[derive(Debug, Clone)]
+pub struct ExploreResponse {
+    /// The id assigned at submission.
+    pub id: RequestId,
+    /// Echo of the request's dataset id.
+    pub dataset_id: String,
+    /// Echo of the request's goal.
+    pub goal: String,
+    /// The result, or why there is none.
+    pub outcome: Result<ExploreResult, JobError>,
+    /// Whether the result was served without a new training run: a result-cache hit,
+    /// or a successful outcome shared from an identical in-flight request
+    /// (single-flight coalescing). Always `false` for failed outcomes.
+    pub served_from_cache: bool,
+    /// Wall-clock microseconds from submission to response.
+    pub total_micros: u64,
+}
+
+/// Configuration of an [`crate::Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing exploration jobs. Defaults to available parallelism,
+    /// capped at 8 (training is CPU-bound; more workers than cores just thrash).
+    pub workers: usize,
+    /// Total result-cache capacity (entries across all shards). 0 disables caching.
+    pub cache_capacity: usize,
+    /// Number of cache shards (reduces lock contention). Rounded up to at least 1.
+    pub cache_shards: usize,
+    /// The CDRL engine configuration used for jobs (per-request budgets cap
+    /// `cdrl.episodes`).
+    pub cdrl: CdrlConfig,
+    /// Default number of dataset rows sampled for schema/value linking.
+    pub sample_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8);
+        EngineConfig {
+            workers,
+            cache_capacity: 256,
+            cache_shards: 8,
+            cdrl: CdrlConfig::default(),
+            sample_rows: 200,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with a reduced training budget for tests, demos, and benches.
+    pub fn fast() -> Self {
+        EngineConfig {
+            cdrl: CdrlConfig {
+                episodes: 80,
+                ..CdrlConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_cap_but_never_zero() {
+        let b = Budget::default();
+        assert_eq!(b.episodes(300), 300);
+        assert_eq!(b.sample_rows(200), 200);
+        let b = Budget {
+            max_episodes: Some(50),
+            max_sample_rows: Some(0),
+        };
+        assert_eq!(b.episodes(300), 50);
+        assert_eq!(b.episodes(0), 1);
+        assert_eq!(b.sample_rows(200), 5);
+    }
+
+    #[test]
+    fn priorities_order_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+    }
+
+    #[test]
+    fn request_ids_render_padded() {
+        assert_eq!(RequestId(7).to_string(), "req-000007");
+    }
+}

@@ -1,0 +1,94 @@
+//! The batch front-end: many goals against one dataset, sharing per-dataset work.
+//!
+//! Batching is where the serving architecture pays off: the dataset fingerprint,
+//! schema, and linking sample are computed once; materialized views are shared through
+//! the dataset's [`linx_explore::OpMemo`]; and jobs run concurrently on the worker
+//! pool, so a batch of N goals completes in roughly `ceil(N / workers)` training
+//! rounds of wall-clock time instead of N.
+
+use linx_dataframe::DataFrame;
+use linx_explore::OpMemoStats;
+
+use crate::api::{Budget, ExploreRequest, ExploreResponse, Priority};
+use crate::engine::Engine;
+
+/// A batch of goals to explore against one dataset.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// Stable dataset name used in prompts and titles.
+    pub dataset_id: String,
+    /// The goals; responses come back in the same order.
+    pub goals: Vec<String>,
+    /// Priority applied to every job of the batch.
+    pub priority: Priority,
+    /// Budget applied to every job of the batch.
+    pub budget: Budget,
+}
+
+impl BatchRequest {
+    /// A normal-priority, default-budget batch.
+    pub fn new(dataset_id: impl Into<String>, goals: Vec<String>) -> Self {
+        BatchRequest {
+            dataset_id: dataset_id.into(),
+            goals,
+            priority: Priority::Normal,
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// The outcome of a batch: per-goal responses (in request order) plus shared-work
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One response per goal, in the order the goals were given.
+    pub responses: Vec<ExploreResponse>,
+    /// Effectiveness of the shared view memo for this batch's dataset.
+    pub memo: OpMemoStats,
+    /// Wall-clock microseconds for the whole batch.
+    pub total_micros: u64,
+}
+
+impl BatchOutcome {
+    /// Number of responses served from the result cache.
+    pub fn cache_hits(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| r.served_from_cache)
+            .count()
+    }
+
+    /// Number of responses with a successful outcome.
+    pub fn succeeded(&self) -> usize {
+        self.responses.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+}
+
+/// Run a batch: submit every goal against one shared dataset context, then collect.
+pub fn run_batch(engine: &Engine, dataset: &DataFrame, batch: BatchRequest) -> BatchOutcome {
+    let started = std::time::Instant::now();
+    let ctx = engine.dataset_context(dataset, &batch.dataset_id);
+    // Submit everything before waiting on anything: the pool runs jobs concurrently
+    // while cache hits resolve inline.
+    let handles: Vec<_> = batch
+        .goals
+        .iter()
+        .map(|goal| {
+            engine.submit(
+                &ctx,
+                ExploreRequest {
+                    dataset_id: batch.dataset_id.clone(),
+                    goal: goal.clone(),
+                    priority: batch.priority,
+                    budget: batch.budget,
+                },
+            )
+        })
+        .collect();
+    let responses = handles.into_iter().map(|h| h.wait()).collect();
+    BatchOutcome {
+        responses,
+        memo: ctx.memo.stats(),
+        total_micros: started.elapsed().as_micros() as u64,
+    }
+}

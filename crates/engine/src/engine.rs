@@ -1,0 +1,287 @@
+//! The engine: request intake, cache lookups, job dispatch, response handles.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use linx_cdrl::CdrlConfig;
+use linx_dataframe::DataFrame;
+
+use crate::api::{
+    EngineConfig, ExploreRequest, ExploreResponse, ExploreResult, JobError, RequestId,
+};
+use crate::cache::ShardedLru;
+use crate::fingerprint::request_fingerprint;
+use crate::pipeline::{run_exploration, DatasetContext};
+use crate::pool::WorkerPool;
+use crate::stats::EngineStats;
+
+/// A handle on one submitted request; resolves to the response.
+pub struct JobHandle {
+    id: RequestId,
+    rx: mpsc::Receiver<ExploreResponse>,
+}
+
+impl JobHandle {
+    /// The id assigned at submission.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Block until the response is available.
+    ///
+    /// A lost worker (response channel closed without a message) is reported as
+    /// [`JobError::WorkerLost`] rather than a panic, so callers always get a response.
+    pub fn wait(self) -> ExploreResponse {
+        let id = self.id;
+        self.rx.recv().unwrap_or_else(|_| ExploreResponse {
+            id,
+            dataset_id: String::new(),
+            goal: String::new(),
+            outcome: Err(JobError::WorkerLost),
+            served_from_cache: false,
+            total_micros: 0,
+        })
+    }
+}
+
+/// The concurrent, cache-aware exploration service.
+///
+/// ```
+/// use linx_engine::{Engine, EngineConfig, ExploreRequest};
+/// use linx_data::{generate, DatasetKind, ScaleConfig};
+///
+/// let dataset = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(300), seed: 7 });
+/// let mut config = EngineConfig::fast();
+/// config.cdrl.episodes = 40; // keep the doctest fast
+/// let engine = Engine::new(config);
+///
+/// let ctx = engine.dataset_context(&dataset, "netflix");
+/// let handle = engine.submit(&ctx, ExploreRequest::new("netflix", "Examine titles from India"));
+/// let response = handle.wait();
+/// assert!(response.outcome.is_ok());
+///
+/// // The identical request is now served from the cache.
+/// let again = engine
+///     .submit(&ctx, ExploreRequest::new("netflix", "Examine titles from India"))
+///     .wait();
+/// assert!(again.served_from_cache);
+/// assert!(engine.stats().cache.hits >= 1);
+/// engine.shutdown();
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    pool: WorkerPool,
+    cache: Arc<ShardedLru<u64, ExploreResult>>,
+    /// Single-flight request coalescing: fingerprint → waiters for an in-flight job.
+    /// A submission whose fingerprint is already being computed attaches itself here
+    /// instead of training again; the executing job drains the waiters on completion.
+    in_flight: Arc<Mutex<HashMap<u64, Vec<Waiter>>>>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    coalesced: AtomicU64,
+    failed: AtomicU64,
+    /// Jobs whose exploration panicked. Counted here because the job converts its own
+    /// panic into a `JobError::Panicked` response, so the pool's unwind backstop (and
+    /// therefore `PoolStats::panicked`) never sees it.
+    job_panics: Arc<AtomicU64>,
+}
+
+/// A coalesced submission waiting on an identical in-flight request.
+struct Waiter {
+    id: RequestId,
+    dataset_id: String,
+    goal: String,
+    started: Instant,
+    tx: mpsc::Sender<ExploreResponse>,
+}
+
+impl Engine {
+    /// Start an engine: spawns the worker pool and allocates the result cache.
+    pub fn new(config: EngineConfig) -> Self {
+        let pool = WorkerPool::new(config.workers);
+        let cache = Arc::new(ShardedLru::new(config.cache_capacity, config.cache_shards));
+        Engine {
+            config,
+            pool,
+            cache,
+            in_flight: Arc::new(Mutex::new(HashMap::new())),
+            next_id: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            job_panics: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Precompute the shared per-dataset context (fingerprint, schema, sample, view
+    /// memo). Submitting many goals against one context shares this work across them.
+    pub fn dataset_context(&self, dataset: &DataFrame, dataset_id: &str) -> DatasetContext {
+        DatasetContext::new(dataset, dataset_id, self.config.sample_rows)
+    }
+
+    /// Submit one request against a prepared dataset context.
+    ///
+    /// Cache hits resolve immediately on the calling thread; misses are queued on the
+    /// worker pool at the request's priority.
+    pub fn submit(&self, ctx: &DatasetContext, request: ExploreRequest) -> JobHandle {
+        let started = Instant::now();
+        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let handle = JobHandle { id, rx };
+
+        let episodes = request.budget.episodes(self.config.cdrl.episodes);
+        let sample_rows = request.budget.sample_rows(self.config.sample_rows);
+        let cdrl = CdrlConfig {
+            episodes,
+            ..self.config.cdrl.clone()
+        };
+        let fp = request_fingerprint(ctx.dataset_fp, &request.goal, &cdrl, episodes, sample_rows);
+
+        if let Some(result) = self.cache.get(&fp.0) {
+            let _ = tx.send(ExploreResponse {
+                id,
+                dataset_id: request.dataset_id,
+                goal: request.goal,
+                outcome: Ok(result),
+                served_from_cache: true,
+                total_micros: started.elapsed().as_micros() as u64,
+            });
+            return handle;
+        }
+
+        // Single-flight: if an identical request is already executing (or queued),
+        // attach to it instead of training the same thing twice. The hot serving
+        // pattern — many users asking the same goal at once — costs one training run.
+        // Known limitation: a coalesced request inherits the queued job's priority
+        // (a High request attaching to a Low job does not bump it); re-prioritizable
+        // queue entries are a ROADMAP item alongside multi-tenant quotas.
+        {
+            let mut in_flight = self.in_flight.lock().expect("in-flight lock");
+            if let Some(waiters) = in_flight.get_mut(&fp.0) {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                waiters.push(Waiter {
+                    id,
+                    dataset_id: request.dataset_id,
+                    goal: request.goal,
+                    started,
+                    tx,
+                });
+                return handle;
+            }
+            in_flight.insert(fp.0, Vec::new());
+        }
+
+        let ctx = ctx.clone();
+        let cache = Arc::clone(&self.cache);
+        let priority = request.priority;
+        let reject_tx = tx.clone();
+        let reject_response = ExploreResponse {
+            id,
+            dataset_id: request.dataset_id.clone(),
+            goal: request.goal.clone(),
+            outcome: Err(JobError::ShuttingDown),
+            served_from_cache: false,
+            total_micros: 0,
+        };
+        let in_flight = Arc::clone(&self.in_flight);
+        let job_panics = Arc::clone(&self.job_panics);
+        let submitted = self.pool.submit(priority, move || {
+            // First line of defense: capture the panic *message* here so the response
+            // can carry it; the pool's own catch_unwind is the backstop.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                run_exploration(&ctx, &request.goal, cdrl, sample_rows)
+            }))
+            .map_err(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                job_panics.fetch_add(1, Ordering::Relaxed);
+                JobError::Panicked(msg)
+            });
+            if let Ok(result) = &outcome {
+                cache.insert(fp.0, result.clone());
+            }
+            // Release the coalescing slot *before* responding, then serve every
+            // attached waiter a clone of the outcome.
+            let waiters = in_flight
+                .lock()
+                .expect("in-flight lock")
+                .remove(&fp.0)
+                .unwrap_or_default();
+            for waiter in waiters {
+                let _ = waiter.tx.send(ExploreResponse {
+                    id: waiter.id,
+                    dataset_id: waiter.dataset_id,
+                    goal: waiter.goal,
+                    outcome: outcome.clone(),
+                    // A deduplicated *result* counts as served-without-training; a
+                    // deduplicated *failure* is not a hit of anything.
+                    served_from_cache: outcome.is_ok(),
+                    total_micros: waiter.started.elapsed().as_micros() as u64,
+                });
+            }
+            let _ = tx.send(ExploreResponse {
+                id,
+                dataset_id: request.dataset_id,
+                goal: request.goal,
+                outcome,
+                served_from_cache: false,
+                total_micros: started.elapsed().as_micros() as u64,
+            });
+        });
+        if submitted.is_err() {
+            // Pool is shutting down: respond on the spot and release the coalescing
+            // slot (waiters that attached while we held it get the same rejection).
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            let waiters = self
+                .in_flight
+                .lock()
+                .expect("in-flight lock")
+                .remove(&fp.0)
+                .unwrap_or_default();
+            for waiter in waiters {
+                let _ = waiter.tx.send(ExploreResponse {
+                    id: waiter.id,
+                    dataset_id: waiter.dataset_id,
+                    goal: waiter.goal,
+                    outcome: Err(JobError::ShuttingDown),
+                    served_from_cache: false,
+                    total_micros: 0,
+                });
+            }
+            let _ = reject_tx.send(reject_response);
+        }
+        handle
+    }
+
+    /// Counters snapshot across cache and pool.
+    pub fn stats(&self) -> EngineStats {
+        let mut pool = self.pool.stats();
+        // Engine jobs convert their own panics into responses, bypassing the pool's
+        // unwind counter; fold them back in so "panicked" means what it says.
+        pool.panicked += self.job_panics.load(Ordering::Relaxed);
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.failed.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            pool,
+        }
+    }
+
+    /// Graceful shutdown: queued jobs drain, workers join.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}

@@ -1,0 +1,66 @@
+//! Stable request fingerprints: the result-cache key.
+//!
+//! Two requests may share a cached result exactly when they agree on (1) the dataset
+//! *content* (via [`linx_dataframe::DataFrame::fingerprint`]), (2) the goal text, and
+//! (3) every configuration knob that shapes the output (the CDRL config and the
+//! effective per-request budgets). The dataset *name* is deliberately excluded — it only
+//! decorates titles; renaming a dataset must not fault the cache — but the effective
+//! sample-row count is included because it changes derivation inputs.
+
+use linx_cdrl::CdrlConfig;
+use linx_dataframe::fingerprint::Fnv1a;
+
+/// A stable 64-bit cache key for one (dataset, goal, config) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Fingerprint one request.
+///
+/// `dataset_fp` is the dataset's content fingerprint (compute it once per dataset and
+/// reuse it across a batch — it is the only input whose cost scales with data size).
+pub fn request_fingerprint(
+    dataset_fp: u64,
+    goal: &str,
+    cdrl: &CdrlConfig,
+    episodes: usize,
+    sample_rows: usize,
+) -> Fingerprint {
+    let mut h = Fnv1a::new();
+    h.write_u64(dataset_fp);
+    h.write_str(goal.trim());
+    // The full CDRL config via its Debug form: every reward weight and variant flag
+    // shapes the result, and a field added to CdrlConfig later is picked up
+    // automatically instead of silently aliasing cache entries.
+    h.write_str(&format!("{cdrl:?}"));
+    h.write_u64(episodes as u64);
+    h.write_u64(sample_rows as u64);
+    Fingerprint(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_agree_and_each_component_matters() {
+        let cfg = CdrlConfig::default();
+        let base = request_fingerprint(1, "goal", &cfg, 100, 200);
+        assert_eq!(base, request_fingerprint(1, "goal", &cfg, 100, 200));
+        // Whitespace-trimmed goals are the same request.
+        assert_eq!(base, request_fingerprint(1, "  goal ", &cfg, 100, 200));
+
+        assert_ne!(base, request_fingerprint(2, "goal", &cfg, 100, 200));
+        assert_ne!(base, request_fingerprint(1, "other", &cfg, 100, 200));
+        assert_ne!(base, request_fingerprint(1, "goal", &cfg, 99, 200));
+        assert_ne!(base, request_fingerprint(1, "goal", &cfg, 100, 150));
+        let mut other_cfg = CdrlConfig::default();
+        other_cfg.alpha += 1.0;
+        assert_ne!(base, request_fingerprint(1, "goal", &other_cfg, 100, 200));
+    }
+}

@@ -1,0 +1,57 @@
+//! `linx-engine` — a concurrent, cache-aware exploration service over the LINX
+//! pipeline.
+//!
+//! The paper presents LINX as an *interactive system*: a user states an analytical goal
+//! in natural language and receives an exploration notebook. Serving that interaction
+//! to many users takes more than the one-shot `Linx::explore` call — it takes a serving
+//! layer. This crate is that layer:
+//!
+//! * [`api`] — [`ExploreRequest`] / [`ExploreResponse`] with request ids,
+//!   [`Priority`] classes, and per-request [`Budget`]s;
+//! * [`pool`] — a std-only worker pool (threads + channels + a priority queue) with
+//!   graceful shutdown and per-job panic isolation;
+//! * [`cache`] — a sharded LRU result cache keyed by a stable
+//!   [`fingerprint`](crate::fingerprint) of `(dataset content, goal, config)`, with
+//!   hit/miss/eviction counters;
+//! * [`batch`] — a front-end that accepts many goals against one dataset and shares
+//!   the derivation inputs and materialized views across them; and
+//! * [`stats`] — aggregated telemetry for all of the above.
+//!
+//! The engine sits *below* the `linx` facade crate (which re-exports it as
+//! `linx::engine`) and drives the pipeline crates (`linx-nl2ldx`, `linx-cdrl`,
+//! `linx-explore`) directly. Later scaling work — sharding datasets across engines,
+//! async backends, multi-tenant quotas — plugs into this seam.
+//!
+//! # Quickstart
+//!
+//! See [`Engine`] for a runnable example; the short version:
+//!
+//! ```text
+//! let engine = Engine::new(EngineConfig::default());
+//! let ctx = engine.dataset_context(&dataset, "netflix");
+//! let response = engine.submit(&ctx, ExploreRequest::new("netflix", goal)).wait();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+pub mod pipeline;
+pub mod pool;
+pub mod stats;
+
+pub use api::{
+    Budget, EngineConfig, ExploreRequest, ExploreResponse, ExploreResult, JobError, Priority,
+    RequestId,
+};
+pub use batch::{run_batch, BatchOutcome, BatchRequest};
+pub use cache::{CacheStats, ShardedLru};
+pub use engine::{Engine, JobHandle};
+pub use fingerprint::{request_fingerprint, Fingerprint};
+pub use pipeline::DatasetContext;
+pub use pool::{PoolStats, WorkerPool};
+pub use stats::EngineStats;

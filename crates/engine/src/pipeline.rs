@@ -1,0 +1,91 @@
+//! The exploration pipeline as executed by engine workers.
+//!
+//! Mirrors `linx::Linx::explore` (derive → train → render → narrate) but is shaped for
+//! serving: derivation inputs (schema, sample) are precomputed per dataset and shared
+//! across a batch, and rendering goes through a shared [`OpMemo`] so materialized views
+//! are computed once per dataset. This crate sits *below* the `linx` facade (which
+//! re-exports it), so it drives the pipeline crates directly.
+
+use std::sync::Arc;
+
+use linx_cdrl::{CdrlConfig, CdrlTrainer};
+use linx_dataframe::{DataFrame, Schema};
+use linx_explore::{narrate_with, Notebook, OpMemo, SessionExecutor};
+use linx_nl2ldx::SpecDeriver;
+
+use crate::api::ExploreResult;
+
+/// Per-dataset context shared by every job of a batch: the inputs of specification
+/// derivation and rendering that do not depend on the goal.
+#[derive(Debug, Clone)]
+pub struct DatasetContext {
+    /// The full dataset.
+    pub dataset: DataFrame,
+    /// Stable dataset name used in prompts and titles.
+    pub dataset_id: String,
+    /// Content fingerprint of `dataset` (computed once).
+    pub dataset_fp: u64,
+    /// The schema (computed once).
+    pub schema: Schema,
+    /// The head sample used for schema/value linking (computed once).
+    pub sample: DataFrame,
+    /// How many rows `sample` was built from (requests with a smaller sample budget
+    /// re-derive their own head).
+    pub sample_rows: usize,
+    /// Shared memo of materialized op results for this dataset.
+    pub memo: Arc<OpMemo>,
+}
+
+impl DatasetContext {
+    /// Build the shared context for a dataset. One linear fingerprint scan plus one
+    /// `head` clone; everything else is borrowed.
+    pub fn new(dataset: &DataFrame, dataset_id: impl Into<String>, sample_rows: usize) -> Self {
+        let sample_rows = sample_rows.max(5);
+        DatasetContext {
+            dataset: dataset.clone(),
+            dataset_id: dataset_id.into(),
+            dataset_fp: dataset.fingerprint(),
+            schema: dataset.schema(),
+            sample: dataset.head(sample_rows),
+            sample_rows,
+            memo: Arc::new(OpMemo::new()),
+        }
+    }
+}
+
+/// Run one exploration end to end against a shared dataset context.
+///
+/// `sample_rows` is the request's effective linking-sample budget; when it matches the
+/// context's precomputed sample the shared one is used, otherwise a request-local head
+/// is taken (the budget must actually shape the derivation, not just the cache key).
+pub fn run_exploration(
+    ctx: &DatasetContext,
+    goal: &str,
+    cdrl: CdrlConfig,
+    sample_rows: usize,
+) -> ExploreResult {
+    let request_sample;
+    let sample = if sample_rows.max(5) == ctx.sample_rows {
+        &ctx.sample
+    } else {
+        request_sample = ctx.dataset.head(sample_rows.max(5));
+        &request_sample
+    };
+    let derivation = SpecDeriver::new().derive(goal, &ctx.dataset_id, &ctx.schema, Some(sample));
+    let trainer = CdrlTrainer::new(cdrl);
+    let executor = SessionExecutor::with_memo(ctx.dataset.clone(), Arc::clone(&ctx.memo));
+    // Training, rendering, and narration all execute through the shared memo: repeated
+    // op sequences — within a training run and across the batch's goals — materialize
+    // once per dataset.
+    let outcome = trainer.train_with_executor(executor.clone(), derivation.ldx.clone());
+    let title = format!("{} — {}", ctx.dataset_id, goal);
+    let notebook = Notebook::render(title, &executor, &outcome.best_tree);
+    let narrative = narrate_with(&executor, &outcome.best_tree);
+    ExploreResult {
+        ldx_canonical: derivation.ldx.canonical(),
+        notebook,
+        narrative,
+        best_structural: outcome.best_structural,
+        best_score: outcome.best_score,
+    }
+}

@@ -1,0 +1,295 @@
+//! A std-only worker pool: threads, a priority queue, graceful shutdown, and per-job
+//! panic isolation.
+//!
+//! Jobs are boxed closures ordered by ([`Priority`] descending, submission order
+//! ascending). Workers catch panics per job, so one poisoned exploration cannot take
+//! down the pool; the panic count is exposed for monitoring. Shutdown is graceful by
+//! default — already-queued jobs drain before workers exit — with an immediate variant
+//! that drops the queue.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::api::Priority;
+
+/// Error returned when submitting to a pool that is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueuedJob {
+    priority: Priority,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    /// Max-heap order: higher priority first, then earlier submission (smaller seq).
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    shutting_down: bool,
+}
+
+struct PoolShared {
+    state: Mutex<QueueState>,
+    work_available: Condvar,
+    next_seq: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// Point-in-time pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Jobs that ran to completion (including ones whose panic was caught).
+    pub completed: u64,
+    /// Jobs whose execution panicked (caught; the worker survived).
+    pub panicked: u64,
+    /// Jobs waiting in the queue.
+    pub queued: u64,
+    /// Worker threads.
+    pub workers: u64,
+}
+
+/// A fixed-size pool of worker threads draining a priority queue of jobs.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(QueueState::default()),
+            work_available: Condvar::new(),
+            next_seq: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("linx-engine-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Enqueue a job. Fails if the pool is shutting down.
+    pub fn submit(
+        &self,
+        priority: Priority,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), PoolClosed> {
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            if state.shutting_down {
+                return Err(PoolClosed);
+            }
+            state.heap.push(QueuedJob {
+                priority,
+                seq,
+                job: Box::new(job),
+            });
+        }
+        self.shared.work_available.notify_one();
+        Ok(())
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            queued: self.shared.state.lock().expect("pool lock").heap.len() as u64,
+            workers: self.workers.len() as u64,
+        }
+    }
+
+    /// Stop accepting jobs, let queued jobs drain, and join every worker.
+    pub fn shutdown(self) {
+        self.shutdown_inner(false);
+    }
+
+    /// Stop accepting jobs, drop everything still queued, and join every worker.
+    /// In-flight jobs still run to completion (threads cannot be safely interrupted).
+    pub fn shutdown_now(self) {
+        self.shutdown_inner(true);
+    }
+
+    fn shutdown_inner(mut self, drop_queue: bool) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutting_down = true;
+            if drop_queue {
+                state.heap.clear();
+            }
+        }
+        self.shared.work_available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Dropping without an explicit shutdown degrades to `shutdown_now` semantics so
+    /// the process never hangs on a forgotten pool.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutting_down = true;
+            state.heap.clear();
+        }
+        self.shared.work_available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(next) = state.heap.pop() {
+                    break next;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared
+                    .work_available
+                    .wait(state)
+                    .expect("pool condvar wait");
+            }
+        };
+        // Panic isolation: a panicking job is recorded and the worker keeps serving.
+        // (The closure owns its captures, so no shared state outlives the unwind in a
+        // partially-updated form; job authors communicate results via channels, whose
+        // disconnect the receiver observes.)
+        if catch_unwind(AssertUnwindSafe(job.job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_jobs_and_counts_completions() {
+        let pool = WorkerPool::new(4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20 {
+            let tx = tx.clone();
+            pool.submit(Priority::Normal, move || tx.send(i).unwrap())
+                .unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn priority_order_is_respected_by_a_single_worker() {
+        let pool = WorkerPool::new(1);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        // Block the only worker so subsequently queued jobs are ordered by the heap.
+        pool.submit(Priority::High, move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        for (priority, tag) in [
+            (Priority::Low, "low"),
+            (Priority::Normal, "normal-1"),
+            (Priority::High, "high"),
+            (Priority::Normal, "normal-2"),
+        ] {
+            let tx = tx.clone();
+            pool.submit(priority, move || tx.send(tag).unwrap())
+                .unwrap();
+        }
+        gate_tx.send(()).unwrap();
+        let order: Vec<&str> = rx.iter().take(4).collect();
+        assert_eq!(order, vec!["high", "normal-1", "normal-2", "low"]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        pool.submit(Priority::Normal, || panic!("boom")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Priority::Normal, move || tx.send(42).unwrap())
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        // Wait for both jobs to be accounted.
+        while pool.stats().completed < 2 {
+            std::thread::yield_now();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.panicked, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_queue_and_rejects_new_jobs() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.submit(Priority::Normal, move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                tx.send(i).unwrap();
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        drop(tx);
+        assert_eq!(rx.iter().count(), 10, "graceful shutdown drains the queue");
+    }
+}

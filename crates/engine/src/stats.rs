@@ -1,0 +1,65 @@
+//! Aggregated engine telemetry.
+
+use crate::cache::CacheStats;
+use crate::pool::PoolStats;
+
+/// A point-in-time snapshot of every engine counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests accepted by `submit`.
+    pub submitted: u64,
+    /// Requests coalesced onto an identical in-flight request (single-flight dedup).
+    pub coalesced: u64,
+    /// Requests rejected because the engine was shutting down.
+    pub rejected: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Worker-pool counters.
+    pub pool: PoolStats,
+}
+
+impl EngineStats {
+    /// Cache hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable summary for CLI output and logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "requests: {} submitted, {} coalesced, {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | pool: {} workers, {} completed, {} panicked, {} queued",
+            self.submitted,
+            self.coalesced,
+            self.rejected,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache_hit_rate() * 100.0,
+            self.pool.workers,
+            self.pool.completed,
+            self.pool.panicked,
+            self.pool.queued,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache.hits = 3;
+        s.cache.misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!(s.summary().contains("3 hits"));
+    }
+}

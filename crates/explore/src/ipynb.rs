@@ -141,10 +141,7 @@ mod tests {
         let cells = doc["cells"].as_array().unwrap();
         // Title + (caption + code) per operation.
         assert_eq!(cells.len(), 1 + 2 * nb.len());
-        let code_cells: Vec<&Json> = cells
-            .iter()
-            .filter(|c| c["cell_type"] == "code")
-            .collect();
+        let code_cells: Vec<&Json> = cells.iter().filter(|c| c["cell_type"] == "code").collect();
         assert_eq!(code_cells.len(), nb.len());
         assert_eq!(code_cells[0]["execution_count"], 1);
         assert!(code_cells[0]["source"][0]
@@ -177,12 +174,18 @@ mod tests {
         assert_eq!(summary["cell_type"], "markdown");
         // An empty narrative adds no cell.
         let empty_doc = to_ipynb(&nb, Some(&Narrative::default()));
-        assert_eq!(empty_doc["cells"].as_array().unwrap().len(), cells.len() - 1);
+        assert_eq!(
+            empty_doc["cells"].as_array().unwrap().len(),
+            cells.len() - 1
+        );
     }
 
     #[test]
     fn source_lines_round_trip_newlines() {
-        assert_eq!(source_lines("a\nb"), vec!["a\n".to_string(), "b".to_string()]);
+        assert_eq!(
+            source_lines("a\nb"),
+            vec!["a\n".to_string(), "b".to_string()]
+        );
         assert_eq!(source_lines("single"), vec!["single".to_string()]);
         assert_eq!(source_lines("trailing\n"), vec!["trailing\n".to_string()]);
         assert!(source_lines("").is_empty());

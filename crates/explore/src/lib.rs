@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ipynb;
+pub mod memo;
 pub mod narrative;
 pub mod notebook;
 pub mod op;
@@ -30,7 +31,8 @@ pub mod session;
 pub mod tree;
 
 pub use ipynb::{to_ipynb, to_ipynb_string};
-pub use narrative::{narrate, Narrative};
+pub use memo::{OpMemo, OpMemoStats};
+pub use narrative::{narrate, narrate_with, Narrative};
 pub use notebook::Notebook;
 pub use op::{OpKind, QueryOp};
 pub use reward::{ExplorationReward, RewardWeights};

@@ -63,7 +63,12 @@ impl Narrative {
 
 /// Derive a natural-language narrative for a session over a dataset.
 pub fn narrate(dataset: &DataFrame, tree: &ExplorationTree) -> Narrative {
-    let executor = SessionExecutor::new(dataset.clone());
+    narrate_with(&SessionExecutor::new(dataset.clone()), tree)
+}
+
+/// Like [`narrate`], but reusing an existing executor — and thereby its shared
+/// [`crate::OpMemo`], when it has one — instead of re-materializing every view.
+pub fn narrate_with(executor: &SessionExecutor, tree: &ExplorationTree) -> Narrative {
     let views = executor.execute_tree_lenient(tree);
     let mut bullets = Vec::new();
     bullets.extend(contrast_statements(tree, &views));
@@ -73,7 +78,7 @@ pub fn narrate(dataset: &DataFrame, tree: &ExplorationTree) -> Narrative {
         format!(
             "An exploration of {} queries over {} rows.",
             tree.num_ops(),
-            dataset.num_rows()
+            executor.dataset().num_rows()
         )
     });
     Narrative { headline, bullets }
@@ -114,7 +119,11 @@ fn subset_phrase(subset: &Option<(String, CompareOp, String)>) -> String {
 ///
 /// The share is the leading value's fraction of the aggregate total; it is only
 /// meaningful for additive aggregates (count / sum) and is reported as `None` otherwise.
-fn leading_group(view: &DataFrame, g_attr: &str, agg: AggFunc) -> Option<(String, f64, Option<f64>)> {
+fn leading_group(
+    view: &DataFrame,
+    g_attr: &str,
+    agg: AggFunc,
+) -> Option<(String, f64, Option<f64>)> {
     if view.num_rows() == 0 || !view.schema().contains(g_attr) {
         return None;
     }
@@ -147,10 +156,7 @@ fn leading_group(view: &DataFrame, g_attr: &str, agg: AggFunc) -> Option<(String
 type GroupNode = (NodeId, String, AggFunc, Option<(String, CompareOp, String)>);
 
 /// Contrast statements: pairs of group-bys on the same attribute under differing filters.
-fn contrast_statements(
-    tree: &ExplorationTree,
-    views: &HashMap<NodeId, DataFrame>,
-) -> Vec<String> {
+fn contrast_statements(tree: &ExplorationTree, views: &HashMap<NodeId, DataFrame>) -> Vec<String> {
     // Collect (node, g_attr, agg, subset) for every group-by node.
     let group_nodes: Vec<GroupNode> = tree
         .ops_in_order()
@@ -180,7 +186,9 @@ fn contrast_statements(
             if !comparable {
                 continue;
             }
-            let (Some(va), Some(vb)) = (views.get(id_a), views.get(id_b)) else { continue };
+            let (Some(va), Some(vb)) = (views.get(id_a), views.get(id_b)) else {
+                continue;
+            };
             let (Some((top_a, _, share_a)), Some((top_b, _, share_b))) = (
                 leading_group(va, attr_a, *agg_a),
                 leading_group(vb, attr_b, *agg_b),
@@ -223,15 +231,21 @@ fn share_suffix(share: Option<f64>) -> String {
 }
 
 /// Dominance statements for group-bys whose leading group holds an outsized share.
-fn dominance_statements(
-    tree: &ExplorationTree,
-    views: &HashMap<NodeId, DataFrame>,
-) -> Vec<String> {
+fn dominance_statements(tree: &ExplorationTree, views: &HashMap<NodeId, DataFrame>) -> Vec<String> {
     let mut out = Vec::new();
     for (id, op) in tree.ops_in_order() {
-        let QueryOp::GroupBy { g_attr, agg, agg_attr } = op else { continue };
+        let QueryOp::GroupBy {
+            g_attr,
+            agg,
+            agg_attr,
+        } = op
+        else {
+            continue;
+        };
         let Some(view) = views.get(&id) else { continue };
-        let Some((top, value, share)) = leading_group(view, g_attr, *agg) else { continue };
+        let Some((top, value, share)) = leading_group(view, g_attr, *agg) else {
+            continue;
+        };
         let phrase = subset_phrase(&subset_of(tree, id));
         match share {
             Some(s) if s >= DOMINANCE_THRESHOLD && view.num_rows() >= 2 => out.push(format!(
@@ -250,16 +264,17 @@ fn dominance_statements(
 }
 
 /// Coverage statements for filters isolating notably small subsets.
-fn coverage_statements(
-    tree: &ExplorationTree,
-    views: &HashMap<NodeId, DataFrame>,
-) -> Vec<String> {
+fn coverage_statements(tree: &ExplorationTree, views: &HashMap<NodeId, DataFrame>) -> Vec<String> {
     let mut out = Vec::new();
     for (id, op) in tree.ops_in_order() {
-        let QueryOp::Filter { attr, op, term } = op else { continue };
+        let QueryOp::Filter { attr, op, term } = op else {
+            continue;
+        };
         let Some(view) = views.get(&id) else { continue };
         let parent = tree.parent(id).unwrap_or(NodeId::ROOT);
-        let Some(parent_view) = views.get(&parent) else { continue };
+        let Some(parent_view) = views.get(&parent) else {
+            continue;
+        };
         if parent_view.num_rows() == 0 {
             continue;
         }
@@ -288,9 +303,17 @@ mod tests {
     fn dataset() -> DataFrame {
         let mut rows = Vec::new();
         for _ in 0..9 {
-            rows.push(vec![Value::str("India"), Value::str("Movie"), Value::Int(100)]);
+            rows.push(vec![
+                Value::str("India"),
+                Value::str("Movie"),
+                Value::Int(100),
+            ]);
         }
-        rows.push(vec![Value::str("India"), Value::str("TV Show"), Value::Int(2)]);
+        rows.push(vec![
+            Value::str("India"),
+            Value::str("TV Show"),
+            Value::Int(2),
+        ]);
         for _ in 0..12 {
             rows.push(vec![Value::str("US"), Value::str("Movie"), Value::Int(110)]);
         }
@@ -336,10 +359,14 @@ mod tests {
             QueryOp::group_by("country", AggFunc::Count, "duration"),
         );
         let narrative = narrate(&dataset(), &t);
-        assert!(narrative
-            .bullets
-            .iter()
-            .any(|b| b.contains("US accounts for 67%")), "{:?}", narrative.bullets);
+        assert!(
+            narrative
+                .bullets
+                .iter()
+                .any(|b| b.contains("US accounts for 67%")),
+            "{:?}",
+            narrative.bullets
+        );
     }
 
     #[test]
@@ -350,10 +377,14 @@ mod tests {
             QueryOp::group_by("type", AggFunc::Avg, "duration"),
         );
         let narrative = narrate(&dataset(), &t);
-        assert!(narrative
-            .bullets
-            .iter()
-            .any(|b| b.contains("highest avg(duration)")), "{:?}", narrative.bullets);
+        assert!(
+            narrative
+                .bullets
+                .iter()
+                .any(|b| b.contains("highest avg(duration)")),
+            "{:?}",
+            narrative.bullets
+        );
         assert!(!narrative.bullets.iter().any(|b| b.contains('%')));
     }
 
@@ -375,10 +406,14 @@ mod tests {
             QueryOp::filter("type", CompareOp::Eq, Value::str("TV Show")),
         );
         let narrative = narrate(&data, &t);
-        assert!(narrative
-            .bullets
-            .iter()
-            .any(|b| b.starts_with("Only") && b.contains("type eq TV Show")), "{:?}", narrative.bullets);
+        assert!(
+            narrative
+                .bullets
+                .iter()
+                .any(|b| b.starts_with("Only") && b.contains("type eq TV Show")),
+            "{:?}",
+            narrative.bullets
+        );
     }
 
     #[test]

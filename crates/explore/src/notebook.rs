@@ -45,7 +45,11 @@ impl Notebook {
     ///
     /// Nodes whose execution failed are rendered with an "invalid operation" preview
     /// rather than dropped, so a notebook always reflects the full session.
-    pub fn render(title: impl Into<String>, executor: &SessionExecutor, tree: &ExplorationTree) -> Notebook {
+    pub fn render(
+        title: impl Into<String>,
+        executor: &SessionExecutor,
+        tree: &ExplorationTree,
+    ) -> Notebook {
         let views = executor.execute_tree_lenient(tree);
         let mut cells = Vec::new();
         let mut var_names: std::collections::HashMap<NodeId, String> =
@@ -221,7 +225,9 @@ mod tests {
         assert_eq!(nb.cells[0].result_rows, 2);
         assert!(nb.cells[0].code.contains("df[df['country'] == 'India']"));
         assert!(nb.cells[1].code.contains("groupby('type')"));
-        assert!(nb.cells[1].caption.contains("Break down count(duration) by type"));
+        assert!(nb.cells[1]
+            .caption
+            .contains("Break down count(duration) by type"));
     }
 
     #[test]

@@ -71,11 +71,7 @@ impl QueryOp {
     }
 
     /// Construct a group-and-aggregate operation.
-    pub fn group_by(
-        g_attr: impl Into<String>,
-        agg: AggFunc,
-        agg_attr: impl Into<String>,
-    ) -> Self {
+    pub fn group_by(g_attr: impl Into<String>, agg: AggFunc, agg_attr: impl Into<String>) -> Self {
         QueryOp::GroupBy {
             g_attr: g_attr.into(),
             agg,

@@ -123,7 +123,9 @@ impl ExplorationReward {
         views: &std::collections::HashMap<NodeId, DataFrame>,
         node: NodeId,
     ) -> f64 {
-        let Some(view) = views.get(&node) else { return 0.0 };
+        let Some(view) = views.get(&node) else {
+            return 0.0;
+        };
         let this_hist = primary_histogram(tree, view, node);
         let mut min_dist: Option<f64> = None;
         for id in tree.pre_order() {
@@ -133,7 +135,9 @@ impl ExplorationReward {
             if id.index() >= node.index() {
                 continue;
             }
-            let Some(other) = views.get(&id) else { continue };
+            let Some(other) = views.get(&id) else {
+                continue;
+            };
             let other_hist = primary_histogram(tree, other, id);
             let d = this_hist.total_variation(&other_hist);
             min_dist = Some(min_dist.map_or(d, |m: f64| m.min(d)));
@@ -190,7 +194,11 @@ mod tests {
         for i in 0..40 {
             let country = if i % 4 == 0 { "B" } else { "A" };
             let typ = if country == "A" {
-                if i % 10 == 0 { "TV Show" } else { "Movie" }
+                if i % 10 == 0 {
+                    "TV Show"
+                } else {
+                    "Movie"
+                }
             } else if i % 2 == 0 {
                 "Movie"
             } else {
@@ -221,7 +229,10 @@ mod tests {
         let out_all = exec.execute_op(&df, &op_all).unwrap();
         let score_all = reward.interestingness(&op_all, &df, &out_all);
 
-        assert!(score_b > score_all, "divergent subset {score_b} vs trivial {score_all}");
+        assert!(
+            score_b > score_all,
+            "divergent subset {score_b} vs trivial {score_all}"
+        );
     }
 
     #[test]
@@ -240,7 +251,9 @@ mod tests {
         let df = dataset();
         let reward = ExplorationReward::default();
         let op = QueryOp::filter("country", CompareOp::Eq, Value::str("ZZZ"));
-        let out = SessionExecutor::new(df.clone()).execute_op(&df, &op).unwrap();
+        let out = SessionExecutor::new(df.clone())
+            .execute_op(&df, &op)
+            .unwrap();
         assert_eq!(reward.interestingness(&op, &df, &out), 0.0);
     }
 
@@ -252,14 +265,26 @@ mod tests {
 
         // Session with two identical filters vs. two different filters.
         let mut same = ExplorationTree::new();
-        same.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("A")));
-        same.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("A")));
+        same.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("A")),
+        );
+        same.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("A")),
+        );
         let views_same = exec.execute_tree_lenient(&same);
         let d_same = reward.diversity(&same, &views_same, NodeId(2));
 
         let mut diff = ExplorationTree::new();
-        diff.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("A")));
-        diff.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("B")));
+        diff.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("A")),
+        );
+        diff.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("B")),
+        );
         let views_diff = exec.execute_tree_lenient(&diff);
         let d_diff = reward.diversity(&diff, &views_diff, NodeId(2));
 
@@ -275,7 +300,10 @@ mod tests {
         assert_eq!(reward.session_score(&exec, &ExplorationTree::new()), 0.0);
 
         let mut tree = ExplorationTree::new();
-        let f = tree.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("B")));
+        let f = tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("B")),
+        );
         tree.add_child(f, QueryOp::group_by("type", AggFunc::Count, "id"));
         let score = reward.session_score(&exec, &tree);
         assert!(score > 0.0);

@@ -7,27 +7,106 @@
 //! once.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use linx_dataframe::{DataFrame, DataFrameError, Result};
 
+use crate::memo::OpMemo;
 use crate::op::QueryOp;
 use crate::tree::{ExplorationTree, NodeId};
 
 /// Executes exploration trees against a dataset, caching node result views.
+///
+/// With [`SessionExecutor::with_memo`], materialized views are additionally shared
+/// through an [`OpMemo`] keyed by the operation path from the root, so re-executions of
+/// the same session (notebook rendering, narratives, reward scoring) and sessions with
+/// common prefixes (batched goals over one dataset) compute each distinct view once.
 #[derive(Debug, Clone)]
 pub struct SessionExecutor {
     dataset: DataFrame,
+    memo: Option<Arc<OpMemo>>,
 }
 
 impl SessionExecutor {
     /// Create an executor over a dataset (the tree's root view).
     pub fn new(dataset: DataFrame) -> Self {
-        SessionExecutor { dataset }
+        SessionExecutor {
+            dataset,
+            memo: None,
+        }
+    }
+
+    /// Create an executor whose materialized views are shared through `memo`.
+    ///
+    /// The memo keys views by operation path relative to the root dataset, so a memo
+    /// must only ever be shared between executors over the same dataset.
+    pub fn with_memo(dataset: DataFrame, memo: Arc<OpMemo>) -> Self {
+        SessionExecutor {
+            dataset,
+            memo: Some(memo),
+        }
     }
 
     /// The root dataset.
     pub fn dataset(&self) -> &DataFrame {
         &self.dataset
+    }
+
+    /// The canonical memo key of a child node: the parent's path plus this operation.
+    /// The root's path is the empty string.
+    ///
+    /// Filter terms use [`linx_dataframe::Value::group_key`] rather than `Display`, so
+    /// terms of different types that render identically (`Int(1)` vs `Str("1")`) do not
+    /// collide in the memo. Every variable segment is length-prefixed: attribute names
+    /// and filter terms come from dataset content (arbitrary with `--csv`), and naive
+    /// interpolation would let a crafted cell value forge another op sequence's path
+    /// and poison the shared memo. Exposed so incremental executors (the CDRL
+    /// environment) can maintain per-node paths and share the same memo namespace.
+    pub fn child_path(parent_path: &str, op: &QueryOp) -> String {
+        fn push_field(out: &mut String, field: &str) {
+            out.push('|');
+            out.push_str(&field.len().to_string());
+            out.push(':');
+            out.push_str(field);
+        }
+        let mut path = parent_path.to_string();
+        match op {
+            QueryOp::Filter { attr, op, term } => {
+                path.push_str("|F");
+                push_field(&mut path, attr);
+                push_field(&mut path, op.token());
+                push_field(&mut path, &term.group_key());
+            }
+            QueryOp::GroupBy {
+                g_attr,
+                agg,
+                agg_attr,
+            } => {
+                path.push_str("|G");
+                push_field(&mut path, g_attr);
+                push_field(&mut path, agg.token());
+                push_field(&mut path, agg_attr);
+            }
+        }
+        path
+    }
+
+    /// Execute `op` on `input`, going through the shared memo when one is attached and
+    /// the node's operation path is known.
+    ///
+    /// `path` must be the [`Self::child_path`] of `input`'s own path — i.e. `input`
+    /// must be the view the path's prefix denotes over this executor's dataset;
+    /// handing in a mismatched pair poisons the memo for everyone sharing it.
+    pub fn execute_op_at(
+        &self,
+        path: Option<&str>,
+        input: &DataFrame,
+        op: &QueryOp,
+    ) -> Result<DataFrame> {
+        match (path, &self.memo) {
+            (Some(path), Some(memo)) => memo.get_or_compute(path, || self.execute_op(input, op)),
+            _ => self.execute_op(input, op),
+        }
     }
 
     /// Execute a single operation against an input view.
@@ -52,7 +131,9 @@ impl SessionExecutor {
     /// group-by) propagate the error.
     pub fn execute_tree(&self, tree: &ExplorationTree) -> Result<HashMap<NodeId, DataFrame>> {
         let mut views: HashMap<NodeId, DataFrame> = HashMap::new();
+        let mut paths: HashMap<NodeId, String> = HashMap::new();
         views.insert(NodeId::ROOT, self.dataset.clone());
+        paths.insert(NodeId::ROOT, String::new());
         for id in tree.pre_order() {
             if id == NodeId::ROOT {
                 continue;
@@ -67,7 +148,9 @@ impl SessionExecutor {
             let op = tree
                 .op(id)
                 .ok_or_else(|| DataFrameError::Invalid("non-root node without op".into()))?;
-            let view = self.execute_op(&parent_view, op)?;
+            let path = Self::child_path(&paths[&parent], op);
+            let view = self.execute_op_at(Some(&path), &parent_view, op)?;
+            paths.insert(id, path);
             views.insert(id, view);
         }
         Ok(views)
@@ -78,19 +161,25 @@ impl SessionExecutor {
     /// where an invalid operation should score poorly rather than abort the episode.
     pub fn execute_tree_lenient(&self, tree: &ExplorationTree) -> HashMap<NodeId, DataFrame> {
         let mut views: HashMap<NodeId, DataFrame> = HashMap::new();
+        let mut paths: HashMap<NodeId, String> = HashMap::new();
         views.insert(NodeId::ROOT, self.dataset.clone());
+        paths.insert(NodeId::ROOT, String::new());
         for id in tree.pre_order() {
             if id == NodeId::ROOT {
                 continue;
             }
-            let Some(parent) = tree.parent(id) else { continue };
+            let Some(parent) = tree.parent(id) else {
+                continue;
+            };
             let Some(parent_view) = views.get(&parent).cloned() else {
                 continue;
             };
             let Some(op) = tree.op(id) else { continue };
-            if let Ok(view) = self.execute_op(&parent_view, op) {
+            let path = Self::child_path(&paths[&parent], op);
+            if let Ok(view) = self.execute_op_at(Some(&path), &parent_view, op) {
                 views.insert(id, view);
             }
+            paths.insert(id, path);
         }
         views
     }
@@ -126,7 +215,11 @@ mod tests {
     #[test]
     fn execute_tree_materializes_all_nodes() {
         let mut tree = ExplorationTree::new();
-        let f = tree.push_op(QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        let f = tree.push_op(QueryOp::filter(
+            "country",
+            CompareOp::Eq,
+            Value::str("India"),
+        ));
         let g = tree.push_op(QueryOp::group_by("type", AggFunc::Count, "duration"));
         let exec = SessionExecutor::new(dataset());
         let views = exec.execute_tree(&tree).unwrap();
@@ -141,7 +234,11 @@ mod tests {
         // Filtering the result of a group-by by the aggregate column is legal.
         let mut tree = ExplorationTree::new();
         tree.push_op(QueryOp::group_by("country", AggFunc::Count, "duration"));
-        tree.push_op(QueryOp::filter("count(duration)", CompareOp::Ge, Value::Int(3)));
+        tree.push_op(QueryOp::filter(
+            "count(duration)",
+            CompareOp::Ge,
+            Value::Int(3),
+        ));
         let exec = SessionExecutor::new(dataset());
         let views = exec.execute_tree(&tree).unwrap();
         assert_eq!(views[&NodeId(2)].num_rows(), 1); // only India has >= 3 titles
@@ -167,15 +264,47 @@ mod tests {
         let views = exec.execute_tree_lenient(&tree);
         assert!(views.contains_key(&NodeId(1)));
         assert!(!views.contains_key(&NodeId(2)));
-        assert!(!views.contains_key(&NodeId(3)), "descendant of failed node skipped");
+        assert!(
+            !views.contains_key(&NodeId(3)),
+            "descendant of failed node skipped"
+        );
+    }
+
+    #[test]
+    fn memo_paths_resist_crafted_dataset_values() {
+        // A filter term that *renders* like the tail of a filter+group-by chain must
+        // not produce that chain's memo path: terms come from dataset content.
+        let crafted = QueryOp::filter("c", CompareOp::Eq, Value::str("1]|G|1:g|5:count|1:a"));
+        let plain_filter = QueryOp::filter("c", CompareOp::Eq, Value::str("1]"));
+        let group = QueryOp::group_by("g", AggFunc::Count, "a");
+        let crafted_path = SessionExecutor::child_path("", &crafted);
+        let chain_path =
+            SessionExecutor::child_path(&SessionExecutor::child_path("", &plain_filter), &group);
+        assert_ne!(crafted_path, chain_path);
+
+        // Identical ops still agree, and term types are distinguished.
+        assert_eq!(
+            SessionExecutor::child_path("", &group),
+            SessionExecutor::child_path("", &group)
+        );
+        assert_ne!(
+            SessionExecutor::child_path("", &QueryOp::filter("c", CompareOp::Eq, Value::Int(1))),
+            SessionExecutor::child_path("", &QueryOp::filter("c", CompareOp::Eq, Value::str("1")))
+        );
     }
 
     #[test]
     fn op_validity_checks() {
         let exec = SessionExecutor::new(dataset());
         let df = dataset();
-        assert!(exec.op_is_valid(&df, &QueryOp::filter("country", CompareOp::Eq, Value::str("x"))));
-        assert!(!exec.op_is_valid(&df, &QueryOp::filter("bogus", CompareOp::Eq, Value::str("x"))));
+        assert!(exec.op_is_valid(
+            &df,
+            &QueryOp::filter("country", CompareOp::Eq, Value::str("x"))
+        ));
+        assert!(!exec.op_is_valid(
+            &df,
+            &QueryOp::filter("bogus", CompareOp::Eq, Value::str("x"))
+        ));
         assert!(exec.op_is_valid(&df, &QueryOp::group_by("type", AggFunc::Avg, "duration")));
         assert!(!exec.op_is_valid(&df, &QueryOp::group_by("type", AggFunc::Sum, "country")));
     }

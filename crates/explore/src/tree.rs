@@ -254,10 +254,16 @@ mod tests {
         // The running-example tree (Fig. 1d): two country filters off the root, each
         // followed by two group-bys.
         let mut t = ExplorationTree::new();
-        let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        let f1 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
         t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
         t.add_child(f1, QueryOp::group_by("type", AggFunc::Count, "show_id"));
-        let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+        let f2 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
+        );
         t.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
         t.add_child(f2, QueryOp::group_by("type", AggFunc::Count, "show_id"));
         t

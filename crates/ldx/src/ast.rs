@@ -398,7 +398,9 @@ impl Ldx {
                 if hops > self.specs.len() + 1 {
                     return Err(format!("cycle in structural declarations involving {name}"));
                 }
-                cur = self.declared_parent(c).or_else(|| self.declared_ancestor(c));
+                cur = self
+                    .declared_parent(c)
+                    .or_else(|| self.declared_ancestor(c));
             }
         }
         Ok(())

@@ -33,11 +33,12 @@ impl LdxBuilder {
     /// Declare `child` as a named child of `parent` with the given LIKE pattern
     /// (pattern text in the bracketed form, e.g. `"[F,country,eq,(?<X>.*)]"`).
     pub fn child_of(mut self, parent: &str, child: &str, pattern: &str) -> Self {
-        let parent_name = if parent.eq_ignore_ascii_case("ROOT") || parent.eq_ignore_ascii_case("BEGIN") {
-            ROOT_NAME
-        } else {
-            parent
-        };
+        let parent_name =
+            if parent.eq_ignore_ascii_case("ROOT") || parent.eq_ignore_ascii_case("BEGIN") {
+                ROOT_NAME
+            } else {
+                parent
+            };
         {
             let p = self.spec_mut(parent_name);
             let cs = p.children.get_or_insert_with(ChildrenSpec::default);
@@ -54,11 +55,12 @@ impl LdxBuilder {
 
     /// Declare `descendant` as a named descendant of `ancestor` with the given pattern.
     pub fn descendant_of(mut self, ancestor: &str, descendant: &str, pattern: &str) -> Self {
-        let anc_name = if ancestor.eq_ignore_ascii_case("ROOT") || ancestor.eq_ignore_ascii_case("BEGIN") {
-            ROOT_NAME
-        } else {
-            ancestor
-        };
+        let anc_name =
+            if ancestor.eq_ignore_ascii_case("ROOT") || ancestor.eq_ignore_ascii_case("BEGIN") {
+                ROOT_NAME
+            } else {
+                ancestor
+            };
         {
             let a = self.spec_mut(anc_name);
             if !a.descendants.iter().any(|d| d == descendant) {
@@ -132,7 +134,16 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(ldx.declared_ancestor("A1"), Some("ROOT"));
-        assert_eq!(ldx.spec("A1").unwrap().children.as_ref().unwrap().named.len(), 2);
+        assert_eq!(
+            ldx.spec("A1")
+                .unwrap()
+                .children
+                .as_ref()
+                .unwrap()
+                .named
+                .len(),
+            2
+        );
         assert_eq!(ldx.min_operations(), 4);
     }
 

@@ -157,8 +157,7 @@ fn split_constraints(text: &str) -> Vec<(String, String)> {
         while let Some(pos) = upper[start..].find(kw) {
             let abs = start + pos;
             // keyword must be at a word boundary
-            let before_ok = abs == 0
-                || !upper.as_bytes()[abs - 1].is_ascii_alphanumeric();
+            let before_ok = abs == 0 || !upper.as_bytes()[abs - 1].is_ascii_alphanumeric();
             let after = abs + kw.len();
             let after_ok = after >= upper.len() || !upper.as_bytes()[after].is_ascii_alphanumeric();
             if before_ok && after_ok {
@@ -170,10 +169,7 @@ fn split_constraints(text: &str) -> Vec<(String, String)> {
     positions.sort_by_key(|(p, _)| *p);
     for (i, (pos, kw)) in positions.iter().enumerate() {
         let body_start = pos + kw.len();
-        let body_end = positions
-            .get(i + 1)
-            .map(|(p, _)| *p)
-            .unwrap_or(text.len());
+        let body_end = positions.get(i + 1).map(|(p, _)| *p).unwrap_or(text.len());
         out.push((kw.to_string(), body_start, body_end));
     }
     out.into_iter()
@@ -196,13 +192,12 @@ fn split_constraints(text: &str) -> Vec<(String, String)> {
 /// Parse a node list `{A, B, +}` or `<A,B>`.
 fn parse_node_list(text: &str) -> Result<Vec<String>, String> {
     let t = text.trim();
-    let inner = if (t.starts_with('{') && t.ends_with('}'))
-        || (t.starts_with('<') && t.ends_with('>'))
-    {
-        &t[1..t.len() - 1]
-    } else {
-        t
-    };
+    let inner =
+        if (t.starts_with('{') && t.ends_with('}')) || (t.starts_with('<') && t.ends_with('>')) {
+            &t[1..t.len() - 1]
+        } else {
+            t
+        };
     let items: Vec<String> = inner
         .split(',')
         .map(|s| s.trim().to_string())

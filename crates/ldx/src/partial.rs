@@ -135,8 +135,10 @@ mod tests {
         let ldx = fig1c_struct();
         let tree = ExplorationTree::new();
         assert!(can_complete_structurally(&ldx, &tree, NodeId::ROOT, 4));
-        assert!(!can_complete_structurally(&ldx, &tree, NodeId::ROOT, 3),
-            "spec needs 4 operations; 3 remaining steps cannot complete it");
+        assert!(
+            !can_complete_structurally(&ldx, &tree, NodeId::ROOT, 3),
+            "spec needs 4 operations; 3 remaining steps cannot complete it"
+        );
     }
 
     #[test]
@@ -158,7 +160,10 @@ mod tests {
         // both filters and their group-by children *and* the stray group-by is harmless,
         // but only 3 more nodes cannot give ROOT two filter children each with a G child.
         let mut tree = ExplorationTree::new();
-        tree.add_child(NodeId::ROOT, QueryOp::group_by("type", AggFunc::Count, "id"));
+        tree.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("type", AggFunc::Count, "id"),
+        );
         assert!(!can_complete_structurally(&ldx, &tree, NodeId(1), 3));
         assert!(can_complete_structurally(&ldx, &tree, NodeId(1), 4));
     }

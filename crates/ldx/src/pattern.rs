@@ -173,7 +173,10 @@ mod tests {
     fn parse_wildcards_literals_and_alternations() {
         assert_eq!(TokenPattern::parse(".*"), TokenPattern::Any);
         assert_eq!(TokenPattern::parse("*"), TokenPattern::Any);
-        assert_eq!(TokenPattern::parse("'country'"), TokenPattern::lit("country"));
+        assert_eq!(
+            TokenPattern::parse("'country'"),
+            TokenPattern::lit("country")
+        );
         assert_eq!(TokenPattern::parse("eq"), TokenPattern::lit("eq"));
         assert_eq!(
             TokenPattern::parse("SUM|AVG"),
@@ -193,13 +196,18 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(TokenPattern::parse("<COL>"), TokenPattern::capture_any("COL"));
+        assert_eq!(
+            TokenPattern::parse("<COL>"),
+            TokenPattern::capture_any("COL")
+        );
     }
 
     #[test]
     fn literal_and_alt_matching_is_case_insensitive() {
         let b = Bindings::new();
-        assert!(TokenPattern::lit("country").matches("Country", &b).is_some());
+        assert!(TokenPattern::lit("country")
+            .matches("Country", &b)
+            .is_some());
         assert!(TokenPattern::lit("country").matches("rating", &b).is_none());
         let alt = TokenPattern::Alt(vec!["sum".into(), "avg".into()]);
         assert!(alt.matches("AVG", &b).is_some());
@@ -230,7 +238,10 @@ mod tests {
         let mut bound = Bindings::new();
         bound.insert("AGG".to_string(), "sum".to_string());
         assert!(p.matches("sum", &bound).is_some());
-        assert!(p.matches("avg", &bound).is_none(), "bound value wins over alternation");
+        assert!(
+            p.matches("avg", &bound).is_none(),
+            "bound value wins over alternation"
+        );
     }
 
     #[test]

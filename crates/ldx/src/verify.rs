@@ -336,7 +336,9 @@ impl VerifyEngine {
         let mut total = 0usize;
         for (name, pattern) in opr {
             total += pattern.num_constraining_params();
-            let Some(&idx) = assignment.nodes.get(name) else { continue };
+            let Some(&idx) = assignment.nodes.get(name) else {
+                continue;
+            };
             let Some(op) = tree
                 .pre_order()
                 .into_iter()
@@ -517,12 +519,18 @@ mod tests {
             NodeId::ROOT,
             QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
         );
-        t.add_child(NodeId::ROOT, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("rating", AggFunc::Count, "show_id"),
+        );
         t.add_child(
             NodeId::ROOT,
             QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
         );
-        t.add_child(NodeId::ROOT, QueryOp::group_by("rating", AggFunc::Count, "show_id"));
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("rating", AggFunc::Count, "show_id"),
+        );
         assert!(!engine.verify(&t));
         assert!(!engine.verify_structural(&t));
         assert_eq!(engine.best_operational_score(&t), 0.0);
@@ -533,24 +541,40 @@ mod tests {
         let engine = VerifyEngine::new(fig1c_ldx());
         let mut t = compliant_tree();
         // An extra exploratory group-by off the root is fine.
-        t.add_child(NodeId::ROOT, QueryOp::group_by("type", AggFunc::Count, "show_id"));
+        t.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("type", AggFunc::Count, "show_id"),
+        );
         assert!(engine.verify(&t));
     }
 
     #[test]
     fn hello_world_same_attribute_constraint() {
         // Example 4.1: group-by and filter must use the same attribute.
-        let ldx = parse_ldx("ROOT CHILDREN <A,B>\nA LIKE [G,(?<X>.*),.*]\nB LIKE [F,(?<X>.*),.*]").unwrap();
+        let ldx = parse_ldx("ROOT CHILDREN <A,B>\nA LIKE [G,(?<X>.*),.*]\nB LIKE [F,(?<X>.*),.*]")
+            .unwrap();
         let engine = VerifyEngine::new(ldx);
 
         let mut ok = ExplorationTree::new();
-        ok.add_child(NodeId::ROOT, QueryOp::group_by("country", AggFunc::Count, "id"));
-        ok.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("US")));
+        ok.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("country", AggFunc::Count, "id"),
+        );
+        ok.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("US")),
+        );
         assert!(engine.verify(&ok));
 
         let mut bad = ExplorationTree::new();
-        bad.add_child(NodeId::ROOT, QueryOp::group_by("country", AggFunc::Count, "id"));
-        bad.add_child(NodeId::ROOT, QueryOp::filter("rating", CompareOp::Eq, Value::str("R")));
+        bad.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by("country", AggFunc::Count, "id"),
+        );
+        bad.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("rating", CompareOp::Eq, Value::str("R")),
+        );
         assert!(!engine.verify(&bad));
     }
 
@@ -567,7 +591,10 @@ mod tests {
             QueryOp::filter("origin_airport", CompareOp::Neq, Value::str("BOS")),
         );
         t.add_child(f, QueryOp::group_by("month", AggFunc::Count, "flight_id"));
-        assert!(engine.verify(&t), "group-by is a grandchild, DESCENDANTS should match");
+        assert!(
+            engine.verify(&t),
+            "group-by is a grandchild, DESCENDANTS should match"
+        );
 
         // With CHILDREN instead, the same tree fails.
         let ldx_children = LdxBuilder::new()
@@ -582,8 +609,14 @@ mod tests {
         let ldx = parse_ldx("ROOT CHILDREN {A,+}\nA LIKE [F,.*]").unwrap();
         let engine = VerifyEngine::new(ldx);
         let mut one = ExplorationTree::new();
-        one.add_child(NodeId::ROOT, QueryOp::filter("x", CompareOp::Eq, Value::Int(1)));
-        assert!(!engine.verify(&one), "needs at least one more child besides A");
+        one.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("x", CompareOp::Eq, Value::Int(1)),
+        );
+        assert!(
+            !engine.verify(&one),
+            "needs at least one more child besides A"
+        );
         let mut two = one.clone();
         two.add_child(NodeId::ROOT, QueryOp::group_by("y", AggFunc::Count, "x"));
         assert!(engine.verify(&two));

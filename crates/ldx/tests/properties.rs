@@ -147,13 +147,25 @@ fn continuity_variable_enforced_by_verification() {
 
     // Same term on both sides: compliant.
     let mut ok = ExplorationTree::new();
-    ok.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
-    ok.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+    ok.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+    );
+    ok.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
+    );
     assert!(engine.verify(&ok));
 
     // Different terms: violates the continuity constraint.
     let mut bad = ExplorationTree::new();
-    bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
-    bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("US")));
+    bad.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+    );
+    bad.add_child(
+        NodeId::ROOT,
+        QueryOp::filter("country", CompareOp::Neq, Value::str("US")),
+    );
     assert!(!engine.verify(&bad));
 }

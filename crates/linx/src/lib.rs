@@ -42,6 +42,14 @@ use linx_explore::{narrate, Narrative, Notebook, SessionExecutor};
 use linx_ldx::Ldx;
 use linx_nl2ldx::{DerivationResult, SpecDeriver};
 
+/// The concurrent, cache-aware exploration service built on this pipeline.
+///
+/// Serving-layer entry points ([`engine::Engine`], [`engine::run_batch`]) live in the
+/// `linx-engine` crate and are re-exported here so `linx` remains the single dependency
+/// an application needs.
+pub use linx_engine as engine;
+pub use linx_engine::{Engine, EngineConfig, ExploreRequest, ExploreResponse};
+
 /// Configuration of the end-to-end system.
 #[derive(Debug, Clone, Default)]
 pub struct LinxConfig {
@@ -133,8 +141,7 @@ impl Linx {
     pub fn explore(&self, dataset: &DataFrame, dataset_name: &str, goal: &str) -> LinxOutcome {
         let derivation = self.derive_specs(dataset, dataset_name, goal);
         let title = format!("{dataset_name} — {goal}");
-        let (training, notebook) =
-            self.explore_with_ldx(dataset, derivation.ldx.clone(), &title);
+        let (training, notebook) = self.explore_with_ldx(dataset, derivation.ldx.clone(), &title);
         let narrative = narrate(dataset, &training.best_tree);
         LinxOutcome {
             derivation,

@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        let other = parse_ldx("ROOT CHILDREN {A}\nA LIKE [F,month,ge,6] and CHILDREN {B}\nB LIKE [G,.*]").unwrap();
+        let other =
+            parse_ldx("ROOT CHILDREN {A}\nA LIKE [F,month,ge,6] and CHILDREN {B}\nB LIKE [G,.*]")
+                .unwrap();
         let ab = lev2_similarity(&gold(), &other);
         let ba = lev2_similarity(&other, &gold());
         assert!((ab - ba).abs() < 1e-9);

@@ -155,10 +155,7 @@ pub fn zhang_shasha(t1: &LabeledTree, t2: &LabeledTree) -> f64 {
                     let di = li + x - 1;
                     let dj = lj + y - 1;
                     if lml1[di] == li && lml2[dj] == lj {
-                        let relabel = label_distance(
-                            t1.label(post1[di]),
-                            t2.label(post2[dj]),
-                        );
+                        let relabel = label_distance(t1.label(post1[di]), t2.label(post2[dj]));
                         fd[x][y] = (fd[x - 1][y] + 1.0)
                             .min(fd[x][y - 1] + 1.0)
                             .min(fd[x - 1][y - 1] + relabel);
@@ -267,8 +264,20 @@ mod tests {
 
     #[test]
     fn label_distance_counts_component_differences() {
-        let a = vec!["F".into(), "country".into(), "eq".into(), "val1".into(), "child".into()];
-        let b = vec!["F".into(), "country".into(), "neq".into(), "val1".into(), "child".into()];
+        let a = vec![
+            "F".into(),
+            "country".into(),
+            "eq".into(),
+            "val1".into(),
+            "child".into(),
+        ];
+        let b = vec![
+            "F".into(),
+            "country".into(),
+            "neq".into(),
+            "val1".into(),
+            "child".into(),
+        ];
         assert!((label_distance(&a, &b) - 0.2).abs() < 1e-9);
         assert_eq!(label_distance(&a, &a), 0.0);
         assert_eq!(label_distance(&[], &[]), 0.0);

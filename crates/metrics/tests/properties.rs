@@ -3,8 +3,8 @@
 
 use linx_ldx::parse_ldx;
 use linx_metrics::{
-    lev2_similarity, levenshtein, normalized_levenshtein, xted_similarity, zhang_shasha,
-    ldx_minimal_tree,
+    ldx_minimal_tree, lev2_similarity, levenshtein, normalized_levenshtein, xted_similarity,
+    zhang_shasha,
 };
 use proptest::prelude::*;
 

@@ -94,10 +94,22 @@ impl SimulatedLlm {
     /// The four model variants of Table 2, in row order.
     pub fn table2_variants() -> Vec<SimulatedLlm> {
         vec![
-            SimulatedLlm { tier: ModelTier::ChatGpt, chained: false },
-            SimulatedLlm { tier: ModelTier::ChatGpt, chained: true },
-            SimulatedLlm { tier: ModelTier::Gpt4, chained: false },
-            SimulatedLlm { tier: ModelTier::Gpt4, chained: true },
+            SimulatedLlm {
+                tier: ModelTier::ChatGpt,
+                chained: false,
+            },
+            SimulatedLlm {
+                tier: ModelTier::ChatGpt,
+                chained: true,
+            },
+            SimulatedLlm {
+                tier: ModelTier::Gpt4,
+                chained: false,
+            },
+            SimulatedLlm {
+                tier: ModelTier::Gpt4,
+                chained: true,
+            },
         ]
     }
 
@@ -189,7 +201,10 @@ fn drop_random_leaf(ldx: &mut Ldx, rng: &mut StdRng) {
         .iter()
         .filter(|s| {
             s.name != "ROOT"
-                && s.children.as_ref().map(|c| c.named.is_empty() && c.extra == 0).unwrap_or(true)
+                && s.children
+                    .as_ref()
+                    .map(|c| c.named.is_empty() && c.extra == 0)
+                    .unwrap_or(true)
         })
         .map(|s| s.name.clone())
         .collect();
@@ -337,16 +352,30 @@ mod tests {
         }
         // GPT-4 is uniformly better than ChatGPT.
         for scenario in Scenario::ALL {
-            let chat = SimulatedLlm { tier: ModelTier::ChatGpt, chained: false }.error_rates(scenario);
-            let gpt4 = SimulatedLlm { tier: ModelTier::Gpt4, chained: false }.error_rates(scenario);
+            let chat = SimulatedLlm {
+                tier: ModelTier::ChatGpt,
+                chained: false,
+            }
+            .error_rates(scenario);
+            let gpt4 = SimulatedLlm {
+                tier: ModelTier::Gpt4,
+                chained: false,
+            }
+            .error_rates(scenario);
             assert!(gpt4.structure < chat.structure);
             assert!(gpt4.attribute < chat.attribute);
         }
         // The chained prompt reduces structural errors for unseen meta-goals.
-        let plain = SimulatedLlm { tier: ModelTier::ChatGpt, chained: false }
-            .error_rates(Scenario::SeenDatasetUnseenGoal);
-        let chained = SimulatedLlm { tier: ModelTier::ChatGpt, chained: true }
-            .error_rates(Scenario::SeenDatasetUnseenGoal);
+        let plain = SimulatedLlm {
+            tier: ModelTier::ChatGpt,
+            chained: false,
+        }
+        .error_rates(Scenario::SeenDatasetUnseenGoal);
+        let chained = SimulatedLlm {
+            tier: ModelTier::ChatGpt,
+            chained: true,
+        }
+        .error_rates(Scenario::SeenDatasetUnseenGoal);
         assert!(chained.structure < plain.structure);
     }
 
@@ -356,29 +385,48 @@ mod tests {
             .iter()
             .map(|m| m.label())
             .collect();
-        assert_eq!(labels, vec!["ChatGPT", "ChatGPT + Pd", "GPT-4", "GPT-4 + Pd"]);
-        assert!(Scenario::SeenDatasetUnseenGoal.label().contains("Unseen Meta-Goal"));
+        assert_eq!(
+            labels,
+            vec!["ChatGPT", "ChatGPT + Pd", "GPT-4", "GPT-4 + Pd"]
+        );
+        assert!(Scenario::SeenDatasetUnseenGoal
+            .label()
+            .contains("Unseen Meta-Goal"));
     }
 
     #[test]
     fn corruptions_modify_the_specification_but_keep_it_valid() {
         let mut rng = StdRng::seed_from_u64(1);
-        let llm = SimulatedLlm { tier: ModelTier::ChatGpt, chained: false };
+        let llm = SimulatedLlm {
+            tier: ModelTier::ChatGpt,
+            chained: false,
+        };
         let mut changed = 0;
         for _ in 0..50 {
-            let corrupted = llm.corrupt(&gold(), Scenario::UnseenDatasetUnseenGoal, &schema(), &mut rng);
+            let corrupted = llm.corrupt(
+                &gold(),
+                Scenario::UnseenDatasetUnseenGoal,
+                &schema(),
+                &mut rng,
+            );
             assert!(corrupted.validate().is_ok());
             if corrupted.canonical() != gold().canonical() {
                 changed += 1;
             }
         }
-        assert!(changed > 25, "corruption should usually change the hardest scenario ({changed}/50)");
+        assert!(
+            changed > 25,
+            "corruption should usually change the hardest scenario ({changed}/50)"
+        );
     }
 
     #[test]
     fn seen_scenario_rarely_corrupts_gpt4() {
         let mut rng = StdRng::seed_from_u64(2);
-        let llm = SimulatedLlm { tier: ModelTier::Gpt4, chained: true };
+        let llm = SimulatedLlm {
+            tier: ModelTier::Gpt4,
+            chained: true,
+        };
         let changed = (0..100)
             .filter(|_| {
                 llm.corrupt(&gold(), Scenario::SeenDatasetSeenGoal, &schema(), &mut rng)
@@ -386,7 +434,10 @@ mod tests {
                     != gold().canonical()
             })
             .count();
-        assert!(changed < 25, "GPT-4 on seen data should be nearly exact ({changed}/100)");
+        assert!(
+            changed < 25,
+            "GPT-4 on seen data should be nearly exact ({changed}/100)"
+        );
     }
 
     #[test]

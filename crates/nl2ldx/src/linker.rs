@@ -134,7 +134,9 @@ pub fn link(goal: &str, schema: &Schema, sample: Option<&DataFrame>) -> LinkedGo
     }
 
     // Numbers (handles "1m"/"1,000,000" style install counts too).
-    for raw in text.split(|c: char| !(c.is_ascii_digit() || c == '.' || c == ',' || c == 'm' || c == 'k')) {
+    for raw in
+        text.split(|c: char| !(c.is_ascii_digit() || c == '.' || c == ',' || c == 'm' || c == 'k'))
+    {
         let _ = raw;
     }
     let mut token = String::new();
@@ -181,8 +183,18 @@ mod tests {
         let df = DataFrame::from_rows(
             &["country", "type", "origin_airport", "installs"],
             vec![
-                vec![Value::str("India"), Value::str("Movie"), Value::str("BOS"), Value::Int(1000)],
-                vec![Value::str("US"), Value::str("TV Show"), Value::str("ATL"), Value::Int(5000)],
+                vec![
+                    Value::str("India"),
+                    Value::str("Movie"),
+                    Value::str("BOS"),
+                    Value::Int(1000),
+                ],
+                vec![
+                    Value::str("US"),
+                    Value::str("TV Show"),
+                    Value::str("ATL"),
+                    Value::Int(5000),
+                ],
             ],
         )
         .unwrap();
@@ -198,7 +210,9 @@ mod tests {
             Some(&df),
         );
         assert!(linked.attributes.contains(&"origin_airport".to_string()));
-        assert!(linked.values.contains(&("origin_airport".to_string(), "BOS".to_string())));
+        assert!(linked
+            .values
+            .contains(&("origin_airport".to_string(), "BOS".to_string())));
         assert!(linked.operators.contains(&"neq".to_string()));
     }
 
@@ -218,8 +232,14 @@ mod tests {
     #[test]
     fn links_country_value_example() {
         let (schema, df) = schema_and_sample();
-        let linked = link("Examine characteristics of titles from India", &schema, Some(&df));
-        assert!(linked.values.contains(&("country".to_string(), "India".to_string())));
+        let linked = link(
+            "Examine characteristics of titles from India",
+            &schema,
+            Some(&df),
+        );
+        assert!(linked
+            .values
+            .contains(&("country".to_string(), "India".to_string())));
     }
 
     #[test]

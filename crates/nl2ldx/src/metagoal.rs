@@ -77,28 +77,48 @@ impl MetaGoal {
     /// indicative phrase of the meta-goal.
     pub fn keywords(&self) -> &'static [&'static str] {
         match self {
-            MetaGoal::IdentifyUncommonEntity => {
-                &["atypical", "uncommon", "than the rest", "different from the rest", "stands out", "anomalous", "unusual"]
-            }
-            MetaGoal::ExaminePhenomenon => {
-                &["examine characteristics", "characteristics of", "examine", "properties of"]
-            }
-            MetaGoal::DiscoverContrastingSubsets => {
-                &["contrasting", "three", "compare several", "differing traits"]
-            }
+            MetaGoal::IdentifyUncommonEntity => &[
+                "atypical",
+                "uncommon",
+                "than the rest",
+                "different from the rest",
+                "stands out",
+                "anomalous",
+                "unusual",
+            ],
+            MetaGoal::ExaminePhenomenon => &[
+                "examine characteristics",
+                "characteristics of",
+                "examine",
+                "properties of",
+            ],
+            MetaGoal::DiscoverContrastingSubsets => &[
+                "contrasting",
+                "three",
+                "compare several",
+                "differing traits",
+            ],
             MetaGoal::SurveyAttribute => &["survey", "overview of", "distribution of"],
-            MetaGoal::DescribeUnusualSubset => {
-                &["distinctive characteristics", "highlight distinctive", "distinctive"]
-            }
+            MetaGoal::DescribeUnusualSubset => &[
+                "distinctive characteristics",
+                "highlight distinctive",
+                "distinctive",
+            ],
             MetaGoal::InvestigateAspects => {
                 &["investigate", "reasons for", "aspects of", "drivers of"]
             }
-            MetaGoal::ExploreThroughSubset => {
-                &["focus on", "focusing on", "with a focus", "analyze the dataset"]
-            }
-            MetaGoal::HighlightSubgroups => {
-                &["sub-groups", "subgroups", "interesting groups", "segments of"]
-            }
+            MetaGoal::ExploreThroughSubset => &[
+                "focus on",
+                "focusing on",
+                "with a focus",
+                "analyze the dataset",
+            ],
+            MetaGoal::HighlightSubgroups => &[
+                "sub-groups",
+                "subgroups",
+                "interesting groups",
+                "segments of",
+            ],
         }
     }
 

@@ -92,7 +92,13 @@ impl SpecDeriver {
             .categorical_columns()
             .first()
             .map(|s| s.to_string())
-            .unwrap_or_else(|| schema.names().first().map(|s| s.to_string()).unwrap_or_default());
+            .unwrap_or_else(|| {
+                schema
+                    .names()
+                    .first()
+                    .map(|s| s.to_string())
+                    .unwrap_or_default()
+            });
         // Prefer the attribute a linked value belongs to (the subset-defining attribute),
         // then explicit attribute mentions, then the default categorical column.
         let attr = linked
@@ -113,11 +119,7 @@ impl SpecDeriver {
             .map(|(_, v)| v.clone())
             .or_else(|| linked.numbers.first().map(|n| format_number(*n)))
             .unwrap_or_else(|| "(?<X>.*)".to_string());
-        let second_attr = linked
-            .attributes
-            .iter()
-            .find(|a| **a != attr)
-            .cloned();
+        let second_attr = linked.attributes.iter().find(|a| **a != attr).cloned();
         let domain = goal
             .split_whitespace()
             .find(|w| w.ends_with('s') && w.len() > 4)
@@ -212,7 +214,10 @@ mod tests {
     #[test]
     fn classifies_the_eight_meta_goal_phrasings() {
         let d = SpecDeriver::new();
-        assert_eq!(d.classify("Find an atypical country"), MetaGoal::IdentifyUncommonEntity);
+        assert_eq!(
+            d.classify("Find an atypical country"),
+            MetaGoal::IdentifyUncommonEntity
+        );
         assert_eq!(
             d.classify("Examine characteristics of successful TV shows"),
             MetaGoal::ExaminePhenomenon
@@ -226,9 +231,14 @@ mod tests {
             d.classify("Highlight distinctive characteristics of summer-month flights"),
             MetaGoal::DescribeUnusualSubset
         );
-        assert_eq!(d.classify("Investigate reasons for delay"), MetaGoal::InvestigateAspects);
         assert_eq!(
-            d.classify("Analyze the dataset, with a focus on flights affected by weather-related delays"),
+            d.classify("Investigate reasons for delay"),
+            MetaGoal::InvestigateAspects
+        );
+        assert_eq!(
+            d.classify(
+                "Analyze the dataset, with a focus on flights affected by weather-related delays"
+            ),
             MetaGoal::ExploreThroughSubset
         );
         assert_eq!(
@@ -240,7 +250,10 @@ mod tests {
     #[test]
     fn unmatched_goals_fall_back_to_generic_exploration() {
         let d = SpecDeriver::new();
-        assert_eq!(d.classify("Just look around"), MetaGoal::ExploreThroughSubset);
+        assert_eq!(
+            d.classify("Just look around"),
+            MetaGoal::ExploreThroughSubset
+        );
     }
 
     #[test]

@@ -177,11 +177,8 @@ impl PyLdx {
                         Some(t) => t.clone(),
                         None => "(?<X>.*)".to_string(),
                     };
-                    builder = builder.child_of(
-                        &parent,
-                        &node,
-                        &format!("[F,{attr},{op},{term_pat}]"),
-                    );
+                    builder =
+                        builder.child_of(&parent, &node, &format!("[F,{attr},{op},{term_pat}]"));
                     var_to_node.push((var.clone(), node));
                 }
                 PyStatement::GroupAgg {
@@ -221,11 +218,11 @@ fn lookup(map: &[(String, String)], var: &str) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use linx_ldx::VerifyEngine;
     use linx_dataframe::filter::CompareOp;
     use linx_dataframe::groupby::AggFunc;
     use linx_dataframe::Value;
     use linx_explore::{ExplorationTree, NodeId, QueryOp};
+    use linx_ldx::VerifyEngine;
 
     /// The paper's Fig. 1b program for the "atypical country" goal.
     fn fig1b() -> PyLdx {
@@ -251,17 +248,29 @@ mod tests {
         assert_eq!(ldx.min_operations(), 4);
         let engine = VerifyEngine::new(ldx);
         let mut t = ExplorationTree::new();
-        let f1 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        let f1 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
         t.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "id"));
-        let f2 = t.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("India")));
+        let f2 = t.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Neq, Value::str("India")),
+        );
         t.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "id"));
         assert!(engine.verify(&t));
 
         // Mismatched countries break the shared <VALUE> continuity variable.
         let mut bad = ExplorationTree::new();
-        let f1 = bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Eq, Value::str("India")));
+        let f1 = bad.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+        );
         bad.add_child(f1, QueryOp::group_by("rating", AggFunc::Count, "id"));
-        let f2 = bad.add_child(NodeId::ROOT, QueryOp::filter("country", CompareOp::Neq, Value::str("US")));
+        let f2 = bad.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Neq, Value::str("US")),
+        );
         bad.add_child(f2, QueryOp::group_by("rating", AggFunc::Count, "id"));
         assert!(!engine.verify(&bad));
     }
@@ -270,7 +279,13 @@ mod tests {
     fn concrete_parameters_survive_compilation() {
         let py = PyLdx::new("flights")
             .filter("summer", "df", "month", "ge", Some("6"))
-            .group_agg("agg", "summer", Some("delay_reason"), Some("count"), Some("flight_id"));
+            .group_agg(
+                "agg",
+                "summer",
+                Some("delay_reason"),
+                Some("count"),
+                Some("flight_id"),
+            );
         let ldx = py.compile().unwrap();
         let text = ldx.canonical();
         assert!(text.contains("[F,month,ge,6]"));
@@ -281,7 +296,13 @@ mod tests {
     fn chained_sources_become_nested_nodes() {
         let py = PyLdx::new("apps")
             .filter("popular", "df", "installs", "ge", Some("1000000"))
-            .group_agg("by_cat", "popular", Some("category"), Some("count"), Some("app_id"));
+            .group_agg(
+                "by_cat",
+                "popular",
+                Some("category"),
+                Some("count"),
+                Some("app_id"),
+            );
         let ldx = py.compile().unwrap();
         assert_eq!(ldx.declared_parent("A2"), Some("A1"));
         assert_eq!(ldx.declared_parent("A1"), Some("ROOT"));

@@ -29,7 +29,13 @@ fn params(dataset: DatasetKind) -> TemplateParams {
 fn every_meta_goal_and_dataset_derives_a_valid_ldx() {
     let deriver = SpecDeriver::new();
     for dataset in DatasetKind::ALL {
-        let sample = generate(dataset, ScaleConfig { rows: Some(300), seed: 2 });
+        let sample = generate(
+            dataset,
+            ScaleConfig {
+                rows: Some(300),
+                seed: 2,
+            },
+        );
         let schema = schema_of(dataset);
         for meta in MetaGoal::ALL {
             let goal = meta.goal_template(&params(dataset));
@@ -49,7 +55,13 @@ fn every_meta_goal_and_dataset_derives_a_valid_ldx() {
 #[test]
 fn derivation_is_deterministic() {
     let deriver = SpecDeriver::new();
-    let sample = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(200), seed: 1 });
+    let sample = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(200),
+            seed: 1,
+        },
+    );
     let schema = schema_of(DatasetKind::Netflix);
     let goal = "Find an atypical country among the titles";
     let a = deriver.derive(goal, "Netflix", &schema, Some(&sample));
@@ -64,7 +76,13 @@ fn simulated_llm_accuracy_degrades_with_scenario_difficulty() {
     // capability model's corrupted output to the clean derivation across scenarios. The
     // easiest scenario must not score below the hardest.
     let deriver = SpecDeriver::new();
-    let sample = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(300), seed: 4 });
+    let sample = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(300),
+            seed: 4,
+        },
+    );
     let schema = schema_of(DatasetKind::Netflix);
     let goals: Vec<_> = MetaGoal::ALL
         .iter()
@@ -75,7 +93,10 @@ fn simulated_llm_accuracy_degrades_with_scenario_difficulty() {
         .map(|g| deriver.derive(g, "Netflix", &schema, Some(&sample)).ldx)
         .collect();
 
-    let llm = SimulatedLlm { tier: ModelTier::Gpt4, chained: true };
+    let llm = SimulatedLlm {
+        tier: ModelTier::Gpt4,
+        chained: true,
+    };
     let mean_sim = |scenario: Scenario| -> f64 {
         let mut rng = StdRng::seed_from_u64(0xf00d);
         let mut sum = 0.0;

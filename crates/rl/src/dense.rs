@@ -126,7 +126,11 @@ impl Dense {
     /// Must be called after [`Dense::forward`] on the same input.
     pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
         debug_assert_eq!(grad_out.len(), self.out_dim);
-        debug_assert_eq!(self.last_input.len(), self.in_dim, "backward without forward");
+        debug_assert_eq!(
+            self.last_input.len(),
+            self.in_dim,
+            "backward without forward"
+        );
         // Through the activation.
         let mut dpre = vec![0.0; self.out_dim];
         for o in 0..self.out_dim {

@@ -127,11 +127,8 @@ impl MultiHeadNet {
         for layer in &self.trunk {
             x = layer.forward_inference(&x);
         }
-        let head_logits: Vec<Vec<f64>> = self
-            .heads
-            .iter()
-            .map(|h| h.forward_inference(&x))
-            .collect();
+        let head_logits: Vec<Vec<f64>> =
+            self.heads.iter().map(|h| h.forward_inference(&x)).collect();
         let value = self.value_head.forward_inference(&x)[0];
         ForwardResult { head_logits, value }
     }
@@ -237,7 +234,10 @@ mod tests {
         let obs = vec![1.0, 2.0, 3.0];
         assert_eq!(a.forward(&obs).value, b.forward(&obs).value);
         let c = MultiHeadNet::new(&cfg, 8);
-        assert_ne!(a.forward_inference(&obs).value, c.forward_inference(&obs).value);
+        assert_ne!(
+            a.forward_inference(&obs).value,
+            c.forward_inference(&obs).value
+        );
     }
 
     /// Full-network gradient check on a composite loss touching one head and the value.

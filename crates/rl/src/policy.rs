@@ -84,7 +84,12 @@ pub fn entropy(probs: &[f64]) -> f64 {
 ///
 /// For loss `L = -log π(a) · A − β · H(π)` the gradient w.r.t. logit `j` is
 /// `(π_j − 1[j = a]) · A + β · π_j · (log π_j + H)`.
-pub fn policy_loss_grad(probs: &[f64], action: usize, advantage: f64, entropy_coef: f64) -> Vec<f64> {
+pub fn policy_loss_grad(
+    probs: &[f64],
+    action: usize,
+    advantage: f64,
+    entropy_coef: f64,
+) -> Vec<f64> {
     let h = entropy(probs);
     probs
         .iter()

@@ -131,11 +131,7 @@ impl PolicyGradientTrainer {
             .iter()
             .map(|s| net.forward_inference(&s.observation).value)
             .collect();
-        let mut advantages: Vec<f64> = returns
-            .iter()
-            .zip(&values)
-            .map(|(g, v)| g - v)
-            .collect();
+        let mut advantages: Vec<f64> = returns.iter().zip(&values).map(|(g, v)| g - v).collect();
         if self.config.normalize_advantages && advantages.len() > 1 {
             let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
             let var = advantages
@@ -246,7 +242,11 @@ mod tests {
             trainer.update(&mut net, &episode);
         }
         let probs = masked_softmax(&net.forward_inference(&obs).head_logits[0], None);
-        assert_eq!(argmax(&probs), 2, "policy should prefer the rewarded arm: {probs:?}");
+        assert_eq!(
+            argmax(&probs),
+            2,
+            "policy should prefer the rewarded arm: {probs:?}"
+        );
         assert!(probs[2] > 0.7, "{probs:?}");
     }
 
@@ -340,14 +340,26 @@ mod tests {
             EpisodeStep {
                 observation: vec![0.0, 1.0],
                 actions: vec![
-                    ActionTaken { head: 0, choice: 1, mask: None },
-                    ActionTaken { head: 1, choice: 0, mask: None },
+                    ActionTaken {
+                        head: 0,
+                        choice: 1,
+                        mask: None,
+                    },
+                    ActionTaken {
+                        head: 1,
+                        choice: 0,
+                        mask: None,
+                    },
                 ],
                 reward: 1.0,
             },
             EpisodeStep {
                 observation: vec![1.0, 0.0],
-                actions: vec![ActionTaken { head: 0, choice: 0, mask: None }],
+                actions: vec![ActionTaken {
+                    head: 0,
+                    choice: 0,
+                    mask: None,
+                }],
                 reward: 0.5,
             },
         ];

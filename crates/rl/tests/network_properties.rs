@@ -69,14 +69,24 @@ fn value_head_gradient_step_reduces_squared_error() {
             &mut n,
             &[EpisodeStep {
                 observation: obs.clone(),
-                actions: vec![linx_rl::ActionTaken { head: 0, choice: 0, mask: None }],
+                actions: vec![linx_rl::ActionTaken {
+                    head: 0,
+                    choice: 0,
+                    mask: None,
+                }],
                 reward: target,
             }],
         );
     }
     let final_err = (n.forward_inference(&obs).value - target).powi(2);
-    assert!(final_err < initial, "value error should shrink: {initial} -> {final_err}");
-    assert!(final_err < 0.25, "value head should approach the target: {final_err}");
+    assert!(
+        final_err < initial,
+        "value error should shrink: {initial} -> {final_err}"
+    );
+    assert!(
+        final_err < 0.25,
+        "value head should approach the target: {final_err}"
+    );
 }
 
 #[test]

@@ -95,10 +95,17 @@ pub fn expert_session(dataset: &DataFrame, gold: &Ldx) -> ExplorationTree {
         let op = match kind {
             OpKind::Filter => {
                 let attr = resolve_token(&pattern.param_pattern(0), &mut bindings, || {
-                    groupables.first().cloned().unwrap_or_else(|| first_column(dataset))
+                    groupables
+                        .first()
+                        .cloned()
+                        .unwrap_or_else(|| first_column(dataset))
                 });
-                let cmp = CompareOp::parse(&resolve_token(&pattern.param_pattern(1), &mut bindings, || "eq".into()))
-                    .unwrap_or(CompareOp::Eq);
+                let cmp = CompareOp::parse(&resolve_token(
+                    &pattern.param_pattern(1),
+                    &mut bindings,
+                    || "eq".into(),
+                ))
+                .unwrap_or(CompareOp::Eq);
                 let term = resolve_token(&pattern.param_pattern(2), &mut bindings, || {
                     most_divergent_value(dataset, &attr)
                 });
@@ -112,9 +119,15 @@ pub fn expert_session(dataset: &DataFrame, gold: &Ldx) -> ExplorationTree {
                     .unwrap_or_else(|| first_column(dataset));
                 let g_attr =
                     resolve_token(&pattern.param_pattern(0), &mut bindings, || default_g_attr);
-                let agg = AggFunc::parse(&resolve_token(&pattern.param_pattern(1), &mut bindings, || "count".into()))
-                    .unwrap_or(AggFunc::Count);
-                let agg_attr = resolve_token(&pattern.param_pattern(2), &mut bindings, || first_column(dataset));
+                let agg = AggFunc::parse(&resolve_token(
+                    &pattern.param_pattern(1),
+                    &mut bindings,
+                    || "count".into(),
+                ))
+                .unwrap_or(AggFunc::Count);
+                let agg_attr = resolve_token(&pattern.param_pattern(2), &mut bindings, || {
+                    first_column(dataset)
+                });
                 QueryOp::group_by(g_attr, agg, agg_attr)
             }
         };
@@ -125,11 +138,15 @@ pub fn expert_session(dataset: &DataFrame, gold: &Ldx) -> ExplorationTree {
     // children beyond the named ones (e.g. meta-goal 8's "at least one more group-by").
     // An expert fills these with further group-bys over columns not yet used.
     for spec in &gold.specs {
-        let Some(children) = &spec.children else { continue };
+        let Some(children) = &spec.children else {
+            continue;
+        };
         if children.extra == 0 {
             continue;
         }
-        let Some(&parent) = node_of.get(&spec.name) else { continue };
+        let Some(&parent) = node_of.get(&spec.name) else {
+            continue;
+        };
         let used: Vec<String> = tree
             .children(parent)
             .iter()
@@ -226,15 +243,15 @@ pub fn atena_session(dataset: &DataFrame) -> ExplorationTree {
     let groupables = groupable_columns(dataset);
     let id_col = first_column(dataset);
     for col in groupables.iter().take(2) {
-        tree.add_child(NodeId::ROOT, QueryOp::group_by(col, AggFunc::Count, &id_col));
+        tree.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by(col, AggFunc::Count, &id_col),
+        );
     }
     if let Some(col) = groupables.first() {
         if let Ok(hist) = dataset.histogram(col) {
             if let Some((top, _)) = hist.mode() {
-                let f = tree.add_child(
-                    NodeId::ROOT,
-                    QueryOp::filter(col, CompareOp::Eq, top),
-                );
+                let f = tree.add_child(NodeId::ROOT, QueryOp::filter(col, CompareOp::Eq, top));
                 if let Some(second) = groupables.get(1) {
                     tree.add_child(f, QueryOp::group_by(second, AggFunc::Count, &id_col));
                 }
@@ -259,7 +276,10 @@ pub fn chatgpt_session(dataset: &DataFrame, goal: &str) -> ExplorationTree {
         columns.insert(0, mentioned.clone());
     }
     for col in columns.iter().take(4) {
-        tree.add_child(NodeId::ROOT, QueryOp::group_by(col, AggFunc::Count, &id_col));
+        tree.add_child(
+            NodeId::ROOT,
+            QueryOp::group_by(col, AggFunc::Count, &id_col),
+        );
     }
     // One global numeric summary.
     if let Some(numeric) = dataset
@@ -367,7 +387,11 @@ mod tests {
         let gold = g1_gold();
         let tree = expert_session(&data, &gold);
         assert_eq!(tree.num_ops(), 4);
-        assert!(VerifyEngine::new(gold).verify(&tree), "{}", tree.to_compact_string());
+        assert!(
+            VerifyEngine::new(gold).verify(&tree),
+            "{}",
+            tree.to_compact_string()
+        );
     }
 
     #[test]
@@ -375,7 +399,10 @@ mod tests {
         let data = netflix();
         let tree = expert_session(&data, &g1_gold());
         let compact = tree.to_compact_string();
-        assert!(compact.contains("India"), "expert should surface India: {compact}");
+        assert!(
+            compact.contains("India"),
+            "expert should surface India: {compact}"
+        );
     }
 
     #[test]

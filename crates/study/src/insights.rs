@@ -50,7 +50,9 @@ pub fn extract_insights(dataset: &DataFrame, tree: &ExplorationTree, gold: &Ldx)
     let mut insights = Vec::new();
 
     for (id, op) in tree.ops_in_order() {
-        let QueryOp::GroupBy { g_attr, .. } = op else { continue };
+        let QueryOp::GroupBy { g_attr, .. } = op else {
+            continue;
+        };
         // The subset is defined by the nearest filter ancestor (if any).
         let mut subset_filter: Option<(String, CompareOp, String)> = None;
         let mut cur = tree.parent(id);
@@ -61,7 +63,9 @@ pub fn extract_insights(dataset: &DataFrame, tree: &ExplorationTree, gold: &Ldx)
             }
             cur = tree.parent(p);
         }
-        let Some(parent_view) = tree.parent(id).and_then(|p| views.get(&p)) else { continue };
+        let Some(parent_view) = tree.parent(id).and_then(|p| views.get(&p)) else {
+            continue;
+        };
         if parent_view.num_rows() == 0 || !parent_view.schema().contains(g_attr) {
             continue;
         }
@@ -157,7 +161,11 @@ pub fn extract_insights(dataset: &DataFrame, tree: &ExplorationTree, gold: &Ldx)
 /// Collapse near-duplicate insights (same subset + attribute + text), keeping the
 /// strongest, so the count reflects distinct findings a reader would report.
 fn dedup_insights(mut insights: Vec<Insight>) -> Vec<Insight> {
-    insights.sort_by(|a, b| b.strength.partial_cmp(&a.strength).unwrap_or(std::cmp::Ordering::Equal));
+    insights.sort_by(|a, b| {
+        b.strength
+            .partial_cmp(&a.strength)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut seen = std::collections::HashSet::new();
     insights.retain(|i| seen.insert((i.subset.clone(), i.attribute.clone(), i.text.clone())));
     insights
@@ -248,7 +256,10 @@ mod tests {
         let insights = extract_insights(&data, &tree, &gold);
         assert!(!insights.is_empty());
         let relevant = count_relevant_insights(&data, &tree, &gold);
-        assert!(relevant >= 1, "expected at least one relevant insight, got {relevant}");
+        assert!(
+            relevant >= 1,
+            "expected at least one relevant insight, got {relevant}"
+        );
         let texts = describe_insights(&data, &tree, &gold);
         assert!(texts.iter().any(|t| t.contains("country")));
     }
@@ -259,8 +270,11 @@ mod tests {
         let gold = g1_gold();
         let expert = count_relevant_insights(&data, &expert_session(&data, &gold), &gold);
         let atena = count_relevant_insights(&data, &atena_session(&data), &gold);
-        let chatgpt =
-            count_relevant_insights(&data, &chatgpt_session(&data, "Find an atypical country"), &gold);
+        let chatgpt = count_relevant_insights(
+            &data,
+            &chatgpt_session(&data, "Find an atypical country"),
+            &gold,
+        );
         assert!(expert >= atena, "expert {expert} vs atena {atena}");
         assert!(expert >= chatgpt, "expert {expert} vs chatgpt {chatgpt}");
         assert!(expert >= 1);

@@ -143,8 +143,7 @@ fn informativeness_score(dataset: &DataFrame, tree: &ExplorationTree) -> f64 {
         .iter()
         .map(|(_, op)| op.primary_attr())
         .collect();
-    let coverage =
-        (touched.len() as f64 / dataset.num_columns().max(1) as f64).clamp(0.0, 1.0);
+    let coverage = (touched.len() as f64 / dataset.num_columns().max(1) as f64).clamp(0.0, 1.0);
     let volume = (tree.num_ops() as f64 / 6.0).clamp(0.2, 1.0);
     // Depth bonus: aggregations computed *inside* a subset (a filter ancestor) carry
     // contrastive information that flat whole-dataset descriptive statistics lack —
@@ -159,7 +158,11 @@ fn informativeness_score(dataset: &DataFrame, tree: &ExplorationTree) -> f64 {
         .filter(|(id, _)| {
             let mut cur = tree.parent(*id);
             while let Some(p) = cur {
-                if tree.op(p).map(|o| o.kind() == OpKind::Filter).unwrap_or(false) {
+                if tree
+                    .op(p)
+                    .map(|o| o.kind() == OpKind::Filter)
+                    .unwrap_or(false)
+                {
                     return true;
                 }
                 cur = tree.parent(p);
@@ -229,7 +232,11 @@ mod tests {
         let expert = panel.score(&data, &expert_session(&data, &gold), &gold, goal);
         let atena = panel.score(&data, &atena_session(&data), &gold, goal);
         let chatgpt = panel.score(&data, &chatgpt_session(&data, goal), &gold, goal);
-        assert!(expert.relevance > 5.5, "expert relevance {}", expert.relevance);
+        assert!(
+            expert.relevance > 5.5,
+            "expert relevance {}",
+            expert.relevance
+        );
         assert!(expert.relevance > atena.relevance + 1.5);
         assert!(expert.relevance > chatgpt.relevance + 1.0);
     }

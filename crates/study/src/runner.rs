@@ -163,9 +163,13 @@ fn session_for(
                 },
                 sample_rows: 200,
             });
-            linx.explore(dataset, &instance.dataset.name().to_lowercase(), &instance.goal_text)
-                .training
-                .best_tree
+            linx.explore(
+                dataset,
+                &instance.dataset.name().to_lowercase(),
+                &instance.goal_text,
+            )
+            .training
+            .best_tree
         }
     }
 }
@@ -226,10 +230,14 @@ mod tests {
         assert_eq!(results.cells.len(), 3 * System::ALL.len());
 
         let relevance = results.mean_relevance();
-        let expert = results.system_mean(&relevance, System::HumanExpert).unwrap();
+        let expert = results
+            .system_mean(&relevance, System::HumanExpert)
+            .unwrap();
         let linx = results.system_mean(&relevance, System::Linx).unwrap();
         let atena = results.system_mean(&relevance, System::Atena).unwrap();
-        let sheets = results.system_mean(&relevance, System::GoogleSheets).unwrap();
+        let sheets = results
+            .system_mean(&relevance, System::GoogleSheets)
+            .unwrap();
 
         // Figure 5's qualitative ordering: Expert ≳ LINX ≫ {ATENA, Sheets}.
         assert!(expert >= linx - 0.8, "expert {expert} vs linx {linx}");

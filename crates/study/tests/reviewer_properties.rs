@@ -10,7 +10,13 @@ use linx_study::{
 };
 
 fn netflix() -> linx_dataframe::DataFrame {
-    generate(DatasetKind::Netflix, ScaleConfig { rows: Some(1000), seed: 5 })
+    generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(1000),
+            seed: 5,
+        },
+    )
 }
 
 fn g1_gold() -> linx_ldx::Ldx {
@@ -74,8 +80,17 @@ fn chatgpt_is_comprehensible_but_not_the_most_relevant() {
 fn empty_session_scores_low_on_relevance() {
     let data = netflix();
     let panel = ReviewerPanel::default();
-    let s = panel.score(&data, &linx_explore::ExplorationTree::new(), &g1_gold(), GOAL);
-    assert!(s.relevance < 2.5, "empty notebook relevance {:.2}", s.relevance);
+    let s = panel.score(
+        &data,
+        &linx_explore::ExplorationTree::new(),
+        &g1_gold(),
+        GOAL,
+    );
+    assert!(
+        s.relevance < 2.5,
+        "empty notebook relevance {:.2}",
+        s.relevance
+    );
 }
 
 #[test]
@@ -101,10 +116,18 @@ fn study_runner_reproduces_the_paper_system_ordering() {
     assert!(linx > atena, "LINX {linx:.2} > ATENA {atena:.2}");
     assert!(linx > sheets, "LINX {linx:.2} > Sheets {sheets:.2}");
     assert!(linx > chatgpt, "LINX {linx:.2} > ChatGPT {chatgpt:.2}");
-    assert!(expert >= linx - 1.0, "Expert {expert:.2} ~>= LINX {linx:.2}");
+    assert!(
+        expert >= linx - 1.0,
+        "Expert {expert:.2} ~>= LINX {linx:.2}"
+    );
     // Insight counts: LINX leads the automatic systems.
     let insights = results.mean_insights();
     let linx_ins = results.system_mean(&insights, System::Linx).unwrap_or(0.0);
-    let chatgpt_ins = results.system_mean(&insights, System::ChatGpt).unwrap_or(0.0);
-    assert!(linx_ins >= chatgpt_ins, "LINX insights {linx_ins} >= ChatGPT {chatgpt_ins}");
+    let chatgpt_ins = results
+        .system_mean(&insights, System::ChatGpt)
+        .unwrap_or(0.0);
+    assert!(
+        linx_ins >= chatgpt_ins,
+        "LINX insights {linx_ins} >= ChatGPT {chatgpt_ins}"
+    );
 }

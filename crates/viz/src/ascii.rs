@@ -31,8 +31,7 @@ pub fn render_ascii(chart: &ChartSpec, width: usize) -> String {
         } else {
             0
         };
-        let bar: String = std::iter::repeat_n('#', bar_len.min(width))
-            .collect();
+        let bar: String = std::iter::repeat_n('#', bar_len.min(width)).collect();
         out.push_str(&format!(
             "  {:<label_width$} | {:<width$} {}\n",
             truncate(&display_label(&point.label), label_width),
@@ -127,10 +126,7 @@ mod tests {
             Mark::Bar,
             Encoding::nominal("x"),
             Encoding::quantitative("y"),
-            vec![
-                ("a".repeat(60), 5.0),
-                (String::new(), 3.0),
-            ],
+            vec![("a".repeat(60), 5.0), (String::new(), 3.0)],
         );
         let text = render_ascii(&spec, 20);
         assert!(text.contains('…'));

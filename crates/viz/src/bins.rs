@@ -58,7 +58,11 @@ pub fn bin_numeric(values: &[f64], bins: usize) -> Vec<Bin> {
     let mut out: Vec<Bin> = (0..bins)
         .map(|i| Bin {
             lo: lo + i as f64 * width,
-            hi: if i + 1 == bins { hi } else { lo + (i + 1) as f64 * width },
+            hi: if i + 1 == bins {
+                hi
+            } else {
+                lo + (i + 1) as f64 * width
+            },
             count: 0,
         })
         .collect();

@@ -88,7 +88,13 @@ mod tests {
     use linx_explore::{ExplorationTree, NodeId, QueryOp};
 
     fn cells() -> Vec<CellCharts> {
-        let data = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(400), seed: 3 });
+        let data = generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(400),
+                seed: 3,
+            },
+        );
         let mut tree = ExplorationTree::new();
         let f = tree.add_child(
             NodeId::ROOT,
@@ -115,7 +121,13 @@ mod tests {
 
     #[test]
     fn html_special_characters_are_escaped() {
-        let data = generate(DatasetKind::Netflix, ScaleConfig { rows: Some(100), seed: 1 });
+        let data = generate(
+            DatasetKind::Netflix,
+            ScaleConfig {
+                rows: Some(100),
+                seed: 1,
+            },
+        );
         let mut tree = ExplorationTree::new();
         tree.add_child(
             NodeId::ROOT,

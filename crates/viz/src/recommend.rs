@@ -68,7 +68,11 @@ pub fn recommend_session(dataset: &DataFrame, tree: &ExplorationTree) -> Vec<Cel
 ///
 /// `parent` is the view the operation was applied to (used to contextualize filter
 /// charts — e.g. to compare subset shares); it may be omitted.
-pub fn recommend_cell(op: &QueryOp, view: &DataFrame, parent: Option<&DataFrame>) -> Vec<ChartSpec> {
+pub fn recommend_cell(
+    op: &QueryOp,
+    view: &DataFrame,
+    parent: Option<&DataFrame>,
+) -> Vec<ChartSpec> {
     let mut charts = match op {
         QueryOp::GroupBy {
             g_attr,
@@ -82,7 +86,11 @@ pub fn recommend_cell(op: &QueryOp, view: &DataFrame, parent: Option<&DataFrame>
     if charts.is_empty() {
         charts.push(table_fallback(view));
     }
-    charts.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    charts.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     charts.truncate(MAX_CHARTS_PER_CELL);
     charts
 }
@@ -155,12 +163,16 @@ fn filter_charts(view: &DataFrame, parent: Option<&DataFrame>, subset: &str) -> 
     // Occurrence bars for the most skewed low-cardinality columns.
     let mut candidates: Vec<(f64, ChartSpec)> = Vec::new();
     for field in view.schema().fields() {
-        let Ok(col) = view.column(&field.name) else { continue };
+        let Ok(col) = view.column(&field.name) else {
+            continue;
+        };
         let distinct = col.n_unique();
         if !(2..=MAX_BARS * 2).contains(&distinct) {
             continue;
         }
-        let Ok(hist) = view.histogram(&field.name) else { continue };
+        let Ok(hist) = view.histogram(&field.name) else {
+            continue;
+        };
         let mut points: Vec<(String, f64)> = hist
             .sorted()
             .into_iter()
@@ -282,9 +294,9 @@ fn numeric_or_lexical(a: &str, b: &str) -> std::cmp::Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use linx_data::{generate, DatasetKind, ScaleConfig};
     use linx_dataframe::filter::CompareOp;
     use linx_dataframe::groupby::AggFunc;
-    use linx_data::{generate, DatasetKind, ScaleConfig};
 
     fn netflix() -> DataFrame {
         generate(
@@ -390,7 +402,11 @@ mod tests {
     fn invalid_operation_yields_no_charts() {
         let data = netflix();
         let mut tree = ExplorationTree::new();
-        tree.push_op(QueryOp::filter("no_such_column", CompareOp::Eq, Value::Int(1)));
+        tree.push_op(QueryOp::filter(
+            "no_such_column",
+            CompareOp::Eq,
+            Value::Int(1),
+        ));
         let cells = recommend_session(&data, &tree);
         assert_eq!(cells.len(), 1);
         assert!(cells[0].charts.is_empty());

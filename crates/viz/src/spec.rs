@@ -217,7 +217,9 @@ mod tests {
     fn encoding_labels() {
         assert_eq!(Encoding::nominal("type").label(), "type");
         assert_eq!(
-            Encoding::quantitative("show_id").aggregated("count").label(),
+            Encoding::quantitative("show_id")
+                .aggregated("count")
+                .label(),
             "count(show_id)"
         );
         assert_eq!(Encoding::ordinal("month").field_type, FieldType::Ordinal);

@@ -30,7 +30,10 @@ fn main() {
     )
     .expect("LDX parses");
 
-    println!("{:<22} {:>10} {:>10} {:>10}", "variant", "structural", "full", "score");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "variant", "structural", "full", "score"
+    );
     for variant in CdrlVariant::TABLE4 {
         let config = CdrlConfig {
             episodes: 300,

@@ -16,7 +16,10 @@ fn main() {
         benchmark.len()
     );
 
-    println!("{:<3} {:<45} {:<12} {:>5}", "#", "Meta-goal", "Example dataset", "count");
+    println!(
+        "{:<3} {:<45} {:<12} {:>5}",
+        "#", "Meta-goal", "Example dataset", "count"
+    );
     for (index, description, example, count) in benchmark.table1_rows() {
         println!("{index:<3} {description:<45} {example:<12} {count:>5}");
     }
@@ -49,7 +52,10 @@ fn main() {
         );
         let lev = lev2_similarity(&derived.ldx, &inst.gold_ldx);
         let ted = xted_similarity(&derived.ldx, &inst.gold_ldx);
-        println!("  {:<10} lev2 = {lev:.2}  xTED = {ted:.2}   {}", inst.id, inst.goal_text);
+        println!(
+            "  {:<10} lev2 = {lev:.2}  xTED = {ted:.2}   {}",
+            inst.id, inst.goal_text
+        );
         lev_sum += lev;
         ted_sum += ted;
         n += 1;

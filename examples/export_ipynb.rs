@@ -49,12 +49,18 @@ fn main() {
             written += 1;
         }
     }
-    println!("wrote {written} Vega-Lite chart specifications to {}", out_dir.display());
+    println!(
+        "wrote {written} Vega-Lite chart specifications to {}",
+        out_dir.display()
+    );
 
     // 3. A single self-contained HTML gallery of the whole session.
     let gallery_path = out_dir.join("gallery.html");
-    fs::write(&gallery_path, session_gallery(&format!("netflix — {goal}"), &cells))
-        .expect("write gallery");
+    fs::write(
+        &gallery_path,
+        session_gallery(&format!("netflix — {goal}"), &cells),
+    )
+    .expect("write gallery");
     println!("wrote {}", gallery_path.display());
 
     println!("\nSession summary: {}", outcome.narrative.headline);

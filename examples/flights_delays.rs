@@ -31,7 +31,11 @@ fn main() {
     println!("{}", outcome.notebook.to_text());
 
     println!("\n--- Insights the notebook supports ---");
-    for insight in describe_insights(&dataset, &outcome.training.best_tree, &outcome.derivation.ldx) {
+    for insight in describe_insights(
+        &dataset,
+        &outcome.training.best_tree,
+        &outcome.derivation.ldx,
+    ) {
         println!("* {insight}");
     }
 }

@@ -32,7 +32,8 @@ fn main() {
     let mut config = LinxConfig::default();
     config.cdrl.episodes = 350;
     let linx = Linx::new(config);
-    let (outcome, notebook) = linx.explore_with_ldx(&dataset, ldx.clone(), "Popular vs. niche apps");
+    let (outcome, notebook) =
+        linx.explore_with_ldx(&dataset, ldx.clone(), "Popular vs. niche apps");
 
     let engine = VerifyEngine::new(ldx);
     println!(

@@ -35,7 +35,9 @@ fn main() {
     println!("{}\n", outcome.derivation.ldx.canonical());
     println!(
         "CDRL: compliant = {}, structural = {}, score = {:.3}\n",
-        outcome.training.best_compliant, outcome.training.best_structural, outcome.training.best_score
+        outcome.training.best_compliant,
+        outcome.training.best_structural,
+        outcome.training.best_score
     );
 
     println!("--- Exploration notebook ---");

@@ -30,9 +30,19 @@ fn main() {
 
     // Step 1 — derive the exploration specifications (NL -> PyLDX -> LDX).
     let derivation = linx.derive_specs(&dataset, "netflix", goal);
-    println!("Meta-goal: {} (g{})", derivation.meta_goal.description(), derivation.meta_goal.index());
-    println!("\n--- PyLDX template (Fig. 1b) ---\n{}", derivation.pyldx.render());
-    println!("--- LDX specification (Fig. 1c) ---\n{}\n", derivation.ldx.canonical());
+    println!(
+        "Meta-goal: {} (g{})",
+        derivation.meta_goal.description(),
+        derivation.meta_goal.index()
+    );
+    println!(
+        "\n--- PyLDX template (Fig. 1b) ---\n{}",
+        derivation.pyldx.render()
+    );
+    println!(
+        "--- LDX specification (Fig. 1c) ---\n{}\n",
+        derivation.ldx.canonical()
+    );
 
     // Step 2 — CDRL generates a compliant, high-utility exploration session.
     let outcome = linx.explore(&dataset, "netflix", goal);

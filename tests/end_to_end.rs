@@ -95,7 +95,11 @@ fn linx_end_to_end_on_the_running_example() {
     );
     // The derived specification matches the paper's Fig. 1c shape and the engine finds a
     // structurally compliant session; the notebook renders it.
-    assert!(outcome.derivation.ldx.canonical().contains("[F,country,eq,(?<X>.*)]"));
+    assert!(outcome
+        .derivation
+        .ldx
+        .canonical()
+        .contains("[F,country,eq,(?<X>.*)]"));
     assert!(outcome.training.best_structural);
     assert!(outcome.notebook.len() >= 3);
 }

@@ -11,13 +11,23 @@ use linx_ldx::VerifyEngine;
 use linx_viz::{recommend_session, to_vega_lite, Mark};
 
 fn netflix(rows: usize) -> linx_dataframe::DataFrame {
-    generate(DatasetKind::Netflix, ScaleConfig { rows: Some(rows), seed: 9 })
+    generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(rows),
+            seed: 9,
+        },
+    )
 }
 
 fn run_linx(goal: &str, episodes: usize) -> (linx::LinxOutcome, linx_dataframe::DataFrame) {
     let dataset = netflix(1500);
     let linx = Linx::new(LinxConfig {
-        cdrl: CdrlConfig { episodes, seed: 7, ..CdrlConfig::default() },
+        cdrl: CdrlConfig {
+            episodes,
+            seed: 7,
+            ..CdrlConfig::default()
+        },
         sample_rows: 200,
     });
     let outcome = linx.explore(&dataset, "netflix", goal);
@@ -85,7 +95,10 @@ fn refinement_keeps_compliance_and_does_not_lower_utility() {
             &terms,
             &reward,
         );
-        assert!(engine.verify(&refined), "refinement must preserve compliance");
+        assert!(
+            engine.verify(&refined),
+            "refinement must preserve compliance"
+        );
         let exec = linx_explore::SessionExecutor::new(dataset.clone());
         assert!(
             reward.session_score(&exec, &refined)

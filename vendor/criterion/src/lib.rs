@@ -1,0 +1,192 @@
+//! Workspace-local stand-in for the `criterion` crate (the repository builds fully
+//! offline, so crates.io is unavailable).
+//!
+//! Implements the subset the repository's benches use — `Criterion::bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — as a plain wall-clock harness: a short warm-up, then a
+//! fixed number of timed iterations, reporting mean time per iteration. No statistical
+//! analysis, no HTML reports. Iteration counts scale down under `--test` (which `cargo
+//! test --benches` passes) so benches double as smoke tests.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: `group_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    smoke_mode: bool,
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`: run each
+        // bench once as a smoke test. `LINX_BENCH_ITERS` overrides the budget.
+        let smoke_mode = std::env::args().any(|a| a == "--test");
+        let iters = std::env::var("LINX_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke_mode { 1 } else { 10 });
+        Criterion { smoke_mode, iters }
+    }
+}
+
+/// A named group of related benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run(name, f);
+    }
+
+    /// Run one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run(name, |b| f(b, input));
+    }
+
+    /// Finish the group (no-op in this harness; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    fn run(&mut self, name: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: if self.smoke_mode { 1 } else { 2 },
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b); // warm-up
+        b.iters = self.iters;
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        println!(
+            "bench: {name:<48} {:>12.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            b.iters
+        );
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion {
+            smoke_mode: true,
+            iters: 2,
+        };
+        sum_bench(&mut c);
+    }
+}

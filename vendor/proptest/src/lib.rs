@@ -1,0 +1,46 @@
+//! Workspace-local stand-in for the `proptest` crate (the repository builds fully
+//! offline, so crates.io is unavailable).
+//!
+//! Implements the subset the repository's property tests use: the [`Strategy`] trait
+//! with `prop_map`, the range / `Just` / tuple / `select` / `vec` / `of` strategies,
+//! and the `proptest!` / `prop_oneof!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros. Differences from the real crate: failing cases are *not*
+//! shrunk (the failing input is reported as generated), and generation is driven by a
+//! fixed per-test seed plus the case index so runs are reproducible. The number of
+//! cases per property defaults to 64 and can be raised with `PROPTEST_CASES`.
+
+mod macros;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Namespaced strategy constructors, mirroring `proptest::prop::*` and the
+/// `proptest::collection` / `proptest::sample` / `proptest::option` modules.
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// `proptest::sample`.
+pub mod sample {
+    pub use crate::strategy::select;
+}
+
+/// `proptest::option`.
+pub mod option {
+    pub use crate::strategy::of;
+}
+
+/// The prelude: everything the repository imports via `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}

@@ -1,0 +1,144 @@
+//! The `proptest!` family of macros.
+
+/// Define property tests: each function body runs for many generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0i64..9, 1..5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(stringify!($name));
+                runner.run(|rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                    (move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// A weighted (or unweighted) union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::weighted($weight, $strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::weighted(1, $strategy)),+
+        ])
+    };
+}
+
+/// Assert inside a property body; failures report the generated case instead of
+/// unwinding through the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current generated case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds, tuples and maps compose, assume filters.
+        #[test]
+        fn shim_end_to_end(
+            x in 0u64..50,
+            (a, b) in (0i64..10, prop::sample::select(vec!["p", "q"])),
+            v in prop::collection::vec(prop_oneof![3 => Just(1usize), 1 => Just(2usize)], 1..6),
+            o in prop::option::of(0i64..3),
+            f in any::<bool>(),
+        ) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b == "p" || b == "q");
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e == 1 || e == 2));
+            if let Some(i) = o {
+                prop_assert!((0..3).contains(&i));
+            }
+            prop_assert_eq!(f, f);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..5) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

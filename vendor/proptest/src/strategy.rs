@@ -1,0 +1,292 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::prelude::*;
+
+/// A recipe for generating values of an associated type.
+///
+/// Object-safe so `prop_oneof!` can mix heterogeneous strategies behind
+/// `Box<dyn Strategy<Value = T>>`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (type erasure).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical strategy, used through [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// Alias for a boxed strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+struct FnStrategy<T>(fn(&mut StdRng) -> T);
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        Box::new(FnStrategy(|rng| rng.gen::<bool>()))
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> BoxedStrategy<f64> {
+        // Mix of signs and magnitudes; no NaN/Inf (the repo's math assumes finite).
+        Box::new(FnStrategy(|rng| {
+            let mag = rng.gen::<f64>() * 1e6;
+            if rng.gen::<bool>() {
+                mag
+            } else {
+                -mag
+            }
+        }))
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary() -> BoxedStrategy<u64> {
+        Box::new(FnStrategy(|rng| rng.gen::<u64>()))
+    }
+}
+
+/// The canonical strategy for a type (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+// --- ranges ---
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+// --- tuples ---
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ ))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// --- sample::select ---
+
+/// Uniformly selects one of the given values (`prop::sample::select`).
+pub struct Select<T: Clone>(Vec<T>);
+
+/// Build a [`Select`] strategy over explicit options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select(options)
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+// --- collection::vec ---
+
+/// Generates vectors with lengths drawn from a range (`prop::collection::vec`).
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Build a [`VecStrategy`].
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into().0,
+    }
+}
+
+/// A length specification for [`vec`] (from a range or a single usize).
+pub struct SizeRange(Range<usize>);
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange(*r.start()..r.end().saturating_add(1))
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// --- option::of ---
+
+/// Generates `None` a quarter of the time, otherwise `Some` (`prop::option::of`).
+pub struct OptionStrategy<S>(S);
+
+/// Build an [`OptionStrategy`].
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_range(0..4usize) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+// --- prop_oneof! support ---
+
+/// A weighted union of boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from weighted arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! requires positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms.last().expect("non-empty union").1.generate(rng)
+    }
+}
+
+/// Helper used by `prop_oneof!` to coerce each arm into a weighted boxed strategy.
+pub fn weighted<S: Strategy + 'static>(weight: u32, strategy: S) -> (u32, BoxedStrategy<S::Value>) {
+    (weight, Box::new(strategy))
+}

@@ -1,0 +1,67 @@
+//! Execution of property-test cases.
+
+use rand::prelude::*;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// The result type the generated test-case closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-property runner: a deterministic RNG plus the case budget.
+pub struct TestRunner {
+    /// Generator for this property (seeded per test name for reproducibility).
+    pub rng: StdRng,
+    /// Number of accepted cases to run.
+    pub cases: usize,
+}
+
+impl TestRunner {
+    /// Build a runner for the named property. `PROPTEST_CASES` overrides the default
+    /// budget of 64 cases.
+    pub fn new(test_name: &str) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        // FNV-1a over the test name: stable across runs, distinct across tests.
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            cases,
+        }
+    }
+
+    /// Run one property: keep generating cases until `cases` accepted ones ran, with a
+    /// bounded tolerance for `prop_assume!` rejections.
+    pub fn run(&mut self, mut case: impl FnMut(&mut StdRng) -> TestCaseResult) {
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        while accepted < self.cases {
+            match case(&mut self.rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.cases * 16 {
+                        // Matches proptest's behavior of giving up on pathological
+                        // assume rates rather than looping forever.
+                        panic!("property rejected too many cases ({rejected}) via prop_assume!");
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property failed after {accepted} passing case(s): {msg}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Workspace-local stand-in for the `serde_json` crate (the repository builds fully
+//! offline, so crates.io is unavailable).
+//!
+//! Implements the subset the repository uses: the [`Value`] tree, the [`json!`]
+//! construction macro, [`from_str`] (a complete JSON parser), and [`to_string`] /
+//! [`to_string_pretty`] printers. Objects are kept in a `BTreeMap`, so key order is
+//! sorted rather than insertion-ordered; nothing in the repository depends on insertion
+//! order.
+
+mod macros;
+mod parse;
+mod print;
+mod value;
+
+pub use parse::{from_str, Error};
+pub use value::{Map, Number, ToJson, Value};
+
+/// Serialize a value to a compact JSON string.
+///
+/// Mirrors `serde_json::to_string`; the result type keeps the `Result` shape call sites
+/// expect even though printing a `Value` cannot fail.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(print::print(value, None))
+}
+
+/// Serialize a value to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    Ok(print::print(value, Some(0)))
+}

@@ -1,0 +1,127 @@
+//! The [`json!`] construction macro.
+//!
+//! A token-tree muncher in the style of the real `serde_json` macro, restricted to the
+//! grammar this repository uses: object keys are string literals or arbitrary
+//! expression token sequences (terminated by `:`), values are `null` / booleans /
+//! nested objects / arrays / arbitrary expressions, with optional trailing commas.
+
+/// Build a [`crate::Value`] from JSON-like syntax with interpolated expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@arr arr $($tt)*);
+        $crate::Value::Array(arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@key map () $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {{
+        #[allow(unused_imports)]
+        use $crate::ToJson as _;
+        ($other).to_json()
+    }};
+}
+
+/// Internal muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- object: accumulate key tokens (inside parens) until the ':' ----
+    (@key $map:ident ()) => {};
+    // Keys never contain a top-level ':', so a bare ':' always ends the key.
+    (@key $map:ident ($($key:tt)+) : $($rest:tt)*) => {
+        $crate::json_internal!(@val $map ($($key)+) $($rest)*)
+    };
+    (@key $map:ident ($($key:tt)*) $t:tt $($rest:tt)*) => {
+        $crate::json_internal!(@key $map ($($key)* $t) $($rest)*)
+    };
+
+    // ---- object: parse one value, insert, continue ----
+    (@val $map:ident ($($key:tt)+) null $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($($key)+), $crate::Value::Null);
+        $crate::json_internal!(@key $map () $($($rest)*)?);
+    };
+    (@val $map:ident ($($key:tt)+) { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($($key)+), $crate::json!({ $($inner)* }));
+        $crate::json_internal!(@key $map () $($($rest)*)?);
+    };
+    (@val $map:ident ($($key:tt)+) [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($($key)+), $crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@key $map () $($($rest)*)?);
+    };
+    (@val $map:ident ($($key:tt)+) $value:expr , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($($key)+), $crate::json!($value));
+        $crate::json_internal!(@key $map () $($rest)*);
+    };
+    (@val $map:ident ($($key:tt)+) $value:expr) => {
+        $map.insert(::std::string::String::from($($key)+), $crate::json!($value));
+    };
+
+    // ---- array elements ----
+    (@arr $vec:ident) => {};
+    (@arr $vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_internal!(@arr $vec $($($rest)*)?);
+    };
+    (@arr $vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@arr $vec $($($rest)*)?);
+    };
+    (@arr $vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@arr $vec $($($rest)*)?);
+    };
+    (@arr $vec:ident $value:expr , $($rest:tt)*) => {
+        $vec.push($crate::json!($value));
+        $crate::json_internal!(@arr $vec $($rest)*);
+    };
+    (@arr $vec:ident $value:expr) => {
+        $vec.push($crate::json!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn scalars_and_interpolation() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3), 3);
+        assert_eq!(json!(2.5), 2.5);
+        let s = String::from("hi");
+        assert_eq!(json!(s), "hi");
+    }
+
+    #[test]
+    fn nested_objects_arrays_and_expression_keys() {
+        let n = 2usize;
+        let key = String::from("computed");
+        let v = json!({
+            "a": 1,
+            "nested": { "b": [1, 2.0, "x"], "empty": {}, "n": null },
+            key.clone(): n,
+            "list": [{ "k": "v" }, []],
+            "trailing": true,
+        });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["nested"]["b"][1], 2.0);
+        assert_eq!(v["nested"]["b"][2], "x");
+        assert!(v["nested"]["empty"].is_object());
+        assert!(v["nested"]["n"].is_null());
+        assert_eq!(v["computed"], 2usize);
+        assert_eq!(v["list"][0]["k"], "v");
+        assert!(v["list"][1].as_array().unwrap().is_empty());
+        assert_eq!(v["trailing"], true);
+        assert!(v["missing"].is_null());
+    }
+}

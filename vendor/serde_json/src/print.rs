@@ -1,0 +1,108 @@
+//! Compact and pretty JSON printers.
+
+use crate::value::{Number, Value};
+
+/// Render a value; `indent = Some(level)` selects two-space pretty printing.
+pub fn print(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, ('[', ']'), |out, v, ind| {
+            write_value(out, v, ind)
+        }),
+        Value::Object(map) => write_seq(out, map.iter(), indent, ('{', '}'), |out, (k, v), ind| {
+            write_string(out, k);
+            out.push(':');
+            if ind.is_some() {
+                out.push(' ');
+            }
+            write_value(out, v, ind);
+        }),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(brackets.0);
+    let len = items.len();
+    let inner = indent.map(|i| i + 1);
+    for (i, item) in items.enumerate() {
+        if let Some(level) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+        write_item(out, item, inner);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(level) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::Float(f) if f.is_finite() => {
+            // Match serde_json closely enough: floats keep a fractional form.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        // JSON has no NaN/Infinity; serde_json errors, we degrade to null.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json;
+
+    #[test]
+    fn pretty_layout_matches_nbformat_expectations() {
+        let v = json!({ "nbformat": 4, "cells": ["a\nb"], "pi": 3.0 });
+        let pretty = crate::to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"nbformat\": 4"));
+        assert!(pretty.contains("\"a\\nb\""));
+        assert!(pretty.contains("\"pi\": 3.0"));
+        let compact = crate::to_string(&v).unwrap();
+        assert!(!compact.contains('\n'));
+        assert!(compact.contains("\"nbformat\":4"));
+    }
+}

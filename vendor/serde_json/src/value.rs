@@ -1,0 +1,383 @@
+//! The JSON value tree and its conversion / comparison / indexing surface.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Object representation (sorted keys).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: either an exact integer or a float, so integers print without a
+/// trailing `.0` (nbformat consumers care).
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer (covers every integer the repository produces).
+    Int(i64),
+    /// A double-precision float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as an `i64` when it is an exact integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() < i64::MAX as f64 => Some(f as i64),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64` if this is an exact integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if this is a non-negative exact integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The bool if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Object member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::print(self, None))
+    }
+}
+
+// --- indexing (mirrors serde_json: missing members read as Null) ---
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Inserting into a non-object first turns it into an empty object, like serde_json
+    /// does for `Value::Null` (the only non-object case the repository exercises).
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if !self.is_object() {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            _ => unreachable!("just coerced to object"),
+        }
+    }
+}
+
+// --- conversions ---
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::Float(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Number(Number::Float(f as f64))
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(i: $t) -> Self {
+                Value::Number(Number::Int(i as i64))
+            }
+        })*
+    };
+}
+from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Self {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Self {
+        opt.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+// --- comparisons against plain Rust values (used pervasively in tests) ---
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {
+        $(impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        })*
+    };
+}
+eq_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// By-reference conversion used by the `json!` macro (mirrors how the real macro
+/// serializes interpolated expressions through `&T: Serialize`, so owned fields can be
+/// interpolated without being moved).
+pub trait ToJson {
+    /// Build the JSON value for `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        })*
+    };
+}
+to_json_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        self.as_ref().map(ToJson::to_json).unwrap_or(Value::Null)
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
