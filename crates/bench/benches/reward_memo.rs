@@ -1,0 +1,147 @@
+//! Reward-memoization benchmark: `session_score` on a 20-op exploration tree, with a
+//! cold vs. warm [`StatsCache`] — the quantity behind the StatsCache layer's claim
+//! that histogram/reward memoization removes the post-OpMemo hot path of CDRL
+//! training.
+//!
+//! Besides the criterion-style timings (which double as CI smoke tests under
+//! `--test`), a full run writes a machine-readable `BENCH_rewards.json` baseline so
+//! the perf trajectory of the reward path is tracked from this PR onward. Set
+//! `LINX_BENCH_OUT` to redirect the baseline file.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{StatsCache, Value};
+use linx_explore::{
+    ExplorationReward, ExplorationTree, NodeId, OpMemo, QueryOp, RewardWeights, SessionExecutor,
+};
+
+/// Number of query operations in the benchmark tree.
+const TREE_OPS: usize = 20;
+/// Dataset size: large enough that histogram building dominates reward cost.
+const ROWS: usize = 6_000;
+
+/// A 20-op session over the synthetic Netflix dataset: ten distinct release-year
+/// filters off the root, each followed by one group-by — every node has a distinct
+/// result view, so nothing short of real memoization makes the score cheap.
+fn setup() -> (SessionExecutor, ExplorationTree) {
+    let dataset = generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(ROWS),
+            seed: 11,
+        },
+    );
+    let mut tree = ExplorationTree::new();
+    let group_keys = ["type", "rating", "genre", "country", "duration"];
+    for i in 0..(TREE_OPS / 2) {
+        let f = tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter(
+                "release_year",
+                CompareOp::Ge,
+                Value::Int(1998 + 2 * i as i64),
+            ),
+        );
+        tree.add_child(
+            f,
+            QueryOp::group_by(group_keys[i % group_keys.len()], AggFunc::Count, "show_id"),
+        );
+    }
+    assert_eq!(tree.num_ops(), TREE_OPS);
+    // A shared op memo keeps view materialization identical (and cheap) across the
+    // cold and warm variants, so the cache under measurement is the stats cache.
+    let executor = SessionExecutor::with_memo(dataset, Arc::new(OpMemo::new()));
+    (executor, tree)
+}
+
+fn score_with_fresh_cache(executor: &SessionExecutor, tree: &ExplorationTree) -> f64 {
+    let reward =
+        ExplorationReward::with_cache(RewardWeights::default(), Arc::new(StatsCache::default()));
+    reward.session_score(executor, tree)
+}
+
+fn bench_reward_memo(c: &mut Criterion) {
+    let (executor, tree) = setup();
+
+    c.bench_function("session_score_20op_cold_cache", |b| {
+        b.iter(|| criterion::black_box(score_with_fresh_cache(&executor, &tree)))
+    });
+
+    let warm_reward =
+        ExplorationReward::with_cache(RewardWeights::default(), Arc::new(StatsCache::default()));
+    warm_reward.session_score(&executor, &tree); // warm every histogram
+    c.bench_function("session_score_20op_warm_cache", |b| {
+        b.iter(|| criterion::black_box(warm_reward.session_score(&executor, &tree)))
+    });
+
+    // Uncached baseline: what the score cost before the StatsCache layer existed.
+    let plain = ExplorationReward::default();
+    c.bench_function("session_score_20op_uncached", |b| {
+        b.iter(|| criterion::black_box(plain.session_score(&executor, &tree)))
+    });
+}
+
+criterion_group!(benches, bench_reward_memo);
+
+/// Median wall-clock microseconds of `runs` invocations of `f`.
+fn median_micros(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measure cold vs. warm medians and write the machine-readable baseline.
+fn write_baseline() -> std::io::Result<()> {
+    let (executor, tree) = setup();
+    let runs = 9;
+
+    // Prime the op memo and the frames' memoized fingerprints so cold measures
+    // histogram building, not view materialization.
+    score_with_fresh_cache(&executor, &tree);
+    let cold_micros = median_micros(runs, || score_with_fresh_cache(&executor, &tree));
+
+    let cache = Arc::new(StatsCache::default());
+    let reward = ExplorationReward::with_cache(RewardWeights::default(), Arc::clone(&cache));
+    reward.session_score(&executor, &tree); // warm
+    let after_warmup = cache.stats();
+    let warm_micros = median_micros(runs, || reward.session_score(&executor, &tree));
+    let warm_stats = cache.stats();
+
+    let speedup = cold_micros / warm_micros.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"reward_memo\",\n  \"tree_ops\": {TREE_OPS},\n  \"rows\": {ROWS},\n  \"cold_session_score_micros\": {cold_micros:.1},\n  \"warm_session_score_micros\": {warm_micros:.1},\n  \"warm_speedup\": {speedup:.2},\n  \"histograms_per_cold_pass\": {},\n  \"warm_pass_misses\": {},\n  \"warm_pass_hits\": {}\n}}\n",
+        after_warmup.misses,
+        warm_stats.misses - after_warmup.misses,
+        warm_stats.hits - after_warmup.hits,
+    );
+    // Default to the workspace root (cargo runs benches with the package dir as cwd,
+    // which would scatter baselines under crates/bench).
+    let path = std::env::var("LINX_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewards.json").to_string()
+    });
+    std::fs::write(&path, &json)?;
+    println!("wrote {path}:\n{json}");
+    Ok(())
+}
+
+fn main() {
+    benches();
+    // Smoke mode (`cargo bench -- --test`, as CI runs it) skips the baseline pass.
+    if !std::env::args().any(|a| a == "--test") {
+        if let Err(e) = write_baseline() {
+            eprintln!("failed to write reward baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,13 +9,18 @@
 //! distributed equally across the episode's steps by the trainer (Algorithm 2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use linx_dataframe::DataFrame;
-use linx_explore::{ExplorationReward, ExplorationTree, NodeId, QueryOp, SessionExecutor};
+use linx_explore::{
+    ExplorationReward, ExplorationTree, NodeId, QueryOp, RewardWeights, SessionDiversity,
+    SessionExecutor,
+};
 use linx_ldx::Ldx;
 
 use crate::compliance::ComplianceReward;
 use crate::config::CdrlConfig;
+use crate::context::DatasetStats;
 use crate::featurize::Featurizer;
 use crate::terms::TermInventory;
 
@@ -45,8 +50,9 @@ pub struct LinxEnv {
     executor: SessionExecutor,
     explore_reward: ExplorationReward,
     compliance: ComplianceReward,
-    featurizer: Featurizer,
-    terms: TermInventory,
+    /// Per-dataset statistics (featurizer, term inventory, stats cache) shared across
+    /// goals and episodes; see [`DatasetStats`].
+    shared: DatasetStats,
     config: CdrlConfig,
     max_ops: usize,
     max_steps: usize,
@@ -56,6 +62,10 @@ pub struct LinxEnv {
     /// Canonical op path per node (see [`SessionExecutor::child_path`]), so op results
     /// route through the executor's shared memo when it has one.
     paths: HashMap<NodeId, String>,
+    /// Incremental diversity tracker: each node's primary histogram is stored once,
+    /// and a step updates only the new node's minimum distance (O(n) per step, never
+    /// an all-pairs rescan).
+    diversity: SessionDiversity,
     steps_taken: usize,
 }
 
@@ -69,15 +79,28 @@ impl LinxEnv {
     /// Create an environment around an existing executor (and thereby its shared
     /// [`linx_explore::OpMemo`], when it has one): repeated op executions across
     /// episodes — and across goals served over the same dataset — hit the memo instead
-    /// of recomputing views.
+    /// of recomputing views. Builds fresh [`DatasetStats`]; serving layers that hold
+    /// per-dataset statistics should use [`LinxEnv::with_shared`].
     pub fn with_executor(executor: SessionExecutor, ldx: Ldx, config: CdrlConfig) -> Self {
+        let shared = DatasetStats::build(executor.dataset(), config.term_slots);
+        Self::with_shared(executor, ldx, config, shared)
+    }
+
+    /// Create an environment reusing prebuilt per-dataset statistics: the featurizer,
+    /// the term inventory, and the view-statistics cache are shared (by `Arc`) with
+    /// every other environment handed the same [`DatasetStats`], so batch serving and
+    /// CDRL training over one dataset compute each per-dataset statistic once.
+    pub fn with_shared(
+        executor: SessionExecutor,
+        ldx: Ldx,
+        config: CdrlConfig,
+        shared: DatasetStats,
+    ) -> Self {
         let dataset = executor.dataset().clone();
         let max_ops = config
             .episode_ops
             .unwrap_or_else(|| (ldx.min_operations() + config.episode_slack).max(2));
         let max_steps = max_ops * 2 + 2;
-        let featurizer = Featurizer::new(&dataset);
-        let terms = TermInventory::build(&dataset, config.term_slots);
         let compliance = ComplianceReward::new(ldx, config.clone());
         let mut views = HashMap::new();
         views.insert(NodeId::ROOT, dataset);
@@ -85,16 +108,19 @@ impl LinxEnv {
         paths.insert(NodeId::ROOT, String::new());
         LinxEnv {
             executor,
-            explore_reward: ExplorationReward::default(),
+            explore_reward: ExplorationReward::with_cache(
+                RewardWeights::default(),
+                Arc::clone(&shared.stats),
+            ),
             compliance,
-            featurizer,
-            terms,
+            shared,
             config,
             max_ops,
             max_steps,
             tree: ExplorationTree::new(),
             views,
             paths,
+            diversity: SessionDiversity::new(),
             steps_taken: 0,
         }
     }
@@ -106,12 +132,17 @@ impl LinxEnv {
 
     /// The term inventory derived from the root dataset.
     pub fn terms(&self) -> &TermInventory {
-        &self.terms
+        &self.shared.terms
     }
 
     /// The featurizer (exposed so the agent knows the observation dimension).
     pub fn featurizer(&self) -> &Featurizer {
-        &self.featurizer
+        &self.shared.featurizer
+    }
+
+    /// The shared per-dataset statistics (featurizer, terms, view-statistics cache).
+    pub fn shared_stats(&self) -> &DatasetStats {
+        &self.shared
     }
 
     /// The compliance reward calculator (exposed for the trainer and tests).
@@ -144,6 +175,7 @@ impl LinxEnv {
             .insert(NodeId::ROOT, self.executor.dataset().clone());
         self.paths.clear();
         self.paths.insert(NodeId::ROOT, String::new());
+        self.diversity.clear();
         self.steps_taken = 0;
     }
 
@@ -169,12 +201,13 @@ impl LinxEnv {
         } else {
             true
         };
-        self.featurizer.featurize(
+        self.shared.featurizer.featurize_with(
             self.current_view(),
             &self.tree,
             self.steps_taken,
             self.max_steps,
             completable,
+            Some(&self.shared.stats),
         )
     }
 
@@ -205,11 +238,17 @@ impl LinxEnv {
                         self.paths.insert(node, path);
                         applied = true;
                         // Generic exploration reward components for this operation.
+                        // Interestingness histograms route through the shared stats
+                        // cache; diversity is incremental — the node's primary
+                        // histogram is stored once and compared against the stored
+                        // histograms of earlier nodes (no per-step rebuild).
                         let interest =
                             self.explore_reward
                                 .interestingness(&op, &parent_view, &view);
-                        let diversity =
-                            self.explore_reward.diversity(&self.tree, &self.views, node);
+                        let hist = self
+                            .explore_reward
+                            .primary_histogram(&self.tree, &view, node);
+                        let diversity = self.diversity.observe(node, hist);
                         let w = self.explore_reward.weights();
                         let r_gen = w.mu * interest + w.lambda * diversity;
                         // Immediate compliance signal.
@@ -466,6 +505,52 @@ mod tests {
             "id",
         )));
         assert!(env.end_of_session_bonus(1) < 0.0);
+    }
+
+    #[test]
+    fn step_rewards_hit_the_shared_stats_cache_incrementally() {
+        let mut env = LinxEnv::new(dataset(), ldx(), CdrlConfig::default());
+        env.reset();
+        let ops = [
+            AgentAction::Apply(QueryOp::filter(
+                "country",
+                CompareOp::Eq,
+                Value::str("India"),
+            )),
+            AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")),
+            AgentAction::Back,
+            AgentAction::Back,
+            AgentAction::Apply(QueryOp::filter(
+                "country",
+                CompareOp::Neq,
+                Value::str("India"),
+            )),
+            AgentAction::Apply(QueryOp::group_by("type", AggFunc::Count, "id")),
+        ];
+        // Per applied step, the reward computes at most a constant number of fresh
+        // statistics (per-column interestingness histograms + one primary histogram +
+        // one grouping), independent of how many nodes the session already has — the
+        // incremental-diversity guarantee. 3 columns x 2 frames + primary + groups.
+        let per_step_bound = 8u64;
+        for action in ops.iter().cloned() {
+            let before = env.shared_stats().stats.stats().misses;
+            env.step(action);
+            let delta = env.shared_stats().stats.stats().misses - before;
+            assert!(
+                delta <= per_step_bound,
+                "a step computed {delta} fresh statistics (bound {per_step_bound})"
+            );
+        }
+        // Replaying the identical episode recomputes nothing: views have identical
+        // content, so every statistic is a fingerprint-keyed cache hit.
+        let cold = env.shared_stats().stats.stats();
+        env.reset();
+        for action in ops.iter().cloned() {
+            env.step(action);
+        }
+        let warm = env.shared_stats().stats.stats();
+        assert_eq!(warm.misses, cold.misses, "replay computes nothing new");
+        assert!(warm.hits > cold.hits, "replay is served from the cache");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (coverage of the view relative to the root dataset, current depth, step progress,
 //! and the kind of the previous operation).
 
+use linx_dataframe::stats_cache::StatsCache;
 use linx_dataframe::DataFrame;
 use linx_explore::{ExplorationTree, NodeId, OpKind};
 use serde::{Deserialize, Serialize};
@@ -64,24 +65,33 @@ impl Featurizer {
         max_steps: usize,
         completable: bool,
     ) -> Vec<f64> {
+        self.featurize_with(view, tree, step, max_steps, completable, None)
+    }
+
+    /// Like [`Featurizer::featurize`], but pulling the per-column summaries through a
+    /// shared [`StatsCache`] when one is given: the CDRL environment observes the same
+    /// views over and over (and re-observes them across episodes), so the cached path
+    /// turns the per-step column scans into lookups.
+    pub fn featurize_with(
+        &self,
+        view: &DataFrame,
+        tree: &ExplorationTree,
+        step: usize,
+        max_steps: usize,
+        completable: bool,
+        stats: Option<&StatsCache>,
+    ) -> Vec<f64> {
         let mut obs = Vec::with_capacity(OBS_DIM);
         // Per-column features, aligned to the ROOT schema so columns keep stable slots
         // even when the current view (e.g. an aggregate) has different columns.
         for i in 0..MAX_COLS {
-            match self.root_columns.get(i) {
-                Some(name) if view.schema().contains(name) => {
-                    let col = view.column(name).expect("checked contains");
-                    let n = view.num_rows().max(1) as f64;
-                    let distinct = col.n_unique() as f64 / n;
-                    let nulls = col.null_count() as f64 / n;
-                    let entropy = view
-                        .histogram(name)
-                        .map(|h| h.normalized_entropy())
-                        .unwrap_or(0.0);
-                    let numeric = if col.dtype().is_numeric() { 1.0 } else { 0.0 };
-                    obs.extend_from_slice(&[distinct, nulls, entropy, numeric]);
-                }
-                _ => obs.extend_from_slice(&[0.0; COL_FEATURES]),
+            match self
+                .root_columns
+                .get(i)
+                .and_then(|name| column_features(view, name, stats))
+            {
+                Some(features) => obs.extend_from_slice(&features),
+                None => obs.extend_from_slice(&[0.0; COL_FEATURES]),
             }
         }
         // Global features.
@@ -112,6 +122,42 @@ impl Featurizer {
         obs.push(if completable { 1.0 } else { 0.0 });
         debug_assert_eq!(obs.len(), OBS_DIM);
         obs
+    }
+}
+
+/// The four per-column features (distinct ratio, null rate, normalized entropy,
+/// numeric flag), from the stats cache when one is given. `None` when the view lacks
+/// the column (the caller zero-pads).
+fn column_features(
+    view: &DataFrame,
+    name: &str,
+    stats: Option<&StatsCache>,
+) -> Option<[f64; COL_FEATURES]> {
+    match stats {
+        Some(cache) => {
+            let s = cache.summary(view, name).ok()?;
+            let n = s.rows.max(1) as f64;
+            Some([
+                s.n_distinct as f64 / n,
+                s.null_count as f64 / n,
+                s.normalized_entropy,
+                if s.numeric { 1.0 } else { 0.0 },
+            ])
+        }
+        None => {
+            let col = view.column(name).ok()?;
+            let n = view.num_rows().max(1) as f64;
+            let entropy = view
+                .histogram(name)
+                .map(|h| h.normalized_entropy())
+                .unwrap_or(0.0);
+            Some([
+                col.n_unique() as f64 / n,
+                col.null_count() as f64 / n,
+                entropy,
+                if col.dtype().is_numeric() { 1.0 } else { 0.0 },
+            ])
+        }
     }
 }
 
@@ -172,6 +218,34 @@ mod tests {
         assert_eq!(obs[OBS_DIM - 4], 1.0, "last op was a filter");
         assert_eq!(obs[OBS_DIM - 2], 0.0, "no longer at root");
         assert_eq!(obs[OBS_DIM - 1], 0.0, "not completable flag");
+    }
+
+    #[test]
+    fn cached_featurization_matches_uncached() {
+        let root = df();
+        let f = Featurizer::new(&root);
+        let cache = StatsCache::default();
+        let mut tree = ExplorationTree::new();
+        tree.push_op(QueryOp::filter("country", CompareOp::Eq, Value::str("US")));
+        let view = root
+            .filter(&linx_dataframe::filter::Predicate::new(
+                "country",
+                CompareOp::Eq,
+                Value::str("US"),
+            ))
+            .unwrap();
+        for v in [&root, &view] {
+            let plain = f.featurize(v, &tree, 1, 4, true);
+            let cached = f.featurize_with(v, &tree, 1, 4, true, Some(&cache));
+            assert_eq!(plain, cached);
+        }
+        let s = cache.stats();
+        assert!(s.misses > 0);
+        // Re-observing the same views is pure lookups.
+        f.featurize_with(&view, &tree, 2, 4, true, Some(&cache));
+        let s2 = cache.stats();
+        assert_eq!(s2.misses, s.misses);
+        assert!(s2.hits > s.hits);
     }
 
     #[test]

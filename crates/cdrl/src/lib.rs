@@ -33,6 +33,7 @@
 pub mod agent;
 pub mod compliance;
 pub mod config;
+pub mod context;
 pub mod env;
 pub mod featurize;
 pub mod refine;
@@ -43,6 +44,7 @@ pub mod trainer;
 pub use agent::LinxAgent;
 pub use compliance::ComplianceReward;
 pub use config::{CdrlConfig, CdrlVariant};
+pub use context::DatasetStats;
 pub use env::{AgentAction, LinxEnv, StepOutcome};
 pub use refine::refine_session;
 pub use snippets::Snippet;

@@ -5,7 +5,7 @@
 //! frequent categorical values, or representative numeric quantiles for numeric
 //! columns. The inventory is computed once per dataset on the root view.
 
-use linx_dataframe::{DataFrame, DataType, Value};
+use linx_dataframe::{DataFrame, DataType, StatsCache, Value};
 use serde::{Deserialize, Serialize};
 
 /// Per-column candidate filter terms.
@@ -20,21 +20,31 @@ impl TermInventory {
     /// Build the inventory from the root dataset, keeping at most `slots` terms per
     /// column.
     pub fn build(df: &DataFrame, slots: usize) -> Self {
+        Self::build_with(df, slots, None)
+    }
+
+    /// Like [`TermInventory::build`], but routing categorical histograms through a
+    /// shared [`StatsCache`] so the root-column distributions the inventory ranks by
+    /// are memoized for (and possibly already memoized by) the reward computations.
+    pub fn build_with(df: &DataFrame, slots: usize, stats: Option<&StatsCache>) -> Self {
         let mut columns = Vec::new();
         let mut terms = Vec::new();
         for field in df.schema().fields() {
             let col_terms = match field.dtype {
                 DataType::Str | DataType::Bool => {
                     // Most frequent values first.
-                    df.histogram(&field.name)
-                        .map(|h| {
-                            h.sorted()
-                                .into_iter()
-                                .take(slots)
-                                .map(|(v, _)| v)
-                                .collect::<Vec<_>>()
-                        })
-                        .unwrap_or_default()
+                    let hist = match stats {
+                        Some(cache) => cache.histogram(df, &field.name).ok(),
+                        None => df.histogram(&field.name).ok().map(std::sync::Arc::new),
+                    };
+                    hist.map(|h| {
+                        h.sorted()
+                            .into_iter()
+                            .take(slots)
+                            .map(|(v, _)| v)
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default()
                 }
                 DataType::Int | DataType::Float => numeric_terms(df, &field.name, slots),
             };

@@ -137,8 +137,25 @@ impl CdrlTrainer {
     /// The serving layer (`linx-engine`) uses this to share materialized views across
     /// episodes and across concurrently trained goals over the same dataset.
     pub fn train_with_executor(&self, executor: SessionExecutor, ldx: Ldx) -> TrainOutcome {
+        let shared =
+            crate::context::DatasetStats::build(executor.dataset(), self.config.term_slots);
+        self.train_with_shared(executor, ldx, shared)
+    }
+
+    /// Like [`Self::train_with_executor`], but additionally reusing prebuilt
+    /// per-dataset statistics ([`crate::context::DatasetStats`]): the term inventory,
+    /// featurizer, and view-statistics cache are shared across every goal trained over
+    /// the same dataset instead of being rebuilt per training run.
+    pub fn train_with_shared(
+        &self,
+        executor: SessionExecutor,
+        ldx: Ldx,
+        shared: crate::context::DatasetStats,
+    ) -> TrainOutcome {
         let dataset = executor.dataset().clone();
-        let mut env = LinxEnv::with_executor(executor.clone(), ldx.clone(), self.config.clone());
+        let stats = std::sync::Arc::clone(&shared.stats);
+        let mut env =
+            LinxEnv::with_shared(executor.clone(), ldx.clone(), self.config.clone(), shared);
         let agent_proto = LinxAgent::new(&dataset, &ldx, &self.config);
         let mut agent = agent_proto;
         let mut pg = PolicyGradientTrainer::new(TrainerConfig {
@@ -241,7 +258,8 @@ impl CdrlTrainer {
         // the "red" parameters the paper says the CDRL engine discovers. Only applied to
         // an already-compliant session, so compliance is preserved.
         if best_compliant && self.config.refine {
-            let reward = ExplorationReward::default();
+            let reward =
+                ExplorationReward::with_cache(linx_explore::RewardWeights::default(), stats);
             let refined = crate::refine::refine_session(
                 &best_tree,
                 &dataset,

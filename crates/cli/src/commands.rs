@@ -700,13 +700,16 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
             BatchRequest::new(name.clone(), args.goals.clone()),
         );
         out.push_str(&format!(
-            "-- round {round}: {}/{} ok, {} from cache, {:.1} ms total (memo: {} hits / {} misses)\n",
+            "-- round {round}: {}/{} ok, {} from cache, {:.1} ms total (memo: {} hits / {} misses; stats: {} hits / {} misses, {:.0}% hit rate)\n",
             outcome.succeeded(),
             outcome.responses.len(),
             outcome.cache_hits(),
             outcome.total_micros as f64 / 1000.0,
             outcome.memo.hits,
             outcome.memo.misses,
+            outcome.stats.hits,
+            outcome.stats.misses,
+            outcome.stats.hit_rate() * 100.0,
         ));
         for r in &outcome.responses {
             let status = match &r.outcome {
@@ -846,9 +849,11 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
         engine.config().workers,
     );
     out.push_str(&format!(
-        "  sequential Linx::explore : {seq_secs:>8.2} s\n  engine batch (cold)      : {cold_secs:>8.2} s  ({:.2}x speedup, memo {} hits)\n  engine batch (cached)    : {warm_secs:>8.2} s  ({} of {} served from cache)\n",
+        "  sequential Linx::explore : {seq_secs:>8.2} s\n  engine batch (cold)      : {cold_secs:>8.2} s  ({:.2}x speedup, memo {} hits, stats {} hits / {} misses)\n  engine batch (cached)    : {warm_secs:>8.2} s  ({} of {} served from cache)\n",
         seq_secs / cold_secs.max(1e-9),
         cold.memo.hits,
+        cold.stats.hits,
+        cold.stats.misses,
         warm.cache_hits(),
         warm.responses.len(),
     ));

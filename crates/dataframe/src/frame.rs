@@ -2,7 +2,7 @@
 //! operations LINX sessions are made of (filter, group-and-aggregate).
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::column::Column;
 use crate::error::{DataFrameError, Result};
@@ -20,6 +20,11 @@ use crate::value::Value;
 #[derive(Debug, Clone)]
 pub struct DataFrame {
     columns: Vec<Arc<Column>>,
+    /// Memoized content fingerprint. A frame is immutable after construction, so the
+    /// first computed value stays valid; clones share it, which turns the repeated
+    /// per-view fingerprints taken by [`crate::stats_cache::StatsCache`] lookups into
+    /// a single linear scan per distinct frame.
+    fp: Arc<OnceLock<u64>>,
 }
 
 impl DataFrame {
@@ -41,12 +46,16 @@ impl DataFrame {
         }
         Ok(DataFrame {
             columns: columns.into_iter().map(Arc::new).collect(),
+            fp: Arc::new(OnceLock::new()),
         })
     }
 
     /// An empty dataframe (no columns, no rows).
     pub fn empty() -> Self {
-        DataFrame { columns: vec![] }
+        DataFrame {
+            columns: vec![],
+            fp: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Build a dataframe from row-major data with the given column names. Column types
@@ -91,14 +100,18 @@ impl DataFrame {
     /// Stable across runs and platforms (FNV-1a, see [`crate::fingerprint`]), so it can
     /// key persistent or cross-process caches — the `linx-engine` result cache keys
     /// exploration results by `(dataset fingerprint, goal, config)`. Cost is one linear
-    /// scan of the data.
+    /// scan of the data the first time; the value is memoized (and shared by clones),
+    /// so repeated calls — e.g. per-column [`crate::stats_cache::StatsCache`] lookups
+    /// against the same view — are O(1) thereafter.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = crate::fingerprint::Fnv1a::new();
-        h.write_u64(self.columns.len() as u64);
-        for c in &self.columns {
-            h.write_u64(crate::fingerprint::column_fingerprint(c));
-        }
-        h.finish()
+        *self.fp.get_or_init(|| {
+            let mut h = crate::fingerprint::Fnv1a::new();
+            h.write_u64(self.columns.len() as u64);
+            for c in &self.columns {
+                h.write_u64(crate::fingerprint::column_fingerprint(c));
+            }
+            h.finish()
+        })
     }
 
     /// The schema (names + dtypes) of this dataframe.
@@ -149,6 +162,7 @@ impl DataFrame {
                 .iter()
                 .map(|c| Arc::new(c.gather(indices)))
                 .collect(),
+            fp: Arc::new(OnceLock::new()),
         }
     }
 
@@ -163,7 +177,10 @@ impl DataFrame {
                     .ok_or_else(|| DataFrameError::ColumnNotFound((*n).to_string()))?,
             ));
         }
-        Ok(DataFrame { columns: cols })
+        Ok(DataFrame {
+            columns: cols,
+            fp: Arc::new(OnceLock::new()),
+        })
     }
 
     /// The first `n` rows (like Pandas `head`). Used by the notebook renderer and the

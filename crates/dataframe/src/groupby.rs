@@ -117,7 +117,7 @@ impl fmt::Display for AggFunc {
 /// The raw grouping result before materializing into a dataframe: ordered group keys and
 /// the row indices in each group. Groups preserve first-occurrence order so aggregations
 /// are deterministic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Groups {
     /// Representative key value per group (the group-by attribute value).
     pub keys: Vec<Value>,

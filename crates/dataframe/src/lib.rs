@@ -18,7 +18,9 @@
 //! * hash group-by with the aggregation functions used by the paper
 //!   ([`groupby::AggFunc`]),
 //! * value histograms, entropy, and KL-divergence helpers ([`stats`]) used by the
-//!   generic exploration reward, and
+//!   generic exploration reward,
+//! * a sharded, fingerprint-keyed statistics cache ([`stats_cache`]) memoizing
+//!   histograms, groupings, and per-column summaries across reward computations, and
 //! * a small CSV reader/writer ([`csv`]) so real Kaggle exports can be loaded when
 //!   available.
 //!
@@ -59,11 +61,14 @@ pub mod fingerprint;
 pub mod frame;
 pub mod groupby;
 pub mod schema;
+pub mod sharded;
 pub mod stats;
+pub mod stats_cache;
 pub mod value;
 
 pub use column::Column;
 pub use error::{DataFrameError, Result};
 pub use frame::DataFrame;
 pub use schema::{DataType, Field, Schema};
+pub use stats_cache::{ColumnSummary, StatsCache, StatsCacheStats};
 pub use value::Value;

@@ -1,0 +1,228 @@
+//! A generic sharded LRU cache with hit/miss/eviction counters.
+//!
+//! Keys are spread over independently locked shards so concurrent workers rarely
+//! contend. Each shard tracks a recency tick per entry; eviction removes the
+//! least-recently-used entry of the shard that overflowed (approximate global LRU,
+//! exact per-shard LRU — the standard serving-cache trade-off, cf. sharded caches in
+//! most RPC servers).
+//!
+//! Lives in `linx-dataframe` (the workspace's lowest layer) because both the
+//! `linx-engine` result cache and the view-statistics cache ([`crate::stats_cache`])
+//! are instances of it; `linx-engine` re-exports it unchanged.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Point-in-time cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Total capacity across shards.
+    pub capacity: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, (V, u64)>,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, last_used)| {
+            *last_used = tick;
+            v.clone()
+        })
+    }
+
+    /// Insert, returning whether an older entry was evicted.
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if !self.map.contains_key(&key) && self.map.len() >= capacity {
+            // O(shard) scan; shards are small (capacity/shards entries) and eviction
+            // is rare relative to the cost of whatever the cache is saving.
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        evicted
+    }
+}
+
+/// A sharded, thread-safe LRU map.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache with `capacity` total entries spread over `shards` shards.
+    ///
+    /// A zero capacity yields a cache that stores nothing (every insert evicts
+    /// immediately is avoided; lookups simply always miss).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(capacity.max(1));
+        let per_shard_capacity = capacity.div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        // Keys are already high-entropy fingerprints; fold std's hasher output anyway
+        // so arbitrary key types spread well.
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a key, refreshing its recency.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.shard_for(key).lock().expect("cache lock").get(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a key, evicting the shard's least-recently-used entry if full.
+    pub fn insert(&self, key: K, value: V) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let evicted = self.shard_for(&key).lock().expect("cache lock").insert(
+            key,
+            value,
+            self.per_shard_capacity,
+        );
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache lock").map.len() as u64)
+                .sum(),
+            capacity: (self.per_shard_capacity * self.shards.len()) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_misses_and_counters() {
+        let cache: ShardedLru<u64, String> = ShardedLru::new(8, 2);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, "one".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // Single shard makes LRU order fully observable.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(3, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(3, 30);
+        // Touch 1 and 3; 2 becomes the LRU entry.
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&3).is_some());
+        cache.insert(4, 40);
+        assert_eq!(cache.get(&2), None, "LRU entry evicted");
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&3).is_some());
+        assert!(cache.get(&4).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(0, 4);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -19,7 +19,7 @@ use crate::value::Value;
 const EPS: f64 = 1e-9;
 
 /// A frequency histogram over the distinct non-null values of a column.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     counts: HashMap<String, (Value, usize)>,
     total: usize,
@@ -119,10 +119,19 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
+        let other_total = other.total.max(1) as f64;
         let mut kl = 0.0;
-        for (v, c) in self.iter() {
-            let p = c as f64 / self.total as f64;
-            let q = other.freq(v).max(EPS);
+        // Look other's counts up by the stored group keys directly: re-deriving
+        // `Value::group_key` per value would allocate a String per entry, and KL runs
+        // on every filter-interestingness reward.
+        for (k, (_, c)) in &self.counts {
+            let p = *c as f64 / self.total as f64;
+            let q = other
+                .counts
+                .get(k)
+                .map(|(_, oc)| *oc as f64 / other_total)
+                .unwrap_or(0.0)
+                .max(EPS);
             kl += p * (p / q).ln();
         }
         kl.max(0.0)

@@ -1,0 +1,330 @@
+//! View-level statistics cache: fingerprint-keyed memoization of [`Histogram`]s,
+//! [`Groups`], group sizes, and per-column summary statistics.
+//!
+//! Profiling the CDRL training loop shows that once op execution is memoized, the
+//! remaining hot path is the generic exploration reward `R_gen` (paper §5.1), which
+//! rebuilds per-column histograms and groupings from scratch on every step. Those
+//! statistics depend only on the *content* of a view's column, and views recur
+//! massively across reward calls — every episode revisits the same filtered views, the
+//! featurizer re-summarizes the same columns, and batched goals over one dataset share
+//! whole view prefixes. A [`StatsCache`] keys each statistic by
+//! `(DataFrame::fingerprint, column)` — stable across runs, processes, and frame
+//! clones — so each distinct `(view, column)` statistic is computed once per dataset.
+//!
+//! The store is a [`ShardedLru`] (the same structure behind the engine's result
+//! cache): keys spread over independently locked shards, exact per-shard LRU eviction,
+//! global hit/miss/eviction counters. Entries are `Arc`-shared, so a cache hit is a
+//! pointer bump, never a histogram clone, and keys fold the column name through the
+//! same stable FNV-1a as the frame fingerprint, so a lookup allocates nothing.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::fingerprint::Fnv1a;
+use crate::frame::DataFrame;
+use crate::groupby::Groups;
+use crate::sharded::ShardedLru;
+use crate::stats::Histogram;
+
+/// Point-in-time cache effectiveness counters — the sharded store's own counters,
+/// re-exported under a statistics-cache name for telemetry consumers (`OpMemoStats`
+/// style).
+pub type StatsCacheStats = crate::sharded::CacheStats;
+
+/// Cheap per-column summary statistics (the quantities the CDRL featurizer reads per
+/// observation), computed once per `(view, column)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Number of rows in the view the summary was taken from.
+    pub rows: usize,
+    /// Number of distinct (non-null-collapsed) values.
+    pub n_distinct: usize,
+    /// Number of null cells.
+    pub null_count: usize,
+    /// Normalized Shannon entropy of the value distribution, in `[0, 1]`.
+    pub normalized_entropy: f64,
+    /// Whether the column's declared dtype is numeric.
+    pub numeric: bool,
+}
+
+/// One cached statistic. All kinds share one store so capacity, eviction, and
+/// counters are managed in one place.
+#[derive(Debug, Clone)]
+enum Entry {
+    Hist(Arc<Histogram>),
+    Groups(Arc<Groups>),
+    Sizes(Arc<Vec<usize>>),
+    Summary(Arc<ColumnSummary>),
+}
+
+/// Which statistic a key addresses (folded into the key so a histogram and a grouping
+/// of the same column never collide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Kind {
+    Hist,
+    Groups,
+    Sizes,
+    Summary,
+}
+
+/// Cache key: statistic kind + frame content fingerprint + column-name fingerprint.
+///
+/// The column name is folded in with the same stable FNV-1a the frame fingerprint
+/// uses, so keys are `Copy` and a lookup performs no allocation — the same
+/// content-addressing trade-off the engine's result cache already makes with its
+/// 64-bit request fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    kind: Kind,
+    frame_fp: u64,
+    column_fp: u64,
+}
+
+impl Key {
+    fn new(kind: Kind, frame: &DataFrame, column: &str) -> Key {
+        let mut h = Fnv1a::new();
+        h.write_str(column);
+        Key {
+            kind,
+            frame_fp: frame.fingerprint(),
+            column_fp: h.finish(),
+        }
+    }
+}
+
+/// A sharded, thread-safe cache of per-`(view, column)` statistics.
+///
+/// Keyed by [`DataFrame::fingerprint`], so two views with identical content share
+/// entries no matter how they were produced, and a view whose content differs — even
+/// by one cell — can never be served a stale statistic.
+///
+/// Capacity is counted in *entries*, not bytes: a [`Histogram`] of a per-row-unique
+/// column weighs O(rows), like the whole-view `DataFrame`s the op memo pins, so on
+/// very large datasets size [`StatsCache::new`]'s capacity accordingly (a byte-aware
+/// weight per entry is a follow-up alongside the ROADMAP's persistent stats tier).
+#[derive(Debug)]
+pub struct StatsCache {
+    store: ShardedLru<Key, Entry>,
+}
+
+impl Default for StatsCache {
+    /// Defaults sized for a full training run over one dataset: every distinct view of
+    /// a session tree contributes a handful of per-column statistics.
+    fn default() -> Self {
+        StatsCache::new(32 * 1024, 16)
+    }
+}
+
+impl StatsCache {
+    /// A cache with `capacity` total entries spread over `shards` shards. A zero
+    /// capacity yields a cache that stores nothing (lookups always compute).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        StatsCache {
+            store: ShardedLru::new(capacity, shards),
+        }
+    }
+
+    /// Generic lookup-or-compute. `compute` runs outside any lock; errors are
+    /// returned, never cached (a missing column should fail again, not poison an
+    /// entry).
+    fn get_or_compute(&self, key: Key, compute: impl FnOnce() -> Result<Entry>) -> Result<Entry> {
+        if let Some(entry) = self.store.get(&key) {
+            return Ok(entry);
+        }
+        let computed = compute()?;
+        self.store.insert(key, computed.clone());
+        Ok(computed)
+    }
+
+    /// The value histogram of `column` in `frame`, computed once per distinct frame
+    /// content. Errors (unknown column) are returned, never cached.
+    pub fn histogram(&self, frame: &DataFrame, column: &str) -> Result<Arc<Histogram>> {
+        let key = Key::new(Kind::Hist, frame, column);
+        match self.get_or_compute(key, || Ok(Entry::Hist(Arc::new(frame.histogram(column)?))))? {
+            Entry::Hist(h) => Ok(h),
+            _ => unreachable!("histogram key yields histogram entry"),
+        }
+    }
+
+    /// The grouping structure of `column` in `frame`, computed once per distinct frame
+    /// content.
+    ///
+    /// A `Groups` entry pins one `usize` per row of the view; reward computations that
+    /// only need the group-size distribution should use [`StatsCache::group_sizes`],
+    /// which caches a vector of one `usize` per *group* instead.
+    pub fn groups(&self, frame: &DataFrame, column: &str) -> Result<Arc<Groups>> {
+        let key = Key::new(Kind::Groups, frame, column);
+        match self.get_or_compute(key, || Ok(Entry::Groups(Arc::new(frame.groups(column)?))))? {
+            Entry::Groups(g) => Ok(g),
+            _ => unreachable!("groups key yields groups entry"),
+        }
+    }
+
+    /// The group sizes of `column` in `frame` (what the conciseness reward consumes),
+    /// computed once per distinct frame content. Much lighter than caching the full
+    /// [`Groups`]: one `usize` per group rather than per row.
+    pub fn group_sizes(&self, frame: &DataFrame, column: &str) -> Result<Arc<Vec<usize>>> {
+        let key = Key::new(Kind::Sizes, frame, column);
+        let entry = self.get_or_compute(key, || {
+            Ok(Entry::Sizes(Arc::new(frame.groups(column)?.sizes())))
+        })?;
+        match entry {
+            Entry::Sizes(s) => Ok(s),
+            _ => unreachable!("sizes key yields sizes entry"),
+        }
+    }
+
+    /// Per-column summary statistics of `column` in `frame`, computed once per
+    /// distinct frame content.
+    pub fn summary(&self, frame: &DataFrame, column: &str) -> Result<Arc<ColumnSummary>> {
+        let key = Key::new(Kind::Summary, frame, column);
+        let entry = self.get_or_compute(key, || {
+            let col = frame.column(column)?;
+            // Entropy comes from the cached histogram: the reward path usually
+            // requested it already, so this is a pointer bump, not an O(rows) pass.
+            let hist = self.histogram(frame, column)?;
+            Ok(Entry::Summary(Arc::new(ColumnSummary {
+                rows: col.len(),
+                n_distinct: col.n_unique(),
+                null_count: col.null_count(),
+                normalized_entropy: hist.normalized_entropy(),
+                numeric: col.dtype().is_numeric(),
+            })))
+        })?;
+        match entry {
+            Entry::Summary(s) => Ok(s),
+            _ => unreachable!("summary key yields summary entry"),
+        }
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> StatsCacheStats {
+        self.store.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_rows(
+            &["country", "n"],
+            vec![
+                vec![Value::str("India"), Value::Int(1)],
+                vec![Value::str("India"), Value::Int(2)],
+                vec![Value::str("US"), Value::Int(3)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn histogram_computed_once_per_content() {
+        let cache = StatsCache::default();
+        let df = frame();
+        let h1 = cache.histogram(&df, "country").unwrap();
+        let h2 = cache.histogram(&df, "country").unwrap();
+        assert!(Arc::ptr_eq(&h1, &h2), "second lookup is the shared Arc");
+        assert_eq!(*h1, df.histogram("country").unwrap());
+        // A clone of the frame has the same content fingerprint.
+        let h3 = cache.histogram(&df.clone(), "country").unwrap();
+        assert!(Arc::ptr_eq(&h1, &h3));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let cache = StatsCache::default();
+        let df = frame();
+        cache.histogram(&df, "country").unwrap();
+        cache.groups(&df, "country").unwrap();
+        cache.group_sizes(&df, "country").unwrap();
+        cache.summary(&df, "country").unwrap();
+        let s = cache.stats();
+        // Four distinct entries; the one hit is summary() reusing the histogram entry
+        // for its entropy.
+        assert_eq!((s.hits, s.misses, s.entries), (1, 4, 4));
+    }
+
+    #[test]
+    fn group_sizes_match_full_groups() {
+        let cache = StatsCache::default();
+        let df = frame();
+        let sizes = cache.group_sizes(&df, "country").unwrap();
+        assert_eq!(*sizes, df.groups("country").unwrap().sizes());
+        assert_eq!(*sizes, cache.groups(&df, "country").unwrap().sizes());
+    }
+
+    #[test]
+    fn summary_matches_direct_computation() {
+        let cache = StatsCache::default();
+        let df = frame();
+        let sum = cache.summary(&df, "n").unwrap();
+        assert_eq!(sum.rows, 3);
+        assert_eq!(sum.n_distinct, 3);
+        assert_eq!(sum.null_count, 0);
+        assert!(sum.numeric);
+        let again = cache.summary(&df, "n").unwrap();
+        assert!(Arc::ptr_eq(&sum, &again));
+    }
+
+    #[test]
+    fn errors_are_returned_not_cached() {
+        let cache = StatsCache::default();
+        let df = frame();
+        assert!(cache.histogram(&df, "missing").is_err());
+        assert!(cache.groups(&df, "missing").is_err());
+        assert!(cache.group_sizes(&df, "missing").is_err());
+        assert!(cache.summary(&df, "missing").is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn different_content_gets_different_entries() {
+        let cache = StatsCache::default();
+        let df = frame();
+        let filtered = df.take(&[0, 1]);
+        let h_all = cache.histogram(&df, "country").unwrap();
+        let h_sub = cache.histogram(&filtered, "country").unwrap();
+        assert_ne!(*h_all, *h_sub, "subset histogram differs");
+        assert_eq!(
+            cache.stats().misses,
+            2,
+            "two distinct contents, two computes"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_always_computes() {
+        let cache = StatsCache::new(0, 4);
+        let df = frame();
+        cache.histogram(&df, "country").unwrap();
+        cache.histogram(&df, "country").unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn eviction_bounds_residency() {
+        // Single shard, capacity 2: the third distinct column evicts the LRU one.
+        let cache = StatsCache::new(2, 1);
+        let df = DataFrame::from_rows(
+            &["a", "b", "c"],
+            vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]],
+        )
+        .unwrap();
+        cache.histogram(&df, "a").unwrap();
+        cache.histogram(&df, "b").unwrap();
+        cache.histogram(&df, "a").unwrap(); // refresh "a"; "b" becomes LRU
+        cache.histogram(&df, "c").unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        cache.histogram(&df, "b").unwrap(); // evicted, so recomputed
+        assert_eq!(cache.stats().misses, 4);
+    }
+}

@@ -6,7 +6,7 @@
 //! pool, so a batch of N goals completes in roughly `ceil(N / workers)` training
 //! rounds of wall-clock time instead of N.
 
-use linx_dataframe::DataFrame;
+use linx_dataframe::{DataFrame, StatsCacheStats};
 use linx_explore::OpMemoStats;
 
 use crate::api::{Budget, ExploreRequest, ExploreResponse, Priority};
@@ -45,6 +45,9 @@ pub struct BatchOutcome {
     pub responses: Vec<ExploreResponse>,
     /// Effectiveness of the shared view memo for this batch's dataset.
     pub memo: OpMemoStats,
+    /// Effectiveness of the shared view-statistics cache (reward histograms,
+    /// groupings, featurizer summaries) for this batch's dataset.
+    pub stats: StatsCacheStats,
     /// Wall-clock microseconds for the whole batch.
     pub total_micros: u64,
 }
@@ -89,6 +92,7 @@ pub fn run_batch(engine: &Engine, dataset: &DataFrame, batch: BatchRequest) -> B
     BatchOutcome {
         responses,
         memo: ctx.memo.stats(),
+        stats: ctx.shared.stats.stats(),
         total_micros: started.elapsed().as_micros() as u64,
     }
 }

@@ -122,9 +122,15 @@ impl Engine {
     }
 
     /// Precompute the shared per-dataset context (fingerprint, schema, sample, view
-    /// memo). Submitting many goals against one context shares this work across them.
+    /// memo, term inventory / featurizer / stats cache). Submitting many goals against
+    /// one context shares this work across them.
     pub fn dataset_context(&self, dataset: &DataFrame, dataset_id: &str) -> DatasetContext {
-        DatasetContext::new(dataset, dataset_id, self.config.sample_rows)
+        DatasetContext::new(
+            dataset,
+            dataset_id,
+            self.config.sample_rows,
+            self.config.cdrl.term_slots,
+        )
     }
 
     /// Submit one request against a prepared dataset context.

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use linx_cdrl::{CdrlConfig, CdrlTrainer};
+use linx_cdrl::{CdrlConfig, CdrlTrainer, DatasetStats};
 use linx_dataframe::{DataFrame, Schema};
 use linx_explore::{narrate_with, Notebook, OpMemo, SessionExecutor};
 use linx_nl2ldx::SpecDeriver;
@@ -16,7 +16,7 @@ use linx_nl2ldx::SpecDeriver;
 use crate::api::ExploreResult;
 
 /// Per-dataset context shared by every job of a batch: the inputs of specification
-/// derivation and rendering that do not depend on the goal.
+/// derivation, rewarding, and rendering that do not depend on the goal.
 #[derive(Debug, Clone)]
 pub struct DatasetContext {
     /// The full dataset.
@@ -34,12 +34,22 @@ pub struct DatasetContext {
     pub sample_rows: usize,
     /// Shared memo of materialized op results for this dataset.
     pub memo: Arc<OpMemo>,
+    /// Shared per-dataset CDRL statistics (term inventory, featurizer, and the
+    /// view-level stats cache), built once and reused by every goal trained against
+    /// this dataset.
+    pub shared: DatasetStats,
 }
 
 impl DatasetContext {
-    /// Build the shared context for a dataset. One linear fingerprint scan plus one
-    /// `head` clone; everything else is borrowed.
-    pub fn new(dataset: &DataFrame, dataset_id: impl Into<String>, sample_rows: usize) -> Self {
+    /// Build the shared context for a dataset: one linear fingerprint scan, one `head`
+    /// clone, plus one pass deriving the term inventory / featurizer (`term_slots`
+    /// filter-term candidates per column) — all shared by every job of the batch.
+    pub fn new(
+        dataset: &DataFrame,
+        dataset_id: impl Into<String>,
+        sample_rows: usize,
+        term_slots: usize,
+    ) -> Self {
         let sample_rows = sample_rows.max(5);
         DatasetContext {
             dataset: dataset.clone(),
@@ -49,6 +59,7 @@ impl DatasetContext {
             sample: dataset.head(sample_rows),
             sample_rows,
             memo: Arc::new(OpMemo::new()),
+            shared: DatasetStats::build(dataset, term_slots),
         }
     }
 }
@@ -73,11 +84,25 @@ pub fn run_exploration(
     };
     let derivation = SpecDeriver::new().derive(goal, &ctx.dataset_id, &ctx.schema, Some(sample));
     let trainer = CdrlTrainer::new(cdrl);
-    let executor = SessionExecutor::with_memo(ctx.dataset.clone(), Arc::clone(&ctx.memo));
-    // Training, rendering, and narration all execute through the shared memo: repeated
-    // op sequences — within a training run and across the batch's goals — materialize
-    // once per dataset.
-    let outcome = trainer.train_with_executor(executor.clone(), derivation.ldx.clone());
+    let executor = SessionExecutor::with_memo(ctx.dataset.clone(), Arc::clone(&ctx.memo))
+        .with_stats(Arc::clone(&ctx.shared.stats));
+    // Training, rendering, and narration all execute through the shared memo and the
+    // shared per-dataset statistics: repeated op sequences — within a training run and
+    // across the batch's goals — materialize once per dataset, and reward histograms /
+    // term inventories / featurizers are computed once per dataset rather than per
+    // goal. (A request whose config asks for a different term-slot count than the
+    // precomputed inventory rebuilds its own; budgets only vary episodes, so in
+    // practice the shared inventory is always used.)
+    let shared = if trainer.config().term_slots == ctx.shared.terms.slots() {
+        ctx.shared.clone()
+    } else {
+        DatasetStats::build_with_cache(
+            &ctx.dataset,
+            trainer.config().term_slots,
+            Arc::clone(&ctx.shared.stats),
+        )
+    };
+    let outcome = trainer.train_with_shared(executor.clone(), derivation.ldx.clone(), shared);
     let title = format!("{} — {}", ctx.dataset_id, goal);
     let notebook = Notebook::render(title, &executor, &outcome.best_tree);
     let narrative = narrate_with(&executor, &outcome.best_tree);

@@ -204,9 +204,46 @@ fn batch_of_eight_requests_beats_sequential_explore() {
         "batch shares materialized views: {:?}",
         outcome.memo
     );
+    // And so was the shared view-statistics cache (reward histograms / featurizer
+    // summaries are computed once per distinct view across all goals).
+    assert!(
+        outcome.stats.hits > outcome.stats.misses,
+        "batch shares per-view statistics: {:?}",
+        outcome.stats
+    );
     assert!(
         batched < sequential,
         "batched+deduped serving should beat sequential explore: {batched:?} vs {sequential:?}"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn dataset_context_builds_per_dataset_statistics_once() {
+    let engine = Engine::new(tiny_config(2));
+    let dataset = netflix(200, 9);
+    let ctx = engine.dataset_context(&dataset, "netflix");
+
+    // The term inventory and featurizer are constructed at context-build time with the
+    // engine's configured shape, and the stats cache is already warmed by that build.
+    assert_eq!(ctx.shared.terms.slots(), engine.config().cdrl.term_slots);
+    assert!(ctx.shared.featurizer.obs_dim() > 0);
+    let warmed = ctx.shared.stats.stats();
+    assert!(warmed.misses > 0, "context build warms the stats cache");
+
+    // Two goals served against the same context share those statistics: the second
+    // goal's training run re-reads root-view statistics the first already computed.
+    engine
+        .submit(&ctx, ExploreRequest::new("netflix", GOALS[1]))
+        .wait();
+    let after_first = ctx.shared.stats.stats();
+    engine
+        .submit(&ctx, ExploreRequest::new("netflix", GOALS[3]))
+        .wait();
+    let after_second = ctx.shared.stats.stats();
+    assert!(
+        after_second.hits > after_first.hits,
+        "second goal reuses the first goal's statistics: {after_second:?}"
     );
     engine.shutdown();
 }

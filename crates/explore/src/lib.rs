@@ -35,6 +35,6 @@ pub use memo::{OpMemo, OpMemoStats};
 pub use narrative::{narrate, narrate_with, Narrative};
 pub use notebook::Notebook;
 pub use op::{OpKind, QueryOp};
-pub use reward::{ExplorationReward, RewardWeights};
+pub use reward::{ExplorationReward, RewardWeights, SessionDiversity};
 pub use session::SessionExecutor;
 pub use tree::{ExplorationTree, NodeId};

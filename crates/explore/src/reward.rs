@@ -10,8 +10,24 @@
 //! * **Diversity** of the session is the minimum result distance between the latest
 //!   query and every previous query (total-variation distance over the primary column's
 //!   distribution) — repeating a near-identical query scores 0.
+//!
+//! # Performance
+//!
+//! Reward computation is the hot path of CDRL training (op execution itself is memoized
+//! by [`crate::memo::OpMemo`]). Two mechanisms keep it cheap:
+//!
+//! * an optional shared [`StatsCache`] — histograms and groupings are keyed by
+//!   `(view fingerprint, column)` and computed once per distinct view content across
+//!   every reward consumer (steps, episodes, goals over one dataset);
+//! * the [`SessionDiversity`] tracker — each node's primary histogram is stored once
+//!   per node, and per-step diversity updates only the new node's minimum distance
+//!   (O(n) distance computations per step instead of an O(n²) all-pairs rescan).
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use linx_dataframe::stats::{conciseness, Histogram};
+use linx_dataframe::stats_cache::StatsCache;
 use linx_dataframe::DataFrame;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +60,7 @@ impl Default for RewardWeights {
 #[derive(Debug, Clone)]
 pub struct ExplorationReward {
     weights: RewardWeights,
+    stats: Option<Arc<StatsCache>>,
 }
 
 impl Default for ExplorationReward {
@@ -52,10 +69,50 @@ impl Default for ExplorationReward {
     }
 }
 
+/// A column histogram, through the cache when one is attached. `None` when the column
+/// is missing from the frame.
+fn histogram_via(
+    cache: Option<&StatsCache>,
+    frame: &DataFrame,
+    column: &str,
+) -> Option<Arc<Histogram>> {
+    match cache {
+        Some(cache) => cache.histogram(frame, column).ok(),
+        None => frame.histogram(column).ok().map(Arc::new),
+    }
+}
+
+/// The node's "primary" column in its result view: the operation's primary attribute if
+/// still present, otherwise the first column. Borrows from the tree / the view — no
+/// allocation on the hot path.
+fn primary_column<'a>(
+    tree: &'a ExplorationTree,
+    view: &'a DataFrame,
+    node: NodeId,
+) -> Option<&'a str> {
+    tree.op(node)
+        .map(|op| op.primary_attr())
+        .filter(|c| view.column(c).is_ok())
+        .or_else(|| view.column_names().first().copied())
+}
+
 impl ExplorationReward {
-    /// Create a reward calculator with explicit weights.
+    /// Create a reward calculator with explicit weights (no statistics cache).
     pub fn new(weights: RewardWeights) -> Self {
-        ExplorationReward { weights }
+        ExplorationReward {
+            weights,
+            stats: None,
+        }
+    }
+
+    /// Create a reward calculator whose histograms and groupings are shared through a
+    /// [`StatsCache`]. Every consumer handed the same cache — step rewards, session
+    /// scoring, featurization — computes each distinct `(view, column)` statistic once.
+    pub fn with_cache(weights: RewardWeights, stats: Arc<StatsCache>) -> Self {
+        ExplorationReward {
+            weights,
+            stats: Some(stats),
+        }
     }
 
     /// The configured weights.
@@ -63,9 +120,24 @@ impl ExplorationReward {
         self.weights
     }
 
+    /// The attached statistics cache, if any.
+    pub fn stats_cache(&self) -> Option<&Arc<StatsCache>> {
+        self.stats.as_ref()
+    }
+
     /// Interestingness of a single operation given its input (parent) view and output
     /// view, in `[0, 1]`-ish range (KL is clipped).
     pub fn interestingness(&self, op: &QueryOp, input: &DataFrame, output: &DataFrame) -> f64 {
+        self.interestingness_via(self.stats.as_deref(), op, input, output)
+    }
+
+    fn interestingness_via(
+        &self,
+        cache: Option<&StatsCache>,
+        op: &QueryOp,
+        input: &DataFrame,
+        output: &DataFrame,
+    ) -> f64 {
         match op {
             QueryOp::Filter { attr, .. } => {
                 if input.num_rows() == 0 || output.num_rows() == 0 {
@@ -84,11 +156,15 @@ impl ExplorationReward {
                 // Divergence of the other columns' distributions between subset and
                 // parent — the essence of "this subset behaves differently".
                 let mut divergences = Vec::new();
-                for col in input.schema().names() {
-                    if col == attr {
+                for col in input.columns() {
+                    let name = col.name();
+                    if name == attr {
                         continue;
                     }
-                    let (Ok(hi), Ok(ho)) = (input.histogram(col), output.histogram(col)) else {
+                    let (Some(hi), Some(ho)) = (
+                        histogram_via(cache, input, name),
+                        histogram_via(cache, output, name),
+                    ) else {
                         continue;
                     };
                     if hi.n_distinct() == 0 {
@@ -106,39 +182,72 @@ impl ExplorationReward {
                 if input.num_rows() == 0 {
                     return 0.0;
                 }
-                match input.groups(g_attr) {
-                    Ok(groups) => conciseness(&groups.sizes(), self.weights.max_groups),
-                    Err(_) => 0.0,
+                // Cached path memoizes just the group *sizes* — one usize per group —
+                // rather than the full per-row `Groups` index structure.
+                match cache {
+                    Some(cache) => match cache.group_sizes(input, g_attr) {
+                        Ok(sizes) => conciseness(&sizes, self.weights.max_groups),
+                        Err(_) => 0.0,
+                    },
+                    None => match input.groups(g_attr) {
+                        Ok(groups) => conciseness(&groups.sizes(), self.weights.max_groups),
+                        Err(_) => 0.0,
+                    },
                 }
             }
         }
     }
 
+    /// Histogram of the node's primary column in its result view, pulled through the
+    /// stats cache when one is attached. This is the per-node quantity
+    /// [`SessionDiversity`] accumulates.
+    pub fn primary_histogram(
+        &self,
+        tree: &ExplorationTree,
+        view: &DataFrame,
+        node: NodeId,
+    ) -> Arc<Histogram> {
+        Self::primary_histogram_via(self.stats.as_deref(), tree, view, node)
+    }
+
+    fn primary_histogram_via(
+        cache: Option<&StatsCache>,
+        tree: &ExplorationTree,
+        view: &DataFrame,
+        node: NodeId,
+    ) -> Arc<Histogram> {
+        primary_column(tree, view, node)
+            .and_then(|c| histogram_via(cache, view, c))
+            .unwrap_or_default()
+    }
+
     /// Diversity contribution of a node: the minimum total-variation distance between
     /// its result view and the result view of any earlier (pre-order) node. 1.0 when it
     /// is the first operation.
+    ///
+    /// Node ids are a pre-order numbering of the session tree, so only ids *below*
+    /// `node` are considered — earlier nodes are iterated directly instead of scanning
+    /// the whole tree and discarding the later half. Incremental consumers (the CDRL
+    /// environment) should prefer [`SessionDiversity`], which additionally stores each
+    /// node's histogram so no histogram is ever rebuilt.
     pub fn diversity(
         &self,
         tree: &ExplorationTree,
-        views: &std::collections::HashMap<NodeId, DataFrame>,
+        views: &HashMap<NodeId, DataFrame>,
         node: NodeId,
     ) -> f64 {
         let Some(view) = views.get(&node) else {
             return 0.0;
         };
-        let this_hist = primary_histogram(tree, view, node);
+        let cache = self.stats.as_deref();
+        let this_hist = Self::primary_histogram_via(cache, tree, view, node);
         let mut min_dist: Option<f64> = None;
-        for id in tree.pre_order() {
-            if id == node || id == NodeId::ROOT {
-                continue;
-            }
-            if id.index() >= node.index() {
-                continue;
-            }
+        for idx in 1..node.index() {
+            let id = NodeId(idx);
             let Some(other) = views.get(&id) else {
                 continue;
             };
-            let other_hist = primary_histogram(tree, other, id);
+            let other_hist = Self::primary_histogram_via(cache, tree, other, id);
             let d = this_hist.total_variation(&other_hist);
             min_dist = Some(min_dist.map_or(d, |m: f64| m.min(d)));
         }
@@ -148,36 +257,99 @@ impl ExplorationReward {
     /// The full generic exploration score of a session: mean per-op interestingness
     /// (weighted by μ) plus mean per-op diversity (weighted by λ). Invalid operations
     /// contribute zero. Returns 0 for an empty session.
+    ///
+    /// Diversity is accumulated incrementally through a [`SessionDiversity`] tracker:
+    /// each node's primary histogram is built exactly once (O(n) histogram builds for
+    /// an n-op session, not O(n²)), and when a [`StatsCache`] is attached — on this
+    /// reward or on the executor — repeated scorings of overlapping sessions reuse
+    /// every histogram.
     pub fn session_score(&self, executor: &SessionExecutor, tree: &ExplorationTree) -> f64 {
         if tree.num_ops() == 0 {
             return 0.0;
         }
         let views = executor.execute_tree_lenient(tree);
+        let cache = self
+            .stats
+            .as_deref()
+            .or_else(|| executor.stats_cache().map(Arc::as_ref));
         let mut interest_sum = 0.0;
-        let mut diversity_sum = 0.0;
+        let mut diversity = SessionDiversity::new();
         let n = tree.num_ops() as f64;
         for (id, op) in tree.ops_in_order() {
             let parent = tree.parent(id).unwrap_or(NodeId::ROOT);
             if let (Some(input), Some(output)) = (views.get(&parent), views.get(&id)) {
-                interest_sum += self.interestingness(op, input, output);
-                diversity_sum += self.diversity(tree, &views, id);
+                interest_sum += self.interestingness_via(cache, op, input, output);
+                diversity.observe(id, Self::primary_histogram_via(cache, tree, output, id));
             }
         }
-        (self.weights.mu * interest_sum + self.weights.lambda * diversity_sum) / n
+        (self.weights.mu * interest_sum + self.weights.lambda * diversity.total()) / n
     }
 }
 
-/// Histogram of the node's "primary" column in its result view (the operation's primary
-/// attribute if still present, otherwise the first column). Used for diversity distance.
-fn primary_histogram(tree: &ExplorationTree, view: &DataFrame, node: NodeId) -> Histogram {
-    let col = tree
-        .op(node)
-        .map(|op| op.primary_attr().to_string())
-        .filter(|c| view.schema().contains(c))
-        .or_else(|| view.column_names().first().map(|s| s.to_string()));
-    match col {
-        Some(c) => view.histogram(&c).unwrap_or_default(),
-        None => Histogram::default(),
+/// Incremental diversity accumulator for one exploration session.
+///
+/// Stores each node's primary histogram once (`Arc`-shared with the stats cache), so a
+/// step that appends node *n* costs n−1 total-variation distance computations and zero
+/// histogram builds against earlier nodes. Earlier nodes' diversity scores are
+/// unaffected by later insertions (each score is a minimum over *earlier* nodes only),
+/// so scores are final at observation time — which is what makes the tracker sound.
+#[derive(Debug, Clone, Default)]
+pub struct SessionDiversity {
+    /// `(node, histogram, diversity score)` in observation order. A small parallel
+    /// list, not a map: sessions are a handful of ops and `observe` runs on the
+    /// per-step training hot path.
+    entries: Vec<(NodeId, Arc<Histogram>, f64)>,
+    total: f64,
+}
+
+impl SessionDiversity {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget everything (start of a new episode).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total = 0.0;
+    }
+
+    /// Number of observed nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no node has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record `node`'s primary histogram and return its diversity: the minimum
+    /// total-variation distance to every previously observed node (1.0 for the first).
+    /// Call exactly once per node, in session (pre-order) order.
+    pub fn observe(&mut self, node: NodeId, hist: Arc<Histogram>) -> f64 {
+        let mut min_dist: Option<f64> = None;
+        for (_, other, _) in &self.entries {
+            let d = hist.total_variation(other);
+            min_dist = Some(min_dist.map_or(d, |m: f64| m.min(d)));
+        }
+        let score = min_dist.unwrap_or(1.0);
+        self.entries.push((node, hist, score));
+        self.total += score;
+        score
+    }
+
+    /// The recorded diversity of a node, if observed.
+    pub fn score(&self, node: NodeId) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(id, _, _)| *id == node)
+            .map(|(_, _, s)| *s)
+    }
+
+    /// Sum of all recorded per-node diversity scores.
+    pub fn total(&self) -> f64 {
+        self.total
     }
 }
 
@@ -236,6 +408,75 @@ mod tests {
     }
 
     #[test]
+    fn cached_scores_match_uncached() {
+        let df = dataset();
+        let exec = SessionExecutor::new(df.clone());
+        let plain = ExplorationReward::default();
+        let cached = ExplorationReward::with_cache(RewardWeights::default(), Arc::default());
+
+        let op = QueryOp::filter("country", CompareOp::Eq, Value::str("B"));
+        let out = exec.execute_op(&df, &op).unwrap();
+        assert_eq!(
+            plain.interestingness(&op, &df, &out),
+            cached.interestingness(&op, &df, &out),
+        );
+        let g = QueryOp::group_by("type", AggFunc::Count, "id");
+        assert_eq!(
+            plain.interestingness(&g, &df, &df),
+            cached.interestingness(&g, &df, &df),
+        );
+
+        let mut tree = ExplorationTree::new();
+        let f = tree.add_child(NodeId::ROOT, op);
+        tree.add_child(f, g);
+        // Scoring twice: the second pass must be identical and all-hits.
+        let s1 = cached.session_score(&exec, &tree);
+        let s2 = cached.session_score(&exec, &tree);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, plain.session_score(&exec, &tree));
+        let stats = cached.stats_cache().unwrap().stats();
+        assert!(stats.hits > 0, "warm scoring hits the cache: {stats:?}");
+    }
+
+    #[test]
+    fn session_score_builds_each_histogram_once() {
+        // A chain of n distinct filters: every node has a distinct view. One
+        // session_score pass must compute O(n) primary histograms (one per node, plus
+        // the per-op interestingness histograms) — not the O(n²) of an all-pairs
+        // diversity rescan — and a second pass must add zero misses.
+        let n = 12usize;
+        let mut rows = Vec::new();
+        for i in 0..(n as i64 * 4) {
+            rows.push(vec![Value::Int(i), Value::str(format!("c{}", i % 5))]);
+        }
+        let df = DataFrame::from_rows(&["id", "cat"], rows).unwrap();
+        let mut tree = ExplorationTree::new();
+        for i in 0..n {
+            // Nested chain: each filter keeps ids >= i, a distinct view per node.
+            tree.push_op(QueryOp::filter("id", CompareOp::Ge, Value::Int(i as i64)));
+        }
+        let cache = Arc::new(StatsCache::default());
+        let exec = SessionExecutor::new(df).with_stats(Arc::clone(&cache));
+        let reward = ExplorationReward::default();
+
+        reward.session_score(&exec, &tree);
+        let cold = cache.stats();
+        // Per node: one primary histogram + at most `columns` interestingness
+        // histograms over input and output. Linear in n, with a small constant.
+        let per_node_bound = 2 * 2 + 1; // 2 cols x (input+output) + primary
+        assert!(
+            cold.misses <= (per_node_bound * n + per_node_bound) as u64,
+            "cold pass should be O(n) histogram builds: {cold:?}"
+        );
+        assert!(cold.misses >= n as u64, "each node needs its own histogram");
+
+        reward.session_score(&exec, &tree);
+        let warm = cache.stats();
+        assert_eq!(warm.misses, cold.misses, "warm pass computes nothing new");
+        assert!(warm.hits > cold.hits, "warm pass is served from the cache");
+    }
+
+    #[test]
     fn groupby_interestingness_prefers_low_cardinality_keys() {
         let df = dataset();
         let reward = ExplorationReward::default();
@@ -290,6 +531,42 @@ mod tests {
 
         assert!(d_same < 1e-9);
         assert!(d_diff > 0.5);
+    }
+
+    #[test]
+    fn incremental_tracker_agrees_with_direct_diversity() {
+        let df = dataset();
+        let exec = SessionExecutor::new(df);
+        let reward = ExplorationReward::default();
+        let mut tree = ExplorationTree::new();
+        let a = tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("A")),
+        );
+        tree.add_child(a, QueryOp::group_by("type", AggFunc::Count, "id"));
+        tree.back();
+        tree.back();
+        tree.add_child(
+            NodeId::ROOT,
+            QueryOp::filter("country", CompareOp::Eq, Value::str("B")),
+        );
+        let views = exec.execute_tree_lenient(&tree);
+
+        let mut tracker = SessionDiversity::new();
+        for (id, _) in tree.ops_in_order() {
+            let view = &views[&id];
+            let incremental = tracker.observe(id, reward.primary_histogram(&tree, view, id));
+            let direct = reward.diversity(&tree, &views, id);
+            assert!(
+                (incremental - direct).abs() < 1e-12,
+                "node {id:?}: tracker {incremental} vs direct {direct}"
+            );
+            assert_eq!(tracker.score(id), Some(incremental));
+        }
+        assert_eq!(tracker.len(), 3);
+        assert!(tracker.total() > 0.0);
+        tracker.clear();
+        assert!(tracker.is_empty());
     }
 
     #[test]

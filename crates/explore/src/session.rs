@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use linx_dataframe::stats_cache::StatsCache;
 use linx_dataframe::{DataFrame, DataFrameError, Result};
 
 use crate::memo::OpMemo;
@@ -25,6 +26,7 @@ use crate::tree::{ExplorationTree, NodeId};
 pub struct SessionExecutor {
     dataset: DataFrame,
     memo: Option<Arc<OpMemo>>,
+    stats: Option<Arc<StatsCache>>,
 }
 
 impl SessionExecutor {
@@ -33,6 +35,7 @@ impl SessionExecutor {
         SessionExecutor {
             dataset,
             memo: None,
+            stats: None,
         }
     }
 
@@ -44,7 +47,22 @@ impl SessionExecutor {
         SessionExecutor {
             dataset,
             memo: Some(memo),
+            stats: None,
         }
+    }
+
+    /// Attach a shared [`StatsCache`]: reward computations scoring sessions through
+    /// this executor ([`crate::reward::ExplorationReward::session_score`]) memoize
+    /// their histograms and groupings in it. Unlike the op memo, the stats cache is
+    /// keyed by view *content*, so it may be shared across datasets.
+    pub fn with_stats(mut self, stats: Arc<StatsCache>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The attached statistics cache, if any.
+    pub fn stats_cache(&self) -> Option<&Arc<StatsCache>> {
+        self.stats.as_ref()
     }
 
     /// The root dataset.
