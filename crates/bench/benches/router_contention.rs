@@ -1,0 +1,165 @@
+//! Router benchmark: consistent-hash placement throughput, plus the multi-tenant
+//! contention scenario behind the weighted-fair admission claim.
+//!
+//! The scenario: a background tenant floods the engine with **10x** the foreground
+//! tenant's request volume at the same priority. Under a plain FIFO/priority queue
+//! the foreground tenant's requests would sit behind the entire flood; under the
+//! pool's deficit-round-robin scheduling (foreground weight 4, background weight 1)
+//! the foreground batch must complete in **< 2x** its time on an idle system. A full
+//! run measures both and writes the machine-readable `BENCH_router.json` baseline at
+//! the repository root (set `LINX_BENCH_OUT` to redirect); CI runs the bench in
+//! smoke mode (`-- --test`), which skips the baseline pass.
+//!
+//! Scale knobs: `LINX_TRAIN_EPISODES` (default 20) and `LINX_DATA_ROWS`
+//! (default 250).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::DataFrame;
+use linx_engine::{EngineConfig, ExploreRequest, Router, RouterConfig, TenantId, TenantQuota};
+
+/// Foreground goals: the tenant whose latency the scenario protects.
+const FG_GOALS: usize = 3;
+/// Background flood factor: the noisy tenant submits this many times more requests.
+const FLOOD_FACTOR: usize = 10;
+/// Foreground deficit-round-robin weight (background stays at 1).
+const FG_WEIGHT: u32 = 4;
+
+fn episodes() -> usize {
+    linx_bench::env_usize("LINX_TRAIN_EPISODES", 20)
+}
+
+fn rows() -> usize {
+    linx_bench::env_usize("LINX_DATA_ROWS", 250)
+}
+
+fn dataset() -> DataFrame {
+    generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(rows()),
+            seed: 7,
+        },
+    )
+}
+
+/// A single-shard, single-worker router: one worker makes queue slots — and
+/// therefore the fairness of their apportioning — the measured quantity.
+fn contention_router() -> Router {
+    let mut engine = EngineConfig::fast();
+    engine.workers = 1;
+    engine.cdrl.episodes = episodes();
+    let router = Router::new(RouterConfig {
+        shards: 1,
+        vnodes: 64,
+        engine,
+    });
+    router.quota().set_quota(
+        TenantId::new("foreground"),
+        TenantQuota::default().with_weight(FG_WEIGHT),
+    );
+    router
+}
+
+/// Distinct goal texts (no two requests may coalesce or share a cache entry).
+fn goal(tag: &str, i: usize) -> String {
+    format!("Survey the duration of the titles ({tag} {i})")
+}
+
+/// Submit the foreground batch and return microseconds until its last response.
+fn run_foreground(router: &Router, ctx: &linx_engine::RoutedContext) -> u64 {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..FG_GOALS)
+        .map(|i| {
+            router.submit(
+                ctx,
+                ExploreRequest::new("netflix", goal("fg", i)).with_tenant("foreground"),
+            )
+        })
+        .collect();
+    for h in handles {
+        assert!(h.wait().outcome.is_ok(), "foreground request failed");
+    }
+    started.elapsed().as_micros() as u64
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut config = RouterConfig::fast();
+    config.shards = 8;
+    config.engine.workers = 1;
+    let router = Router::new(config);
+    let mut key = 0u64;
+    c.bench_function("router_route/8_shards_64_vnodes", |b| {
+        b.iter(|| {
+            key = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            black_box(router.route(black_box(key)))
+        })
+    });
+    router.shutdown();
+}
+
+criterion_group!(benches, bench_routing);
+
+/// Measure the contention scenario and write the machine-readable baseline.
+fn write_baseline() -> std::io::Result<()> {
+    let data = dataset();
+
+    // Idle: the foreground tenant has the single worker to itself.
+    let idle_router = contention_router();
+    let idle_ctx = idle_router.dataset_context(&data, "netflix");
+    let idle_micros = run_foreground(&idle_router, &idle_ctx);
+    idle_router.shutdown();
+
+    // Contended: a background tenant floods 10x the volume first, then the
+    // foreground batch arrives. Weighted DRR must keep the slowdown under 2x.
+    let router = contention_router();
+    let ctx = router.dataset_context(&data, "netflix");
+    let background = FG_GOALS * FLOOD_FACTOR;
+    let bg_handles: Vec<_> = (0..background)
+        .map(|i| {
+            router.submit(
+                &ctx,
+                ExploreRequest::new("netflix", goal("bg", i)).with_tenant("background"),
+            )
+        })
+        .collect();
+    let contended_micros = run_foreground(&router, &ctx);
+    let stats = router.stats();
+    // Fast teardown: dropping the router clears the still-queued background flood
+    // (only the in-flight job runs out); the flood's handles observe WorkerLost.
+    drop(router);
+    drop(bg_handles);
+
+    let ratio = contended_micros as f64 / idle_micros.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"router_contention\",\n  \"rows\": {},\n  \"episodes\": {},\n  \"workers\": 1,\n  \"shards\": 1,\n  \"foreground_requests\": {FG_GOALS},\n  \"background_requests\": {background},\n  \"foreground_weight\": {FG_WEIGHT},\n  \"background_weight\": 1,\n  \"idle_foreground_micros\": {idle_micros},\n  \"contended_foreground_micros\": {contended_micros},\n  \"interference_ratio\": {ratio:.2},\n  \"fair\": {},\n  \"quota_admitted\": {},\n  \"quota_throttled\": {}\n}}\n",
+        rows(),
+        episodes(),
+        ratio < 2.0,
+        stats.quota.admitted,
+        stats.quota.throttled,
+    );
+    let path = std::env::var("LINX_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json").to_string()
+    });
+    std::fs::write(&path, &json)?;
+    println!("wrote {path}:\n{json}");
+    assert!(
+        ratio < 2.0,
+        "weighted-fair admission failed to bound interference: {ratio:.2}x"
+    );
+    Ok(())
+}
+
+fn main() {
+    benches();
+    // Smoke mode (`cargo bench -- --test`, as CI runs it) skips the baseline pass.
+    if !std::env::args().any(|a| a == "--test") {
+        if let Err(e) = write_baseline() {
+            eprintln!("failed to write router baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

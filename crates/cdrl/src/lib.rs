@@ -26,6 +26,11 @@
 //!
 //! The goal-agnostic **ATENA** baseline and the paper's ablation variants (Table 4) are
 //! all expressed as [`CdrlVariant`]s of the same engine.
+//!
+//! Invariant: everything derivable from the dataset alone — the term inventory, the
+//! featurizer, and the view-statistics cache bundled in [`DatasetStats`]
+//! ([`context`]) — is built *once per dataset* and shared read-only across every
+//! goal trained against it; training a goal never mutates per-dataset state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

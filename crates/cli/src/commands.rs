@@ -11,7 +11,7 @@ use linx_benchgen::generate_benchmark;
 use linx_data::{generate, ScaleConfig};
 use linx_dataframe::csv::{read_csv, write_csv, CsvOptions};
 use linx_dataframe::DataFrame;
-use linx_engine::{run_batch, BatchRequest, Engine, EngineConfig, JobError};
+use linx_engine::{BatchRequest, EngineConfig, JobError, Router, RouterConfig};
 use linx_explore::to_ipynb_string;
 use linx_ldx::parse_ldx;
 use linx_viz::{recommend_session, render_ascii, session_gallery};
@@ -581,12 +581,16 @@ pub struct ServeBatchArgs {
     pub goals: Vec<String>,
     /// Training episodes for the CDRL engine.
     pub episodes: Option<usize>,
-    /// Worker threads (defaults to the engine's choice).
+    /// Worker threads (defaults to the engine's choice; per shard).
     pub workers: Option<usize>,
-    /// Result-cache capacity in entries.
+    /// Result-cache capacity in entries (per shard).
     pub cache_capacity: Option<usize>,
     /// How many times to submit the whole batch (> 1 demonstrates the result cache).
     pub repeat: usize,
+    /// Engine shards behind the router (each dataset is owned by one shard).
+    pub shards: Option<usize>,
+    /// Tenant the batch is billed to (admission control + weighted-fair scheduling).
+    pub tenant: Option<String>,
 }
 
 impl ServeBatchArgs {
@@ -597,9 +601,11 @@ impl ServeBatchArgs {
             "      --goals <G1;G2;..> Semicolon-separated goals (may repeat)
       --goals-file <PATH> File with one goal per line ('#' comments allowed)
       --episodes <N>     Training episodes for the CDRL engine
-      --workers <N>      Worker threads
-      --cache-capacity <N>  Result-cache capacity in entries
-      --repeat <N>       Submit the whole batch N times [default: 1]",
+      --workers <N>      Worker threads (per shard)
+      --cache-capacity <N>  Result-cache capacity in entries (per shard)
+      --repeat <N>       Submit the whole batch N times [default: 1]
+      --shards <N>       Engine shards behind the router [default: 1]
+      --tenant <NAME>    Tenant the batch is billed to [default: default]",
             true,
         )
     }
@@ -608,6 +614,7 @@ impl ServeBatchArgs {
         let mut data = DatasetFlags::default();
         let mut goals = Vec::new();
         let (mut episodes, mut workers, mut cache_capacity, mut repeat) = (None, None, None, None);
+        let (mut shards, mut tenant) = (None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -637,6 +644,8 @@ impl ServeBatchArgs {
                     set_once(&mut cache_capacity, cursor.parse_value(&flag)?, &flag)?
                 }
                 "--repeat" => set_once(&mut repeat, cursor.parse_value(&flag)?, &flag)?,
+                "--shards" => set_once(&mut shards, cursor.parse_value(&flag)?, &flag)?,
+                "--tenant" => set_once(&mut tenant, cursor.value_of(&flag)?, &flag)?,
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for serve-batch"))),
             }
@@ -654,56 +663,67 @@ impl ServeBatchArgs {
             workers,
             cache_capacity,
             repeat: repeat.unwrap_or(1).max(1),
+            shards,
+            tenant,
         })
     }
 }
 
-/// Build an [`EngineConfig`] from the CLI knobs shared by `serve-batch`/`bench-engine`.
-fn engine_config(
+/// Build a [`RouterConfig`] from the CLI knobs shared by `serve-batch`/`bench-engine`.
+fn router_config(
+    shards: Option<usize>,
     episodes: Option<usize>,
     workers: Option<usize>,
     cache_capacity: Option<usize>,
-) -> EngineConfig {
-    let mut config = EngineConfig::default();
+) -> RouterConfig {
+    let mut engine = EngineConfig::default();
     if let Some(episodes) = episodes {
-        config.cdrl.episodes = episodes;
+        engine.cdrl.episodes = episodes;
     }
     if let Some(workers) = workers {
-        config.workers = workers;
+        engine.workers = workers;
     }
     if let Some(capacity) = cache_capacity {
-        config.cache_capacity = capacity;
+        engine.cache_capacity = capacity;
     }
-    config
+    RouterConfig {
+        shards: shards.unwrap_or(1).max(1),
+        engine,
+        ..RouterConfig::default()
+    }
 }
 
 /// Run `linx serve-batch`.
 pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
     let (dataset, name) = args.data.load()?;
-    let engine = Engine::new(engine_config(
+    let router = Router::new(router_config(
+        args.shards,
         args.episodes,
         args.workers,
         args.cache_capacity,
     ));
+    let tenant = args.tenant.clone().unwrap_or_else(|| "default".to_string());
 
     let mut out = format!(
-        "serving {} goal(s) x {} round(s) against '{name}' ({} rows) with {} worker(s)\n",
+        "serving {} goal(s) x {} round(s) against '{name}' ({} rows) with {} worker(s) x {} shard(s) as tenant '{tenant}'\n",
         args.goals.len(),
         args.repeat,
         dataset.num_rows(),
-        engine.config().workers,
+        router.engine(0).config().workers,
+        router.shards(),
     );
     for round in 1..=args.repeat {
-        let outcome = run_batch(
-            &engine,
+        let outcome = router.run_batch(
             &dataset,
-            BatchRequest::new(name.clone(), args.goals.clone()),
+            BatchRequest::new(name.clone(), args.goals.clone()).with_tenant(tenant.clone()),
         );
         out.push_str(&format!(
-            "-- round {round}: {}/{} ok, {} from cache, {:.1} ms total (memo: {} hits / {} misses; stats: {} hits / {} misses, {:.0}% hit rate)\n",
+            "-- round {round} [shard {}]: {}/{} ok, {} from cache, {} throttled, {:.1} ms total (memo: {} hits / {} misses; stats: {} hits / {} misses, {:.0}% hit rate)\n",
+            outcome.shard.unwrap_or(0),
             outcome.succeeded(),
             outcome.responses.len(),
             outcome.cache_hits(),
+            outcome.throttled(),
             outcome.total_micros as f64 / 1000.0,
             outcome.memo.hits,
             outcome.memo.misses,
@@ -727,6 +747,7 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
                     format!("{compliance:>7} [{source}]")
                 }
                 Err(JobError::Panicked(_)) => " panic [fresh]".to_string(),
+                Err(JobError::QuotaExceeded(_)) => " quota [-----]".to_string(),
                 Err(_) => "  fail [fresh]".to_string(),
             };
             out.push_str(&format!(
@@ -741,8 +762,8 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
             ));
         }
     }
-    out.push_str(&format!("engine: {}\n", engine.stats().summary()));
-    engine.shutdown();
+    out.push_str(&format!("{}\n", router.stats().summary()));
+    router.shutdown();
     Ok(out)
 }
 
@@ -755,8 +776,10 @@ pub struct BenchEngineArgs {
     pub goals: usize,
     /// Training episodes for the CDRL engine.
     pub episodes: Option<usize>,
-    /// Worker threads.
+    /// Worker threads (per shard).
     pub workers: Option<usize>,
+    /// Engine shards behind the router.
+    pub shards: Option<usize>,
 }
 
 impl BenchEngineArgs {
@@ -766,20 +789,22 @@ impl BenchEngineArgs {
             "Benchmark the engine: batched+cached vs sequential Linx::explore",
             "      --goals <N>        Number of benchmark goals to run [default: 8]
       --episodes <N>     Training episodes for the CDRL engine [default: 60]
-      --workers <N>      Worker threads",
+      --workers <N>      Worker threads (per shard)
+      --shards <N>       Engine shards behind the router [default: 1]",
             true,
         )
     }
 
     pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
         let mut data = DatasetFlags::default();
-        let (mut goals, mut episodes, mut workers) = (None, None, None);
+        let (mut goals, mut episodes, mut workers, mut shards) = (None, None, None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
                 "--goals" => set_once(&mut goals, cursor.parse_value(&flag)?, &flag)?,
                 "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
                 "--workers" => set_once(&mut workers, cursor.parse_value(&flag)?, &flag)?,
+                "--shards" => set_once(&mut shards, cursor.parse_value(&flag)?, &flag)?,
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for bench-engine"))),
             }
@@ -789,6 +814,7 @@ impl BenchEngineArgs {
             goals: goals.unwrap_or(8).max(1),
             episodes,
             workers,
+            shards,
         })
     }
 }
@@ -827,26 +853,29 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
     }
     let sequential = seq_start.elapsed();
 
-    // The engine: one batch over the worker pool, then the identical batch again to
-    // show cache serving.
-    let engine = Engine::new(engine_config(Some(episodes), args.workers, None));
-    let cold = run_batch(
-        &engine,
-        &dataset,
-        BatchRequest::new(name.clone(), goals.clone()),
-    );
-    let warm = run_batch(&engine, &dataset, BatchRequest::new(name.clone(), goals));
-    let stats = engine.stats();
+    // The routed engine: one batch over the worker pool, then the identical batch
+    // again to show cache serving (both land on the shard owning the dataset).
+    let router = Router::new(router_config(
+        args.shards,
+        Some(episodes),
+        args.workers,
+        None,
+    ));
+    let cold = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals.clone()));
+    let warm = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals));
+    let stats = router.stats();
 
     let cold_secs = cold.total_micros as f64 / 1e6;
     let warm_secs = warm.total_micros as f64 / 1e6;
     let seq_secs = sequential.as_secs_f64();
     let mut out = format!(
-        "bench-engine: {} goals over '{name}' ({} rows), {} episodes, {} workers\n",
+        "bench-engine: {} goals over '{name}' ({} rows), {} episodes, {} workers x {} shards (dataset owned by shard {})\n",
         cold.responses.len(),
         dataset.num_rows(),
         episodes,
-        engine.config().workers,
+        router.engine(0).config().workers,
+        router.shards(),
+        cold.shard.unwrap_or(0),
     );
     out.push_str(&format!(
         "  sequential Linx::explore : {seq_secs:>8.2} s\n  engine batch (cold)      : {cold_secs:>8.2} s  ({:.2}x speedup, memo {} hits, stats {} hits / {} misses)\n  engine batch (cached)    : {warm_secs:>8.2} s  ({} of {} served from cache)\n",
@@ -857,8 +886,8 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
         warm.cache_hits(),
         warm.responses.len(),
     ));
-    out.push_str(&format!("  engine: {}\n", stats.summary()));
-    engine.shutdown();
+    out.push_str(&format!("  {}\n", stats.summary()));
+    router.shutdown();
     Ok(out)
 }
 

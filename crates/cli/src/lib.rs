@@ -11,10 +11,11 @@
 //!   structural / operational split and continuity variables.
 //! * `linx benchmark`— list instances of the 182-goal benchmark (Table 1).
 //! * `linx generate-data` — write one of the synthetic benchmark datasets to CSV.
-//! * `linx serve-batch` — run many goals against one dataset through the concurrent,
-//!   cache-aware `linx-engine` service.
-//! * `linx bench-engine` — measure the engine against sequential `Linx::explore` calls
-//!   (batch speedup + cache-hit demonstration).
+//! * `linx serve-batch` — run many goals against one dataset through the sharded,
+//!   concurrent, cache-aware `linx-engine` service (`--shards` picks the router
+//!   width, `--tenant` bills the batch to a tenant for admission control).
+//! * `linx bench-engine` — measure the routed engine against sequential
+//!   `Linx::explore` calls (batch speedup + cache-hit demonstration).
 //!
 //! The command definitions and their execution live in this library crate so they can be
 //! unit-tested without spawning processes; `main.rs` is a thin wrapper. Argument parsing
@@ -326,6 +327,10 @@ mod tests {
             "50",
             "--repeat",
             "2",
+            "--shards",
+            "4",
+            "--tenant",
+            "acme",
         ])
         .unwrap();
         match cli.command {
@@ -334,6 +339,28 @@ mod tests {
                 assert_eq!(args.workers, Some(3));
                 assert_eq!(args.episodes, Some(50));
                 assert_eq!(args.repeat, 2);
+                assert_eq!(args.shards, Some(4));
+                assert_eq!(args.tenant.as_deref(), Some("acme"));
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_engine_parses_shards() {
+        let cli = Cli::try_parse_from([
+            "linx",
+            "bench-engine",
+            "--dataset",
+            "netflix",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::BenchEngine(args) => {
+                assert_eq!(args.shards, Some(2));
+                assert_eq!(args.goals, 8);
             }
             other => panic!("unexpected command: {other:?}"),
         }

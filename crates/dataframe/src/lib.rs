@@ -24,6 +24,15 @@
 //! * a small CSV reader/writer ([`csv`]) so real Kaggle exports can be loaded when
 //!   available.
 //!
+//! # Invariants
+//!
+//! [`DataFrame::fingerprint`] hashes *content* (FNV-1a over column names, types, and
+//! values — never pointers or names), is memoized, and is identical across clones and
+//! processes. Every cache built on it — the [`stats_cache`] here, the result cache
+//! and consistent-hash shard placement in `linx-engine` — inherits the consequence:
+//! moving a dataset between processes or shards can at worst miss a warm cache; it
+//! can never be served a stale entry, because changed content is a changed key.
+//!
 //! # Example
 //!
 //! ```

@@ -1,6 +1,6 @@
 //! Distribution statistics used by the LINX generic exploration reward.
 //!
-//! The paper (following ATENA [6]) scores:
+//! The paper (following ATENA \[6\]) scores:
 //!
 //! * **filter interestingness** with the KL divergence between the value distribution of
 //!   a column in the filtered view and in its parent view,

@@ -5,6 +5,8 @@ use std::fmt;
 use linx_cdrl::CdrlConfig;
 use linx_explore::{Narrative, Notebook};
 
+use crate::quota::{TenantId, TenantQuota};
+
 /// Identifies one submitted request within an engine instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(pub u64);
@@ -70,16 +72,20 @@ pub struct ExploreRequest {
     pub priority: Priority,
     /// Per-request budget caps.
     pub budget: Budget,
+    /// The tenant this request is billed to: admission control
+    /// ([`crate::QuotaTable`]) and weighted-fair scheduling key off it.
+    pub tenant: TenantId,
 }
 
 impl ExploreRequest {
-    /// A normal-priority, default-budget request.
+    /// A normal-priority, default-budget request billed to the default tenant.
     pub fn new(dataset_id: impl Into<String>, goal: impl Into<String>) -> Self {
         ExploreRequest {
             dataset_id: dataset_id.into(),
             goal: goal.into(),
             priority: Priority::Normal,
             budget: Budget::default(),
+            tenant: TenantId::default(),
         }
     }
 
@@ -92,6 +98,12 @@ impl ExploreRequest {
     /// Set the budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Set the tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = tenant.into();
         self
     }
 }
@@ -118,6 +130,9 @@ pub enum JobError {
     Panicked(String),
     /// The engine is shutting down and did not accept the job.
     ShuttingDown,
+    /// The tenant's admission quota was exhausted; retry after earlier requests
+    /// respond. Carries the refused tenant id.
+    QuotaExceeded(TenantId),
     /// The worker disappeared without a response (should not happen; indicates a bug).
     WorkerLost,
 }
@@ -127,6 +142,9 @@ impl fmt::Display for JobError {
         match self {
             JobError::Panicked(msg) => write!(f, "exploration job panicked: {msg}"),
             JobError::ShuttingDown => write!(f, "engine is shutting down"),
+            JobError::QuotaExceeded(tenant) => {
+                write!(f, "tenant '{tenant}' exceeded its admission quota")
+            }
             JobError::WorkerLost => write!(f, "worker lost before responding"),
         }
     }
@@ -166,6 +184,10 @@ pub struct EngineConfig {
     pub cdrl: CdrlConfig,
     /// Default number of dataset rows sampled for schema/value linking.
     pub sample_rows: usize,
+    /// Admission budget applied to tenants without an explicit
+    /// [`crate::QuotaTable`] override. Defaults to unlimited (the single-tenant
+    /// behavior); per-tenant overrides are set on the engine's quota table.
+    pub default_quota: TenantQuota,
 }
 
 impl Default for EngineConfig {
@@ -180,6 +202,7 @@ impl Default for EngineConfig {
             cache_shards: 8,
             cdrl: CdrlConfig::default(),
             sample_rows: 200,
+            default_quota: TenantQuota::default(),
         }
     }
 }

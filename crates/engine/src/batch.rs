@@ -9,8 +9,9 @@
 use linx_dataframe::{DataFrame, StatsCacheStats};
 use linx_explore::OpMemoStats;
 
-use crate::api::{Budget, ExploreRequest, ExploreResponse, Priority};
+use crate::api::{Budget, ExploreRequest, ExploreResponse, JobError, Priority};
 use crate::engine::Engine;
+use crate::quota::TenantId;
 
 /// A batch of goals to explore against one dataset.
 #[derive(Debug, Clone)]
@@ -23,17 +24,26 @@ pub struct BatchRequest {
     pub priority: Priority,
     /// Budget applied to every job of the batch.
     pub budget: Budget,
+    /// Tenant every job of the batch is billed to.
+    pub tenant: TenantId,
 }
 
 impl BatchRequest {
-    /// A normal-priority, default-budget batch.
+    /// A normal-priority, default-budget batch billed to the default tenant.
     pub fn new(dataset_id: impl Into<String>, goals: Vec<String>) -> Self {
         BatchRequest {
             dataset_id: dataset_id.into(),
             goals,
             priority: Priority::Normal,
             budget: Budget::default(),
+            tenant: TenantId::default(),
         }
+    }
+
+    /// Set the tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = tenant.into();
+        self
     }
 }
 
@@ -50,6 +60,9 @@ pub struct BatchOutcome {
     pub stats: StatsCacheStats,
     /// Wall-clock microseconds for the whole batch.
     pub total_micros: u64,
+    /// The router shard that served the batch; `None` when the batch ran against a
+    /// bare [`Engine`] rather than through a [`crate::Router`].
+    pub shard: Option<usize>,
 }
 
 impl BatchOutcome {
@@ -64,6 +77,14 @@ impl BatchOutcome {
     /// Number of responses with a successful outcome.
     pub fn succeeded(&self) -> usize {
         self.responses.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Number of responses refused by tenant admission control.
+    pub fn throttled(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(JobError::QuotaExceeded(_))))
+            .count()
     }
 }
 
@@ -84,6 +105,7 @@ pub fn run_batch(engine: &Engine, dataset: &DataFrame, batch: BatchRequest) -> B
                     goal: goal.clone(),
                     priority: batch.priority,
                     budget: batch.budget,
+                    tenant: batch.tenant.clone(),
                 },
             )
         })
@@ -94,5 +116,6 @@ pub fn run_batch(engine: &Engine, dataset: &DataFrame, batch: BatchRequest) -> B
         memo: ctx.memo.stats(),
         stats: ctx.shared.stats.stats(),
         total_micros: started.elapsed().as_micros() as u64,
+        shard: None,
     }
 }

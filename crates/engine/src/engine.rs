@@ -16,6 +16,7 @@ use crate::cache::ShardedLru;
 use crate::fingerprint::request_fingerprint;
 use crate::pipeline::{run_exploration, DatasetContext};
 use crate::pool::WorkerPool;
+use crate::quota::QuotaTable;
 use crate::stats::EngineStats;
 
 /// A handle on one submitted request; resolves to the response.
@@ -75,6 +76,9 @@ pub struct Engine {
     config: EngineConfig,
     pool: WorkerPool,
     cache: Arc<ShardedLru<u64, ExploreResult>>,
+    /// Per-tenant admission control in front of the pool. May be shared across
+    /// several engine shards (see [`crate::Router`]) to make budgets global.
+    quota: Arc<QuotaTable>,
     /// Single-flight request coalescing: fingerprint → waiters for an in-flight job.
     /// A submission whose fingerprint is already being computed attaches itself here
     /// instead of training again; the executing job drains the waiters on completion.
@@ -99,14 +103,24 @@ struct Waiter {
 }
 
 impl Engine {
-    /// Start an engine: spawns the worker pool and allocates the result cache.
+    /// Start an engine: spawns the worker pool and allocates the result cache. The
+    /// engine gets its own quota table seeded from `config.default_quota`.
     pub fn new(config: EngineConfig) -> Self {
+        let quota = Arc::new(QuotaTable::new(config.default_quota));
+        Engine::with_quota(config, quota)
+    }
+
+    /// Start an engine that enforces admission against a caller-provided quota
+    /// table. Sharing one table across engines makes tenant budgets global — the
+    /// [`crate::Router`] uses this to bound a tenant across all shards at once.
+    pub fn with_quota(config: EngineConfig, quota: Arc<QuotaTable>) -> Self {
         let pool = WorkerPool::new(config.workers);
         let cache = Arc::new(ShardedLru::new(config.cache_capacity, config.cache_shards));
         Engine {
             config,
             pool,
             cache,
+            quota,
             in_flight: Arc::new(Mutex::new(HashMap::new())),
             next_id: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
@@ -119,6 +133,11 @@ impl Engine {
     /// The configuration in effect.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The admission-control table (set per-tenant overrides here).
+    pub fn quota(&self) -> &Arc<QuotaTable> {
+        &self.quota
     }
 
     /// Precompute the shared per-dataset context (fingerprint, schema, sample, view
@@ -167,9 +186,50 @@ impl Engine {
         // Single-flight: if an identical request is already executing (or queued),
         // attach to it instead of training the same thing twice. The hot serving
         // pattern — many users asking the same goal at once — costs one training run.
+        // Coalesced attachments bypass quota admission: they cost no worker slot.
         // Known limitation: a coalesced request inherits the queued job's priority
-        // (a High request attaching to a Low job does not bump it); re-prioritizable
-        // queue entries are a ROADMAP item alongside multi-tenant quotas.
+        // and tenant lane (a High request attaching to a Low job does not bump it);
+        // re-prioritizable queue entries are a ROADMAP item.
+        {
+            let mut in_flight = self.in_flight.lock().expect("in-flight lock");
+            if let Some(waiters) = in_flight.get_mut(&fp.0) {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                waiters.push(Waiter {
+                    id,
+                    dataset_id: request.dataset_id,
+                    goal: request.goal,
+                    started,
+                    tx,
+                });
+                return handle;
+            }
+        }
+
+        // Admission control: this request needs a worker-pool slot, so it must fit
+        // the tenant's in-flight/queued budget. Refusals respond immediately — a
+        // throttled tenant gets fast feedback instead of a deep queue. The guard
+        // travels with the job and releases the budget however the job ends — even
+        // if the pool drops it un-run at shutdown, so a quota table shared across
+        // shards cannot leak a tenant's budget.
+        let tenant = request.tenant.clone();
+        let mut admission = match self.quota.admit_guarded(&tenant) {
+            Ok(guard) => guard,
+            Err(_) => {
+                let _ = tx.send(ExploreResponse {
+                    id,
+                    dataset_id: request.dataset_id,
+                    goal: request.goal,
+                    outcome: Err(JobError::QuotaExceeded(tenant)),
+                    served_from_cache: false,
+                    total_micros: started.elapsed().as_micros() as u64,
+                });
+                return handle;
+            }
+        };
+
+        // Claim the single-flight slot. An identical request may have slipped in
+        // between the attach-check and admission; if so, attach after all (dropping
+        // `admission` hands the just-admitted budget back).
         {
             let mut in_flight = self.in_flight.lock().expect("in-flight lock");
             if let Some(waiters) = in_flight.get_mut(&fp.0) {
@@ -200,7 +260,9 @@ impl Engine {
         };
         let in_flight = Arc::clone(&self.in_flight);
         let job_panics = Arc::clone(&self.job_panics);
-        let submitted = self.pool.submit(priority, move || {
+        let weight = admission.quota.weight.max(1);
+        let submitted = self.pool.submit_tagged(priority, tenant, weight, move || {
+            admission.start();
             // First line of defense: capture the panic *message* here so the response
             // can carry it; the pool's own catch_unwind is the backstop.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -218,6 +280,7 @@ impl Engine {
             if let Ok(result) = &outcome {
                 cache.insert(fp.0, result.clone());
             }
+            admission.finish();
             // Release the coalescing slot *before* responding, then serve every
             // attached waiter a clone of the outcome.
             let waiters = in_flight
@@ -249,6 +312,8 @@ impl Engine {
         if submitted.is_err() {
             // Pool is shutting down: respond on the spot and release the coalescing
             // slot (waiters that attached while we held it get the same rejection).
+            // The admitted budget came back when the pool dropped the refused job —
+            // the closure owned the admission guard.
             self.failed.fetch_add(1, Ordering::Relaxed);
             let waiters = self
                 .in_flight
@@ -283,6 +348,7 @@ impl Engine {
             rejected: self.failed.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             pool,
+            quota: self.quota.stats(),
         }
     }
 

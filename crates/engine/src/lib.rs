@@ -1,36 +1,36 @@
-//! `linx-engine` — a concurrent, cache-aware exploration service over the LINX
-//! pipeline.
+//! `linx-engine` — a sharded, concurrent, cache-aware exploration service over the
+//! LINX pipeline.
 //!
-//! The paper presents LINX as an *interactive system*: a user states an analytical goal
-//! in natural language and receives an exploration notebook. Serving that interaction
-//! to many users takes more than the one-shot `Linx::explore` call — it takes a serving
-//! layer. This crate is that layer:
+//! The paper presents LINX as an *interactive system*: a user states an analytical
+//! goal in natural language and receives an exploration notebook. Serving that
+//! interaction to many users over many datasets takes more than the one-shot
+//! `Linx::explore` call — it takes a serving layer. This crate is that layer:
 //!
 //! * [`api`] — [`ExploreRequest`] / [`ExploreResponse`] with request ids,
-//!   [`Priority`] classes, and per-request [`Budget`]s;
-//! * [`pool`] — a std-only worker pool (threads + channels + a priority queue) with
-//!   graceful shutdown and per-job panic isolation;
-//! * [`cache`] — a sharded LRU result cache keyed by a stable
-//!   [`fingerprint`](crate::fingerprint) of `(dataset content, goal, config)`, with
-//!   hit/miss/eviction counters;
+//!   [`Priority`] classes, per-request [`Budget`]s, and a [`TenantId`];
+//! * [`quota`] — per-tenant admission control: a [`QuotaTable`] of in-flight/queued
+//!   budgets and scheduling weights, enforced in front of the worker pool;
+//! * [`pool`] — a std-only worker pool whose priority queue is weighted-fair:
+//!   deficit round-robin across tenants within each priority band, so one flooding
+//!   tenant delays its own backlog, not everyone else's;
+//! * [`cache`] — a sharded LRU result cache keyed by a stable [`fingerprint`] of
+//!   `(dataset content, goal, config)`;
 //! * [`batch`] — a front-end that accepts many goals against one dataset and shares
 //!   the derivation inputs and materialized views across them; and
-//! * [`stats`] — aggregated telemetry for all of the above.
+//! * [`router`] — a [`Router`] owning N engine shards with consistent-hash dataset
+//!   placement and one shared quota table.
 //!
-//! The engine sits *below* the `linx` facade crate (which re-exports it as
-//! `linx::engine`) and drives the pipeline crates (`linx-nl2ldx`, `linx-cdrl`,
-//! `linx-explore`) directly. Later scaling work — sharding datasets across engines,
-//! async backends, multi-tenant quotas — plugs into this seam.
+//! Two invariants the layers lean on:
 //!
-//! # Quickstart
+//! 1. **Cache keys include dataset content** (never names or pointers), so routing a
+//!    dataset to a different shard — or restarting a process — can at worst miss a
+//!    warm cache; it can never serve a stale result.
+//! 2. **Quotas guard worker slots, not lookups**: result-cache hits and coalesced
+//!    attachments bypass admission because they cost no training run.
 //!
-//! See [`Engine`] for a runnable example; the short version:
-//!
-//! ```text
-//! let engine = Engine::new(EngineConfig::default());
-//! let ctx = engine.dataset_context(&dataset, "netflix");
-//! let response = engine.submit(&ctx, ExploreRequest::new("netflix", goal)).wait();
-//! ```
+//! See `docs/ARCHITECTURE.md` at the repository root for the full request lifecycle
+//! (fingerprint → route → cache → coalesce → admit → schedule → pipeline) and
+//! [`Engine`] / [`Router`] for runnable examples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +42,8 @@ pub mod engine;
 pub mod fingerprint;
 pub mod pipeline;
 pub mod pool;
+pub mod quota;
+pub mod router;
 pub mod stats;
 
 pub use api::{
@@ -54,4 +56,6 @@ pub use engine::{Engine, JobHandle};
 pub use fingerprint::{request_fingerprint, Fingerprint};
 pub use pipeline::DatasetContext;
 pub use pool::{PoolStats, WorkerPool};
+pub use quota::{AdmissionGuard, QuotaExceeded, QuotaStats, QuotaTable, TenantId, TenantQuota};
+pub use router::{RoutedContext, Router, RouterConfig, RouterStats, RoutingTable, ShardStats};
 pub use stats::EngineStats;

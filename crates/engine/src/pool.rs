@@ -1,20 +1,24 @@
-//! A std-only worker pool: threads, a priority queue, graceful shutdown, and per-job
-//! panic isolation.
+//! A std-only worker pool: threads, a tenant-fair priority queue, graceful shutdown,
+//! and per-job panic isolation.
 //!
-//! Jobs are boxed closures ordered by ([`Priority`] descending, submission order
-//! ascending). Workers catch panics per job, so one poisoned exploration cannot take
-//! down the pool; the panic count is exposed for monitoring. Shutdown is graceful by
-//! default — already-queued jobs drain before workers exit — with an immediate variant
-//! that drops the queue.
+//! Jobs are boxed closures scheduled by ([`Priority`] descending, then weighted
+//! deficit round-robin across tenants, then submission order within a tenant). The
+//! fairness property: while several tenants have work queued in the same priority
+//! band, worker slots are apportioned in proportion to the tenants' weights — a
+//! tenant flooding the queue delays its *own* backlog, not everyone else's. Workers
+//! catch panics per job, so one poisoned exploration cannot take down the pool; the
+//! panic count is exposed for monitoring. Shutdown is graceful by default —
+//! already-queued jobs drain before workers exit — with an immediate variant that
+//! drops the queue.
 
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crate::api::Priority;
+use crate::quota::TenantId;
 
 /// Error returned when submitting to a pool that is shutting down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,45 +26,134 @@ pub struct PoolClosed;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct QueuedJob {
-    priority: Priority,
-    seq: u64,
-    job: Job,
+/// One tenant's FIFO lane within a priority band, plus its deficit-round-robin
+/// accounting: `credit` worker slots remain in the tenant's current turn, and a
+/// fresh turn grants `weight` slots.
+struct TenantLane {
+    jobs: VecDeque<Job>,
+    credit: u32,
+    weight: u32,
 }
 
-impl PartialEq for QueuedJob {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == CmpOrdering::Equal
-    }
-}
-
-impl Eq for QueuedJob {}
-
-impl PartialOrd for QueuedJob {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for QueuedJob {
-    /// Max-heap order: higher priority first, then earlier submission (smaller seq).
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        self.priority
-            .cmp(&other.priority)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
+/// One priority band: per-tenant lanes served deficit-round-robin.
+///
+/// `rotation` holds the tenants with queued work in service order; the front tenant
+/// is served until its credit is spent or its lane empties, then rotates to the
+/// back. New tenants join the back of the rotation with zero credit, so a newcomer
+/// can never pre-empt tenants already waiting for their turn.
 #[derive(Default)]
+struct Band {
+    lanes: HashMap<TenantId, TenantLane>,
+    rotation: VecDeque<TenantId>,
+}
+
+impl Band {
+    fn push(&mut self, tenant: TenantId, weight: u32, job: Job) {
+        if !self.lanes.contains_key(&tenant) {
+            self.rotation.push_back(tenant.clone());
+            self.lanes.insert(
+                tenant.clone(),
+                TenantLane {
+                    jobs: VecDeque::new(),
+                    credit: 0,
+                    weight: weight.max(1),
+                },
+            );
+        }
+        let lane = self.lanes.get_mut(&tenant).expect("lane just ensured");
+        lane.weight = weight.max(1); // the latest declared weight wins
+        lane.jobs.push_back(job);
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        loop {
+            let front = self.rotation.front()?.clone();
+            let lane = self
+                .lanes
+                .get_mut(&front)
+                .expect("rotation entry has a lane");
+            if lane.jobs.is_empty() {
+                // The lane drained earlier in this rotation; retire it. (Re-submission
+                // re-creates it at the back of the rotation.)
+                self.lanes.remove(&front);
+                self.rotation.pop_front();
+                continue;
+            }
+            if lane.credit == 0 {
+                lane.credit = lane.weight;
+            }
+            let job = lane.jobs.pop_front().expect("non-empty lane");
+            lane.credit -= 1;
+            let turn_over = lane.credit == 0;
+            if lane.jobs.is_empty() {
+                self.lanes.remove(&front);
+                self.rotation.pop_front();
+            } else if turn_over {
+                let t = self.rotation.pop_front().expect("front exists");
+                self.rotation.push_back(t);
+            }
+            return Some(job);
+        }
+    }
+
+    fn queued_for(&self, tenant: &TenantId) -> usize {
+        self.lanes.get(tenant).map_or(0, |l| l.jobs.len())
+    }
+}
+
+/// The pool's queue: one deficit-round-robin [`Band`] per [`Priority`], scanned
+/// high-to-low so priorities strictly dominate tenant fairness.
+#[derive(Default)]
+struct FairQueue {
+    /// Index 0 = High, 1 = Normal, 2 = Low (scan order).
+    bands: [Band; 3],
+    len: usize,
+}
+
+fn band_index(priority: Priority) -> usize {
+    match priority {
+        Priority::High => 0,
+        Priority::Normal => 1,
+        Priority::Low => 2,
+    }
+}
+
+impl FairQueue {
+    fn push(&mut self, priority: Priority, tenant: TenantId, weight: u32, job: Job) {
+        self.bands[band_index(priority)].push(tenant, weight, job);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        for band in self.bands.iter_mut() {
+            if let Some(job) = band.pop() {
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn clear(&mut self) {
+        for band in self.bands.iter_mut() {
+            *band = Band::default();
+        }
+        self.len = 0;
+    }
+
+    fn queued_for(&self, tenant: &TenantId) -> usize {
+        self.bands.iter().map(|b| b.queued_for(tenant)).sum()
+    }
+}
+
 struct QueueState {
-    heap: BinaryHeap<QueuedJob>,
+    queue: FairQueue,
     shutting_down: bool,
 }
 
 struct PoolShared {
     state: Mutex<QueueState>,
     work_available: Condvar,
-    next_seq: AtomicU64,
     completed: AtomicU64,
     panicked: AtomicU64,
 }
@@ -78,7 +171,7 @@ pub struct PoolStats {
     pub workers: u64,
 }
 
-/// A fixed-size pool of worker threads draining a priority queue of jobs.
+/// A fixed-size pool of worker threads draining a tenant-fair priority queue.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
@@ -88,9 +181,11 @@ impl WorkerPool {
     /// Spawn a pool with `workers` threads (at least one).
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
-            state: Mutex::new(QueueState::default()),
+            state: Mutex::new(QueueState {
+                queue: FairQueue::default(),
+                shutting_down: false,
+            }),
             work_available: Condvar::new(),
-            next_seq: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
         });
@@ -106,26 +201,45 @@ impl WorkerPool {
         WorkerPool { shared, workers }
     }
 
-    /// Enqueue a job. Fails if the pool is shutting down.
+    /// Enqueue a job on the default tenant's lane with unit weight. Fails if the
+    /// pool is shutting down.
     pub fn submit(
         &self,
         priority: Priority,
         job: impl FnOnce() + Send + 'static,
     ) -> Result<(), PoolClosed> {
-        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.submit_tagged(priority, TenantId::default(), 1, job)
+    }
+
+    /// Enqueue a job on `tenant`'s lane with the given deficit-round-robin weight.
+    /// Fails if the pool is shutting down.
+    pub fn submit_tagged(
+        &self,
+        priority: Priority,
+        tenant: TenantId,
+        weight: u32,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), PoolClosed> {
         {
             let mut state = self.shared.state.lock().expect("pool lock");
             if state.shutting_down {
                 return Err(PoolClosed);
             }
-            state.heap.push(QueuedJob {
-                priority,
-                seq,
-                job: Box::new(job),
-            });
+            state.queue.push(priority, tenant, weight, Box::new(job));
         }
         self.shared.work_available.notify_one();
         Ok(())
+    }
+
+    /// Jobs currently queued (not yet executing) for one tenant, across all
+    /// priority bands.
+    pub fn queued_for(&self, tenant: &TenantId) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock")
+            .queue
+            .queued_for(tenant)
     }
 
     /// Counters snapshot.
@@ -133,7 +247,7 @@ impl WorkerPool {
         PoolStats {
             completed: self.shared.completed.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
-            queued: self.shared.state.lock().expect("pool lock").heap.len() as u64,
+            queued: self.shared.state.lock().expect("pool lock").queue.len as u64,
             workers: self.workers.len() as u64,
         }
     }
@@ -154,7 +268,7 @@ impl WorkerPool {
             let mut state = self.shared.state.lock().expect("pool lock");
             state.shutting_down = true;
             if drop_queue {
-                state.heap.clear();
+                state.queue.clear();
             }
         }
         self.shared.work_available.notify_all();
@@ -171,7 +285,7 @@ impl Drop for WorkerPool {
         {
             let mut state = self.shared.state.lock().expect("pool lock");
             state.shutting_down = true;
-            state.heap.clear();
+            state.queue.clear();
         }
         self.shared.work_available.notify_all();
         for w in self.workers.drain(..) {
@@ -185,7 +299,7 @@ fn worker_loop(shared: &PoolShared) {
         let job = {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
-                if let Some(next) = state.heap.pop() {
+                if let Some(next) = state.queue.pop() {
                     break next;
                 }
                 if state.shutting_down {
@@ -201,7 +315,7 @@ fn worker_loop(shared: &PoolShared) {
         // (The closure owns its captures, so no shared state outlives the unwind in a
         // partially-updated form; job authors communicate results via channels, whose
         // disconnect the receiver observes.)
-        if catch_unwind(AssertUnwindSafe(job.job)).is_err() {
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
             shared.panicked.fetch_add(1, Ordering::Relaxed);
         }
         shared.completed.fetch_add(1, Ordering::Relaxed);
@@ -212,6 +326,20 @@ fn worker_loop(shared: &PoolShared) {
 mod tests {
     use super::*;
     use std::sync::mpsc;
+
+    /// Block the pool's single worker until the returned sender fires, so the queue
+    /// order behind it is observable deterministically.
+    fn gate(pool: &WorkerPool) -> mpsc::Sender<()> {
+        let (started_tx, started_rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        pool.submit(Priority::High, move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        gate_tx
+    }
 
     #[test]
     fn executes_jobs_and_counts_completions() {
@@ -232,15 +360,7 @@ mod tests {
     #[test]
     fn priority_order_is_respected_by_a_single_worker() {
         let pool = WorkerPool::new(1);
-        let (started_tx, started_rx) = mpsc::channel();
-        let (gate_tx, gate_rx) = mpsc::channel::<()>();
-        // Block the only worker so subsequently queued jobs are ordered by the heap.
-        pool.submit(Priority::High, move || {
-            started_tx.send(()).unwrap();
-            gate_rx.recv().unwrap();
-        })
-        .unwrap();
-        started_rx.recv().unwrap();
+        let open = gate(&pool);
 
         let (tx, rx) = mpsc::channel();
         for (priority, tag) in [
@@ -253,9 +373,75 @@ mod tests {
             pool.submit(priority, move || tx.send(tag).unwrap())
                 .unwrap();
         }
-        gate_tx.send(()).unwrap();
+        open.send(()).unwrap();
         let order: Vec<&str> = rx.iter().take(4).collect();
         assert_eq!(order, vec!["high", "normal-1", "normal-2", "low"]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn equal_weight_tenants_interleave_within_a_band() {
+        let pool = WorkerPool::new(1);
+        let open = gate(&pool);
+
+        let (tx, rx) = mpsc::channel();
+        // Tenant A floods before tenant B submits anything.
+        for _ in 0..4 {
+            let tx = tx.clone();
+            pool.submit_tagged(Priority::Normal, TenantId::new("a"), 1, move || {
+                tx.send("a").unwrap()
+            })
+            .unwrap();
+        }
+        for _ in 0..2 {
+            let tx = tx.clone();
+            pool.submit_tagged(Priority::Normal, TenantId::new("b"), 1, move || {
+                tx.send("b").unwrap()
+            })
+            .unwrap();
+        }
+        assert_eq!(pool.queued_for(&TenantId::new("a")), 4);
+        open.send(()).unwrap();
+        let order: Vec<&str> = rx.iter().take(6).collect();
+        assert_eq!(
+            order,
+            vec!["a", "b", "a", "b", "a", "a"],
+            "round-robin alternation, then A drains its own backlog"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn weights_apportion_slots_proportionally() {
+        let pool = WorkerPool::new(1);
+        let open = gate(&pool);
+
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..6 {
+            let tx = tx.clone();
+            pool.submit_tagged(Priority::Normal, TenantId::new("bulk"), 1, move || {
+                tx.send("bulk").unwrap()
+            })
+            .unwrap();
+        }
+        for _ in 0..6 {
+            let tx = tx.clone();
+            pool.submit_tagged(Priority::Normal, TenantId::new("vip"), 3, move || {
+                tx.send("vip").unwrap()
+            })
+            .unwrap();
+        }
+        open.send(()).unwrap();
+        let order: Vec<&str> = rx.iter().take(12).collect();
+        // bulk is at the front of the rotation with weight 1, vip follows with
+        // weight 3: 1-against-3 alternation until vip's lane drains.
+        assert_eq!(
+            order,
+            vec![
+                "bulk", "vip", "vip", "vip", "bulk", "vip", "vip", "vip", "bulk", "bulk", "bulk",
+                "bulk"
+            ]
+        );
         pool.shutdown();
     }
 

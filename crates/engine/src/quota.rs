@@ -1,0 +1,508 @@
+//! Per-tenant admission control: tenant identities, budgets, and the [`QuotaTable`]
+//! that enforces them in front of the worker pool.
+//!
+//! Every [`crate::ExploreRequest`] carries a [`TenantId`]. Before a request may
+//! occupy a worker-pool slot, the engine asks the quota table to admit it; a tenant
+//! that already has `max_queued` requests waiting, or `max_in_flight` requests
+//! admitted in total, is refused with [`crate::JobError::QuotaExceeded`] instead of
+//! being allowed to crowd out everyone else's queue positions. Requests that cost no
+//! pool slot — result-cache hits and single-flight coalesced attachments — bypass
+//! admission entirely: quotas protect workers, not lookups.
+//!
+//! The table also owns each tenant's *weight*, which the pool's deficit round-robin
+//! scheduler (see [`crate::pool`]) uses to apportion worker slots within a priority
+//! band. One shared `Arc<QuotaTable>` can sit in front of several engine shards (the
+//! [`crate::Router`] does exactly this), making the budgets tenant-global rather than
+//! per-shard.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identifies the principal a request is billed to.
+///
+/// Cheap to clone (the name is behind an `Arc`); compared, hashed, and displayed by
+/// name. Requests that never set a tenant all share [`TenantId::default`], so a
+/// single-tenant deployment behaves exactly as before quotas existed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+impl TenantId {
+    /// A tenant id with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        TenantId(Arc::from(name.as_ref()))
+    }
+
+    /// The tenant name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    /// The anonymous tenant every untagged request is billed to.
+    fn default() -> Self {
+        TenantId::new("default")
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(name: &str) -> Self {
+        TenantId::new(name)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(name: String) -> Self {
+        TenantId::new(name)
+    }
+}
+
+/// One tenant's admission budget and scheduling weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum requests admitted at once (queued + executing). Further submissions
+    /// are refused until earlier ones respond.
+    pub max_in_flight: usize,
+    /// Maximum requests waiting for a worker. A tighter bound than `max_in_flight`
+    /// when the tenant should be allowed deep concurrency but a shallow queue.
+    pub max_queued: usize,
+    /// Deficit-round-robin weight within a priority band: a weight-4 tenant receives
+    /// four worker slots for every one a weight-1 tenant receives while both have
+    /// work queued. Clamped to at least 1.
+    pub weight: u32,
+}
+
+impl Default for TenantQuota {
+    /// Unlimited admission, unit weight — the pre-quota behavior.
+    fn default() -> Self {
+        TenantQuota {
+            max_in_flight: usize::MAX,
+            max_queued: usize::MAX,
+            weight: 1,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// A quota with the given in-flight cap, an equal queue cap, and unit weight.
+    pub fn limited(max_in_flight: usize) -> Self {
+        TenantQuota {
+            max_in_flight,
+            max_queued: max_in_flight,
+            weight: 1,
+        }
+    }
+
+    /// Set the scheduling weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+}
+
+/// Why a request was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotaExceeded {
+    /// The tenant whose budget was exhausted.
+    pub tenant: TenantId,
+    /// The tenant's requests waiting for a worker at refusal time.
+    pub queued: usize,
+    /// The tenant's requests executing at refusal time.
+    pub running: usize,
+}
+
+impl fmt::Display for QuotaExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tenant '{}' exceeded its admission quota ({} queued, {} running)",
+            self.tenant, self.queued, self.running
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    /// Override quota, if one was set; `None` means the table default applies.
+    quota: Option<TenantQuota>,
+    /// Requests admitted and waiting for a worker.
+    queued: usize,
+    /// Requests currently executing.
+    running: usize,
+}
+
+/// Point-in-time admission-control counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuotaStats {
+    /// Requests admitted past the quota gate.
+    pub admitted: u64,
+    /// Requests refused because a tenant budget was exhausted.
+    pub throttled: u64,
+    /// Requests currently admitted and waiting for a worker, across all tenants.
+    pub queued: u64,
+    /// Requests currently executing, across all tenants.
+    pub running: u64,
+    /// Tenants with at least one admitted request or an explicit quota override.
+    pub tenants: u64,
+}
+
+/// Tracks per-tenant in-flight/queued budgets and admits or refuses requests.
+///
+/// Thread-safe; the engine consults it on every submission that needs a worker-pool
+/// slot. Share one table across engine shards (via `Arc`) to make budgets global.
+///
+/// # Examples
+///
+/// ```
+/// use linx_engine::{QuotaTable, TenantId, TenantQuota};
+///
+/// let table = QuotaTable::unlimited();
+/// let greedy = TenantId::new("greedy");
+/// table.set_quota(greedy.clone(), TenantQuota::limited(1));
+///
+/// assert!(table.try_admit(&greedy).is_ok());
+/// assert!(table.try_admit(&greedy).is_err(), "second request exceeds max_in_flight");
+/// table.start(&greedy); // queued -> running
+/// table.finish(&greedy); // running -> done; budget freed
+/// assert!(table.try_admit(&greedy).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct QuotaTable {
+    default_quota: TenantQuota,
+    tenants: Mutex<HashMap<TenantId, TenantState>>,
+    admitted: AtomicU64,
+    throttled: AtomicU64,
+}
+
+impl Default for QuotaTable {
+    fn default() -> Self {
+        QuotaTable::unlimited()
+    }
+}
+
+impl QuotaTable {
+    /// A table applying `default_quota` to every tenant without an explicit override.
+    pub fn new(default_quota: TenantQuota) -> Self {
+        QuotaTable {
+            default_quota,
+            tenants: Mutex::new(HashMap::new()),
+            admitted: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+        }
+    }
+
+    /// A table that admits everything (the single-tenant default).
+    pub fn unlimited() -> Self {
+        QuotaTable::new(TenantQuota::default())
+    }
+
+    /// Set (or replace) one tenant's quota override.
+    pub fn set_quota(&self, tenant: TenantId, quota: TenantQuota) {
+        let mut tenants = self.tenants.lock().expect("quota lock");
+        tenants.entry(tenant).or_default().quota = Some(quota);
+    }
+
+    /// The quota in effect for a tenant (its override, or the table default).
+    pub fn quota_of(&self, tenant: &TenantId) -> TenantQuota {
+        let tenants = self.tenants.lock().expect("quota lock");
+        tenants
+            .get(tenant)
+            .and_then(|s| s.quota)
+            .unwrap_or(self.default_quota)
+    }
+
+    /// The scheduling weight in effect for a tenant (at least 1).
+    pub fn weight_of(&self, tenant: &TenantId) -> u32 {
+        self.quota_of(tenant).weight.max(1)
+    }
+
+    /// Admit one request for `tenant`, or refuse it if the tenant's budget is
+    /// exhausted. Success returns the quota in effect, so callers get the
+    /// scheduling weight without a second lock acquisition. An admitted request
+    /// counts as queued until [`QuotaTable::start`] moves it to running; every
+    /// admission must eventually be balanced by [`QuotaTable::finish`] (or
+    /// [`QuotaTable::cancel`] if it never ran).
+    pub fn try_admit(&self, tenant: &TenantId) -> Result<TenantQuota, QuotaExceeded> {
+        let mut tenants = self.tenants.lock().expect("quota lock");
+        let state = tenants.entry(tenant.clone()).or_default();
+        let quota = state.quota.unwrap_or(self.default_quota);
+        if state.queued >= quota.max_queued || state.queued + state.running >= quota.max_in_flight {
+            let refusal = QuotaExceeded {
+                tenant: tenant.clone(),
+                queued: state.queued,
+                running: state.running,
+            };
+            // Don't let the entry `or_default` may have just created outlive the
+            // refusal: a client cycling tenant names must not grow the table.
+            Self::gc(&mut tenants, tenant);
+            drop(tenants);
+            self.throttled.fetch_add(1, Ordering::Relaxed);
+            return Err(refusal);
+        }
+        state.queued += 1;
+        drop(tenants);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(quota)
+    }
+
+    /// Mark one admitted request as executing (queued → running).
+    pub fn start(&self, tenant: &TenantId) {
+        let mut tenants = self.tenants.lock().expect("quota lock");
+        if let Some(state) = tenants.get_mut(tenant) {
+            state.queued = state.queued.saturating_sub(1);
+            state.running += 1;
+        }
+    }
+
+    /// Mark one executing request as finished, freeing its budget.
+    pub fn finish(&self, tenant: &TenantId) {
+        let mut tenants = self.tenants.lock().expect("quota lock");
+        if let Some(state) = tenants.get_mut(tenant) {
+            state.running = state.running.saturating_sub(1);
+            Self::gc(&mut tenants, tenant);
+        }
+    }
+
+    /// Release one admitted-but-never-started request (e.g. it coalesced onto an
+    /// identical submission after admission, or the pool refused it at shutdown).
+    pub fn cancel(&self, tenant: &TenantId) {
+        let mut tenants = self.tenants.lock().expect("quota lock");
+        if let Some(state) = tenants.get_mut(tenant) {
+            state.queued = state.queued.saturating_sub(1);
+            Self::gc(&mut tenants, tenant);
+        }
+    }
+
+    /// Drop a tenant entry once it holds no budget and no override, so the table
+    /// stays bounded by *active* tenants rather than every tenant ever seen.
+    fn gc(tenants: &mut HashMap<TenantId, TenantState>, tenant: &TenantId) {
+        if let Some(state) = tenants.get(tenant) {
+            if state.queued == 0 && state.running == 0 && state.quota.is_none() {
+                tenants.remove(tenant);
+            }
+        }
+    }
+
+    /// Admit one request and receive a guard that balances the admission no matter
+    /// how the request ends. See [`AdmissionGuard`].
+    pub fn admit_guarded(
+        self: &Arc<Self>,
+        tenant: &TenantId,
+    ) -> Result<AdmissionGuard, QuotaExceeded> {
+        let quota = self.try_admit(tenant)?;
+        Ok(AdmissionGuard {
+            quota,
+            table: Arc::clone(self),
+            tenant: tenant.clone(),
+            started: false,
+            done: false,
+        })
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> QuotaStats {
+        let tenants = self.tenants.lock().expect("quota lock");
+        let (queued, running) = tenants.values().fold((0u64, 0u64), |(q, r), s| {
+            (q + s.queued as u64, r + s.running as u64)
+        });
+        QuotaStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            queued,
+            running,
+            tenants: tenants.len() as u64,
+        }
+    }
+}
+
+/// One admission's budget slot, released automatically when dropped.
+///
+/// Produced by [`QuotaTable::admit_guarded`] and carried inside the worker-pool job:
+/// [`AdmissionGuard::start`] marks the queued→running transition and
+/// [`AdmissionGuard::finish`] consumes the guard when the job completes. If the
+/// guard is instead *dropped* — the job was discarded by an immediate pool shutdown,
+/// the submission coalesced after admission, or the job panicked past its own
+/// handler — the budget is handed back anyway ([`QuotaTable::cancel`] if the job
+/// never started, [`QuotaTable::finish`] if it did). This is what keeps a quota
+/// table shared across engine shards leak-free: no request path can strand a
+/// tenant's in-flight budget.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    /// The quota in effect at admission time (carries the scheduling weight).
+    pub quota: TenantQuota,
+    table: Arc<QuotaTable>,
+    tenant: TenantId,
+    started: bool,
+    done: bool,
+}
+
+impl AdmissionGuard {
+    /// Mark the admitted request as executing (queued → running).
+    pub fn start(&mut self) {
+        if !self.started {
+            self.table.start(&self.tenant);
+            self.started = true;
+        }
+    }
+
+    /// Mark the request as finished, consuming the guard and freeing its budget.
+    pub fn finish(mut self) {
+        self.start(); // a finish without an explicit start still balances
+        self.table.finish(&self.tenant);
+        self.done = true;
+    }
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        if self.started {
+            self.table.finish(&self.tenant);
+        } else {
+            self.table.cancel(&self.tenant);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_table_admits_everything() {
+        let table = QuotaTable::unlimited();
+        let t = TenantId::new("anyone");
+        for _ in 0..1000 {
+            assert!(table.try_admit(&t).is_ok());
+        }
+        assert_eq!(table.stats().admitted, 1000);
+        assert_eq!(table.stats().throttled, 0);
+    }
+
+    #[test]
+    fn in_flight_and_queued_budgets_are_enforced_separately() {
+        let table = QuotaTable::unlimited();
+        let t = TenantId::new("bounded");
+        table.set_quota(
+            t.clone(),
+            TenantQuota {
+                max_in_flight: 3,
+                max_queued: 2,
+                weight: 1,
+            },
+        );
+        assert!(table.try_admit(&t).is_ok());
+        assert!(table.try_admit(&t).is_ok());
+        // Third queued request trips max_queued even though max_in_flight allows it.
+        let err = table.try_admit(&t).unwrap_err();
+        assert_eq!(err.queued, 2);
+        // Move one to running: queue has room again, but in-flight fills at 3.
+        table.start(&t);
+        assert!(table.try_admit(&t).is_ok());
+        assert!(
+            table.try_admit(&t).is_err(),
+            "max_in_flight caps queued+running"
+        );
+        // Finishing the running one frees in-flight budget, but the queue cap still
+        // binds until another queued request starts executing.
+        table.finish(&t);
+        assert!(table.try_admit(&t).is_err(), "max_queued still binds");
+        table.start(&t);
+        assert!(table.try_admit(&t).is_ok());
+    }
+
+    #[test]
+    fn cancel_releases_an_admission_without_a_run() {
+        let table = QuotaTable::unlimited();
+        let t = TenantId::new("c");
+        table.set_quota(t.clone(), TenantQuota::limited(1));
+        assert!(table.try_admit(&t).is_ok());
+        assert!(table.try_admit(&t).is_err());
+        table.cancel(&t);
+        assert!(table.try_admit(&t).is_ok());
+    }
+
+    #[test]
+    fn inactive_default_quota_tenants_are_garbage_collected() {
+        let table = QuotaTable::unlimited();
+        let t = TenantId::new("transient");
+        table.try_admit(&t).unwrap();
+        table.start(&t);
+        table.finish(&t);
+        assert_eq!(
+            table.stats().tenants,
+            0,
+            "no residue after the last request"
+        );
+        // An explicit override is configuration and survives inactivity.
+        let pinned = TenantId::new("pinned");
+        table.set_quota(pinned.clone(), TenantQuota::limited(5));
+        table.try_admit(&pinned).unwrap();
+        table.cancel(&pinned);
+        assert_eq!(table.stats().tenants, 1);
+        assert_eq!(table.quota_of(&pinned).max_in_flight, 5);
+    }
+
+    #[test]
+    fn weights_default_to_one_and_never_go_below_one() {
+        let table = QuotaTable::unlimited();
+        let t = TenantId::new("w");
+        assert_eq!(table.weight_of(&t), 1);
+        table.set_quota(t.clone(), TenantQuota::default().with_weight(0));
+        assert_eq!(table.weight_of(&t), 1);
+        table.set_quota(t.clone(), TenantQuota::default().with_weight(4));
+        assert_eq!(table.weight_of(&t), 4);
+    }
+
+    #[test]
+    fn refused_unknown_tenants_leave_no_table_entry() {
+        let table = QuotaTable::new(TenantQuota::limited(0));
+        for i in 0..100 {
+            let t = TenantId::new(format!("drive-by-{i}"));
+            assert!(table.try_admit(&t).is_err());
+        }
+        let stats = table.stats();
+        assert_eq!(stats.throttled, 100);
+        assert_eq!(stats.tenants, 0, "refusals must not grow the table");
+    }
+
+    #[test]
+    fn dropping_an_admission_guard_releases_the_budget() {
+        let table = Arc::new(QuotaTable::unlimited());
+        let t = TenantId::new("guarded");
+        table.set_quota(t.clone(), TenantQuota::limited(1));
+
+        // Never started (the pool dropped the job un-run): cancel path.
+        let guard = table.admit_guarded(&t).unwrap();
+        assert!(table.try_admit(&t).is_err());
+        drop(guard);
+        // Started but never finished (the job unwound): finish path.
+        let mut guard = table.admit_guarded(&t).unwrap();
+        guard.start();
+        drop(guard);
+        // Explicit finish consumes the guard exactly once.
+        let guard = table.admit_guarded(&t).unwrap();
+        assert_eq!(guard.quota.max_in_flight, 1);
+        guard.finish();
+        assert!(table.try_admit(&t).is_ok(), "no double release, no leak");
+        let stats = table.stats();
+        assert_eq!(stats.queued + stats.running, 1, "only the live admission");
+    }
+
+    #[test]
+    fn tenant_ids_display_and_default() {
+        assert_eq!(TenantId::default().as_str(), "default");
+        assert_eq!(TenantId::from("acme").to_string(), "acme");
+        assert_eq!(TenantId::from("a".to_string()), TenantId::new("a"));
+    }
+}

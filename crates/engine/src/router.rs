@@ -1,0 +1,362 @@
+//! The sharded multi-engine router: consistent-hash placement of datasets over N
+//! [`Engine`] shards, behind one shared tenant quota table.
+//!
+//! Each dataset is owned by exactly one shard, chosen by consistent hashing over
+//! [`linx_dataframe::DataFrame::fingerprint`]. Two properties follow:
+//!
+//! * **Locality** — every request for a dataset lands on the same shard, so that
+//!   shard's result cache, [`linx_dataframe::StatsCache`], and `OpMemo` accumulate
+//!   all of the dataset's reuse instead of diluting it N ways.
+//! * **Minimal disruption** — placement hashes the shard *identity* onto a ring of
+//!   virtual nodes rather than computing `fingerprint % N`, so growing N shards to
+//!   N+1 moves only the keys captured by the new shard's ring segments (≈ `1/(N+1)`
+//!   of them) instead of reshuffling almost everything.
+//!
+//! Correctness does not depend on placement at all: result-cache keys include the
+//! dataset *content* fingerprint, so a key that moves to a different shard can at
+//! worst miss a warm cache — it can never be served a stale result.
+//!
+//! Admission control is deliberately *not* per shard: [`Router::new`] builds one
+//! [`QuotaTable`] and hands it to every shard, so a tenant's in-flight budget bounds
+//! its total footprint across the whole router.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use linx_dataframe::fingerprint::Fnv1a;
+use linx_dataframe::DataFrame;
+
+use crate::api::{EngineConfig, ExploreRequest};
+use crate::batch::{run_batch, BatchOutcome, BatchRequest};
+use crate::engine::{Engine, JobHandle};
+use crate::pipeline::DatasetContext;
+use crate::quota::{QuotaStats, QuotaTable};
+use crate::stats::EngineStats;
+
+/// Configuration of a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Number of engine shards (at least 1).
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring. More vnodes flatten the
+    /// key distribution at the cost of a larger (still tiny) routing table.
+    pub vnodes: usize,
+    /// Configuration applied to every shard's engine. Note that `engine.workers`
+    /// is *per shard*: a 4-shard router over a 2-worker config runs 8 workers.
+    pub engine: EngineConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: 1,
+            vnodes: 64,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl RouterConfig {
+    /// A reduced-budget configuration for tests, demos, and benches.
+    pub fn fast() -> Self {
+        RouterConfig {
+            shards: 2,
+            vnodes: 64,
+            engine: EngineConfig::fast(),
+        }
+    }
+}
+
+/// The pure placement function: a consistent-hash ring mapping dataset
+/// fingerprints to shard indices, independent of any running engine.
+///
+/// Split out of [`Router`] so placement properties (stability, balance, bounded
+/// movement under growth) can be tested without spawning worker threads.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    /// `(ring position, shard index)`, sorted by position.
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl RoutingTable {
+    /// Build the ring for `shards` shards with `vnodes` virtual nodes each.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut ring = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                let mut h = Fnv1a::new();
+                h.write_str("linx-shard");
+                h.write_u64(shard as u64);
+                h.write_u64(vnode as u64);
+                ring.push((h.finish(), shard));
+            }
+        }
+        ring.sort_unstable();
+        RoutingTable { ring, shards }
+    }
+
+    /// The number of shards the ring places onto.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning a dataset fingerprint: the first ring point at or after the
+    /// key's own ring position (wrapping past the top).
+    pub fn route(&self, dataset_fp: u64) -> usize {
+        // Re-hash the fingerprint onto the ring so placement does not inherit any
+        // structure the fingerprint might have.
+        let mut h = Fnv1a::new();
+        h.write_str("linx-key");
+        h.write_u64(dataset_fp);
+        let point = h.finish();
+        let idx = self.ring.partition_point(|&(p, _)| p < point);
+        let (_, shard) = self.ring[idx % self.ring.len()];
+        shard
+    }
+}
+
+/// Per-shard telemetry: how many requests the router sent there, and the shard
+/// engine's own counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Requests routed to this shard (submissions and batch goals).
+    pub routed: u64,
+    /// The shard engine's counters.
+    pub engine: EngineStats,
+}
+
+/// A point-in-time snapshot of the whole router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// The shared admission-control counters (tenant-global, not per shard).
+    pub quota: QuotaStats,
+}
+
+impl RouterStats {
+    /// Sum of every shard's engine counters, with `quota` taken from the shared
+    /// table once (summing it per shard would multiply-count admissions).
+    pub fn aggregate(&self) -> EngineStats {
+        let mut total = self
+            .shards
+            .iter()
+            .fold(EngineStats::default(), |acc, s| acc.merge(&s.engine));
+        total.quota = self.quota;
+        total
+    }
+
+    /// One-line human-readable summary: routed counts per shard, then the
+    /// aggregated engine summary.
+    pub fn summary(&self) -> String {
+        let routed: Vec<String> = self.shards.iter().map(|s| s.routed.to_string()).collect();
+        format!(
+            "router: {} shard(s), routed [{}] | {}",
+            self.shards.len(),
+            routed.join("/"),
+            self.aggregate().summary(),
+        )
+    }
+}
+
+/// A dataset context bound to the shard that owns the dataset.
+///
+/// Produced by [`Router::dataset_context`]; pass it to [`Router::submit`] so every
+/// request for the dataset lands on the owning shard.
+#[derive(Debug, Clone)]
+pub struct RoutedContext {
+    /// The owning shard's index.
+    pub shard: usize,
+    /// The per-dataset context, built by the owning shard's engine.
+    pub ctx: DatasetContext,
+}
+
+/// A router owning N engine shards with consistent-hash dataset placement and one
+/// shared tenant quota table.
+///
+/// The router is the multi-dataset front door: [`Router::route`] decides ownership,
+/// [`Router::submit`] / [`Router::run_batch`] forward work to the owning shard, and
+/// [`Router::stats`] aggregates telemetry. All shards enforce admission against the
+/// same [`QuotaTable`], so one tenant's budget is global rather than per shard.
+pub struct Router {
+    shards: Vec<Engine>,
+    table: RoutingTable,
+    routed: Vec<AtomicU64>,
+    quota: Arc<QuotaTable>,
+}
+
+impl Router {
+    /// Start `config.shards` engines behind a consistent-hash routing table and a
+    /// shared quota table seeded from `config.engine.default_quota`.
+    pub fn new(config: RouterConfig) -> Self {
+        let table = RoutingTable::new(config.shards, config.vnodes);
+        let quota = Arc::new(QuotaTable::new(config.engine.default_quota));
+        let shards: Vec<Engine> = (0..table.shards())
+            .map(|_| Engine::with_quota(config.engine.clone(), Arc::clone(&quota)))
+            .collect();
+        let routed = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        Router {
+            shards,
+            table,
+            routed,
+            quota,
+        }
+    }
+
+    /// The number of engine shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared admission-control table (set per-tenant overrides here).
+    pub fn quota(&self) -> &Arc<QuotaTable> {
+        &self.quota
+    }
+
+    /// Direct access to one shard's engine (telemetry, tests).
+    pub fn engine(&self, shard: usize) -> &Engine {
+        &self.shards[shard]
+    }
+
+    /// The shard owning a dataset fingerprint.
+    ///
+    /// Deterministic and stable: the same fingerprint always routes to the same
+    /// shard for a given shard count, and growing the shard count relocates only
+    /// the keys the new shard captures (see [`RoutingTable`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use linx_engine::{Router, RouterConfig};
+    ///
+    /// let mut config = RouterConfig::fast();
+    /// config.shards = 4;
+    /// config.engine.workers = 1; // keep the doctest light
+    /// let router = Router::new(config);
+    ///
+    /// let shard = router.route(0xfeed_beef_dead_c0de);
+    /// assert!(shard < router.shards());
+    /// // Routing is deterministic: the same fingerprint, the same shard.
+    /// assert_eq!(shard, router.route(0xfeed_beef_dead_c0de));
+    /// router.shutdown();
+    /// ```
+    pub fn route(&self, dataset_fp: u64) -> usize {
+        self.table.route(dataset_fp)
+    }
+
+    /// Build the per-dataset context on the owning shard and bind them together.
+    pub fn dataset_context(&self, dataset: &DataFrame, dataset_id: &str) -> RoutedContext {
+        let shard = self.route(dataset.fingerprint());
+        RoutedContext {
+            shard,
+            ctx: self.shards[shard].dataset_context(dataset, dataset_id),
+        }
+    }
+
+    /// Submit one request to the shard owning the context's dataset.
+    pub fn submit(&self, routed: &RoutedContext, request: ExploreRequest) -> JobHandle {
+        self.routed[routed.shard].fetch_add(1, Ordering::Relaxed);
+        self.shards[routed.shard].submit(&routed.ctx, request)
+    }
+
+    /// Run a whole batch on the shard owning the dataset; the outcome records which
+    /// shard served it.
+    pub fn run_batch(&self, dataset: &DataFrame, batch: BatchRequest) -> BatchOutcome {
+        let shard = self.route(dataset.fingerprint());
+        self.routed[shard].fetch_add(batch.goals.len() as u64, Ordering::Relaxed);
+        let mut outcome = run_batch(&self.shards[shard], dataset, batch);
+        outcome.shard = Some(shard);
+        outcome
+    }
+
+    /// Counters snapshot across every shard plus the shared quota table.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            shards: self
+                .shards
+                .iter()
+                .zip(&self.routed)
+                .map(|(engine, routed)| ShardStats {
+                    routed: routed.load(Ordering::Relaxed),
+                    engine: engine.stats(),
+                })
+                .collect(),
+            quota: self.quota.stats(),
+        }
+    }
+
+    /// Graceful shutdown of every shard: queued jobs drain, workers join.
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            shard.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let table = RoutingTable::new(4, 64);
+        for fp in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            let shard = table.route(fp);
+            assert!(shard < 4);
+            assert_eq!(shard, table.route(fp), "route({fp}) must be stable");
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_a_reasonable_key_share() {
+        let table = RoutingTable::new(4, 64);
+        let mut counts = [0usize; 4];
+        for i in 0..4000u64 {
+            counts[table.route(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            // Perfect balance would be 1000 per shard; vnode placement keeps every
+            // shard within a loose factor of it.
+            assert!(
+                (300..=2200).contains(&count),
+                "shard {shard} owns {count} of 4000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_keys_only_to_the_new_shard() {
+        for n in 1..6 {
+            let before = RoutingTable::new(n, 64);
+            let after = RoutingTable::new(n + 1, 64);
+            let keys = 2000u64;
+            let mut moved = 0;
+            for i in 0..keys {
+                let fp = i.wrapping_mul(0x2545_f491_4f6c_dd1d);
+                let (old, new) = (before.route(fp), after.route(fp));
+                if old != new {
+                    assert_eq!(new, n, "a moved key must land on the added shard");
+                    moved += 1;
+                }
+            }
+            // Expected movement is keys/(n+1); allow generous slack for ring
+            // placement variance with 64 vnodes.
+            let expected = keys / (n as u64 + 1);
+            assert!(
+                moved <= expected * 2,
+                "{n}->{} shards moved {moved} keys (expected ~{expected})",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let table = RoutingTable::new(0, 0);
+        assert_eq!(table.shards(), 1);
+        assert_eq!(table.route(123), 0);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::cache::CacheStats;
 use crate::pool::PoolStats;
+use crate::quota::QuotaStats;
 
 /// A point-in-time snapshot of every engine counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -16,6 +17,8 @@ pub struct EngineStats {
     pub cache: CacheStats,
     /// Worker-pool counters.
     pub pool: PoolStats,
+    /// Admission-control counters (throttled requests never reach the pool).
+    pub quota: QuotaStats,
 }
 
 impl EngineStats {
@@ -29,10 +32,37 @@ impl EngineStats {
         }
     }
 
+    /// Field-wise sum of two snapshots, for aggregating engine shards.
+    ///
+    /// Note: when shards share one quota table (as under [`crate::Router`]), summing
+    /// the `quota` counters would multiply-count them; [`crate::RouterStats`]
+    /// therefore overwrites the aggregate's `quota` with the shared table's single
+    /// snapshot.
+    pub fn merge(mut self, other: &EngineStats) -> EngineStats {
+        self.submitted += other.submitted;
+        self.coalesced += other.coalesced;
+        self.rejected += other.rejected;
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.entries += other.cache.entries;
+        self.cache.capacity += other.cache.capacity;
+        self.pool.completed += other.pool.completed;
+        self.pool.panicked += other.pool.panicked;
+        self.pool.queued += other.pool.queued;
+        self.pool.workers += other.pool.workers;
+        self.quota.admitted += other.quota.admitted;
+        self.quota.throttled += other.quota.throttled;
+        self.quota.queued += other.quota.queued;
+        self.quota.running += other.quota.running;
+        self.quota.tenants += other.quota.tenants;
+        self
+    }
+
     /// One-line human-readable summary for CLI output and logs.
     pub fn summary(&self) -> String {
         format!(
-            "requests: {} submitted, {} coalesced, {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | pool: {} workers, {} completed, {} panicked, {} queued",
+            "requests: {} submitted, {} coalesced, {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | pool: {} workers, {} completed, {} panicked, {} queued | quota: {} admitted, {} throttled, {} tenants",
             self.submitted,
             self.coalesced,
             self.rejected,
@@ -45,6 +75,9 @@ impl EngineStats {
             self.pool.completed,
             self.pool.panicked,
             self.pool.queued,
+            self.quota.admitted,
+            self.quota.throttled,
+            self.quota.tenants,
         )
     }
 }
@@ -61,5 +94,28 @@ mod tests {
         s.cache.misses = 1;
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert!(s.summary().contains("3 hits"));
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = EngineStats {
+            submitted: 3,
+            ..EngineStats::default()
+        };
+        a.cache.hits = 2;
+        a.pool.workers = 4;
+        a.quota.throttled = 1;
+        let mut b = EngineStats {
+            submitted: 5,
+            ..EngineStats::default()
+        };
+        b.cache.hits = 1;
+        b.pool.workers = 2;
+        b.quota.throttled = 2;
+        let merged = a.merge(&b);
+        assert_eq!(merged.submitted, 8);
+        assert_eq!(merged.cache.hits, 3);
+        assert_eq!(merged.pool.workers, 6);
+        assert_eq!(merged.quota.throttled, 3);
     }
 }

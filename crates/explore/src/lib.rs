@@ -17,6 +17,12 @@
 //! * [`narrative::Narrative`] — spelled-out natural-language insight summaries of a
 //!   session (the paper's stated future extension, §3 and §8), and
 //! * [`ipynb`] — export of rendered notebooks to the Jupyter nbformat (`.ipynb`).
+//!
+//! Invariant: a node's result view is a pure function of the dataset and the path of
+//! operations from the root, so materialized views ([`memo::OpMemo`]) and view
+//! statistics (`linx_dataframe::StatsCache`, threaded via
+//! [`session::SessionExecutor::with_stats`]) are shared freely across episodes,
+//! goals, and requests without invalidation logic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

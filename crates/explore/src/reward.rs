@@ -1,4 +1,4 @@
-//! The generic exploration reward `R_gen` (paper §5.1, following ATENA [6]).
+//! The generic exploration reward `R_gen` (paper §5.1, following ATENA \[6\]).
 //!
 //! `R_gen(S_i, a) = μ · Σ_{j≤i} Interestingness(q_j) + λ · Diversity(S_i)` where
 //!

@@ -42,13 +42,16 @@ use linx_explore::{narrate, Narrative, Notebook, SessionExecutor};
 use linx_ldx::Ldx;
 use linx_nl2ldx::{DerivationResult, SpecDeriver};
 
-/// The concurrent, cache-aware exploration service built on this pipeline.
+/// The sharded, concurrent, cache-aware exploration service built on this pipeline.
 ///
-/// Serving-layer entry points ([`engine::Engine`], [`engine::run_batch`]) live in the
-/// `linx-engine` crate and are re-exported here so `linx` remains the single dependency
-/// an application needs.
+/// Serving-layer entry points ([`engine::Engine`], [`engine::Router`],
+/// [`engine::run_batch`]) live in the `linx-engine` crate and are re-exported here so
+/// `linx` remains the single dependency an application needs.
 pub use linx_engine as engine;
-pub use linx_engine::{Engine, EngineConfig, ExploreRequest, ExploreResponse};
+pub use linx_engine::{
+    Engine, EngineConfig, ExploreRequest, ExploreResponse, Router, RouterConfig, TenantId,
+    TenantQuota,
+};
 
 /// Configuration of the end-to-end system.
 #[derive(Debug, Clone, Default)]

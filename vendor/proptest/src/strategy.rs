@@ -201,7 +201,7 @@ pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S>
     }
 }
 
-/// A length specification for [`vec`] (from a range or a single usize).
+/// A length specification for [`vec()`] (from a range or a single usize).
 pub struct SizeRange(Range<usize>);
 
 impl From<Range<usize>> for SizeRange {

@@ -1,7 +1,7 @@
 //! Workspace-local stand-in for the `serde` crate, used because this repository builds
 //! fully offline (no crates.io access).
 //!
-//! The repository only ever serializes [`serde_json::Value`] trees that are built with
+//! The repository only ever serializes `serde_json::Value` trees that are built with
 //! the `json!` macro; the `#[derive(Serialize, Deserialize)]` attributes scattered over
 //! the data types are never exercised through generic serializer machinery. The derives
 //! below therefore expand to nothing — they exist so the seed code's derive lists and
