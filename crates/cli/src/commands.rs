@@ -11,7 +11,7 @@ use linx_benchgen::generate_benchmark;
 use linx_data::{generate, ScaleConfig};
 use linx_dataframe::csv::{read_csv, write_csv, CsvOptions};
 use linx_dataframe::DataFrame;
-use linx_engine::{BatchRequest, EngineConfig, JobError, Router, RouterConfig};
+use linx_engine::{BatchRequest, EngineConfig, JobError, PersistConfig, Router, RouterConfig};
 use linx_explore::to_ipynb_string;
 use linx_ldx::parse_ldx;
 use linx_viz::{recommend_session, render_ascii, session_gallery};
@@ -591,6 +591,11 @@ pub struct ServeBatchArgs {
     pub shards: Option<usize>,
     /// Tenant the batch is billed to (admission control + weighted-fair scheduling).
     pub tenant: Option<String>,
+    /// Persistent cache directory shared by all shards (results + dataset
+    /// statistics survive the process and are shared with other processes).
+    pub cache_dir: Option<PathBuf>,
+    /// Size cap for the persistent cache directory, in bytes.
+    pub cache_disk_cap: Option<u64>,
 }
 
 impl ServeBatchArgs {
@@ -605,7 +610,9 @@ impl ServeBatchArgs {
       --cache-capacity <N>  Result-cache capacity in entries (per shard)
       --repeat <N>       Submit the whole batch N times [default: 1]
       --shards <N>       Engine shards behind the router [default: 1]
-      --tenant <NAME>    Tenant the batch is billed to [default: default]",
+      --tenant <NAME>    Tenant the batch is billed to [default: default]
+      --cache-dir <PATH> Persistent cache directory (results survive the process)
+      --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]",
             true,
         )
     }
@@ -615,6 +622,7 @@ impl ServeBatchArgs {
         let mut goals = Vec::new();
         let (mut episodes, mut workers, mut cache_capacity, mut repeat) = (None, None, None, None);
         let (mut shards, mut tenant) = (None, None);
+        let (mut cache_dir, mut cache_disk_cap) = (None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -646,6 +654,10 @@ impl ServeBatchArgs {
                 "--repeat" => set_once(&mut repeat, cursor.parse_value(&flag)?, &flag)?,
                 "--shards" => set_once(&mut shards, cursor.parse_value(&flag)?, &flag)?,
                 "--tenant" => set_once(&mut tenant, cursor.value_of(&flag)?, &flag)?,
+                "--cache-dir" => set_once(&mut cache_dir, cursor.path_value(&flag)?, &flag)?,
+                "--cache-disk-cap" => {
+                    set_once(&mut cache_disk_cap, cursor.parse_value(&flag)?, &flag)?
+                }
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for serve-batch"))),
             }
@@ -665,6 +677,8 @@ impl ServeBatchArgs {
             repeat: repeat.unwrap_or(1).max(1),
             shards,
             tenant,
+            cache_dir,
+            cache_disk_cap,
         })
     }
 }
@@ -675,6 +689,8 @@ fn router_config(
     episodes: Option<usize>,
     workers: Option<usize>,
     cache_capacity: Option<usize>,
+    cache_dir: Option<&PathBuf>,
+    cache_disk_cap: Option<u64>,
 ) -> RouterConfig {
     let mut engine = EngineConfig::default();
     if let Some(episodes) = episodes {
@@ -685,6 +701,13 @@ fn router_config(
     }
     if let Some(capacity) = cache_capacity {
         engine.cache_capacity = capacity;
+    }
+    if let Some(dir) = cache_dir {
+        let mut persist = PersistConfig::new(dir);
+        if let Some(cap) = cache_disk_cap {
+            persist = persist.with_max_bytes(cap);
+        }
+        engine.persist = Some(persist);
     }
     RouterConfig {
         shards: shards.unwrap_or(1).max(1),
@@ -701,11 +724,17 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
         args.episodes,
         args.workers,
         args.cache_capacity,
+        args.cache_dir.as_ref(),
+        args.cache_disk_cap,
     ));
     let tenant = args.tenant.clone().unwrap_or_else(|| "default".to_string());
 
+    let persistence = match &args.cache_dir {
+        Some(dir) => format!(" (persistent cache: {})", dir.display()),
+        None => String::new(),
+    };
     let mut out = format!(
-        "serving {} goal(s) x {} round(s) against '{name}' ({} rows) with {} worker(s) x {} shard(s) as tenant '{tenant}'\n",
+        "serving {} goal(s) x {} round(s) against '{name}' ({} rows) with {} worker(s) x {} shard(s) as tenant '{tenant}'{persistence}\n",
         args.goals.len(),
         args.repeat,
         dataset.num_rows(),
@@ -780,6 +809,10 @@ pub struct BenchEngineArgs {
     pub workers: Option<usize>,
     /// Engine shards behind the router.
     pub shards: Option<usize>,
+    /// Persistent cache directory shared by all shards.
+    pub cache_dir: Option<PathBuf>,
+    /// Size cap for the persistent cache directory, in bytes.
+    pub cache_disk_cap: Option<u64>,
 }
 
 impl BenchEngineArgs {
@@ -790,7 +823,9 @@ impl BenchEngineArgs {
             "      --goals <N>        Number of benchmark goals to run [default: 8]
       --episodes <N>     Training episodes for the CDRL engine [default: 60]
       --workers <N>      Worker threads (per shard)
-      --shards <N>       Engine shards behind the router [default: 1]",
+      --shards <N>       Engine shards behind the router [default: 1]
+      --cache-dir <PATH> Persistent cache directory (results survive the process)
+      --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]",
             true,
         )
     }
@@ -798,6 +833,7 @@ impl BenchEngineArgs {
     pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
         let mut data = DatasetFlags::default();
         let (mut goals, mut episodes, mut workers, mut shards) = (None, None, None, None);
+        let (mut cache_dir, mut cache_disk_cap) = (None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -805,6 +841,10 @@ impl BenchEngineArgs {
                 "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
                 "--workers" => set_once(&mut workers, cursor.parse_value(&flag)?, &flag)?,
                 "--shards" => set_once(&mut shards, cursor.parse_value(&flag)?, &flag)?,
+                "--cache-dir" => set_once(&mut cache_dir, cursor.path_value(&flag)?, &flag)?,
+                "--cache-disk-cap" => {
+                    set_once(&mut cache_disk_cap, cursor.parse_value(&flag)?, &flag)?
+                }
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for bench-engine"))),
             }
@@ -815,6 +855,8 @@ impl BenchEngineArgs {
             episodes,
             workers,
             shards,
+            cache_dir,
+            cache_disk_cap,
         })
     }
 }
@@ -860,6 +902,8 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
         Some(episodes),
         args.workers,
         None,
+        args.cache_dir.as_ref(),
+        args.cache_disk_cap,
     ));
     let cold = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals.clone()));
     let warm = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals));

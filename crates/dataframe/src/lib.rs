@@ -79,5 +79,7 @@ pub use column::Column;
 pub use error::{DataFrameError, Result};
 pub use frame::DataFrame;
 pub use schema::{DataType, Field, Schema};
-pub use stats_cache::{ColumnSummary, StatsCache, StatsCacheStats};
+pub use stats_cache::{
+    ColumnSummary, StatKey, StatKind, StatValue, StatsCache, StatsCacheStats, StatsTier,
+};
 pub use value::Value;

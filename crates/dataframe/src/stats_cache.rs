@@ -48,22 +48,43 @@ pub struct ColumnSummary {
 }
 
 /// One cached statistic. All kinds share one store so capacity, eviction, and
-/// counters are managed in one place.
+/// counters are managed in one place. Public so a second-level [`StatsTier`] can
+/// serialize entries; the payloads stay `Arc`-shared either way.
 #[derive(Debug, Clone)]
-enum Entry {
+pub enum StatValue {
+    /// A value histogram ([`StatsCache::histogram`]).
     Hist(Arc<Histogram>),
+    /// A full grouping structure ([`StatsCache::groups`]).
     Groups(Arc<Groups>),
+    /// Group sizes only ([`StatsCache::group_sizes`]).
     Sizes(Arc<Vec<usize>>),
+    /// Per-column summary statistics ([`StatsCache::summary`]).
     Summary(Arc<ColumnSummary>),
+}
+
+impl StatValue {
+    /// The statistic kind this value carries.
+    pub fn kind(&self) -> StatKind {
+        match self {
+            StatValue::Hist(_) => StatKind::Hist,
+            StatValue::Groups(_) => StatKind::Groups,
+            StatValue::Sizes(_) => StatKind::Sizes,
+            StatValue::Summary(_) => StatKind::Summary,
+        }
+    }
 }
 
 /// Which statistic a key addresses (folded into the key so a histogram and a grouping
 /// of the same column never collide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Kind {
+pub enum StatKind {
+    /// Value histogram.
     Hist,
+    /// Full grouping structure.
     Groups,
+    /// Group sizes only.
     Sizes,
+    /// Per-column summary.
     Summary,
 }
 
@@ -72,24 +93,46 @@ enum Kind {
 /// The column name is folded in with the same stable FNV-1a the frame fingerprint
 /// uses, so keys are `Copy` and a lookup performs no allocation — the same
 /// content-addressing trade-off the engine's result cache already makes with its
-/// 64-bit request fingerprints.
+/// 64-bit request fingerprints. Both fingerprints are stable across processes, which
+/// is what lets a [`StatsTier`] persist entries under these keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Key {
-    kind: Kind,
-    frame_fp: u64,
-    column_fp: u64,
+pub struct StatKey {
+    /// The statistic kind this key addresses.
+    pub kind: StatKind,
+    /// The frame's content fingerprint ([`DataFrame::fingerprint`]).
+    pub frame_fp: u64,
+    /// Stable FNV-1a fingerprint of the column name.
+    pub column_fp: u64,
 }
 
-impl Key {
-    fn new(kind: Kind, frame: &DataFrame, column: &str) -> Key {
+impl StatKey {
+    /// The key of `kind` for `column` of `frame`.
+    pub fn new(kind: StatKind, frame: &DataFrame, column: &str) -> StatKey {
         let mut h = Fnv1a::new();
         h.write_str(column);
-        Key {
+        StatKey {
             kind,
             frame_fp: frame.fingerprint(),
             column_fp: h.finish(),
         }
     }
+}
+
+/// A second-level store behind a [`StatsCache`]: consulted on memory misses, fed on
+/// computes.
+///
+/// Implementations are expected to be durable and/or shared (a disk directory, a
+/// remote store) and therefore fallible and slower than the in-memory tier — which is
+/// why the contract is miss-tolerant in both directions: `load` returning `None` (or
+/// a value of the wrong kind, which callers discard) simply falls through to a fresh
+/// computation, and `store` failures must be swallowed by the implementation. A tier
+/// can never serve a *stale* statistic because [`StatKey`] embeds the frame's content
+/// fingerprint. `linx-engine`'s `DiskTier` is the canonical implementation.
+pub trait StatsTier: Send + Sync + std::fmt::Debug {
+    /// Look up a persisted statistic; `None` on any miss, corruption, or I/O error.
+    fn load(&self, key: &StatKey) -> Option<StatValue>;
+    /// Persist a freshly computed statistic (best-effort; errors are swallowed).
+    fn store(&self, key: &StatKey, value: &StatValue);
 }
 
 /// A sharded, thread-safe cache of per-`(view, column)` statistics.
@@ -104,44 +147,79 @@ impl Key {
 /// weight per entry is a follow-up alongside the ROADMAP's persistent stats tier).
 #[derive(Debug)]
 pub struct StatsCache {
-    store: ShardedLru<Key, Entry>,
+    store: ShardedLru<StatKey, StatValue>,
+    /// Optional second-level tier consulted on memory misses and fed on computes.
+    tier: Option<Arc<dyn StatsTier>>,
 }
 
 impl Default for StatsCache {
     /// Defaults sized for a full training run over one dataset: every distinct view of
     /// a session tree contributes a handful of per-column statistics.
     fn default() -> Self {
-        StatsCache::new(32 * 1024, 16)
+        StatsCache::new(Self::DEFAULT_CAPACITY, Self::DEFAULT_SHARDS)
     }
 }
 
 impl StatsCache {
+    /// Default total entry capacity (what [`StatsCache::default`] allocates).
+    pub const DEFAULT_CAPACITY: usize = 32 * 1024;
+    /// Default shard count (what [`StatsCache::default`] allocates).
+    pub const DEFAULT_SHARDS: usize = 16;
+
     /// A cache with `capacity` total entries spread over `shards` shards. A zero
     /// capacity yields a cache that stores nothing (lookups always compute).
     pub fn new(capacity: usize, shards: usize) -> Self {
         StatsCache {
             store: ShardedLru::new(capacity, shards),
+            tier: None,
+        }
+    }
+
+    /// Like [`StatsCache::new`], but backed by a second-level [`StatsTier`]: memory
+    /// misses consult the tier before computing, and computed entries are written
+    /// through to it — so a cache in a fresh process (or a different engine shard
+    /// sharing the tier) re-loads statistics instead of re-deriving them.
+    pub fn with_tier(capacity: usize, shards: usize, tier: Arc<dyn StatsTier>) -> Self {
+        StatsCache {
+            store: ShardedLru::new(capacity, shards),
+            tier: Some(tier),
         }
     }
 
     /// Generic lookup-or-compute. `compute` runs outside any lock; errors are
     /// returned, never cached (a missing column should fail again, not poison an
-    /// entry).
-    fn get_or_compute(&self, key: Key, compute: impl FnOnce() -> Result<Entry>) -> Result<Entry> {
+    /// entry). A second-level tier, when present, sits between the memory miss and
+    /// the computation; a tier value of the wrong kind is discarded as a miss.
+    fn get_or_compute(
+        &self,
+        key: StatKey,
+        compute: impl FnOnce() -> Result<StatValue>,
+    ) -> Result<StatValue> {
         if let Some(entry) = self.store.get(&key) {
             return Ok(entry);
         }
+        if let Some(tier) = &self.tier {
+            if let Some(loaded) = tier.load(&key).filter(|v| v.kind() == key.kind) {
+                self.store.insert(key, loaded.clone());
+                return Ok(loaded);
+            }
+        }
         let computed = compute()?;
         self.store.insert(key, computed.clone());
+        if let Some(tier) = &self.tier {
+            tier.store(&key, &computed);
+        }
         Ok(computed)
     }
 
     /// The value histogram of `column` in `frame`, computed once per distinct frame
     /// content. Errors (unknown column) are returned, never cached.
     pub fn histogram(&self, frame: &DataFrame, column: &str) -> Result<Arc<Histogram>> {
-        let key = Key::new(Kind::Hist, frame, column);
-        match self.get_or_compute(key, || Ok(Entry::Hist(Arc::new(frame.histogram(column)?))))? {
-            Entry::Hist(h) => Ok(h),
+        let key = StatKey::new(StatKind::Hist, frame, column);
+        match self.get_or_compute(key, || {
+            Ok(StatValue::Hist(Arc::new(frame.histogram(column)?)))
+        })? {
+            StatValue::Hist(h) => Ok(h),
             _ => unreachable!("histogram key yields histogram entry"),
         }
     }
@@ -153,9 +231,11 @@ impl StatsCache {
     /// only need the group-size distribution should use [`StatsCache::group_sizes`],
     /// which caches a vector of one `usize` per *group* instead.
     pub fn groups(&self, frame: &DataFrame, column: &str) -> Result<Arc<Groups>> {
-        let key = Key::new(Kind::Groups, frame, column);
-        match self.get_or_compute(key, || Ok(Entry::Groups(Arc::new(frame.groups(column)?))))? {
-            Entry::Groups(g) => Ok(g),
+        let key = StatKey::new(StatKind::Groups, frame, column);
+        match self.get_or_compute(key, || {
+            Ok(StatValue::Groups(Arc::new(frame.groups(column)?)))
+        })? {
+            StatValue::Groups(g) => Ok(g),
             _ => unreachable!("groups key yields groups entry"),
         }
     }
@@ -164,12 +244,12 @@ impl StatsCache {
     /// computed once per distinct frame content. Much lighter than caching the full
     /// [`Groups`]: one `usize` per group rather than per row.
     pub fn group_sizes(&self, frame: &DataFrame, column: &str) -> Result<Arc<Vec<usize>>> {
-        let key = Key::new(Kind::Sizes, frame, column);
+        let key = StatKey::new(StatKind::Sizes, frame, column);
         let entry = self.get_or_compute(key, || {
-            Ok(Entry::Sizes(Arc::new(frame.groups(column)?.sizes())))
+            Ok(StatValue::Sizes(Arc::new(frame.groups(column)?.sizes())))
         })?;
         match entry {
-            Entry::Sizes(s) => Ok(s),
+            StatValue::Sizes(s) => Ok(s),
             _ => unreachable!("sizes key yields sizes entry"),
         }
     }
@@ -177,13 +257,13 @@ impl StatsCache {
     /// Per-column summary statistics of `column` in `frame`, computed once per
     /// distinct frame content.
     pub fn summary(&self, frame: &DataFrame, column: &str) -> Result<Arc<ColumnSummary>> {
-        let key = Key::new(Kind::Summary, frame, column);
+        let key = StatKey::new(StatKind::Summary, frame, column);
         let entry = self.get_or_compute(key, || {
             let col = frame.column(column)?;
             // Entropy comes from the cached histogram: the reward path usually
             // requested it already, so this is a pointer bump, not an O(rows) pass.
             let hist = self.histogram(frame, column)?;
-            Ok(Entry::Summary(Arc::new(ColumnSummary {
+            Ok(StatValue::Summary(Arc::new(ColumnSummary {
                 rows: col.len(),
                 n_distinct: col.n_unique(),
                 null_count: col.null_count(),
@@ -192,7 +272,7 @@ impl StatsCache {
             })))
         })?;
         match entry {
-            Entry::Summary(s) => Ok(s),
+            StatValue::Summary(s) => Ok(s),
             _ => unreachable!("summary key yields summary entry"),
         }
     }

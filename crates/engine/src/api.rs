@@ -188,6 +188,12 @@ pub struct EngineConfig {
     /// [`crate::QuotaTable`] override. Defaults to unlimited (the single-tenant
     /// behavior); per-tenant overrides are set on the engine's quota table.
     pub default_quota: TenantQuota,
+    /// Optional persistent cache tier (see [`crate::persist`]): when set, results
+    /// and per-dataset statistics are written through to (and re-loaded from) a
+    /// disk directory keyed by content fingerprints, so warmed work survives
+    /// restarts. Under a [`crate::Router`] the tier is opened once and shared by
+    /// every shard. Defaults to `None` (memory-only, the prior behavior).
+    pub persist: Option<crate::persist::PersistConfig>,
 }
 
 impl Default for EngineConfig {
@@ -203,6 +209,7 @@ impl Default for EngineConfig {
             cdrl: CdrlConfig::default(),
             sample_rows: 200,
             default_quota: TenantQuota::default(),
+            persist: None,
         }
     }
 }

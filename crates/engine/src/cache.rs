@@ -1,8 +1,10 @@
-//! The sharded LRU result cache.
+//! The sharded LRU result cache (the in-memory level).
 //!
 //! The implementation lives in [`linx_dataframe::sharded`] — the workspace's lowest
 //! layer — because the engine's result cache and the dataframe's view-statistics
 //! cache ([`linx_dataframe::stats_cache`]) are the same structure; this module
-//! re-exports it so engine callers keep their `linx_engine::cache` paths.
+//! re-exports it so engine callers keep their `linx_engine::cache` paths. Inside
+//! the engine it is fronted by [`crate::persist::TieredCache`], which adds the
+//! optional disk-backed second level.
 
 pub use linx_dataframe::sharded::{CacheStats, ShardedLru};

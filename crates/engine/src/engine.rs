@@ -9,11 +9,9 @@ use std::time::Instant;
 use linx_cdrl::CdrlConfig;
 use linx_dataframe::DataFrame;
 
-use crate::api::{
-    EngineConfig, ExploreRequest, ExploreResponse, ExploreResult, JobError, RequestId,
-};
-use crate::cache::ShardedLru;
+use crate::api::{EngineConfig, ExploreRequest, ExploreResponse, JobError, RequestId};
 use crate::fingerprint::request_fingerprint;
+use crate::persist::{DiskTier, TieredCache};
 use crate::pipeline::{run_exploration, DatasetContext};
 use crate::pool::WorkerPool;
 use crate::quota::QuotaTable;
@@ -75,7 +73,7 @@ impl JobHandle {
 pub struct Engine {
     config: EngineConfig,
     pool: WorkerPool,
-    cache: Arc<ShardedLru<u64, ExploreResult>>,
+    cache: Arc<TieredCache>,
     /// Per-tenant admission control in front of the pool. May be shared across
     /// several engine shards (see [`crate::Router`]) to make budgets global.
     quota: Arc<QuotaTable>,
@@ -104,7 +102,8 @@ struct Waiter {
 
 impl Engine {
     /// Start an engine: spawns the worker pool and allocates the result cache. The
-    /// engine gets its own quota table seeded from `config.default_quota`.
+    /// engine gets its own quota table seeded from `config.default_quota`, and — if
+    /// `config.persist` is set — its own disk tier over the configured directory.
     pub fn new(config: EngineConfig) -> Self {
         let quota = Arc::new(QuotaTable::new(config.default_quota));
         Engine::with_quota(config, quota)
@@ -114,8 +113,41 @@ impl Engine {
     /// table. Sharing one table across engines makes tenant budgets global — the
     /// [`crate::Router`] uses this to bound a tenant across all shards at once.
     pub fn with_quota(config: EngineConfig, quota: Arc<QuotaTable>) -> Self {
+        let disk = Engine::open_tier(&config);
+        Engine::with_shared(config, quota, disk)
+    }
+
+    /// Open the configured disk tier, degrading to memory-only (with a warning on
+    /// stderr) when the directory cannot be created: persistence is an optimization
+    /// and must never keep the service from starting.
+    pub(crate) fn open_tier(config: &EngineConfig) -> Option<Arc<DiskTier>> {
+        let persist = config.persist.as_ref()?;
+        match DiskTier::open(persist) {
+            Ok(tier) => Some(tier),
+            Err(e) => {
+                eprintln!(
+                    "linx-engine: disabling persistent cache tier ({}): {e}",
+                    persist.dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Start an engine sharing both a quota table and (optionally) a disk cache
+    /// tier with other engines. The [`crate::Router`] hands every shard the same
+    /// tier, so statistics and results warmed by one shard are served by all — and
+    /// survive the process, since fingerprint keys are content-derived.
+    pub fn with_shared(
+        config: EngineConfig,
+        quota: Arc<QuotaTable>,
+        disk: Option<Arc<DiskTier>>,
+    ) -> Self {
         let pool = WorkerPool::new(config.workers);
-        let cache = Arc::new(ShardedLru::new(config.cache_capacity, config.cache_shards));
+        let cache = Arc::new(match disk {
+            Some(tier) => TieredCache::with_disk(config.cache_capacity, config.cache_shards, tier),
+            None => TieredCache::new(config.cache_capacity, config.cache_shards),
+        });
         Engine {
             config,
             pool,
@@ -142,13 +174,19 @@ impl Engine {
 
     /// Precompute the shared per-dataset context (fingerprint, schema, sample, view
     /// memo, term inventory / featurizer / stats cache). Submitting many goals against
-    /// one context shares this work across them.
+    /// one context shares this work across them. When a disk tier is mounted, the
+    /// context's statistics cache is backed by it, so per-dataset histograms warmed
+    /// in an earlier process (or on another shard sharing the tier) are re-loaded
+    /// instead of recomputed.
     pub fn dataset_context(&self, dataset: &DataFrame, dataset_id: &str) -> DatasetContext {
-        DatasetContext::new(
+        DatasetContext::with_tier(
             dataset,
             dataset_id,
             self.config.sample_rows,
             self.config.cdrl.term_slots,
+            self.cache
+                .disk()
+                .map(|d| Arc::clone(d) as Arc<dyn linx_dataframe::StatsTier>),
         )
     }
 
@@ -346,7 +384,8 @@ impl Engine {
             submitted: self.submitted.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected: self.failed.load(Ordering::Relaxed),
-            cache: self.cache.stats(),
+            cache: self.cache.memory_stats(),
+            tier: self.cache.tier_stats(),
             pool,
             quota: self.quota.stats(),
         }

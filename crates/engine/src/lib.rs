@@ -15,10 +15,14 @@
 //!   tenant delays its own backlog, not everyone else's;
 //! * [`cache`] — a sharded LRU result cache keyed by a stable [`fingerprint`] of
 //!   `(dataset content, goal, config)`;
+//! * [`persist`] — the optional disk-backed second cache level: a versioned,
+//!   checksummed binary codec plus a size-capped [`DiskTier`] behind both the
+//!   result cache and the per-dataset statistics cache, so warmed work survives
+//!   restarts and is shared across shards and processes;
 //! * [`batch`] — a front-end that accepts many goals against one dataset and shares
 //!   the derivation inputs and materialized views across them; and
 //! * [`router`] — a [`Router`] owning N engine shards with consistent-hash dataset
-//!   placement and one shared quota table.
+//!   placement, one shared quota table, and (when configured) one shared disk tier.
 //!
 //! Two invariants the layers lean on:
 //!
@@ -40,6 +44,7 @@ pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod fingerprint;
+pub mod persist;
 pub mod pipeline;
 pub mod pool;
 pub mod quota;
@@ -54,6 +59,7 @@ pub use batch::{run_batch, BatchOutcome, BatchRequest};
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{Engine, JobHandle};
 pub use fingerprint::{request_fingerprint, Fingerprint};
+pub use persist::{DiskTier, PersistConfig, TierStats, TieredCache};
 pub use pipeline::DatasetContext;
 pub use pool::{PoolStats, WorkerPool};
 pub use quota::{AdmissionGuard, QuotaExceeded, QuotaStats, QuotaTable, TenantId, TenantQuota};

@@ -1,0 +1,1085 @@
+//! The persistent cache tier: a versioned binary codec, a disk-backed entry store
+//! ([`DiskTier`]), and the [`TieredCache`] that fronts it with the in-memory
+//! [`ShardedLru`].
+//!
+//! Both of the engine's caches key on *content* fingerprints that are stable across
+//! processes and shard counts — the result cache on
+//! [`request_fingerprint`](crate::fingerprint::request_fingerprint) and the
+//! view-statistics cache on [`StatKey`] (frame content + column name, both FNV-1a).
+//! This module turns that property into durability: entries survive process
+//! restarts, and one cache directory can back every shard of a
+//! [`Router`](crate::Router) (or several cooperating processes) at once, so work
+//! warmed anywhere is served everywhere.
+//!
+//! # On-disk format
+//!
+//! One file per entry, named by its cache key, all integers little-endian:
+//!
+//! ```text
+//! file name   res-<fp:016x>.lnx                              (result entries)
+//!             st<k>-<frame_fp:016x>-<column_fp:016x>.lnx     (statistics entries,
+//!                                                             k ∈ {h,g,z,s})
+//!
+//! bytes 0..4  magic  b"LNXP"
+//! bytes 4..6  format version (u16; readers reject any version but their own)
+//! byte  6     payload kind   (1 result, 2 histogram, 3 groups, 4 sizes, 5 summary)
+//! bytes 7..N  payload        (kind-specific; strings are u64-length-prefixed UTF-8,
+//!                             floats are IEEE-754 bit patterns, enums travel as
+//!                             their canonical tokens)
+//! bytes N..+8 FNV-1a checksum over bytes 0..N
+//! ```
+//!
+//! Writes are atomic: entries are written to a dot-prefixed temp file in the cache
+//! directory and `rename(2)`d into place, so a reader (or a concurrent process
+//! sharing the directory) only ever observes complete files. The directory is
+//! size-capped; exceeding the cap evicts least-recently-used entries by file mtime
+//! (hits re-touch mtime best-effort via [`std::fs::File::set_times`]).
+//!
+//! # Invalidation story
+//!
+//! There is none, by construction — and that is the point. Keys embed the dataset
+//! *content* fingerprint plus every result-shaping config knob, so changed data or
+//! config is a changed file name and stale entries are simply never addressed again
+//! (the size cap eventually reclaims them). The remaining failure modes all degrade
+//! to a clean miss:
+//!
+//! * **corruption** (truncation, bit flips, zero-length files) — the checksum or a
+//!   bounds check fails; the entry decodes as a miss and the file is deleted;
+//! * **format evolution** — [`FORMAT_VERSION`] is bumped whenever the payload
+//!   layout changes; old files fail the version check, decode as misses, and are
+//!   deleted rather than misread;
+//! * **foreign files** in the cache directory — only `*.lnx` files are counted or
+//!   evicted, and anything failing the magic check is treated like corruption.
+//!
+//! A decoded entry can therefore be wrong only if an FNV-1a collision aligns with a
+//! valid checksum — the same (accepted) risk the in-memory fingerprint caches
+//! already carry.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use linx_dataframe::filter::CompareOp;
+use linx_dataframe::groupby::{AggFunc, Groups};
+use linx_dataframe::stats::Histogram;
+use linx_dataframe::{ColumnSummary, StatKey, StatKind, StatValue, StatsTier, Value};
+use linx_explore::notebook::NotebookCell;
+use linx_explore::{Narrative, Notebook, QueryOp};
+
+use crate::api::ExploreResult;
+use crate::cache::{CacheStats, ShardedLru};
+
+/// Magic bytes opening every persisted entry.
+const MAGIC: [u8; 4] = *b"LNXP";
+
+/// The on-disk format version. Bump on any payload layout change; readers treat
+/// every other version as a miss (and delete the file), never as data.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// File extension of persisted entries; only such files are counted and evicted.
+const ENTRY_EXT: &str = "lnx";
+
+/// Payload kind tags (byte 6 of the frame).
+const KIND_RESULT: u8 = 1;
+const KIND_HIST: u8 = 2;
+const KIND_GROUPS: u8 = 3;
+const KIND_SIZES: u8 = 4;
+const KIND_SUMMARY: u8 = 5;
+
+/// Why a persisted entry failed to decode. Carried for diagnostics; every variant
+/// is handled identically (treat as miss, delete the file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecError(&'static str);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "persisted entry rejected: {}", self.0)
+    }
+}
+
+fn err<T>(msg: &'static str) -> Result<T, CodecError> {
+    Err(CodecError(msg))
+}
+
+// --- primitive encoding -----------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(b as u8);
+}
+
+fn put_f64(out: &mut Vec<u8>, f: f64) {
+    put_u64(out, f.to_bits());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(2);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(4);
+            put_bool(out, *b);
+        }
+    }
+}
+
+/// A bounds-checked cursor over a payload; every read can fail, no read can panic.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return err("payload truncated");
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// A `u64` that must also fit `usize` and be plausible as an in-payload count
+    /// (each counted item costs at least one byte, so a count beyond the remaining
+    /// bytes is corruption — this also keeps preallocations honest).
+    fn take_count(&mut self) -> Result<usize, CodecError> {
+        let v = self.take_u64()?;
+        if v > self.remaining() as u64 {
+            return err("count exceeds payload");
+        }
+        Ok(v as usize)
+    }
+
+    fn take_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    fn take_bool(&mut self) -> Result<bool, CodecError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => err("invalid bool tag"),
+        }
+    }
+
+    fn take_str(&mut self) -> Result<String, CodecError> {
+        let len = self.take_count()?;
+        match std::str::from_utf8(self.take(len)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("invalid UTF-8 string"),
+        }
+    }
+
+    fn take_value(&mut self) -> Result<Value, CodecError> {
+        match self.take_u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.take_u64()? as i64)),
+            // `Value::float` normalizes a (hand-corrupted) NaN bit pattern to Null
+            // instead of smuggling NaN past the constructor invariant.
+            2 => Ok(Value::float(self.take_f64()?)),
+            3 => Ok(Value::Str(self.take_str()?)),
+            4 => Ok(Value::Bool(self.take_bool()?)),
+            _ => err("unknown value tag"),
+        }
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return err("trailing bytes after payload");
+        }
+        Ok(())
+    }
+}
+
+// --- framing ----------------------------------------------------------------------
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = linx_dataframe::fingerprint::Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Wrap a payload in the magic/version/kind header and trailing checksum.
+fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 15);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Verify magic, version, and checksum; return the payload kind and bytes.
+fn unframe(bytes: &[u8]) -> Result<(u8, &[u8]), CodecError> {
+    if bytes.len() < 15 {
+        return err("file shorter than header + checksum");
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    if body[0..4] != MAGIC {
+        return err("bad magic");
+    }
+    let version = u16::from_le_bytes([body[4], body[5]]);
+    if version != FORMAT_VERSION {
+        return err("unsupported format version");
+    }
+    let sum = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte slice"));
+    if checksum(body) != sum {
+        return err("checksum mismatch");
+    }
+    Ok((body[6], &body[7..]))
+}
+
+// --- persisted types --------------------------------------------------------------
+
+fn put_query_op(out: &mut Vec<u8>, op: &QueryOp) {
+    match op {
+        QueryOp::Filter { attr, op, term } => {
+            out.push(0);
+            put_str(out, attr);
+            put_str(out, op.token());
+            put_value(out, term);
+        }
+        QueryOp::GroupBy {
+            g_attr,
+            agg,
+            agg_attr,
+        } => {
+            out.push(1);
+            put_str(out, g_attr);
+            put_str(out, agg.token());
+            put_str(out, agg_attr);
+        }
+    }
+}
+
+fn take_query_op(r: &mut Reader<'_>) -> Result<QueryOp, CodecError> {
+    match r.take_u8()? {
+        0 => {
+            let attr = r.take_str()?;
+            let Some(op) = CompareOp::parse(&r.take_str()?) else {
+                return err("unknown comparison operator token");
+            };
+            let term = r.take_value()?;
+            Ok(QueryOp::Filter { attr, op, term })
+        }
+        1 => {
+            let g_attr = r.take_str()?;
+            let Some(agg) = AggFunc::parse(&r.take_str()?) else {
+                return err("unknown aggregation function token");
+            };
+            let agg_attr = r.take_str()?;
+            Ok(QueryOp::GroupBy {
+                g_attr,
+                agg,
+                agg_attr,
+            })
+        }
+        _ => err("unknown query-op tag"),
+    }
+}
+
+fn put_histogram(out: &mut Vec<u8>, h: &Histogram) {
+    put_u64(out, h.n_distinct() as u64);
+    for (v, c) in h.iter() {
+        put_value(out, v);
+        put_u64(out, c as u64);
+    }
+}
+
+fn take_histogram(r: &mut Reader<'_>) -> Result<Histogram, CodecError> {
+    let n = r.take_count()?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.take_value()?;
+        let c = r.take_u64()? as usize;
+        pairs.push((v, c));
+    }
+    Ok(Histogram::from_counts(pairs))
+}
+
+fn put_groups(out: &mut Vec<u8>, g: &Groups) {
+    put_u64(out, g.keys.len() as u64);
+    for (key, rows) in g.keys.iter().zip(&g.indices) {
+        put_value(out, key);
+        put_u64(out, rows.len() as u64);
+        for &row in rows {
+            put_u64(out, row as u64);
+        }
+    }
+}
+
+fn take_groups(r: &mut Reader<'_>) -> Result<Groups, CodecError> {
+    let n = r.take_count()?;
+    let mut keys = Vec::with_capacity(n);
+    let mut indices = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(r.take_value()?);
+        let rows = r.take_count()?;
+        let mut group = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            group.push(r.take_u64()? as usize);
+        }
+        indices.push(group);
+    }
+    Ok(Groups { keys, indices })
+}
+
+fn put_sizes(out: &mut Vec<u8>, sizes: &[usize]) {
+    put_u64(out, sizes.len() as u64);
+    for &s in sizes {
+        put_u64(out, s as u64);
+    }
+}
+
+fn take_sizes(r: &mut Reader<'_>) -> Result<Vec<usize>, CodecError> {
+    let n = r.take_count()?;
+    let mut sizes = Vec::with_capacity(n);
+    for _ in 0..n {
+        sizes.push(r.take_u64()? as usize);
+    }
+    Ok(sizes)
+}
+
+fn put_summary(out: &mut Vec<u8>, s: &ColumnSummary) {
+    put_u64(out, s.rows as u64);
+    put_u64(out, s.n_distinct as u64);
+    put_u64(out, s.null_count as u64);
+    put_f64(out, s.normalized_entropy);
+    put_bool(out, s.numeric);
+}
+
+fn take_summary(r: &mut Reader<'_>) -> Result<ColumnSummary, CodecError> {
+    Ok(ColumnSummary {
+        rows: r.take_u64()? as usize,
+        n_distinct: r.take_u64()? as usize,
+        null_count: r.take_u64()? as usize,
+        normalized_entropy: r.take_f64()?,
+        numeric: r.take_bool()?,
+    })
+}
+
+/// Encode a complete [`ExploreResult`] (notebook, narrative, scores) as one framed,
+/// checksummed entry.
+pub fn encode_result(result: &ExploreResult) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_str(&mut p, &result.ldx_canonical);
+    put_str(&mut p, &result.notebook.title);
+    put_u64(&mut p, result.notebook.cells.len() as u64);
+    for cell in &result.notebook.cells {
+        put_u64(&mut p, cell.node as u64);
+        put_u64(&mut p, cell.depth as u64);
+        put_query_op(&mut p, &cell.op);
+        put_str(&mut p, &cell.code);
+        put_str(&mut p, &cell.result_preview);
+        put_u64(&mut p, cell.result_rows as u64);
+        put_str(&mut p, &cell.caption);
+    }
+    put_str(&mut p, &result.narrative.headline);
+    put_u64(&mut p, result.narrative.bullets.len() as u64);
+    for bullet in &result.narrative.bullets {
+        put_str(&mut p, bullet);
+    }
+    put_bool(&mut p, result.best_structural);
+    put_f64(&mut p, result.best_score);
+    frame(KIND_RESULT, &p)
+}
+
+/// Decode an [`ExploreResult`] entry; any framing, bounds, token, or checksum
+/// violation is an error (callers treat it as a miss).
+pub fn decode_result(bytes: &[u8]) -> Result<ExploreResult, CodecError> {
+    let (kind, payload) = unframe(bytes)?;
+    if kind != KIND_RESULT {
+        return err("payload kind is not a result");
+    }
+    let mut r = Reader::new(payload);
+    let ldx_canonical = r.take_str()?;
+    let title = r.take_str()?;
+    let n_cells = r.take_count()?;
+    let mut cells = Vec::with_capacity(n_cells);
+    for _ in 0..n_cells {
+        cells.push(NotebookCell {
+            node: r.take_u64()? as usize,
+            depth: r.take_u64()? as usize,
+            op: take_query_op(&mut r)?,
+            code: r.take_str()?,
+            result_preview: r.take_str()?,
+            result_rows: r.take_u64()? as usize,
+            caption: r.take_str()?,
+        });
+    }
+    let headline = r.take_str()?;
+    let n_bullets = r.take_count()?;
+    let mut bullets = Vec::with_capacity(n_bullets);
+    for _ in 0..n_bullets {
+        bullets.push(r.take_str()?);
+    }
+    let best_structural = r.take_bool()?;
+    let best_score = r.take_f64()?;
+    r.finish()?;
+    Ok(ExploreResult {
+        ldx_canonical,
+        notebook: Notebook { title, cells },
+        narrative: Narrative { headline, bullets },
+        best_structural,
+        best_score,
+    })
+}
+
+/// Encode one view-statistics entry ([`StatValue`]) as a framed, checksummed entry.
+pub fn encode_stat(value: &StatValue) -> Vec<u8> {
+    let mut p = Vec::new();
+    let kind = match value {
+        StatValue::Hist(h) => {
+            put_histogram(&mut p, h);
+            KIND_HIST
+        }
+        StatValue::Groups(g) => {
+            put_groups(&mut p, g);
+            KIND_GROUPS
+        }
+        StatValue::Sizes(s) => {
+            put_sizes(&mut p, s);
+            KIND_SIZES
+        }
+        StatValue::Summary(s) => {
+            put_summary(&mut p, s);
+            KIND_SUMMARY
+        }
+    };
+    frame(kind, &p)
+}
+
+/// Decode a view-statistics entry; the variant comes from the frame's kind byte.
+pub fn decode_stat(bytes: &[u8]) -> Result<StatValue, CodecError> {
+    let (kind, payload) = unframe(bytes)?;
+    let mut r = Reader::new(payload);
+    let value = match kind {
+        KIND_HIST => StatValue::Hist(Arc::new(take_histogram(&mut r)?)),
+        KIND_GROUPS => StatValue::Groups(Arc::new(take_groups(&mut r)?)),
+        KIND_SIZES => StatValue::Sizes(Arc::new(take_sizes(&mut r)?)),
+        KIND_SUMMARY => StatValue::Summary(Arc::new(take_summary(&mut r)?)),
+        _ => return err("payload kind is not a statistic"),
+    };
+    r.finish()?;
+    Ok(value)
+}
+
+// --- the disk tier ----------------------------------------------------------------
+
+/// Where and how large a [`DiskTier`] may be; carried on
+/// [`EngineConfig`](crate::EngineConfig) so [`Engine`](crate::Engine) and
+/// [`Router`](crate::Router) mount the tier themselves.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// The cache directory (created if absent). Safe to share across processes and
+    /// across routers with different shard counts: keys are content fingerprints.
+    pub dir: PathBuf,
+    /// Total size cap in bytes; exceeding it evicts least-recently-used entries by
+    /// file mtime.
+    pub max_bytes: u64,
+}
+
+impl PersistConfig {
+    /// Default size cap: 256 MiB.
+    pub const DEFAULT_MAX_BYTES: u64 = 256 * 1024 * 1024;
+
+    /// A config for `dir` with the default size cap.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            max_bytes: Self::DEFAULT_MAX_BYTES,
+        }
+    }
+
+    /// Set the size cap in bytes (clamped to at least one entry's worth, 4 KiB).
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes.max(4 * 1024);
+        self
+    }
+}
+
+/// Point-in-time effectiveness counters of a [`DiskTier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Entries loaded and decoded successfully.
+    pub hits: u64,
+    /// Lookups that found no file.
+    pub misses: u64,
+    /// Files that existed but failed to decode (and were deleted).
+    pub load_errors: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries deleted by the size cap.
+    pub evictions: u64,
+    /// Resident entry files (approximate under concurrent external writers).
+    pub entries: u64,
+    /// Resident bytes (approximate under concurrent external writers).
+    pub bytes: u64,
+}
+
+/// A disk-backed, size-capped entry store: one file per fingerprint-keyed entry.
+///
+/// All operations are best-effort and non-panicking: I/O errors surface as misses
+/// (loads) or dropped writes (stores), corrupt files are deleted on first contact,
+/// and the size cap is enforced by evicting the oldest-mtime entries after a store
+/// overflows it. See the module docs for the on-disk format.
+///
+/// The tier is safe to share: across threads (all state is atomic or behind the
+/// eviction lock), across the shards of one [`Router`](crate::Router) (they are
+/// handed one `Arc`), and across processes pointing at the same directory (writes
+/// are atomic renames; the byte/entry counters then drift toward approximate, which
+/// only affects telemetry and eviction timing, never correctness).
+#[derive(Debug)]
+pub struct DiskTier {
+    dir: PathBuf,
+    max_bytes: u64,
+    bytes: AtomicU64,
+    entries: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    load_errors: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    /// Serializes eviction scans (stores themselves stay lock-free).
+    evict_lock: Mutex<()>,
+}
+
+impl DiskTier {
+    /// Open (creating if needed) a cache directory with the given size cap. Stale
+    /// temp files left by crashed writers are swept here (they are invisible to
+    /// eviction, so nothing else would ever reclaim them).
+    pub fn open(config: &PersistConfig) -> io::Result<Arc<DiskTier>> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut bytes = 0u64;
+        let mut entries = 0u64;
+        for entry in std::fs::read_dir(&config.dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(ENTRY_EXT) {
+                if let Ok(meta) = entry.metadata() {
+                    bytes += meta.len();
+                    entries += 1;
+                }
+            } else if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(".tmp-"))
+            {
+                // A live writer holds a temp file only for the instants between
+                // write and rename; one older than a minute belongs to a process
+                // that died mid-store and will never be renamed.
+                let stale = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+                    .is_some_and(|age| age.as_secs() >= 60);
+                if stale {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(Arc::new(DiskTier {
+            dir: config.dir.clone(),
+            max_bytes: config.max_bytes.max(4 * 1024),
+            bytes: AtomicU64::new(bytes),
+            entries: AtomicU64::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            load_errors: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evict_lock: Mutex::new(()),
+        }))
+    }
+
+    /// The cache directory this tier reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{ENTRY_EXT}"))
+    }
+
+    /// Load and decode one entry. Missing file → miss; present-but-undecodable file
+    /// → the file is deleted and the lookup is a miss (with `load_errors` bumped).
+    fn load_entry<T>(
+        &self,
+        name: &str,
+        decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
+    ) -> Option<T> {
+        let path = self.entry_path(name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode(&bytes) {
+            Ok(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Refresh recency for the mtime-LRU eviction order; best-effort (a
+                // read-only directory still serves hits, it just decays to FIFO).
+                if let Ok(file) = std::fs::File::options().append(true).open(&path) {
+                    let now = std::fs::FileTimes::new().set_modified(std::time::SystemTime::now());
+                    let _ = file.set_times(now);
+                }
+                Some(value)
+            }
+            Err(_) => {
+                self.load_errors.fetch_add(1, Ordering::Relaxed);
+                if std::fs::remove_file(&path).is_ok() {
+                    // Saturating updates: the counters are approximate under
+                    // cross-process sharing and must never wrap.
+                    let _ = self
+                        .entries
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |e| {
+                            Some(e.saturating_sub(1))
+                        });
+                    let _ = self
+                        .bytes
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                            Some(b.saturating_sub(bytes.len() as u64))
+                        });
+                }
+                None
+            }
+        }
+    }
+
+    /// Write one encoded entry atomically (temp file + rename), then enforce the
+    /// size cap. Any I/O failure drops the write silently: the tier is a cache.
+    fn store_entry(&self, name: &str, encoded: &[u8]) {
+        // Process-global counter: two DiskTier instances over one directory (two
+        // engines configured independently rather than through a Router) must not
+        // collide on temp names, or concurrent stores truncate each other mid-write.
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, encoded).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        let path = self.entry_path(name);
+        // An overwrite replaces the previous file's bytes rather than adding an
+        // entry; account for it so the approximate counters don't inflate (two
+        // shards computing the same key both write through).
+        let replaced = std::fs::metadata(&path).map(|m| m.len()).ok();
+        if std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if replaced.is_none() {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        let delta = (encoded.len() as u64).saturating_sub(replaced.unwrap_or(0));
+        let total = self.bytes.fetch_add(delta, Ordering::Relaxed) + delta;
+        if total > self.max_bytes {
+            self.evict();
+        }
+    }
+
+    /// Delete oldest-mtime entries until the directory is back under the low-water
+    /// mark (90% of the cap — evicting to exactly the cap would re-trigger a full
+    /// directory scan on every subsequent store). The scan also resynchronizes the
+    /// approximate byte/entry counters with reality (they drift when several
+    /// processes share the directory).
+    fn evict(&self) {
+        let Ok(_guard) = self.evict_lock.lock() else {
+            return;
+        };
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                files.push((mtime, path, meta.len()));
+            }
+        }
+        files.sort_by_key(|(mtime, _, _)| *mtime);
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        let mut entries = files.len() as u64;
+        let low_water = self.max_bytes - self.max_bytes / 10;
+        for (_, path, len) in files {
+            if total <= low_water {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+                entries -= 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.bytes.store(total, Ordering::Relaxed);
+        self.entries.store(entries, Ordering::Relaxed);
+    }
+
+    /// Load a persisted exploration result by request fingerprint.
+    pub fn load_result(&self, fp: u64) -> Option<ExploreResult> {
+        self.load_entry(&format!("res-{fp:016x}"), decode_result)
+    }
+
+    /// Persist one exploration result under its request fingerprint.
+    pub fn store_result(&self, fp: u64, result: &ExploreResult) {
+        self.store_entry(&format!("res-{fp:016x}"), &encode_result(result));
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            load_errors: self.load_errors.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn stat_entry_name(key: &StatKey) -> String {
+    let k = match key.kind {
+        StatKind::Hist => 'h',
+        StatKind::Groups => 'g',
+        StatKind::Sizes => 'z',
+        StatKind::Summary => 's',
+    };
+    format!("st{k}-{:016x}-{:016x}", key.frame_fp, key.column_fp)
+}
+
+/// The disk tier doubles as the [`StatsCache`](linx_dataframe::StatsCache)'s
+/// second-level store: per-dataset histograms, groupings, and summaries persist in
+/// the same directory (and under the same size cap) as full results.
+impl StatsTier for DiskTier {
+    fn load(&self, key: &StatKey) -> Option<StatValue> {
+        self.load_entry(&stat_entry_name(key), decode_stat)
+    }
+
+    fn store(&self, key: &StatKey, value: &StatValue) {
+        self.store_entry(&stat_entry_name(key), &encode_stat(value));
+    }
+}
+
+// --- the tiered result cache ------------------------------------------------------
+
+/// The engine's result cache: the in-memory [`ShardedLru`] fronting an optional
+/// [`DiskTier`]. Lookup order is memory → disk → miss; a disk hit is promoted into
+/// memory, and inserts write through to both tiers.
+#[derive(Debug)]
+pub struct TieredCache {
+    memory: ShardedLru<u64, ExploreResult>,
+    disk: Option<Arc<DiskTier>>,
+}
+
+impl TieredCache {
+    /// A memory-only cache (the pre-persistence behavior).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        TieredCache {
+            memory: ShardedLru::new(capacity, shards),
+            disk: None,
+        }
+    }
+
+    /// A cache whose misses fall through to (and whose inserts write through to)
+    /// a disk tier.
+    pub fn with_disk(capacity: usize, shards: usize, disk: Arc<DiskTier>) -> Self {
+        TieredCache {
+            memory: ShardedLru::new(capacity, shards),
+            disk: Some(disk),
+        }
+    }
+
+    /// The disk tier, if one is mounted.
+    pub fn disk(&self) -> Option<&Arc<DiskTier>> {
+        self.disk.as_ref()
+    }
+
+    /// Look up a result by request fingerprint (memory first, then disk).
+    pub fn get(&self, fp: &u64) -> Option<ExploreResult> {
+        if let Some(hit) = self.memory.get(fp) {
+            return Some(hit);
+        }
+        let loaded = self.disk.as_ref()?.load_result(*fp)?;
+        self.memory.insert(*fp, loaded.clone());
+        Some(loaded)
+    }
+
+    /// Insert a result under its request fingerprint (both tiers).
+    pub fn insert(&self, fp: u64, result: ExploreResult) {
+        if let Some(disk) = &self.disk {
+            disk.store_result(fp, &result);
+        }
+        self.memory.insert(fp, result);
+    }
+
+    /// The in-memory tier's counters.
+    pub fn memory_stats(&self) -> CacheStats {
+        self.memory.stats()
+    }
+
+    /// The disk tier's counters (all-zero when no tier is mounted).
+    pub fn tier_stats(&self) -> TierStats {
+        self.disk.as_ref().map(|d| d.stats()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linx_dataframe::DataFrame;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("linx-persist-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn sample_result() -> ExploreResult {
+        ExploreResult {
+            ldx_canonical: "ROOT CHILDREN {A1}".to_string(),
+            notebook: Notebook {
+                title: "netflix — g".to_string(),
+                cells: vec![NotebookCell {
+                    node: 1,
+                    depth: 1,
+                    op: QueryOp::filter("country", CompareOp::Eq, Value::str("India")),
+                    code: "view_1 = df[df['country'] == 'India']".to_string(),
+                    result_preview: "country  type\nIndia    Movie".to_string(),
+                    result_rows: 2,
+                    caption: "Focus on rows where country eq India".to_string(),
+                }],
+            },
+            narrative: Narrative {
+                headline: "Most titles are movies.".to_string(),
+                bullets: vec!["In India, 93% of titles are movies.".to_string()],
+            },
+            best_structural: true,
+            best_score: 0.731,
+        }
+    }
+
+    #[test]
+    fn result_round_trip_preserves_every_field() {
+        let result = sample_result();
+        let decoded = decode_result(&encode_result(&result)).unwrap();
+        assert_eq!(decoded.ldx_canonical, result.ldx_canonical);
+        assert_eq!(decoded.notebook.title, result.notebook.title);
+        assert_eq!(decoded.notebook.cells.len(), 1);
+        assert_eq!(decoded.notebook.cells[0].op, result.notebook.cells[0].op);
+        assert_eq!(
+            decoded.notebook.cells[0].code,
+            result.notebook.cells[0].code
+        );
+        assert_eq!(decoded.narrative.headline, result.narrative.headline);
+        assert_eq!(decoded.narrative.bullets, result.narrative.bullets);
+        assert_eq!(decoded.best_structural, result.best_structural);
+        assert_eq!(decoded.best_score, result.best_score);
+    }
+
+    #[test]
+    fn stat_round_trips_preserve_values() {
+        let df = DataFrame::from_rows(
+            &["c"],
+            vec![
+                vec![Value::str("a")],
+                vec![Value::str("a")],
+                vec![Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let hist = df.histogram("c").unwrap();
+        match decode_stat(&encode_stat(&StatValue::Hist(Arc::new(hist.clone())))).unwrap() {
+            StatValue::Hist(h) => assert_eq!(*h, hist),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let groups = df.groups("c").unwrap();
+        match decode_stat(&encode_stat(&StatValue::Groups(Arc::new(groups.clone())))).unwrap() {
+            StatValue::Groups(g) => assert_eq!(*g, groups),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let sizes = groups.sizes();
+        match decode_stat(&encode_stat(&StatValue::Sizes(Arc::new(sizes.clone())))).unwrap() {
+            StatValue::Sizes(s) => assert_eq!(*s, sizes),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let summary = ColumnSummary {
+            rows: 3,
+            n_distinct: 2,
+            null_count: 0,
+            normalized_entropy: 0.918,
+            numeric: false,
+        };
+        match decode_stat(&encode_stat(&StatValue::Summary(Arc::new(summary.clone())))).unwrap() {
+            StatValue::Summary(s) => assert_eq!(*s, summary),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_counts() {
+        let dir = temp_dir("roundtrip");
+        let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+        assert!(tier.load_result(42).is_none());
+        tier.store_result(42, &sample_result());
+        let loaded = tier.load_result(42).expect("stored entry loads");
+        assert_eq!(loaded.ldx_canonical, sample_result().ldx_canonical);
+        let stats = tier.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+
+        // A second tier over the same directory (a "new process") sees the entry.
+        let again = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+        assert!(again.load_result(42).is_some());
+        assert_eq!(again.stats().entries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn size_cap_evicts_oldest_entries() {
+        let dir = temp_dir("evict");
+        // 4 KiB floor: each result entry here is a few hundred bytes, so ~a dozen fit.
+        let tier = DiskTier::open(&PersistConfig::new(&dir).with_max_bytes(1)).unwrap();
+        for fp in 0..40u64 {
+            tier.store_result(fp, &sample_result());
+        }
+        let stats = tier.stats();
+        assert!(stats.evictions > 0, "cap must evict: {stats:?}");
+        assert!(stats.bytes <= 4 * 1024);
+        // Some entries survive (eviction stops at the low-water mark) and some are
+        // gone; which ones is mtime order — not asserted, because coarse-granularity
+        // filesystems tie the mtimes of a tight write loop.
+        let resident = (0..40u64)
+            .filter(|&fp| tier.load_result(fp).is_some())
+            .count();
+        assert!(
+            (1..40).contains(&resident),
+            "expected partial eviction, {resident} of 40 resident"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrites_do_not_inflate_the_counters() {
+        let dir = temp_dir("overwrite");
+        let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+        for _ in 0..5 {
+            tier.store_result(9, &sample_result());
+        }
+        let stats = tier.stats();
+        assert_eq!(stats.stores, 5);
+        assert_eq!(stats.entries, 1, "same key, one resident entry");
+        let on_disk = std::fs::read(tier.dir().join("res-0000000000000009.lnx"))
+            .unwrap()
+            .len() as u64;
+        assert_eq!(
+            stats.bytes, on_disk,
+            "bytes track the resident file, not the writes"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept_at_open() {
+        let dir = temp_dir("tmp-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join(".tmp-999-0");
+        let fresh = dir.join(".tmp-999-1");
+        std::fs::write(&stale, b"half-written").unwrap();
+        std::fs::write(&fresh, b"in-flight").unwrap();
+        // Backdate only the stale one past the sweep threshold.
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(120);
+        let f = std::fs::File::options().append(true).open(&stale).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(old))
+            .unwrap();
+        drop(f);
+        let _tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+        assert!(!stale.exists(), "stale temp file swept at open");
+        assert!(fresh.exists(), "recent temp file (a live writer's) kept");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_cache_promotes_disk_hits_into_memory() {
+        let dir = temp_dir("tiered");
+        let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+        let warm = TieredCache::with_disk(8, 2, Arc::clone(&tier));
+        warm.insert(7, sample_result());
+
+        // A fresh memory cache over the same tier: first get hits disk, second memory.
+        let cold = TieredCache::with_disk(8, 2, Arc::clone(&tier));
+        assert!(cold.get(&7).is_some());
+        assert!(cold.get(&7).is_some());
+        let mem = cold.memory_stats();
+        assert_eq!(
+            (mem.hits, mem.misses),
+            (1, 1),
+            "second get served by memory"
+        );
+        assert!(cold.tier_stats().hits >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_only_cache_reports_zero_tier_stats() {
+        let cache = TieredCache::new(4, 1);
+        cache.insert(1, sample_result());
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.tier_stats(), TierStats::default());
+        assert!(cache.disk().is_none());
+    }
+}

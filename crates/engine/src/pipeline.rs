@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use linx_cdrl::{CdrlConfig, CdrlTrainer, DatasetStats};
-use linx_dataframe::{DataFrame, Schema};
+use linx_dataframe::{DataFrame, Schema, StatsCache, StatsTier};
 use linx_explore::{narrate_with, Notebook, OpMemo, SessionExecutor};
 use linx_nl2ldx::SpecDeriver;
 
@@ -50,7 +50,31 @@ impl DatasetContext {
         sample_rows: usize,
         term_slots: usize,
     ) -> Self {
+        Self::with_tier(dataset, dataset_id, sample_rows, term_slots, None)
+    }
+
+    /// Like [`DatasetContext::new`], but backing the context's view-statistics cache
+    /// with a second-level [`StatsTier`] (the engine's persistent disk tier): the
+    /// inventory/featurizer build — and every reward computed later against this
+    /// context — loads persisted histograms instead of recomputing them, and writes
+    /// fresh ones through for the next process or shard.
+    pub fn with_tier(
+        dataset: &DataFrame,
+        dataset_id: impl Into<String>,
+        sample_rows: usize,
+        term_slots: usize,
+        tier: Option<Arc<dyn StatsTier>>,
+    ) -> Self {
         let sample_rows = sample_rows.max(5);
+        let stats = Arc::new(match tier {
+            // Default capacity either way; only the second level differs.
+            Some(tier) => StatsCache::with_tier(
+                StatsCache::DEFAULT_CAPACITY,
+                StatsCache::DEFAULT_SHARDS,
+                tier,
+            ),
+            None => StatsCache::default(),
+        });
         DatasetContext {
             dataset: dataset.clone(),
             dataset_id: dataset_id.into(),
@@ -59,7 +83,7 @@ impl DatasetContext {
             sample: dataset.head(sample_rows),
             sample_rows,
             memo: Arc::new(OpMemo::new()),
-            shared: DatasetStats::build(dataset, term_slots),
+            shared: DatasetStats::build_with_cache(dataset, term_slots, stats),
         }
     }
 }

@@ -242,7 +242,7 @@ impl QuotaTable {
             };
             // Don't let the entry `or_default` may have just created outlive the
             // refusal: a client cycling tenant names must not grow the table.
-            Self::gc(&mut tenants, tenant);
+            Self::gc_entry(&mut tenants, tenant);
             drop(tenants);
             self.throttled.fetch_add(1, Ordering::Relaxed);
             return Err(refusal);
@@ -267,7 +267,7 @@ impl QuotaTable {
         let mut tenants = self.tenants.lock().expect("quota lock");
         if let Some(state) = tenants.get_mut(tenant) {
             state.running = state.running.saturating_sub(1);
-            Self::gc(&mut tenants, tenant);
+            Self::gc_entry(&mut tenants, tenant);
         }
     }
 
@@ -277,18 +277,35 @@ impl QuotaTable {
         let mut tenants = self.tenants.lock().expect("quota lock");
         if let Some(state) = tenants.get_mut(tenant) {
             state.queued = state.queued.saturating_sub(1);
-            Self::gc(&mut tenants, tenant);
+            Self::gc_entry(&mut tenants, tenant);
         }
     }
 
     /// Drop a tenant entry once it holds no budget and no override, so the table
     /// stays bounded by *active* tenants rather than every tenant ever seen.
-    fn gc(tenants: &mut HashMap<TenantId, TenantState>, tenant: &TenantId) {
+    fn gc_entry(tenants: &mut HashMap<TenantId, TenantState>, tenant: &TenantId) {
         if let Some(state) = tenants.get(tenant) {
             if state.queued == 0 && state.running == 0 && state.quota.is_none() {
                 tenants.remove(tenant);
             }
         }
+    }
+
+    /// Sweep every dead tenant entry (no budget held, no explicit override) out of
+    /// the table and return how many were dropped.
+    ///
+    /// The per-request paths already garbage-collect the entry they touch, but a
+    /// long-lived process can still accumulate residue through paths that decrement
+    /// without collecting (e.g. `start` on a tenant whose queued count was already
+    /// drained by a concurrent `cancel`). [`crate::Router`] runs this sweep at idle
+    /// points (after each batch) and at shutdown, so a router-shared table stays
+    /// bounded by *active* tenants no matter how many distinct tenant names pass
+    /// through it.
+    pub fn gc(&self) -> usize {
+        let mut tenants = self.tenants.lock().expect("quota lock");
+        let before = tenants.len();
+        tenants.retain(|_, state| state.queued > 0 || state.running > 0 || state.quota.is_some());
+        before - tenants.len()
     }
 
     /// Admit one request and receive a guard that balances the admission no matter
@@ -497,6 +514,28 @@ mod tests {
         assert!(table.try_admit(&t).is_ok(), "no double release, no leak");
         let stats = table.stats();
         assert_eq!(stats.queued + stats.running, 1, "only the live admission");
+    }
+
+    #[test]
+    fn gc_sweeps_dead_entries_and_keeps_live_and_pinned_ones() {
+        let table = QuotaTable::unlimited();
+        // A live admission, a pinned override, and a dead residue entry (simulated
+        // via start on a tenant whose queued count was already released).
+        let live = TenantId::new("live");
+        table.try_admit(&live).unwrap();
+        let pinned = TenantId::new("pinned");
+        table.set_quota(pinned.clone(), TenantQuota::limited(2));
+        let dead = TenantId::new("dead");
+        table.try_admit(&dead).unwrap();
+        table.start(&dead);
+        table.finish(&dead);
+        assert_eq!(table.gc(), 0, "per-request gc already collected 'dead'");
+        assert_eq!(table.stats().tenants, 2);
+        // Drain the live one, then sweep.
+        table.cancel(&live);
+        assert_eq!(table.gc(), 0, "cancel collects its own entry");
+        assert_eq!(table.stats().tenants, 1, "only the pinned override remains");
+        assert_eq!(table.quota_of(&pinned).max_in_flight, 2);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use linx_dataframe::DataFrame;
 use crate::api::{EngineConfig, ExploreRequest};
 use crate::batch::{run_batch, BatchOutcome, BatchRequest};
 use crate::engine::{Engine, JobHandle};
+use crate::persist::{DiskTier, TierStats};
 use crate::pipeline::DatasetContext;
 use crate::quota::{QuotaStats, QuotaTable};
 use crate::stats::EngineStats;
@@ -135,17 +136,22 @@ pub struct RouterStats {
     pub shards: Vec<ShardStats>,
     /// The shared admission-control counters (tenant-global, not per shard).
     pub quota: QuotaStats,
+    /// The shared persistent-tier counters (one disk tier serves all shards;
+    /// all-zero when no tier is mounted).
+    pub tier: TierStats,
 }
 
 impl RouterStats {
-    /// Sum of every shard's engine counters, with `quota` taken from the shared
-    /// table once (summing it per shard would multiply-count admissions).
+    /// Sum of every shard's engine counters, with `quota` and `tier` taken from
+    /// their shared instances once (summing either per shard would multiply-count
+    /// them).
     pub fn aggregate(&self) -> EngineStats {
         let mut total = self
             .shards
             .iter()
             .fold(EngineStats::default(), |acc, s| acc.merge(&s.engine));
         total.quota = self.quota;
+        total.tier = self.tier;
         total
     }
 
@@ -186,16 +192,23 @@ pub struct Router {
     table: RoutingTable,
     routed: Vec<AtomicU64>,
     quota: Arc<QuotaTable>,
+    /// The shared persistent cache tier, when one is configured: opened once here
+    /// and handed to every shard, exactly like the quota table — so a result (or
+    /// per-dataset statistic) persisted by one shard is served by all of them,
+    /// including after a ring change moved the dataset to a different shard.
+    tier: Option<Arc<DiskTier>>,
 }
 
 impl Router {
-    /// Start `config.shards` engines behind a consistent-hash routing table and a
-    /// shared quota table seeded from `config.engine.default_quota`.
+    /// Start `config.shards` engines behind a consistent-hash routing table, a
+    /// shared quota table seeded from `config.engine.default_quota`, and — when
+    /// `config.engine.persist` is set — one shared [`DiskTier`].
     pub fn new(config: RouterConfig) -> Self {
         let table = RoutingTable::new(config.shards, config.vnodes);
         let quota = Arc::new(QuotaTable::new(config.engine.default_quota));
+        let tier = Engine::open_tier(&config.engine);
         let shards: Vec<Engine> = (0..table.shards())
-            .map(|_| Engine::with_quota(config.engine.clone(), Arc::clone(&quota)))
+            .map(|_| Engine::with_shared(config.engine.clone(), Arc::clone(&quota), tier.clone()))
             .collect();
         let routed = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
         Router {
@@ -203,6 +216,7 @@ impl Router {
             table,
             routed,
             quota,
+            tier,
         }
     }
 
@@ -263,16 +277,20 @@ impl Router {
     }
 
     /// Run a whole batch on the shard owning the dataset; the outcome records which
-    /// shard served it.
+    /// shard served it. Batch completion is the router's natural idle point, so the
+    /// shared quota table is swept here ([`QuotaTable::gc`]) — a long-lived router
+    /// serving many drive-by tenant names stays bounded by *active* tenants.
     pub fn run_batch(&self, dataset: &DataFrame, batch: BatchRequest) -> BatchOutcome {
         let shard = self.route(dataset.fingerprint());
         self.routed[shard].fetch_add(batch.goals.len() as u64, Ordering::Relaxed);
         let mut outcome = run_batch(&self.shards[shard], dataset, batch);
         outcome.shard = Some(shard);
+        self.quota.gc();
         outcome
     }
 
-    /// Counters snapshot across every shard plus the shared quota table.
+    /// Counters snapshot across every shard plus the shared quota table and the
+    /// shared persistent tier.
     pub fn stats(&self) -> RouterStats {
         RouterStats {
             shards: self
@@ -285,11 +303,14 @@ impl Router {
                 })
                 .collect(),
             quota: self.quota.stats(),
+            tier: self.tier.as_ref().map(|t| t.stats()).unwrap_or_default(),
         }
     }
 
-    /// Graceful shutdown of every shard: queued jobs drain, workers join.
+    /// Graceful shutdown of every shard: queued jobs drain, workers join, and the
+    /// shared quota table is swept of dead tenant entries.
     pub fn shutdown(self) {
+        self.quota.gc();
         for shard in self.shards {
             shard.shutdown();
         }

@@ -1,6 +1,7 @@
 //! Aggregated engine telemetry.
 
 use crate::cache::CacheStats;
+use crate::persist::TierStats;
 use crate::pool::PoolStats;
 use crate::quota::QuotaStats;
 
@@ -13,8 +14,12 @@ pub struct EngineStats {
     pub coalesced: u64,
     /// Requests rejected because the engine was shutting down.
     pub rejected: u64,
-    /// Result-cache counters.
+    /// Result-cache counters (the in-memory tier).
     pub cache: CacheStats,
+    /// Persistent disk-tier counters (all-zero when no tier is mounted). Under a
+    /// [`crate::Router`] the tier is shared across shards, so — like `quota` —
+    /// these are a *global* snapshot, not a per-shard one.
+    pub tier: TierStats,
     /// Worker-pool counters.
     pub pool: PoolStats,
     /// Admission-control counters (throttled requests never reach the pool).
@@ -34,10 +39,10 @@ impl EngineStats {
 
     /// Field-wise sum of two snapshots, for aggregating engine shards.
     ///
-    /// Note: when shards share one quota table (as under [`crate::Router`]), summing
-    /// the `quota` counters would multiply-count them; [`crate::RouterStats`]
-    /// therefore overwrites the aggregate's `quota` with the shared table's single
-    /// snapshot.
+    /// Note: when shards share one quota table or one disk tier (as under
+    /// [`crate::Router`]), summing the `quota`/`tier` counters would multiply-count
+    /// them; [`crate::RouterStats`] therefore overwrites the aggregate's `quota`
+    /// and `tier` with the shared instances' single snapshots.
     pub fn merge(mut self, other: &EngineStats) -> EngineStats {
         self.submitted += other.submitted;
         self.coalesced += other.coalesced;
@@ -47,6 +52,13 @@ impl EngineStats {
         self.cache.evictions += other.cache.evictions;
         self.cache.entries += other.cache.entries;
         self.cache.capacity += other.cache.capacity;
+        self.tier.hits += other.tier.hits;
+        self.tier.misses += other.tier.misses;
+        self.tier.load_errors += other.tier.load_errors;
+        self.tier.stores += other.tier.stores;
+        self.tier.evictions += other.tier.evictions;
+        self.tier.entries += other.tier.entries;
+        self.tier.bytes += other.tier.bytes;
         self.pool.completed += other.pool.completed;
         self.pool.panicked += other.pool.panicked;
         self.pool.queued += other.pool.queued;
@@ -62,7 +74,7 @@ impl EngineStats {
     /// One-line human-readable summary for CLI output and logs.
     pub fn summary(&self) -> String {
         format!(
-            "requests: {} submitted, {} coalesced, {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | pool: {} workers, {} completed, {} panicked, {} queued | quota: {} admitted, {} throttled, {} tenants",
+            "requests: {} submitted, {} coalesced, {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | disk-tier: {} hits / {} misses / {} errors ({} entries, {} KiB) | pool: {} workers, {} completed, {} panicked, {} queued | quota: {} admitted, {} throttled, {} tenants",
             self.submitted,
             self.coalesced,
             self.rejected,
@@ -71,6 +83,11 @@ impl EngineStats {
             self.cache.evictions,
             self.cache.entries,
             self.cache_hit_rate() * 100.0,
+            self.tier.hits,
+            self.tier.misses,
+            self.tier.load_errors,
+            self.tier.entries,
+            self.tier.bytes / 1024,
             self.pool.workers,
             self.pool.completed,
             self.pool.panicked,
