@@ -1,0 +1,187 @@
+//! View-execution benchmark: a cold 20-op filter/group chain over a string-heavy
+//! 6k-row frame, executed through zero-copy selection views vs. the seed gather path
+//! (forced [`DataFrame::materialize`] after every row-subsetting op).
+//!
+//! This is the quantity behind the selection-view layer's claim: `filter`/`take` used
+//! to deep-clone every selected cell of every column (a `Value` clone per cell — a
+//! heap allocation per string cell before interning), while a view only builds one
+//! shared `u32` selection per op. No cache is involved anywhere: both variants
+//! measure *first-computation* cost, which the result/stats caches can only hide on
+//! re-use, never on first contact.
+//!
+//! Besides the criterion-style timings (CI smoke under `--test`), a full run writes a
+//! machine-readable `BENCH_views.json` baseline (target: ≥5× cold speedup). Set
+//! `LINX_BENCH_OUT` to redirect the baseline file.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{DataFrame, Value};
+
+/// Number of query operations in the benchmark chain.
+const TREE_OPS: usize = 20;
+/// Dataset size: large enough that per-cell work dominates fixed op overhead.
+const ROWS: usize = 6_000;
+
+/// One step of the chain: a row-subsetting filter (the chain continues from its
+/// result) or a group-and-aggregate (a leaf — LINX group-bys produce two-column
+/// aggregate tables, so the chain continues from the *filtered* view, as session
+/// trees do).
+enum Step {
+    Filter(Predicate),
+    Group(&'static str, AggFunc, &'static str),
+}
+
+/// 16 gently narrowing filters with a group-by after every fourth — 20 ops total,
+/// every filter keeping most rows so late ops still touch thousands of cells.
+fn chain() -> Vec<Step> {
+    let filters = [
+        Predicate::new("release_year", CompareOp::Ge, Value::Int(1999)),
+        Predicate::new("duration", CompareOp::Ge, Value::Int(1)),
+        Predicate::new("country", CompareOp::Neq, Value::str("Japan")),
+        Predicate::new("rating", CompareOp::Neq, Value::str("NC-17")),
+        Predicate::new("release_year", CompareOp::Le, Value::Int(2021)),
+        Predicate::new("cast_size", CompareOp::Ge, Value::Int(3)),
+        Predicate::new("date_added_year", CompareOp::Ge, Value::Int(1999)),
+        Predicate::new("genre", CompareOp::Neq, Value::str("Stand-Up")),
+        Predicate::new("type", CompareOp::Neq, Value::str("Documentary")),
+        Predicate::new("duration", CompareOp::Le, Value::Int(200)),
+        Predicate::new("country", CompareOp::Neq, Value::str("Mexico")),
+        Predicate::new("rating", CompareOp::Neq, Value::str("G")),
+        Predicate::new("release_year", CompareOp::Ge, Value::Int(2000)),
+        Predicate::new("cast_size", CompareOp::Le, Value::Int(24)),
+        Predicate::new("date_added_year", CompareOp::Le, Value::Int(2021)),
+        Predicate::new("title", CompareOp::Neq, Value::str("Title 0")),
+    ];
+    let groups = [
+        ("country", AggFunc::Count, "show_id"),
+        ("rating", AggFunc::Count, "show_id"),
+        ("type", AggFunc::Avg, "duration"),
+        ("genre", AggFunc::Count, "show_id"),
+    ];
+    let mut steps = Vec::with_capacity(TREE_OPS);
+    let mut g = groups.iter();
+    for (i, pred) in filters.iter().enumerate() {
+        steps.push(Step::Filter(pred.clone()));
+        if (i + 1) % 4 == 0 {
+            let (ga, agg, aa) = g.next().expect("four group steps");
+            steps.push(Step::Group(ga, *agg, aa));
+        }
+    }
+    assert_eq!(steps.len(), TREE_OPS);
+    steps
+}
+
+fn dataset() -> DataFrame {
+    generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(ROWS),
+            seed: 11,
+        },
+    )
+}
+
+/// Execute the chain. `force_materialize` replays the seed semantics: every filter
+/// result is gathered into contiguous storage before the next op (what
+/// `DataFrame::take` did before selection views). Returns a checksum over result
+/// shapes so the two variants are provably computing the same thing.
+fn run_chain(df: &DataFrame, steps: &[Step], force_materialize: bool) -> u64 {
+    let mut view = df.clone();
+    let mut checksum = 0u64;
+    for step in steps {
+        match step {
+            Step::Filter(pred) => {
+                view = view.filter(pred).expect("benchmark filters are valid");
+                if force_materialize {
+                    view = view.materialize();
+                }
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(view.num_rows() as u64);
+            }
+            Step::Group(g_attr, agg, agg_attr) => {
+                let out = view
+                    .group_by(g_attr, *agg, agg_attr)
+                    .expect("benchmark group-bys are valid");
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(out.num_rows() as u64);
+            }
+        }
+    }
+    checksum
+}
+
+fn bench_view_exec(c: &mut Criterion) {
+    let df = dataset();
+    let steps = chain();
+    assert_eq!(
+        run_chain(&df, &steps, false),
+        run_chain(&df, &steps, true),
+        "view and materializing execution agree on every result shape"
+    );
+
+    c.bench_function("view_chain_20op_cold", |b| {
+        b.iter(|| criterion::black_box(run_chain(&df, &steps, false)))
+    });
+    c.bench_function("materialized_chain_20op_cold", |b| {
+        b.iter(|| criterion::black_box(run_chain(&df, &steps, true)))
+    });
+}
+
+criterion_group!(benches, bench_view_exec);
+
+/// Median wall-clock microseconds of `runs` invocations of `f`.
+fn median_micros(runs: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measure both execution paths and write the machine-readable baseline.
+fn write_baseline() -> std::io::Result<()> {
+    let df = dataset();
+    let steps = chain();
+    let runs = 15;
+
+    // Prime both paths once (allocator warmup) before taking medians.
+    run_chain(&df, &steps, false);
+    run_chain(&df, &steps, true);
+    let view_micros = median_micros(runs, || run_chain(&df, &steps, false));
+    let gather_micros = median_micros(runs, || run_chain(&df, &steps, true));
+    let speedup = gather_micros / view_micros.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"bench\": \"view_exec\",\n  \"tree_ops\": {TREE_OPS},\n  \"rows\": {ROWS},\n  \"view_chain_micros\": {view_micros:.1},\n  \"materialized_chain_micros\": {gather_micros:.1},\n  \"view_speedup\": {speedup:.2},\n  \"target_speedup\": 5.0\n}}\n",
+    );
+    let path = std::env::var("LINX_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_views.json").to_string()
+    });
+    std::fs::write(&path, &json)?;
+    println!("wrote {path}:\n{json}");
+    if speedup < 5.0 {
+        eprintln!("warning: view speedup {speedup:.2}x below the 5x target");
+    }
+    Ok(())
+}
+
+fn main() {
+    benches();
+    // Smoke mode (`cargo bench -- --test`, as CI runs it) skips the baseline pass.
+    if !std::env::args().any(|a| a == "--test") {
+        if let Err(e) = write_baseline() {
+            eprintln!("failed to write view baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -98,7 +98,7 @@ fn numeric_terms(df: &DataFrame, column: &str, slots: usize) -> Vec<Value> {
     let Ok(col) = df.column(column) else {
         return Vec::new();
     };
-    let mut values: Vec<f64> = col.values().iter().filter_map(|v| v.as_f64()).collect();
+    let mut values: Vec<f64> = col.iter().filter_map(|v| v.as_f64()).collect();
     if values.is_empty() {
         return Vec::new();
     }

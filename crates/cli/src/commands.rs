@@ -583,8 +583,9 @@ pub struct ServeBatchArgs {
     pub episodes: Option<usize>,
     /// Worker threads (defaults to the engine's choice; per shard).
     pub workers: Option<usize>,
-    /// Result-cache capacity in entries (per shard).
-    pub cache_capacity: Option<usize>,
+    /// In-memory cache budget in approximate payload bytes (per shard; covers the
+    /// result cache and the per-dataset statistics cache).
+    pub cache_mem_cap: Option<usize>,
     /// How many times to submit the whole batch (> 1 demonstrates the result cache).
     pub repeat: usize,
     /// Engine shards behind the router (each dataset is owned by one shard).
@@ -607,7 +608,7 @@ impl ServeBatchArgs {
       --goals-file <PATH> File with one goal per line ('#' comments allowed)
       --episodes <N>     Training episodes for the CDRL engine
       --workers <N>      Worker threads (per shard)
-      --cache-capacity <N>  Result-cache capacity in entries (per shard)
+      --cache-mem-cap <BYTES>  In-memory cache budget in bytes (per shard) [default: 64 MiB]
       --repeat <N>       Submit the whole batch N times [default: 1]
       --shards <N>       Engine shards behind the router [default: 1]
       --tenant <NAME>    Tenant the batch is billed to [default: default]
@@ -620,7 +621,7 @@ impl ServeBatchArgs {
     pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
         let mut data = DatasetFlags::default();
         let mut goals = Vec::new();
-        let (mut episodes, mut workers, mut cache_capacity, mut repeat) = (None, None, None, None);
+        let (mut episodes, mut workers, mut cache_mem_cap, mut repeat) = (None, None, None, None);
         let (mut shards, mut tenant) = (None, None);
         let (mut cache_dir, mut cache_disk_cap) = (None, None);
         while let Some(flag) = cursor.next() {
@@ -648,8 +649,8 @@ impl ServeBatchArgs {
                 }
                 "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
                 "--workers" => set_once(&mut workers, cursor.parse_value(&flag)?, &flag)?,
-                "--cache-capacity" => {
-                    set_once(&mut cache_capacity, cursor.parse_value(&flag)?, &flag)?
+                "--cache-mem-cap" => {
+                    set_once(&mut cache_mem_cap, cursor.parse_value(&flag)?, &flag)?
                 }
                 "--repeat" => set_once(&mut repeat, cursor.parse_value(&flag)?, &flag)?,
                 "--shards" => set_once(&mut shards, cursor.parse_value(&flag)?, &flag)?,
@@ -673,7 +674,7 @@ impl ServeBatchArgs {
             goals,
             episodes,
             workers,
-            cache_capacity,
+            cache_mem_cap,
             repeat: repeat.unwrap_or(1).max(1),
             shards,
             tenant,
@@ -688,7 +689,7 @@ fn router_config(
     shards: Option<usize>,
     episodes: Option<usize>,
     workers: Option<usize>,
-    cache_capacity: Option<usize>,
+    cache_mem_cap: Option<usize>,
     cache_dir: Option<&PathBuf>,
     cache_disk_cap: Option<u64>,
 ) -> RouterConfig {
@@ -699,8 +700,8 @@ fn router_config(
     if let Some(workers) = workers {
         engine.workers = workers;
     }
-    if let Some(capacity) = cache_capacity {
-        engine.cache_capacity = capacity;
+    if let Some(mem_bytes) = cache_mem_cap {
+        engine.cache_mem_bytes = mem_bytes;
     }
     if let Some(dir) = cache_dir {
         let mut persist = PersistConfig::new(dir);
@@ -723,7 +724,7 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
         args.shards,
         args.episodes,
         args.workers,
-        args.cache_capacity,
+        args.cache_mem_cap,
         args.cache_dir.as_ref(),
         args.cache_disk_cap,
     ));
@@ -809,6 +810,8 @@ pub struct BenchEngineArgs {
     pub workers: Option<usize>,
     /// Engine shards behind the router.
     pub shards: Option<usize>,
+    /// In-memory cache budget in approximate payload bytes (per shard).
+    pub cache_mem_cap: Option<usize>,
     /// Persistent cache directory shared by all shards.
     pub cache_dir: Option<PathBuf>,
     /// Size cap for the persistent cache directory, in bytes.
@@ -824,6 +827,7 @@ impl BenchEngineArgs {
       --episodes <N>     Training episodes for the CDRL engine [default: 60]
       --workers <N>      Worker threads (per shard)
       --shards <N>       Engine shards behind the router [default: 1]
+      --cache-mem-cap <BYTES>  In-memory cache budget in bytes (per shard) [default: 64 MiB]
       --cache-dir <PATH> Persistent cache directory (results survive the process)
       --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]",
             true,
@@ -834,6 +838,7 @@ impl BenchEngineArgs {
         let mut data = DatasetFlags::default();
         let (mut goals, mut episodes, mut workers, mut shards) = (None, None, None, None);
         let (mut cache_dir, mut cache_disk_cap) = (None, None);
+        let mut cache_mem_cap = None;
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -841,6 +846,9 @@ impl BenchEngineArgs {
                 "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
                 "--workers" => set_once(&mut workers, cursor.parse_value(&flag)?, &flag)?,
                 "--shards" => set_once(&mut shards, cursor.parse_value(&flag)?, &flag)?,
+                "--cache-mem-cap" => {
+                    set_once(&mut cache_mem_cap, cursor.parse_value(&flag)?, &flag)?
+                }
                 "--cache-dir" => set_once(&mut cache_dir, cursor.path_value(&flag)?, &flag)?,
                 "--cache-disk-cap" => {
                     set_once(&mut cache_disk_cap, cursor.parse_value(&flag)?, &flag)?
@@ -855,6 +863,7 @@ impl BenchEngineArgs {
             episodes,
             workers,
             shards,
+            cache_mem_cap,
             cache_dir,
             cache_disk_cap,
         })
@@ -901,7 +910,7 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
         args.shards,
         Some(episodes),
         args.workers,
-        None,
+        args.cache_mem_cap,
         args.cache_dir.as_ref(),
         args.cache_disk_cap,
     ));

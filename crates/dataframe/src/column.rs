@@ -1,20 +1,42 @@
 //! Column storage.
 //!
 //! A [`Column`] is a named vector of [`Value`]s plus an inferred [`DataType`]. Columns
-//! are the unit of storage inside a [`crate::DataFrame`]; filter and group-by operations
-//! materialize new columns by gathering row indices.
+//! are the unit of storage inside a [`crate::DataFrame`]. Storage is shared: the cell
+//! vector lives behind an `Arc`, and a column may additionally carry a **selection** —
+//! a shared `Arc<[u32]>` of row indices into that storage — in which case it is a
+//! zero-copy *view* of a subset (or reordering) of the rows. Filter and row-take
+//! operations build selections instead of gathering cells; every accessor
+//! ([`Column::get`], [`Column::iter`], the aggregates) resolves through the selection,
+//! and [`Column::materialize`] produces a contiguous copy where one is genuinely
+//! needed.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::schema::{DataType, Field};
-use crate::value::Value;
+use crate::value::{GroupKey, Value};
 
-/// A named, typed vector of values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A named, typed sequence of values — contiguous, or a zero-copy selection view over
+/// shared storage (see the module docs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Column {
-    name: String,
+    name: Arc<str>,
     dtype: DataType,
-    values: Vec<Value>,
+    values: Arc<Vec<Value>>,
+    /// When present, the visible rows: indices into `values`, in view order. All
+    /// indices are in bounds by construction (out-of-range gathers materialize
+    /// instead).
+    sel: Option<Arc<[u32]>>,
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.dtype == other.dtype
+            && self.len() == other.len()
+            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
 }
 
 impl Column {
@@ -26,18 +48,20 @@ impl Column {
     pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
         let dtype = infer_dtype(&values);
         Column {
-            name: name.into(),
+            name: Arc::from(name.into()),
             dtype,
-            values,
+            values: Arc::new(values),
+            sel: None,
         }
     }
 
     /// Create a column with an explicit data type (no inference).
     pub fn with_dtype(name: impl Into<String>, dtype: DataType, values: Vec<Value>) -> Self {
         Column {
-            name: name.into(),
+            name: Arc::from(name.into()),
             dtype,
-            values,
+            values: Arc::new(values),
+            sel: None,
         }
     }
 
@@ -53,86 +77,207 @@ impl Column {
 
     /// The field (name + dtype) describing this column.
     pub fn field(&self) -> Field {
-        Field::new(self.name.clone(), self.dtype)
+        Field::new(self.name.to_string(), self.dtype)
     }
 
-    /// Number of values (rows).
+    /// Number of visible values (rows).
     pub fn len(&self) -> usize {
-        self.values.len()
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.values.len(),
+        }
     }
 
-    /// Whether the column has no rows.
+    /// Whether the column has no visible rows.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len() == 0
     }
 
-    /// The values as a slice.
-    pub fn values(&self) -> &[Value] {
-        &self.values
+    /// Whether the visible rows are the backing storage itself (no selection).
+    pub fn is_contiguous(&self) -> bool {
+        self.sel.is_none()
     }
 
-    /// Value at a row index.
+    /// Iterate the visible values in row order, resolving through the selection.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> + '_ {
+        // Both arms yield exactly `len()` items; selections are in bounds by
+        // construction, so the indexed arm never panics.
+        ColumnIter {
+            values: &self.values,
+            sel: self.sel.as_deref(),
+            pos: 0,
+        }
+    }
+
+    /// The visible values as a contiguous slice, when the column is not a view.
+    /// Views return `None`; use [`Column::iter`] (any column) or
+    /// [`Column::materialize`] first.
+    pub fn as_slice(&self) -> Option<&[Value]> {
+        match &self.sel {
+            Some(_) => None,
+            None => Some(&self.values),
+        }
+    }
+
+    /// Value at a (visible) row index.
     pub fn get(&self, idx: usize) -> Option<&Value> {
-        self.values.get(idx)
+        match &self.sel {
+            Some(sel) => self.values.get(*sel.get(idx)? as usize),
+            None => self.values.get(idx),
+        }
     }
 
     /// Number of null values.
     pub fn null_count(&self) -> usize {
-        self.values.iter().filter(|v| v.is_null()).count()
+        self.iter().filter(|v| v.is_null()).count()
     }
 
-    /// Number of distinct non-null values.
+    /// Number of distinct non-null values. Single borrowed-key pass: no per-cell
+    /// allocation, only the dedup set itself.
     pub fn n_unique(&self) -> usize {
         use std::collections::HashSet;
-        self.values
-            .iter()
-            .filter(|v| !v.is_null())
-            .map(|v| v.group_key())
-            .collect::<HashSet<_>>()
-            .len()
+        let mut seen: HashSet<GroupKey<'_>> = HashSet::new();
+        for v in self.iter() {
+            if !v.is_null() {
+                seen.insert(v.group_key());
+            }
+        }
+        seen.len()
+    }
+
+    /// The selection, when this column is a view (indices into the shared storage).
+    pub(crate) fn selection(&self) -> Option<&Arc<[u32]>> {
+        self.sel.as_ref()
+    }
+
+    /// A view of this column restricted to `sel` — **storage** indices, already
+    /// composed through any existing selection and verified in bounds by the caller
+    /// ([`crate::DataFrame::take`] composes once per distinct parent selection and
+    /// shares the result across columns).
+    pub(crate) fn with_selection(&self, sel: Arc<[u32]>) -> Column {
+        debug_assert!(sel.iter().all(|&i| (i as usize) < self.values.len()));
+        Column {
+            name: Arc::clone(&self.name),
+            dtype: self.dtype,
+            values: Arc::clone(&self.values),
+            sel: Some(sel),
+        }
     }
 
     /// Gather a subset of rows into a new column (preserving the declared dtype).
+    ///
+    /// In-range gathers are zero-copy: the result is a view sharing this column's
+    /// storage under a fresh selection. Out-of-range indices fall back to a
+    /// materializing gather where they become [`Value::Null`] (the historical
+    /// semantics).
     pub fn gather(&self, indices: &[usize]) -> Column {
+        let n = self.len();
+        if indices.iter().all(|&i| i < n) && self.values.len() <= u32::MAX as usize {
+            let composed: Arc<[u32]> = match &self.sel {
+                Some(sel) => indices.iter().map(|&i| sel[i]).collect(),
+                None => indices.iter().map(|&i| i as u32).collect(),
+            };
+            return self.with_selection(composed);
+        }
         let values = indices
             .iter()
-            .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+            .map(|&i| self.get(i).cloned().unwrap_or(Value::Null))
             .collect();
         Column {
-            name: self.name.clone(),
+            name: Arc::clone(&self.name),
             dtype: self.dtype,
-            values,
+            values: Arc::new(values),
+            sel: None,
+        }
+    }
+
+    /// A contiguous copy of the visible rows. Cheap for contiguous columns (shares
+    /// the storage `Arc`); for views it clones the selected cells — with interned
+    /// strings, refcount bumps rather than heap allocations.
+    pub fn materialize(&self) -> Column {
+        match &self.sel {
+            None => self.clone(),
+            Some(sel) => Column {
+                name: Arc::clone(&self.name),
+                dtype: self.dtype,
+                values: Arc::new(
+                    sel.iter()
+                        .map(|&i| self.values[i as usize].clone())
+                        .collect(),
+                ),
+                sel: None,
+            },
         }
     }
 
     /// Sum of the numeric values, ignoring nulls and non-numeric cells.
     pub fn sum(&self) -> f64 {
-        self.values.iter().filter_map(|v| v.as_f64()).sum()
+        self.iter().filter_map(|v| v.as_f64()).sum()
     }
 
-    /// Mean of the numeric values, or `None` if there are none.
+    /// Mean of the numeric values, or `None` if there are none. Single pass — no
+    /// intermediate buffer.
     pub fn mean(&self) -> Option<f64> {
-        let nums: Vec<f64> = self.values.iter().filter_map(|v| v.as_f64()).collect();
-        if nums.is_empty() {
+        let (mut sum, mut count) = (0.0f64, 0usize);
+        for v in self.iter() {
+            if let Some(x) = v.as_f64() {
+                sum += x;
+                count += 1;
+            }
+        }
+        if count == 0 {
             None
         } else {
-            Some(nums.iter().sum::<f64>() / nums.len() as f64)
+            Some(sum / count as f64)
         }
     }
 
     /// Minimum value (by total order), ignoring nulls.
     pub fn min(&self) -> Option<&Value> {
-        self.values.iter().filter(|v| !v.is_null()).min()
+        self.iter().filter(|v| !v.is_null()).min()
     }
 
     /// Maximum value (by total order), ignoring nulls.
     pub fn max(&self) -> Option<&Value> {
-        self.values.iter().filter(|v| !v.is_null()).max()
+        self.iter().filter(|v| !v.is_null()).max()
     }
 
-    /// Append a value (used by builders; dtype is not re-inferred).
+    /// Append a value (used by builders; dtype is not re-inferred). A view is
+    /// materialized first; contiguous columns with unshared storage append in place.
     pub fn push(&mut self, value: Value) {
-        self.values.push(value);
+        if self.sel.is_some() {
+            *self = self.materialize();
+        }
+        Arc::make_mut(&mut self.values).push(value);
+    }
+}
+
+struct ColumnIter<'a> {
+    values: &'a [Value],
+    sel: Option<&'a [u32]>,
+    pos: usize,
+}
+
+impl<'a> Iterator for ColumnIter<'a> {
+    type Item = &'a Value;
+
+    fn next(&mut self) -> Option<&'a Value> {
+        let item = match self.sel {
+            Some(sel) => self.values.get(*sel.get(self.pos)? as usize),
+            None => self.values.get(self.pos),
+        };
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match self.sel {
+            Some(sel) => sel.len() - self.pos,
+            None => self.values.len() - self.pos,
+        };
+        (remaining, Some(remaining))
     }
 }
 
@@ -194,14 +339,39 @@ mod tests {
         let g = c.gather(&[2, 0]);
         assert_eq!(g.name(), "a");
         assert_eq!(g.dtype(), DataType::Int);
-        assert_eq!(g.values(), &[Value::Int(30), Value::Int(10)]);
+        assert_eq!(
+            g.iter().cloned().collect::<Vec<_>>(),
+            vec![Value::Int(30), Value::Int(10)]
+        );
+        assert!(!g.is_contiguous(), "in-range gather is a zero-copy view");
+        assert!(g.as_slice().is_none());
+        let m = g.materialize();
+        assert!(m.is_contiguous());
+        assert_eq!(m.as_slice().unwrap(), &[Value::Int(30), Value::Int(10)]);
+    }
+
+    #[test]
+    fn gather_of_gather_composes_selections() {
+        let c = Column::new(
+            "a",
+            vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)],
+        );
+        let g1 = c.gather(&[3, 2, 1]);
+        let g2 = g1.gather(&[2, 0]);
+        assert_eq!(
+            g2.iter().cloned().collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(3)]
+        );
+        assert_eq!(g2.get(1), Some(&Value::Int(3)));
+        assert_eq!(g2.len(), 2);
     }
 
     #[test]
     fn gather_out_of_range_yields_null() {
         let c = Column::new("a", vec![Value::Int(1)]);
         let g = c.gather(&[0, 5]);
-        assert_eq!(g.values(), &[Value::Int(1), Value::Null]);
+        assert!(g.is_contiguous(), "out-of-range gather materializes");
+        assert_eq!(g.as_slice().unwrap(), &[Value::Int(1), Value::Null]);
     }
 
     #[test]
@@ -216,6 +386,21 @@ mod tests {
         assert_eq!(c.max(), Some(&Value::Int(3)));
         assert_eq!(c.null_count(), 1);
         assert_eq!(c.n_unique(), 3);
+    }
+
+    #[test]
+    fn aggregates_respect_the_selection() {
+        let c = Column::new(
+            "a",
+            vec![Value::Int(10), Value::Int(20), Value::Null, Value::Int(20)],
+        );
+        let view = c.gather(&[1, 2, 3]);
+        assert_eq!(view.sum(), 40.0);
+        assert_eq!(view.mean(), Some(20.0));
+        assert_eq!(view.min(), Some(&Value::Int(20)));
+        assert_eq!(view.max(), Some(&Value::Int(20)));
+        assert_eq!(view.null_count(), 1);
+        assert_eq!(view.n_unique(), 1);
     }
 
     #[test]
@@ -240,5 +425,19 @@ mod tests {
             ],
         );
         assert_eq!(c.n_unique(), 2);
+    }
+
+    #[test]
+    fn push_materializes_views_first() {
+        let c = Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let mut view = c.gather(&[2, 1]);
+        view.push(Value::Int(9));
+        assert_eq!(
+            view.iter().cloned().collect::<Vec<_>>(),
+            vec![Value::Int(3), Value::Int(2), Value::Int(9)]
+        );
+        // The original storage is untouched.
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), Some(&Value::Int(3)));
     }
 }

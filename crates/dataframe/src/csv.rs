@@ -78,7 +78,12 @@ pub fn read_csv(path: impl AsRef<Path>, options: CsvOptions) -> Result<DataFrame
 }
 
 /// Serialize a dataframe to CSV text.
+///
+/// One of the few genuine materialization points: a selection view is gathered into
+/// contiguous storage first so the row scan below walks cells in memory order instead
+/// of chasing the selection per cell.
 pub fn to_csv(df: &DataFrame, delimiter: char) -> String {
+    let df = &df.materialize();
     let mut out = String::new();
     let names = df.column_names();
     out.push_str(

@@ -76,13 +76,18 @@ pub fn write_value(h: &mut Fnv1a, v: &Value) {
 }
 
 /// The stable content fingerprint of one column: name, declared dtype, length, and
-/// every cell, in order.
+/// every *visible* cell, in row order.
+///
+/// Iteration resolves through the column's selection when it is a view, so a view and
+/// its materialized copy absorb bit-identical byte streams — the invariant that keeps
+/// every fingerprint-keyed cache (stats cache, engine result cache, disk tier) valid
+/// across the zero-copy representation (proptest-verified in `tests/views.rs`).
 pub fn column_fingerprint(column: &Column) -> u64 {
     let mut h = Fnv1a::new();
     h.write_str(column.name());
     h.write_str(&format!("{:?}", column.dtype()));
     h.write_u64(column.len() as u64);
-    for v in column.values() {
+    for v in column.iter() {
         write_value(&mut h, v);
     }
     h.finish()

@@ -1,5 +1,21 @@
 //! The [`DataFrame`]: a collection of equal-length named columns plus the query
 //! operations LINX sessions are made of (filter, group-and-aggregate).
+//!
+//! # Selection views
+//!
+//! Row-subsetting operations — [`DataFrame::filter`], [`DataFrame::take`],
+//! [`DataFrame::head`] — are **zero-copy**: they return a frame whose columns share
+//! the parent's cell storage under a shared `Arc<[u32]>` row selection instead of
+//! gathering cells (see [`crate::column`]). Every consumer (group-by, histograms,
+//! distinct values, row/value access, aggregates) resolves through the selection, and
+//! chains of views stay one indirection deep: composing a view of a view flattens the
+//! selections. [`DataFrame::materialize`] produces a contiguous frame for the few
+//! places that genuinely need one.
+//!
+//! [`DataFrame::fingerprint`] hashes cells *through the selection in row order*, so a
+//! view's fingerprint is bit-identical to its materialized equivalent — every
+//! content-keyed cache (the stats cache, the engine's result cache and disk tier)
+//! therefore keys views and materialized frames identically.
 
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -12,7 +28,8 @@ use crate::schema::Schema;
 use crate::stats::Histogram;
 use crate::value::Value;
 
-/// An immutable, in-memory columnar table.
+/// An immutable, in-memory columnar table — possibly a zero-copy selection view over
+/// another frame's storage (see the module docs).
 ///
 /// Cloning a `DataFrame` is cheap: columns are shared behind [`Arc`]s, which matters
 /// because the CDRL engine materializes thousands of intermediate query-result views per
@@ -155,14 +172,84 @@ impl DataFrame {
     }
 
     /// Select a subset of rows by index, producing a new dataframe.
+    ///
+    /// Zero-copy for in-range indices: the result is a selection view sharing this
+    /// frame's cell storage, with the composed selection built **once per distinct
+    /// parent selection** and shared across columns (in the overwhelmingly common case
+    /// — all columns carrying the frame's one selection — that is a single `Arc<[u32]>`
+    /// for the whole result). Out-of-range indices fall back to a materializing gather
+    /// where they become nulls (the historical semantics).
     pub fn take(&self, indices: &[usize]) -> DataFrame {
+        let n = self.num_rows();
+        if indices.iter().any(|&i| i >= n) || n > u32::MAX as usize {
+            return DataFrame {
+                columns: self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.gather(indices)))
+                    .collect(),
+                fp: Arc::new(OnceLock::new()),
+            };
+        }
+        // Compose the new selection through each column's existing one, memoized by
+        // selection identity so ptr-equal parents share one composed Arc.
+        let mut contiguous: Option<Arc<[u32]>> = None;
+        let mut composed: Vec<(*const u32, Arc<[u32]>)> = Vec::new();
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let sel = match c.selection() {
+                    None => Arc::clone(
+                        contiguous
+                            .get_or_insert_with(|| indices.iter().map(|&i| i as u32).collect()),
+                    ),
+                    Some(parent) => {
+                        let key = parent.as_ptr();
+                        match composed.iter().find(|(k, _)| *k == key) {
+                            Some((_, arc)) => Arc::clone(arc),
+                            None => {
+                                let arc: Arc<[u32]> = indices.iter().map(|&i| parent[i]).collect();
+                                composed.push((key, Arc::clone(&arc)));
+                                arc
+                            }
+                        }
+                    }
+                };
+                Arc::new(c.with_selection(sel))
+            })
+            .collect();
+        DataFrame {
+            columns,
+            fp: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Whether any column is a selection view (shares another frame's storage through
+    /// a row selection) rather than contiguous storage.
+    pub fn is_view(&self) -> bool {
+        self.columns.iter().any(|c| !c.is_contiguous())
+    }
+
+    /// A contiguous copy of this frame: every column's visible rows gathered into
+    /// fresh storage. Contiguous frames return a cheap clone.
+    ///
+    /// Content — and therefore [`DataFrame::fingerprint`] — is identical by
+    /// construction, so the memoized fingerprint is *shared* with the view: callers
+    /// that materialize never pay a second fingerprint scan. Needed only where
+    /// downstream code wants contiguous cell storage (e.g. the CSV writer); every
+    /// query operation and statistic works on views directly.
+    pub fn materialize(&self) -> DataFrame {
+        if !self.is_view() {
+            return self.clone();
+        }
         DataFrame {
             columns: self
                 .columns
                 .iter()
-                .map(|c| Arc::new(c.gather(indices)))
+                .map(|c| Arc::new(c.materialize()))
                 .collect(),
-            fp: Arc::new(OnceLock::new()),
+            fp: Arc::clone(&self.fp),
         }
     }
 
@@ -198,7 +285,6 @@ impl DataFrame {
     pub fn filter(&self, pred: &Predicate) -> Result<DataFrame> {
         let col = self.column(&pred.attr)?;
         let indices: Vec<usize> = col
-            .values()
             .iter()
             .enumerate()
             .filter(|(_, v)| pred.op.eval(v, &pred.term))
@@ -215,7 +301,7 @@ impl DataFrame {
         if agg.requires_numeric() && !val_col.dtype().is_numeric() {
             return Err(DataFrameError::NotNumeric(agg_attr.to_string()));
         }
-        let groups = Groups::from_values(key_col.values());
+        let groups = Groups::from_values(key_col.iter());
         let mut agg_values = Vec::with_capacity(groups.len());
         for idxs in &groups.indices {
             let vals: Vec<&Value> = idxs.iter().filter_map(|&i| val_col.get(i)).collect();
@@ -231,12 +317,12 @@ impl DataFrame {
     /// The grouping structure for `g_attr` without aggregating (used by reward
     /// computations that need group sizes).
     pub fn groups(&self, g_attr: &str) -> Result<Groups> {
-        Ok(Groups::from_values(self.column(g_attr)?.values()))
+        Ok(Groups::from_values(self.column(g_attr)?.iter()))
     }
 
     /// Value histogram of a column (frequency of each distinct non-null value).
     pub fn histogram(&self, name: &str) -> Result<Histogram> {
-        Ok(Histogram::from_values(self.column(name)?.values()))
+        Ok(Histogram::from_values(self.column(name)?.iter()))
     }
 
     /// Distinct non-null values of a column, in first-occurrence order.
@@ -244,10 +330,11 @@ impl DataFrame {
         let col = self.column(name)?;
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for v in col.values() {
+        for v in col.iter() {
             if v.is_null() {
                 continue;
             }
+            // Borrowed keys: the dedup pass allocates nothing beyond the set.
             if seen.insert(v.group_key()) {
                 out.push(v.clone());
             }

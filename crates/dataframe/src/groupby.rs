@@ -10,7 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::value::Value;
+use crate::value::{GroupKey, OwnedGroupKey, Value};
 
 /// Aggregation functions supported by the engine (the set used by LINX / ATENA).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -76,11 +76,16 @@ impl AggFunc {
             AggFunc::Count => Value::Int(values.len() as i64),
             AggFunc::Sum => Value::float(values.iter().filter_map(|v| v.as_f64()).sum()),
             AggFunc::Avg => {
-                let nums: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
-                if nums.is_empty() {
+                // Single pass, no intermediate buffer.
+                let (mut sum, mut count) = (0.0f64, 0usize);
+                for x in values.iter().filter_map(|v| v.as_f64()) {
+                    sum += x;
+                    count += 1;
+                }
+                if count == 0 {
                     Value::Null
                 } else {
-                    Value::float(nums.iter().sum::<f64>() / nums.len() as f64)
+                    Value::float(sum / count as f64)
                 }
             }
             AggFunc::Min => values
@@ -97,7 +102,8 @@ impl AggFunc {
                 .unwrap_or(Value::Null),
             AggFunc::CountDistinct => {
                 use std::collections::HashSet;
-                let set: HashSet<String> = values
+                // Borrowed keys: no per-value allocation, only the dedup set.
+                let set: HashSet<GroupKey<'_>> = values
                     .iter()
                     .filter(|v| !v.is_null())
                     .map(|v| v.group_key())
@@ -126,14 +132,18 @@ pub struct Groups {
 }
 
 impl Groups {
-    /// Build groups from a column of key values.
-    pub fn from_values(values: &[Value]) -> Groups {
-        let mut map: HashMap<String, usize> = HashMap::new();
+    /// Build groups from a column of key values (any iterator of cells — a slice, or a
+    /// selection view's [`crate::Column::iter`]).
+    ///
+    /// Keys the bucket map by [`OwnedGroupKey`], whose construction is a refcount bump
+    /// for strings — so grouping a column allocates only the output buckets, never a
+    /// per-row key string.
+    pub fn from_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> Groups {
+        let mut map: HashMap<OwnedGroupKey, usize> = HashMap::new();
         let mut keys = Vec::new();
         let mut indices: Vec<Vec<usize>> = Vec::new();
-        for (row, v) in values.iter().enumerate() {
-            let key = v.group_key();
-            let gid = *map.entry(key).or_insert_with(|| {
+        for (row, v) in values.into_iter().enumerate() {
+            let gid = *map.entry(v.owned_group_key()).or_insert_with(|| {
                 keys.push(v.clone());
                 indices.push(Vec::new());
                 keys.len() - 1

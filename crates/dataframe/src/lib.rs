@@ -12,7 +12,10 @@
 //! The original system uses Python Pandas; this crate provides an equivalent, dependency
 //! free substrate with exactly the semantics the LINX reward functions need:
 //!
-//! * typed columns ([`Column`]) with null support,
+//! * typed columns ([`Column`]) with null support, stored behind shared `Arc`s with
+//!   optional zero-copy row selections (filter/take return *views*, not copies),
+//! * interned string cells ([`Value::Str`] holds a pooled `Arc<str>`; see
+//!   [`value::intern`]) so residual clones are refcount bumps,
 //! * a [`DataFrame`] holding named columns of equal length,
 //! * filter predicates ([`filter::Predicate`], [`filter::CompareOp`]),
 //! * hash group-by with the aggregation functions used by the paper
@@ -32,6 +35,11 @@
 //! and consistent-hash shard placement in `linx-engine` — inherits the consequence:
 //! moving a dataset between processes or shards can at worst miss a warm cache; it
 //! can never be served a stale entry, because changed content is a changed key.
+//!
+//! Selection views preserve this: a view's fingerprint hashes cells *through the
+//! selection in row order* and is therefore bit-identical to its materialized
+//! equivalent ([`DataFrame::materialize`]) — so the zero-copy representation never
+//! changes a cache key, in memory or on disk.
 //!
 //! # Example
 //!
@@ -82,4 +90,4 @@ pub use schema::{DataType, Field, Schema};
 pub use stats_cache::{
     ColumnSummary, StatKey, StatKind, StatValue, StatsCache, StatsCacheStats, StatsTier,
 };
-pub use value::Value;
+pub use value::{GroupKey, OwnedGroupKey, Value};

@@ -13,22 +13,26 @@
 
 use std::collections::HashMap;
 
-use crate::value::Value;
+use crate::value::{OwnedGroupKey, Value};
 
 /// Smoothing constant used when comparing distributions with disjoint supports.
 const EPS: f64 = 1e-9;
 
 /// A frequency histogram over the distinct non-null values of a column.
+///
+/// Internally keyed by [`OwnedGroupKey`] — a refcount bump per distinct value, never a
+/// formatted string — so building a histogram allocates only the bucket map.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
-    counts: HashMap<String, (Value, usize)>,
+    counts: HashMap<OwnedGroupKey, (Value, usize)>,
     total: usize,
 }
 
 impl Histogram {
-    /// Build a histogram from a slice of values (nulls ignored).
-    pub fn from_values(values: &[Value]) -> Histogram {
-        let mut counts: HashMap<String, (Value, usize)> = HashMap::new();
+    /// Build a histogram from a column of values (nulls ignored) — any iterator of
+    /// cells: a slice, or a selection view's [`crate::Column::iter`].
+    pub fn from_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> Histogram {
+        let mut counts: HashMap<OwnedGroupKey, (Value, usize)> = HashMap::new();
         let mut total = 0usize;
         for v in values {
             if v.is_null() {
@@ -36,7 +40,7 @@ impl Histogram {
             }
             total += 1;
             counts
-                .entry(v.group_key())
+                .entry(v.owned_group_key())
                 .and_modify(|e| e.1 += 1)
                 .or_insert_with(|| (v.clone(), 1));
         }
@@ -51,7 +55,7 @@ impl Histogram {
     /// duplicate keys accumulate, so malformed input still yields a well-formed
     /// histogram whose `total` matches the sum of its counts.
     pub fn from_counts(pairs: impl IntoIterator<Item = (Value, usize)>) -> Histogram {
-        let mut counts: HashMap<String, (Value, usize)> = HashMap::new();
+        let mut counts: HashMap<OwnedGroupKey, (Value, usize)> = HashMap::new();
         let mut total = 0usize;
         for (v, c) in pairs {
             if v.is_null() || c == 0 {
@@ -59,7 +63,7 @@ impl Histogram {
             }
             total += c;
             counts
-                .entry(v.group_key())
+                .entry(v.owned_group_key())
                 .and_modify(|e| e.1 += c)
                 .or_insert((v, c));
         }
@@ -78,7 +82,10 @@ impl Histogram {
 
     /// Count for a specific value.
     pub fn count(&self, v: &Value) -> usize {
-        self.counts.get(&v.group_key()).map(|e| e.1).unwrap_or(0)
+        self.counts
+            .get(&v.owned_group_key())
+            .map(|e| e.1)
+            .unwrap_or(0)
     }
 
     /// Relative frequency of a value (0 if unseen or histogram empty).
@@ -144,9 +151,8 @@ impl Histogram {
         }
         let other_total = other.total.max(1) as f64;
         let mut kl = 0.0;
-        // Look other's counts up by the stored group keys directly: re-deriving
-        // `Value::group_key` per value would allocate a String per entry, and KL runs
-        // on every filter-interestingness reward.
+        // Look other's counts up by the stored group keys directly (KL runs on every
+        // filter-interestingness reward; the loop performs no allocation).
         for (k, (_, c)) in &self.counts {
             let p = *c as f64 / self.total as f64;
             let q = other
@@ -163,7 +169,7 @@ impl Histogram {
     /// Total-variation distance (half the L1 distance) between the two distributions,
     /// a symmetric, bounded `[0, 1]` measure used for session diversity.
     pub fn total_variation(&self, other: &Histogram) -> f64 {
-        let mut keys: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut keys: std::collections::HashSet<&OwnedGroupKey> = std::collections::HashSet::new();
         for k in self.counts.keys() {
             keys.insert(k);
         }

@@ -72,6 +72,34 @@ impl StatValue {
             StatValue::Summary(_) => StatKind::Summary,
         }
     }
+
+    /// Approximate resident payload bytes: what this entry charges against the
+    /// cache's byte budget. Counts the dominant terms — rows × cells for groupings,
+    /// per-distinct-value entries (plus interned-string lengths) for histograms —
+    /// not exact allocator overhead; the budget is a bound, not an audit.
+    pub fn approx_bytes(&self) -> u64 {
+        /// Per-cell footprint: the enum itself plus any string payload (interned, so
+        /// shared — counted anyway as the conservative upper bound).
+        fn value_bytes(v: &crate::value::Value) -> u64 {
+            (std::mem::size_of::<crate::value::Value>() + v.as_str().map(str::len).unwrap_or(0))
+                as u64
+        }
+        const ENTRY_OVERHEAD: u64 = 32; // hash-map slot + count fields, roughly
+        match self {
+            StatValue::Hist(h) => h.iter().map(|(v, _)| ENTRY_OVERHEAD + value_bytes(v)).sum(),
+            StatValue::Groups(g) => {
+                let keys: u64 = g.keys.iter().map(value_bytes).sum();
+                let rows: u64 = g
+                    .indices
+                    .iter()
+                    .map(|idx| (idx.len() * std::mem::size_of::<usize>()) as u64)
+                    .sum();
+                keys + rows + g.keys.len() as u64 * ENTRY_OVERHEAD
+            }
+            StatValue::Sizes(s) => (s.len() * std::mem::size_of::<usize>()) as u64 + ENTRY_OVERHEAD,
+            StatValue::Summary(_) => std::mem::size_of::<ColumnSummary>() as u64 + ENTRY_OVERHEAD,
+        }
+    }
 }
 
 /// Which statistic a key addresses (folded into the key so a histogram and a grouping
@@ -141,10 +169,11 @@ pub trait StatsTier: Send + Sync + std::fmt::Debug {
 /// entries no matter how they were produced, and a view whose content differs — even
 /// by one cell — can never be served a stale statistic.
 ///
-/// Capacity is counted in *entries*, not bytes: a [`Histogram`] of a per-row-unique
-/// column weighs O(rows), like the whole-view `DataFrame`s the op memo pins, so on
-/// very large datasets size [`StatsCache::new`]'s capacity accordingly (a byte-aware
-/// weight per entry is a follow-up alongside the ROADMAP's persistent stats tier).
+/// Capacity is a budget of **approximate payload bytes** ([`StatValue::approx_bytes`]):
+/// a [`Histogram`] of a per-row-unique column weighs O(rows) and is charged
+/// accordingly, so heavy entries can no longer crowd the cache at the same price as
+/// tiny summaries. Entries heavier than a whole shard's budget are simply not
+/// cached (recomputed on every request) rather than flushing everything else.
 #[derive(Debug)]
 pub struct StatsCache {
     store: ShardedLru<StatKey, StatValue>,
@@ -156,21 +185,22 @@ impl Default for StatsCache {
     /// Defaults sized for a full training run over one dataset: every distinct view of
     /// a session tree contributes a handful of per-column statistics.
     fn default() -> Self {
-        StatsCache::new(Self::DEFAULT_CAPACITY, Self::DEFAULT_SHARDS)
+        StatsCache::new(Self::DEFAULT_MEM_BYTES, Self::DEFAULT_SHARDS)
     }
 }
 
 impl StatsCache {
-    /// Default total entry capacity (what [`StatsCache::default`] allocates).
-    pub const DEFAULT_CAPACITY: usize = 32 * 1024;
+    /// Default total byte budget (what [`StatsCache::default`] allocates): 64 MiB.
+    pub const DEFAULT_MEM_BYTES: usize = 64 * 1024 * 1024;
     /// Default shard count (what [`StatsCache::default`] allocates).
     pub const DEFAULT_SHARDS: usize = 16;
 
-    /// A cache with `capacity` total entries spread over `shards` shards. A zero
-    /// capacity yields a cache that stores nothing (lookups always compute).
-    pub fn new(capacity: usize, shards: usize) -> Self {
+    /// A cache with a budget of `mem_bytes` approximate payload bytes spread over
+    /// `shards` shards. A zero budget yields a cache that stores nothing (lookups
+    /// always compute).
+    pub fn new(mem_bytes: usize, shards: usize) -> Self {
         StatsCache {
-            store: ShardedLru::new(capacity, shards),
+            store: ShardedLru::new(mem_bytes, shards),
             tier: None,
         }
     }
@@ -179,9 +209,9 @@ impl StatsCache {
     /// misses consult the tier before computing, and computed entries are written
     /// through to it — so a cache in a fresh process (or a different engine shard
     /// sharing the tier) re-loads statistics instead of re-deriving them.
-    pub fn with_tier(capacity: usize, shards: usize, tier: Arc<dyn StatsTier>) -> Self {
+    pub fn with_tier(mem_bytes: usize, shards: usize, tier: Arc<dyn StatsTier>) -> Self {
         StatsCache {
-            store: ShardedLru::new(capacity, shards),
+            store: ShardedLru::new(mem_bytes, shards),
             tier: Some(tier),
         }
     }
@@ -200,12 +230,14 @@ impl StatsCache {
         }
         if let Some(tier) = &self.tier {
             if let Some(loaded) = tier.load(&key).filter(|v| v.kind() == key.kind) {
-                self.store.insert(key, loaded.clone());
+                self.store
+                    .insert_weighted(key, loaded.clone(), loaded.approx_bytes());
                 return Ok(loaded);
             }
         }
         let computed = compute()?;
-        self.store.insert(key, computed.clone());
+        self.store
+            .insert_weighted(key, computed.clone(), computed.approx_bytes());
         if let Some(tier) = &self.tier {
             tier.store(&key, &computed);
         }
@@ -390,13 +422,15 @@ mod tests {
 
     #[test]
     fn eviction_bounds_residency() {
-        // Single shard, capacity 2: the third distinct column evicts the LRU one.
-        let cache = StatsCache::new(2, 1);
         let df = DataFrame::from_rows(
             &["a", "b", "c"],
             vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]],
         )
         .unwrap();
+        // Single shard, byte budget sized for exactly two of these histogram
+        // entries: the third distinct column evicts the LRU one.
+        let weight = StatValue::Hist(Arc::new(df.histogram("a").unwrap())).approx_bytes();
+        let cache = StatsCache::new(weight as usize * 2, 1);
         cache.histogram(&df, "a").unwrap();
         cache.histogram(&df, "b").unwrap();
         cache.histogram(&df, "a").unwrap(); // refresh "a"; "b" becomes LRU
@@ -404,7 +438,35 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.evictions, 1);
         assert_eq!(s.entries, 2);
+        assert!(s.weight <= s.capacity);
         cache.histogram(&df, "b").unwrap(); // evicted, so recomputed
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn entries_weigh_by_approximate_bytes() {
+        // A wide histogram (many distinct strings) must weigh far more than a
+        // single-value one, and more than the same column's summary.
+        let wide = DataFrame::from_rows(
+            &["c"],
+            (0..200)
+                .map(|i| vec![Value::str(format!("category-{i}"))])
+                .collect(),
+        )
+        .unwrap();
+        let narrow = DataFrame::from_rows(&["c"], vec![vec![Value::str("x")]]).unwrap();
+        let heavy = StatValue::Hist(Arc::new(wide.histogram("c").unwrap())).approx_bytes();
+        let light = StatValue::Hist(Arc::new(narrow.histogram("c").unwrap())).approx_bytes();
+        assert!(heavy > light * 50, "heavy {heavy} vs light {light}");
+
+        let cache = StatsCache::default();
+        cache.histogram(&wide, "c").unwrap();
+        cache.summary(&wide, "c").unwrap();
+        let s = cache.stats();
+        assert!(
+            s.weight >= heavy,
+            "resident weight {} accounts for the heavy histogram {heavy}",
+            s.weight
+        );
     }
 }

@@ -3,13 +3,86 @@
 //! A [`Value`] is a single cell in a [`crate::DataFrame`]. LINX query operations compare
 //! values (filter terms) and aggregate them (group-and-aggregate), so the type supports
 //! total ordering, hashing of a canonical key, numeric coercion, and display formatting.
+//!
+//! Strings are **interned**: [`Value::Str`] holds an `Arc<str>` deduplicated through a
+//! process-wide pool, so cloning a string cell — which the query hot path does for
+//! every gathered row, group key, and histogram entry — is a refcount bump, never a
+//! heap allocation, and repeated categorical values (the common case in exploration
+//! datasets) share one allocation across every view that contains them.
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::schema::DataType;
+
+/// Process-wide string intern pool backing [`Value::Str`].
+///
+/// Sharded by a stable FNV-1a hash of the string so concurrent loaders rarely contend.
+/// The pool holds one `Arc` per distinct string; to keep it from growing without bound
+/// over the life of a long-serving process, each shard periodically sweeps entries no
+/// longer referenced outside the pool (strong count 1). The sweep fires on a *call*
+/// cadence — every `max(live entries, MIN_SWEEP)` intern calls against the shard —
+/// not on insert growth, so a dropped dataset's dead strings are reclaimed by the
+/// ordinary intern traffic of whatever the process serves next (lookups included),
+/// even when the pool never again grows as large as that dataset made it. Amortized
+/// O(1) per call.
+mod pool {
+    use std::collections::HashSet;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    const SHARDS: usize = 16;
+    /// A shard never sweeps more often than every this many calls (avoids thrashing
+    /// tiny pools).
+    const MIN_SWEEP: usize = 1024;
+
+    struct Shard {
+        set: HashSet<Arc<str>>,
+        calls_until_sweep: usize,
+    }
+
+    fn shards() -> &'static [Mutex<Shard>; SHARDS] {
+        static POOL: OnceLock<[Mutex<Shard>; SHARDS]> = OnceLock::new();
+        POOL.get_or_init(|| {
+            std::array::from_fn(|_| {
+                Mutex::new(Shard {
+                    set: HashSet::new(),
+                    calls_until_sweep: MIN_SWEEP,
+                })
+            })
+        })
+    }
+
+    /// The canonical shared `Arc` for `s`, allocating only on first sight.
+    pub fn intern(s: &str) -> Arc<str> {
+        let mut h = crate::fingerprint::Fnv1a::new();
+        h.write(s.as_bytes());
+        let shard = &shards()[(h.finish() as usize) % SHARDS];
+        let mut guard = shard.lock().expect("intern pool lock");
+        guard.calls_until_sweep = guard.calls_until_sweep.saturating_sub(1);
+        if guard.calls_until_sweep == 0 {
+            guard.set.retain(|a| Arc::strong_count(a) > 1);
+            guard.calls_until_sweep = guard.set.len().max(MIN_SWEEP);
+        }
+        if let Some(hit) = guard.set.get(s) {
+            return Arc::clone(hit);
+        }
+        let arc: Arc<str> = Arc::from(s);
+        guard.set.insert(Arc::clone(&arc));
+        arc
+    }
+}
+
+/// Intern a string into the process-wide pool, returning the canonical shared `Arc`.
+///
+/// [`Value::str`] and every string-producing path (CSV parsing, the persistence codec)
+/// go through this, so equal strings across cells, frames, and datasets share one
+/// allocation and clone as refcount bumps.
+pub fn intern(s: &str) -> Arc<str> {
+    pool::intern(s)
+}
 
 /// A single scalar cell value.
 ///
@@ -24,16 +97,72 @@ pub enum Value {
     Int(i64),
     /// 64-bit float (never NaN when constructed through [`Value::float`]).
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string, interned ([`intern`]): clones are refcount bumps.
+    Str(Arc<str>),
     /// Boolean.
     Bool(bool),
 }
 
+/// A borrowed, non-allocating grouping key: the canonical identity of a [`Value`] for
+/// group-by, histograms, and distinct-counting.
+///
+/// Replaces the old `String`-rendering `group_key()`: hashing or comparing a key no
+/// longer formats anything. `Int(1)`, `Float(1.0)`, `Str("1")`, and `Bool(true)` are
+/// distinct keys (the enum discriminant participates in `Hash`/`Eq`). Floats key by
+/// their IEEE-754 bit pattern — NaN never occurs ([`Value::float`] normalizes it to
+/// `Null`), and `-0.0`/`0.0` stay distinct exactly as their old `{:?}` renderings did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKey<'a> {
+    /// The null group.
+    Null,
+    /// Integer key.
+    Int(i64),
+    /// Float key, by bit pattern.
+    Float(u64),
+    /// String key, borrowing the cell's interned storage.
+    Str(&'a str),
+    /// Boolean key.
+    Bool(bool),
+}
+
+impl fmt::Display for GroupKey<'_> {
+    /// The canonical textual rendering (the old `group_key()` string format), used
+    /// where a key must travel inside a string — e.g. op-memo paths. Distinct keys
+    /// render distinctly: every variant carries its own prefix.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupKey::Null => write!(f, "\u{0}null"),
+            GroupKey::Int(i) => write!(f, "i:{i}"),
+            GroupKey::Float(bits) => write!(f, "f:{:?}", f64::from_bits(*bits)),
+            GroupKey::Str(s) => write!(f, "s:{s}"),
+            GroupKey::Bool(b) => write!(f, "b:{b}"),
+        }
+    }
+}
+
+/// An owned grouping key for maps that must outlive the borrowed cell.
+///
+/// Construction from a [`Value`] ([`Value::owned_group_key`]) never allocates: the
+/// `Str` variant clones the cell's interned `Arc<str>` — a refcount bump — so grouping
+/// a column allocates only the output buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OwnedGroupKey {
+    /// The null group.
+    Null,
+    /// Integer key.
+    Int(i64),
+    /// Float key, by bit pattern.
+    Float(u64),
+    /// String key, sharing the cell's interned storage.
+    Str(Arc<str>),
+    /// Boolean key.
+    Bool(bool),
+}
+
 impl Value {
-    /// Construct a string value.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    /// Construct a string value (interned; see [`intern`]).
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(intern(s.as_ref()))
     }
 
     /// Construct a float value, normalizing NaN to [`Value::Null`].
@@ -83,22 +212,35 @@ impl Value {
     /// Interpret the value as a string slice if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s.as_str()),
+            Value::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    /// A canonical, hashable grouping key for this value.
+    /// The canonical, non-allocating grouping key of this value.
     ///
-    /// Group-by uses string keys so heterogeneous columns still group deterministically;
-    /// floats are rendered with enough precision to round-trip.
-    pub fn group_key(&self) -> String {
+    /// Group-by, histograms, and distinct-counting key cells by this; keys of
+    /// different value types never collide. (The old `String`-allocating rendering
+    /// survives as [`GroupKey`]'s `Display`.)
+    pub fn group_key(&self) -> GroupKey<'_> {
         match self {
-            Value::Null => "\u{0}null".to_string(),
-            Value::Int(i) => format!("i:{i}"),
-            Value::Float(f) => format!("f:{f:?}"),
-            Value::Str(s) => format!("s:{s}"),
-            Value::Bool(b) => format!("b:{b}"),
+            Value::Null => GroupKey::Null,
+            Value::Int(i) => GroupKey::Int(*i),
+            Value::Float(f) => GroupKey::Float(f.to_bits()),
+            Value::Str(s) => GroupKey::Str(s),
+            Value::Bool(b) => GroupKey::Bool(*b),
+        }
+    }
+
+    /// The owned grouping key of this value — a refcount bump for strings, never an
+    /// allocation. Use where the key outlives the cell borrow (map keys).
+    pub fn owned_group_key(&self) -> OwnedGroupKey {
+        match self {
+            Value::Null => OwnedGroupKey::Null,
+            Value::Int(i) => OwnedGroupKey::Int(*i),
+            Value::Float(f) => OwnedGroupKey::Float(f.to_bits()),
+            Value::Str(s) => OwnedGroupKey::Str(Arc::clone(s)),
+            Value::Bool(b) => OwnedGroupKey::Bool(*b),
         }
     }
 
@@ -162,7 +304,7 @@ impl Value {
         if let Ok(f) = t.parse::<f64>() {
             return Value::float(f);
         }
-        Value::Str(t.to_string())
+        Value::str(t)
     }
 }
 
@@ -224,7 +366,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::str(v)
     }
 }
 
@@ -255,6 +397,24 @@ mod tests {
     fn float_nan_becomes_null() {
         assert!(Value::float(f64::NAN).is_null());
         assert_eq!(Value::float(2.5), Value::Float(2.5));
+    }
+
+    #[test]
+    fn interning_shares_storage() {
+        let a = Value::str("shared-category");
+        let b = Value::str("shared-category");
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => {
+                assert!(Arc::ptr_eq(x, y), "equal strings intern to one Arc")
+            }
+            _ => unreachable!(),
+        }
+        // Cloning a string value is a refcount bump of the same allocation.
+        let c = a.clone();
+        match (&a, &c) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
     }
 
     #[test]
@@ -296,6 +456,37 @@ mod tests {
         assert_ne!(Value::Int(1).group_key(), Value::str("1").group_key());
         assert_ne!(Value::Bool(true).group_key(), Value::Int(1).group_key());
         assert_eq!(Value::Int(7).group_key(), Value::Int(7).group_key());
+        assert_ne!(Value::Float(1.0).group_key(), Value::Int(1).group_key());
+        // Owned keys agree with borrowed keys on identity.
+        assert_eq!(
+            Value::str("x").owned_group_key(),
+            Value::str("x").owned_group_key()
+        );
+        assert_ne!(
+            Value::Int(1).owned_group_key(),
+            Value::str("1").owned_group_key()
+        );
+    }
+
+    #[test]
+    fn group_key_display_is_injective_across_types() {
+        let renders: Vec<String> = [
+            Value::Int(1),
+            Value::str("1"),
+            Value::Float(1.0),
+            Value::Bool(true),
+            Value::Null,
+        ]
+        .iter()
+        .map(|v| v.group_key().to_string())
+        .collect();
+        for i in 0..renders.len() {
+            for j in (i + 1)..renders.len() {
+                assert_ne!(renders[i], renders[j]);
+            }
+        }
+        assert_eq!(Value::Int(7).group_key().to_string(), "i:7");
+        assert_eq!(Value::str("a").group_key().to_string(), "s:a");
     }
 
     #[test]

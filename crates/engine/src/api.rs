@@ -123,6 +123,30 @@ pub struct ExploreResult {
     pub best_score: f64,
 }
 
+impl ExploreResult {
+    /// Approximate resident bytes: what this entry charges against the result
+    /// cache's byte budget ([`EngineConfig::cache_mem_bytes`]). Sums the string
+    /// payloads (notebook code/previews/captions, narrative text) plus a fixed
+    /// per-cell overhead — the dominant terms, not exact allocator accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        const CELL_OVERHEAD: u64 = 64;
+        let notebook: u64 = self
+            .notebook
+            .cells
+            .iter()
+            .map(|c| {
+                CELL_OVERHEAD + (c.code.len() + c.result_preview.len() + c.caption.len()) as u64
+            })
+            .sum();
+        let narrative: u64 = self.narrative.bullets.iter().map(|b| b.len() as u64).sum();
+        (self.ldx_canonical.len() + self.notebook.title.len() + self.narrative.headline.len())
+            as u64
+            + notebook
+            + narrative
+            + CELL_OVERHEAD
+    }
+}
+
 /// Why a request produced no result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobError {
@@ -175,8 +199,14 @@ pub struct EngineConfig {
     /// Worker threads executing exploration jobs. Defaults to available parallelism,
     /// capped at 8 (training is CPU-bound; more workers than cores just thrash).
     pub workers: usize,
-    /// Total result-cache capacity (entries across all shards). 0 disables caching.
-    pub cache_capacity: usize,
+    /// In-memory cache budget in **approximate payload bytes** for everything this
+    /// engine holds resident: split evenly between the result cache (each entry
+    /// weighed by [`ExploreResult::approx_bytes`]) and the single engine-wide
+    /// view-statistics cache (entries weighed by
+    /// [`linx_dataframe::StatValue::approx_bytes`]; shared across all datasets, so
+    /// the budget is never multiplied per dataset). 0 disables in-memory caching
+    /// (`--cache-mem-cap` on the CLI).
+    pub cache_mem_bytes: usize,
     /// Number of cache shards (reduces lock contention). Rounded up to at least 1.
     pub cache_shards: usize,
     /// The CDRL engine configuration used for jobs (per-request budgets cap
@@ -204,7 +234,7 @@ impl Default for EngineConfig {
             .min(8);
         EngineConfig {
             workers,
-            cache_capacity: 256,
+            cache_mem_bytes: 64 * 1024 * 1024,
             cache_shards: 8,
             cdrl: CdrlConfig::default(),
             sample_rows: 200,

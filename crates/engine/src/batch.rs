@@ -56,7 +56,9 @@ pub struct BatchOutcome {
     /// Effectiveness of the shared view memo for this batch's dataset.
     pub memo: OpMemoStats,
     /// Effectiveness of the shared view-statistics cache (reward histograms,
-    /// groupings, featurizer summaries) for this batch's dataset.
+    /// groupings, featurizer summaries). The cache is engine-wide (content-keyed,
+    /// shared across datasets), so these counters are cumulative for the engine,
+    /// snapshotted after this batch.
     pub stats: StatsCacheStats,
     /// Wall-clock microseconds for the whole batch.
     pub total_micros: u64,

@@ -7,7 +7,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use linx_cdrl::CdrlConfig;
-use linx_dataframe::DataFrame;
+use linx_dataframe::{DataFrame, StatsCache, StatsTier};
 
 use crate::api::{EngineConfig, ExploreRequest, ExploreResponse, JobError, RequestId};
 use crate::fingerprint::request_fingerprint;
@@ -74,6 +74,11 @@ pub struct Engine {
     config: EngineConfig,
     pool: WorkerPool,
     cache: Arc<TieredCache>,
+    /// The engine-wide view-statistics cache, shared by every dataset context this
+    /// engine builds. Statistics are keyed by view *content* fingerprints, so
+    /// sharing across datasets is safe — and means the engine holds exactly one
+    /// stats budget, not one per dataset.
+    stats: Arc<StatsCache>,
     /// Per-tenant admission control in front of the pool. May be shared across
     /// several engine shards (see [`crate::Router`]) to make budgets global.
     quota: Arc<QuotaTable>,
@@ -144,14 +149,28 @@ impl Engine {
         disk: Option<Arc<DiskTier>>,
     ) -> Self {
         let pool = WorkerPool::new(config.workers);
+        // One byte budget per engine, split evenly between the two caches it owns —
+        // so `cache_mem_bytes` bounds what the engine actually holds resident, no
+        // matter how many datasets pass through.
+        let result_budget = config.cache_mem_bytes / 2;
+        let stats_budget = config.cache_mem_bytes - result_budget;
+        let stats = Arc::new(match &disk {
+            Some(tier) => StatsCache::with_tier(
+                stats_budget,
+                StatsCache::DEFAULT_SHARDS,
+                Arc::clone(tier) as Arc<dyn StatsTier>,
+            ),
+            None => StatsCache::new(stats_budget, StatsCache::DEFAULT_SHARDS),
+        });
         let cache = Arc::new(match disk {
-            Some(tier) => TieredCache::with_disk(config.cache_capacity, config.cache_shards, tier),
-            None => TieredCache::new(config.cache_capacity, config.cache_shards),
+            Some(tier) => TieredCache::with_disk(result_budget, config.cache_shards, tier),
+            None => TieredCache::new(result_budget, config.cache_shards),
         });
         Engine {
             config,
             pool,
             cache,
+            stats,
             quota,
             in_flight: Arc::new(Mutex::new(HashMap::new())),
             next_id: AtomicU64::new(1),
@@ -173,20 +192,20 @@ impl Engine {
     }
 
     /// Precompute the shared per-dataset context (fingerprint, schema, sample, view
-    /// memo, term inventory / featurizer / stats cache). Submitting many goals against
-    /// one context shares this work across them. When a disk tier is mounted, the
-    /// context's statistics cache is backed by it, so per-dataset histograms warmed
-    /// in an earlier process (or on another shard sharing the tier) are re-loaded
-    /// instead of recomputed.
+    /// memo, term inventory / featurizer). Submitting many goals against one context
+    /// shares this work across them. Every context is handed the *engine-wide*
+    /// statistics cache (content-keyed, so cross-dataset sharing is safe and the
+    /// engine's byte budget is not multiplied per dataset); when a disk tier is
+    /// mounted that cache is backed by it, so per-dataset histograms warmed in an
+    /// earlier process (or on another shard sharing the tier) are re-loaded instead
+    /// of recomputed.
     pub fn dataset_context(&self, dataset: &DataFrame, dataset_id: &str) -> DatasetContext {
-        DatasetContext::with_tier(
+        DatasetContext::with_stats(
             dataset,
             dataset_id,
             self.config.sample_rows,
             self.config.cdrl.term_slots,
-            self.cache
-                .disk()
-                .map(|d| Arc::clone(d) as Arc<dyn linx_dataframe::StatsTier>),
+            Arc::clone(&self.stats),
         )
     }
 

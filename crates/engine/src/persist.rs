@@ -214,7 +214,9 @@ impl<'a> Reader<'a> {
             // `Value::float` normalizes a (hand-corrupted) NaN bit pattern to Null
             // instead of smuggling NaN past the constructor invariant.
             2 => Ok(Value::float(self.take_f64()?)),
-            3 => Ok(Value::Str(self.take_str()?)),
+            // Interned construction: decoded strings share the process pool, so a
+            // warm disk tier repopulates the same `Arc`s live computation uses.
+            3 => Ok(Value::str(self.take_str()?)),
             4 => Ok(Value::Bool(self.take_bool()?)),
             _ => err("unknown value tag"),
         }
@@ -817,6 +819,10 @@ impl StatsTier for DiskTier {
 /// The engine's result cache: the in-memory [`ShardedLru`] fronting an optional
 /// [`DiskTier`]. Lookup order is memory → disk → miss; a disk hit is promoted into
 /// memory, and inserts write through to both tiers.
+///
+/// The memory level is **byte-budgeted**: each entry charges
+/// [`ExploreResult::approx_bytes`] against `mem_bytes`, so a handful of huge
+/// notebooks can no longer pin the same budget as hundreds of small ones.
 #[derive(Debug)]
 pub struct TieredCache {
     memory: ShardedLru<u64, ExploreResult>,
@@ -824,19 +830,19 @@ pub struct TieredCache {
 }
 
 impl TieredCache {
-    /// A memory-only cache (the pre-persistence behavior).
-    pub fn new(capacity: usize, shards: usize) -> Self {
+    /// A memory-only cache with a budget of `mem_bytes` approximate payload bytes.
+    pub fn new(mem_bytes: usize, shards: usize) -> Self {
         TieredCache {
-            memory: ShardedLru::new(capacity, shards),
+            memory: ShardedLru::new(mem_bytes, shards),
             disk: None,
         }
     }
 
     /// A cache whose misses fall through to (and whose inserts write through to)
     /// a disk tier.
-    pub fn with_disk(capacity: usize, shards: usize, disk: Arc<DiskTier>) -> Self {
+    pub fn with_disk(mem_bytes: usize, shards: usize, disk: Arc<DiskTier>) -> Self {
         TieredCache {
-            memory: ShardedLru::new(capacity, shards),
+            memory: ShardedLru::new(mem_bytes, shards),
             disk: Some(disk),
         }
     }
@@ -852,16 +858,19 @@ impl TieredCache {
             return Some(hit);
         }
         let loaded = self.disk.as_ref()?.load_result(*fp)?;
-        self.memory.insert(*fp, loaded.clone());
+        self.memory
+            .insert_weighted(*fp, loaded.clone(), loaded.approx_bytes());
         Some(loaded)
     }
 
-    /// Insert a result under its request fingerprint (both tiers).
+    /// Insert a result under its request fingerprint (both tiers), charged by
+    /// approximate payload bytes in memory.
     pub fn insert(&self, fp: u64, result: ExploreResult) {
         if let Some(disk) = &self.disk {
             disk.store_result(fp, &result);
         }
-        self.memory.insert(fp, result);
+        let weight = result.approx_bytes();
+        self.memory.insert_weighted(fp, result, weight);
     }
 
     /// The in-memory tier's counters.
@@ -1056,11 +1065,11 @@ mod tests {
     fn tiered_cache_promotes_disk_hits_into_memory() {
         let dir = temp_dir("tiered");
         let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
-        let warm = TieredCache::with_disk(8, 2, Arc::clone(&tier));
+        let warm = TieredCache::with_disk(64 * 1024, 2, Arc::clone(&tier));
         warm.insert(7, sample_result());
 
         // A fresh memory cache over the same tier: first get hits disk, second memory.
-        let cold = TieredCache::with_disk(8, 2, Arc::clone(&tier));
+        let cold = TieredCache::with_disk(64 * 1024, 2, Arc::clone(&tier));
         assert!(cold.get(&7).is_some());
         assert!(cold.get(&7).is_some());
         let mem = cold.memory_stats();
@@ -1075,7 +1084,7 @@ mod tests {
 
     #[test]
     fn memory_only_cache_reports_zero_tier_stats() {
-        let cache = TieredCache::new(4, 1);
+        let cache = TieredCache::new(64 * 1024, 1);
         cache.insert(1, sample_result());
         assert!(cache.get(&1).is_some());
         assert!(cache.get(&2).is_none());

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use linx_cdrl::{CdrlConfig, CdrlTrainer, DatasetStats};
-use linx_dataframe::{DataFrame, Schema, StatsCache, StatsTier};
+use linx_dataframe::{DataFrame, Schema, StatsCache};
 use linx_explore::{narrate_with, Notebook, OpMemo, SessionExecutor};
 use linx_nl2ldx::SpecDeriver;
 
@@ -50,31 +50,32 @@ impl DatasetContext {
         sample_rows: usize,
         term_slots: usize,
     ) -> Self {
-        Self::with_tier(dataset, dataset_id, sample_rows, term_slots, None)
+        Self::with_stats(
+            dataset,
+            dataset_id,
+            sample_rows,
+            term_slots,
+            Arc::new(StatsCache::default()),
+        )
     }
 
-    /// Like [`DatasetContext::new`], but backing the context's view-statistics cache
-    /// with a second-level [`StatsTier`] (the engine's persistent disk tier): the
+    /// Like [`DatasetContext::new`], but with an explicit — typically *shared* —
+    /// view-statistics cache. [`crate::Engine`] hands every context its one
+    /// engine-wide cache (statistics are content-keyed, so cross-dataset sharing is
+    /// safe and the engine's byte budget is never multiplied per dataset); when that
+    /// cache is backed by a [`StatsTier`](linx_dataframe::StatsTier) (the persistent
+    /// disk tier), the
     /// inventory/featurizer build — and every reward computed later against this
     /// context — loads persisted histograms instead of recomputing them, and writes
     /// fresh ones through for the next process or shard.
-    pub fn with_tier(
+    pub fn with_stats(
         dataset: &DataFrame,
         dataset_id: impl Into<String>,
         sample_rows: usize,
         term_slots: usize,
-        tier: Option<Arc<dyn StatsTier>>,
+        stats: Arc<StatsCache>,
     ) -> Self {
         let sample_rows = sample_rows.max(5);
-        let stats = Arc::new(match tier {
-            // Default capacity either way; only the second level differs.
-            Some(tier) => StatsCache::with_tier(
-                StatsCache::DEFAULT_CAPACITY,
-                StatsCache::DEFAULT_SHARDS,
-                tier,
-            ),
-            None => StatsCache::default(),
-        });
         DatasetContext {
             dataset: dataset.clone(),
             dataset_id: dataset_id.into(),

@@ -181,7 +181,7 @@ fn corrupt_stat_entries_fall_back_to_computation() {
     std::fs::write(&path, &bytes).unwrap();
 
     // A tier-backed cache over the corrupt entry computes the correct histogram.
-    let cache = StatsCache::with_tier(64, 2, Arc::clone(&tier) as Arc<dyn StatsTier>);
+    let cache = StatsCache::with_tier(64 * 1024, 2, Arc::clone(&tier) as Arc<dyn StatsTier>);
     let served = cache.histogram(&df, "c").unwrap();
     assert_eq!(*served, hist, "corruption must never yield wrong data");
     assert!(
@@ -204,7 +204,7 @@ fn stats_cache_round_trips_through_a_shared_tier() {
         ],
     )
     .unwrap();
-    let warm = StatsCache::with_tier(64, 2, Arc::clone(&tier) as Arc<dyn StatsTier>);
+    let warm = StatsCache::with_tier(64 * 1024, 2, Arc::clone(&tier) as Arc<dyn StatsTier>);
     let h = warm.histogram(&df, "k").unwrap();
     let g = warm.groups(&df, "k").unwrap();
     let z = warm.group_sizes(&df, "k").unwrap();
@@ -212,12 +212,22 @@ fn stats_cache_round_trips_through_a_shared_tier() {
 
     // A fresh cache over the same tier ("new process / other shard") loads every
     // statistic from disk instead of recomputing — and the values are identical.
-    let cold = StatsCache::with_tier(64, 2, Arc::clone(&tier) as Arc<dyn StatsTier>);
+    let cold = StatsCache::with_tier(64 * 1024, 2, Arc::clone(&tier) as Arc<dyn StatsTier>);
     assert_eq!(*cold.histogram(&df, "k").unwrap(), *h);
     assert_eq!(*cold.groups(&df, "k").unwrap(), *g);
     assert_eq!(*cold.group_sizes(&df, "k").unwrap(), *z);
     assert_eq!(*cold.summary(&df, "v").unwrap(), *s);
     assert!(tier.stats().hits >= 4, "cold cache must hit the tier");
+    // Tier-loaded entries are promoted into the in-memory level: a repeat lookup
+    // is served from memory, not the disk tier.
+    let tier_hits_before = tier.stats().hits;
+    assert_eq!(*cold.histogram(&df, "k").unwrap(), *h);
+    assert!(cold.stats().hits >= 1, "repeat lookup served from memory");
+    assert_eq!(
+        tier.stats().hits,
+        tier_hits_before,
+        "tier not consulted again"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -73,9 +73,11 @@ impl SessionExecutor {
     /// The canonical memo key of a child node: the parent's path plus this operation.
     /// The root's path is the empty string.
     ///
-    /// Filter terms use [`linx_dataframe::Value::group_key`] rather than `Display`, so
-    /// terms of different types that render identically (`Int(1)` vs `Str("1")`) do not
-    /// collide in the memo. Every variable segment is length-prefixed: attribute names
+    /// Filter terms use the canonical [`linx_dataframe::GroupKey`] rendering rather
+    /// than `Display`, so terms of different types that render identically (`Int(1)`
+    /// vs `Str("1")`) do not collide in the memo. (The key itself is non-allocating;
+    /// only this path construction — once per op, not per row — renders it to text.)
+    /// Every variable segment is length-prefixed: attribute names
     /// and filter terms come from dataset content (arbitrary with `--csv`), and naive
     /// interpolation would let a crafted cell value forge another op sequence's path
     /// and poison the shared memo. Exposed so incremental executors (the CDRL
@@ -93,7 +95,7 @@ impl SessionExecutor {
                 path.push_str("|F");
                 push_field(&mut path, attr);
                 push_field(&mut path, op.token());
-                push_field(&mut path, &term.group_key());
+                push_field(&mut path, &term.group_key().to_string());
             }
             QueryOp::GroupBy {
                 g_attr,

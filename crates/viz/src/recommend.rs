@@ -206,7 +206,7 @@ fn filter_charts(view: &DataFrame, parent: Option<&DataFrame>, subset: &str) -> 
     // One histogram over the widest-ranging numeric column.
     if let Some(numeric) = pick_numeric_column(view) {
         if let Ok(col) = view.column(&numeric) {
-            let values: Vec<f64> = col.values().iter().filter_map(Value::as_f64).collect();
+            let values: Vec<f64> = col.iter().filter_map(Value::as_f64).collect();
             let bins = bin_numeric(&values, NUM_BINS);
             if bins.len() >= 2 {
                 let counts: Vec<f64> = bins.iter().map(|b| b.count as f64).collect();
