@@ -1,0 +1,264 @@
+//! Telemetry-overhead benchmark: the 20-op view-chain workload (the `view_exec`
+//! request stand-in) executed bare vs. wrapped in the engine's full per-request
+//! telemetry sequence — trace activation, one clock read and `Stage` add per
+//! lifecycle stage, the component histograms (cache lookup, queue wait,
+//! execution), the in-flight gauge, and `observe_response` with the slow log
+//! armed. The claim under test: instrumentation costs a few microseconds per
+//! request, invisible next to a real exploration (target ≤ 5% on this chain,
+//! which is orders of magnitude cheaper than a CDRL run).
+//!
+//! Besides the criterion-style timings (CI smoke under `--test`), a full run
+//! writes a machine-readable `BENCH_telemetry.json` baseline. Set
+//! `LINX_BENCH_OUT` to redirect the baseline file.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{DataFrame, Value};
+use linx_engine::{
+    MetricsRegistry, Priority, RequestId, ResponseMeta, Stage, TenantId, TraceHandle,
+};
+use linx_metrics::{Clock, Gauge, LatencyHistogram};
+
+/// Number of query operations in the per-request chain (mirrors `view_exec`).
+const TREE_OPS: usize = 20;
+/// Dataset size: large enough that real query work dominates fixed op overhead.
+const ROWS: usize = 6_000;
+
+/// One step of the chain: a row-subsetting filter or a group-and-aggregate leaf.
+enum Step {
+    Filter(Predicate),
+    Group(&'static str, AggFunc, &'static str),
+}
+
+/// 16 gently narrowing filters with a group-by after every fourth — 20 ops total.
+fn chain() -> Vec<Step> {
+    let filters = [
+        Predicate::new("release_year", CompareOp::Ge, Value::Int(1999)),
+        Predicate::new("duration", CompareOp::Ge, Value::Int(1)),
+        Predicate::new("country", CompareOp::Neq, Value::str("Japan")),
+        Predicate::new("rating", CompareOp::Neq, Value::str("NC-17")),
+        Predicate::new("release_year", CompareOp::Le, Value::Int(2021)),
+        Predicate::new("cast_size", CompareOp::Ge, Value::Int(3)),
+        Predicate::new("date_added_year", CompareOp::Ge, Value::Int(1999)),
+        Predicate::new("genre", CompareOp::Neq, Value::str("Stand-Up")),
+        Predicate::new("type", CompareOp::Neq, Value::str("Documentary")),
+        Predicate::new("duration", CompareOp::Le, Value::Int(200)),
+        Predicate::new("country", CompareOp::Neq, Value::str("Mexico")),
+        Predicate::new("rating", CompareOp::Neq, Value::str("G")),
+        Predicate::new("release_year", CompareOp::Ge, Value::Int(2000)),
+        Predicate::new("cast_size", CompareOp::Le, Value::Int(24)),
+        Predicate::new("date_added_year", CompareOp::Le, Value::Int(2021)),
+        Predicate::new("title", CompareOp::Neq, Value::str("Title 0")),
+    ];
+    let groups = [
+        ("country", AggFunc::Count, "show_id"),
+        ("rating", AggFunc::Count, "show_id"),
+        ("type", AggFunc::Avg, "duration"),
+        ("genre", AggFunc::Count, "show_id"),
+    ];
+    let mut steps = Vec::with_capacity(TREE_OPS);
+    let mut g = groups.iter();
+    for (i, pred) in filters.iter().enumerate() {
+        steps.push(Step::Filter(pred.clone()));
+        if (i + 1) % 4 == 0 {
+            let (ga, agg, aa) = g.next().expect("four group steps");
+            steps.push(Step::Group(ga, *agg, aa));
+        }
+    }
+    assert_eq!(steps.len(), TREE_OPS);
+    steps
+}
+
+fn dataset() -> DataFrame {
+    generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(ROWS),
+            seed: 11,
+        },
+    )
+}
+
+/// The raw request payload: execute the chain, return a shape checksum.
+fn run_chain(df: &DataFrame, steps: &[Step]) -> u64 {
+    let mut view = df.clone();
+    let mut checksum = 0u64;
+    for step in steps {
+        match step {
+            Step::Filter(pred) => {
+                view = view.filter(pred).expect("benchmark filters are valid");
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(view.num_rows() as u64);
+            }
+            Step::Group(g_attr, agg, agg_attr) => {
+                let out = view
+                    .group_by(g_attr, *agg, agg_attr)
+                    .expect("benchmark group-bys are valid");
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(out.num_rows() as u64);
+            }
+        }
+    }
+    checksum
+}
+
+/// Every instrument one request touches on the engine's fresh-compute path.
+struct Instruments {
+    clock: Clock,
+    registry: MetricsRegistry,
+    queue_wait: LatencyHistogram,
+    execute: LatencyHistogram,
+    in_flight: Gauge,
+    tenant: TenantId,
+}
+
+impl Instruments {
+    fn new() -> Self {
+        let clock = Clock::real();
+        Instruments {
+            registry: MetricsRegistry::new(clock.clone(), Some(0)),
+            clock,
+            queue_wait: LatencyHistogram::new(),
+            execute: LatencyHistogram::new(),
+            in_flight: Gauge::new(),
+            tenant: TenantId::default(),
+        }
+    }
+}
+
+/// The chain wrapped in the per-request telemetry sequence `Engine::submit` and
+/// the worker perform: trace activation, a clock read + `Stage` add around every
+/// lifecycle stage, the component histograms, and `observe_response` with the
+/// slow log armed (threshold 0, so every iteration also pays the slow-log push).
+fn run_instrumented(df: &DataFrame, steps: &[Step], ins: &Instruments, seq: u64) -> u64 {
+    let clock = &ins.clock;
+    let trace = TraceHandle::disabled().ensure(clock);
+
+    let route_start = clock.now_micros();
+    trace.add(Stage::Route, clock.now_micros().saturating_sub(route_start));
+
+    let lookup_start = clock.now_micros();
+    let lookup_micros = clock.now_micros().saturating_sub(lookup_start);
+    ins.registry.record_cache_lookup(lookup_micros);
+    trace.add(Stage::CacheLookup, lookup_micros);
+
+    let admit_start = clock.now_micros();
+    trace.add(Stage::Admit, clock.now_micros().saturating_sub(admit_start));
+
+    let enqueued = clock.now_micros();
+    let run_start = clock.now_micros();
+    let wait = run_start.saturating_sub(enqueued);
+    ins.queue_wait.record(wait);
+    trace.add(Stage::QueueWait, wait);
+
+    ins.in_flight.inc();
+    let checksum = run_chain(df, steps);
+    let exec = clock.now_micros().saturating_sub(run_start);
+    ins.in_flight.dec();
+    ins.execute.record(exec);
+    trace.add(Stage::Execute, exec);
+
+    let respond_start = clock.now_micros();
+    trace.add(
+        Stage::Respond,
+        clock.now_micros().saturating_sub(respond_start),
+    );
+    ins.registry.observe_response(
+        ResponseMeta {
+            id: RequestId(seq),
+            dataset_id: "netflix",
+            goal: "telemetry overhead request",
+            tenant: &ins.tenant,
+            priority: Priority::Normal,
+            served_from_cache: false,
+        },
+        &trace,
+    );
+    checksum
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let df = dataset();
+    let steps = chain();
+    let ins = Instruments::new();
+    assert_eq!(
+        run_chain(&df, &steps),
+        run_instrumented(&df, &steps, &ins, 0),
+        "instrumentation never changes the computed result"
+    );
+
+    c.bench_function("request_chain_bare", |b| {
+        b.iter(|| criterion::black_box(run_chain(&df, &steps)))
+    });
+    let mut seq = 0u64;
+    c.bench_function("request_chain_instrumented", |b| {
+        b.iter(|| {
+            seq += 1;
+            criterion::black_box(run_instrumented(&df, &steps, &ins, seq))
+        })
+    });
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+
+/// Median wall-clock microseconds of `runs` invocations of `f`.
+fn median_micros(runs: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measure both variants and write the machine-readable baseline.
+fn write_baseline() -> std::io::Result<()> {
+    let df = dataset();
+    let steps = chain();
+    let ins = Instruments::new();
+    let runs = 25;
+
+    // Prime both paths once (allocator warmup) before taking medians.
+    run_chain(&df, &steps);
+    run_instrumented(&df, &steps, &ins, 0);
+    let bare_micros = median_micros(runs, || run_chain(&df, &steps));
+    let mut seq = 0u64;
+    let instrumented_micros = median_micros(runs, || {
+        seq += 1;
+        run_instrumented(&df, &steps, &ins, seq)
+    });
+    let overhead_pct = (instrumented_micros - bare_micros) / bare_micros.max(1e-9) * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"tree_ops\": {TREE_OPS},\n  \"rows\": {ROWS},\n  \"bare_micros\": {bare_micros:.1},\n  \"instrumented_micros\": {instrumented_micros:.1},\n  \"overhead_pct\": {overhead_pct:.2},\n  \"target_overhead_pct\": 5.0\n}}\n",
+    );
+    let path = std::env::var("LINX_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json").to_string()
+    });
+    std::fs::write(&path, &json)?;
+    println!("wrote {path}:\n{json}");
+    if overhead_pct > 5.0 {
+        eprintln!("warning: telemetry overhead {overhead_pct:.2}% above the 5% target");
+    }
+    Ok(())
+}
+
+fn main() {
+    benches();
+    // Smoke mode (`cargo bench -- --test`, as CI runs it) skips the baseline pass.
+    if !std::env::args().any(|a| a == "--test") {
+        if let Err(e) = write_baseline() {
+            eprintln!("failed to write telemetry baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -11,7 +11,9 @@ use linx_benchgen::generate_benchmark;
 use linx_data::{generate, ScaleConfig};
 use linx_dataframe::csv::{read_csv, write_csv, CsvOptions};
 use linx_dataframe::DataFrame;
-use linx_engine::{BatchRequest, EngineConfig, JobError, PersistConfig, Router, RouterConfig};
+use linx_engine::{
+    BatchRequest, EngineConfig, JobError, PersistConfig, Router, RouterConfig, RouterStats,
+};
 use linx_explore::to_ipynb_string;
 use linx_ldx::parse_ldx;
 use linx_viz::{recommend_session, render_ascii, session_gallery};
@@ -597,6 +599,12 @@ pub struct ServeBatchArgs {
     pub cache_dir: Option<PathBuf>,
     /// Size cap for the persistent cache directory, in bytes.
     pub cache_disk_cap: Option<u64>,
+    /// Write a metrics snapshot here after the run (`.json` → JSON snapshot,
+    /// anything else → Prometheus text exposition).
+    pub metrics_out: Option<PathBuf>,
+    /// Record requests slower than this many milliseconds in the slow-request
+    /// log and print the stage breakdowns after the run.
+    pub slow_ms: Option<u64>,
 }
 
 impl ServeBatchArgs {
@@ -613,7 +621,9 @@ impl ServeBatchArgs {
       --shards <N>       Engine shards behind the router [default: 1]
       --tenant <NAME>    Tenant the batch is billed to [default: default]
       --cache-dir <PATH> Persistent cache directory (results survive the process)
-      --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]",
+      --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]
+      --metrics-out <PATH>  Write a metrics snapshot after the run (.json → JSON, else Prometheus text)
+      --slow-ms <N>      Log requests slower than N ms with per-stage breakdowns",
             true,
         )
     }
@@ -624,6 +634,7 @@ impl ServeBatchArgs {
         let (mut episodes, mut workers, mut cache_mem_cap, mut repeat) = (None, None, None, None);
         let (mut shards, mut tenant) = (None, None);
         let (mut cache_dir, mut cache_disk_cap) = (None, None);
+        let (mut metrics_out, mut slow_ms) = (None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -659,6 +670,8 @@ impl ServeBatchArgs {
                 "--cache-disk-cap" => {
                     set_once(&mut cache_disk_cap, cursor.parse_value(&flag)?, &flag)?
                 }
+                "--metrics-out" => set_once(&mut metrics_out, cursor.path_value(&flag)?, &flag)?,
+                "--slow-ms" => set_once(&mut slow_ms, cursor.parse_value(&flag)?, &flag)?,
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for serve-batch"))),
             }
@@ -680,6 +693,8 @@ impl ServeBatchArgs {
             tenant,
             cache_dir,
             cache_disk_cap,
+            metrics_out,
+            slow_ms,
         })
     }
 }
@@ -692,6 +707,7 @@ fn router_config(
     cache_mem_cap: Option<usize>,
     cache_dir: Option<&PathBuf>,
     cache_disk_cap: Option<u64>,
+    slow_ms: Option<u64>,
 ) -> RouterConfig {
     let mut engine = EngineConfig::default();
     if let Some(episodes) = episodes {
@@ -703,6 +719,7 @@ fn router_config(
     if let Some(mem_bytes) = cache_mem_cap {
         engine.cache_mem_bytes = mem_bytes;
     }
+    engine.slow_threshold_micros = slow_ms.map(|ms| ms.saturating_mul(1000));
     if let Some(dir) = cache_dir {
         let mut persist = PersistConfig::new(dir);
         if let Some(cap) = cache_disk_cap {
@@ -717,6 +734,42 @@ fn router_config(
     }
 }
 
+/// Write the router's metrics snapshot to `path` and return a one-line receipt.
+///
+/// A `.json` extension selects the JSON snapshot; everything else gets the
+/// Prometheus text exposition — the same bytes a `/metrics` route would serve.
+fn write_metrics(stats: &RouterStats, path: &PathBuf) -> Result<String, String> {
+    let json = path.extension().is_some_and(|ext| ext == "json");
+    let body = if json {
+        stats.render_json()
+    } else {
+        stats.render_metrics()
+    };
+    std::fs::write(path, &body)
+        .map_err(|e| format!("failed to write metrics {}: {e}", path.display()))?;
+    Ok(format!(
+        "wrote {} metrics ({} bytes) to {}\n",
+        if json { "JSON" } else { "Prometheus" },
+        body.len(),
+        path.display()
+    ))
+}
+
+/// Render the slow-request log collected during the run.
+fn slow_log_dump(router: &Router, slow_ms: u64) -> String {
+    let entries = router.slow_entries();
+    if entries.is_empty() {
+        return format!("-- slow requests (>= {slow_ms} ms): none --\n");
+    }
+    let mut out = format!("-- slow requests (>= {slow_ms} ms): {} --\n", entries.len());
+    for entry in &entries {
+        out.push_str("   ");
+        out.push_str(&entry.render());
+        out.push('\n');
+    }
+    out
+}
+
 /// Run `linx serve-batch`.
 pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
     let (dataset, name) = args.data.load()?;
@@ -727,6 +780,7 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
         args.cache_mem_cap,
         args.cache_dir.as_ref(),
         args.cache_disk_cap,
+        args.slow_ms,
     ));
     let tenant = args.tenant.clone().unwrap_or_else(|| "default".to_string());
 
@@ -792,7 +846,14 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
             ));
         }
     }
-    out.push_str(&format!("{}\n", router.stats().summary()));
+    let stats = router.stats();
+    out.push_str(&format!("{}\n", stats.summary()));
+    if let Some(slow_ms) = args.slow_ms {
+        out.push_str(&slow_log_dump(&router, slow_ms));
+    }
+    if let Some(path) = &args.metrics_out {
+        out.push_str(&write_metrics(&stats, path)?);
+    }
     router.shutdown();
     Ok(out)
 }
@@ -816,6 +877,12 @@ pub struct BenchEngineArgs {
     pub cache_dir: Option<PathBuf>,
     /// Size cap for the persistent cache directory, in bytes.
     pub cache_disk_cap: Option<u64>,
+    /// Write a metrics snapshot here after the run (`.json` → JSON snapshot,
+    /// anything else → Prometheus text exposition).
+    pub metrics_out: Option<PathBuf>,
+    /// Record requests slower than this many milliseconds in the slow-request
+    /// log and print the stage breakdowns after the run.
+    pub slow_ms: Option<u64>,
 }
 
 impl BenchEngineArgs {
@@ -829,7 +896,9 @@ impl BenchEngineArgs {
       --shards <N>       Engine shards behind the router [default: 1]
       --cache-mem-cap <BYTES>  In-memory cache budget in bytes (per shard) [default: 64 MiB]
       --cache-dir <PATH> Persistent cache directory (results survive the process)
-      --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]",
+      --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]
+      --metrics-out <PATH>  Write a metrics snapshot after the run (.json → JSON, else Prometheus text)
+      --slow-ms <N>      Log requests slower than N ms with per-stage breakdowns",
             true,
         )
     }
@@ -839,6 +908,7 @@ impl BenchEngineArgs {
         let (mut goals, mut episodes, mut workers, mut shards) = (None, None, None, None);
         let (mut cache_dir, mut cache_disk_cap) = (None, None);
         let mut cache_mem_cap = None;
+        let (mut metrics_out, mut slow_ms) = (None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -853,6 +923,8 @@ impl BenchEngineArgs {
                 "--cache-disk-cap" => {
                     set_once(&mut cache_disk_cap, cursor.parse_value(&flag)?, &flag)?
                 }
+                "--metrics-out" => set_once(&mut metrics_out, cursor.path_value(&flag)?, &flag)?,
+                "--slow-ms" => set_once(&mut slow_ms, cursor.parse_value(&flag)?, &flag)?,
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for bench-engine"))),
             }
@@ -866,6 +938,8 @@ impl BenchEngineArgs {
             cache_mem_cap,
             cache_dir,
             cache_disk_cap,
+            metrics_out,
+            slow_ms,
         })
     }
 }
@@ -913,6 +987,7 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
         args.cache_mem_cap,
         args.cache_dir.as_ref(),
         args.cache_disk_cap,
+        args.slow_ms,
     ));
     let cold = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals.clone()));
     let warm = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals));
@@ -940,6 +1015,12 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
         warm.responses.len(),
     ));
     out.push_str(&format!("  {}\n", stats.summary()));
+    if let Some(slow_ms) = args.slow_ms {
+        out.push_str(&slow_log_dump(&router, slow_ms));
+    }
+    if let Some(path) = &args.metrics_out {
+        out.push_str(&write_metrics(&stats, path)?);
+    }
     router.shutdown();
     Ok(out)
 }
@@ -1091,6 +1172,43 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.lines().count() > 100);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_batch_writes_metrics_and_slow_log() {
+        let prom_path = temp_path("metrics.prom");
+        let json_path = temp_path("metrics.json");
+        let mut args = ServeBatchArgs {
+            data: netflix_selection(250),
+            goals: vec!["Survey the duration of the titles".to_string()],
+            episodes: Some(40),
+            workers: Some(2),
+            cache_mem_cap: None,
+            repeat: 1,
+            shards: None,
+            tenant: None,
+            cache_dir: None,
+            cache_disk_cap: None,
+            metrics_out: Some(prom_path.clone()),
+            slow_ms: Some(0),
+        };
+        let out = serve_batch(&args).unwrap();
+        assert!(out.contains("slow requests (>= 0 ms)"));
+        assert!(out.contains("wrote Prometheus metrics"));
+        let text = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(text.contains("# TYPE linx_request_total_micros histogram"));
+        assert!(text.contains("linx_queue_wait_micros_bucket{band=\"normal\""));
+        std::fs::remove_file(&prom_path).ok();
+
+        args.metrics_out = Some(json_path.clone());
+        args.slow_ms = None;
+        let out = serve_batch(&args).unwrap();
+        assert!(out.contains("wrote JSON metrics"));
+        assert!(!out.contains("slow requests"));
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.contains("\"request_total\""));
+        std::fs::remove_file(&json_path).ok();
     }
 
     #[test]

@@ -331,6 +331,10 @@ mod tests {
             "4",
             "--tenant",
             "acme",
+            "--metrics-out",
+            "metrics.txt",
+            "--slow-ms",
+            "50",
         ])
         .unwrap();
         match cli.command {
@@ -341,6 +345,11 @@ mod tests {
                 assert_eq!(args.repeat, 2);
                 assert_eq!(args.shards, Some(4));
                 assert_eq!(args.tenant.as_deref(), Some("acme"));
+                assert_eq!(
+                    args.metrics_out.as_deref(),
+                    Some(std::path::Path::new("metrics.txt"))
+                );
+                assert_eq!(args.slow_ms, Some(50));
             }
             other => panic!("unexpected command: {other:?}"),
         }
@@ -355,12 +364,19 @@ mod tests {
             "netflix",
             "--shards",
             "2",
+            "--metrics-out",
+            "metrics.json",
         ])
         .unwrap();
         match cli.command {
             Command::BenchEngine(args) => {
                 assert_eq!(args.shards, Some(2));
                 assert_eq!(args.goals, 8);
+                assert_eq!(
+                    args.metrics_out.as_deref(),
+                    Some(std::path::Path::new("metrics.json"))
+                );
+                assert_eq!(args.slow_ms, None);
             }
             other => panic!("unexpected command: {other:?}"),
         }

@@ -4,8 +4,10 @@ use std::fmt;
 
 use linx_cdrl::CdrlConfig;
 use linx_explore::{Narrative, Notebook};
+use linx_metrics::Clock;
 
 use crate::quota::{TenantId, TenantQuota};
+use crate::telemetry::TraceHandle;
 
 /// Identifies one submitted request within an engine instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -75,6 +77,12 @@ pub struct ExploreRequest {
     /// The tenant this request is billed to: admission control
     /// ([`crate::QuotaTable`]) and weighted-fair scheduling key off it.
     pub tenant: TenantId,
+    /// Per-request stage trace. Defaults to disabled; the engine activates it on
+    /// submission (and [`crate::Router::submit`] activates it earlier so the
+    /// routing stage is captured too). Attach a pre-activated handle with
+    /// [`ExploreRequest::with_trace`] to observe the breakdown from the caller's
+    /// side.
+    pub trace: TraceHandle,
 }
 
 impl ExploreRequest {
@@ -86,6 +94,7 @@ impl ExploreRequest {
             priority: Priority::Normal,
             budget: Budget::default(),
             tenant: TenantId::default(),
+            trace: TraceHandle::default(),
         }
     }
 
@@ -104,6 +113,14 @@ impl ExploreRequest {
     /// Set the tenant.
     pub fn with_tenant(mut self, tenant: impl Into<TenantId>) -> Self {
         self.tenant = tenant.into();
+        self
+    }
+
+    /// Attach a stage-trace handle. The handle can be cloned before attaching;
+    /// after the response arrives, [`TraceHandle::snapshot`] on the caller's clone
+    /// yields the per-stage breakdown.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -224,6 +241,14 @@ pub struct EngineConfig {
     /// restarts. Under a [`crate::Router`] the tier is opened once and shared by
     /// every shard. Defaults to `None` (memory-only, the prior behavior).
     pub persist: Option<crate::persist::PersistConfig>,
+    /// The clock every timing measurement in this engine reads. Defaults to the
+    /// real monotonic clock; tests substitute [`Clock::manual`] to make latency
+    /// histograms and stage traces deterministic.
+    pub clock: Clock,
+    /// Requests whose end-to-end latency meets or exceeds this many microseconds
+    /// are recorded in the slow-request ring log with their full stage breakdown
+    /// (`--slow-ms` on the CLI). `None` disables the slow log.
+    pub slow_threshold_micros: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -240,6 +265,8 @@ impl Default for EngineConfig {
             sample_rows: 200,
             default_quota: TenantQuota::default(),
             persist: None,
+            clock: Clock::real(),
+            slow_threshold_micros: None,
         }
     }
 }

@@ -12,6 +12,7 @@ use linx_explore::OpMemoStats;
 use crate::api::{Budget, ExploreRequest, ExploreResponse, JobError, Priority};
 use crate::engine::Engine;
 use crate::quota::TenantId;
+use crate::telemetry::TraceHandle;
 
 /// A batch of goals to explore against one dataset.
 #[derive(Debug, Clone)]
@@ -108,6 +109,7 @@ pub fn run_batch(engine: &Engine, dataset: &DataFrame, batch: BatchRequest) -> B
                     priority: batch.priority,
                     budget: batch.budget,
                     tenant: batch.tenant.clone(),
+                    trace: TraceHandle::default(),
                 },
             )
         })

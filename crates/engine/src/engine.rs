@@ -4,7 +4,6 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
 
 use linx_cdrl::CdrlConfig;
 use linx_dataframe::{DataFrame, StatsCache, StatsTier};
@@ -16,6 +15,7 @@ use crate::pipeline::{run_exploration, DatasetContext};
 use crate::pool::WorkerPool;
 use crate::quota::QuotaTable;
 use crate::stats::EngineStats;
+use crate::telemetry::{MetricsRegistry, ResponseMeta, SlowEntry, Stage, TelemetrySnapshot};
 
 /// A handle on one submitted request; resolves to the response.
 pub struct JobHandle {
@@ -94,6 +94,10 @@ pub struct Engine {
     /// panic into a `JobError::Panicked` response, so the pool's unwind backstop (and
     /// therefore `PoolStats::panicked`) never sees it.
     job_panics: Arc<AtomicU64>,
+    /// Engine-owned latency histograms (cache lookup, end-to-end total) and the
+    /// slow-request ring log. Component-owned instruments live with the pool,
+    /// quota table, and disk tier; [`Engine::telemetry`] assembles all of them.
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// A coalesced submission waiting on an identical in-flight request.
@@ -101,7 +105,8 @@ struct Waiter {
     id: RequestId,
     dataset_id: String,
     goal: String,
-    started: Instant,
+    /// Submission time in clock microseconds.
+    started: u64,
     tx: mpsc::Sender<ExploreResponse>,
 }
 
@@ -110,7 +115,10 @@ impl Engine {
     /// engine gets its own quota table seeded from `config.default_quota`, and — if
     /// `config.persist` is set — its own disk tier over the configured directory.
     pub fn new(config: EngineConfig) -> Self {
-        let quota = Arc::new(QuotaTable::new(config.default_quota));
+        let quota = Arc::new(QuotaTable::with_clock(
+            config.default_quota,
+            config.clock.clone(),
+        ));
         Engine::with_quota(config, quota)
     }
 
@@ -127,7 +135,7 @@ impl Engine {
     /// and must never keep the service from starting.
     pub(crate) fn open_tier(config: &EngineConfig) -> Option<Arc<DiskTier>> {
         let persist = config.persist.as_ref()?;
-        match DiskTier::open(persist) {
+        match DiskTier::open_with_clock(persist, config.clock.clone()) {
             Ok(tier) => Some(tier),
             Err(e) => {
                 eprintln!(
@@ -148,7 +156,11 @@ impl Engine {
         quota: Arc<QuotaTable>,
         disk: Option<Arc<DiskTier>>,
     ) -> Self {
-        let pool = WorkerPool::new(config.workers);
+        let pool = WorkerPool::with_clock(config.workers, config.clock.clone());
+        let metrics = Arc::new(MetricsRegistry::new(
+            config.clock.clone(),
+            config.slow_threshold_micros,
+        ));
         // One byte budget per engine, split evenly between the two caches it owns —
         // so `cache_mem_bytes` bounds what the engine actually holds resident, no
         // matter how many datasets pass through.
@@ -178,6 +190,7 @@ impl Engine {
             coalesced: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             job_panics: Arc::new(AtomicU64::new(0)),
+            metrics,
         }
     }
 
@@ -214,7 +227,11 @@ impl Engine {
     /// Cache hits resolve immediately on the calling thread; misses are queued on the
     /// worker pool at the request's priority.
     pub fn submit(&self, ctx: &DatasetContext, request: ExploreRequest) -> JobHandle {
-        let started = Instant::now();
+        let clock = self.config.clock.clone();
+        let started = clock.now_micros();
+        // Activate the request's trace (a no-op clone when the router already
+        // did); every stage below accumulates into it.
+        let trace = request.trace.ensure(&clock);
         let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.submitted.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
@@ -228,14 +245,30 @@ impl Engine {
         };
         let fp = request_fingerprint(ctx.dataset_fp, &request.goal, &cdrl, episodes, sample_rows);
 
-        if let Some(result) = self.cache.get(&fp.0) {
+        let lookup_start = clock.now_micros();
+        let cached = self.cache.get(&fp.0);
+        let lookup_micros = clock.now_micros().saturating_sub(lookup_start);
+        self.metrics.record_cache_lookup(lookup_micros);
+        trace.add(Stage::CacheLookup, lookup_micros);
+        if let Some(result) = cached {
+            let total = self.metrics.observe_response(
+                ResponseMeta {
+                    id,
+                    dataset_id: &request.dataset_id,
+                    goal: &request.goal,
+                    tenant: &request.tenant,
+                    priority: request.priority,
+                    served_from_cache: true,
+                },
+                &trace,
+            );
             let _ = tx.send(ExploreResponse {
                 id,
                 dataset_id: request.dataset_id,
                 goal: request.goal,
                 outcome: Ok(result),
                 served_from_cache: true,
-                total_micros: started.elapsed().as_micros() as u64,
+                total_micros: total,
             });
             return handle;
         }
@@ -269,16 +302,21 @@ impl Engine {
         // if the pool drops it un-run at shutdown, so a quota table shared across
         // shards cannot leak a tenant's budget.
         let tenant = request.tenant.clone();
-        let mut admission = match self.quota.admit_guarded(&tenant) {
+        let admit_start = clock.now_micros();
+        let admitted = self.quota.admit_guarded(&tenant);
+        trace.add(Stage::Admit, clock.now_micros().saturating_sub(admit_start));
+        let mut admission = match admitted {
             Ok(guard) => guard,
             Err(_) => {
+                let total = clock.now_micros().saturating_sub(started);
+                self.metrics.record_total(total);
                 let _ = tx.send(ExploreResponse {
                     id,
                     dataset_id: request.dataset_id,
                     goal: request.goal,
                     outcome: Err(JobError::QuotaExceeded(tenant)),
                     served_from_cache: false,
-                    total_micros: started.elapsed().as_micros() as u64,
+                    total_micros: total,
                 });
                 return handle;
             }
@@ -317,8 +355,16 @@ impl Engine {
         };
         let in_flight = Arc::clone(&self.in_flight);
         let job_panics = Arc::clone(&self.job_panics);
+        let metrics = Arc::clone(&self.metrics);
+        let job_clock = clock.clone();
+        let job_trace = trace.clone();
+        let enqueued = clock.now_micros();
         let weight = admission.quota.weight.max(1);
         let submitted = self.pool.submit_tagged(priority, tenant, weight, move || {
+            let trace = job_trace;
+            let clock = job_clock;
+            let run_start = clock.now_micros();
+            trace.add(Stage::QueueWait, run_start.saturating_sub(enqueued));
             admission.start();
             // First line of defense: capture the panic *message* here so the response
             // can carry it; the pool's own catch_unwind is the backstop.
@@ -334,18 +380,30 @@ impl Engine {
                 job_panics.fetch_add(1, Ordering::Relaxed);
                 JobError::Panicked(msg)
             });
+            trace.add(Stage::Execute, clock.now_micros().saturating_sub(run_start));
             if let Ok(result) = &outcome {
+                // Write-through of the computed result; on a tiered cache this is
+                // where the request itself pays disk I/O (loads count under
+                // cache-lookup; the tier's own histograms split reads from writes).
+                let insert_start = clock.now_micros();
                 cache.insert(fp.0, result.clone());
+                trace.add(
+                    Stage::DiskIo,
+                    clock.now_micros().saturating_sub(insert_start),
+                );
             }
             admission.finish();
             // Release the coalescing slot *before* responding, then serve every
             // attached waiter a clone of the outcome.
+            let respond_start = clock.now_micros();
             let waiters = in_flight
                 .lock()
                 .expect("in-flight lock")
                 .remove(&fp.0)
                 .unwrap_or_default();
             for waiter in waiters {
+                let waiter_total = clock.now_micros().saturating_sub(waiter.started);
+                metrics.record_total(waiter_total);
                 let _ = waiter.tx.send(ExploreResponse {
                     id: waiter.id,
                     dataset_id: waiter.dataset_id,
@@ -354,16 +412,31 @@ impl Engine {
                     // A deduplicated *result* counts as served-without-training; a
                     // deduplicated *failure* is not a hit of anything.
                     served_from_cache: outcome.is_ok(),
-                    total_micros: waiter.started.elapsed().as_micros() as u64,
+                    total_micros: waiter_total,
                 });
             }
+            trace.add(
+                Stage::Respond,
+                clock.now_micros().saturating_sub(respond_start),
+            );
+            let total = metrics.observe_response(
+                ResponseMeta {
+                    id,
+                    dataset_id: &request.dataset_id,
+                    goal: &request.goal,
+                    tenant: &request.tenant,
+                    priority: request.priority,
+                    served_from_cache: false,
+                },
+                &trace,
+            );
             let _ = tx.send(ExploreResponse {
                 id,
                 dataset_id: request.dataset_id,
                 goal: request.goal,
                 outcome,
                 served_from_cache: false,
-                total_micros: started.elapsed().as_micros() as u64,
+                total_micros: total,
             });
         });
         if submitted.is_err() {
@@ -408,6 +481,37 @@ impl Engine {
             pool,
             quota: self.quota.stats(),
         }
+    }
+
+    /// The engine-owned metrics registry (cache-lookup and end-to-end latency
+    /// histograms plus the slow-request log).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Every latency distribution this engine can see, assembled from the
+    /// component-owned instruments. The `route` histogram is empty here — only
+    /// a [`crate::Router`] measures placement.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            route: Default::default(),
+            admit: self.quota.admit_latency(),
+            cache_lookup: self.metrics.cache_lookup(),
+            queue_wait: self.pool.queue_wait_latency(),
+            execute: self.pool.execute_latency(),
+            disk: self
+                .cache
+                .disk()
+                .map(|tier| tier.latency())
+                .unwrap_or_default(),
+            total: self.metrics.request_total(),
+        }
+    }
+
+    /// The slow-request log, oldest first (empty unless
+    /// [`EngineConfig::slow_threshold_micros`] is set).
+    pub fn slow_entries(&self) -> Vec<SlowEntry> {
+        self.metrics.slow_entries()
     }
 
     /// Graceful shutdown: queued jobs drain, workers join.

@@ -22,7 +22,10 @@
 //! * [`batch`] — a front-end that accepts many goals against one dataset and shares
 //!   the derivation inputs and materialized views across them; and
 //! * [`router`] — a [`Router`] owning N engine shards with consistent-hash dataset
-//!   placement, one shared quota table, and (when configured) one shared disk tier.
+//!   placement, one shared quota table, and (when configured) one shared disk tier;
+//! * [`telemetry`] — per-request stage tracing ([`TraceHandle`]), latency
+//!   histograms for every lifecycle stage, a ring-buffer slow-request log, and
+//!   Prometheus-text / JSON exposition via [`RouterStats::render_metrics`].
 //!
 //! Two invariants the layers lean on:
 //!
@@ -50,6 +53,7 @@ pub mod pool;
 pub mod quota;
 pub mod router;
 pub mod stats;
+pub mod telemetry;
 
 pub use api::{
     Budget, EngineConfig, ExploreRequest, ExploreResponse, ExploreResult, JobError, Priority,
@@ -62,6 +66,12 @@ pub use fingerprint::{request_fingerprint, Fingerprint};
 pub use persist::{DiskTier, PersistConfig, TierStats, TieredCache};
 pub use pipeline::DatasetContext;
 pub use pool::{PoolStats, WorkerPool};
-pub use quota::{AdmissionGuard, QuotaExceeded, QuotaStats, QuotaTable, TenantId, TenantQuota};
+pub use quota::{
+    AdmissionGuard, QuotaExceeded, QuotaStats, QuotaTable, TenantId, TenantQuota, ThrottleReason,
+};
 pub use router::{RoutedContext, Router, RouterConfig, RouterStats, RoutingTable, ShardStats};
 pub use stats::EngineStats;
+pub use telemetry::{
+    MetricsRegistry, RequestTrace, ResponseMeta, SlowEntry, Stage, TelemetrySnapshot, TierLatency,
+    TraceHandle, BANDS, SLOW_LOG_CAPACITY, STAGE_COUNT,
+};

@@ -67,8 +67,11 @@ use linx_dataframe::{ColumnSummary, StatKey, StatKind, StatValue, StatsTier, Val
 use linx_explore::notebook::NotebookCell;
 use linx_explore::{Narrative, Notebook, QueryOp};
 
+use linx_metrics::{Clock, LatencyHistogram};
+
 use crate::api::ExploreResult;
 use crate::cache::{CacheStats, ShardedLru};
+use crate::telemetry::TierLatency;
 
 /// Magic bytes opening every persisted entry.
 const MAGIC: [u8; 4] = *b"LNXP";
@@ -583,6 +586,10 @@ pub struct DiskTier {
     evictions: AtomicU64,
     /// Serializes eviction scans (stores themselves stay lock-free).
     evict_lock: Mutex<()>,
+    clock: Clock,
+    read_micros: LatencyHistogram,
+    write_micros: LatencyHistogram,
+    evict_micros: LatencyHistogram,
 }
 
 impl DiskTier {
@@ -590,6 +597,12 @@ impl DiskTier {
     /// temp files left by crashed writers are swept here (they are invisible to
     /// eviction, so nothing else would ever reclaim them).
     pub fn open(config: &PersistConfig) -> io::Result<Arc<DiskTier>> {
+        DiskTier::open_with_clock(config, Clock::real())
+    }
+
+    /// [`DiskTier::open`] with an explicit clock for the read/write/evict latency
+    /// histograms. Tests pass a manual clock; `open` uses the real one.
+    pub fn open_with_clock(config: &PersistConfig, clock: Clock) -> io::Result<Arc<DiskTier>> {
         std::fs::create_dir_all(&config.dir)?;
         let mut bytes = 0u64;
         let mut entries = 0u64;
@@ -631,6 +644,10 @@ impl DiskTier {
             stores: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             evict_lock: Mutex::new(()),
+            clock,
+            read_micros: LatencyHistogram::new(),
+            write_micros: LatencyHistogram::new(),
+            evict_micros: LatencyHistogram::new(),
         }))
     }
 
@@ -646,6 +663,18 @@ impl DiskTier {
     /// Load and decode one entry. Missing file → miss; present-but-undecodable file
     /// → the file is deleted and the lookup is a miss (with `load_errors` bumped).
     fn load_entry<T>(
+        &self,
+        name: &str,
+        decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
+    ) -> Option<T> {
+        let start = self.clock.now_micros();
+        let out = self.load_entry_inner(name, decode);
+        self.read_micros
+            .record(self.clock.now_micros().saturating_sub(start));
+        out
+    }
+
+    fn load_entry_inner<T>(
         &self,
         name: &str,
         decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
@@ -693,6 +722,19 @@ impl DiskTier {
     /// Write one encoded entry atomically (temp file + rename), then enforce the
     /// size cap. Any I/O failure drops the write silently: the tier is a cache.
     fn store_entry(&self, name: &str, encoded: &[u8]) {
+        let start = self.clock.now_micros();
+        let over_cap = self.store_entry_inner(name, encoded);
+        // Eviction is timed separately (`linx_disk_evict_micros`): it is a
+        // directory-wide scan whose cost says nothing about a single write.
+        self.write_micros
+            .record(self.clock.now_micros().saturating_sub(start));
+        if over_cap {
+            self.evict();
+        }
+    }
+
+    /// The write itself; returns whether the directory exceeded the size cap.
+    fn store_entry_inner(&self, name: &str, encoded: &[u8]) -> bool {
         // Process-global counter: two DiskTier instances over one directory (two
         // engines configured independently rather than through a Router) must not
         // collide on temp names, or concurrent stores truncate each other mid-write.
@@ -704,7 +746,7 @@ impl DiskTier {
         ));
         if std::fs::write(&tmp, encoded).is_err() {
             let _ = std::fs::remove_file(&tmp);
-            return;
+            return false;
         }
         let path = self.entry_path(name);
         // An overwrite replaces the previous file's bytes rather than adding an
@@ -713,7 +755,7 @@ impl DiskTier {
         let replaced = std::fs::metadata(&path).map(|m| m.len()).ok();
         if std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
-            return;
+            return false;
         }
         self.stores.fetch_add(1, Ordering::Relaxed);
         if replaced.is_none() {
@@ -721,9 +763,7 @@ impl DiskTier {
         }
         let delta = (encoded.len() as u64).saturating_sub(replaced.unwrap_or(0));
         let total = self.bytes.fetch_add(delta, Ordering::Relaxed) + delta;
-        if total > self.max_bytes {
-            self.evict();
-        }
+        total > self.max_bytes
     }
 
     /// Delete oldest-mtime entries until the directory is back under the low-water
@@ -732,6 +772,13 @@ impl DiskTier {
     /// approximate byte/entry counters with reality (they drift when several
     /// processes share the directory).
     fn evict(&self) {
+        let start = self.clock.now_micros();
+        self.evict_inner();
+        self.evict_micros
+            .record(self.clock.now_micros().saturating_sub(start));
+    }
+
+    fn evict_inner(&self) {
         let Ok(_guard) = self.evict_lock.lock() else {
             return;
         };
@@ -775,6 +822,16 @@ impl DiskTier {
     /// Persist one exploration result under its request fingerprint.
     pub fn store_result(&self, fp: u64, result: &ExploreResult) {
         self.store_entry(&format!("res-{fp:016x}"), &encode_result(result));
+    }
+
+    /// Snapshot of the read/write/evict latency distributions (entry loads,
+    /// atomic entry writes, and size-cap eviction scans, in microseconds).
+    pub fn latency(&self) -> TierLatency {
+        TierLatency {
+            read: self.read_micros.snapshot(),
+            write: self.write_micros.snapshot(),
+            evict: self.evict_micros.snapshot(),
+        }
     }
 
     /// Effectiveness counters.

@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use linx_metrics::{Clock, Gauge, HistogramSnapshot, LatencyHistogram};
+
 use crate::api::Priority;
 use crate::quota::TenantId;
 
@@ -26,11 +28,18 @@ pub struct PoolClosed;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued closure stamped with its enqueue time, so the dequeuing worker can
+/// record how long it waited for a slot.
+struct QueuedJob {
+    job: Job,
+    enqueued_micros: u64,
+}
+
 /// One tenant's FIFO lane within a priority band, plus its deficit-round-robin
 /// accounting: `credit` worker slots remain in the tenant's current turn, and a
 /// fresh turn grants `weight` slots.
 struct TenantLane {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     credit: u32,
     weight: u32,
 }
@@ -48,7 +57,7 @@ struct Band {
 }
 
 impl Band {
-    fn push(&mut self, tenant: TenantId, weight: u32, job: Job) {
+    fn push(&mut self, tenant: TenantId, weight: u32, job: QueuedJob) {
         if !self.lanes.contains_key(&tenant) {
             self.rotation.push_back(tenant.clone());
             self.lanes.insert(
@@ -65,7 +74,7 @@ impl Band {
         lane.jobs.push_back(job);
     }
 
-    fn pop(&mut self) -> Option<Job> {
+    fn pop(&mut self) -> Option<QueuedJob> {
         loop {
             let front = self.rotation.front()?.clone();
             let lane = self
@@ -108,6 +117,9 @@ struct FairQueue {
     /// Index 0 = High, 1 = Normal, 2 = Low (scan order).
     bands: [Band; 3],
     len: usize,
+    /// Jobs queued per band right now (same index order as `bands`), maintained
+    /// on push/pop/clear so queue-depth gauges cost no band traversal.
+    band_len: [usize; 3],
 }
 
 fn band_index(priority: Priority) -> usize {
@@ -119,16 +131,21 @@ fn band_index(priority: Priority) -> usize {
 }
 
 impl FairQueue {
-    fn push(&mut self, priority: Priority, tenant: TenantId, weight: u32, job: Job) {
-        self.bands[band_index(priority)].push(tenant, weight, job);
+    fn push(&mut self, priority: Priority, tenant: TenantId, weight: u32, job: QueuedJob) {
+        let band = band_index(priority);
+        self.bands[band].push(tenant, weight, job);
+        self.band_len[band] += 1;
         self.len += 1;
     }
 
-    fn pop(&mut self) -> Option<Job> {
-        for band in self.bands.iter_mut() {
+    /// Pop the next job in (priority, tenant-fair) order, returning it together
+    /// with the band index it came from so the worker can label its timings.
+    fn pop(&mut self) -> Option<(QueuedJob, usize)> {
+        for (i, band) in self.bands.iter_mut().enumerate() {
             if let Some(job) = band.pop() {
+                self.band_len[i] -= 1;
                 self.len -= 1;
-                return Some(job);
+                return Some((job, i));
             }
         }
         None
@@ -138,6 +155,7 @@ impl FairQueue {
         for band in self.bands.iter_mut() {
             *band = Band::default();
         }
+        self.band_len = [0; 3];
         self.len = 0;
     }
 
@@ -156,6 +174,13 @@ struct PoolShared {
     work_available: Condvar,
     completed: AtomicU64,
     panicked: AtomicU64,
+    clock: Clock,
+    /// Jobs executing right now, per priority band (0 = High, 1 = Normal, 2 = Low).
+    in_flight: [Gauge; 3],
+    /// Enqueue-to-dequeue wait per priority band.
+    queue_wait: [LatencyHistogram; 3],
+    /// Closure execution time per priority band.
+    execute: [LatencyHistogram; 3],
 }
 
 /// Point-in-time pool counters.
@@ -169,6 +194,11 @@ pub struct PoolStats {
     pub queued: u64,
     /// Worker threads.
     pub workers: u64,
+    /// Jobs waiting in the queue right now, per priority band
+    /// (index 0 = High, 1 = Normal, 2 = Low — [`crate::telemetry::BANDS`] order).
+    pub queued_now: [u64; 3],
+    /// Jobs executing right now, per priority band (same index order).
+    pub in_flight_now: [u64; 3],
 }
 
 /// A fixed-size pool of worker threads draining a tenant-fair priority queue.
@@ -178,8 +208,15 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn a pool with `workers` threads (at least one).
+    /// Spawn a pool with `workers` threads (at least one), timing against the
+    /// real clock.
     pub fn new(workers: usize) -> Self {
+        WorkerPool::with_clock(workers, Clock::real())
+    }
+
+    /// Spawn a pool whose queue-wait and execution histograms read `clock`.
+    /// Tests pass a manual clock to make the timings deterministic.
+    pub fn with_clock(workers: usize, clock: Clock) -> Self {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(QueueState {
                 queue: FairQueue::default(),
@@ -188,6 +225,10 @@ impl WorkerPool {
             work_available: Condvar::new(),
             completed: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            clock,
+            in_flight: std::array::from_fn(|_| Gauge::new()),
+            queue_wait: std::array::from_fn(|_| LatencyHistogram::new()),
+            execute: std::array::from_fn(|_| LatencyHistogram::new()),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -220,12 +261,18 @@ impl WorkerPool {
         weight: u32,
         job: impl FnOnce() + Send + 'static,
     ) -> Result<(), PoolClosed> {
+        // Stamp the enqueue time before taking the lock so lock contention on a
+        // busy pool counts as queue wait, not as unmeasured time.
+        let queued = QueuedJob {
+            job: Box::new(job),
+            enqueued_micros: self.shared.clock.now_micros(),
+        };
         {
             let mut state = self.shared.state.lock().expect("pool lock");
             if state.shutting_down {
                 return Err(PoolClosed);
             }
-            state.queue.push(priority, tenant, weight, Box::new(job));
+            state.queue.push(priority, tenant, weight, queued);
         }
         self.shared.work_available.notify_one();
         Ok(())
@@ -244,12 +291,33 @@ impl WorkerPool {
 
     /// Counters snapshot.
     pub fn stats(&self) -> PoolStats {
+        let (queued, queued_now) = {
+            let state = self.shared.state.lock().expect("pool lock");
+            (
+                state.queue.len as u64,
+                state.queue.band_len.map(|n| n as u64),
+            )
+        };
         PoolStats {
             completed: self.shared.completed.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
-            queued: self.shared.state.lock().expect("pool lock").queue.len as u64,
+            queued,
             workers: self.workers.len() as u64,
+            queued_now,
+            in_flight_now: std::array::from_fn(|i| self.shared.in_flight[i].get()),
         }
+    }
+
+    /// Snapshot of the enqueue-to-dequeue wait distribution per priority band
+    /// (index 0 = High, 1 = Normal, 2 = Low).
+    pub fn queue_wait_latency(&self) -> [HistogramSnapshot; 3] {
+        std::array::from_fn(|i| self.shared.queue_wait[i].snapshot())
+    }
+
+    /// Snapshot of the job execution-time distribution per priority band
+    /// (index 0 = High, 1 = Normal, 2 = Low).
+    pub fn execute_latency(&self) -> [HistogramSnapshot; 3] {
+        std::array::from_fn(|i| self.shared.execute[i].snapshot())
     }
 
     /// Stop accepting jobs, let queued jobs drain, and join every worker.
@@ -296,7 +364,7 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &PoolShared) {
     loop {
-        let job = {
+        let (queued, band) = {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
                 if let Some(next) = state.queue.pop() {
@@ -311,13 +379,18 @@ fn worker_loop(shared: &PoolShared) {
                     .expect("pool condvar wait");
             }
         };
+        let run_start = shared.clock.now_micros();
+        shared.queue_wait[band].record(run_start.saturating_sub(queued.enqueued_micros));
+        shared.in_flight[band].inc();
         // Panic isolation: a panicking job is recorded and the worker keeps serving.
         // (The closure owns its captures, so no shared state outlives the unwind in a
         // partially-updated form; job authors communicate results via channels, whose
         // disconnect the receiver observes.)
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        if catch_unwind(AssertUnwindSafe(queued.job)).is_err() {
             shared.panicked.fetch_add(1, Ordering::Relaxed);
         }
+        shared.in_flight[band].dec();
+        shared.execute[band].record(shared.clock.now_micros().saturating_sub(run_start));
         shared.completed.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -459,6 +532,62 @@ mod tests {
         }
         let stats = pool.stats();
         assert_eq!(stats.panicked, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn band_gauges_track_current_queue_depth_and_in_flight() {
+        let pool = WorkerPool::new(1);
+        let open = gate(&pool); // the gate job is High priority and now executing
+        let stats = pool.stats();
+        assert_eq!(stats.in_flight_now, [1, 0, 0]);
+        assert_eq!(stats.queued_now, [0, 0, 0]);
+
+        let (tx, rx) = mpsc::channel();
+        for (priority, n) in [
+            (Priority::High, 1),
+            (Priority::Normal, 2),
+            (Priority::Low, 3),
+        ] {
+            for _ in 0..n {
+                let tx = tx.clone();
+                pool.submit(priority, move || tx.send(()).unwrap()).unwrap();
+            }
+        }
+        assert_eq!(pool.stats().queued_now, [1, 2, 3]);
+        assert_eq!(pool.stats().queued, 6);
+
+        open.send(()).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().count(), 6);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn band_latency_histograms_record_per_band() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for (priority, band) in [
+            (Priority::High, 0),
+            (Priority::Normal, 1),
+            (Priority::Low, 2),
+        ] {
+            let tx = tx.clone();
+            pool.submit(priority, move || tx.send(band).unwrap())
+                .unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 3);
+        while pool.stats().completed < 3 {
+            std::thread::yield_now();
+        }
+        let waits = pool.queue_wait_latency();
+        let execs = pool.execute_latency();
+        for band in 0..3 {
+            assert_eq!(waits[band].count, 1, "one queue wait in band {band}");
+            assert_eq!(execs[band].count, 1, "one execution in band {band}");
+        }
+        assert_eq!(pool.stats().in_flight_now, [0, 0, 0]);
         pool.shutdown();
     }
 

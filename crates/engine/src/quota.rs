@@ -20,6 +20,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use linx_metrics::{Clock, HistogramSnapshot, LatencyHistogram};
+
 /// Identifies the principal a request is billed to.
 ///
 /// Cheap to clone (the name is behind an `Arc`); compared, hashed, and displayed by
@@ -108,6 +110,33 @@ impl TenantQuota {
     }
 }
 
+/// Which budget a refused request tripped. Exposed per-reason in the metrics
+/// (`linx_quota_throttled_total{reason=...}`) so operators can tell queue
+/// shallowness from concurrency exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThrottleReason {
+    /// The tenant's `max_queued` budget was full.
+    QueueCap,
+    /// The tenant's `max_in_flight` budget (queued + running) was full.
+    InFlightCap,
+}
+
+impl ThrottleReason {
+    /// The metric-label form of the reason.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ThrottleReason::QueueCap => "queue_cap",
+            ThrottleReason::InFlightCap => "in_flight_cap",
+        }
+    }
+}
+
+impl fmt::Display for ThrottleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Why a request was refused admission.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuotaExceeded {
@@ -117,6 +146,8 @@ pub struct QuotaExceeded {
     pub queued: usize,
     /// The tenant's requests executing at refusal time.
     pub running: usize,
+    /// Which budget the request tripped.
+    pub reason: ThrottleReason,
 }
 
 impl fmt::Display for QuotaExceeded {
@@ -152,6 +183,10 @@ pub struct QuotaStats {
     pub running: u64,
     /// Tenants with at least one admitted request or an explicit quota override.
     pub tenants: u64,
+    /// Refusals that tripped a tenant's `max_queued` budget.
+    pub throttled_queue: u64,
+    /// Refusals that tripped a tenant's `max_in_flight` budget.
+    pub throttled_in_flight: u64,
 }
 
 /// Tracks per-tenant in-flight/queued budgets and admits or refuses requests.
@@ -180,6 +215,10 @@ pub struct QuotaTable {
     tenants: Mutex<HashMap<TenantId, TenantState>>,
     admitted: AtomicU64,
     throttled: AtomicU64,
+    throttled_queue: AtomicU64,
+    throttled_in_flight: AtomicU64,
+    clock: Clock,
+    admit_micros: LatencyHistogram,
 }
 
 impl Default for QuotaTable {
@@ -191,11 +230,21 @@ impl Default for QuotaTable {
 impl QuotaTable {
     /// A table applying `default_quota` to every tenant without an explicit override.
     pub fn new(default_quota: TenantQuota) -> Self {
+        QuotaTable::with_clock(default_quota, Clock::real())
+    }
+
+    /// A table whose admission-latency histogram reads `clock`. Tests pass a
+    /// manual clock; [`QuotaTable::new`] uses the real one.
+    pub fn with_clock(default_quota: TenantQuota, clock: Clock) -> Self {
         QuotaTable {
             default_quota,
             tenants: Mutex::new(HashMap::new()),
             admitted: AtomicU64::new(0),
             throttled: AtomicU64::new(0),
+            throttled_queue: AtomicU64::new(0),
+            throttled_in_flight: AtomicU64::new(0),
+            clock,
+            admit_micros: LatencyHistogram::new(),
         }
     }
 
@@ -231,25 +280,41 @@ impl QuotaTable {
     /// admission must eventually be balanced by [`QuotaTable::finish`] (or
     /// [`QuotaTable::cancel`] if it never ran).
     pub fn try_admit(&self, tenant: &TenantId) -> Result<TenantQuota, QuotaExceeded> {
+        let admit_start = self.clock.now_micros();
         let mut tenants = self.tenants.lock().expect("quota lock");
         let state = tenants.entry(tenant.clone()).or_default();
         let quota = state.quota.unwrap_or(self.default_quota);
         if state.queued >= quota.max_queued || state.queued + state.running >= quota.max_in_flight {
+            let reason = if state.queued >= quota.max_queued {
+                ThrottleReason::QueueCap
+            } else {
+                ThrottleReason::InFlightCap
+            };
             let refusal = QuotaExceeded {
                 tenant: tenant.clone(),
                 queued: state.queued,
                 running: state.running,
+                reason,
             };
             // Don't let the entry `or_default` may have just created outlive the
             // refusal: a client cycling tenant names must not grow the table.
             Self::gc_entry(&mut tenants, tenant);
             drop(tenants);
             self.throttled.fetch_add(1, Ordering::Relaxed);
+            match reason {
+                ThrottleReason::QueueCap => &self.throttled_queue,
+                ThrottleReason::InFlightCap => &self.throttled_in_flight,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            self.admit_micros
+                .record(self.clock.now_micros().saturating_sub(admit_start));
             return Err(refusal);
         }
         state.queued += 1;
         drop(tenants);
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.admit_micros
+            .record(self.clock.now_micros().saturating_sub(admit_start));
         Ok(quota)
     }
 
@@ -336,7 +401,15 @@ impl QuotaTable {
             queued,
             running,
             tenants: tenants.len() as u64,
+            throttled_queue: self.throttled_queue.load(Ordering::Relaxed),
+            throttled_in_flight: self.throttled_in_flight.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the admission-decision latency distribution (time spent inside
+    /// [`QuotaTable::try_admit`], both admissions and refusals).
+    pub fn admit_latency(&self) -> HistogramSnapshot {
+        self.admit_micros.snapshot()
     }
 }
 
@@ -536,6 +609,39 @@ mod tests {
         assert_eq!(table.gc(), 0, "cancel collects its own entry");
         assert_eq!(table.stats().tenants, 1, "only the pinned override remains");
         assert_eq!(table.quota_of(&pinned).max_in_flight, 2);
+    }
+
+    #[test]
+    fn refusals_carry_the_tripped_budget_as_a_reason() {
+        let table = QuotaTable::with_clock(TenantQuota::default(), Clock::manual(0));
+        let t = TenantId::new("reasoned");
+        table.set_quota(
+            t.clone(),
+            TenantQuota {
+                max_in_flight: 3,
+                max_queued: 1,
+                weight: 1,
+            },
+        );
+        table.try_admit(&t).unwrap();
+        let err = table.try_admit(&t).unwrap_err();
+        assert_eq!(err.reason, ThrottleReason::QueueCap);
+        // Drain the queue into running until the in-flight budget binds with the
+        // queue empty, so the refusal can only be the in-flight cap.
+        for _ in 0..2 {
+            table.start(&t);
+            table.try_admit(&t).unwrap();
+        }
+        table.start(&t);
+        let err = table.try_admit(&t).unwrap_err();
+        assert_eq!(err.reason, ThrottleReason::InFlightCap);
+        let stats = table.stats();
+        assert_eq!(stats.throttled_queue, 1);
+        assert_eq!(stats.throttled_in_flight, 1);
+        assert_eq!(stats.throttled, 2);
+        assert_eq!(table.admit_latency().count, 5, "every decision is timed");
+        assert_eq!(ThrottleReason::QueueCap.to_string(), "queue_cap");
+        assert_eq!(ThrottleReason::InFlightCap.as_str(), "in_flight_cap");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use linx_dataframe::fingerprint::Fnv1a;
 use linx_dataframe::DataFrame;
+use linx_metrics::{Clock, LatencyHistogram};
 
 use crate::api::{EngineConfig, ExploreRequest};
 use crate::batch::{run_batch, BatchOutcome, BatchRequest};
@@ -33,6 +34,7 @@ use crate::persist::{DiskTier, TierStats};
 use crate::pipeline::DatasetContext;
 use crate::quota::{QuotaStats, QuotaTable};
 use crate::stats::EngineStats;
+use crate::telemetry::{SlowEntry, Stage, TelemetrySnapshot};
 
 /// Configuration of a [`Router`].
 #[derive(Debug, Clone)]
@@ -127,6 +129,10 @@ pub struct ShardStats {
     pub routed: u64,
     /// The shard engine's counters.
     pub engine: EngineStats,
+    /// The shard engine's latency distributions. Shared-instrument caveats
+    /// apply exactly as for `engine.quota`/`engine.tier` — see
+    /// [`TelemetrySnapshot`].
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// A point-in-time snapshot of the whole router.
@@ -139,6 +145,11 @@ pub struct RouterStats {
     /// The shared persistent-tier counters (one disk tier serves all shards;
     /// all-zero when no tier is mounted).
     pub tier: TierStats,
+    /// Latency distributions merged across shards, with the shared-instrument
+    /// histograms (`admit`, `disk`) and the router's own `route` histogram
+    /// taken once. [`RouterStats::render_metrics`] exposes this as Prometheus
+    /// text; [`RouterStats::render_json`] as a JSON snapshot.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl RouterStats {
@@ -178,6 +189,10 @@ pub struct RoutedContext {
     pub shard: usize,
     /// The per-dataset context, built by the owning shard's engine.
     pub ctx: DatasetContext,
+    /// Microseconds the router spent placing this dataset on the ring. Stamped
+    /// onto each submitted request's trace as its `route` stage: requests don't
+    /// re-route, they ride the context's placement.
+    pub route_micros: u64,
 }
 
 /// A router owning N engine shards with consistent-hash dataset placement and one
@@ -197,6 +212,9 @@ pub struct Router {
     /// per-dataset statistic) persisted by one shard is served by all of them,
     /// including after a ring change moved the dataset to a different shard.
     tier: Option<Arc<DiskTier>>,
+    clock: Clock,
+    /// Placement latency (ring lookups), router-owned: shards never route.
+    route_micros: LatencyHistogram,
 }
 
 impl Router {
@@ -205,7 +223,11 @@ impl Router {
     /// `config.engine.persist` is set — one shared [`DiskTier`].
     pub fn new(config: RouterConfig) -> Self {
         let table = RoutingTable::new(config.shards, config.vnodes);
-        let quota = Arc::new(QuotaTable::new(config.engine.default_quota));
+        let clock = config.engine.clock.clone();
+        let quota = Arc::new(QuotaTable::with_clock(
+            config.engine.default_quota,
+            clock.clone(),
+        ));
         let tier = Engine::open_tier(&config.engine);
         let shards: Vec<Engine> = (0..table.shards())
             .map(|_| Engine::with_shared(config.engine.clone(), Arc::clone(&quota), tier.clone()))
@@ -217,6 +239,8 @@ impl Router {
             routed,
             quota,
             tier,
+            clock,
+            route_micros: LatencyHistogram::new(),
         }
     }
 
@@ -263,17 +287,26 @@ impl Router {
 
     /// Build the per-dataset context on the owning shard and bind them together.
     pub fn dataset_context(&self, dataset: &DataFrame, dataset_id: &str) -> RoutedContext {
-        let shard = self.route(dataset.fingerprint());
+        let fp = dataset.fingerprint();
+        let route_start = self.clock.now_micros();
+        let shard = self.table.route(fp);
+        let route_micros = self.clock.now_micros().saturating_sub(route_start);
+        self.route_micros.record(route_micros);
         RoutedContext {
             shard,
             ctx: self.shards[shard].dataset_context(dataset, dataset_id),
+            route_micros,
         }
     }
 
-    /// Submit one request to the shard owning the context's dataset.
+    /// Submit one request to the shard owning the context's dataset. The request's
+    /// trace is activated here (not at the shard) so the `route` stage — the
+    /// placement cost of the context it rides — is part of the breakdown.
     pub fn submit(&self, routed: &RoutedContext, request: ExploreRequest) -> JobHandle {
         self.routed[routed.shard].fetch_add(1, Ordering::Relaxed);
-        self.shards[routed.shard].submit(&routed.ctx, request)
+        let trace = request.trace.ensure(&self.clock);
+        trace.add(Stage::Route, routed.route_micros);
+        self.shards[routed.shard].submit(&routed.ctx, request.with_trace(trace))
     }
 
     /// Run a whole batch on the shard owning the dataset; the outcome records which
@@ -281,7 +314,11 @@ impl Router {
     /// shared quota table is swept here ([`QuotaTable::gc`]) — a long-lived router
     /// serving many drive-by tenant names stays bounded by *active* tenants.
     pub fn run_batch(&self, dataset: &DataFrame, batch: BatchRequest) -> BatchOutcome {
-        let shard = self.route(dataset.fingerprint());
+        let fp = dataset.fingerprint();
+        let route_start = self.clock.now_micros();
+        let shard = self.table.route(fp);
+        self.route_micros
+            .record(self.clock.now_micros().saturating_sub(route_start));
         self.routed[shard].fetch_add(batch.goals.len() as u64, Ordering::Relaxed);
         let mut outcome = run_batch(&self.shards[shard], dataset, batch);
         outcome.shard = Some(shard);
@@ -292,19 +329,49 @@ impl Router {
     /// Counters snapshot across every shard plus the shared quota table and the
     /// shared persistent tier.
     pub fn stats(&self) -> RouterStats {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .zip(&self.routed)
+            .map(|(engine, routed)| ShardStats {
+                routed: routed.load(Ordering::Relaxed),
+                engine: engine.stats(),
+                telemetry: engine.telemetry(),
+            })
+            .collect();
+        // Merge the per-shard distributions, then overwrite the ones backed by
+        // shared (or router-owned) instruments with a single snapshot — exactly
+        // the `quota`/`tier` rule EngineStats::merge documents.
+        let mut telemetry = shards.iter().fold(TelemetrySnapshot::default(), |acc, s| {
+            acc.merge(&s.telemetry)
+        });
+        telemetry.admit = self.quota.admit_latency();
+        telemetry.disk = self.tier.as_ref().map(|t| t.latency()).unwrap_or_default();
+        telemetry.route = self.route_micros.snapshot();
         RouterStats {
-            shards: self
-                .shards
-                .iter()
-                .zip(&self.routed)
-                .map(|(engine, routed)| ShardStats {
-                    routed: routed.load(Ordering::Relaxed),
-                    engine: engine.stats(),
-                })
-                .collect(),
+            shards,
             quota: self.quota.stats(),
             tier: self.tier.as_ref().map(|t| t.stats()).unwrap_or_default(),
+            telemetry,
         }
+    }
+
+    /// Every shard's slow-request log, stamped with its shard index and sorted
+    /// slowest-first.
+    pub fn slow_entries(&self) -> Vec<SlowEntry> {
+        let mut entries: Vec<SlowEntry> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, engine)| {
+                engine.slow_entries().into_iter().map(move |mut e| {
+                    e.shard = Some(i);
+                    e
+                })
+            })
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.trace.total_micros));
+        entries
     }
 
     /// Graceful shutdown of every shard: queued jobs drain, workers join, and the

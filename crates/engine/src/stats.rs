@@ -37,6 +37,27 @@ impl EngineStats {
         }
     }
 
+    /// Disk-tier hit rate in [0, 1]; 0 when the tier saw no lookups (including
+    /// when no tier is mounted).
+    pub fn tier_hit_rate(&self) -> f64 {
+        let total = self.tier.hits + self.tier.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tier.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of submissions that coalesced onto an identical in-flight
+    /// request, in [0, 1]; 0 when nothing was submitted.
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.coalesced as f64 / self.submitted as f64
+        }
+    }
+
     /// Field-wise sum of two snapshots, for aggregating engine shards.
     ///
     /// Note: when shards share one quota table or one disk tier (as under
@@ -63,20 +84,27 @@ impl EngineStats {
         self.pool.panicked += other.pool.panicked;
         self.pool.queued += other.pool.queued;
         self.pool.workers += other.pool.workers;
+        for band in 0..3 {
+            self.pool.queued_now[band] += other.pool.queued_now[band];
+            self.pool.in_flight_now[band] += other.pool.in_flight_now[band];
+        }
         self.quota.admitted += other.quota.admitted;
         self.quota.throttled += other.quota.throttled;
         self.quota.queued += other.quota.queued;
         self.quota.running += other.quota.running;
         self.quota.tenants += other.quota.tenants;
+        self.quota.throttled_queue += other.quota.throttled_queue;
+        self.quota.throttled_in_flight += other.quota.throttled_in_flight;
         self
     }
 
     /// One-line human-readable summary for CLI output and logs.
     pub fn summary(&self) -> String {
         format!(
-            "requests: {} submitted, {} coalesced, {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | disk-tier: {} hits / {} misses / {} errors ({} entries, {} KiB) | pool: {} workers, {} completed, {} panicked, {} queued | quota: {} admitted, {} throttled, {} tenants",
+            "requests: {} submitted, {} coalesced ({:.0}% coalesce rate), {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | disk-tier: {} hits / {} misses / {} errors ({} entries, {} KiB, {:.0}% hit rate) | pool: {} workers, {} completed, {} panicked, {} queued | quota: {} admitted, {} throttled, {} tenants",
             self.submitted,
             self.coalesced,
+            self.coalesce_rate() * 100.0,
             self.rejected,
             self.cache.hits,
             self.cache.misses,
@@ -88,6 +116,7 @@ impl EngineStats {
             self.tier.load_errors,
             self.tier.entries,
             self.tier.bytes / 1024,
+            self.tier_hit_rate() * 100.0,
             self.pool.workers,
             self.pool.completed,
             self.pool.panicked,
@@ -111,6 +140,22 @@ mod tests {
         s.cache.misses = 1;
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert!(s.summary().contains("3 hits"));
+    }
+
+    #[test]
+    fn derived_rates_handle_empty_and_mixed() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.tier_hit_rate(), 0.0);
+        assert_eq!(s.coalesce_rate(), 0.0);
+        s.submitted = 8;
+        s.coalesced = 2;
+        s.tier.hits = 1;
+        s.tier.misses = 3;
+        assert!((s.coalesce_rate() - 0.25).abs() < 1e-12);
+        assert!((s.tier_hit_rate() - 0.25).abs() < 1e-12);
+        let line = s.summary();
+        assert!(line.contains("25% coalesce rate"), "summary: {line}");
+        assert!(line.contains("disk-tier: 1 hits"), "summary: {line}");
     }
 
     #[test]

@@ -12,12 +12,19 @@
 //!
 //! Both measures are reported as similarities in `[0, 1]` (higher = better), matching
 //! the way Table 2 reports `1 − score`.
+//!
+//! The crate also hosts the serving stack's telemetry primitives
+//! ([`telemetry`]): the mockable [`Clock`], lock-free [`Counter`] / [`Gauge`]
+//! atomics, and the log-spaced [`LatencyHistogram`] that `linx-engine`'s
+//! metrics registry and Prometheus exposition are built on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lev;
+pub mod telemetry;
 pub mod tree;
 
 pub use lev::{lev2_similarity, levenshtein, normalized_levenshtein};
+pub use telemetry::{Clock, Counter, Gauge, HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use tree::{ldx_minimal_tree, xted_similarity, zhang_shasha, LabeledTree};

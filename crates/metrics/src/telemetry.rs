@@ -1,0 +1,461 @@
+//! Telemetry primitives shared by the serving stack: a mockable [`Clock`],
+//! lock-free [`Counter`] / [`Gauge`] atomics, and a fixed-bucket log-spaced
+//! [`LatencyHistogram`] with mergeable [`HistogramSnapshot`]s.
+//!
+//! Everything here is engine-agnostic: the types know nothing about requests,
+//! shards, or caches. `linx-engine`'s `telemetry` module composes them into the
+//! per-request trace, the metrics registry, and the Prometheus/JSON exposition
+//! layer.
+//!
+//! Design constraints:
+//!
+//! * **Lock-free recording.** `record`/`inc`/`set` are single atomic RMW ops —
+//!   safe to call from every worker thread on the hot path.
+//! * **Deterministic under test.** All timing flows through [`Clock`], which is
+//!   a monotonic `Instant` in production and a manually advanced counter in
+//!   tests, so latency assertions are exact rather than sleep-based.
+//! * **Mergeable.** [`HistogramSnapshot::merge`] is an elementwise sum (plus a
+//!   max for the max), so per-shard histograms aggregate exactly like
+//!   `EngineStats::merge` folds counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of latency buckets in a [`LatencyHistogram`].
+///
+/// Bucket `i` (for `i < BUCKETS - 1`) counts samples with value `<= 2^i`
+/// microseconds; the final bucket is the `+Inf` overflow. 28 buckets span
+/// 1 µs .. ~67 s, which covers everything from a memory-cache hit to a full
+/// CDRL training run.
+pub const BUCKETS: usize = 28;
+
+#[derive(Debug, Clone)]
+enum ClockInner {
+    /// Wall time, measured as microseconds since the anchor `Instant`.
+    Real(Instant),
+    /// Test time: a shared counter advanced explicitly by the test.
+    Manual(Arc<AtomicU64>),
+}
+
+/// A monotonic microsecond clock, mockable for deterministic tests.
+///
+/// Production code uses [`Clock::real`] (backed by [`Instant`]); tests use
+/// [`Clock::manual`] and move time forward with [`Clock::advance`]. Clones
+/// share the same time source, so a clock handed to a worker pool and a clock
+/// kept by the test observe identical timestamps.
+///
+/// ```
+/// use linx_metrics::Clock;
+/// let clock = Clock::manual(100);
+/// let worker = clock.clone();
+/// clock.advance(250);
+/// assert_eq!(worker.now_micros(), 350);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clock(ClockInner);
+
+impl Clock {
+    /// A real monotonic clock; timestamps are microseconds since creation.
+    pub fn real() -> Self {
+        Clock(ClockInner::Real(Instant::now()))
+    }
+
+    /// A manual clock starting at `start_micros`, advanced only by
+    /// [`Clock::advance`]. Clones share the underlying counter.
+    pub fn manual(start_micros: u64) -> Self {
+        Clock(ClockInner::Manual(Arc::new(AtomicU64::new(start_micros))))
+    }
+
+    /// Current time in microseconds (since creation for real clocks; the
+    /// counter value for manual clocks).
+    pub fn now_micros(&self) -> u64 {
+        match &self.0 {
+            ClockInner::Real(anchor) => anchor.elapsed().as_micros() as u64,
+            ClockInner::Manual(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advance a manual clock by `micros`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a real clock — advancing wall time is always a test bug.
+    pub fn advance(&self, micros: u64) {
+        match &self.0 {
+            ClockInner::Real(_) => panic!("Clock::advance called on a real clock"),
+            ClockInner::Manual(t) => {
+                t.fetch_add(micros, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// True when this clock is manually advanced (a test clock).
+    pub fn is_manual(&self) -> bool {
+        matches!(self.0, ClockInner::Manual(_))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+/// A monotonically increasing lock-free counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free gauge: a value that moves both ways (e.g. jobs in flight).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Increase by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrease by one, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket, log-spaced latency histogram with lock-free recording.
+///
+/// Buckets are powers of two in microseconds (see [`BUCKETS`]); recording is
+/// one `fetch_add` per sample plus count/sum/max updates — no locks, no
+/// allocation, safe from any thread. Read via [`LatencyHistogram::snapshot`],
+/// which produces a plain-value [`HistogramSnapshot`] that merges across
+/// shards and estimates quantiles.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a microsecond value falls into: the smallest `i` with
+    /// `micros <= 2^i`, clamped to the overflow bucket.
+    pub fn bucket_index(micros: u64) -> usize {
+        if micros <= 1 {
+            return 0;
+        }
+        let idx = 64 - (micros - 1).leading_zeros() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `i` in microseconds
+    /// (`u64::MAX` for the overflow bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKETS`.
+    pub fn bucket_upper(i: usize) -> u64 {
+        assert!(i < BUCKETS, "bucket index {i} out of range");
+        if i == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Record one latency sample in microseconds.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy. (Individual fields are read
+    /// with relaxed loads; a snapshot taken while writers are active may be
+    /// mid-sample, which is fine for monitoring.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of a [`LatencyHistogram`]: mergeable across shards,
+/// comparable in tests, and the unit of exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (non-cumulative); see [`BUCKETS`].
+    pub buckets: [u64; BUCKETS],
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values in microseconds.
+    pub sum: u64,
+    /// Largest recorded value in microseconds.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Elementwise sum with `other` (max of maxes). Associative and
+    /// commutative, so per-shard snapshots fold in any order.
+    pub fn merge(mut self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self
+    }
+
+    /// Nearest-rank quantile estimate in microseconds, resolved to the upper
+    /// bound of the bucket holding the rank (clamped by the recorded max, so
+    /// the estimate never exceeds any observed value's known ceiling).
+    /// Returns 0 for an empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return LatencyHistogram::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (microseconds).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (microseconds).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (microseconds).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Exact mean of recorded values (microseconds); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_and_advances() {
+        let clock = Clock::manual(7);
+        let other = clock.clone();
+        assert_eq!(clock.now_micros(), 7);
+        other.advance(13);
+        assert_eq!(clock.now_micros(), 20);
+        assert!(clock.is_manual());
+        assert!(!Clock::real().is_manual());
+    }
+
+    #[test]
+    #[should_panic(expected = "real clock")]
+    fn advancing_a_real_clock_panics() {
+        Clock::real().advance(1);
+    }
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = Clock::real();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates at zero
+        assert_eq!(g.get(), 0);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(5), 3);
+        assert_eq!(LatencyHistogram::bucket_index(1 << 26), BUCKETS - 2);
+        assert_eq!(LatencyHistogram::bucket_index((1 << 26) + 1), BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn every_value_falls_at_or_under_its_bucket_upper() {
+        for v in [0u64, 1, 2, 3, 7, 8, 9, 1000, 1 << 20, (1 << 27) + 5] {
+            let i = LatencyHistogram::bucket_index(v);
+            assert!(
+                v <= LatencyHistogram::bucket_upper(i),
+                "value {v} bucket {i}"
+            );
+            if i > 0 {
+                assert!(
+                    v > LatencyHistogram::bucket_upper(i - 1),
+                    "value {v} bucket {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 100, 100, 100, 5_000, 80_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 1 + 2 + 3 + 300 + 5_000 + 80_000);
+        assert_eq!(s.max, 80_000);
+        // rank 4 of 8 lands in the bucket holding 100 (le=128).
+        assert_eq!(s.p50(), 128);
+        // p99 → rank 8 → bucket of 80_000 (le=131072), clamped by max.
+        assert_eq!(s.p99(), 80_000);
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_maxes_max() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(1_000_000);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 1_000_030);
+        assert_eq!(merged.max, 1_000_000);
+        let direct = LatencyHistogram::new();
+        for v in [10, 20, 1_000_000] {
+            direct.record(v);
+        }
+        assert_eq!(merged, direct.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_is_deterministic() {
+        use std::thread;
+        let h = Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            handles.push(thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    h.record(t * 1_000 + i);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let sequential = LatencyHistogram::new();
+        for t in 0..4u64 {
+            for i in 0..1_000u64 {
+                sequential.record(t * 1_000 + i);
+            }
+        }
+        assert_eq!(h.snapshot(), sequential.snapshot());
+    }
+}

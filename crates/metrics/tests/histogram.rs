@@ -1,0 +1,85 @@
+//! Property-based tests for the latency histogram: quantile estimates stay within
+//! one bucket boundary of the exact nearest-rank quantile, and snapshot merging is
+//! associative and commutative (so shard-level merge order never changes a report).
+
+use linx_metrics::{HistogramSnapshot, LatencyHistogram, BUCKETS};
+use proptest::prelude::*;
+
+/// Latency samples spanning the interesting bucket range (sub-microsecond up to
+/// tens of seconds) without saturating the top bucket.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..50_000_000, 1..200)
+}
+
+/// Exact nearest-rank quantile of the raw samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Record every sample into a fresh histogram and snapshot it.
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// The estimated quantile lands in the same log-spaced bucket as the exact
+    /// nearest-rank quantile: the estimate is at most one bucket boundary above the
+    /// exact value and never below the exact value's bucket lower bound.
+    #[test]
+    fn quantile_within_one_bucket_of_exact(samples in samples(), q in 0.01f64..1.0) {
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let estimate = snap.quantile(q);
+
+        // Upper side: the estimate is the upper bound of the exact value's bucket
+        // (clamped by the observed max), so it never exceeds that boundary.
+        let bucket_upper = LatencyHistogram::bucket_upper(LatencyHistogram::bucket_index(exact));
+        prop_assert!(estimate <= bucket_upper.min(snap.max));
+        // Lower side: the estimate cannot undershoot below the exact value's bucket.
+        let idx = LatencyHistogram::bucket_index(exact);
+        let bucket_lower = if idx == 0 { 0 } else { LatencyHistogram::bucket_upper(idx - 1) };
+        prop_assert!(estimate >= bucket_lower);
+    }
+
+    /// Recording order and grouping never matter: merging per-shard snapshots in any
+    /// association yields the same aggregate as recording everything in one histogram.
+    #[test]
+    fn merge_is_associative_and_matches_single_histogram(
+        a in samples(), b in samples(), c in samples()
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(left, right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(left, snapshot_of(&all));
+
+        // Commutativity falls out of the same counts-wise addition.
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    /// The identity snapshot is a merge no-op, and counts are conserved.
+    #[test]
+    fn merge_identity_and_count_conservation(a in samples(), b in samples()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::default()), sa);
+        let merged = sa.merge(&sb);
+        prop_assert_eq!(merged.count, sa.count + sb.count);
+        prop_assert_eq!(merged.sum, sa.sum + sb.sum);
+        prop_assert_eq!(merged.max, sa.max.max(sb.max));
+        let bucket_total: u64 = merged.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, merged.count);
+        prop_assert_eq!(merged.buckets.len(), BUCKETS);
+    }
+}
