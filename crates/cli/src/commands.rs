@@ -4,6 +4,7 @@
 //! commands unit-testable; writing to files / stdout happens at the edges.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use linx::{Linx, LinxConfig};
@@ -12,7 +13,8 @@ use linx_data::{generate, ScaleConfig};
 use linx_dataframe::csv::{read_csv, write_csv, CsvOptions};
 use linx_dataframe::DataFrame;
 use linx_engine::{
-    BatchRequest, EngineConfig, JobError, PersistConfig, Router, RouterConfig, RouterStats,
+    BatchRequest, EngineConfig, FaultPlan, JobError, PersistConfig, Router, RouterConfig,
+    RouterStats,
 };
 use linx_explore::to_ipynb_string;
 use linx_ldx::parse_ldx;
@@ -605,6 +607,15 @@ pub struct ServeBatchArgs {
     /// Record requests slower than this many milliseconds in the slow-request
     /// log and print the stage breakdowns after the run.
     pub slow_ms: Option<u64>,
+    /// Fault-injection plan (`seed=N;point=action@pct;..`) armed for the run —
+    /// chaos testing from the command line.
+    pub fault_plan: Option<String>,
+    /// Per-request deadline in milliseconds; requests that exceed it are
+    /// rejected at the next checkpoint instead of burning workers.
+    pub deadline_ms: Option<u64>,
+    /// Load-shed threshold: when this many jobs are queued across a shard's
+    /// bands, new low-priority requests are rejected with `Overloaded`.
+    pub shed_threshold: Option<usize>,
 }
 
 impl ServeBatchArgs {
@@ -623,7 +634,10 @@ impl ServeBatchArgs {
       --cache-dir <PATH> Persistent cache directory (results survive the process)
       --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]
       --metrics-out <PATH>  Write a metrics snapshot after the run (.json → JSON, else Prometheus text)
-      --slow-ms <N>      Log requests slower than N ms with per-stage breakdowns",
+      --slow-ms <N>      Log requests slower than N ms with per-stage breakdowns
+      --fault-plan <SPEC>  Arm a fault-injection plan (seed=N;point=err|panic|delay:<us>@<pct>;..)
+      --deadline-ms <N>  Reject requests that exceed this deadline at the next checkpoint
+      --shed-threshold <N>  Shed low-priority requests once N jobs are queued per shard",
             true,
         )
     }
@@ -635,6 +649,7 @@ impl ServeBatchArgs {
         let (mut shards, mut tenant) = (None, None);
         let (mut cache_dir, mut cache_disk_cap) = (None, None);
         let (mut metrics_out, mut slow_ms) = (None, None);
+        let (mut fault_plan, mut deadline_ms, mut shed_threshold) = (None, None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -672,6 +687,16 @@ impl ServeBatchArgs {
                 }
                 "--metrics-out" => set_once(&mut metrics_out, cursor.path_value(&flag)?, &flag)?,
                 "--slow-ms" => set_once(&mut slow_ms, cursor.parse_value(&flag)?, &flag)?,
+                "--fault-plan" => {
+                    let spec = cursor.value_of(&flag)?;
+                    // Validate the grammar at parse time so a typo fails fast.
+                    FaultPlan::parse(&spec).map_err(invalid)?;
+                    set_once(&mut fault_plan, spec, &flag)?;
+                }
+                "--deadline-ms" => set_once(&mut deadline_ms, cursor.parse_value(&flag)?, &flag)?,
+                "--shed-threshold" => {
+                    set_once(&mut shed_threshold, cursor.parse_value(&flag)?, &flag)?
+                }
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for serve-batch"))),
             }
@@ -695,8 +720,33 @@ impl ServeBatchArgs {
             cache_disk_cap,
             metrics_out,
             slow_ms,
+            fault_plan,
+            deadline_ms,
+            shed_threshold,
         })
     }
+}
+
+/// Cache knobs threaded from the CLI into [`EngineConfig`]; all optional.
+#[derive(Debug, Default)]
+struct CacheFlags<'a> {
+    /// Memory-tier byte budget.
+    mem_cap: Option<usize>,
+    /// Persistent disk-tier directory.
+    dir: Option<&'a PathBuf>,
+    /// Disk-tier byte cap.
+    disk_cap: Option<u64>,
+}
+
+/// Resilience knobs threaded from the CLI into [`EngineConfig`]; all optional.
+#[derive(Debug, Default)]
+struct ResilienceFlags<'a> {
+    /// Fault-injection plan spec (already grammar-checked at parse time).
+    fault_plan: Option<&'a str>,
+    /// Per-request deadline, milliseconds.
+    deadline_ms: Option<u64>,
+    /// Queue-depth load-shed threshold, per shard.
+    shed_threshold: Option<usize>,
 }
 
 /// Build a [`RouterConfig`] from the CLI knobs shared by `serve-batch`/`bench-engine`.
@@ -704,11 +754,10 @@ fn router_config(
     shards: Option<usize>,
     episodes: Option<usize>,
     workers: Option<usize>,
-    cache_mem_cap: Option<usize>,
-    cache_dir: Option<&PathBuf>,
-    cache_disk_cap: Option<u64>,
+    cache: CacheFlags<'_>,
     slow_ms: Option<u64>,
-) -> RouterConfig {
+    resilience: ResilienceFlags<'_>,
+) -> Result<RouterConfig, String> {
     let mut engine = EngineConfig::default();
     if let Some(episodes) = episodes {
         engine.cdrl.episodes = episodes;
@@ -716,22 +765,28 @@ fn router_config(
     if let Some(workers) = workers {
         engine.workers = workers;
     }
-    if let Some(mem_bytes) = cache_mem_cap {
+    if let Some(mem_bytes) = cache.mem_cap {
         engine.cache_mem_bytes = mem_bytes;
     }
     engine.slow_threshold_micros = slow_ms.map(|ms| ms.saturating_mul(1000));
-    if let Some(dir) = cache_dir {
+    if let Some(dir) = cache.dir {
         let mut persist = PersistConfig::new(dir);
-        if let Some(cap) = cache_disk_cap {
+        if let Some(cap) = cache.disk_cap {
             persist = persist.with_max_bytes(cap);
         }
         engine.persist = Some(persist);
     }
-    RouterConfig {
+    if let Some(spec) = resilience.fault_plan {
+        let plan = FaultPlan::parse(spec).map_err(|e| format!("invalid --fault-plan: {e}"))?;
+        engine.fault_plan = Some(Arc::new(plan));
+    }
+    engine.default_deadline_micros = resilience.deadline_ms.map(|ms| ms.saturating_mul(1000));
+    engine.shed_queue_depth = resilience.shed_threshold;
+    Ok(RouterConfig {
         shards: shards.unwrap_or(1).max(1),
         engine,
         ..RouterConfig::default()
-    }
+    })
 }
 
 /// Write the router's metrics snapshot to `path` and return a one-line receipt.
@@ -777,11 +832,18 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
         args.shards,
         args.episodes,
         args.workers,
-        args.cache_mem_cap,
-        args.cache_dir.as_ref(),
-        args.cache_disk_cap,
+        CacheFlags {
+            mem_cap: args.cache_mem_cap,
+            dir: args.cache_dir.as_ref(),
+            disk_cap: args.cache_disk_cap,
+        },
         args.slow_ms,
-    ));
+        ResilienceFlags {
+            fault_plan: args.fault_plan.as_deref(),
+            deadline_ms: args.deadline_ms,
+            shed_threshold: args.shed_threshold,
+        },
+    )?);
     let tenant = args.tenant.clone().unwrap_or_else(|| "default".to_string());
 
     let persistence = match &args.cache_dir {
@@ -832,6 +894,8 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
                 }
                 Err(JobError::Panicked(_)) => " panic [fresh]".to_string(),
                 Err(JobError::QuotaExceeded(_)) => " quota [-----]".to_string(),
+                Err(JobError::DeadlineExceeded(_)) => "  late [-----]".to_string(),
+                Err(JobError::Overloaded) => "  shed [-----]".to_string(),
                 Err(_) => "  fail [fresh]".to_string(),
             };
             out.push_str(&format!(
@@ -854,7 +918,15 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
     if let Some(path) = &args.metrics_out {
         out.push_str(&write_metrics(&stats, path)?);
     }
-    router.shutdown();
+    let report = router.drain();
+    out.push_str(&format!(
+        "drained: {} completed, {} shed, {} expired, {} throttled, {} tenant entries swept\n",
+        report.completed,
+        report.shed,
+        report.deadline_expired,
+        report.throttled,
+        report.quota_swept,
+    ));
     Ok(out)
 }
 
@@ -984,11 +1056,14 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
         args.shards,
         Some(episodes),
         args.workers,
-        args.cache_mem_cap,
-        args.cache_dir.as_ref(),
-        args.cache_disk_cap,
+        CacheFlags {
+            mem_cap: args.cache_mem_cap,
+            dir: args.cache_dir.as_ref(),
+            disk_cap: args.cache_disk_cap,
+        },
         args.slow_ms,
-    ));
+        ResilienceFlags::default(),
+    )?);
     let cold = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals.clone()));
     let warm = router.run_batch(&dataset, BatchRequest::new(name.clone(), goals));
     let stats = router.stats();
@@ -1191,10 +1266,14 @@ mod tests {
             cache_disk_cap: None,
             metrics_out: Some(prom_path.clone()),
             slow_ms: Some(0),
+            fault_plan: None,
+            deadline_ms: None,
+            shed_threshold: None,
         };
         let out = serve_batch(&args).unwrap();
         assert!(out.contains("slow requests (>= 0 ms)"));
         assert!(out.contains("wrote Prometheus metrics"));
+        assert!(out.contains("drained:"), "out: {out}");
         let text = std::fs::read_to_string(&prom_path).unwrap();
         assert!(text.contains("# TYPE linx_request_total_micros histogram"));
         assert!(text.contains("linx_queue_wait_micros_bucket{band=\"normal\""));

@@ -335,6 +335,12 @@ mod tests {
             "metrics.txt",
             "--slow-ms",
             "50",
+            "--fault-plan",
+            "seed=7;disk.read=err@25;pool.execute=delay:200@10",
+            "--deadline-ms",
+            "750",
+            "--shed-threshold",
+            "16",
         ])
         .unwrap();
         match cli.command {
@@ -350,9 +356,32 @@ mod tests {
                     Some(std::path::Path::new("metrics.txt"))
                 );
                 assert_eq!(args.slow_ms, Some(50));
+                assert_eq!(
+                    args.fault_plan.as_deref(),
+                    Some("seed=7;disk.read=err@25;pool.execute=delay:200@10")
+                );
+                assert_eq!(args.deadline_ms, Some(750));
+                assert_eq!(args.shed_threshold, Some(16));
             }
             other => panic!("unexpected command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_batch_rejects_a_malformed_fault_plan() {
+        let err = Cli::try_parse_from([
+            "linx",
+            "serve-batch",
+            "--dataset",
+            "netflix",
+            "--goals",
+            "g",
+            "--fault-plan",
+            "disk.read=explode@50",
+        ])
+        .unwrap_err();
+        assert!(!err.is_help());
+        assert!(err.message().contains("explode"), "{}", err.message());
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The request/response surface of the exploration service.
 
 use std::fmt;
+use std::sync::Arc;
 
 use linx_cdrl::CdrlConfig;
 use linx_explore::{Narrative, Notebook};
 use linx_metrics::Clock;
 
+use crate::faults::FaultPlan;
 use crate::quota::{TenantId, TenantQuota};
-use crate::telemetry::TraceHandle;
+use crate::telemetry::{Stage, TraceHandle};
 
 /// Identifies one submitted request within an engine instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,6 +85,14 @@ pub struct ExploreRequest {
     /// [`ExploreRequest::with_trace`] to observe the breakdown from the caller's
     /// side.
     pub trace: TraceHandle,
+    /// Absolute deadline on the engine clock, in microseconds. Enforced at
+    /// admission (an already-expired request is rejected before any work), at
+    /// dequeue (an expired queued job is dropped and its quota budget
+    /// released), and cooperatively between executor phases. `None` (the
+    /// default) means the request never expires; when
+    /// [`EngineConfig::default_deadline_micros`] is set, the engine stamps
+    /// `now + default` onto requests that carry no explicit deadline.
+    pub deadline_micros: Option<u64>,
 }
 
 impl ExploreRequest {
@@ -95,6 +105,7 @@ impl ExploreRequest {
             budget: Budget::default(),
             tenant: TenantId::default(),
             trace: TraceHandle::default(),
+            deadline_micros: None,
         }
     }
 
@@ -121,6 +132,14 @@ impl ExploreRequest {
     /// yields the per-stage breakdown.
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Set an absolute deadline (microseconds on the engine clock). The request
+    /// is rejected with [`JobError::DeadlineExceeded`] at whichever checkpoint
+    /// first observes the deadline in the past.
+    pub fn with_deadline_micros(mut self, deadline_micros: u64) -> Self {
+        self.deadline_micros = Some(deadline_micros);
         self
     }
 }
@@ -176,6 +195,16 @@ pub enum JobError {
     QuotaExceeded(TenantId),
     /// The worker disappeared without a response (should not happen; indicates a bug).
     WorkerLost,
+    /// The request's deadline passed before a result was produced. Carries the
+    /// pipeline stage at which the expiry was observed: [`Stage::Admit`] (dead
+    /// on arrival), [`Stage::QueueWait`] (expired while queued; the job was
+    /// dropped and its quota budget released), or [`Stage::Execute`] (cancelled
+    /// cooperatively between executor phases).
+    DeadlineExceeded(Stage),
+    /// The engine is in load-shed mode (queue depth or queue-wait p95 over the
+    /// configured threshold) and rejected this Low-priority request before
+    /// queueing it. Retry later or resubmit at a higher priority.
+    Overloaded,
 }
 
 impl fmt::Display for JobError {
@@ -187,6 +216,10 @@ impl fmt::Display for JobError {
                 write!(f, "tenant '{tenant}' exceeded its admission quota")
             }
             JobError::WorkerLost => write!(f, "worker lost before responding"),
+            JobError::DeadlineExceeded(stage) => {
+                write!(f, "deadline exceeded (at stage {})", stage.name())
+            }
+            JobError::Overloaded => write!(f, "engine overloaded; low-priority request shed"),
         }
     }
 }
@@ -249,6 +282,30 @@ pub struct EngineConfig {
     /// are recorded in the slow-request ring log with their full stage breakdown
     /// (`--slow-ms` on the CLI). `None` disables the slow log.
     pub slow_threshold_micros: Option<u64>,
+    /// Deterministic fault-injection plan (`--fault-plan` on the CLI). When
+    /// set, the engine arms the process-wide failpoint registry
+    /// ([`crate::faults::arm`]) with this plan before serving; named seams
+    /// (`disk.read`, `disk.write`, `disk.unlink`, `pool.execute`,
+    /// `route.place`) then inject errors, latency, or panics according to the
+    /// plan's seeded schedule. `None` (the default) leaves every failpoint as
+    /// a single relaxed atomic load.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Default request deadline, **relative** microseconds (`--deadline-ms` on
+    /// the CLI). Applied at submission as `now + default` to requests that
+    /// carry no explicit [`ExploreRequest::deadline_micros`]. `None` disables
+    /// default deadlines.
+    pub default_deadline_micros: Option<u64>,
+    /// Load-shed threshold on total queued jobs (`--shed-threshold` on the
+    /// CLI). When the pool's queue depth reaches this value, Low-priority
+    /// requests that miss the cache are rejected with [`JobError::Overloaded`]
+    /// before admission, keeping interactive bands responsive. `None` disables
+    /// depth-based shedding.
+    pub shed_queue_depth: Option<usize>,
+    /// Load-shed threshold on the all-time p95 queue wait, in microseconds.
+    /// When the merged queue-wait p95 meets or exceeds this value, Low-priority
+    /// cache-missing requests are shed exactly as with
+    /// [`EngineConfig::shed_queue_depth`]. `None` disables p95-based shedding.
+    pub shed_p95_wait_micros: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -267,6 +324,10 @@ impl Default for EngineConfig {
             persist: None,
             clock: Clock::real(),
             slow_threshold_micros: None,
+            fault_plan: None,
+            default_deadline_micros: None,
+            shed_queue_depth: None,
+            shed_p95_wait_micros: None,
         }
     }
 }

@@ -110,6 +110,7 @@ pub fn run_batch(engine: &Engine, dataset: &DataFrame, batch: BatchRequest) -> B
                     budget: batch.budget,
                     tenant: batch.tenant.clone(),
                     trace: TraceHandle::default(),
+                    deadline_micros: None,
                 },
             )
         })

@@ -7,15 +7,24 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use linx_cdrl::CdrlConfig;
 use linx_dataframe::{DataFrame, StatsCache, StatsTier};
+use linx_metrics::HistogramSnapshot;
 
-use crate::api::{EngineConfig, ExploreRequest, ExploreResponse, JobError, RequestId};
+use crate::api::{EngineConfig, ExploreRequest, ExploreResponse, JobError, Priority, RequestId};
+use crate::faults::{self, FaultKind};
 use crate::fingerprint::request_fingerprint;
 use crate::persist::{DiskTier, TieredCache};
-use crate::pipeline::{run_exploration, DatasetContext};
+use crate::pipeline::{run_exploration_cancellable, Cancelled, DatasetContext};
 use crate::pool::WorkerPool;
 use crate::quota::QuotaTable;
 use crate::stats::EngineStats;
-use crate::telemetry::{MetricsRegistry, ResponseMeta, SlowEntry, Stage, TelemetrySnapshot};
+use crate::telemetry::{
+    MetricsRegistry, ResponseMeta, SlowEntry, Stage, TelemetrySnapshot, STAGE_COUNT,
+};
+
+/// Sweep the quota table's idle tenant entries every this many submissions, so
+/// a long-running intake path cannot grow the table unboundedly between the
+/// idle/shutdown sweeps.
+const QUOTA_GC_INTERVAL: u64 = 256;
 
 /// A handle on one submitted request; resolves to the response.
 pub struct JobHandle {
@@ -43,6 +52,24 @@ impl JobHandle {
             served_from_cache: false,
             total_micros: 0,
         })
+    }
+
+    /// A handle that is already resolved to `error` — used by layers above the
+    /// engine (e.g. the router's `route.place` failpoint) that must reject a
+    /// request before any engine assigns it an id. `RequestId(0)` marks a
+    /// response synthesized outside an engine (engines number from 1).
+    pub(crate) fn resolved(dataset_id: String, goal: String, error: JobError) -> JobHandle {
+        let id = RequestId(0);
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(ExploreResponse {
+            id,
+            dataset_id,
+            goal,
+            outcome: Err(error),
+            served_from_cache: false,
+            total_micros: 0,
+        });
+        JobHandle { id, rx }
     }
 }
 
@@ -98,6 +125,13 @@ pub struct Engine {
     /// slow-request ring log. Component-owned instruments live with the pool,
     /// quota table, and disk tier; [`Engine::telemetry`] assembles all of them.
     metrics: Arc<MetricsRegistry>,
+    /// Requests whose deadline expired, indexed by the [`Stage`] at which the
+    /// expiry was observed (only `Admit`, `QueueWait`, and `Execute` are
+    /// enforcement checkpoints; the other slots stay zero). Shared with job
+    /// closures, which observe queue-wait and execute expiries.
+    deadline_expired: Arc<[AtomicU64; STAGE_COUNT]>,
+    /// Low-priority requests rejected by load-shed mode before admission.
+    shed: AtomicU64,
 }
 
 /// A coalesced submission waiting on an identical in-flight request.
@@ -156,6 +190,12 @@ impl Engine {
         quota: Arc<QuotaTable>,
         disk: Option<Arc<DiskTier>>,
     ) -> Self {
+        // Arm the process-wide failpoint registry before any component that
+        // consults it starts serving. Arming is idempotent across shards
+        // sharing one config; an engine with no plan leaves the registry as-is.
+        if let Some(plan) = &config.fault_plan {
+            faults::arm(Arc::clone(plan));
+        }
         let pool = WorkerPool::with_clock(config.workers, config.clock.clone());
         let metrics = Arc::new(MetricsRegistry::new(
             config.clock.clone(),
@@ -191,6 +231,8 @@ impl Engine {
             failed: AtomicU64::new(0),
             job_panics: Arc::new(AtomicU64::new(0)),
             metrics,
+            deadline_expired: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -233,9 +275,38 @@ impl Engine {
         // did); every stage below accumulates into it.
         let trace = request.trace.ensure(&clock);
         let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let seq = self.submitted.fetch_add(1, Ordering::Relaxed);
+        // Opportunistic quota-table sweep: the idle/shutdown gc alone lets a
+        // long batch of one-shot tenants grow the table unboundedly.
+        if seq % QUOTA_GC_INTERVAL == QUOTA_GC_INTERVAL - 1 {
+            self.quota.gc();
+        }
         let (tx, rx) = mpsc::channel();
         let handle = JobHandle { id, rx };
+
+        // Deadline checkpoint 1 (admission): a request that arrives already
+        // expired is rejected before any lookup, admission, or queueing work.
+        let deadline = request.deadline_micros.or_else(|| {
+            self.config
+                .default_deadline_micros
+                .map(|d| started.saturating_add(d))
+        });
+        if let Some(dl) = deadline {
+            if started >= dl {
+                self.deadline_expired[Stage::Admit as usize].fetch_add(1, Ordering::Relaxed);
+                let total = clock.now_micros().saturating_sub(started);
+                self.metrics.record_total(total);
+                let _ = tx.send(ExploreResponse {
+                    id,
+                    dataset_id: request.dataset_id,
+                    goal: request.goal,
+                    outcome: Err(JobError::DeadlineExceeded(Stage::Admit)),
+                    served_from_cache: false,
+                    total_micros: total,
+                });
+                return handle;
+            }
+        }
 
         let episodes = request.budget.episodes(self.config.cdrl.episodes);
         let sample_rows = request.budget.sample_rows(self.config.sample_rows);
@@ -293,6 +364,26 @@ impl Engine {
                 });
                 return handle;
             }
+        }
+
+        // Load shed: when the pool is saturated (queue depth or queue-wait p95
+        // over the configured thresholds), Low-priority work that missed both
+        // the cache and the coalescing map is rejected before it can consume a
+        // quota slot or a queue position. Cache hits and coalesced attachments
+        // above still serve — shedding protects workers, not reads.
+        if request.priority == Priority::Low && self.should_shed() {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            let total = clock.now_micros().saturating_sub(started);
+            self.metrics.record_total(total);
+            let _ = tx.send(ExploreResponse {
+                id,
+                dataset_id: request.dataset_id,
+                goal: request.goal,
+                outcome: Err(JobError::Overloaded),
+                served_from_cache: false,
+                total_micros: total,
+            });
+            return handle;
         }
 
         // Admission control: this request needs a worker-pool slot, so it must fit
@@ -355,6 +446,7 @@ impl Engine {
         };
         let in_flight = Arc::clone(&self.in_flight);
         let job_panics = Arc::clone(&self.job_panics);
+        let deadline_expired = Arc::clone(&self.deadline_expired);
         let metrics = Arc::clone(&self.metrics);
         let job_clock = clock.clone();
         let job_trace = trace.clone();
@@ -365,21 +457,88 @@ impl Engine {
             let clock = job_clock;
             let run_start = clock.now_micros();
             trace.add(Stage::QueueWait, run_start.saturating_sub(enqueued));
+            // Deadline checkpoint 2 (dequeue): a job whose deadline passed
+            // while it sat in the queue is dropped before it burns a worker.
+            // `admission` was never started, so dropping it here cancels the
+            // tenant's queued budget — the guard's Drop path, not a new one.
+            if deadline.is_some_and(|dl| run_start >= dl) {
+                deadline_expired[Stage::QueueWait as usize].fetch_add(1, Ordering::Relaxed);
+                drop(admission);
+                let err = JobError::DeadlineExceeded(Stage::QueueWait);
+                let waiters = in_flight
+                    .lock()
+                    .expect("in-flight lock")
+                    .remove(&fp.0)
+                    .unwrap_or_default();
+                for waiter in waiters {
+                    let waiter_total = clock.now_micros().saturating_sub(waiter.started);
+                    metrics.record_total(waiter_total);
+                    let _ = waiter.tx.send(ExploreResponse {
+                        id: waiter.id,
+                        dataset_id: waiter.dataset_id,
+                        goal: waiter.goal,
+                        outcome: Err(err.clone()),
+                        served_from_cache: false,
+                        total_micros: waiter_total,
+                    });
+                }
+                let total = metrics.observe_response(
+                    ResponseMeta {
+                        id,
+                        dataset_id: &request.dataset_id,
+                        goal: &request.goal,
+                        tenant: &request.tenant,
+                        priority: request.priority,
+                        served_from_cache: false,
+                    },
+                    &trace,
+                );
+                let _ = tx.send(ExploreResponse {
+                    id,
+                    dataset_id: request.dataset_id,
+                    goal: request.goal,
+                    outcome: Err(err),
+                    served_from_cache: false,
+                    total_micros: total,
+                });
+                return;
+            }
             admission.start();
             // First line of defense: capture the panic *message* here so the response
-            // can carry it; the pool's own catch_unwind is the backstop.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                run_exploration(&ctx, &request.goal, cdrl, sample_rows)
-            }))
-            .map_err(|payload| {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                job_panics.fetch_add(1, Ordering::Relaxed);
-                JobError::Panicked(msg)
-            });
+            // can carry it; the pool's own catch_unwind is the backstop. The
+            // `pool.execute` failpoint sits inside the unwind barrier so injected
+            // panics exercise exactly the real panic path (Error behaves like
+            // Panic at this seam: an executor failure is an unwind). Deadline
+            // checkpoint 3 runs cooperatively between pipeline phases.
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                match faults::check("pool.execute") {
+                    Some(FaultKind::Panic) | Some(FaultKind::Error) => {
+                        panic!("injected fault at pool.execute")
+                    }
+                    Some(FaultKind::Delay(us)) => {
+                        std::thread::sleep(std::time::Duration::from_micros(us))
+                    }
+                    None => {}
+                }
+                run_exploration_cancellable(&ctx, &request.goal, cdrl, sample_rows, &|| {
+                    deadline.is_some_and(|dl| clock.now_micros() >= dl)
+                })
+            })) {
+                Ok(Ok(result)) => Ok(result),
+                Ok(Err(Cancelled)) => {
+                    deadline_expired[Stage::Execute as usize].fetch_add(1, Ordering::Relaxed);
+                    Err(JobError::DeadlineExceeded(Stage::Execute))
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    job_panics.fetch_add(1, Ordering::Relaxed);
+                    Err(JobError::Panicked(msg))
+                }
+            };
             trace.add(Stage::Execute, clock.now_micros().saturating_sub(run_start));
             if let Ok(result) = &outcome {
                 // Write-through of the computed result; on a tiered cache this is
@@ -466,6 +625,29 @@ impl Engine {
         handle
     }
 
+    /// Whether load-shed mode is active right now: queue depth or merged
+    /// queue-wait p95 at/over the configured thresholds. With neither
+    /// threshold configured this is always `false` (and costs two `Option`
+    /// checks on the submit path).
+    fn should_shed(&self) -> bool {
+        if let Some(depth) = self.config.shed_queue_depth {
+            if self.pool.queued_total() >= depth {
+                return true;
+            }
+        }
+        if let Some(threshold) = self.config.shed_p95_wait_micros {
+            let merged = self
+                .pool
+                .queue_wait_latency()
+                .iter()
+                .fold(HistogramSnapshot::default(), |acc, s| acc.merge(s));
+            if merged.count > 0 && merged.p95() >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Counters snapshot across cache and pool.
     pub fn stats(&self) -> EngineStats {
         let mut pool = self.pool.stats();
@@ -480,6 +662,10 @@ impl Engine {
             tier: self.cache.tier_stats(),
             pool,
             quota: self.quota.stats(),
+            deadline_expired: std::array::from_fn(|i| {
+                self.deadline_expired[i].load(Ordering::Relaxed)
+            }),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -517,5 +703,37 @@ impl Engine {
     /// Graceful shutdown: queued jobs drain, workers join.
     pub fn shutdown(self) {
         self.pool.shutdown();
+    }
+
+    /// Drain: stop intake (consumes the engine), let queued and in-flight jobs
+    /// finish, join every worker, and return the engine's final counters.
+    /// Result write-through is synchronous inside each job, so when this
+    /// returns every completed result has already reached the disk tier.
+    pub fn drain(self) -> EngineStats {
+        let Engine {
+            pool,
+            cache,
+            quota,
+            submitted,
+            coalesced,
+            failed,
+            job_panics,
+            deadline_expired,
+            shed,
+            ..
+        } = self;
+        let mut pool_stats = pool.shutdown();
+        pool_stats.panicked += job_panics.load(Ordering::Relaxed);
+        EngineStats {
+            submitted: submitted.load(Ordering::Relaxed),
+            coalesced: coalesced.load(Ordering::Relaxed),
+            rejected: failed.load(Ordering::Relaxed),
+            cache: cache.memory_stats(),
+            tier: cache.tier_stats(),
+            pool: pool_stats,
+            quota: quota.stats(),
+            deadline_expired: std::array::from_fn(|i| deadline_expired[i].load(Ordering::Relaxed)),
+            shed: shed.load(Ordering::Relaxed),
+        }
     }
 }

@@ -1,0 +1,393 @@
+//! Deterministic fault injection: named failpoints the serving stack consults at
+//! its failure-prone seams.
+//!
+//! A [`FaultPlan`] is a seeded set of rules, each binding a failpoint name
+//! (`"disk.read"`, `"disk.write"`, `"disk.unlink"`, `"pool.execute"`,
+//! `"route.place"`) to an action — inject an [`std::io::Error`], add latency, or
+//! panic — with a firing probability. Decisions are a pure function of
+//! `(seed, point, per-point hit counter)`, so a given plan replays identically
+//! run after run: the chaos suite and the `--fault-plan` CLI flag both lean on
+//! that determinism.
+//!
+//! The plan is **process-wide**: production code calls the free function
+//! [`check`] (or [`io_failpoint`]) at each seam. When nothing is armed that call
+//! is a single relaxed atomic load — the hot path pays no locking, no hashing,
+//! and no allocation. Arming is explicit: [`arm`] / [`disarm`] for long-lived
+//! processes (the CLI arms once at startup from `--fault-plan`), or
+//! [`arm_scoped`] for tests — the returned guard holds a global lock so
+//! concurrently-running tests can never observe each other's faults, and
+//! disarms on drop even if the test panics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// What an armed failpoint does when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with an injected [`std::io::Error`] (or the seam's
+    /// equivalent typed error).
+    Error,
+    /// Stall the operation for this many microseconds before letting it proceed.
+    Delay(u64),
+    /// Panic with a recognizable message. Intended for seams that sit under a
+    /// `catch_unwind` boundary (the worker pool's job wrapper).
+    Panic,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Error => write!(f, "err"),
+            FaultKind::Delay(us) => write!(f, "delay:{us}"),
+            FaultKind::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// One rule of a [`FaultPlan`]: fire `kind` at `point` with probability `pct`%.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// The failpoint name this rule matches (exact string match).
+    pub point: String,
+    /// The action taken when the rule fires.
+    pub kind: FaultKind,
+    /// Firing probability as an integer percentage, clamped to 0..=100.
+    pub pct: u32,
+}
+
+/// Per-rule runtime state: the rule plus hit/fire counters.
+#[derive(Debug)]
+struct RuleState {
+    rule: FaultRule,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// A seeded, deterministic set of fault-injection rules.
+///
+/// Decisions replay exactly for a fixed seed: the n-th passage through a point
+/// fires iff `mix(seed, point, n) % 100 < pct`. Counters are per rule, so two
+/// rules on different points never perturb each other's sequences.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<RuleState>,
+}
+
+/// SplitMix64 finalizer: cheap, well-distributed 64-bit mixing.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a point name, matching the repo's other stable hashes.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// An empty plan with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a rule (builder-style). `pct` is clamped to 100.
+    pub fn with_rule(mut self, point: impl Into<String>, kind: FaultKind, pct: u32) -> Self {
+        self.rules.push(RuleState {
+            rule: FaultRule {
+                point: point.into(),
+                kind,
+                pct: pct.min(100),
+            },
+            hits: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Add a rule that fires on every passage (probability 100%).
+    pub fn always(self, point: impl Into<String>, kind: FaultKind) -> Self {
+        self.with_rule(point, kind, 100)
+    }
+
+    /// Parse the CLI plan grammar: semicolon-separated clauses, each either
+    /// `seed=<n>` or `<point>=<action>@<pct>` with action one of `err`, `panic`,
+    /// `delay:<micros>`. The `@<pct>` suffix defaults to 100.
+    ///
+    /// ```
+    /// use linx_engine::faults::{FaultKind, FaultPlan};
+    /// let plan = FaultPlan::parse("seed=7;disk.write=err@50;disk.read=delay:200").unwrap();
+    /// assert_eq!(plan.rules().len(), 2);
+    /// assert_eq!(plan.rules()[1].kind, FaultKind::Delay(200));
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (lhs, rhs) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause '{clause}' is missing '='"))?;
+            let (lhs, rhs) = (lhs.trim(), rhs.trim());
+            if lhs == "seed" {
+                plan.seed = rhs
+                    .parse()
+                    .map_err(|_| format!("invalid fault-plan seed '{rhs}'"))?;
+                continue;
+            }
+            let (action, pct) = match rhs.split_once('@') {
+                Some((a, p)) => (
+                    a.trim(),
+                    p.trim()
+                        .parse::<u32>()
+                        .map_err(|_| format!("invalid fault probability '{p}' in '{clause}'"))?,
+                ),
+                None => (rhs, 100),
+            };
+            let kind = if action == "err" {
+                FaultKind::Error
+            } else if action == "panic" {
+                FaultKind::Panic
+            } else if let Some(us) = action.strip_prefix("delay:") {
+                FaultKind::Delay(
+                    us.parse()
+                        .map_err(|_| format!("invalid delay micros '{us}' in '{clause}'"))?,
+                )
+            } else {
+                return Err(format!(
+                    "unknown fault action '{action}' in '{clause}' (want err, panic, or delay:<micros>)"
+                ));
+            };
+            plan = plan.with_rule(lhs, kind, pct);
+        }
+        Ok(plan)
+    }
+
+    /// The configured rules, in declaration order.
+    pub fn rules(&self) -> Vec<FaultRule> {
+        self.rules.iter().map(|r| r.rule.clone()).collect()
+    }
+
+    /// Consult the plan at a failpoint. Returns the action to take, if any rule
+    /// fires; the first matching rule that fires wins. Every matching rule's hit
+    /// counter advances whether or not it fires, so the decision sequence for a
+    /// point is independent of other points.
+    pub fn check(&self, point: &str) -> Option<FaultKind> {
+        for state in &self.rules {
+            if state.rule.point != point {
+                continue;
+            }
+            let n = state.hits.fetch_add(1, Ordering::Relaxed);
+            let roll = mix(self
+                .seed
+                .wrapping_add(fnv1a(point))
+                .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+                % 100;
+            if roll < u64::from(state.rule.pct) {
+                state.fired.fetch_add(1, Ordering::Relaxed);
+                return Some(state.rule.kind);
+            }
+        }
+        None
+    }
+
+    /// How many times rules on `point` have fired (summed across rules) — an
+    /// observability hook for tests asserting a storm actually happened.
+    pub fn fired(&self, point: &str) -> u64 {
+        self.rules
+            .iter()
+            .filter(|s| s.rule.point == point)
+            .map(|s| s.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Fast-path gate: false ⇒ [`check`] returns `None` after one relaxed load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The installed plan (plus the scope lock used by [`arm_scoped`]).
+fn registry() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static REGISTRY: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+/// Serializes scoped arming across test threads.
+fn scope_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Install `plan` process-wide. Replaces any previously armed plan.
+pub fn arm(plan: Arc<FaultPlan>) {
+    *registry().lock().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Remove the armed plan; [`check`] reverts to its no-op fast path.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+    *registry().lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// The currently armed plan, if any (e.g. to read fire counters after a storm).
+pub fn armed_plan() -> Option<Arc<FaultPlan>> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Guard returned by [`arm_scoped`]: holds the process-wide fault scope
+/// exclusively and disarms when dropped.
+pub struct ScopedPlan {
+    plan: Arc<FaultPlan>,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl ScopedPlan {
+    /// The armed plan (for reading fire counters mid-test).
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl Drop for ScopedPlan {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Arm `plan` for the lifetime of the returned guard. Blocks until any other
+/// scoped plan is dropped, so parallel tests never see each other's faults, and
+/// disarms on drop (including panic-unwind drops).
+pub fn arm_scoped(plan: FaultPlan) -> ScopedPlan {
+    let lock = scope_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let plan = Arc::new(plan);
+    arm(Arc::clone(&plan));
+    ScopedPlan { plan, _lock: lock }
+}
+
+/// Consult the process-wide plan at a failpoint.
+///
+/// When nothing is armed this is one relaxed atomic load. [`FaultKind::Delay`]
+/// is returned to the caller rather than slept here so seams can decide how to
+/// stall (see [`io_failpoint`] for the common interpretation).
+#[inline]
+pub fn check(point: &str) -> Option<FaultKind> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    armed_plan().and_then(|p| p.check(point))
+}
+
+/// The common I/O interpretation of a failpoint: sleep through delays, panic on
+/// panics, and surface [`FaultKind::Error`] as an injected [`std::io::Error`].
+#[inline]
+pub fn io_failpoint(point: &str) -> std::io::Result<()> {
+    match check(point) {
+        None => Ok(()),
+        Some(FaultKind::Delay(us)) => {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+            Ok(())
+        }
+        Some(FaultKind::Error) => Err(std::io::Error::other(format!("injected fault at {point}"))),
+        Some(FaultKind::Panic) => panic!("injected panic at {point}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=42; disk.write=err@30 ;pool.execute=panic;disk.read=delay:500@5",
+        )
+        .expect("valid spec");
+        let rules = plan.rules();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].point, "disk.write");
+        assert_eq!(rules[0].kind, FaultKind::Error);
+        assert_eq!(rules[0].pct, 30);
+        assert_eq!(rules[1].kind, FaultKind::Panic);
+        assert_eq!(rules[1].pct, 100);
+        assert_eq!(rules[2].kind, FaultKind::Delay(500));
+        assert_eq!(rules[2].pct, 5);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("disk.read").is_err());
+        assert!(FaultPlan::parse("disk.read=explode").is_err());
+        assert!(FaultPlan::parse("disk.read=err@lots").is_err());
+        assert!(FaultPlan::parse("seed=not-a-number").is_err());
+        assert!(FaultPlan::parse("disk.read=delay:soon").is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).with_rule("disk.write", FaultKind::Error, 40);
+            (0..64)
+                .map(|_| plan.check("disk.write").is_some())
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed must replay identically");
+        assert_ne!(run(7), run(8), "different seeds must diverge");
+        let fires = run(7).iter().filter(|f| **f).count();
+        assert!(
+            (10..=40).contains(&fires),
+            "40% rule fired {fires}/64 times — probability mapping is off"
+        );
+    }
+
+    #[test]
+    fn points_do_not_perturb_each_other() {
+        let solo = FaultPlan::new(3).with_rule("a", FaultKind::Error, 50);
+        let duo = FaultPlan::new(3)
+            .with_rule("a", FaultKind::Error, 50)
+            .with_rule("b", FaultKind::Panic, 50);
+        let seq_solo: Vec<bool> = (0..32).map(|_| solo.check("a").is_some()).collect();
+        let seq_duo: Vec<bool> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    duo.check("b");
+                }
+                duo.check("a").is_some()
+            })
+            .collect();
+        assert_eq!(seq_solo, seq_duo);
+    }
+
+    #[test]
+    fn unarmed_check_is_a_no_op() {
+        assert_eq!(check("disk.read"), None);
+        assert!(io_failpoint("disk.read").is_ok());
+    }
+
+    #[test]
+    fn scoped_arming_fires_and_disarms_on_drop() {
+        {
+            let scoped = arm_scoped(FaultPlan::new(1).always("scoped.test", FaultKind::Error));
+            assert_eq!(check("scoped.test"), Some(FaultKind::Error));
+            assert!(io_failpoint("scoped.test").is_err());
+            assert_eq!(scoped.plan().fired("scoped.test"), 2);
+            assert_eq!(check("scoped.other"), None);
+        }
+        assert_eq!(check("scoped.test"), None, "guard drop must disarm");
+    }
+}

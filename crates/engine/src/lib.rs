@@ -25,7 +25,12 @@
 //!   placement, one shared quota table, and (when configured) one shared disk tier;
 //! * [`telemetry`] — per-request stage tracing ([`TraceHandle`]), latency
 //!   histograms for every lifecycle stage, a ring-buffer slow-request log, and
-//!   Prometheus-text / JSON exposition via [`RouterStats::render_metrics`].
+//!   Prometheus-text / JSON exposition via [`RouterStats::render_metrics`];
+//! * [`faults`] — deterministic fault injection: a process-wide [`FaultPlan`]
+//!   of named failpoints (disk I/O, pool execution, placement) armed from
+//!   [`EngineConfig`] or `--fault-plan`, exercising the failure domains the
+//!   rest of this list hardens — request deadlines, the disk-tier circuit
+//!   breaker, load shedding, and [`Router::drain`].
 //!
 //! Two invariants the layers lean on:
 //!
@@ -46,6 +51,7 @@ pub mod api;
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod fingerprint;
 pub mod persist;
 pub mod pipeline;
@@ -62,14 +68,20 @@ pub use api::{
 pub use batch::{run_batch, BatchOutcome, BatchRequest};
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{Engine, JobHandle};
+pub use faults::{FaultKind, FaultPlan, ScopedPlan};
 pub use fingerprint::{request_fingerprint, Fingerprint};
-pub use persist::{DiskTier, PersistConfig, TierStats, TieredCache};
+pub use persist::{
+    DiskTier, PersistConfig, TierStats, TieredCache, BREAKER_CLOSED, BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+};
 pub use pipeline::DatasetContext;
 pub use pool::{PoolStats, WorkerPool};
 pub use quota::{
     AdmissionGuard, QuotaExceeded, QuotaStats, QuotaTable, TenantId, TenantQuota, ThrottleReason,
 };
-pub use router::{RoutedContext, Router, RouterConfig, RouterStats, RoutingTable, ShardStats};
+pub use router::{
+    DrainReport, RoutedContext, Router, RouterConfig, RouterStats, RoutingTable, ShardStats,
+};
 pub use stats::EngineStats;
 pub use telemetry::{
     MetricsRegistry, RequestTrace, ResponseMeta, SlowEntry, Stage, TelemetrySnapshot, TierLatency,

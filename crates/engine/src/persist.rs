@@ -57,7 +57,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use linx_dataframe::filter::CompareOp;
@@ -71,6 +71,7 @@ use linx_metrics::{Clock, LatencyHistogram};
 
 use crate::api::ExploreResult;
 use crate::cache::{CacheStats, ShardedLru};
+use crate::faults::{self, FaultKind};
 use crate::telemetry::TierLatency;
 
 /// Magic bytes opening every persisted entry.
@@ -521,17 +522,47 @@ pub struct PersistConfig {
     /// Total size cap in bytes; exceeding it evicts least-recently-used entries by
     /// file mtime.
     pub max_bytes: u64,
+    /// Circuit-breaker trip threshold: this many *consecutive* read/write
+    /// failures open the breaker (reads and writes then short-circuit to clean
+    /// misses until the cooldown elapses). `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker short-circuits before admitting a half-open
+    /// probe, in clock microseconds.
+    pub breaker_cooldown_micros: u64,
+    /// Extra store attempts after a failed first write (transient-failure
+    /// retry). `0` disables write retries.
+    pub write_retries: u32,
+    /// Base backoff before the first retry, in clock microseconds; doubles per
+    /// subsequent retry. Sleeps go through [`Clock::sleep_micros`], so manual
+    /// clocks make the schedule deterministic and instant.
+    pub retry_backoff_micros: u64,
 }
 
 impl PersistConfig {
     /// Default size cap: 256 MiB.
     pub const DEFAULT_MAX_BYTES: u64 = 256 * 1024 * 1024;
 
-    /// A config for `dir` with the default size cap.
+    /// Default breaker trip threshold: 4 consecutive failures.
+    pub const DEFAULT_BREAKER_THRESHOLD: u32 = 4;
+
+    /// Default breaker cooldown: 250 ms.
+    pub const DEFAULT_BREAKER_COOLDOWN_MICROS: u64 = 250_000;
+
+    /// Default write retries: 2 extra attempts.
+    pub const DEFAULT_WRITE_RETRIES: u32 = 2;
+
+    /// Default retry backoff: 500 µs, doubling.
+    pub const DEFAULT_RETRY_BACKOFF_MICROS: u64 = 500;
+
+    /// A config for `dir` with the default size cap, breaker, and retry policy.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         PersistConfig {
             dir: dir.into(),
             max_bytes: Self::DEFAULT_MAX_BYTES,
+            breaker_threshold: Self::DEFAULT_BREAKER_THRESHOLD,
+            breaker_cooldown_micros: Self::DEFAULT_BREAKER_COOLDOWN_MICROS,
+            write_retries: Self::DEFAULT_WRITE_RETRIES,
+            retry_backoff_micros: Self::DEFAULT_RETRY_BACKOFF_MICROS,
         }
     }
 
@@ -539,6 +570,127 @@ impl PersistConfig {
     pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
         self.max_bytes = max_bytes.max(4 * 1024);
         self
+    }
+
+    /// Set the circuit-breaker policy: trip after `threshold` consecutive
+    /// failures (0 disables), short-circuit for `cooldown_micros` before the
+    /// half-open probe.
+    pub fn with_breaker(mut self, threshold: u32, cooldown_micros: u64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown_micros = cooldown_micros;
+        self
+    }
+
+    /// Set the write-retry policy: `retries` extra attempts (0 disables) with
+    /// `backoff_micros` base backoff, doubling per attempt.
+    pub fn with_write_retries(mut self, retries: u32, backoff_micros: u64) -> Self {
+        self.write_retries = retries;
+        self.retry_backoff_micros = backoff_micros;
+        self
+    }
+}
+
+/// Circuit-breaker states, as surfaced in [`TierStats::breaker_state`] and the
+/// `linx_breaker_state` gauge.
+pub const BREAKER_CLOSED: u8 = 0;
+/// The breaker tripped; reads and writes short-circuit until the cooldown ends.
+pub const BREAKER_OPEN: u8 = 1;
+/// Cooldown elapsed; one probe operation is in flight to test recovery.
+pub const BREAKER_HALF_OPEN: u8 = 2;
+
+/// A consecutive-failure circuit breaker guarding the disk tier.
+///
+/// State machine: `Closed` →(threshold consecutive failures)→ `Open`
+/// →(cooldown elapses; first caller becomes the probe)→ `HalfOpen`
+/// →(probe succeeds)→ `Closed`, or →(probe fails)→ `Open` again (re-stamping
+/// the cooldown and counting another trip). While `Open` or `HalfOpen`, every
+/// non-probe operation short-circuits: loads report clean misses and stores are
+/// dropped — the tier is a cache, so memory-only operation stays correct.
+#[derive(Debug)]
+struct Breaker {
+    threshold: u32,
+    cooldown_micros: u64,
+    state: AtomicU8,
+    consecutive: AtomicU32,
+    opened_at_micros: AtomicU64,
+    trips: AtomicU64,
+}
+
+impl Breaker {
+    fn new(threshold: u32, cooldown_micros: u64) -> Self {
+        Breaker {
+            threshold,
+            cooldown_micros,
+            state: AtomicU8::new(BREAKER_CLOSED),
+            consecutive: AtomicU32::new(0),
+            opened_at_micros: AtomicU64::new(0),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Whether the caller may touch the disk. From `Open`, the first caller
+    /// after the cooldown wins a CAS into `HalfOpen` and becomes the probe;
+    /// everyone else keeps short-circuiting until the probe reports.
+    fn allow(&self, now_micros: u64) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            BREAKER_OPEN => {
+                let opened = self.opened_at_micros.load(Ordering::Relaxed);
+                now_micros.saturating_sub(opened) >= self.cooldown_micros
+                    && self
+                        .state
+                        .compare_exchange(
+                            BREAKER_OPEN,
+                            BREAKER_HALF_OPEN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+            }
+            BREAKER_HALF_OPEN => false,
+            _ => true,
+        }
+    }
+
+    fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        // A successful half-open probe closes the breaker; a success while
+        // closed is a no-op CAS.
+        let _ = self.state.compare_exchange(
+            BREAKER_HALF_OPEN,
+            BREAKER_CLOSED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    fn record_failure(&self, now_micros: u64) {
+        if self.threshold == 0 {
+            return; // breaker disabled
+        }
+        let consecutive = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        let state = self.state.load(Ordering::Acquire);
+        let should_trip = match state {
+            BREAKER_HALF_OPEN => true, // the probe failed: reopen
+            BREAKER_CLOSED => consecutive >= self.threshold,
+            _ => false,
+        };
+        if should_trip
+            && self
+                .state
+                .compare_exchange(state, BREAKER_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.opened_at_micros.store(now_micros, Ordering::Relaxed);
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -559,6 +711,17 @@ pub struct TierStats {
     pub entries: u64,
     /// Resident bytes (approximate under concurrent external writers).
     pub bytes: u64,
+    /// Current circuit-breaker state ([`BREAKER_CLOSED`] / [`BREAKER_OPEN`] /
+    /// [`BREAKER_HALF_OPEN`]).
+    pub breaker_state: u8,
+    /// Times the breaker tripped open (including a failed half-open probe
+    /// re-opening it).
+    pub breaker_trips: u64,
+    /// `remove_file` failures in the eviction and corruption-unlink paths
+    /// (`NotFound` — someone else already removed the file — is not a failure).
+    pub unlink_errors: u64,
+    /// Store attempts retried after a transient write failure.
+    pub retries: u64,
 }
 
 /// A disk-backed, size-capped entry store: one file per fingerprint-keyed entry.
@@ -584,6 +747,16 @@ pub struct DiskTier {
     load_errors: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
+    unlink_errors: AtomicU64,
+    retries: AtomicU64,
+    breaker: Breaker,
+    write_retries: u32,
+    retry_backoff_micros: u64,
+    /// Clock time of the last eviction scan that could not delete anything
+    /// (every unlink failed); `u64::MAX` when the last scan made progress.
+    /// While set, further scans are suppressed for a cooldown so a failing
+    /// unlink cannot turn every store into a full directory walk.
+    futile_evict_at: AtomicU64,
     /// Serializes eviction scans (stores themselves stay lock-free).
     evict_lock: Mutex<()>,
     clock: Clock,
@@ -643,6 +816,12 @@ impl DiskTier {
             load_errors: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            unlink_errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            breaker: Breaker::new(config.breaker_threshold, config.breaker_cooldown_micros),
+            write_retries: config.write_retries,
+            retry_backoff_micros: config.retry_backoff_micros.max(1),
+            futile_evict_at: AtomicU64::new(u64::MAX),
             evict_lock: Mutex::new(()),
             clock,
             read_micros: LatencyHistogram::new(),
@@ -679,17 +858,38 @@ impl DiskTier {
         name: &str,
         decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
     ) -> Option<T> {
+        // Open breaker: the tier is cooling down, so the lookup short-circuits
+        // to a clean miss without touching the failing disk at all.
+        if !self.breaker.allow(self.clock.now_micros()) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // `disk.read` failpoint: an injected error is a read I/O failure (miss
+        // + breaker failure); an injected delay models a slow device.
+        if faults::io_failpoint("disk.read").is_err() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.breaker.record_failure(self.clock.now_micros());
+            return None;
+        }
         let path = self.entry_path(name);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
-            Err(_) => {
+            Err(e) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if e.kind() == io::ErrorKind::NotFound {
+                    // A plain miss is a *successful* I/O operation: the
+                    // directory answered, there was just nothing there.
+                    self.breaker.record_success();
+                } else {
+                    self.breaker.record_failure(self.clock.now_micros());
+                }
                 return None;
             }
         };
         match decode(&bytes) {
             Ok(value) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.breaker.record_success();
                 // Refresh recency for the mtime-LRU eviction order; best-effort (a
                 // read-only directory still serves hits, it just decays to FIFO).
                 if let Ok(file) = std::fs::File::options().append(true).open(&path) {
@@ -700,7 +900,8 @@ impl DiskTier {
             }
             Err(_) => {
                 self.load_errors.fetch_add(1, Ordering::Relaxed);
-                if std::fs::remove_file(&path).is_ok() {
+                self.breaker.record_failure(self.clock.now_micros());
+                if self.unlink_entry(&path) {
                     // Saturating updates: the counters are approximate under
                     // cross-process sharing and must never wrap.
                     let _ = self
@@ -719,11 +920,34 @@ impl DiskTier {
         }
     }
 
+    /// Remove one entry file, counting failures in `unlink_errors`. `NotFound`
+    /// counts as removed (a sibling process got there first). The
+    /// `disk.unlink` failpoint injects failures here.
+    fn unlink_entry(&self, path: &Path) -> bool {
+        let result = match faults::check("disk.unlink") {
+            Some(FaultKind::Error) | Some(FaultKind::Panic) => {
+                Err(io::Error::other("injected fault at disk.unlink"))
+            }
+            _ => std::fs::remove_file(path),
+        };
+        match result {
+            Ok(()) => true,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => true,
+            Err(_) => {
+                self.unlink_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
     /// Write one encoded entry atomically (temp file + rename), then enforce the
-    /// size cap. Any I/O failure drops the write silently: the tier is a cache.
+    /// size cap. A transiently failing write is retried with exponential
+    /// backoff ([`PersistConfig::with_write_retries`]); a write that keeps
+    /// failing — or arrives while the breaker is open — is dropped: the tier
+    /// is a cache, so a dropped write degrades to a later recompute.
     fn store_entry(&self, name: &str, encoded: &[u8]) {
         let start = self.clock.now_micros();
-        let over_cap = self.store_entry_inner(name, encoded);
+        let over_cap = self.store_entry_with_retry(name, encoded);
         // Eviction is timed separately (`linx_disk_evict_micros`): it is a
         // directory-wide scan whose cost says nothing about a single write.
         self.write_micros
@@ -733,8 +957,40 @@ impl DiskTier {
         }
     }
 
-    /// The write itself; returns whether the directory exceeded the size cap.
-    fn store_entry_inner(&self, name: &str, encoded: &[u8]) -> bool {
+    /// Breaker gate + bounded retry loop around the raw write; returns whether
+    /// the directory exceeded the size cap.
+    fn store_entry_with_retry(&self, name: &str, encoded: &[u8]) -> bool {
+        if !self.breaker.allow(self.clock.now_micros()) {
+            return false;
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.store_entry_inner(name, encoded) {
+                Ok(over_cap) => {
+                    self.breaker.record_success();
+                    return over_cap;
+                }
+                Err(()) => {
+                    self.breaker.record_failure(self.clock.now_micros());
+                    // Stop when retries are exhausted or the breaker tripped
+                    // mid-loop (retrying into an open breaker is just load).
+                    if attempt >= self.write_retries || self.breaker.state() != BREAKER_CLOSED {
+                        return false;
+                    }
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self
+                        .retry_backoff_micros
+                        .saturating_mul(1u64 << (attempt - 1).min(16));
+                    self.clock.sleep_micros(backoff);
+                }
+            }
+        }
+    }
+
+    /// The write itself; `Ok(over_cap)` on success, `Err(())` on any I/O
+    /// failure (including one injected at the `disk.write` failpoint).
+    fn store_entry_inner(&self, name: &str, encoded: &[u8]) -> Result<bool, ()> {
         // Process-global counter: two DiskTier instances over one directory (two
         // engines configured independently rather than through a Router) must not
         // collide on temp names, or concurrent stores truncate each other mid-write.
@@ -744,9 +1000,14 @@ impl DiskTier {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
+        // `disk.write` failpoint: an injected error models ENOSPC/EIO on the
+        // data write; an injected delay models a slow device.
+        if faults::io_failpoint("disk.write").is_err() {
+            return Err(());
+        }
         if std::fs::write(&tmp, encoded).is_err() {
             let _ = std::fs::remove_file(&tmp);
-            return false;
+            return Err(());
         }
         let path = self.entry_path(name);
         // An overwrite replaces the previous file's bytes rather than adding an
@@ -755,7 +1016,7 @@ impl DiskTier {
         let replaced = std::fs::metadata(&path).map(|m| m.len()).ok();
         if std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
-            return false;
+            return Err(());
         }
         self.stores.fetch_add(1, Ordering::Relaxed);
         if replaced.is_none() {
@@ -763,7 +1024,7 @@ impl DiskTier {
         }
         let delta = (encoded.len() as u64).saturating_sub(replaced.unwrap_or(0));
         let total = self.bytes.fetch_add(delta, Ordering::Relaxed) + delta;
-        total > self.max_bytes
+        Ok(total > self.max_bytes)
     }
 
     /// Delete oldest-mtime entries until the directory is back under the low-water
@@ -778,7 +1039,20 @@ impl DiskTier {
             .record(self.clock.now_micros().saturating_sub(start));
     }
 
+    /// Suppress eviction scans for this long after a scan where *every* unlink
+    /// failed — without this, a directory whose files cannot be deleted (e.g.
+    /// permissions lost at runtime) would turn every subsequent store into a
+    /// full directory walk.
+    const FUTILE_EVICT_COOLDOWN_MICROS: u64 = 250_000;
+
     fn evict_inner(&self) {
+        let now = self.clock.now_micros();
+        let futile_at = self.futile_evict_at.load(Ordering::Relaxed);
+        if futile_at != u64::MAX
+            && now.saturating_sub(futile_at) < Self::FUTILE_EVICT_COOLDOWN_MICROS
+        {
+            return;
+        }
         let Ok(_guard) = self.evict_lock.lock() else {
             return;
         };
@@ -800,15 +1074,25 @@ impl DiskTier {
         let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
         let mut entries = files.len() as u64;
         let low_water = self.max_bytes - self.max_bytes / 10;
+        let mut removed_any = false;
         for (_, path, len) in files {
             if total <= low_water {
                 break;
             }
-            if std::fs::remove_file(&path).is_ok() {
+            if self.unlink_entry(&path) {
                 total -= len;
                 entries -= 1;
+                removed_any = true;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        // A scan that deleted nothing while still over the low-water mark will
+        // deterministically delete nothing next time too; back off instead of
+        // rescanning on every store (the cooldown retries eventually).
+        if total > low_water && !removed_any {
+            self.futile_evict_at.store(now, Ordering::Relaxed);
+        } else {
+            self.futile_evict_at.store(u64::MAX, Ordering::Relaxed);
         }
         self.bytes.store(total, Ordering::Relaxed);
         self.entries.store(entries, Ordering::Relaxed);
@@ -844,6 +1128,10 @@ impl DiskTier {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            breaker_state: self.breaker.state(),
+            breaker_trips: self.breaker.trips(),
+            unlink_errors: self.unlink_errors.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }

@@ -89,6 +89,12 @@ impl DatasetContext {
     }
 }
 
+/// The exploration was cancelled at a cooperative checkpoint (its deadline
+/// passed between executor phases). Carries no stage: the caller observing the
+/// cancellation knows which checkpoint it polled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
 /// Run one exploration end to end against a shared dataset context.
 ///
 /// `sample_rows` is the request's effective linking-sample budget; when it matches the
@@ -100,6 +106,25 @@ pub fn run_exploration(
     cdrl: CdrlConfig,
     sample_rows: usize,
 ) -> ExploreResult {
+    match run_exploration_cancellable(ctx, goal, cdrl, sample_rows, &|| false) {
+        Ok(result) => result,
+        Err(Cancelled) => unreachable!("the never-cancel closure cannot cancel"),
+    }
+}
+
+/// Like [`run_exploration`], but polls `cancelled` between the pipeline's
+/// phases (after derivation, after training, after rendering) and aborts with
+/// [`Cancelled`] as soon as it returns `true`. This is the engine's cooperative
+/// deadline checkpoint: a long training run still finishes its current phase,
+/// but an expired request stops burning CPU on rendering and narration it will
+/// never deliver.
+pub fn run_exploration_cancellable(
+    ctx: &DatasetContext,
+    goal: &str,
+    cdrl: CdrlConfig,
+    sample_rows: usize,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<ExploreResult, Cancelled> {
     let request_sample;
     let sample = if sample_rows.max(5) == ctx.sample_rows {
         &ctx.sample
@@ -108,6 +133,9 @@ pub fn run_exploration(
         &request_sample
     };
     let derivation = SpecDeriver::new().derive(goal, &ctx.dataset_id, &ctx.schema, Some(sample));
+    if cancelled() {
+        return Err(Cancelled);
+    }
     let trainer = CdrlTrainer::new(cdrl);
     let executor = SessionExecutor::with_memo(ctx.dataset.clone(), Arc::clone(&ctx.memo))
         .with_stats(Arc::clone(&ctx.shared.stats));
@@ -128,14 +156,20 @@ pub fn run_exploration(
         )
     };
     let outcome = trainer.train_with_shared(executor.clone(), derivation.ldx.clone(), shared);
+    if cancelled() {
+        return Err(Cancelled);
+    }
     let title = format!("{} — {}", ctx.dataset_id, goal);
     let notebook = Notebook::render(title, &executor, &outcome.best_tree);
+    if cancelled() {
+        return Err(Cancelled);
+    }
     let narrative = narrate_with(&executor, &outcome.best_tree);
-    ExploreResult {
+    Ok(ExploreResult {
         ldx_canonical: derivation.ldx.canonical(),
         notebook,
         narrative,
         best_structural: outcome.best_structural,
         best_score: outcome.best_score,
-    }
+    })
 }

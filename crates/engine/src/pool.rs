@@ -278,6 +278,13 @@ impl WorkerPool {
         Ok(())
     }
 
+    /// Total jobs currently queued (not yet executing) across all bands and
+    /// tenants. One lock acquisition; cheap enough for per-submission
+    /// load-shed checks.
+    pub fn queued_total(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len
+    }
+
     /// Jobs currently queued (not yet executing) for one tenant, across all
     /// priority bands.
     pub fn queued_for(&self, tenant: &TenantId) -> usize {
@@ -321,17 +328,20 @@ impl WorkerPool {
     }
 
     /// Stop accepting jobs, let queued jobs drain, and join every worker.
-    pub fn shutdown(self) {
-        self.shutdown_inner(false);
+    /// Returns the pool's final counters (all workers joined, queue empty), so
+    /// a drain can report how much work completed.
+    pub fn shutdown(self) -> PoolStats {
+        self.shutdown_inner(false)
     }
 
     /// Stop accepting jobs, drop everything still queued, and join every worker.
     /// In-flight jobs still run to completion (threads cannot be safely interrupted).
-    pub fn shutdown_now(self) {
-        self.shutdown_inner(true);
+    /// Returns the pool's final counters.
+    pub fn shutdown_now(self) -> PoolStats {
+        self.shutdown_inner(true)
     }
 
-    fn shutdown_inner(mut self, drop_queue: bool) {
+    fn shutdown_inner(mut self, drop_queue: bool) -> PoolStats {
         {
             let mut state = self.shared.state.lock().expect("pool lock");
             state.shutting_down = true;
@@ -340,8 +350,17 @@ impl WorkerPool {
             }
         }
         self.shared.work_available.notify_all();
+        let workers = self.workers.len() as u64;
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        PoolStats {
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            queued: 0,
+            workers,
+            queued_now: [0; 3],
+            in_flight_now: [0; 3],
         }
     }
 }

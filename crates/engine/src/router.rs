@@ -27,9 +27,10 @@ use linx_dataframe::fingerprint::Fnv1a;
 use linx_dataframe::DataFrame;
 use linx_metrics::{Clock, LatencyHistogram};
 
-use crate::api::{EngineConfig, ExploreRequest};
+use crate::api::{EngineConfig, ExploreRequest, JobError};
 use crate::batch::{run_batch, BatchOutcome, BatchRequest};
 use crate::engine::{Engine, JobHandle};
+use crate::faults::{self, FaultKind};
 use crate::persist::{DiskTier, TierStats};
 use crate::pipeline::DatasetContext;
 use crate::quota::{QuotaStats, QuotaTable};
@@ -303,6 +304,20 @@ impl Router {
     /// trace is activated here (not at the shard) so the `route` stage — the
     /// placement cost of the context it rides — is part of the breakdown.
     pub fn submit(&self, routed: &RoutedContext, request: ExploreRequest) -> JobHandle {
+        // The router's own failpoint: a placement layer that cannot forward.
+        // Injected errors resolve to a typed `Overloaded` rejection — never a
+        // hang, never a panic across the API boundary.
+        match faults::check("route.place") {
+            Some(FaultKind::Delay(us)) => std::thread::sleep(std::time::Duration::from_micros(us)),
+            Some(FaultKind::Error) | Some(FaultKind::Panic) => {
+                return JobHandle::resolved(
+                    routed.ctx.dataset_id.clone(),
+                    request.goal.clone(),
+                    JobError::Overloaded,
+                );
+            }
+            None => {}
+        }
         self.routed[routed.shard].fetch_add(1, Ordering::Relaxed);
         let trace = request.trace.ensure(&self.clock);
         trace.add(Stage::Route, routed.route_micros);
@@ -382,6 +397,60 @@ impl Router {
             shard.shutdown();
         }
     }
+
+    /// Graceful drain: stop intake (consuming `self` makes new submissions
+    /// impossible), finish every queued and in-flight job, join the workers,
+    /// sweep the shared quota table, and report what the router saw — most
+    /// importantly how much work was *refused* (shed, expired, throttled), so
+    /// an operator retiring a process knows what its clients absorbed.
+    ///
+    /// Write-through to the disk tier happens inline on each store, so by the
+    /// time every worker has joined the tier is flushed; there is no separate
+    /// flush step to run here.
+    pub fn drain(self) -> DrainReport {
+        let Router {
+            shards,
+            quota,
+            tier,
+            ..
+        } = self;
+        let mut stats = shards
+            .into_iter()
+            .fold(EngineStats::default(), |acc, shard| {
+                acc.merge(&shard.drain())
+            });
+        let quota_swept = quota.gc();
+        // The quota table and disk tier are shared instruments: overwrite the
+        // multiply-counted merges with one final snapshot of each.
+        stats.quota = quota.stats();
+        stats.tier = tier.as_ref().map(|t| t.stats()).unwrap_or_default();
+        DrainReport {
+            completed: stats.pool.completed,
+            shed: stats.shed,
+            deadline_expired: stats.deadline_expired_total(),
+            throttled: stats.quota.throttled,
+            quota_swept,
+            stats,
+        }
+    }
+}
+
+/// What a [`Router::drain`] observed: lifetime completions, every flavour of
+/// refused work, and the final aggregated counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs the worker pools completed over the router's lifetime.
+    pub completed: u64,
+    /// Low-priority requests shed by overload protection.
+    pub shed: u64,
+    /// Requests that ran out of deadline budget at any checkpoint.
+    pub deadline_expired: u64,
+    /// Requests refused by per-tenant admission control.
+    pub throttled: u64,
+    /// Dead tenant entries swept from the shared quota table at drain time.
+    pub quota_swept: usize,
+    /// The final aggregated engine counters (shared quota/tier taken once).
+    pub stats: EngineStats,
 }
 
 #[cfg(test)]

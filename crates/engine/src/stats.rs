@@ -4,6 +4,7 @@ use crate::cache::CacheStats;
 use crate::persist::TierStats;
 use crate::pool::PoolStats;
 use crate::quota::QuotaStats;
+use crate::telemetry::STAGE_COUNT;
 
 /// A point-in-time snapshot of every engine counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +25,13 @@ pub struct EngineStats {
     pub pool: PoolStats,
     /// Admission-control counters (throttled requests never reach the pool).
     pub quota: QuotaStats,
+    /// Requests that ran out of deadline budget, indexed by the
+    /// [`crate::telemetry::Stage`] at which the expiry was detected (only the
+    /// `admit`, `queue_wait`, and `execute` checkpoints ever fire; the other
+    /// slots stay zero).
+    pub deadline_expired: [u64; STAGE_COUNT],
+    /// Low-priority requests rejected by the load-shedder before queueing.
+    pub shed: u64,
 }
 
 impl EngineStats {
@@ -80,6 +88,13 @@ impl EngineStats {
         self.tier.evictions += other.tier.evictions;
         self.tier.entries += other.tier.entries;
         self.tier.bytes += other.tier.bytes;
+        self.tier.unlink_errors += other.tier.unlink_errors;
+        self.tier.retries += other.tier.retries;
+        self.tier.breaker_trips += other.tier.breaker_trips;
+        // State is not a counter: keep the most-degraded shard's view (OPEN=1
+        // outranks HALF_OPEN=2 in severity but the shared-tier rule means
+        // merged snapshots are overwritten anyway; max is just a safe default).
+        self.tier.breaker_state = self.tier.breaker_state.max(other.tier.breaker_state);
         self.pool.completed += other.pool.completed;
         self.pool.panicked += other.pool.panicked;
         self.pool.queued += other.pool.queued;
@@ -95,13 +110,22 @@ impl EngineStats {
         self.quota.tenants += other.quota.tenants;
         self.quota.throttled_queue += other.quota.throttled_queue;
         self.quota.throttled_in_flight += other.quota.throttled_in_flight;
+        for stage in 0..STAGE_COUNT {
+            self.deadline_expired[stage] += other.deadline_expired[stage];
+        }
+        self.shed += other.shed;
         self
+    }
+
+    /// Total deadline expiries across every checkpoint stage.
+    pub fn deadline_expired_total(&self) -> u64 {
+        self.deadline_expired.iter().sum()
     }
 
     /// One-line human-readable summary for CLI output and logs.
     pub fn summary(&self) -> String {
         format!(
-            "requests: {} submitted, {} coalesced ({:.0}% coalesce rate), {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | disk-tier: {} hits / {} misses / {} errors ({} entries, {} KiB, {:.0}% hit rate) | pool: {} workers, {} completed, {} panicked, {} queued | quota: {} admitted, {} throttled, {} tenants",
+            "requests: {} submitted, {} coalesced ({:.0}% coalesce rate), {} rejected | cache: {} hits / {} misses / {} evictions ({} resident, {:.0}% hit rate) | disk-tier: {} hits / {} misses / {} errors ({} entries, {} KiB, {:.0}% hit rate) | pool: {} workers, {} completed, {} panicked, {} queued | quota: {} admitted, {} throttled, {} tenants | degraded: {} shed, {} expired",
             self.submitted,
             self.coalesced,
             self.coalesce_rate() * 100.0,
@@ -124,6 +148,8 @@ impl EngineStats {
             self.quota.admitted,
             self.quota.throttled,
             self.quota.tenants,
+            self.shed,
+            self.deadline_expired_total(),
         )
     }
 }
@@ -174,10 +200,28 @@ mod tests {
         b.cache.hits = 1;
         b.pool.workers = 2;
         b.quota.throttled = 2;
+        a.shed = 1;
+        b.shed = 4;
+        a.deadline_expired[2] = 2;
+        b.deadline_expired[2] = 3;
+        a.tier.retries = 1;
+        b.tier.retries = 2;
+        a.tier.unlink_errors = 5;
+        b.tier.breaker_trips = 7;
+        b.tier.breaker_state = 1;
         let merged = a.merge(&b);
         assert_eq!(merged.submitted, 8);
         assert_eq!(merged.cache.hits, 3);
         assert_eq!(merged.pool.workers, 6);
         assert_eq!(merged.quota.throttled, 3);
+        assert_eq!(merged.shed, 5);
+        assert_eq!(merged.deadline_expired[2], 5);
+        assert_eq!(merged.deadline_expired_total(), 5);
+        assert_eq!(merged.tier.retries, 3);
+        assert_eq!(merged.tier.unlink_errors, 5);
+        assert_eq!(merged.tier.breaker_trips, 7);
+        assert_eq!(merged.tier.breaker_state, 1);
+        let line = merged.summary();
+        assert!(line.contains("5 shed, 5 expired"), "summary: {line}");
     }
 }

@@ -767,6 +767,71 @@ impl RouterStats {
         );
         push_sample(&mut out, "linx_quota_tenants", "", self.quota.tenants);
 
+        push_family(
+            &mut out,
+            "linx_deadline_expired_total",
+            "counter",
+            "Requests that ran out of deadline budget, by the checkpoint stage that noticed.",
+        );
+        for stage in [Stage::Admit, Stage::QueueWait, Stage::Execute] {
+            push_sample(
+                &mut out,
+                "linx_deadline_expired_total",
+                &format!("stage=\"{}\"", stage.name()),
+                agg.deadline_expired[stage as usize],
+            );
+        }
+        push_family(
+            &mut out,
+            "linx_shed_total",
+            "counter",
+            "Low-priority requests rejected by overload protection before queueing.",
+        );
+        push_sample(&mut out, "linx_shed_total", "", agg.shed);
+        push_family(
+            &mut out,
+            "linx_disk_unlink_errors_total",
+            "counter",
+            "Disk-tier entry files that could not be removed (evictor skips them).",
+        );
+        push_sample(
+            &mut out,
+            "linx_disk_unlink_errors_total",
+            "",
+            self.tier.unlink_errors,
+        );
+        push_family(
+            &mut out,
+            "linx_disk_retries_total",
+            "counter",
+            "Disk-tier store attempts retried after a transient write failure.",
+        );
+        push_sample(&mut out, "linx_disk_retries_total", "", self.tier.retries);
+        push_family(
+            &mut out,
+            "linx_breaker_state",
+            "gauge",
+            "Disk-tier circuit breaker state: 0 closed, 1 open, 2 half-open.",
+        );
+        push_sample(
+            &mut out,
+            "linx_breaker_state",
+            "",
+            u64::from(self.tier.breaker_state),
+        );
+        push_family(
+            &mut out,
+            "linx_breaker_trips_total",
+            "counter",
+            "Times the disk-tier circuit breaker opened on consecutive failures.",
+        );
+        push_sample(
+            &mut out,
+            "linx_breaker_trips_total",
+            "",
+            self.tier.breaker_trips,
+        );
+
         push_histogram_family(
             &mut out,
             "linx_route_micros",
@@ -862,10 +927,11 @@ impl RouterStats {
                 "  \"requests\": {{\"submitted\":{submitted},\"coalesced\":{coalesced},\"rejected\":{rejected},\"coalesce_rate\":{coalesce_rate:.4}}},\n",
                 "  \"cache\": {{\n",
                 "    \"memory\": {{\"hits\":{mhits},\"misses\":{mmisses},\"evictions\":{mevict},\"entries\":{mentries},\"hit_rate\":{mrate:.4}}},\n",
-                "    \"disk\": {{\"hits\":{dhits},\"misses\":{dmisses},\"load_errors\":{derr},\"stores\":{dstores},\"evictions\":{devict},\"entries\":{dentries},\"bytes\":{dbytes},\"hit_rate\":{drate:.4}}}\n",
+                "    \"disk\": {{\"hits\":{dhits},\"misses\":{dmisses},\"load_errors\":{derr},\"stores\":{dstores},\"evictions\":{devict},\"entries\":{dentries},\"bytes\":{dbytes},\"hit_rate\":{drate:.4},\"unlink_errors\":{dunlink},\"retries\":{dretries}}}\n",
                 "  }},\n",
                 "  \"pool\": {{\"workers\":{workers},\"completed\":{completed},\"panicked\":{panicked},\"queued\":{queued},\"queued_now\":{queued_now},\"in_flight_now\":{in_flight_now}}},\n",
                 "  \"quota\": {{\"admitted\":{admitted},\"throttled\":{throttled},\"throttled_queue\":{tq},\"throttled_in_flight\":{tif},\"queued\":{qqueued},\"running\":{qrunning},\"tenants\":{tenants}}},\n",
+                "  \"degraded\": {{\"shed\":{shed},\"deadline_expired\":{{\"admit\":{dl_admit},\"queue_wait\":{dl_queue},\"execute\":{dl_exec}}},\"breaker\":{{\"state\":{br_state},\"trips\":{br_trips}}}}},\n",
                 "  \"shards\": [{shards}],\n",
                 "  \"latency_micros\": {{\n",
                 "    \"route\": {route},\n",
@@ -897,6 +963,14 @@ impl RouterStats {
             dentries = self.tier.entries,
             dbytes = self.tier.bytes,
             drate = agg.tier_hit_rate(),
+            dunlink = self.tier.unlink_errors,
+            dretries = self.tier.retries,
+            shed = agg.shed,
+            dl_admit = agg.deadline_expired[Stage::Admit as usize],
+            dl_queue = agg.deadline_expired[Stage::QueueWait as usize],
+            dl_exec = agg.deadline_expired[Stage::Execute as usize],
+            br_state = self.tier.breaker_state,
+            br_trips = self.tier.breaker_trips,
             workers = agg.pool.workers,
             completed = agg.pool.completed,
             panicked = agg.pool.panicked,

@@ -144,7 +144,7 @@ fn telemetry_merges_across_shards() {
 /// The exact set of Prometheus metric families the exposition emits, in order.
 /// A rename or removal here is a breaking change for scrapers — update this
 /// list only deliberately, alongside docs/ARCHITECTURE.md.
-const GOLDEN_FAMILIES: [&str; 30] = [
+const GOLDEN_FAMILIES: [&str; 36] = [
     "linx_requests_submitted_total counter",
     "linx_requests_coalesced_total counter",
     "linx_requests_rejected_total counter",
@@ -166,6 +166,12 @@ const GOLDEN_FAMILIES: [&str; 30] = [
     "linx_quota_queued gauge",
     "linx_quota_running gauge",
     "linx_quota_tenants gauge",
+    "linx_deadline_expired_total counter",
+    "linx_shed_total counter",
+    "linx_disk_unlink_errors_total counter",
+    "linx_disk_retries_total counter",
+    "linx_breaker_state gauge",
+    "linx_breaker_trips_total counter",
     "linx_route_micros histogram",
     "linx_admit_micros histogram",
     "linx_cache_lookup_micros histogram",

@@ -94,6 +94,19 @@ impl Clock {
     pub fn is_manual(&self) -> bool {
         matches!(self.0, ClockInner::Manual(_))
     }
+
+    /// Wait for `micros` of this clock's time: a real clock blocks the calling
+    /// thread, a manual clock just advances its counter. Retry/backoff paths
+    /// sleep through this so they are deterministic (and instant) under test
+    /// clocks while still pacing real deployments.
+    pub fn sleep_micros(&self, micros: u64) {
+        match &self.0 {
+            ClockInner::Real(_) => std::thread::sleep(std::time::Duration::from_micros(micros)),
+            ClockInner::Manual(t) => {
+                t.fetch_add(micros, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 impl Default for Clock {
