@@ -1,0 +1,284 @@
+//! HTTP front-end latency benchmark: one fresh exploration submitted through
+//! the `linx serve` loopback socket (connect → `POST /v1/explore` → poll →
+//! `GET .../result`) vs. the same exploration submitted directly to the
+//! [`Router`] in-process (`submit(..).wait()`). The claim under test: the
+//! hand-rolled HTTP/1.1 layer — accept, parse, dispatch, JSON encode, plus
+//! the client's poll loop — adds no more than 15% to the p50 of a real
+//! exploration, i.e. the daemon is a thin skin over the router, not a second
+//! engine.
+//!
+//! Besides the criterion-style timings (CI smoke under `--test`), a full run
+//! writes a machine-readable `BENCH_serve.json` baseline with p50/p95 for
+//! both paths. Set `LINX_BENCH_OUT` to redirect the baseline file.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::DataFrame;
+use linx_engine::serve::{ServeConfig, Server};
+use linx_engine::{EngineConfig, ExploreRequest, Router, RouterConfig};
+
+/// Dataset size: large enough that the exploration does real query work.
+const ROWS: usize = 2_000;
+/// Exploration budget: enough episodes that CDRL dominates fixed overhead.
+const EPISODES: usize = 80;
+
+fn dataset() -> DataFrame {
+    generate(
+        DatasetKind::Netflix,
+        ScaleConfig {
+            rows: Some(ROWS),
+            seed: 11,
+        },
+    )
+}
+
+/// The identical engine/router shape for both paths, so the only difference
+/// measured is the HTTP layer itself.
+fn router_config() -> RouterConfig {
+    let mut engine = EngineConfig::fast();
+    engine.workers = 2;
+    engine.cdrl.episodes = EPISODES;
+    RouterConfig {
+        shards: 1,
+        engine,
+        ..RouterConfig::fast()
+    }
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        router: router_config(),
+        ..ServeConfig::default()
+    }
+}
+
+// --- minimal loopback HTTP client -----------------------------------------
+
+/// A keep-alive connection to the daemon: submit, polls, and the result fetch
+/// all ride one TCP stream, the way a real client would use the API.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to linx serve");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Send one request and read its response, return (status, body).
+    fn request(&mut self, method: &str, path: &str, payload: &str) -> (u16, String) {
+        self.stream
+            .write_all(
+                format!(
+                    "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{payload}",
+                    payload.len()
+                )
+                .as_bytes(),
+            )
+            .expect("write request");
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!("connection closed before response head"),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("read error: {e}"),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .expect("Content-Length");
+        while self.buf.len() < head_end + content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!("connection closed mid-body"),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+        let body =
+            String::from_utf8_lossy(&self.buf[head_end..head_end + content_length]).into_owned();
+        self.buf.drain(..head_end + content_length);
+        (status, body)
+    }
+}
+
+/// Submit a fresh goal over HTTP, poll to completion with exponential backoff,
+/// fetch the result. Returns the result body length as a checksum the
+/// optimizer can't drop.
+fn explore_http(addr: SocketAddr, goal: &str) -> usize {
+    let mut client = Client::connect(addr);
+    let payload = format!("{{\"dataset\":\"netflix\",\"goal\":\"{goal}\"}}");
+    let (status, body) = client.request("POST", "/v1/explore", &payload);
+    assert_eq!(status, 202, "submit failed: {body}");
+    let id: u64 = body
+        .split("\"job_id\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .expect("job id");
+    // Long-poll: the server parks this request until the job settles (capped
+    // at 30 s), so waiting costs one round trip instead of a poll storm that
+    // would steal CPU from the worker the client is waiting on. The loop only
+    // re-arms in the rare case the cap expires first.
+    loop {
+        let (status, body) = client.request("GET", &format!("/v1/jobs/{id}?wait_ms=30000"), "");
+        assert_eq!(status, 200, "poll failed: {body}");
+        if !body.contains("\"status\":\"pending\"") {
+            break;
+        }
+    }
+    let (status, body) = client.request("GET", &format!("/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 200, "result fetch failed: {body}");
+    body.len()
+}
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let df = dataset();
+
+    let router = Router::new(router_config());
+    let routed = router.dataset_context(&df, "netflix");
+    let mut seq = 0u64;
+    c.bench_function("explore_direct", |b| {
+        b.iter(|| {
+            seq += 1;
+            let request = ExploreRequest::new("netflix", format!("direct bench goal {seq}"));
+            let response = router.submit(&routed, request).wait();
+            criterion::black_box(response.outcome.expect("direct exploration succeeds"))
+        })
+    });
+    router.shutdown();
+
+    let server =
+        Server::start(serve_config(), vec![("netflix".to_string(), df)]).expect("bind loopback");
+    let addr = server.addr();
+    let mut seq = 0u64;
+    c.bench_function("explore_http_loopback", |b| {
+        b.iter(|| {
+            seq += 1;
+            criterion::black_box(explore_http(addr, &format!("http bench goal {seq}")))
+        })
+    });
+    server.shutdown();
+    server.join();
+}
+
+criterion_group!(benches, bench_serve_latency);
+
+/// Wall-clock microseconds of `runs` invocations of `f`, sorted ascending.
+fn sorted_micros(runs: usize, mut f: impl FnMut()) -> Vec<f64> {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples
+}
+
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * pct / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Measure both paths and write the machine-readable baseline.
+fn write_baseline() -> std::io::Result<()> {
+    let df = dataset();
+    let runs = 30;
+
+    let router = Router::new(router_config());
+    let routed = router.dataset_context(&df, "netflix");
+    let mut seq = 0u64;
+    // Prime once (allocator + reward-memo warmup) before taking percentiles.
+    router
+        .submit(&routed, ExploreRequest::new("netflix", "warmup direct"))
+        .wait()
+        .outcome
+        .expect("warmup succeeds");
+    let direct = sorted_micros(runs, || {
+        seq += 1;
+        let request = ExploreRequest::new("netflix", format!("baseline direct goal {seq}"));
+        router
+            .submit(&routed, request)
+            .wait()
+            .outcome
+            .expect("direct exploration succeeds");
+    });
+    router.shutdown();
+
+    let server =
+        Server::start(serve_config(), vec![("netflix".to_string(), df)]).expect("bind loopback");
+    let addr = server.addr();
+    explore_http(addr, "warmup http");
+    let mut seq = 0u64;
+    let http = sorted_micros(runs, || {
+        seq += 1;
+        explore_http(addr, &format!("baseline http goal {seq}"));
+    });
+    server.shutdown();
+    server.join();
+
+    let direct_p50 = percentile(&direct, 50.0);
+    let direct_p95 = percentile(&direct, 95.0);
+    let http_p50 = percentile(&http, 50.0);
+    let http_p95 = percentile(&http, 95.0);
+    let overhead_pct = (http_p50 - direct_p50) / direct_p50.max(1e-9) * 100.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_latency\",\n  \"rows\": {ROWS},\n  \"episodes\": {EPISODES},\n  \"runs\": {runs},\n  \"direct_p50_micros\": {direct_p50:.1},\n  \"direct_p95_micros\": {direct_p95:.1},\n  \"http_p50_micros\": {http_p50:.1},\n  \"http_p95_micros\": {http_p95:.1},\n  \"http_overhead_pct\": {overhead_pct:.2},\n  \"target_overhead_pct\": 15.0\n}}\n",
+    );
+    let path = std::env::var("LINX_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    std::fs::write(&path, &json)?;
+    println!("wrote {path}:\n{json}");
+    if overhead_pct > 15.0 {
+        eprintln!("warning: HTTP overhead {overhead_pct:.2}% above the 15% target");
+    }
+    Ok(())
+}
+
+fn main() {
+    benches();
+    // Smoke mode (`cargo bench -- --test`, as CI runs it) skips the baseline pass.
+    if !std::env::args().any(|a| a == "--test") {
+        if let Err(e) = write_baseline() {
+            eprintln!("failed to write serve baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,7 +14,7 @@ use linx_dataframe::csv::{read_csv, write_csv, CsvOptions};
 use linx_dataframe::DataFrame;
 use linx_engine::{
     BatchRequest, EngineConfig, FaultPlan, JobError, PersistConfig, Router, RouterConfig,
-    RouterStats,
+    RouterStats, ServeConfig, Server, TenantQuota,
 };
 use linx_explore::to_ipynb_string;
 use linx_ldx::parse_ldx;
@@ -928,6 +928,213 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
         report.quota_swept,
     ));
     Ok(out)
+}
+
+/// Arguments of `linx serve`.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Dataset selection. When neither `--dataset` nor `--csv` is given, every
+    /// built-in synthetic dataset is registered under its own name.
+    pub data: DatasetSelection,
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Training episodes for the CDRL engine.
+    pub episodes: Option<usize>,
+    /// Worker threads (per shard).
+    pub workers: Option<usize>,
+    /// In-memory cache budget in bytes (per shard).
+    pub cache_mem_cap: Option<usize>,
+    /// Engine shards behind the router.
+    pub shards: Option<usize>,
+    /// Persistent cache directory shared by all shards.
+    pub cache_dir: Option<PathBuf>,
+    /// Size cap for the persistent cache directory, in bytes.
+    pub cache_disk_cap: Option<u64>,
+    /// Record requests slower than this many milliseconds in the slow-request log.
+    pub slow_ms: Option<u64>,
+    /// Fault-injection plan armed for the daemon's lifetime.
+    pub fault_plan: Option<String>,
+    /// Default per-request deadline in milliseconds (requests may override it).
+    pub deadline_ms: Option<u64>,
+    /// Load-shed threshold: queued jobs per shard before low-priority requests
+    /// answer 503.
+    pub shed_threshold: Option<usize>,
+    /// Default per-tenant admission quota (max in-flight = max queued = N);
+    /// exceeding it answers 429.
+    pub max_in_flight: Option<usize>,
+    /// Request body cap in bytes; larger bodies answer 400.
+    pub max_body_bytes: Option<usize>,
+}
+
+impl ServeArgs {
+    fn help() -> String {
+        help_text(
+            "linx serve",
+            "Serve exploration requests over HTTP/1.1 (POST /v1/explore, GET /v1/jobs/{id}[/result], /healthz, /metrics)",
+            "      --addr <HOST:PORT> Bind address [default: 127.0.0.1:7878]
+      --episodes <N>     Training episodes for the CDRL engine
+      --workers <N>      Worker threads (per shard)
+      --cache-mem-cap <BYTES>  In-memory cache budget in bytes (per shard) [default: 64 MiB]
+      --shards <N>       Engine shards behind the router [default: 1]
+      --cache-dir <PATH> Persistent cache directory (results survive the process)
+      --cache-disk-cap <BYTES>  Size cap for the cache directory [default: 256 MiB]
+      --slow-ms <N>      Log requests slower than N ms with per-stage breakdowns
+      --fault-plan <SPEC>  Arm a fault-injection plan (seed=N;point=err|panic|delay:<us>@<pct>;..)
+      --deadline-ms <N>  Default per-request deadline (504 once exceeded)
+      --shed-threshold <N>  Shed low-priority requests once N jobs are queued per shard (503)
+      --max-in-flight <N>  Per-tenant admission quota; exceeding it answers 429
+      --max-body-bytes <N>  Request body cap; larger bodies answer 400 [default: 1 MiB]",
+            true,
+        )
+    }
+
+    pub(crate) fn parse(cursor: &mut Cursor) -> ParseResult<Self> {
+        let mut data = DatasetFlags::default();
+        let mut addr = None;
+        let (mut episodes, mut workers, mut cache_mem_cap, mut shards) = (None, None, None, None);
+        let (mut cache_dir, mut cache_disk_cap, mut slow_ms) = (None, None, None);
+        let (mut fault_plan, mut deadline_ms, mut shed_threshold) = (None, None, None);
+        let (mut max_in_flight, mut max_body_bytes) = (None, None);
+        while let Some(flag) = cursor.next() {
+            match flag.as_str() {
+                "-h" | "--help" => return Err(ParseError::Help(Self::help())),
+                "--addr" => set_once(&mut addr, cursor.value_of(&flag)?, &flag)?,
+                "--episodes" => set_once(&mut episodes, cursor.parse_value(&flag)?, &flag)?,
+                "--workers" => set_once(&mut workers, cursor.parse_value(&flag)?, &flag)?,
+                "--cache-mem-cap" => {
+                    set_once(&mut cache_mem_cap, cursor.parse_value(&flag)?, &flag)?
+                }
+                "--shards" => set_once(&mut shards, cursor.parse_value(&flag)?, &flag)?,
+                "--cache-dir" => set_once(&mut cache_dir, cursor.path_value(&flag)?, &flag)?,
+                "--cache-disk-cap" => {
+                    set_once(&mut cache_disk_cap, cursor.parse_value(&flag)?, &flag)?
+                }
+                "--slow-ms" => set_once(&mut slow_ms, cursor.parse_value(&flag)?, &flag)?,
+                "--fault-plan" => {
+                    let spec = cursor.value_of(&flag)?;
+                    FaultPlan::parse(&spec).map_err(invalid)?;
+                    set_once(&mut fault_plan, spec, &flag)?;
+                }
+                "--deadline-ms" => set_once(&mut deadline_ms, cursor.parse_value(&flag)?, &flag)?,
+                "--shed-threshold" => {
+                    set_once(&mut shed_threshold, cursor.parse_value(&flag)?, &flag)?
+                }
+                "--max-in-flight" => {
+                    set_once(&mut max_in_flight, cursor.parse_value(&flag)?, &flag)?
+                }
+                "--max-body-bytes" => {
+                    set_once(&mut max_body_bytes, cursor.parse_value(&flag)?, &flag)?
+                }
+                _ if data.try_flag(&flag, cursor)? => {}
+                other => return Err(invalid(format!("unknown flag '{other}' for serve"))),
+            }
+        }
+        Ok(ServeArgs {
+            data: data.finish()?,
+            addr: addr.unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+            episodes,
+            workers,
+            cache_mem_cap,
+            shards,
+            cache_dir,
+            cache_disk_cap,
+            slow_ms,
+            fault_plan,
+            deadline_ms,
+            shed_threshold,
+            max_in_flight,
+            max_body_bytes,
+        })
+    }
+}
+
+/// Run `linx serve`: bind, announce, block until stdin closes (or a `shutdown`
+/// line arrives), then drain and report.
+///
+/// The listening line is printed directly (not returned) so scripts can wait
+/// for it while the daemon is still running; the returned string is the final
+/// drain accounting. There is no std-only way to catch SIGTERM, so process
+/// managers should close the daemon's stdin (or write `shutdown` to it) for a
+/// graceful drain; SIGTERM still works, it just skips the drain line.
+pub fn serve(args: &ServeArgs) -> Result<String, String> {
+    let datasets = serve_datasets(&args.data)?;
+    let mut router = router_config(
+        args.shards,
+        args.episodes,
+        args.workers,
+        CacheFlags {
+            mem_cap: args.cache_mem_cap,
+            dir: args.cache_dir.as_ref(),
+            disk_cap: args.cache_disk_cap,
+        },
+        args.slow_ms,
+        ResilienceFlags {
+            fault_plan: args.fault_plan.as_deref(),
+            deadline_ms: args.deadline_ms,
+            shed_threshold: args.shed_threshold,
+        },
+    )?;
+    if let Some(cap) = args.max_in_flight {
+        router.engine.default_quota = TenantQuota::limited(cap);
+    }
+    let mut config = ServeConfig {
+        addr: args.addr.clone(),
+        router,
+        ..ServeConfig::default()
+    };
+    if let Some(cap) = args.max_body_bytes {
+        config.limits.max_body_bytes = cap;
+    }
+
+    let names: Vec<String> = datasets.iter().map(|(n, _)| n.clone()).collect();
+    let server = Server::start(config, datasets)
+        .map_err(|e| format!("failed to bind {}: {e}", args.addr))?;
+    println!(
+        "linx serve: listening on http://{} with dataset(s) [{}]; POST /v1/explore, GET /v1/jobs/{{id}}[/result], /healthz, /metrics; close stdin or type 'shutdown' to drain",
+        server.addr(),
+        names.join(", ")
+    );
+    use std::io::BufRead as _;
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if matches!(l.trim(), "shutdown" | "quit" | "exit") => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    server.shutdown();
+    let report = server.join();
+    Ok(format!("{}\n", Server::drain_line(&report)))
+}
+
+/// Resolve the datasets a `linx serve` daemon registers: the explicit
+/// selection when one was given, every built-in otherwise.
+fn serve_datasets(data: &DatasetSelection) -> Result<Vec<(String, DataFrame)>, String> {
+    if data.dataset.is_some() || data.csv.is_some() {
+        let (frame, name) = data.load()?;
+        return Ok(vec![(name, frame)]);
+    }
+    Ok([
+        (DatasetArg::Netflix, "netflix"),
+        (DatasetArg::Flights, "flights"),
+        (DatasetArg::Playstore, "playstore"),
+    ]
+    .into_iter()
+    .map(|(arg, id)| {
+        let frame = generate(
+            arg.kind(),
+            ScaleConfig {
+                rows: data.rows,
+                seed: data.seed,
+            },
+        );
+        (id.to_string(), frame)
+    })
+    .collect())
 }
 
 /// Arguments of `linx bench-engine`.

@@ -14,6 +14,9 @@
 //! * `linx serve-batch` — run many goals against one dataset through the sharded,
 //!   concurrent, cache-aware `linx-engine` service (`--shards` picks the router
 //!   width, `--tenant` bills the batch to a tenant for admission control).
+//! * `linx serve` — a long-running HTTP/1.1 daemon over the router: submit goals
+//!   with `POST /v1/explore`, poll `GET /v1/jobs/{id}`, fetch results, and scrape
+//!   `/metrics`; stdin-close (or a `shutdown` line) drains gracefully.
 //! * `linx bench-engine` — measure the routed engine against sequential
 //!   `Linx::explore` calls (batch speedup + cache-hit demonstration).
 //!
@@ -44,6 +47,7 @@ Commands:
   benchmark      List instances of the goal-oriented benchmark (paper Table 1)
   generate-data  Generate a synthetic benchmark dataset and write it to CSV
   serve-batch    Serve many goals against one dataset via the concurrent linx-engine
+  serve          Serve exploration requests over HTTP/1.1 (submit/poll/result/healthz/metrics)
   bench-engine   Benchmark the engine against sequential Linx::explore calls
 
 Options:
@@ -127,6 +131,8 @@ pub enum Command {
     GenerateData(commands::GenerateDataArgs),
     /// Serve a batch of goals against one dataset through `linx-engine`.
     ServeBatch(commands::ServeBatchArgs),
+    /// Serve exploration requests over HTTP/1.1 via `linx-engine`'s daemon.
+    Serve(commands::ServeArgs),
     /// Benchmark `linx-engine` against sequential `Linx::explore` calls.
     BenchEngine(commands::BenchEngineArgs),
 }
@@ -173,6 +179,7 @@ impl Cli {
                 Command::GenerateData(commands::GenerateDataArgs::parse(&mut cursor)?)
             }
             "serve-batch" => Command::ServeBatch(commands::ServeBatchArgs::parse(&mut cursor)?),
+            "serve" => Command::Serve(commands::ServeArgs::parse(&mut cursor)?),
             "bench-engine" => Command::BenchEngine(commands::BenchEngineArgs::parse(&mut cursor)?),
             other => return Err(invalid(format!("unknown command '{other}'\n\n{USAGE}"))),
         };
@@ -204,6 +211,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         Command::Benchmark(args) => commands::benchmark(args),
         Command::GenerateData(args) => commands::generate_data(args),
         Command::ServeBatch(args) => commands::serve_batch(args),
+        Command::Serve(args) => commands::serve(args),
         Command::BenchEngine(args) => commands::bench_engine(args),
     }
 }
@@ -222,6 +230,7 @@ mod tests {
             "benchmark",
             "generate-data",
             "serve-batch",
+            "serve",
             "bench-engine",
         ] {
             let err = Cli::try_parse_from(["linx", cmd, "--help"]).unwrap_err();
@@ -382,6 +391,56 @@ mod tests {
         .unwrap_err();
         assert!(!err.is_help());
         assert!(err.message().contains("explode"), "{}", err.message());
+    }
+
+    #[test]
+    fn serve_parses_daemon_knobs() {
+        let cli = Cli::try_parse_from([
+            "linx",
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--dataset",
+            "netflix",
+            "--rows",
+            "200",
+            "--shards",
+            "2",
+            "--shed-threshold",
+            "0",
+            "--max-in-flight",
+            "1",
+            "--max-body-bytes",
+            "4096",
+            "--fault-plan",
+            "seed=7;http.accept=delay:200@10",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Serve(args) => {
+                assert_eq!(args.addr, "127.0.0.1:0");
+                assert_eq!(args.data.dataset, Some(DatasetArg::Netflix));
+                assert_eq!(args.data.rows, Some(200));
+                assert_eq!(args.shards, Some(2));
+                assert_eq!(args.shed_threshold, Some(0));
+                assert_eq!(args.max_in_flight, Some(1));
+                assert_eq!(args.max_body_bytes, Some(4096));
+                assert_eq!(
+                    args.fault_plan.as_deref(),
+                    Some("seed=7;http.accept=delay:200@10")
+                );
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
+        // Defaults: well-known port, no dataset restriction (all built-ins).
+        let cli = Cli::try_parse_from(["linx", "serve"]).unwrap();
+        match cli.command {
+            Command::Serve(args) => {
+                assert_eq!(args.addr, "127.0.0.1:7878");
+                assert!(args.data.dataset.is_none() && args.data.csv.is_none());
+            }
+            other => panic!("unexpected command: {other:?}"),
+        }
     }
 
     #[test]

@@ -54,6 +54,30 @@ impl JobHandle {
         })
     }
 
+    /// Take the response if it has already arrived, without blocking.
+    ///
+    /// Returns `None` while the job is still queued or executing. Outcomes that
+    /// resolve synchronously inside `submit` — cache hits, quota refusals, load
+    /// shedding, admission-deadline expiry — are always visible here by the time
+    /// `submit` returns, which is what lets a serving layer map them onto an
+    /// immediate wire status instead of parking a poll loop. A disconnected
+    /// channel (lost worker) reports [`JobError::WorkerLost`], mirroring
+    /// [`JobHandle::wait`].
+    pub fn try_wait(&self) -> Option<ExploreResponse> {
+        match self.rx.try_recv() {
+            Ok(response) => Some(response),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(ExploreResponse {
+                id: self.id,
+                dataset_id: String::new(),
+                goal: String::new(),
+                outcome: Err(JobError::WorkerLost),
+                served_from_cache: false,
+                total_micros: 0,
+            }),
+        }
+    }
+
     /// A handle that is already resolved to `error` — used by layers above the
     /// engine (e.g. the router's `route.place` failpoint) that must reject a
     /// request before any engine assigns it an id. `RequestId(0)` marks a

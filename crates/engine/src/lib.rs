@@ -30,7 +30,11 @@
 //!   of named failpoints (disk I/O, pool execution, placement) armed from
 //!   [`EngineConfig`] or `--fault-plan`, exercising the failure domains the
 //!   rest of this list hardens — request deadlines, the disk-tier circuit
-//!   breaker, load shedding, and [`Router::drain`].
+//!   breaker, load shedding, and [`Router::drain`];
+//! * [`http`] / [`serve`] — the network front-end: a hand-rolled, std-only
+//!   HTTP/1.1 parser with documented 400/431 caps, and the `linx serve`
+//!   daemon mapping the router's admission errors onto wire statuses
+//!   (429/503/504) with typed JSON error bodies and a drain sequence.
 //!
 //! Two invariants the layers lean on:
 //!
@@ -53,11 +57,13 @@ pub mod cache;
 pub mod engine;
 pub mod faults;
 pub mod fingerprint;
+pub mod http;
 pub mod persist;
 pub mod pipeline;
 pub mod pool;
 pub mod quota;
 pub mod router;
+pub mod serve;
 pub mod stats;
 pub mod telemetry;
 
@@ -70,6 +76,7 @@ pub use cache::{CacheStats, ShardedLru};
 pub use engine::{Engine, JobHandle};
 pub use faults::{FaultKind, FaultPlan, ScopedPlan};
 pub use fingerprint::{request_fingerprint, Fingerprint};
+pub use http::{HttpParseError, HttpRequest, HttpResponse, ParseLimits};
 pub use persist::{
     DiskTier, PersistConfig, TierStats, TieredCache, BREAKER_CLOSED, BREAKER_HALF_OPEN,
     BREAKER_OPEN,
@@ -82,6 +89,7 @@ pub use quota::{
 pub use router::{
     DrainReport, RoutedContext, Router, RouterConfig, RouterStats, RoutingTable, ShardStats,
 };
+pub use serve::{ServeConfig, Server};
 pub use stats::EngineStats;
 pub use telemetry::{
     MetricsRegistry, RequestTrace, ResponseMeta, SlowEntry, Stage, TelemetrySnapshot, TierLatency,

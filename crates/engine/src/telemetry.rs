@@ -439,11 +439,11 @@ impl TelemetrySnapshot {
 
 // --- exposition -------------------------------------------------------------------
 
-fn push_family(out: &mut String, name: &str, kind: &str, help: &str) {
+pub(crate) fn push_family(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
 }
 
-fn push_sample(out: &mut String, name: &str, labels: &str, value: u64) {
+pub(crate) fn push_sample(out: &mut String, name: &str, labels: &str, value: u64) {
     if labels.is_empty() {
         out.push_str(&format!("{name} {value}\n"));
     } else {
@@ -453,7 +453,12 @@ fn push_sample(out: &mut String, name: &str, labels: &str, value: u64) {
 
 /// Append one histogram series in the Prometheus convention: cumulative
 /// `_bucket{le="..."}` samples, then `_sum` and `_count`.
-fn push_histogram_series(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+pub(crate) fn push_histogram_series(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    h: &HistogramSnapshot,
+) {
     let mut cumulative = 0u64;
     for (i, &n) in h.buckets.iter().enumerate() {
         cumulative += n;
