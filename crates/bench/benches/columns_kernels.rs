@@ -1,0 +1,190 @@
+//! Typed-columnar-storage benchmark: memory footprint and kernel latency of the
+//! typed representation ([`linx_dataframe::ColumnData`]) vs. the seed
+//! `Value`-per-cell representation, on the three study datasets.
+//!
+//! Two quantities back the storage redesign's claims:
+//!
+//! * **Bytes per row** — `DataFrame::approx_data_bytes` for each dataset under
+//!   typed storage and under forced boxed storage (`Column::new_uncompacted`).
+//!   Target: ≥2× smaller on flights.
+//! * **Kernel latency** — the three hot kernels (numeric-predicate filter,
+//!   group-and-aggregate, histogram) on typed vs. boxed frames. Target: ≥3×
+//!   faster numeric filter.
+//!
+//! Besides the criterion-style timings (CI smoke under `--test`), a full run
+//! writes a machine-readable `BENCH_columns.json` baseline. Set `LINX_BENCH_OUT`
+//! to redirect the baseline file.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use linx_data::{generate, DatasetKind, ScaleConfig};
+use linx_dataframe::filter::{CompareOp, Predicate};
+use linx_dataframe::groupby::AggFunc;
+use linx_dataframe::{Column, DataFrame, Value};
+
+/// Rows per dataset: large enough that per-cell work dominates fixed op overhead.
+const ROWS: usize = 20_000;
+
+fn dataset(kind: DatasetKind) -> DataFrame {
+    generate(
+        kind,
+        ScaleConfig {
+            rows: Some(ROWS),
+            seed: 17,
+        },
+    )
+}
+
+/// The same frame with every column forced onto the seed boxed-`Value`
+/// representation (no typed compaction).
+fn boxed_copy(df: &DataFrame) -> DataFrame {
+    let columns = df
+        .column_names()
+        .into_iter()
+        .map(|name| {
+            let col = df.column(name).expect("column exists");
+            let values: Vec<Value> = (0..col.len())
+                .map(|i| col.get(i).unwrap_or(Value::Null))
+                .collect();
+            Column::new_uncompacted(name, values)
+        })
+        .collect();
+    DataFrame::new(columns).expect("copy preserves shape")
+}
+
+/// The kernel workload: a numeric-predicate filter, a group-and-aggregate over a
+/// categorical key, and a histogram. Returns a shape checksum so typed and boxed
+/// runs are provably computing the same thing.
+fn run_kernels(flights: &DataFrame, netflix: &DataFrame) -> u64 {
+    let mut checksum = 0u64;
+    let long_haul = flights
+        .filter(&Predicate::new("distance", CompareOp::Ge, Value::Int(2000)))
+        .expect("flights has a distance column");
+    checksum = checksum
+        .wrapping_mul(31)
+        .wrapping_add(long_haul.num_rows() as u64);
+    let by_country = netflix
+        .group_by("country", AggFunc::Avg, "duration")
+        .expect("netflix groups by country");
+    checksum = checksum
+        .wrapping_mul(31)
+        .wrapping_add(by_country.num_rows() as u64);
+    let hist = netflix.histogram("rating").expect("netflix has ratings");
+    checksum = checksum.wrapping_mul(31).wrapping_add(hist.total() as u64);
+    checksum
+}
+
+/// Just the numeric-predicate filter (the acceptance-gated kernel), measured alone.
+fn run_filter(flights: &DataFrame) -> u64 {
+    flights
+        .filter(&Predicate::new("distance", CompareOp::Ge, Value::Int(2000)))
+        .expect("flights has a distance column")
+        .num_rows() as u64
+}
+
+fn bench_columns_kernels(c: &mut Criterion) {
+    let flights = dataset(DatasetKind::Flights);
+    let netflix = dataset(DatasetKind::Netflix);
+    let flights_boxed = boxed_copy(&flights);
+    let netflix_boxed = boxed_copy(&netflix);
+    assert_eq!(
+        run_kernels(&flights, &netflix),
+        run_kernels(&flights_boxed, &netflix_boxed),
+        "typed and boxed kernels agree on every result shape"
+    );
+
+    c.bench_function("filter_numeric_typed", |b| {
+        b.iter(|| criterion::black_box(run_filter(&flights)))
+    });
+    c.bench_function("filter_numeric_boxed", |b| {
+        b.iter(|| criterion::black_box(run_filter(&flights_boxed)))
+    });
+    c.bench_function("kernels_typed", |b| {
+        b.iter(|| criterion::black_box(run_kernels(&flights, &netflix)))
+    });
+    c.bench_function("kernels_boxed", |b| {
+        b.iter(|| criterion::black_box(run_kernels(&flights_boxed, &netflix_boxed)))
+    });
+}
+
+criterion_group!(benches, bench_columns_kernels);
+
+/// Median wall-clock microseconds of `runs` invocations of `f`.
+fn median_micros(runs: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measure footprint and kernels on all three datasets and write the baseline.
+fn write_baseline() -> std::io::Result<()> {
+    let kinds = [
+        ("flights", DatasetKind::Flights),
+        ("netflix", DatasetKind::Netflix),
+        ("playstore", DatasetKind::PlayStore),
+    ];
+    let mut dataset_json = Vec::new();
+    let mut flights_bytes_ratio = 0.0;
+    for (name, kind) in kinds {
+        let typed = dataset(kind);
+        let boxed = boxed_copy(&typed);
+        let typed_bpr = typed.approx_data_bytes() as f64 / ROWS as f64;
+        let boxed_bpr = boxed.approx_data_bytes() as f64 / ROWS as f64;
+        let ratio = boxed_bpr / typed_bpr.max(1e-9);
+        if name == "flights" {
+            flights_bytes_ratio = ratio;
+        }
+        dataset_json.push(format!(
+            "    {{ \"dataset\": \"{name}\", \"typed_bytes_per_row\": {typed_bpr:.1}, \"boxed_bytes_per_row\": {boxed_bpr:.1}, \"shrink\": {ratio:.2} }}"
+        ));
+    }
+
+    let flights = dataset(DatasetKind::Flights);
+    let netflix = dataset(DatasetKind::Netflix);
+    let flights_boxed = boxed_copy(&flights);
+    let netflix_boxed = boxed_copy(&netflix);
+    let runs = 15;
+    run_kernels(&flights, &netflix);
+    run_kernels(&flights_boxed, &netflix_boxed);
+    let filter_typed = median_micros(runs, || run_filter(&flights));
+    let filter_boxed = median_micros(runs, || run_filter(&flights_boxed));
+    let kernels_typed = median_micros(runs, || run_kernels(&flights, &netflix));
+    let kernels_boxed = median_micros(runs, || run_kernels(&flights_boxed, &netflix_boxed));
+    let filter_speedup = filter_boxed / filter_typed.max(1e-9);
+    let kernels_speedup = kernels_boxed / kernels_typed.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"bench\": \"columns_kernels\",\n  \"rows\": {ROWS},\n  \"datasets\": [\n{}\n  ],\n  \"filter_numeric_typed_micros\": {filter_typed:.1},\n  \"filter_numeric_boxed_micros\": {filter_boxed:.1},\n  \"filter_speedup\": {filter_speedup:.2},\n  \"kernels_typed_micros\": {kernels_typed:.1},\n  \"kernels_boxed_micros\": {kernels_boxed:.1},\n  \"kernels_speedup\": {kernels_speedup:.2},\n  \"target_flights_shrink\": 2.0,\n  \"target_filter_speedup\": 3.0\n}}\n",
+        dataset_json.join(",\n"),
+    );
+    let path = std::env::var("LINX_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_columns.json").to_string()
+    });
+    std::fs::write(&path, &json)?;
+    println!("wrote {path}:\n{json}");
+    if flights_bytes_ratio < 2.0 {
+        eprintln!("warning: flights shrink {flights_bytes_ratio:.2}x below the 2x target");
+    }
+    if filter_speedup < 3.0 {
+        eprintln!("warning: filter speedup {filter_speedup:.2}x below the 3x target");
+    }
+    Ok(())
+}
+
+fn main() {
+    benches();
+    // Smoke mode (`cargo bench -- --test`, as CI runs it) skips the baseline pass.
+    if !std::env::args().any(|a| a == "--test") {
+        if let Err(e) = write_baseline() {
+            eprintln!("failed to write columns baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

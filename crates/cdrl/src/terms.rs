@@ -98,7 +98,31 @@ fn numeric_terms(df: &DataFrame, column: &str, slots: usize) -> Vec<Value> {
     let Ok(col) = df.column(column) else {
         return Vec::new();
     };
-    let mut values: Vec<f64> = col.iter().filter_map(|v| v.as_f64()).collect();
+    // Typed fast path: read the primitive slice directly when the column is
+    // contiguous numeric storage; otherwise walk borrowed cells (no Value clones).
+    let mut values: Vec<f64> = if let Some(xs) = col.as_f64s() {
+        match col.null_mask() {
+            None => xs.to_vec(),
+            Some(m) => xs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !m.is_null(*i))
+                .map(|(_, &x)| x)
+                .collect(),
+        }
+    } else if let Some(xs) = col.as_i64s() {
+        match col.null_mask() {
+            None => xs.iter().map(|&x| x as f64).collect(),
+            Some(m) => xs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !m.is_null(*i))
+                .map(|(_, &x)| x as f64)
+                .collect(),
+        }
+    } else {
+        col.cells().filter_map(|v| v.as_f64()).collect()
+    };
     if values.is_empty() {
         return Vec::new();
     }

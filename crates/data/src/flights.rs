@@ -210,6 +210,31 @@ mod tests {
     }
 
     #[test]
+    fn columns_land_in_typed_storage() {
+        let df = generate(500, 1);
+        // Pure-integer columns compact to primitive slices.
+        let distance = df.column("distance").unwrap();
+        assert_eq!(distance.as_i64s().map(<[i64]>::len), Some(500));
+        assert!(df.column("departure_delay").unwrap().as_i64s().is_some());
+        // String columns dictionary-encode.
+        let airline = df.column("airline").unwrap();
+        let (codes, dict) = airline.as_dict().unwrap();
+        assert_eq!(codes.len(), 500);
+        assert!(dict.len() < 32, "few distinct airlines");
+        // `delay_reason` is Str-or-Null → dict with a null mask.
+        let reason = df.column("delay_reason").unwrap();
+        assert!(reason.as_dict().is_some());
+        assert_eq!(
+            reason.null_mask().map(|m| m.null_count() > 0),
+            Some(true),
+            "on-time flights have a null delay reason"
+        );
+        // Boolean columns have no typed variant and stay boxed.
+        let cancelled = df.column("cancelled").unwrap();
+        assert!(cancelled.as_i64s().is_none() && cancelled.as_dict().is_none());
+    }
+
+    #[test]
     fn summer_holds_roughly_a_third_of_flights() {
         let df = generate(20000, 2);
         let summer: usize = (6..=8)

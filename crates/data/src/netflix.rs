@@ -179,6 +179,22 @@ mod tests {
     }
 
     #[test]
+    fn columns_land_in_typed_storage() {
+        let df = generate(500, 7);
+        // Low-cardinality strings dictionary-encode; the dict holds one entry per
+        // distinct country, not one Arc per row.
+        let country = df.column("country").unwrap();
+        let (codes, dict) = country.as_dict().unwrap();
+        assert_eq!(codes.len(), 500);
+        assert_eq!(dict.len(), country.n_unique());
+        assert!(df.column("release_year").unwrap().as_i64s().is_some());
+        // `director` mixes Str and Null → dict storage plus a null mask.
+        let director = df.column("director").unwrap();
+        assert!(director.as_dict().is_some());
+        assert!(director.null_mask().is_some_and(|m| m.null_count() > 0));
+    }
+
+    #[test]
     fn deterministic_for_same_seed() {
         let a = generate(200, 42);
         let b = generate(200, 42);

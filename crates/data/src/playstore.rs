@@ -163,6 +163,23 @@ mod tests {
     }
 
     #[test]
+    fn columns_land_in_typed_storage() {
+        let df = generate(1000, 1);
+        assert!(df.column("reviews").unwrap().as_i64s().is_some());
+        assert!(df.column("installs").unwrap().as_i64s().is_some());
+        // `rating` and `price` are generated as floats → primitive f64 storage.
+        assert_eq!(
+            df.column("rating").unwrap().as_f64s().map(<[f64]>::len),
+            Some(1000)
+        );
+        assert!(df.column("price").unwrap().as_f64s().is_some());
+        let category = df.column("category").unwrap();
+        let (codes, dict) = category.as_dict().unwrap();
+        assert_eq!(codes.len(), 1000);
+        assert_eq!(dict.len(), category.n_unique());
+    }
+
+    #[test]
     fn most_apps_are_free_and_price_is_skewed() {
         let df = generate(8000, 2);
         let free = df

@@ -1,30 +1,49 @@
 //! Column storage.
 //!
-//! A [`Column`] is a named vector of [`Value`]s plus an inferred [`DataType`]. Columns
-//! are the unit of storage inside a [`crate::DataFrame`]. Storage is shared: the cell
-//! vector lives behind an `Arc`, and a column may additionally carry a **selection** —
-//! a shared `Arc<[u32]>` of row indices into that storage — in which case it is a
+//! A [`Column`] is a named, typed sequence of cells. Since the typed-storage redesign
+//! the cells live in a shared [`ColumnData`] — `Vec<i64>` / `Vec<f64>` / dictionary-
+//! encoded strings / boxed `Value`s as a fallback — plus an optional [`NullMask`],
+//! instead of one boxed [`Value`] per cell (see the `data` module docs for the layout
+//! and the lossless-compaction rules). A column may additionally carry a **selection**
+//! — a shared `Arc<[u32]>` of row indices into that storage — in which case it is a
 //! zero-copy *view* of a subset (or reordering) of the rows. Filter and row-take
-//! operations build selections instead of gathering cells; every accessor
-//! ([`Column::get`], [`Column::iter`], the aggregates) resolves through the selection,
-//! and [`Column::materialize`] produces a contiguous copy where one is genuinely
-//! needed.
+//! operations build selections instead of gathering cells.
+//!
+//! Access surface:
+//!
+//! * [`Column::cells`] / [`Column::cell`] — borrowed [`ValueRef`]s resolving through
+//!   the selection; the general path, no per-cell allocation.
+//! * [`Column::data`] + [`Column::as_i64s`] / [`Column::as_f64s`] / [`Column::as_dict`]
+//!   — direct typed slices for kernels (contiguous columns only; views return `None`
+//!   from the slice accessors because storage order includes hidden rows).
+//! * [`Column::get`] — thin compat shim materializing an owned [`Value`] at the API
+//!   edge.
+//!
+//! The filter/aggregate kernels in this module and in `groupby`/`stats` dispatch on
+//! the storage variant: predicates over numeric columns run as tight loops over
+//! primitive slices with the RHS resolved once; predicates over dictionary columns
+//! evaluate once per *distinct* string and then scan codes.
 
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::data::{ColumnData, NullMask, ValueRef};
+use crate::filter::CompareOp;
 use crate::schema::{DataType, Field};
-use crate::value::{GroupKey, Value};
+use crate::value::Value;
 
 /// A named, typed sequence of values — contiguous, or a zero-copy selection view over
-/// shared storage (see the module docs).
+/// shared typed storage (see the module docs).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Column {
     name: Arc<str>,
     dtype: DataType,
-    values: Arc<Vec<Value>>,
-    /// When present, the visible rows: indices into `values`, in view order. All
+    data: Arc<ColumnData>,
+    /// Null bitmap over **storage** rows, present only for typed variants with nulls
+    /// (`Mixed` keeps `Value::Null` inline and never carries a mask).
+    nulls: Option<Arc<NullMask>>,
+    /// When present, the visible rows: indices into the storage, in view order. All
     /// indices are in bounds by construction (out-of-range gathers materialize
     /// instead).
     sel: Option<Arc<[u32]>>,
@@ -32,10 +51,28 @@ pub struct Column {
 
 impl PartialEq for Column {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name
-            && self.dtype == other.dtype
-            && self.len() == other.len()
-            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+        if self.name != other.name || self.dtype != other.dtype || self.len() != other.len() {
+            return false;
+        }
+        // Fast path: shared storage + identical selection means identical contents —
+        // no cell walk. (Columns cloned from one another, or views taken from the
+        // same parent with the same memoized selection, hit this.)
+        let nulls_shared = match (&self.nulls, &other.nulls) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if Arc::ptr_eq(&self.data, &other.data) && nulls_shared {
+            let sel_same = match (&self.sel, &other.sel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b) || a == b,
+                _ => false,
+            };
+            if sel_same {
+                return true;
+            }
+        }
+        self.cells().zip(other.cells()).all(|(a, b)| a == b)
     }
 }
 
@@ -44,23 +81,42 @@ impl Column {
     ///
     /// Values whose type disagrees with the dominant type are kept as-is (the dataframe
     /// is permissive, like Pandas object columns); nulls do not influence inference.
-    /// An all-null column defaults to [`DataType::Str`].
+    /// An all-null column defaults to [`DataType::Str`]. Storage is compacted to the
+    /// typed representation when the cells allow it (losslessly — see [`ColumnData`]).
     pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
         let dtype = infer_dtype(&values);
-        Column {
-            name: Arc::from(name.into()),
-            dtype,
-            values: Arc::new(values),
-            sel: None,
-        }
+        Self::from_parts(Arc::from(name.into()), dtype, values)
     }
 
     /// Create a column with an explicit data type (no inference).
     pub fn with_dtype(name: impl Into<String>, dtype: DataType, values: Vec<Value>) -> Self {
+        Self::from_parts(Arc::from(name.into()), dtype, values)
+    }
+
+    /// Create a column that **skips** typed compaction and stores boxed cells exactly
+    /// as the seed representation did. Exists so benchmarks and tests can compare the
+    /// typed kernels against the `Value`-per-cell path; production code wants
+    /// [`Column::new`].
+    #[doc(hidden)]
+    pub fn new_uncompacted(name: impl Into<String>, values: Vec<Value>) -> Self {
+        let dtype = infer_dtype(&values);
         Column {
             name: Arc::from(name.into()),
             dtype,
-            values: Arc::new(values),
+            data: Arc::new(ColumnData::Mixed(values)),
+            nulls: None,
+            sel: None,
+        }
+    }
+
+    /// Compact `values` into typed storage under an already-decided name and dtype.
+    fn from_parts(name: Arc<str>, dtype: DataType, values: Vec<Value>) -> Self {
+        let (data, nulls) = ColumnData::compact(values);
+        Column {
+            name,
+            dtype,
+            data: Arc::new(data),
+            nulls: nulls.map(Arc::new),
             sel: None,
         }
     }
@@ -84,7 +140,7 @@ impl Column {
     pub fn len(&self) -> usize {
         match &self.sel {
             Some(sel) => sel.len(),
-            None => self.values.len(),
+            None => self.data.len(),
         }
     }
 
@@ -98,51 +154,131 @@ impl Column {
         self.sel.is_none()
     }
 
-    /// Iterate the visible values in row order, resolving through the selection.
-    pub fn iter(&self) -> impl Iterator<Item = &Value> + '_ {
-        // Both arms yield exactly `len()` items; selections are in bounds by
-        // construction, so the indexed arm never panics.
-        ColumnIter {
-            values: &self.values,
+    /// The typed backing storage. **Storage order**: when the column is a view
+    /// ([`Column::is_contiguous`] is false) this includes rows the selection hides —
+    /// resolve through [`Column::sel_indices`] or use [`Column::cells`] instead.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap over storage rows, when the typed storage carries one.
+    /// `Mixed` storage keeps nulls inline and always returns `None` here.
+    pub fn null_mask(&self) -> Option<&NullMask> {
+        self.nulls.as_deref()
+    }
+
+    /// The visible rows as storage indices, when this column is a view.
+    pub fn sel_indices(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// The visible cells as an `&[i64]` slice: contiguous integer-typed columns only
+    /// (views return `None` — their storage includes hidden rows). Null positions
+    /// hold a placeholder; consult [`Column::null_mask`].
+    pub fn as_i64s(&self) -> Option<&[i64]> {
+        match (&self.sel, self.data.as_ref()) {
+            (None, ColumnData::I64(xs)) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The visible cells as an `&[f64]` slice: contiguous float-typed columns only
+    /// (same contract as [`Column::as_i64s`]).
+    pub fn as_f64s(&self) -> Option<&[f64]> {
+        match (&self.sel, self.data.as_ref()) {
+            (None, ColumnData::F64(xs)) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The visible cells as dictionary codes plus the dictionary: contiguous
+    /// dictionary-encoded string columns only (same contract as [`Column::as_i64s`]).
+    pub fn as_dict(&self) -> Option<(&[u32], &[Arc<str>])> {
+        match (&self.sel, self.data.as_ref()) {
+            (None, ColumnData::Dict { codes, dict }) => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Iterate the visible cells in row order as borrowed [`ValueRef`]s, resolving
+    /// through the selection. No per-cell allocation; integers and floats are carried
+    /// inline, strings borrow the dictionary.
+    pub fn cells(&self) -> impl ExactSizeIterator<Item = ValueRef<'_>> + '_ {
+        Cells {
+            data: &self.data,
+            nulls: self.nulls.as_deref(),
             sel: self.sel.as_deref(),
             pos: 0,
+            len: self.len(),
         }
     }
 
-    /// The visible values as a contiguous slice, when the column is not a view.
-    /// Views return `None`; use [`Column::iter`] (any column) or
-    /// [`Column::materialize`] first.
-    pub fn as_slice(&self) -> Option<&[Value]> {
-        match &self.sel {
-            Some(_) => None,
-            None => Some(&self.values),
+    /// The cell at a (visible) row index, borrowed.
+    pub fn cell(&self, idx: usize) -> Option<ValueRef<'_>> {
+        if idx >= self.len() {
+            return None;
         }
+        let si = self.storage_index(idx);
+        Some(self.data.value_ref(si, self.nulls.as_deref()))
     }
 
-    /// Value at a (visible) row index.
-    pub fn get(&self, idx: usize) -> Option<&Value> {
-        match &self.sel {
-            Some(sel) => self.values.get(*sel.get(idx)? as usize),
-            None => self.values.get(idx),
-        }
+    /// Value at a (visible) row index — compat shim materializing an owned [`Value`]
+    /// (a refcount bump for strings). Hot paths want [`Column::cell`]/[`Column::cells`].
+    pub fn get(&self, idx: usize) -> Option<Value> {
+        self.cell(idx).map(|r| r.to_value())
     }
 
-    /// Number of null values.
+    /// Number of null values among the visible rows.
     pub fn null_count(&self) -> usize {
-        self.iter().filter(|v| v.is_null()).count()
+        match self.data.as_ref() {
+            ColumnData::Mixed(vs) => match &self.sel {
+                None => vs.iter().filter(|v| v.is_null()).count(),
+                Some(sel) => sel.iter().filter(|&&i| vs[i as usize].is_null()).count(),
+            },
+            _ => match (self.nulls.as_deref(), &self.sel) {
+                (None, _) => 0,
+                (Some(m), None) => m.null_count(),
+                (Some(m), Some(sel)) => sel.iter().filter(|&&i| m.is_null(i as usize)).count(),
+            },
+        }
     }
 
-    /// Number of distinct non-null values. Single borrowed-key pass: no per-cell
-    /// allocation, only the dedup set itself.
+    /// Number of distinct non-null values. Typed storage dedups primitives (or dict
+    /// codes) directly; `Mixed` falls back to a borrowed-key pass.
     pub fn n_unique(&self) -> usize {
         use std::collections::HashSet;
-        let mut seen: HashSet<GroupKey<'_>> = HashSet::new();
-        for v in self.iter() {
-            if !v.is_null() {
-                seen.insert(v.group_key());
+        match self.data.as_ref() {
+            ColumnData::I64(xs) => {
+                let mut seen: HashSet<i64> = HashSet::new();
+                self.for_each_non_null_storage(|si| {
+                    seen.insert(xs[si]);
+                });
+                seen.len()
+            }
+            ColumnData::F64(xs) => {
+                let mut seen: HashSet<u64> = HashSet::new();
+                self.for_each_non_null_storage(|si| {
+                    seen.insert(xs[si].to_bits());
+                });
+                seen.len()
+            }
+            ColumnData::Dict { codes, .. } => {
+                let mut seen: HashSet<u32> = HashSet::new();
+                self.for_each_non_null_storage(|si| {
+                    seen.insert(codes[si]);
+                });
+                seen.len()
+            }
+            ColumnData::Mixed(_) => {
+                let mut seen: HashSet<crate::value::GroupKey<'_>> = HashSet::new();
+                for v in self.cells() {
+                    if !v.is_null() {
+                        seen.insert(v.group_key());
+                    }
+                }
+                seen.len()
             }
         }
-        seen.len()
     }
 
     /// The selection, when this column is a view (indices into the shared storage).
@@ -155,12 +291,54 @@ impl Column {
     /// ([`crate::DataFrame::take`] composes once per distinct parent selection and
     /// shares the result across columns).
     pub(crate) fn with_selection(&self, sel: Arc<[u32]>) -> Column {
-        debug_assert!(sel.iter().all(|&i| (i as usize) < self.values.len()));
+        debug_assert!(sel.iter().all(|&i| (i as usize) < self.data.len()));
         Column {
             name: Arc::clone(&self.name),
             dtype: self.dtype,
-            values: Arc::clone(&self.values),
+            data: Arc::clone(&self.data),
+            nulls: self.nulls.clone(),
             sel: Some(sel),
+        }
+    }
+
+    /// Storage index of a visible row (row must be in bounds).
+    #[inline]
+    pub(crate) fn storage_index(&self, vis: usize) -> usize {
+        match &self.sel {
+            Some(sel) => sel[vis] as usize,
+            None => vis,
+        }
+    }
+
+    /// Whether the cell at a **storage** index is null (works for every variant).
+    #[inline]
+    pub(crate) fn is_null_storage(&self, si: usize) -> bool {
+        match self.data.as_ref() {
+            ColumnData::Mixed(vs) => vs[si].is_null(),
+            _ => self.nulls.as_deref().is_some_and(|m| m.is_null(si)),
+        }
+    }
+
+    /// Run `f` over the storage index of every visible **non-null** row, in row order.
+    #[inline]
+    fn for_each_non_null_storage(&self, mut f: impl FnMut(usize)) {
+        let nulls = self.nulls.as_deref();
+        match &self.sel {
+            None => {
+                for si in 0..self.data.len() {
+                    if !nulls.is_some_and(|m| m.is_null(si)) {
+                        f(si);
+                    }
+                }
+            }
+            Some(sel) => {
+                for &si in sel.iter() {
+                    let si = si as usize;
+                    if !nulls.is_some_and(|m| m.is_null(si)) {
+                        f(si);
+                    }
+                }
+            }
         }
     }
 
@@ -172,7 +350,7 @@ impl Column {
     /// semantics).
     pub fn gather(&self, indices: &[usize]) -> Column {
         let n = self.len();
-        if indices.iter().all(|&i| i < n) && self.values.len() <= u32::MAX as usize {
+        if indices.iter().all(|&i| i < n) && self.data.len() <= u32::MAX as usize {
             let composed: Arc<[u32]> = match &self.sel {
                 Some(sel) => indices.iter().map(|&i| sel[i]).collect(),
                 None => indices.iter().map(|&i| i as u32).collect(),
@@ -181,48 +359,104 @@ impl Column {
         }
         let values = indices
             .iter()
-            .map(|&i| self.get(i).cloned().unwrap_or(Value::Null))
+            .map(|&i| self.get(i).unwrap_or(Value::Null))
             .collect();
+        Self::from_parts(Arc::clone(&self.name), self.dtype, values)
+    }
+
+    /// A contiguous copy of the visible rows. Cheap for contiguous columns (shares
+    /// the storage `Arc`); for views it gathers within the typed representation —
+    /// primitive copies for numeric storage, code copies plus a shared dictionary for
+    /// strings (the dictionary may then hold entries no visible code references).
+    pub fn materialize(&self) -> Column {
+        let sel = match &self.sel {
+            None => return self.clone(),
+            Some(sel) => sel,
+        };
+        let gathered_mask = || -> Option<Arc<NullMask>> {
+            let m = self.nulls.as_deref()?;
+            let mut out = NullMask::new_empty(sel.len());
+            let mut any = false;
+            for (vis, &si) in sel.iter().enumerate() {
+                if m.is_null(si as usize) {
+                    out.set_null(vis);
+                    any = true;
+                }
+            }
+            any.then(|| Arc::new(out))
+        };
+        let (data, nulls) = match self.data.as_ref() {
+            ColumnData::I64(xs) => (
+                ColumnData::I64(sel.iter().map(|&i| xs[i as usize]).collect()),
+                gathered_mask(),
+            ),
+            ColumnData::F64(xs) => (
+                ColumnData::F64(sel.iter().map(|&i| xs[i as usize]).collect()),
+                gathered_mask(),
+            ),
+            ColumnData::Dict { codes, dict } => (
+                ColumnData::Dict {
+                    codes: sel.iter().map(|&i| codes[i as usize]).collect(),
+                    dict: dict.clone(),
+                },
+                gathered_mask(),
+            ),
+            ColumnData::Mixed(vs) => (
+                ColumnData::Mixed(sel.iter().map(|&i| vs[i as usize].clone()).collect()),
+                None,
+            ),
+        };
         Column {
             name: Arc::clone(&self.name),
             dtype: self.dtype,
-            values: Arc::new(values),
+            data: Arc::new(data),
+            nulls,
             sel: None,
         }
     }
 
-    /// A contiguous copy of the visible rows. Cheap for contiguous columns (shares
-    /// the storage `Arc`); for views it clones the selected cells — with interned
-    /// strings, refcount bumps rather than heap allocations.
-    pub fn materialize(&self) -> Column {
-        match &self.sel {
-            None => self.clone(),
-            Some(sel) => Column {
-                name: Arc::clone(&self.name),
-                dtype: self.dtype,
-                values: Arc::new(
-                    sel.iter()
-                        .map(|&i| self.values[i as usize].clone())
-                        .collect(),
-                ),
-                sel: None,
-            },
-        }
-    }
-
-    /// Sum of the numeric values, ignoring nulls and non-numeric cells.
+    /// Sum of the numeric values, ignoring nulls and non-numeric cells. Typed numeric
+    /// storage sums a primitive slice directly.
     pub fn sum(&self) -> f64 {
-        self.iter().filter_map(|v| v.as_f64()).sum()
+        // -0.0 accumulator start: bit-identical to `Iterator::sum::<f64>()` (whose
+        // fold identity is -0.0) even when no numeric cells exist.
+        match self.data.as_ref() {
+            ColumnData::I64(xs) => {
+                let mut s = -0.0f64;
+                self.for_each_non_null_storage(|si| s += xs[si] as f64);
+                s
+            }
+            ColumnData::F64(xs) => {
+                let mut s = -0.0f64;
+                self.for_each_non_null_storage(|si| s += xs[si]);
+                s
+            }
+            ColumnData::Dict { .. } => -0.0,
+            ColumnData::Mixed(_) => self.cells().filter_map(|v| v.as_f64()).sum(),
+        }
     }
 
     /// Mean of the numeric values, or `None` if there are none. Single pass — no
     /// intermediate buffer.
     pub fn mean(&self) -> Option<f64> {
         let (mut sum, mut count) = (0.0f64, 0usize);
-        for v in self.iter() {
-            if let Some(x) = v.as_f64() {
-                sum += x;
+        match self.data.as_ref() {
+            ColumnData::I64(xs) => self.for_each_non_null_storage(|si| {
+                sum += xs[si] as f64;
                 count += 1;
+            }),
+            ColumnData::F64(xs) => self.for_each_non_null_storage(|si| {
+                sum += xs[si];
+                count += 1;
+            }),
+            ColumnData::Dict { .. } => {}
+            ColumnData::Mixed(_) => {
+                for v in self.cells() {
+                    if let Some(x) = v.as_f64() {
+                        sum += x;
+                        count += 1;
+                    }
+                }
             }
         }
         if count == 0 {
@@ -233,53 +467,361 @@ impl Column {
     }
 
     /// Minimum value (by total order), ignoring nulls.
-    pub fn min(&self) -> Option<&Value> {
-        self.iter().filter(|v| !v.is_null()).min()
+    pub fn min(&self) -> Option<Value> {
+        self.min_max(true)
     }
 
     /// Maximum value (by total order), ignoring nulls.
-    pub fn max(&self) -> Option<&Value> {
-        self.iter().filter(|v| !v.is_null()).max()
+    pub fn max(&self) -> Option<Value> {
+        self.min_max(false)
+    }
+
+    fn min_max(&self, want_min: bool) -> Option<Value> {
+        match self.data.as_ref() {
+            ColumnData::I64(xs) => {
+                let mut best: Option<i64> = None;
+                self.for_each_non_null_storage(|si| {
+                    let x = xs[si];
+                    best = Some(match best {
+                        None => x,
+                        Some(b) => {
+                            if (x < b) == want_min {
+                                x
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                });
+                best.map(Value::Int)
+            }
+            ColumnData::F64(xs) => {
+                let mut best: Option<f64> = None;
+                self.for_each_non_null_storage(|si| {
+                    let x = xs[si];
+                    best = Some(match best {
+                        None => x,
+                        Some(b) => {
+                            if (x.total_cmp(&b) == std::cmp::Ordering::Less) == want_min {
+                                x
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                });
+                best.map(Value::Float)
+            }
+            ColumnData::Dict { codes, dict } => {
+                let mut best: Option<&Arc<str>> = None;
+                self.for_each_non_null_storage(|si| {
+                    let s = &dict[codes[si] as usize];
+                    best = Some(match best {
+                        None => s,
+                        Some(b) => {
+                            if (s.as_ref() < b.as_ref()) == want_min {
+                                s
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                });
+                best.map(|s| Value::Str(Arc::clone(s)))
+            }
+            ColumnData::Mixed(_) => {
+                let it = self.cells().filter(|v| !v.is_null());
+                let best = if want_min {
+                    it.min_by(|a, b| a.total_cmp(b))
+                } else {
+                    it.max_by(|a, b| a.total_cmp(b))
+                };
+                best.map(|v| v.to_value())
+            }
+        }
     }
 
     /// Append a value (used by builders; dtype is not re-inferred). A view is
     /// materialized first; contiguous columns with unshared storage append in place.
+    /// A value that does not fit the typed variant (e.g. a string pushed onto an
+    /// integer column) falls back to the boxed representation.
     pub fn push(&mut self, value: Value) {
         if self.sel.is_some() {
             *self = self.materialize();
         }
-        Arc::make_mut(&mut self.values).push(value);
+        let fits = matches!(
+            (self.data.as_ref(), &value),
+            (ColumnData::I64(_), Value::Int(_) | Value::Null)
+                | (ColumnData::F64(_), Value::Float(_) | Value::Null)
+                | (ColumnData::Dict { .. }, Value::Str(_) | Value::Null)
+                | (ColumnData::Mixed(_), _)
+        );
+        if !fits {
+            let mut values = self.data.to_values(self.nulls.as_deref());
+            values.push(value);
+            let (data, nulls) = ColumnData::compact(values);
+            self.data = Arc::new(data);
+            self.nulls = nulls.map(Arc::new);
+            return;
+        }
+        let is_null = value.is_null();
+        match (Arc::make_mut(&mut self.data), value) {
+            (ColumnData::Mixed(vs), v) => {
+                vs.push(v);
+                return; // nulls stay inline in Mixed; no mask to maintain
+            }
+            (ColumnData::I64(xs), Value::Int(i)) => xs.push(i),
+            (ColumnData::I64(xs), Value::Null) => xs.push(0),
+            (ColumnData::F64(xs), Value::Float(f)) => xs.push(f),
+            (ColumnData::F64(xs), Value::Null) => xs.push(0.0),
+            (ColumnData::Dict { codes, dict }, Value::Str(s)) => {
+                // Builder path: dictionaries here are small (group keys, distinct
+                // values), so a linear probe beats maintaining a side index.
+                match dict.iter().position(|d| **d == *s) {
+                    Some(c) => codes.push(c as u32),
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(s);
+                        codes.push(c);
+                    }
+                }
+            }
+            (ColumnData::Dict { codes, .. }, Value::Null) => codes.push(0),
+            _ => unreachable!("push fit check covers every variant"),
+        }
+        // Typed append: extend (or create) the null mask to cover the new row.
+        match &mut self.nulls {
+            Some(m) => Arc::make_mut(m).push(is_null),
+            None if is_null => {
+                let mut m = NullMask::new_empty(self.data.len() - 1);
+                m.push(true);
+                self.nulls = Some(Arc::new(m));
+            }
+            None => {}
+        }
+    }
+
+    /// Visible row indices satisfying `op term`, evaluated as a vectorized kernel.
+    ///
+    /// The RHS is resolved once per call: numeric storage scans a primitive slice
+    /// against a pre-coerced `f64`; dictionary storage evaluates the predicate once
+    /// per distinct string and then scans codes; `Mixed` falls back to per-cell
+    /// [`CompareOp::eval`]. All paths produce exactly the rows the per-cell path
+    /// would (the kernels mirror `eval`'s coercion rules, including null handling).
+    pub(crate) fn filter_indices(&self, op: CompareOp, term: &Value) -> Vec<usize> {
+        let null_match = op.eval(&Value::Null, term);
+        let mut out = Vec::new();
+        match self.data.as_ref() {
+            ColumnData::I64(xs) => self.scan_numeric(
+                xs,
+                |x| x as f64,
+                &Value::Int(0),
+                op,
+                term,
+                null_match,
+                &mut out,
+            ),
+            ColumnData::F64(xs) => self.scan_numeric(
+                xs,
+                |x| x,
+                &Value::Float(0.0),
+                op,
+                term,
+                null_match,
+                &mut out,
+            ),
+            ColumnData::Dict { codes, dict } => {
+                // One predicate evaluation per distinct string (this is where the
+                // per-row lowercase allocations of Contains/StartsWith collapse),
+                // then a tight scan over codes.
+                let mask: Vec<bool> = dict
+                    .iter()
+                    .map(|s| op.eval(&Value::Str(Arc::clone(s)), term))
+                    .collect();
+                self.scan_pred(codes, null_match, |c| mask[c as usize], &mut out);
+            }
+            ColumnData::Mixed(vs) => match &self.sel {
+                None => {
+                    for (i, v) in vs.iter().enumerate() {
+                        if op.eval(v, term) {
+                            out.push(i);
+                        }
+                    }
+                }
+                Some(sel) => {
+                    for (vis, &si) in sel.iter().enumerate() {
+                        if op.eval(&vs[si as usize], term) {
+                            out.push(vis);
+                        }
+                    }
+                }
+            },
+        }
+        out
+    }
+
+    /// Numeric filter kernel: dispatch `op` to a primitive comparison loop when the
+    /// term coerces to a number; otherwise every non-null cell evaluates to the same
+    /// constant (numeric cells never match string terms and vice versa), which
+    /// `sample` — a stand-in non-null cell of this column's type — resolves once.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_numeric<T: Copy>(
+        &self,
+        xs: &[T],
+        to_f64: impl Fn(T) -> f64,
+        sample: &Value,
+        op: CompareOp,
+        term: &Value,
+        null_match: bool,
+        out: &mut Vec<usize>,
+    ) {
+        let t = match (term.as_f64(), op) {
+            (
+                Some(t),
+                CompareOp::Eq
+                | CompareOp::Neq
+                | CompareOp::Gt
+                | CompareOp::Ge
+                | CompareOp::Lt
+                | CompareOp::Le,
+            ) => t,
+            _ => {
+                // Contains/StartsWith on numbers, or a non-numeric term: constant
+                // outcome for every non-null cell.
+                let k = op.eval(sample, term);
+                self.scan_const(null_match, k, out);
+                return;
+            }
+        };
+        match op {
+            CompareOp::Eq => self.scan_pred(xs, null_match, |x| to_f64(x) == t, out),
+            CompareOp::Neq => self.scan_pred(xs, null_match, |x| to_f64(x) != t, out),
+            CompareOp::Gt => self.scan_pred(xs, null_match, |x| to_f64(x) > t, out),
+            CompareOp::Ge => self.scan_pred(xs, null_match, |x| to_f64(x) >= t, out),
+            CompareOp::Lt => self.scan_pred(xs, null_match, |x| to_f64(x) < t, out),
+            CompareOp::Le => self.scan_pred(xs, null_match, |x| to_f64(x) <= t, out),
+            _ => unreachable!("non-comparison ops take the constant path"),
+        }
+    }
+
+    /// Scan typed storage through the selection and null mask, pushing the visible
+    /// index of every row where the per-element predicate (or `null_match`) holds.
+    fn scan_pred<T: Copy>(
+        &self,
+        xs: &[T],
+        null_match: bool,
+        pred: impl Fn(T) -> bool,
+        out: &mut Vec<usize>,
+    ) {
+        match (&self.sel, self.nulls.as_deref()) {
+            (None, None) => {
+                for (i, &x) in xs.iter().enumerate() {
+                    if pred(x) {
+                        out.push(i);
+                    }
+                }
+            }
+            (None, Some(m)) => {
+                for (i, &x) in xs.iter().enumerate() {
+                    let hit = if m.is_null(i) { null_match } else { pred(x) };
+                    if hit {
+                        out.push(i);
+                    }
+                }
+            }
+            (Some(sel), None) => {
+                for (vis, &si) in sel.iter().enumerate() {
+                    if pred(xs[si as usize]) {
+                        out.push(vis);
+                    }
+                }
+            }
+            (Some(sel), Some(m)) => {
+                for (vis, &si) in sel.iter().enumerate() {
+                    let si = si as usize;
+                    let hit = if m.is_null(si) {
+                        null_match
+                    } else {
+                        pred(xs[si])
+                    };
+                    if hit {
+                        out.push(vis);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Degenerate kernel: every non-null cell matches iff `non_null_match`, nulls
+    /// match iff `null_match`.
+    fn scan_const(&self, null_match: bool, non_null_match: bool, out: &mut Vec<usize>) {
+        if null_match == non_null_match {
+            if non_null_match {
+                out.extend(0..self.len());
+            }
+            return;
+        }
+        let nulls = self.nulls.as_deref();
+        match &self.sel {
+            None => {
+                for i in 0..self.data.len() {
+                    let is_null = nulls.is_some_and(|m| m.is_null(i));
+                    if (is_null && null_match) || (!is_null && non_null_match) {
+                        out.push(i);
+                    }
+                }
+            }
+            Some(sel) => {
+                for (vis, &si) in sel.iter().enumerate() {
+                    let is_null = nulls.is_some_and(|m| m.is_null(si as usize));
+                    if (is_null && null_match) || (!is_null && non_null_match) {
+                        out.push(vis);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate resident bytes of this column's storage: typed vectors (or boxed
+    /// cells), the null bitmap, and the selection. Distinct strings count once.
+    pub fn approx_data_bytes(&self) -> u64 {
+        self.data.approx_bytes()
+            + self.nulls.as_deref().map_or(0, NullMask::approx_bytes)
+            + self.sel.as_deref().map_or(0, |s| (s.len() * 4) as u64)
     }
 }
 
-struct ColumnIter<'a> {
-    values: &'a [Value],
+/// The iterator behind [`Column::cells`].
+struct Cells<'a> {
+    data: &'a ColumnData,
+    nulls: Option<&'a NullMask>,
     sel: Option<&'a [u32]>,
     pos: usize,
+    len: usize,
 }
 
-impl<'a> Iterator for ColumnIter<'a> {
-    type Item = &'a Value;
+impl<'a> Iterator for Cells<'a> {
+    type Item = ValueRef<'a>;
 
-    fn next(&mut self) -> Option<&'a Value> {
-        let item = match self.sel {
-            Some(sel) => self.values.get(*sel.get(self.pos)? as usize),
-            None => self.values.get(self.pos),
-        };
-        if item.is_some() {
-            self.pos += 1;
+    fn next(&mut self) -> Option<ValueRef<'a>> {
+        if self.pos >= self.len {
+            return None;
         }
-        item
+        let si = match self.sel {
+            Some(sel) => sel[self.pos] as usize,
+            None => self.pos,
+        };
+        self.pos += 1;
+        Some(self.data.value_ref(si, self.nulls))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = match self.sel {
-            Some(sel) => sel.len() - self.pos,
-            None => self.values.len() - self.pos,
-        };
+        let remaining = self.len - self.pos;
         (remaining, Some(remaining))
     }
 }
+
+impl ExactSizeIterator for Cells<'_> {}
 
 /// Infer a column type from values: the most common non-null type wins; ties break in
 /// favour of the more general type (Float > Int, Str > everything).
@@ -319,6 +861,10 @@ fn infer_dtype(values: &[Value]) -> DataType {
 mod tests {
     use super::*;
 
+    fn values(col: &Column) -> Vec<Value> {
+        col.cells().map(|v| v.to_value()).collect()
+    }
+
     #[test]
     fn dtype_inference_prefers_dominant_type() {
         let c = Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Null]);
@@ -334,20 +880,37 @@ mod tests {
     }
 
     #[test]
+    fn storage_compacts_by_cell_types() {
+        let c = Column::new("i", vec![Value::Int(1), Value::Null]);
+        assert!(matches!(c.data(), ColumnData::I64(_)));
+        assert_eq!(c.as_i64s(), Some(&[1i64, 0][..]));
+        assert!(c.null_mask().unwrap().is_null(1));
+
+        let c = Column::new("f", vec![Value::Float(0.5)]);
+        assert_eq!(c.as_f64s(), Some(&[0.5][..]));
+
+        let c = Column::new("s", vec![Value::str("a"), Value::str("b"), Value::str("a")]);
+        let (codes, dict) = c.as_dict().unwrap();
+        assert_eq!(codes, &[0, 1, 0]);
+        assert_eq!(dict.len(), 2);
+
+        let c = Column::new("m", vec![Value::Int(1), Value::str("x")]);
+        assert!(matches!(c.data(), ColumnData::Mixed(_)));
+        assert!(c.as_i64s().is_none() && c.as_f64s().is_none() && c.as_dict().is_none());
+    }
+
+    #[test]
     fn gather_preserves_name_and_dtype() {
         let c = Column::new("a", vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
         let g = c.gather(&[2, 0]);
         assert_eq!(g.name(), "a");
         assert_eq!(g.dtype(), DataType::Int);
-        assert_eq!(
-            g.iter().cloned().collect::<Vec<_>>(),
-            vec![Value::Int(30), Value::Int(10)]
-        );
+        assert_eq!(values(&g), vec![Value::Int(30), Value::Int(10)]);
         assert!(!g.is_contiguous(), "in-range gather is a zero-copy view");
-        assert!(g.as_slice().is_none());
+        assert!(g.as_i64s().is_none(), "views expose no storage slices");
         let m = g.materialize();
         assert!(m.is_contiguous());
-        assert_eq!(m.as_slice().unwrap(), &[Value::Int(30), Value::Int(10)]);
+        assert_eq!(m.as_i64s().unwrap(), &[30, 10]);
     }
 
     #[test]
@@ -358,11 +921,8 @@ mod tests {
         );
         let g1 = c.gather(&[3, 2, 1]);
         let g2 = g1.gather(&[2, 0]);
-        assert_eq!(
-            g2.iter().cloned().collect::<Vec<_>>(),
-            vec![Value::Int(1), Value::Int(3)]
-        );
-        assert_eq!(g2.get(1), Some(&Value::Int(3)));
+        assert_eq!(values(&g2), vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(g2.get(1), Some(Value::Int(3)));
         assert_eq!(g2.len(), 2);
     }
 
@@ -371,7 +931,29 @@ mod tests {
         let c = Column::new("a", vec![Value::Int(1)]);
         let g = c.gather(&[0, 5]);
         assert!(g.is_contiguous(), "out-of-range gather materializes");
-        assert_eq!(g.as_slice().unwrap(), &[Value::Int(1), Value::Null]);
+        assert_eq!(values(&g), vec![Value::Int(1), Value::Null]);
+        assert_eq!(g.null_count(), 1);
+    }
+
+    #[test]
+    fn materialized_view_keeps_typed_storage_and_nulls() {
+        let c = Column::new(
+            "a",
+            vec![Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)],
+        );
+        let m = c.gather(&[1, 3]).materialize();
+        assert!(matches!(m.data(), ColumnData::I64(_)));
+        assert_eq!(values(&m), vec![Value::Null, Value::Int(4)]);
+        assert_eq!(m.null_count(), 1);
+        // A view that excludes every null materializes without a mask.
+        let m = c.gather(&[0, 2]).materialize();
+        assert!(m.null_mask().is_none());
+        assert_eq!(m.null_count(), 0);
+
+        let s = Column::new("s", vec![Value::str("x"), Value::str("y")]);
+        let m = s.gather(&[1]).materialize();
+        assert!(matches!(m.data(), ColumnData::Dict { .. }));
+        assert_eq!(values(&m), vec![Value::str("y")]);
     }
 
     #[test]
@@ -380,12 +962,32 @@ mod tests {
             "a",
             vec![Value::Int(1), Value::Null, Value::Int(3), Value::Float(2.0)],
         );
+        assert!(
+            matches!(c.data(), ColumnData::Mixed(_)),
+            "mixed numeric stays boxed"
+        );
         assert_eq!(c.sum(), 6.0);
         assert_eq!(c.mean(), Some(2.0));
-        assert_eq!(c.min(), Some(&Value::Int(1)));
-        assert_eq!(c.max(), Some(&Value::Int(3)));
+        assert_eq!(c.min(), Some(Value::Int(1)));
+        assert_eq!(c.max(), Some(Value::Int(3)));
         assert_eq!(c.null_count(), 1);
         assert_eq!(c.n_unique(), 3);
+    }
+
+    #[test]
+    fn typed_aggregates_match_boxed_aggregates() {
+        let cells = vec![Value::Int(5), Value::Null, Value::Int(-2), Value::Int(5)];
+        let typed = Column::new("a", cells.clone());
+        let boxed = Column::new_uncompacted("a", cells);
+        assert!(matches!(typed.data(), ColumnData::I64(_)));
+        assert!(matches!(boxed.data(), ColumnData::Mixed(_)));
+        assert_eq!(typed.sum(), boxed.sum());
+        assert_eq!(typed.mean(), boxed.mean());
+        assert_eq!(typed.min(), boxed.min());
+        assert_eq!(typed.max(), boxed.max());
+        assert_eq!(typed.null_count(), boxed.null_count());
+        assert_eq!(typed.n_unique(), boxed.n_unique());
+        assert_eq!(typed, boxed, "PartialEq sees through representations");
     }
 
     #[test]
@@ -397,8 +999,8 @@ mod tests {
         let view = c.gather(&[1, 2, 3]);
         assert_eq!(view.sum(), 40.0);
         assert_eq!(view.mean(), Some(20.0));
-        assert_eq!(view.min(), Some(&Value::Int(20)));
-        assert_eq!(view.max(), Some(&Value::Int(20)));
+        assert_eq!(view.min(), Some(Value::Int(20)));
+        assert_eq!(view.max(), Some(Value::Int(20)));
         assert_eq!(view.null_count(), 1);
         assert_eq!(view.n_unique(), 1);
     }
@@ -433,11 +1035,120 @@ mod tests {
         let mut view = c.gather(&[2, 1]);
         view.push(Value::Int(9));
         assert_eq!(
-            view.iter().cloned().collect::<Vec<_>>(),
+            values(&view),
             vec![Value::Int(3), Value::Int(2), Value::Int(9)]
         );
         // The original storage is untouched.
         assert_eq!(c.len(), 3);
-        assert_eq!(c.get(2), Some(&Value::Int(3)));
+        assert_eq!(c.get(2), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn push_appends_in_place_or_falls_back() {
+        let mut c = Column::new("a", vec![Value::Int(1)]);
+        c.push(Value::Int(2));
+        c.push(Value::Null);
+        assert!(matches!(c.data(), ColumnData::I64(_)));
+        assert_eq!(values(&c), vec![Value::Int(1), Value::Int(2), Value::Null]);
+        // A misfit value falls back to boxed storage without losing cells.
+        c.push(Value::str("x"));
+        assert!(matches!(c.data(), ColumnData::Mixed(_)));
+        assert_eq!(
+            values(&c),
+            vec![Value::Int(1), Value::Int(2), Value::Null, Value::str("x")]
+        );
+
+        let mut s = Column::new("s", vec![Value::str("a")]);
+        s.push(Value::str("b"));
+        s.push(Value::str("a"));
+        let (codes, dict) = s.as_dict().unwrap();
+        assert_eq!(codes, &[0, 1, 0]);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn eq_fast_path_and_cell_fallback() {
+        let a = Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let b = a.clone(); // shares storage: fast path
+        assert_eq!(a, b);
+        let v1 = a.gather(&[0, 2]);
+        let v2 = a.gather(&[0, 2]); // equal but distinct selections
+        assert_eq!(v1, v2);
+        // Same contents through different representations: cell-wise fallback.
+        let rebuilt = Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(a, rebuilt);
+        let boxed = Column::new_uncompacted("a", vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(a, boxed);
+        assert_ne!(
+            a,
+            Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Int(4)])
+        );
+    }
+
+    #[test]
+    fn filter_indices_matches_per_cell_eval() {
+        use crate::filter::CompareOp;
+        let cells = vec![
+            Value::Int(10),
+            Value::Null,
+            Value::Int(-3),
+            Value::Int(7),
+            Value::Int(10),
+        ];
+        let typed = Column::new("a", cells.clone());
+        let boxed = Column::new_uncompacted("a", cells);
+        for op in CompareOp::ALL {
+            for term in [
+                Value::Int(7),
+                Value::Float(7.0),
+                Value::str("7"),
+                Value::Null,
+                Value::Bool(true),
+            ] {
+                assert_eq!(
+                    typed.filter_indices(op, &term),
+                    boxed.filter_indices(op, &term),
+                    "op={op:?} term={term:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_indices_dict_evaluates_once_per_distinct() {
+        use crate::filter::CompareOp;
+        let c = Column::new(
+            "s",
+            vec![
+                Value::str("TV-MA"),
+                Value::str("PG"),
+                Value::Null,
+                Value::str("TV-14"),
+                Value::str("PG"),
+            ],
+        );
+        assert_eq!(
+            c.filter_indices(CompareOp::StartsWith, &Value::str("tv")),
+            vec![0, 3]
+        );
+        assert_eq!(
+            c.filter_indices(CompareOp::Neq, &Value::str("PG")),
+            vec![0, 2, 3],
+            "Neq matches nulls"
+        );
+        // Views filter through the selection and emit visible indices.
+        let v = c.gather(&[4, 3, 0]);
+        assert_eq!(
+            v.filter_indices(CompareOp::StartsWith, &Value::str("tv")),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn approx_bytes_shrink_vs_boxed() {
+        let cells: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let typed = Column::new("a", cells.clone());
+        let boxed = Column::new_uncompacted("a", cells);
+        assert!(typed.approx_data_bytes() * 2 <= boxed.approx_data_bytes());
     }
 }

@@ -187,7 +187,7 @@ mod tests {
         assert_eq!(df.column_names(), vec!["name", "age", "score"]);
         assert_eq!(df.column("age").unwrap().dtype(), DataType::Int);
         assert_eq!(df.column("score").unwrap().dtype(), DataType::Float);
-        assert_eq!(df.value(0, "name").unwrap(), &Value::str("alice"));
+        assert_eq!(df.value(0, "name").unwrap(), Value::str("alice"));
     }
 
     #[test]
@@ -195,8 +195,8 @@ mod tests {
         let text = "title,country\n\"Love, Actually\",\"UK\"\n\"He said \"\"hi\"\"\",US\n";
         let df = parse_csv(text, CsvOptions::default()).unwrap();
         assert_eq!(df.num_rows(), 2);
-        assert_eq!(df.value(0, "title").unwrap(), &Value::str("Love, Actually"));
-        assert_eq!(df.value(1, "title").unwrap(), &Value::str("He said \"hi\""));
+        assert_eq!(df.value(0, "title").unwrap(), Value::str("Love, Actually"));
+        assert_eq!(df.value(1, "title").unwrap(), Value::str("He said \"hi\""));
     }
 
     #[test]
@@ -244,8 +244,8 @@ mod tests {
         let serialized = to_csv(&df, ',');
         let df2 = parse_csv(&serialized, CsvOptions::default()).unwrap();
         assert_eq!(df2.num_rows(), df.num_rows());
-        assert_eq!(df2.value(0, "name").unwrap(), &Value::str("a,b"));
-        assert_eq!(df2.value(1, "age").unwrap(), &Value::Int(4));
+        assert_eq!(df2.value(0, "name").unwrap(), Value::str("a,b"));
+        assert_eq!(df2.value(1, "age").unwrap(), Value::Int(4));
     }
 
     #[test]
@@ -264,7 +264,7 @@ mod tests {
         write_csv(&df, &path, ',').unwrap();
         let back = read_csv(&path, CsvOptions::default()).unwrap();
         assert_eq!(back.num_rows(), 2);
-        assert_eq!(back.value(1, "y").unwrap(), &Value::str("b"));
+        assert_eq!(back.value(1, "y").unwrap(), Value::str("b"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -8,6 +8,7 @@
 //! the data and vastly cheaper than the exploration run whose result it keys.
 
 use crate::column::Column;
+use crate::data::ColumnData;
 use crate::value::Value;
 
 /// A 64-bit FNV-1a streaming hasher with a stable, documented algorithm.
@@ -82,15 +83,78 @@ pub fn write_value(h: &mut Fnv1a, v: &Value) {
 /// its materialized copy absorb bit-identical byte streams — the invariant that keeps
 /// every fingerprint-keyed cache (stats cache, engine result cache, disk tier) valid
 /// across the zero-copy representation (proptest-verified in `tests/views.rs`).
+///
+/// Typed storage hashes per-variant without materializing a [`Value`] per cell, but
+/// the byte stream is **identical** to what [`write_value`] would absorb for the
+/// reconstructed cells: compaction is lossless (a typed variant exists only when
+/// every non-null cell is exactly that `Value` variant), so an `i64` cell emits the
+/// `Int` tag + little-endian bytes, a dict code emits the `Str` tag + its string, and
+/// null bits emit the `Null` tag. That equality — typed-path fingerprint == seed
+/// `Value`-path fingerprint — is what lets the persisted caches keep `FORMAT_VERSION`
+/// unchanged across the storage redesign (proptest-enforced in `tests/columns.rs`).
 pub fn column_fingerprint(column: &Column) -> u64 {
     let mut h = Fnv1a::new();
     h.write_str(column.name());
     h.write_str(&format!("{:?}", column.dtype()));
     h.write_u64(column.len() as u64);
-    for v in column.iter() {
-        write_value(&mut h, v);
-    }
+    hash_cells(&mut h, column);
     h.finish()
+}
+
+/// Absorb every visible cell of `column` in row order, emitting the canonical
+/// [`write_value`] byte stream directly from typed storage.
+fn hash_cells(h: &mut Fnv1a, column: &Column) {
+    let nulls = column.null_mask();
+    let n = column.len();
+    // Row-order storage indices (resolving the selection), shared by every arm.
+    let sel = column.sel_indices();
+    let idx = |vis: usize| -> usize {
+        match sel {
+            Some(s) => s[vis] as usize,
+            None => vis,
+        }
+    };
+    let is_null = |si: usize| nulls.is_some_and(|m| m.is_null(si));
+    match column.data() {
+        ColumnData::I64(xs) => {
+            for vis in 0..n {
+                let si = idx(vis);
+                if is_null(si) {
+                    h.write(&[0]);
+                } else {
+                    h.write(&[1]);
+                    h.write_u64(xs[si] as u64);
+                }
+            }
+        }
+        ColumnData::F64(xs) => {
+            for vis in 0..n {
+                let si = idx(vis);
+                if is_null(si) {
+                    h.write(&[0]);
+                } else {
+                    h.write(&[2]);
+                    h.write_u64(xs[si].to_bits());
+                }
+            }
+        }
+        ColumnData::Dict { codes, dict } => {
+            for vis in 0..n {
+                let si = idx(vis);
+                if is_null(si) {
+                    h.write(&[0]);
+                } else {
+                    h.write(&[3]);
+                    h.write_str(&dict[codes[si] as usize]);
+                }
+            }
+        }
+        ColumnData::Mixed(vs) => {
+            for vis in 0..n {
+                write_value(h, &vs[idx(vis)]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +177,37 @@ mod tests {
         // changing the algorithm or the framing is a cache-compatibility break for
         // any persisted or cross-process cache keyed by these fingerprints.
         assert_eq!(c.finish(), 0xff7a61ff11320f78);
+    }
+
+    #[test]
+    fn typed_and_boxed_storage_fingerprint_identically() {
+        // The cache-compatibility contract of the typed-storage redesign: hashing
+        // typed slices produces the exact byte stream the boxed Value path produced.
+        let samples: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Null, Value::Int(-7)],
+            vec![Value::Float(-0.0), Value::Float(2.5), Value::Null],
+            vec![
+                Value::str("x"),
+                Value::Null,
+                Value::str("x"),
+                Value::str("y"),
+            ],
+            vec![
+                Value::Bool(true),
+                Value::Null,
+                Value::Int(3),
+                Value::str("s"),
+            ],
+        ];
+        for cells in samples {
+            let typed = Column::new("c", cells.clone());
+            let boxed = Column::new_uncompacted("c", cells.clone());
+            assert_eq!(
+                column_fingerprint(&typed),
+                column_fingerprint(&boxed),
+                "{cells:?}"
+            );
+        }
     }
 
     #[test]

@@ -156,8 +156,10 @@ impl DataFrame {
         self.columns.iter().map(|c| c.as_ref())
     }
 
-    /// Get the value at (row, column-name).
-    pub fn value(&self, row: usize, name: &str) -> Result<&Value> {
+    /// Get the value at (row, column-name) — a compat shim materializing an owned
+    /// [`Value`] at the API edge (a refcount bump for strings). Hot paths use
+    /// [`Column::cell`]/[`Column::cells`] or the typed slice accessors instead.
+    pub fn value(&self, row: usize, name: &str) -> Result<Value> {
         let col = self.column(name)?;
         col.get(row)
             .ok_or_else(|| DataFrameError::Invalid(format!("row {row} out of bounds")))
@@ -167,7 +169,7 @@ impl DataFrame {
     pub fn row(&self, idx: usize) -> Vec<Value> {
         self.columns
             .iter()
-            .map(|c| c.get(idx).cloned().unwrap_or(Value::Null))
+            .map(|c| c.get(idx).unwrap_or(Value::Null))
             .collect()
     }
 
@@ -280,16 +282,16 @@ impl DataFrame {
 
     /// Apply a filter predicate, returning the matching-row view.
     ///
+    /// The predicate runs as a vectorized kernel over the column's typed storage
+    /// (RHS resolved once, primitive scan / dictionary-mask scan — see
+    /// `Column::filter_indices`), then the matching rows become a zero-copy
+    /// selection view via [`DataFrame::take`].
+    ///
     /// Returns an error if the referenced column does not exist (the CDRL engine treats
     /// that as an invalid action).
     pub fn filter(&self, pred: &Predicate) -> Result<DataFrame> {
         let col = self.column(&pred.attr)?;
-        let indices: Vec<usize> = col
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| pred.op.eval(v, &pred.term))
-            .map(|(i, _)| i)
-            .collect();
+        let indices = col.filter_indices(pred.op, &pred.term);
         Ok(self.take(&indices))
     }
 
@@ -301,11 +303,10 @@ impl DataFrame {
         if agg.requires_numeric() && !val_col.dtype().is_numeric() {
             return Err(DataFrameError::NotNumeric(agg_attr.to_string()));
         }
-        let groups = Groups::from_values(key_col.iter());
+        let groups = Groups::from_column(key_col);
         let mut agg_values = Vec::with_capacity(groups.len());
         for idxs in &groups.indices {
-            let vals: Vec<&Value> = idxs.iter().filter_map(|&i| val_col.get(i)).collect();
-            agg_values.push(agg.apply(&vals));
+            agg_values.push(agg.apply_column(val_col, idxs));
         }
         let out_name = format!("{}({})", agg.token(), agg_attr);
         DataFrame::new(vec![
@@ -317,12 +318,12 @@ impl DataFrame {
     /// The grouping structure for `g_attr` without aggregating (used by reward
     /// computations that need group sizes).
     pub fn groups(&self, g_attr: &str) -> Result<Groups> {
-        Ok(Groups::from_values(self.column(g_attr)?.iter()))
+        Ok(Groups::from_column(self.column(g_attr)?))
     }
 
     /// Value histogram of a column (frequency of each distinct non-null value).
     pub fn histogram(&self, name: &str) -> Result<Histogram> {
-        Ok(Histogram::from_values(self.column(name)?.iter()))
+        Ok(Histogram::from_column(self.column(name)?))
     }
 
     /// Distinct non-null values of a column, in first-occurrence order.
@@ -330,16 +331,23 @@ impl DataFrame {
         let col = self.column(name)?;
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for v in col.iter() {
+        for v in col.cells() {
             if v.is_null() {
                 continue;
             }
             // Borrowed keys: the dedup pass allocates nothing beyond the set.
             if seen.insert(v.group_key()) {
-                out.push(v.clone());
+                out.push(v.to_value());
             }
         }
         Ok(out)
+    }
+
+    /// Approximate resident bytes of the frame's column storage (typed vectors, null
+    /// bitmaps, selections; distinct strings counted once per column). The benchmark
+    /// metric behind the typed-storage bytes-per-row comparison.
+    pub fn approx_data_bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.approx_data_bytes()).sum()
     }
 
     /// A compact multi-line textual rendering (at most `max_rows` rows) used in notebook
@@ -490,8 +498,8 @@ mod tests {
         assert_eq!(agg.num_rows(), 2);
         assert_eq!(agg.column_names(), vec!["type", "count(duration)"]);
         // First group is "Movie" (first occurrence), count 3.
-        assert_eq!(agg.value(0, "count(duration)").unwrap(), &Value::Int(3));
-        assert_eq!(agg.value(1, "count(duration)").unwrap(), &Value::Int(3));
+        assert_eq!(agg.value(0, "count(duration)").unwrap(), Value::Int(3));
+        assert_eq!(agg.value(1, "count(duration)").unwrap(), Value::Int(3));
     }
 
     #[test]
@@ -520,7 +528,7 @@ mod tests {
 
         let taken = df.take(&[5, 0]);
         assert_eq!(taken.num_rows(), 2);
-        assert_eq!(taken.value(0, "country").unwrap(), &Value::str("UK"));
+        assert_eq!(taken.value(0, "country").unwrap(), Value::str("UK"));
 
         assert_eq!(df.head(2).num_rows(), 2);
         assert_eq!(df.head(100).num_rows(), 6);

@@ -7,9 +7,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::column::Column;
+use crate::data::ColumnData;
 use crate::value::{GroupKey, OwnedGroupKey, Value};
 
 /// Aggregation functions supported by the engine (the set used by LINX / ATENA).
@@ -112,6 +115,156 @@ impl AggFunc {
             }
         }
     }
+
+    /// Apply the aggregation to the given visible rows of a column, as a typed
+    /// kernel: numeric storage folds primitive slices, dictionary storage compares
+    /// codes/strings, and `Mixed` storage takes the boxed per-cell path of
+    /// [`AggFunc::apply`]. Result is identical to collecting the cells and calling
+    /// `apply` (including `Count`'s inclusion of nulls and `Value::float`'s NaN
+    /// normalization).
+    pub fn apply_column(&self, col: &Column, rows: &[usize]) -> Value {
+        if let ColumnData::Mixed(vs) = col.data() {
+            let refs: Vec<&Value> = rows.iter().map(|&r| &vs[col.storage_index(r)]).collect();
+            return self.apply(&refs);
+        }
+        match self {
+            AggFunc::Count => Value::Int(rows.len() as i64),
+            AggFunc::Sum | AggFunc::Avg => {
+                // -0.0 is `Iterator::sum::<f64>()`'s fold identity; starting there
+                // keeps the result bit-identical to the boxed path even for groups
+                // with no numeric cells (Value's equality is total_cmp, which
+                // distinguishes -0.0 from 0.0).
+                let (mut sum, mut count) = (-0.0f64, 0usize);
+                match col.data() {
+                    ColumnData::I64(xs) => {
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if !col.is_null_storage(si) {
+                                sum += xs[si] as f64;
+                                count += 1;
+                            }
+                        }
+                    }
+                    ColumnData::F64(xs) => {
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if !col.is_null_storage(si) {
+                                sum += xs[si];
+                                count += 1;
+                            }
+                        }
+                    }
+                    // Strings contribute nothing to a numeric aggregate.
+                    ColumnData::Dict { .. } => {}
+                    ColumnData::Mixed(_) => unreachable!("handled above"),
+                }
+                if matches!(self, AggFunc::Sum) {
+                    Value::float(sum)
+                } else if count == 0 {
+                    Value::Null
+                } else {
+                    Value::float(sum / count as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let want_min = matches!(self, AggFunc::Min);
+                match col.data() {
+                    ColumnData::I64(xs) => {
+                        let mut best: Option<i64> = None;
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if col.is_null_storage(si) {
+                                continue;
+                            }
+                            let x = xs[si];
+                            best = Some(match best {
+                                None => x,
+                                Some(b) if (x < b) == want_min => x,
+                                Some(b) => b,
+                            });
+                        }
+                        best.map(Value::Int).unwrap_or(Value::Null)
+                    }
+                    ColumnData::F64(xs) => {
+                        let mut best: Option<f64> = None;
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if col.is_null_storage(si) {
+                                continue;
+                            }
+                            let x = xs[si];
+                            best = Some(match best {
+                                None => x,
+                                Some(b)
+                                    if (x.total_cmp(&b) == std::cmp::Ordering::Less)
+                                        == want_min =>
+                                {
+                                    x
+                                }
+                                Some(b) => b,
+                            });
+                        }
+                        best.map(Value::Float).unwrap_or(Value::Null)
+                    }
+                    ColumnData::Dict { codes, dict } => {
+                        let mut best: Option<&Arc<str>> = None;
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if col.is_null_storage(si) {
+                                continue;
+                            }
+                            let s = &dict[codes[si] as usize];
+                            best = Some(match best {
+                                None => s,
+                                Some(b) if (s.as_ref() < b.as_ref()) == want_min => s,
+                                Some(b) => b,
+                            });
+                        }
+                        best.map(|s| Value::Str(Arc::clone(s)))
+                            .unwrap_or(Value::Null)
+                    }
+                    ColumnData::Mixed(_) => unreachable!("handled above"),
+                }
+            }
+            AggFunc::CountDistinct => {
+                use std::collections::HashSet;
+                let n = match col.data() {
+                    ColumnData::I64(xs) => {
+                        let mut set: HashSet<i64> = HashSet::new();
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if !col.is_null_storage(si) {
+                                set.insert(xs[si]);
+                            }
+                        }
+                        set.len()
+                    }
+                    ColumnData::F64(xs) => {
+                        let mut set: HashSet<u64> = HashSet::new();
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if !col.is_null_storage(si) {
+                                set.insert(xs[si].to_bits());
+                            }
+                        }
+                        set.len()
+                    }
+                    ColumnData::Dict { codes, .. } => {
+                        let mut set: HashSet<u32> = HashSet::new();
+                        for &r in rows {
+                            let si = col.storage_index(r);
+                            if !col.is_null_storage(si) {
+                                set.insert(codes[si]);
+                            }
+                        }
+                        set.len()
+                    }
+                    ColumnData::Mixed(_) => unreachable!("handled above"),
+                };
+                Value::Int(n as i64)
+            }
+        }
+    }
 }
 
 impl fmt::Display for AggFunc {
@@ -133,7 +286,7 @@ pub struct Groups {
 
 impl Groups {
     /// Build groups from a column of key values (any iterator of cells — a slice, or a
-    /// selection view's [`crate::Column::iter`]).
+    /// selection view's [`crate::Column::cells`]).
     ///
     /// Keys the bucket map by [`OwnedGroupKey`], whose construction is a refcount bump
     /// for strings — so grouping a column allocates only the output buckets, never a
@@ -149,6 +302,91 @@ impl Groups {
                 keys.len() - 1
             });
             indices[gid].push(row);
+        }
+        Groups { keys, indices }
+    }
+
+    /// Build groups from a column's visible rows, as a typed kernel.
+    ///
+    /// Dictionary storage buckets by code through a flat `Vec` (no hashing at all);
+    /// integer/float storage buckets through primitive hash maps; `Mixed` storage
+    /// falls back to the boxed [`Groups::from_values`] path. Group keys and ordering
+    /// (first occurrence; nulls are their own group) are identical to `from_values`
+    /// over the materialized cells.
+    pub fn from_column(col: &Column) -> Groups {
+        let n = col.len();
+        let mut keys: Vec<Value> = Vec::new();
+        let mut indices: Vec<Vec<usize>> = Vec::new();
+        let mut null_gid: Option<usize> = None;
+        match col.data() {
+            ColumnData::I64(xs) => {
+                let mut map: HashMap<i64, usize> = HashMap::new();
+                for row in 0..n {
+                    let si = col.storage_index(row);
+                    let gid = if col.is_null_storage(si) {
+                        *null_gid.get_or_insert_with(|| {
+                            keys.push(Value::Null);
+                            indices.push(Vec::new());
+                            keys.len() - 1
+                        })
+                    } else {
+                        let x = xs[si];
+                        *map.entry(x).or_insert_with(|| {
+                            keys.push(Value::Int(x));
+                            indices.push(Vec::new());
+                            keys.len() - 1
+                        })
+                    };
+                    indices[gid].push(row);
+                }
+            }
+            ColumnData::F64(xs) => {
+                let mut map: HashMap<u64, usize> = HashMap::new();
+                for row in 0..n {
+                    let si = col.storage_index(row);
+                    let gid = if col.is_null_storage(si) {
+                        *null_gid.get_or_insert_with(|| {
+                            keys.push(Value::Null);
+                            indices.push(Vec::new());
+                            keys.len() - 1
+                        })
+                    } else {
+                        let x = xs[si];
+                        *map.entry(x.to_bits()).or_insert_with(|| {
+                            keys.push(Value::Float(x));
+                            indices.push(Vec::new());
+                            keys.len() - 1
+                        })
+                    };
+                    indices[gid].push(row);
+                }
+            }
+            ColumnData::Dict { codes, dict } => {
+                const UNSEEN: usize = usize::MAX;
+                let mut gids: Vec<usize> = vec![UNSEEN; dict.len()];
+                for row in 0..n {
+                    let si = col.storage_index(row);
+                    let gid = if col.is_null_storage(si) {
+                        *null_gid.get_or_insert_with(|| {
+                            keys.push(Value::Null);
+                            indices.push(Vec::new());
+                            keys.len() - 1
+                        })
+                    } else {
+                        let c = codes[si] as usize;
+                        if gids[c] == UNSEEN {
+                            gids[c] = keys.len();
+                            keys.push(Value::Str(Arc::clone(&dict[c])));
+                            indices.push(Vec::new());
+                        }
+                        gids[c]
+                    };
+                    indices[gid].push(row);
+                }
+            }
+            ColumnData::Mixed(vs) => {
+                return Groups::from_values((0..n).map(|row| &vs[col.storage_index(row)]));
+            }
         }
         Groups { keys, indices }
     }
@@ -218,6 +456,67 @@ mod tests {
         assert_eq!(AggFunc::Count.apply(&refs), Value::Int(0));
         assert_eq!(AggFunc::Avg.apply(&refs), Value::Null);
         assert_eq!(AggFunc::Min.apply(&refs), Value::Null);
+    }
+
+    #[test]
+    fn from_column_matches_from_values_across_variants() {
+        let samples: Vec<Vec<Value>> = vec![
+            vec![Value::Int(3), Value::Null, Value::Int(3), Value::Int(7)],
+            vec![Value::Float(1.5), Value::Float(1.5), Value::Null],
+            vec![
+                Value::str("b"),
+                Value::str("a"),
+                Value::Null,
+                Value::str("b"),
+            ],
+            vec![Value::Bool(true), Value::Int(1), Value::Null],
+        ];
+        for cells in samples {
+            let col = Column::new("k", cells.clone());
+            let typed = Groups::from_column(&col);
+            let boxed = Groups::from_values(&cells);
+            assert_eq!(typed, boxed, "{cells:?}");
+            // Views group through the selection with local row numbering.
+            let view = col.gather(&[0, 2, 1]);
+            let gathered: Vec<Value> = vec![cells[0].clone(), cells[2].clone(), cells[1].clone()];
+            assert_eq!(Groups::from_column(&view), Groups::from_values(&gathered));
+        }
+    }
+
+    #[test]
+    fn apply_column_matches_apply_across_variants() {
+        let samples: Vec<Vec<Value>> = vec![
+            vec![Value::Int(2), Value::Int(3), Value::Null, Value::Int(2)],
+            vec![Value::Float(0.5), Value::Null, Value::Float(-1.0)],
+            vec![
+                Value::str("b"),
+                Value::str("a"),
+                Value::Null,
+                Value::str("a"),
+            ],
+            vec![Value::Bool(true), Value::Int(4), Value::Null],
+            vec![],
+        ];
+        for cells in samples {
+            let col = Column::new("v", cells.clone());
+            let rows: Vec<usize> = (0..cells.len()).collect();
+            let refs: Vec<&Value> = cells.iter().collect();
+            for f in AggFunc::ALL {
+                assert_eq!(
+                    f.apply_column(&col, &rows),
+                    f.apply(&refs),
+                    "{f:?} over {cells:?}"
+                );
+            }
+            // Subset of rows (a "group") agrees too.
+            if cells.len() >= 2 {
+                let rows = [0usize, cells.len() - 1];
+                let refs: Vec<&Value> = rows.iter().map(|&r| &cells[r]).collect();
+                for f in AggFunc::ALL {
+                    assert_eq!(f.apply_column(&col, &rows), f.apply(&refs), "{f:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //! The original system uses Python Pandas; this crate provides an equivalent, dependency
 //! free substrate with exactly the semantics the LINX reward functions need:
 //!
-//! * typed columns ([`Column`]) with null support, stored behind shared `Arc`s with
-//!   optional zero-copy row selections (filter/take return *views*, not copies),
+//! * typed columnar storage ([`Column`] over [`ColumnData`]): integer/float columns as
+//!   primitive `Vec`s, string columns dictionary-encoded over interned `Arc<str>`s,
+//!   nulls in a side bitmap ([`NullMask`]), with a boxed-`Value` fallback for mixed
+//!   columns — behind shared `Arc`s with optional zero-copy row selections
+//!   (filter/take return *views*, not copies), and vectorized filter/group/histogram
+//!   kernels dispatching on the storage variant,
 //! * interned string cells ([`Value::Str`] holds a pooled `Arc<str>`; see
 //!   [`value::intern`]) so residual clones are refcount bumps,
 //! * a [`DataFrame`] holding named columns of equal length,
@@ -72,6 +76,7 @@
 
 pub mod column;
 pub mod csv;
+pub mod data;
 pub mod error;
 pub mod filter;
 pub mod fingerprint;
@@ -84,6 +89,7 @@ pub mod stats_cache;
 pub mod value;
 
 pub use column::Column;
+pub use data::{ColumnData, NullMask, ValueRef};
 pub use error::{DataFrameError, Result};
 pub use frame::DataFrame;
 pub use schema::{DataType, Field, Schema};

@@ -12,7 +12,10 @@
 //! from.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::column::Column;
+use crate::data::ColumnData;
 use crate::value::{OwnedGroupKey, Value};
 
 /// Smoothing constant used when comparing distributions with disjoint supports.
@@ -30,7 +33,7 @@ pub struct Histogram {
 
 impl Histogram {
     /// Build a histogram from a column of values (nulls ignored) — any iterator of
-    /// cells: a slice, or a selection view's [`crate::Column::iter`].
+    /// cells: a slice, or a selection view's [`crate::Column::cells`].
     pub fn from_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> Histogram {
         let mut counts: HashMap<OwnedGroupKey, (Value, usize)> = HashMap::new();
         let mut total = 0usize;
@@ -45,6 +48,82 @@ impl Histogram {
                 .or_insert_with(|| (v.clone(), 1));
         }
         Histogram { counts, total }
+    }
+
+    /// Build a histogram over a column's visible rows, as a typed kernel (nulls
+    /// ignored, same as [`Histogram::from_values`]).
+    ///
+    /// Dictionary storage counts by code into a flat `Vec` — no hashing per row —
+    /// and builds map entries only once per distinct value; integer/float storage
+    /// counts through primitive hash maps; `Mixed` falls back to the boxed path.
+    pub fn from_column(col: &Column) -> Histogram {
+        let n = col.len();
+        match col.data() {
+            ColumnData::I64(xs) => {
+                let mut by_val: HashMap<i64, usize> = HashMap::new();
+                let mut total = 0usize;
+                for row in 0..n {
+                    let si = col.storage_index(row);
+                    if !col.is_null_storage(si) {
+                        total += 1;
+                        *by_val.entry(xs[si]).or_insert(0) += 1;
+                    }
+                }
+                let counts = by_val
+                    .into_iter()
+                    .map(|(x, c)| (OwnedGroupKey::Int(x), (Value::Int(x), c)))
+                    .collect();
+                Histogram { counts, total }
+            }
+            ColumnData::F64(xs) => {
+                let mut by_bits: HashMap<u64, usize> = HashMap::new();
+                let mut total = 0usize;
+                for row in 0..n {
+                    let si = col.storage_index(row);
+                    if !col.is_null_storage(si) {
+                        total += 1;
+                        *by_bits.entry(xs[si].to_bits()).or_insert(0) += 1;
+                    }
+                }
+                let counts = by_bits
+                    .into_iter()
+                    .map(|(bits, c)| {
+                        (
+                            OwnedGroupKey::Float(bits),
+                            (Value::Float(f64::from_bits(bits)), c),
+                        )
+                    })
+                    .collect();
+                Histogram { counts, total }
+            }
+            ColumnData::Dict { codes, dict } => {
+                let mut by_code: Vec<usize> = vec![0; dict.len()];
+                let mut total = 0usize;
+                for row in 0..n {
+                    let si = col.storage_index(row);
+                    if !col.is_null_storage(si) {
+                        total += 1;
+                        by_code[codes[si] as usize] += 1;
+                    }
+                }
+                let counts = by_code
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c > 0)
+                    .map(|(code, c)| {
+                        let s = &dict[code];
+                        (
+                            OwnedGroupKey::Str(Arc::clone(s)),
+                            (Value::Str(Arc::clone(s)), c),
+                        )
+                    })
+                    .collect();
+                Histogram { counts, total }
+            }
+            ColumnData::Mixed(vs) => {
+                Histogram::from_values((0..n).map(|row| &vs[col.storage_index(row)]))
+            }
+        }
     }
 
     /// Rebuild a histogram from `(value, count)` pairs, e.g. the pairs [`Histogram::iter`]
@@ -258,6 +337,39 @@ mod tests {
         let h = Histogram::from_values(&[Value::Null, Value::str("a"), Value::Null]);
         assert_eq!(h.total(), 1);
         assert_eq!(h.n_distinct(), 1);
+    }
+
+    #[test]
+    fn from_column_matches_from_values_across_variants() {
+        let samples: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Int(1), Value::Null, Value::Int(2)],
+            vec![Value::Float(0.5), Value::Float(-0.5), Value::Float(0.5)],
+            vec![
+                Value::str("a"),
+                Value::Null,
+                Value::str("b"),
+                Value::str("a"),
+            ],
+            vec![Value::Bool(true), Value::Int(1), Value::Null],
+            vec![],
+        ];
+        for cells in samples {
+            let col = Column::new("c", cells.clone());
+            assert_eq!(
+                Histogram::from_column(&col),
+                Histogram::from_values(&cells),
+                "{cells:?}"
+            );
+            // Views histogram through the selection.
+            if cells.len() >= 2 {
+                let view = col.gather(&[cells.len() - 1, 0]);
+                let gathered = vec![cells[cells.len() - 1].clone(), cells[0].clone()];
+                assert_eq!(
+                    Histogram::from_column(&view),
+                    Histogram::from_values(&gathered)
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //! values (filter terms) and aggregate them (group-and-aggregate), so the type supports
 //! total ordering, hashing of a canonical key, numeric coercion, and display formatting.
 //!
+//! Since the typed-storage redesign, `Value` is the *boundary* representation rather
+//! than the storage representation: columns compact homogeneous cells into primitive
+//! vectors or dictionary codes (see [`crate::data::ColumnData`]), `Value`s appear at
+//! the API edge (filter terms, aggregate results, [`crate::DataFrame::value`]), in
+//! the `Mixed` fallback storage for heterogeneous/boolean columns, and as the
+//! semantic reference the typed kernels are pinned against. Borrowed cell access
+//! goes through [`crate::data::ValueRef`], which mirrors this type without owning.
+//!
 //! Strings are **interned**: [`Value::Str`] holds an `Arc<str>` deduplicated through a
-//! process-wide pool, so cloning a string cell — which the query hot path does for
-//! every gathered row, group key, and histogram entry — is a refcount bump, never a
-//! heap allocation, and repeated categorical values (the common case in exploration
+//! process-wide pool, so cloning a string cell — group keys, histogram entries,
+//! dictionary entries in dict-encoded columns — is a refcount bump, never a heap
+//! allocation, and repeated categorical values (the common case in exploration
 //! datasets) share one allocation across every view that contains them.
 
 use std::cmp::Ordering;

@@ -1,0 +1,165 @@
+//! Property-based tests for the typed columnar storage layer.
+//!
+//! Two contracts are enforced here:
+//!
+//! * **Lossless compaction** — any `Vec<Value>` survives `ColumnData::compact` →
+//!   `to_values` byte-for-byte (variant-identical cells, float bits preserved),
+//!   including columns of nulls, mixed/permissive columns, and dictionary columns
+//!   driven past the code-width cap.
+//! * **Fingerprint compatibility** — a frame built over typed storage fingerprints
+//!   identically to the same frame over the seed boxed-`Value` representation, so
+//!   every persisted cache key survives the storage redesign (no FORMAT_VERSION
+//!   bump; see `fingerprint` module docs).
+
+use linx_dataframe::fingerprint::column_fingerprint;
+use linx_dataframe::{Column, ColumnData, DataFrame, Value};
+use proptest::prelude::*;
+
+/// Cell strategy spanning every storage variant trigger: ints, floats (including
+/// negative zero and non-finite), interned strings, booleans, and nulls.
+fn cell_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (-1000i64..1000).prop_map(Value::Int),
+        2 => prop_oneof![
+            (-1000i64..1000).prop_map(|x| Value::Float(x as f64 / 8.0)),
+            Just(Value::Float(-0.0)),
+            Just(Value::Float(f64::INFINITY)),
+        ],
+        2 => prop::sample::select(vec!["alpha", "beta", "gamma", "delta", "epsilon"])
+            .prop_map(Value::str),
+        1 => any::<bool>().prop_map(Value::Bool),
+        1 => Just(Value::Null),
+    ]
+}
+
+/// Homogeneous columns (plus nulls) — the shapes compaction picks typed variants for.
+fn typed_column_strategy() -> impl Strategy<Value = Vec<Value>> {
+    prop_oneof![
+        prop::collection::vec(
+            prop_oneof![
+                4 => (-1000i64..1000).prop_map(Value::Int),
+                1 => Just(Value::Null),
+            ],
+            0..40
+        ),
+        prop::collection::vec(
+            prop_oneof![
+                4 => (-1000i64..1000).prop_map(|x| Value::Float(x as f64 / 8.0)),
+                1 => Just(Value::Null),
+            ],
+            0..40
+        ),
+        prop::collection::vec(
+            prop_oneof![
+                4 => prop::sample::select(vec!["a", "b", "c", "d"]).prop_map(Value::str),
+                1 => Just(Value::Null),
+            ],
+            0..40
+        ),
+    ]
+}
+
+/// Exact (bit-level) cell equality: `Value`'s `PartialEq` already uses `total_cmp`
+/// for floats, so it distinguishes `-0.0` from `0.0` and is reflexive on NaN —
+/// combined with a discriminant check this is "the same cell, representation-wise".
+fn cells_identical(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| std::mem::discriminant(x) == std::mem::discriminant(y) && x == y)
+}
+
+proptest! {
+    /// Compaction is lossless for arbitrary permissive columns: reconstructing the
+    /// cells yields variant- and bit-identical values.
+    #[test]
+    fn compact_round_trips_arbitrary_cells(cells in prop::collection::vec(cell_strategy(), 0..60)) {
+        let (data, nulls) = ColumnData::compact(cells.clone());
+        let back = data.to_values(nulls.as_ref());
+        prop_assert!(cells_identical(&cells, &back));
+    }
+
+    /// Compaction is lossless for homogeneous (typed-variant) columns with nulls.
+    #[test]
+    fn compact_round_trips_typed_columns(cells in typed_column_strategy()) {
+        let (data, nulls) = ColumnData::compact(cells.clone());
+        let back = data.to_values(nulls.as_ref());
+        prop_assert!(cells_identical(&cells, &back));
+        // Columns with at least one non-null cell of a single scalar type must not
+        // fall back to boxed storage.
+        let non_null = cells.iter().filter(|v| !v.is_null()).count();
+        if non_null > 0 {
+            prop_assert!(
+                !matches!(data, ColumnData::Mixed(_)),
+                "homogeneous column stayed boxed: {:?}",
+                data.variant_name()
+            );
+        }
+    }
+
+    /// Dictionary columns whose distinct-string count crosses the (test-lowered)
+    /// code cap fall back to boxed storage — still losslessly.
+    #[test]
+    fn dict_cap_overflow_round_trips(n_distinct in 1usize..24, repeat in 1usize..4) {
+        let cells: Vec<Value> = (0..n_distinct * repeat)
+            .map(|i| Value::str(format!("s{}", i % n_distinct)))
+            .collect();
+        let cap = 8;
+        let (data, nulls) = ColumnData::compact_with_dict_cap(cells.clone(), cap);
+        let is_mixed = matches!(data, ColumnData::Mixed(_));
+        if n_distinct > cap {
+            prop_assert!(is_mixed);
+        } else {
+            prop_assert!(!is_mixed && data.variant_name() == "dict");
+        }
+        prop_assert!(cells_identical(&cells, &data.to_values(nulls.as_ref())));
+    }
+
+    /// The fingerprint of a typed-storage frame equals the fingerprint of the same
+    /// frame forced onto the seed boxed-`Value` path — the property that keeps every
+    /// persisted cache key valid across the storage redesign.
+    #[test]
+    fn typed_and_boxed_fingerprints_agree(
+        a in prop::collection::vec(cell_strategy(), 1..50),
+        b in typed_column_strategy(),
+    ) {
+        let n = a.len().min(b.len().max(1));
+        let a = &a[..n.min(a.len())];
+        let b_padded: Vec<Value> = (0..a.len())
+            .map(|i| b.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+
+        let typed = DataFrame::new(vec![
+            Column::new("x", a.to_vec()),
+            Column::new("y", b_padded.clone()),
+        ]).unwrap();
+        let boxed = DataFrame::new(vec![
+            Column::new_uncompacted("x", a.to_vec()),
+            Column::new_uncompacted("y", b_padded),
+        ]).unwrap();
+        for name in ["x", "y"] {
+            prop_assert_eq!(
+                column_fingerprint(typed.column(name).unwrap()),
+                column_fingerprint(boxed.column(name).unwrap())
+            );
+        }
+        prop_assert_eq!(typed.fingerprint(), boxed.fingerprint());
+    }
+
+    /// Views fingerprint identically under both representations too (selection is
+    /// resolved before hashing, whatever the storage variant).
+    #[test]
+    fn view_fingerprints_agree(
+        cells in prop::collection::vec(cell_strategy(), 1..50),
+        keep_every in 1usize..4,
+    ) {
+        let typed = DataFrame::new(vec![Column::new("x", cells.clone())]).unwrap();
+        let boxed = DataFrame::new(vec![Column::new_uncompacted("x", cells)]).unwrap();
+        let rows: Vec<usize> = (0..typed.num_rows()).step_by(keep_every).collect();
+        let tv = typed.take(&rows);
+        let bv = boxed.take(&rows);
+        prop_assert_eq!(tv.fingerprint(), bv.fingerprint());
+        // And a view's fingerprint matches its materialized copy.
+        prop_assert_eq!(tv.fingerprint(), tv.materialize().fingerprint());
+    }
+}

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use linx_dataframe::filter::CompareOp;
 use linx_dataframe::groupby::AggFunc;
-use linx_dataframe::{DataFrame, Value};
+use linx_dataframe::DataFrame;
 use serde::{Deserialize, Serialize};
 
 use crate::op::QueryOp;
@@ -136,7 +136,7 @@ fn leading_group(
     let mut total = 0.0;
     for i in 0..view.num_rows() {
         let key = view.value(i, g_attr).ok()?.to_string();
-        let val = view.value(i, &value_col).ok().and_then(Value::as_f64)?;
+        let val = view.value(i, &value_col).ok().and_then(|v| v.as_f64())?;
         total += val.max(0.0);
         if best.as_ref().map(|(_, b)| val > *b).unwrap_or(true) {
             best = Some((key, val));
@@ -297,6 +297,7 @@ mod tests {
     use super::*;
     use linx_dataframe::filter::CompareOp;
     use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
 
     /// A small Netflix-like table where India is dominated by movies while the rest of
     /// the world is closer to balanced — the paper's Example 1.2 contrast.

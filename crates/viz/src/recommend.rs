@@ -15,7 +15,7 @@
 //! intuition as the conciseness/interestingness notions used by the exploration reward),
 //! so the most "insight-bearing" chart is listed first.
 
-use linx_dataframe::{DataFrame, Value};
+use linx_dataframe::DataFrame;
 use linx_explore::{ExplorationTree, NodeId, QueryOp, SessionExecutor};
 use serde::{Deserialize, Serialize};
 
@@ -119,7 +119,7 @@ fn group_by_charts(view: &DataFrame, g_attr: &str, agg: &str, agg_attr: &str) ->
         let val = view
             .value(i, &value_col)
             .ok()
-            .and_then(Value::as_f64)
+            .and_then(|v| v.as_f64())
             .unwrap_or(0.0);
         points.push((key, val));
     }
@@ -206,7 +206,7 @@ fn filter_charts(view: &DataFrame, parent: Option<&DataFrame>, subset: &str) -> 
     // One histogram over the widest-ranging numeric column.
     if let Some(numeric) = pick_numeric_column(view) {
         if let Ok(col) = view.column(&numeric) {
-            let values: Vec<f64> = col.iter().filter_map(Value::as_f64).collect();
+            let values: Vec<f64> = col.cells().filter_map(|v| v.as_f64()).collect();
             let bins = bin_numeric(&values, NUM_BINS);
             if bins.len() >= 2 {
                 let counts: Vec<f64> = bins.iter().map(|b| b.count as f64).collect();
@@ -297,6 +297,7 @@ mod tests {
     use linx_data::{generate, DatasetKind, ScaleConfig};
     use linx_dataframe::filter::CompareOp;
     use linx_dataframe::groupby::AggFunc;
+    use linx_dataframe::Value;
 
     fn netflix() -> DataFrame {
         generate(
