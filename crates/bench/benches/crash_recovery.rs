@@ -1,0 +1,148 @@
+//! Crash-consistency benchmark: what durability costs and what recovery costs.
+//!
+//! Two headline numbers back the crash-safety work:
+//!
+//! * **Durable-store overhead** — `--durable` adds an fsync before the atomic
+//!   rename (plus a best-effort directory sync). The baseline measures the
+//!   same store workload with durability off and on and records the overhead
+//!   percentage (target: ≤ 25% on a local filesystem).
+//! * **Startup-scrub wall time** — a cold open over a 1 000-entry directory
+//!   (10% of it damaged) must verify every checksum and quarantine the torn
+//!   files in under 2 seconds, or crash recovery would show up as a restart
+//!   latency regression.
+//!
+//! A full run writes the machine-readable `BENCH_crash.json` baseline at the
+//! repository root (set `LINX_BENCH_OUT` to redirect); CI runs the bench in
+//! smoke mode (`-- --test`), which skips the baseline pass.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
+use linx_engine::{DiskTier, ExploreResult, PersistConfig};
+
+/// Stores measured per durability mode in the baseline pass.
+const STORES: u64 = 400;
+/// Directory population for the scrub wall-time measurement.
+const SCRUB_ENTRIES: u64 = 1_000;
+/// Entries deliberately torn before the measured open (every 10th).
+const SCRUB_DAMAGED: u64 = 100;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("linx-bench-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A realistically-sized result entry (~1 KiB encoded) keyed by fingerprint.
+fn sample_result(fp: u64) -> ExploreResult {
+    ExploreResult {
+        ldx_canonical: format!("fp={fp}"),
+        notebook: linx_explore::Notebook {
+            title: format!("bench entry {fp}"),
+            cells: Vec::new(),
+        },
+        narrative: linx_explore::Narrative {
+            headline: "x".repeat(768),
+            bullets: vec!["crash-bench payload".to_string()],
+        },
+        best_structural: true,
+        best_score: fp as f64,
+    }
+}
+
+fn bench_scrub_open(c: &mut Criterion) {
+    // Micro-benchmark: a cold `DiskTier::open` (scrub included) over a clean
+    // 100-entry directory, the common restart case.
+    let dir = temp_dir("scrub-micro");
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).expect("open tier");
+    for fp in 0..100 {
+        tier.store_result(fp, &sample_result(fp));
+    }
+    drop(tier);
+    c.bench_function("crash/scrub_open_100_entries", |b| {
+        b.iter(|| black_box(DiskTier::open(&PersistConfig::new(&dir)).expect("open tier")))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_scrub_open);
+
+/// Time `STORES` result stores through a tier configured with `durable`.
+fn measure_stores(durable: bool) -> u64 {
+    let dir = temp_dir(if durable { "durable-on" } else { "durable-off" });
+    let tier = DiskTier::open(&PersistConfig::new(&dir).with_durable(durable)).expect("open tier");
+    let start = Instant::now();
+    for fp in 0..STORES {
+        tier.store_result(fp, &sample_result(fp));
+    }
+    let micros = start.elapsed().as_micros() as u64;
+    assert_eq!(tier.stats().stores, STORES, "every store must land");
+    let _ = std::fs::remove_dir_all(&dir);
+    micros
+}
+
+/// Measure the scrub over a populated, partly-damaged directory and write the
+/// baseline.
+fn write_baseline() -> std::io::Result<()> {
+    let plain_micros = measure_stores(false).max(1);
+    let durable_micros = measure_stores(true);
+    let overhead_pct =
+        (durable_micros.saturating_sub(plain_micros)) as f64 * 100.0 / plain_micros as f64;
+
+    // Populate the scrub directory, then tear every 10th entry down to a
+    // 16-byte stub — the shape a power cut mid-write leaves behind.
+    let dir = temp_dir("scrub-wall");
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).expect("open tier");
+    for fp in 0..SCRUB_ENTRIES {
+        tier.store_result(fp, &sample_result(fp));
+    }
+    drop(tier);
+    for fp in (0..SCRUB_ENTRIES).step_by((SCRUB_ENTRIES / SCRUB_DAMAGED) as usize) {
+        let path = dir.join(format!("res-{fp:016x}.lnx"));
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)?
+            .set_len(16)?;
+    }
+    let start = Instant::now();
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).expect("reopen tier");
+    let scrub_micros = start.elapsed().as_micros() as u64;
+    let scrub = tier.scrub_report();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"bench\": \"crash_recovery\",\n  \"stores_per_mode\": {STORES},\n  \"plain_store_micros\": {plain_micros},\n  \"durable_store_micros\": {durable_micros},\n  \"durable_overhead_pct\": {overhead_pct:.1},\n  \"durable_overhead_ok\": {},\n  \"scrub_entries\": {SCRUB_ENTRIES},\n  \"scrub_damaged\": {SCRUB_DAMAGED},\n  \"scrub_scanned\": {},\n  \"scrub_quarantined\": {},\n  \"scrub_micros\": {scrub_micros},\n  \"scrub_under_2s_ok\": {}\n}}\n",
+        overhead_pct <= 25.0,
+        scrub.scanned,
+        scrub.quarantined,
+        scrub_micros <= 2_000_000,
+    );
+    let path = std::env::var("LINX_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crash.json").to_string()
+    });
+    std::fs::write(&path, &json)?;
+    println!("wrote {path}:\n{json}");
+    assert_eq!(
+        scrub.quarantined, SCRUB_DAMAGED,
+        "the scrub must quarantine exactly the torn entries"
+    );
+    assert_eq!(scrub.scanned, SCRUB_ENTRIES);
+    assert!(
+        scrub_micros <= 2_000_000,
+        "1k-entry scrub took {scrub_micros}us, over the 2s budget"
+    );
+    Ok(())
+}
+
+fn main() {
+    benches();
+    // Smoke mode (`cargo bench -- --test`, as CI runs it) skips the baseline pass.
+    if !std::env::args().any(|a| a == "--test") {
+        if let Err(e) = write_baseline() {
+            eprintln!("failed to write crash-consistency baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}

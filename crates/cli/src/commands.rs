@@ -736,6 +736,8 @@ struct CacheFlags<'a> {
     dir: Option<&'a PathBuf>,
     /// Disk-tier byte cap.
     disk_cap: Option<u64>,
+    /// Durable disk-tier writes (fsync before rename + directory sync).
+    durable: bool,
 }
 
 /// Resilience knobs threaded from the CLI into [`EngineConfig`]; all optional.
@@ -770,7 +772,7 @@ fn router_config(
     }
     engine.slow_threshold_micros = slow_ms.map(|ms| ms.saturating_mul(1000));
     if let Some(dir) = cache.dir {
-        let mut persist = PersistConfig::new(dir);
+        let mut persist = PersistConfig::new(dir).with_durable(cache.durable);
         if let Some(cap) = cache.disk_cap {
             persist = persist.with_max_bytes(cap);
         }
@@ -836,6 +838,7 @@ pub fn serve_batch(args: &ServeBatchArgs) -> Result<String, String> {
             mem_cap: args.cache_mem_cap,
             dir: args.cache_dir.as_ref(),
             disk_cap: args.cache_disk_cap,
+            durable: false,
         },
         args.slow_ms,
         ResilienceFlags {
@@ -964,6 +967,14 @@ pub struct ServeArgs {
     pub max_in_flight: Option<usize>,
     /// Request body cap in bytes; larger bodies answer 400.
     pub max_body_bytes: Option<usize>,
+    /// Durable cache-tier writes: fsync entries before rename (crash-safe at a
+    /// store-latency cost).
+    pub durable: bool,
+    /// Open-connection cap; connections over it answer 503 immediately.
+    pub max_connections: Option<usize>,
+    /// Cumulative per-request read deadline in milliseconds (slowloris
+    /// connections answer 408 once it expires).
+    pub request_read_timeout_ms: Option<u64>,
 }
 
 impl ServeArgs {
@@ -983,7 +994,10 @@ impl ServeArgs {
       --deadline-ms <N>  Default per-request deadline (504 once exceeded)
       --shed-threshold <N>  Shed low-priority requests once N jobs are queued per shard (503)
       --max-in-flight <N>  Per-tenant admission quota; exceeding it answers 429
-      --max-body-bytes <N>  Request body cap; larger bodies answer 400 [default: 1 MiB]",
+      --max-body-bytes <N>  Request body cap; larger bodies answer 400 [default: 1 MiB]
+      --durable          fsync cache entries before rename so they survive a power cut
+      --max-connections <N>  Open-connection cap; connections over it answer 503 [default: 1024, 0 = off]
+      --request-read-timeout-ms <N>  Cumulative read deadline per request; slowloris clients answer 408 [default: 10000, 0 = off]",
             true,
         )
     }
@@ -995,6 +1009,7 @@ impl ServeArgs {
         let (mut cache_dir, mut cache_disk_cap, mut slow_ms) = (None, None, None);
         let (mut fault_plan, mut deadline_ms, mut shed_threshold) = (None, None, None);
         let (mut max_in_flight, mut max_body_bytes) = (None, None);
+        let (mut durable, mut max_connections, mut request_read_timeout_ms) = (None, None, None);
         while let Some(flag) = cursor.next() {
             match flag.as_str() {
                 "-h" | "--help" => return Err(ParseError::Help(Self::help())),
@@ -1025,6 +1040,15 @@ impl ServeArgs {
                 "--max-body-bytes" => {
                     set_once(&mut max_body_bytes, cursor.parse_value(&flag)?, &flag)?
                 }
+                "--durable" => set_once(&mut durable, true, &flag)?,
+                "--max-connections" => {
+                    set_once(&mut max_connections, cursor.parse_value(&flag)?, &flag)?
+                }
+                "--request-read-timeout-ms" => set_once(
+                    &mut request_read_timeout_ms,
+                    cursor.parse_value(&flag)?,
+                    &flag,
+                )?,
                 _ if data.try_flag(&flag, cursor)? => {}
                 other => return Err(invalid(format!("unknown flag '{other}' for serve"))),
             }
@@ -1044,6 +1068,9 @@ impl ServeArgs {
             shed_threshold,
             max_in_flight,
             max_body_bytes,
+            durable: durable.unwrap_or(false),
+            max_connections,
+            request_read_timeout_ms,
         })
     }
 }
@@ -1066,6 +1093,7 @@ pub fn serve(args: &ServeArgs) -> Result<String, String> {
             mem_cap: args.cache_mem_cap,
             dir: args.cache_dir.as_ref(),
             disk_cap: args.cache_disk_cap,
+            durable: args.durable,
         },
         args.slow_ms,
         ResilienceFlags {
@@ -1084,6 +1112,12 @@ pub fn serve(args: &ServeArgs) -> Result<String, String> {
     };
     if let Some(cap) = args.max_body_bytes {
         config.limits.max_body_bytes = cap;
+    }
+    if let Some(cap) = args.max_connections {
+        config.max_connections = cap;
+    }
+    if let Some(deadline) = args.request_read_timeout_ms {
+        config.request_read_timeout_millis = deadline;
     }
 
     let names: Vec<String> = datasets.iter().map(|(n, _)| n.clone()).collect();
@@ -1267,6 +1301,7 @@ pub fn bench_engine(args: &BenchEngineArgs) -> Result<String, String> {
             mem_cap: args.cache_mem_cap,
             dir: args.cache_dir.as_ref(),
             disk_cap: args.cache_disk_cap,
+            durable: false,
         },
         args.slow_ms,
         ResilienceFlags::default(),

@@ -194,7 +194,19 @@ impl Engine {
     pub(crate) fn open_tier(config: &EngineConfig) -> Option<Arc<DiskTier>> {
         let persist = config.persist.as_ref()?;
         match DiskTier::open_with_clock(persist, config.clock.clone()) {
-            Ok(tier) => Some(tier),
+            Ok(tier) => {
+                let scrub = tier.scrub_report();
+                if scrub.quarantined > 0 || scrub.orphans_reclaimed > 0 {
+                    eprintln!(
+                        "linx-engine: scrub of {} quarantined {} of {} entries, reclaimed {} orphaned temp files",
+                        persist.dir.display(),
+                        scrub.quarantined,
+                        scrub.scanned,
+                        scrub.orphans_reclaimed
+                    );
+                }
+                Some(tier)
+            }
             Err(e) => {
                 eprintln!(
                     "linx-engine: disabling persistent cache tier ({}): {e}",

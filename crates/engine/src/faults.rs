@@ -2,12 +2,16 @@
 //! its failure-prone seams.
 //!
 //! A [`FaultPlan`] is a seeded set of rules, each binding a failpoint name
-//! (`"disk.read"`, `"disk.write"`, `"disk.unlink"`, `"pool.execute"`,
-//! `"route.place"`, `"http.accept"`) to an action — inject an
-//! [`std::io::Error`], add latency, or panic — with a firing probability.
-//! `http.accept` fires at the top of each `linx serve` connection handler:
-//! `err` answers a typed 503 and closes, `delay` stalls the handler, and
-//! `panic` kills only that connection's thread. Decisions are a pure function of
+//! (`"disk.read"`, `"disk.write"`, `"disk.write.torn"`, `"disk.rename"`,
+//! `"disk.unlink"`, `"pool.execute"`, `"route.place"`, `"http.accept"`) to an
+//! action — inject an [`std::io::Error`], add latency, or panic — with a firing
+//! probability. `http.accept` fires at the top of each `linx serve` connection
+//! handler: `err` answers a typed 503 and closes, `delay` stalls the handler,
+//! and `panic` kills only that connection's thread. `disk.write.torn` truncates
+//! a just-written temp file *and still renames it* (`delay:<n>` = keep exactly
+//! n bytes, `err` = keep half), reproducing in-process the torn entry a power
+//! cut leaves behind; `disk.rename` fails the rename itself, dropping the
+//! store. Decisions are a pure function of
 //! `(seed, point, per-point hit counter)`, so a given plan replays identically
 //! run after run: the chaos suite and the `--fault-plan` CLI flag both lean on
 //! that determinism.

@@ -78,8 +78,8 @@ pub use faults::{FaultKind, FaultPlan, ScopedPlan};
 pub use fingerprint::{request_fingerprint, Fingerprint};
 pub use http::{HttpParseError, HttpRequest, HttpResponse, ParseLimits};
 pub use persist::{
-    DiskTier, PersistConfig, TierStats, TieredCache, BREAKER_CLOSED, BREAKER_HALF_OPEN,
-    BREAKER_OPEN,
+    DiskTier, PersistConfig, ScrubReport, TierStats, TieredCache, BREAKER_CLOSED,
+    BREAKER_HALF_OPEN, BREAKER_OPEN,
 };
 pub use pipeline::DatasetContext;
 pub use pool::{PoolStats, WorkerPool};

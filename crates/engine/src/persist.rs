@@ -31,9 +31,27 @@
 //!
 //! Writes are atomic: entries are written to a dot-prefixed temp file in the cache
 //! directory and `rename(2)`d into place, so a reader (or a concurrent process
-//! sharing the directory) only ever observes complete files. The directory is
+//! sharing the directory) only ever observes complete files. In *durable* mode
+//! ([`PersistConfig::with_durable`]) the temp file is additionally `fsync`ed before
+//! the rename and the directory is synced (best-effort) after it, so a renamed
+//! entry survives a power cut — without it, a crash can leave a renamed file whose
+//! data blocks never reached the platter (a "torn" entry). The directory is
 //! size-capped; exceeding the cap evicts least-recently-used entries by file mtime
-//! (hits re-touch mtime best-effort via [`std::fs::File::set_times`]).
+//! (ties broken by file name, so eviction order is deterministic on
+//! coarse-timestamp filesystems; hits re-touch mtime best-effort via
+//! [`std::fs::File::set_times`]).
+//!
+//! # Startup scrub
+//!
+//! [`DiskTier::open`] walks the tier and structurally verifies every entry
+//! (magic, version, checksum, full payload decode). Files that fail are moved —
+//! never deleted — into a `quarantine/` subdirectory for forensics, and the
+//! byte/entry counters are rebuilt from the verified survivors, so a tier that
+//! was SIGKILLed mid-write comes back with exact accounting and zero corrupt
+//! entries addressable. The result is surfaced as a [`ScrubReport`] (and the
+//! `linx_scrub_*` metrics families). Quarantined files sit outside the eviction
+//! walk (it is not recursive) and are overwritten by name if the same entry is
+//! quarantined twice.
 //!
 //! # Invalidation story
 //!
@@ -44,7 +62,8 @@
 //! to a clean miss:
 //!
 //! * **corruption** (truncation, bit flips, zero-length files) — the checksum or a
-//!   bounds check fails; the entry decodes as a miss and the file is deleted;
+//!   bounds check fails; at open the scrub quarantines the file, at runtime the
+//!   entry decodes as a miss and the file is deleted;
 //! * **format evolution** — [`FORMAT_VERSION`] is bumped whenever the payload
 //!   layout changes; old files fail the version check, decode as misses, and are
 //!   deleted rather than misread;
@@ -83,6 +102,10 @@ pub const FORMAT_VERSION: u16 = 1;
 
 /// File extension of persisted entries; only such files are counted and evicted.
 const ENTRY_EXT: &str = "lnx";
+
+/// Subdirectory (inside the cache dir) that the startup scrub moves corrupt
+/// entries into. Invisible to the (non-recursive) eviction walk.
+const QUARANTINE_DIR: &str = "quarantine";
 
 /// Payload kind tags (byte 6 of the frame).
 const KIND_RESULT: u8 = 1;
@@ -536,6 +559,16 @@ pub struct PersistConfig {
     /// subsequent retry. Sleeps go through [`Clock::sleep_micros`], so manual
     /// clocks make the schedule deterministic and instant.
     pub retry_backoff_micros: u64,
+    /// Durable writes: `fsync` the temp file before rename and sync the
+    /// directory (best-effort) after it, so a renamed entry survives a power
+    /// cut. Off by default — the atomic rename alone already guarantees
+    /// *consistency* (no torn entry is ever addressable after the scrub), and
+    /// the fsyncs cost latency on the store path.
+    pub durable: bool,
+    /// Minimum age, in seconds, before an orphaned `.tmp-*` file (a crashed
+    /// writer's leftovers) is reclaimed at open. `0` reclaims every temp file
+    /// immediately — only safe when no other process shares the directory.
+    pub orphan_sweep_secs: u64,
 }
 
 impl PersistConfig {
@@ -554,6 +587,11 @@ impl PersistConfig {
     /// Default retry backoff: 500 µs, doubling.
     pub const DEFAULT_RETRY_BACKOFF_MICROS: u64 = 500;
 
+    /// Default orphan-temp-file sweep window: one minute. A live writer holds a
+    /// temp file only for the instants between write and rename; anything older
+    /// belongs to a process that died mid-store.
+    pub const DEFAULT_ORPHAN_SWEEP_SECS: u64 = 60;
+
     /// A config for `dir` with the default size cap, breaker, and retry policy.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         PersistConfig {
@@ -563,6 +601,8 @@ impl PersistConfig {
             breaker_cooldown_micros: Self::DEFAULT_BREAKER_COOLDOWN_MICROS,
             write_retries: Self::DEFAULT_WRITE_RETRIES,
             retry_backoff_micros: Self::DEFAULT_RETRY_BACKOFF_MICROS,
+            durable: false,
+            orphan_sweep_secs: Self::DEFAULT_ORPHAN_SWEEP_SECS,
         }
     }
 
@@ -586,6 +626,20 @@ impl PersistConfig {
     pub fn with_write_retries(mut self, retries: u32, backoff_micros: u64) -> Self {
         self.write_retries = retries;
         self.retry_backoff_micros = backoff_micros;
+        self
+    }
+
+    /// Enable (or disable) durable writes: fsync before rename + best-effort
+    /// directory sync after it.
+    pub fn with_durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// Set the orphan-temp-file sweep window in seconds (`0` reclaims every
+    /// temp file at open).
+    pub fn with_orphan_sweep_secs(mut self, secs: u64) -> Self {
+        self.orphan_sweep_secs = secs;
         self
     }
 }
@@ -722,6 +776,27 @@ pub struct TierStats {
     pub unlink_errors: u64,
     /// Store attempts retried after a transient write failure.
     pub retries: u64,
+    /// Entry files examined by the startup scrub.
+    pub scrub_scanned: u64,
+    /// Entry files the startup scrub moved into `quarantine/`.
+    pub scrub_quarantined: u64,
+    /// Orphaned temp files reclaimed at open (crashed writers' leftovers).
+    pub orphans_reclaimed: u64,
+}
+
+/// What the startup scrub found when this tier was opened; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Entry files examined.
+    pub scanned: u64,
+    /// Files that failed verification and were moved into `quarantine/`.
+    pub quarantined: u64,
+    /// Verified entries resident after the scrub.
+    pub entries: u64,
+    /// Verified bytes resident after the scrub.
+    pub bytes: u64,
+    /// Orphaned temp files reclaimed.
+    pub orphans_reclaimed: u64,
 }
 
 /// A disk-backed, size-capped entry store: one file per fingerprint-keyed entry.
@@ -752,6 +827,9 @@ pub struct DiskTier {
     breaker: Breaker,
     write_retries: u32,
     retry_backoff_micros: u64,
+    durable: bool,
+    /// What the startup scrub found; immutable after open.
+    scrub: ScrubReport,
     /// Clock time of the last eviction scan that could not delete anything
     /// (every unlink failed); `u64::MAX` when the last scan made progress.
     /// While set, further scans are suppressed for a cooldown so a failing
@@ -763,12 +841,27 @@ pub struct DiskTier {
     read_micros: LatencyHistogram,
     write_micros: LatencyHistogram,
     evict_micros: LatencyHistogram,
+    sync_micros: LatencyHistogram,
+}
+
+/// Structurally verify one entry's bytes: framing (magic, version, checksum)
+/// *and* a full payload decode, so a checksum collision over a malformed payload
+/// still cannot survive the scrub.
+fn verify_entry(bytes: &[u8]) -> Result<(), CodecError> {
+    let (kind, _) = unframe(bytes)?;
+    if kind == KIND_RESULT {
+        decode_result(bytes).map(|_| ())
+    } else {
+        decode_stat(bytes).map(|_| ())
+    }
 }
 
 impl DiskTier {
-    /// Open (creating if needed) a cache directory with the given size cap. Stale
-    /// temp files left by crashed writers are swept here (they are invisible to
-    /// eviction, so nothing else would ever reclaim them).
+    /// Open (creating if needed) a cache directory with the given size cap,
+    /// scrubbing it first: every entry is verified, corrupt files are moved into
+    /// `quarantine/`, counters are rebuilt exactly, and stale temp files left by
+    /// crashed writers are reclaimed (they are invisible to eviction, so nothing
+    /// else would ever do it). See [`DiskTier::scrub_report`].
     pub fn open(config: &PersistConfig) -> io::Result<Arc<DiskTier>> {
         DiskTier::open_with_clock(config, Clock::real())
     }
@@ -777,15 +870,40 @@ impl DiskTier {
     /// histograms. Tests pass a manual clock; `open` uses the real one.
     pub fn open_with_clock(config: &PersistConfig, clock: Clock) -> io::Result<Arc<DiskTier>> {
         std::fs::create_dir_all(&config.dir)?;
-        let mut bytes = 0u64;
-        let mut entries = 0u64;
+        let mut scrub = ScrubReport::default();
+        let mut unlink_errors = 0u64;
+        let quarantine = config.dir.join(QUARANTINE_DIR);
         for entry in std::fs::read_dir(&config.dir)? {
             let Ok(entry) = entry else { continue };
             let path = entry.path();
+            if entry.metadata().map(|m| m.is_dir()).unwrap_or(false) {
+                continue;
+            }
             if path.extension().and_then(|e| e.to_str()) == Some(ENTRY_EXT) {
-                if let Ok(meta) = entry.metadata() {
-                    bytes += meta.len();
-                    entries += 1;
+                scrub.scanned += 1;
+                let verified = match std::fs::read(&path) {
+                    Ok(bytes) if verify_entry(&bytes).is_ok() => Some(bytes.len() as u64),
+                    // Unreadable counts as corrupt: the file exists but cannot
+                    // serve a hit, so it goes to quarantine with the rest.
+                    _ => None,
+                };
+                match verified {
+                    Some(len) => {
+                        scrub.bytes += len;
+                        scrub.entries += 1;
+                    }
+                    None => {
+                        // Never unlink — keep the bytes for forensics. A failed
+                        // quarantine leaves the file in place; the load path
+                        // will still reject (and then delete) it at runtime.
+                        let _ = std::fs::create_dir_all(&quarantine);
+                        let dest = quarantine.join(entry.file_name());
+                        if std::fs::rename(&path, &dest).is_ok() {
+                            scrub.quarantined += 1;
+                        } else {
+                            unlink_errors += 1;
+                        }
+                    }
                 }
             } else if entry
                 .file_name()
@@ -793,46 +911,60 @@ impl DiskTier {
                 .is_some_and(|n| n.starts_with(".tmp-"))
             {
                 // A live writer holds a temp file only for the instants between
-                // write and rename; one older than a minute belongs to a process
-                // that died mid-store and will never be renamed.
-                let stale = entry
-                    .metadata()
-                    .and_then(|m| m.modified())
-                    .ok()
-                    .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
-                    .is_some_and(|age| age.as_secs() >= 60);
-                if stale {
-                    let _ = std::fs::remove_file(&path);
+                // write and rename; one older than the sweep window belongs to a
+                // process that died mid-store and will never be renamed.
+                let stale = config.orphan_sweep_secs == 0
+                    || entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+                        .is_some_and(|age| age.as_secs() >= config.orphan_sweep_secs);
+                if stale && std::fs::remove_file(&path).is_ok() {
+                    scrub.orphans_reclaimed += 1;
                 }
             }
         }
         Ok(Arc::new(DiskTier {
             dir: config.dir.clone(),
             max_bytes: config.max_bytes.max(4 * 1024),
-            bytes: AtomicU64::new(bytes),
-            entries: AtomicU64::new(entries),
+            bytes: AtomicU64::new(scrub.bytes),
+            entries: AtomicU64::new(scrub.entries),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             load_errors: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            unlink_errors: AtomicU64::new(0),
+            unlink_errors: AtomicU64::new(unlink_errors),
             retries: AtomicU64::new(0),
             breaker: Breaker::new(config.breaker_threshold, config.breaker_cooldown_micros),
             write_retries: config.write_retries,
             retry_backoff_micros: config.retry_backoff_micros.max(1),
+            durable: config.durable,
+            scrub,
             futile_evict_at: AtomicU64::new(u64::MAX),
             evict_lock: Mutex::new(()),
             clock,
             read_micros: LatencyHistogram::new(),
             write_micros: LatencyHistogram::new(),
             evict_micros: LatencyHistogram::new(),
+            sync_micros: LatencyHistogram::new(),
         }))
     }
 
     /// The cache directory this tier reads and writes.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// What the startup scrub found when this tier was opened.
+    pub fn scrub_report(&self) -> ScrubReport {
+        self.scrub
+    }
+
+    /// The `quarantine/` subdirectory corrupt entries are moved into at open.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
     }
 
     fn entry_path(&self, name: &str) -> PathBuf {
@@ -989,7 +1121,8 @@ impl DiskTier {
     }
 
     /// The write itself; `Ok(over_cap)` on success, `Err(())` on any I/O
-    /// failure (including one injected at the `disk.write` failpoint).
+    /// failure (including one injected at the `disk.write` or `disk.rename`
+    /// failpoint).
     fn store_entry_inner(&self, name: &str, encoded: &[u8]) -> Result<bool, ()> {
         // Process-global counter: two DiskTier instances over one directory (two
         // engines configured independently rather than through a Router) must not
@@ -1005,7 +1138,36 @@ impl DiskTier {
         if faults::io_failpoint("disk.write").is_err() {
             return Err(());
         }
-        if std::fs::write(&tmp, encoded).is_err() {
+        let write = std::fs::File::create(&tmp).and_then(|mut file| {
+            use std::io::Write as _;
+            file.write_all(encoded)?;
+            // `disk.write.torn` failpoint: truncate the temp file *and still
+            // rename it* — the shape a power cut leaves behind when the rename
+            // reached the journal but the data blocks never reached the
+            // platter. `delay:<n>` truncates to exactly n bytes (tests pick the
+            // offset); a plain error truncates mid-file.
+            match faults::check("disk.write.torn") {
+                Some(FaultKind::Delay(keep)) => file.set_len(keep.min(encoded.len() as u64))?,
+                Some(FaultKind::Error) => file.set_len(encoded.len() as u64 / 2)?,
+                Some(FaultKind::Panic) => panic!("injected panic at failpoint disk.write.torn"),
+                None => {
+                    if self.durable {
+                        let start = self.clock.now_micros();
+                        file.sync_all()?;
+                        self.sync_micros
+                            .record(self.clock.now_micros().saturating_sub(start));
+                    }
+                }
+            }
+            Ok(())
+        });
+        if write.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(());
+        }
+        // `disk.rename` failpoint: the rename itself fails (EXDEV, ENOSPC on
+        // the directory, …) — the store is dropped and the temp file cleaned.
+        if faults::io_failpoint("disk.rename").is_err() {
             let _ = std::fs::remove_file(&tmp);
             return Err(());
         }
@@ -1017,6 +1179,14 @@ impl DiskTier {
         if std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
             return Err(());
+        }
+        if self.durable {
+            // Directory sync, best-effort: makes the *rename* durable. A
+            // failure here is not a failed store — the entry is readable, it
+            // just might not survive a power cut.
+            if let Ok(d) = std::fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
         }
         self.stores.fetch_add(1, Ordering::Relaxed);
         if replaced.is_none() {
@@ -1070,7 +1240,12 @@ impl DiskTier {
                 files.push((mtime, path, meta.len()));
             }
         }
-        files.sort_by_key(|(mtime, _, _)| *mtime);
+        // Tie-break equal mtimes by file name: coarse-timestamp filesystems give
+        // a tight write loop identical mtimes, and an unstable order there makes
+        // eviction nondeterministic across runs.
+        files.sort_by(|(ma, pa, _), (mb, pb, _)| {
+            ma.cmp(mb).then_with(|| pa.file_name().cmp(&pb.file_name()))
+        });
         let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
         let mut entries = files.len() as u64;
         let low_water = self.max_bytes - self.max_bytes / 10;
@@ -1108,13 +1283,15 @@ impl DiskTier {
         self.store_entry(&format!("res-{fp:016x}"), &encode_result(result));
     }
 
-    /// Snapshot of the read/write/evict latency distributions (entry loads,
-    /// atomic entry writes, and size-cap eviction scans, in microseconds).
+    /// Snapshot of the read/write/evict/sync latency distributions (entry
+    /// loads, atomic entry writes, size-cap eviction scans, and durable-mode
+    /// fsyncs, in microseconds).
     pub fn latency(&self) -> TierLatency {
         TierLatency {
             read: self.read_micros.snapshot(),
             write: self.write_micros.snapshot(),
             evict: self.evict_micros.snapshot(),
+            sync: self.sync_micros.snapshot(),
         }
     }
 
@@ -1132,6 +1309,9 @@ impl DiskTier {
             breaker_trips: self.breaker.trips(),
             unlink_errors: self.unlink_errors.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            scrub_scanned: self.scrub.scanned,
+            scrub_quarantined: self.scrub.quarantined,
+            orphans_reclaimed: self.scrub.orphans_reclaimed,
         }
     }
 }

@@ -27,6 +27,8 @@
 //! | [`JobError::Panicked`]        | 500    | `job_panicked`      |                 |
 //! | [`JobError::WorkerLost`]      | 500    | `worker_lost`       |                 |
 //! | malformed HTTP or JSON        | 400    | `bad_request`       |                 |
+//! | request read deadline exceeded| 408    | `request_timeout`   |                 |
+//! | connection cap exceeded       | 503    | `overloaded`        | `Retry-After`   |
 //! | oversized request line/headers| 431    | `headers_too_large` |                 |
 //! | unknown path                  | 404    | `unknown_route`     |                 |
 //! | known path, wrong method      | 405    | `method_not_allowed`| `Allow`         |
@@ -46,6 +48,24 @@
 //! The `http.accept` failpoint (see [`crate::faults`]) runs at the top of each
 //! connection: `err` answers 503 and closes (responses stay typed), `delay`
 //! stalls the handler, `panic` kills only that connection's thread.
+//!
+//! ## Slow and hostile clients
+//!
+//! Three defenses keep a broken or adversarial peer from pinning resources:
+//!
+//! * **connection cap** ([`ServeConfig::max_connections`]) — a connection over
+//!   the cap is answered 503 + `Retry-After` and closed immediately, counted in
+//!   `linx_http_conn_rejected_total`;
+//! * **cumulative request deadline** ([`ServeConfig::request_read_timeout_millis`])
+//!   — the clock starts at the first byte of a request and is *not* reset by
+//!   further bytes, so a slowloris dribbling one byte per tick is closed with
+//!   408 once the deadline passes (the per-tick idle counter only covers
+//!   connections with no request in progress);
+//! * **write timeout** ([`ServeConfig::write_timeout_millis`]) — a peer that
+//!   stops reading its response blocks the thread only until the socket write
+//!   times out, then the connection is dropped.
+//!
+//! The latter two closes are counted in `linx_http_slow_client_closes_total`.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -90,6 +110,17 @@ pub struct ServeConfig {
     /// Completed/failed jobs retained for polling before the oldest are
     /// evicted from the job table.
     pub max_jobs_retained: usize,
+    /// Open-connection cap; a connection accepted over the cap is answered
+    /// 503 + `Retry-After` and closed immediately. `0` disables the cap.
+    pub max_connections: usize,
+    /// Cumulative deadline for reading one request (headers + body), in
+    /// milliseconds. Unlike the idle-tick counter, trickling bytes does *not*
+    /// reset it: a slowloris connection is closed with 408 once it expires.
+    /// `0` disables the deadline.
+    pub request_read_timeout_millis: u64,
+    /// Socket write timeout: a peer that stops reading its response can pin
+    /// the connection thread at most this long per write. `0` disables it.
+    pub write_timeout_millis: u64,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +133,9 @@ impl Default for ServeConfig {
             max_idle_ticks: 300,
             drain_wait_cap_millis: 60_000,
             max_jobs_retained: 4096,
+            max_connections: 1024,
+            request_read_timeout_millis: 10_000,
+            write_timeout_millis: 10_000,
         }
     }
 }
@@ -115,6 +149,8 @@ struct HttpMetrics {
     responses_4xx: Counter,
     responses_5xx: Counter,
     parse_errors_total: Counter,
+    conn_rejected_total: Counter,
+    slow_client_closes_total: Counter,
     request_micros: LatencyHistogram,
 }
 
@@ -127,6 +163,8 @@ impl HttpMetrics {
             responses_4xx: Counter::new(),
             responses_5xx: Counter::new(),
             parse_errors_total: Counter::new(),
+            conn_rejected_total: Counter::new(),
+            slow_client_closes_total: Counter::new(),
             request_micros: LatencyHistogram::new(),
         }
     }
@@ -139,7 +177,7 @@ impl HttpMetrics {
         }
     }
 
-    /// The five `linx_http_*` families, always present (zero-valued when idle).
+    /// The seven `linx_http_*` families, always present (zero-valued when idle).
     fn render(&self) -> String {
         let mut out = String::with_capacity(2048);
         push_family(
@@ -204,6 +242,30 @@ impl HttpMetrics {
         );
         push_family(
             &mut out,
+            "linx_http_conn_rejected_total",
+            "counter",
+            "Connections refused with 503 by the --max-connections cap.",
+        );
+        push_sample(
+            &mut out,
+            "linx_http_conn_rejected_total",
+            "",
+            self.conn_rejected_total.get(),
+        );
+        push_family(
+            &mut out,
+            "linx_http_slow_client_closes_total",
+            "counter",
+            "Connections closed for exceeding the request read deadline (408) or a write timeout.",
+        );
+        push_sample(
+            &mut out,
+            "linx_http_slow_client_closes_total",
+            "",
+            self.slow_client_closes_total.get(),
+        );
+        push_family(
+            &mut out,
             "linx_http_request_micros",
             "histogram",
             "Wall-clock time from request parse to response write.",
@@ -247,6 +309,9 @@ struct Inner {
     read_timeout_millis: u64,
     max_idle_ticks: u32,
     max_jobs_retained: usize,
+    max_connections: usize,
+    request_read_timeout_millis: u64,
+    write_timeout_millis: u64,
     http: HttpMetrics,
     started: Instant,
 }
@@ -301,6 +366,9 @@ impl Server {
             read_timeout_millis: config.read_timeout_millis.max(10),
             max_idle_ticks: config.max_idle_ticks.max(1),
             max_jobs_retained: config.max_jobs_retained.max(16),
+            max_connections: config.max_connections,
+            request_read_timeout_millis: config.request_read_timeout_millis,
+            write_timeout_millis: config.write_timeout_millis,
             http: HttpMetrics::new(),
             started: Instant::now(),
         });
@@ -435,6 +503,25 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
     inner.http.connections_now.inc();
     let _guard = ConnGuard(&inner.http.connections_now);
 
+    // Over the connection cap: answer a typed 503 and close immediately, so a
+    // connection flood degrades to fast rejections instead of thread pileup.
+    // (The gauge already counts this connection, hence the strict `>`.)
+    if inner.max_connections > 0 && inner.http.connections_now.get() > inner.max_connections as u64
+    {
+        inner.http.conn_rejected_total.inc();
+        let resp = HttpResponse::error(
+            503,
+            "overloaded",
+            &format!(
+                "connection limit reached ({} open); retry shortly",
+                inner.max_connections
+            ),
+        )
+        .with_header("Retry-After", "1");
+        write_response(&stream, &inner, &resp, true);
+        return;
+    }
+
     match faults::check("http.accept") {
         Some(FaultKind::Delay(us)) => thread::sleep(Duration::from_micros(us)),
         Some(FaultKind::Error) => {
@@ -454,11 +541,20 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
     }
 
     let _ = stream.set_read_timeout(Some(Duration::from_millis(inner.read_timeout_millis)));
+    if inner.write_timeout_millis > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(inner.write_timeout_millis)));
+    }
     let _ = stream.set_nodelay(true);
 
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 8192];
     let mut idle_ticks: u32 = 0;
+    // Cumulative deadline for the request currently being read. Armed when
+    // bytes of an incomplete request are buffered, cleared when a request
+    // completes — and deliberately *not* reset by further reads, so trickled
+    // bytes cannot keep a connection alive forever (the slowloris hole the
+    // per-byte `idle_ticks` reset would otherwise leave open).
+    let mut request_deadline: Option<Instant> = None;
     loop {
         // Serve every complete (possibly pipelined) request already buffered.
         loop {
@@ -466,6 +562,7 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
                 Ok(Some((request, consumed))) => {
                     buf.drain(..consumed);
                     idle_ticks = 0;
+                    request_deadline = None;
                     let started = Instant::now();
                     let response = dispatch(&inner, &request);
                     let close = request.wants_close() || inner.stopping.load(Ordering::SeqCst);
@@ -485,6 +582,22 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
                     return;
                 }
             }
+        }
+        if buf.is_empty() {
+            request_deadline = None;
+        } else if request_deadline.is_none() && inner.request_read_timeout_millis > 0 {
+            request_deadline =
+                Some(Instant::now() + Duration::from_millis(inner.request_read_timeout_millis));
+        }
+        if request_deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            inner.http.slow_client_closes_total.inc();
+            let resp = HttpResponse::error(
+                408,
+                "request_timeout",
+                "request was not received in full within the read deadline",
+            );
+            write_response(&stream, &inner, &resp, true);
+            return;
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
@@ -523,7 +636,8 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
 }
 
 /// Write `response`, recording its status class. Returns false on I/O failure
-/// (peer gone) so the caller closes the connection.
+/// (peer gone, or a stalled reader tripping the write timeout) so the caller
+/// closes the connection.
 fn write_response(
     mut stream: &TcpStream,
     inner: &Inner,
@@ -531,7 +645,23 @@ fn write_response(
     close: bool,
 ) -> bool {
     inner.http.record_status(response.status);
-    stream.write_all(&response.encode(close)).is_ok() && stream.flush().is_ok()
+    match stream
+        .write_all(&response.encode(close))
+        .and_then(|()| stream.flush())
+    {
+        Ok(()) => true,
+        Err(e) => {
+            // A timed-out write means the peer stopped reading: a slow client,
+            // not a vanished one.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                inner.http.slow_client_closes_total.inc();
+            }
+            false
+        }
+    }
 }
 
 fn parse_error_response(err: &HttpParseError) -> HttpResponse {

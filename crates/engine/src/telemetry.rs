@@ -371,7 +371,7 @@ impl MetricsRegistry {
     }
 }
 
-/// The disk tier's operation latencies (read, write, evict), snapshotted
+/// The disk tier's operation latencies (read, write, evict, sync), snapshotted
 /// together. All-zero when no tier is mounted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TierLatency {
@@ -381,6 +381,9 @@ pub struct TierLatency {
     pub write: HistogramSnapshot,
     /// Size-cap eviction scans.
     pub evict: HistogramSnapshot,
+    /// Durable-mode `fsync`s of the temp file before rename (empty unless the
+    /// tier runs with [`PersistConfig::with_durable`](crate::PersistConfig)).
+    pub sync: HistogramSnapshot,
 }
 
 impl TierLatency {
@@ -390,6 +393,7 @@ impl TierLatency {
             read: self.read.merge(&other.read),
             write: self.write.merge(&other.write),
             evict: self.evict.merge(&other.evict),
+            sync: self.sync.merge(&other.sync),
         }
     }
 }
@@ -836,6 +840,30 @@ impl RouterStats {
             "",
             self.tier.breaker_trips,
         );
+        push_family(
+            &mut out,
+            "linx_scrub_scanned_total",
+            "counter",
+            "Disk-tier entry files examined by the startup scrub.",
+        );
+        push_sample(
+            &mut out,
+            "linx_scrub_scanned_total",
+            "",
+            self.tier.scrub_scanned,
+        );
+        push_family(
+            &mut out,
+            "linx_scrub_quarantined_total",
+            "counter",
+            "Corrupt entry files the startup scrub moved into quarantine/.",
+        );
+        push_sample(
+            &mut out,
+            "linx_scrub_quarantined_total",
+            "",
+            self.tier.scrub_quarantined,
+        );
 
         push_histogram_family(
             &mut out,
@@ -895,6 +923,12 @@ impl RouterStats {
         );
         push_histogram_family(
             &mut out,
+            "linx_disk_sync_micros",
+            "Durable-mode fsync latency on the disk-tier store path.",
+            &[("", &t.disk.sync)],
+        );
+        push_histogram_family(
+            &mut out,
             "linx_disk_evict_micros",
             "Disk-tier size-cap eviction scan latency.",
             &[("", &t.disk.evict)],
@@ -932,7 +966,7 @@ impl RouterStats {
                 "  \"requests\": {{\"submitted\":{submitted},\"coalesced\":{coalesced},\"rejected\":{rejected},\"coalesce_rate\":{coalesce_rate:.4}}},\n",
                 "  \"cache\": {{\n",
                 "    \"memory\": {{\"hits\":{mhits},\"misses\":{mmisses},\"evictions\":{mevict},\"entries\":{mentries},\"hit_rate\":{mrate:.4}}},\n",
-                "    \"disk\": {{\"hits\":{dhits},\"misses\":{dmisses},\"load_errors\":{derr},\"stores\":{dstores},\"evictions\":{devict},\"entries\":{dentries},\"bytes\":{dbytes},\"hit_rate\":{drate:.4},\"unlink_errors\":{dunlink},\"retries\":{dretries}}}\n",
+                "    \"disk\": {{\"hits\":{dhits},\"misses\":{dmisses},\"load_errors\":{derr},\"stores\":{dstores},\"evictions\":{devict},\"entries\":{dentries},\"bytes\":{dbytes},\"hit_rate\":{drate:.4},\"unlink_errors\":{dunlink},\"retries\":{dretries},\"scrub_scanned\":{dscanned},\"scrub_quarantined\":{dquarantined},\"orphans_reclaimed\":{dorphans}}}\n",
                 "  }},\n",
                 "  \"pool\": {{\"workers\":{workers},\"completed\":{completed},\"panicked\":{panicked},\"queued\":{queued},\"queued_now\":{queued_now},\"in_flight_now\":{in_flight_now}}},\n",
                 "  \"quota\": {{\"admitted\":{admitted},\"throttled\":{throttled},\"throttled_queue\":{tq},\"throttled_in_flight\":{tif},\"queued\":{qqueued},\"running\":{qrunning},\"tenants\":{tenants}}},\n",
@@ -946,6 +980,7 @@ impl RouterStats {
                 "    \"execute\": {execute},\n",
                 "    \"disk_read\": {disk_read},\n",
                 "    \"disk_write\": {disk_write},\n",
+                "    \"disk_sync\": {disk_sync},\n",
                 "    \"disk_evict\": {disk_evict},\n",
                 "    \"request_total\": {total}\n",
                 "  }}\n",
@@ -970,6 +1005,9 @@ impl RouterStats {
             drate = agg.tier_hit_rate(),
             dunlink = self.tier.unlink_errors,
             dretries = self.tier.retries,
+            dscanned = self.tier.scrub_scanned,
+            dquarantined = self.tier.scrub_quarantined,
+            dorphans = self.tier.orphans_reclaimed,
             shed = agg.shed,
             dl_admit = agg.deadline_expired[Stage::Admit as usize],
             dl_queue = agg.deadline_expired[Stage::QueueWait as usize],
@@ -997,6 +1035,7 @@ impl RouterStats {
             execute = json_banded(&t.execute),
             disk_read = json_histogram(&t.disk.read),
             disk_write = json_histogram(&t.disk.write),
+            disk_sync = json_histogram(&t.disk.sync),
             disk_evict = json_histogram(&t.disk.evict),
             total = json_histogram(&t.total),
         )

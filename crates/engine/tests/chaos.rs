@@ -223,6 +223,70 @@ fn failing_unlinks_are_counted_and_do_not_loop_the_evictor() {
 }
 
 // ---------------------------------------------------------------------------
+// Crash consistency: torn writes and failed renames
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_writes_are_published_then_quarantined_at_the_next_open() {
+    let dir = temp_dir("torn");
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+    {
+        // Keep exactly 20 bytes of the temp file and rename it anyway — the
+        // shape a power cut leaves behind when the rename reached the journal
+        // but the data blocks never reached the platter.
+        let _scoped = arm_scoped(FaultPlan::parse("seed=1;disk.write.torn=delay:20@100").unwrap());
+        tier.store_result(70, &marked_result(70));
+    }
+    tier.store_result(71, &marked_result(71));
+    let torn = tier.dir().join(format!("res-{:016x}.lnx", 70u64));
+    assert_eq!(
+        std::fs::metadata(&torn).unwrap().len(),
+        20,
+        "torn file is published at its truncated length"
+    );
+    drop(tier);
+
+    // The next open's scrub quarantines the torn entry — bytes preserved for
+    // forensics, never unlinked — and the intact neighbour still serves.
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+    let scrub = tier.scrub_report();
+    assert_eq!((scrub.scanned, scrub.quarantined, scrub.entries), (2, 1, 1));
+    assert!(!torn.exists(), "torn entry must leave the cache directory");
+    let kept = tier
+        .quarantine_dir()
+        .join(format!("res-{:016x}.lnx", 70u64));
+    assert_eq!(std::fs::read(&kept).unwrap().len(), 20);
+    assert!(tier.load_result(70).is_none(), "torn entry is a clean miss");
+    assert_eq!(tier.load_result(71).unwrap().ldx_canonical, "fp=71");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_renames_drop_the_store_and_leave_no_temp_files() {
+    let dir = temp_dir("rename");
+    let config = PersistConfig::new(&dir)
+        .with_breaker(0, 0)
+        .with_write_retries(0, 0);
+    let tier = DiskTier::open(&config).unwrap();
+    {
+        let _scoped = arm_scoped(FaultPlan::new(2).always("disk.rename", FaultKind::Error));
+        tier.store_result(80, &marked_result(80));
+    }
+    assert!(tier.load_result(80).is_none(), "dropped store is a miss");
+    assert_eq!(tier.stats().stores, 0);
+    // The failed store cleaned up after itself: nothing for the orphan sweep.
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        0,
+        "no temp or entry files may remain after a failed rename"
+    );
+    // The disk healed: the same store now lands and reads back.
+    tier.store_result(80, &marked_result(80));
+    assert_eq!(tier.load_result(80).unwrap().ldx_canonical, "fp=80");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
 // Deadlines
 // ---------------------------------------------------------------------------
 

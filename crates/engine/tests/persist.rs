@@ -231,6 +231,144 @@ fn stats_cache_round_trips_through_a_shared_tier() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+// --- startup scrub, durability, and eviction determinism --------------------------
+
+#[test]
+fn startup_scrub_quarantines_corrupt_entries_and_rebuilds_counters() {
+    let dir = temp_dir("scrub");
+    {
+        let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+        tier.store_result(1, &sample_result());
+        tier.store_result(2, &sample_result());
+    }
+    // Damage entry 2 in place and drop in a garbage neighbour plus an empty file.
+    let corrupt_path = dir.join(format!("res-{:016x}.lnx", 2u64));
+    let mut corrupt = std::fs::read(&corrupt_path).unwrap();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x01;
+    std::fs::write(&corrupt_path, &corrupt).unwrap();
+    std::fs::write(dir.join("res-00000000000000ff.lnx"), b"not a cache entry").unwrap();
+    std::fs::write(dir.join("res-00000000000000fe.lnx"), b"").unwrap();
+
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+    let scrub = tier.scrub_report();
+    assert_eq!(scrub.scanned, 4);
+    assert_eq!(scrub.quarantined, 3);
+    assert_eq!(scrub.entries, 1);
+    let good_len = std::fs::metadata(result_path(&tier, 1)).unwrap().len();
+    assert_eq!(scrub.bytes, good_len);
+    // Counters are rebuilt exactly from what survived the scrub...
+    let stats = tier.stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.bytes, good_len);
+    assert_eq!(stats.scrub_scanned, 4);
+    assert_eq!(stats.scrub_quarantined, 3);
+    // ...the intact entry warm-hits while the damaged one is a clean miss...
+    assert_eq!(
+        tier.load_result(1).unwrap().best_score,
+        sample_result().best_score
+    );
+    assert!(tier.load_result(2).is_none());
+    // ...and every damaged file sits bit-preserved in quarantine/, never unlinked.
+    let quarantine = tier.quarantine_dir();
+    assert_eq!(
+        std::fs::read(quarantine.join(format!("res-{:016x}.lnx", 2u64))).unwrap(),
+        corrupt,
+        "quarantined bytes must be preserved for forensics"
+    );
+    assert!(quarantine.join("res-00000000000000ff.lnx").exists());
+    assert!(quarantine.join("res-00000000000000fe.lnx").exists());
+    drop(tier);
+
+    // Reopen: the quarantine directory is invisible to the next scrub.
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+    assert_eq!(tier.scrub_report().scanned, 1);
+    assert_eq!(tier.scrub_report().quarantined, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_mode_fsyncs_every_store_and_records_sync_latency() {
+    let dir = temp_dir("durable");
+    let tier = DiskTier::open(&PersistConfig::new(&dir).with_durable(true)).unwrap();
+    tier.store_result(1, &sample_result());
+    tier.store_result(2, &sample_result());
+    assert_eq!(
+        tier.latency().sync.count,
+        2,
+        "one fsync recorded per durable store"
+    );
+    assert_eq!(
+        tier.load_result(1).unwrap().best_score,
+        sample_result().best_score
+    );
+    // A non-durable tier over the same directory records no sync samples.
+    let plain = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+    plain.store_result(3, &sample_result());
+    assert_eq!(plain.latency().sync.count, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn orphan_sweep_window_is_configurable_and_counts_reclaimed_temps() {
+    let dir = temp_dir("orphan-knob");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(".tmp-1-0"), b"fresh in-flight").unwrap();
+    std::fs::write(dir.join(".tmp-1-1"), b"also fresh").unwrap();
+
+    // The default 60 s window keeps fresh temps — they may be a live writer's...
+    let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+    assert_eq!(tier.scrub_report().orphans_reclaimed, 0);
+    drop(tier);
+    assert!(dir.join(".tmp-1-0").exists());
+
+    // ...while a zero window treats every temp as orphaned and counts the reclaim.
+    let tier = DiskTier::open(&PersistConfig::new(&dir).with_orphan_sweep_secs(0)).unwrap();
+    assert_eq!(tier.scrub_report().orphans_reclaimed, 2);
+    assert_eq!(tier.stats().orphans_reclaimed, 2);
+    assert!(!dir.join(".tmp-1-0").exists());
+    assert!(!dir.join(".tmp-1-1").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn eviction_breaks_equal_mtimes_by_file_name() {
+    let dir = temp_dir("evict-tie");
+    // Bulky entries keep the arithmetic above the 4 KiB cap floor.
+    let bulky = || {
+        let mut result = sample_result();
+        result.narrative.headline = "x".repeat(4096);
+        result
+    };
+    let entry_len = encode_result(&bulky()).len() as u64;
+    // Cap sized so the third store evicts exactly one file: 3E exceeds 2.5E,
+    // and removing one lands at 2E, under the 90% low-water mark (2.25E).
+    let tier = DiskTier::open(&PersistConfig::new(&dir).with_max_bytes(entry_len * 5 / 2)).unwrap();
+    // Stored newest-name-first, so a recency-or-insertion-order tie-break would
+    // pick differently than the name tie-break.
+    tier.store_result(2, &bulky());
+    tier.store_result(1, &bulky());
+    // Give both files the identical mtime a coarse-timestamp filesystem would.
+    let stamp = std::time::SystemTime::now() - std::time::Duration::from_secs(10);
+    for fp in [1u64, 2] {
+        let f = std::fs::File::options()
+            .append(true)
+            .open(result_path(&tier, fp))
+            .unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(stamp))
+            .unwrap();
+    }
+    tier.store_result(3, &bulky());
+    assert!(
+        !result_path(&tier, 1).exists(),
+        "equal mtimes: the lexicographically first name must evict first"
+    );
+    assert!(result_path(&tier, 2).exists());
+    assert!(result_path(&tier, 3).exists());
+    assert_eq!(tier.stats().evictions, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // --- proptest round-trips ---------------------------------------------------------
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -410,5 +548,131 @@ proptest! {
     fn garbage_never_decodes(bytes in prop::collection::vec(0u8..=255, 0..200)) {
         prop_assert!(decode_result(&bytes).is_err());
         prop_assert!(decode_stat(&bytes).is_err());
+    }
+}
+
+// --- scrub property: arbitrary damage is contained --------------------------------
+
+/// One way to damage a persisted entry file before the scrub sees it.
+#[derive(Debug, Clone)]
+enum Damage {
+    Intact,
+    Flip { pos: usize, bit: u8 },
+    Truncate { keep: usize },
+    Extend { extra: Vec<u8> },
+    Garbage { bytes: Vec<u8> },
+}
+
+fn damage_strategy() -> impl Strategy<Value = Damage> {
+    prop_oneof![
+        2 => Just(Damage::Intact),
+        2 => (0usize..4096, 0u8..8).prop_map(|(pos, bit)| Damage::Flip { pos, bit }),
+        2 => (0usize..4096).prop_map(|keep| Damage::Truncate { keep }),
+        1 => prop::collection::vec(0u8..=255, 1..24).prop_map(|extra| Damage::Extend { extra }),
+        1 => prop::collection::vec(0u8..=255, 0..64).prop_map(|bytes| Damage::Garbage { bytes }),
+    ]
+}
+
+/// Apply `damage` to the on-disk bytes; returns whether anything changed.
+fn apply_damage(damage: &Damage, bytes: &mut Vec<u8>) -> bool {
+    match damage {
+        Damage::Intact => false,
+        Damage::Flip { pos, bit } => {
+            let i = pos % bytes.len();
+            bytes[i] ^= 1 << bit;
+            true
+        }
+        Damage::Truncate { keep } => {
+            bytes.truncate(keep % bytes.len());
+            true
+        }
+        Damage::Extend { extra } => {
+            bytes.extend_from_slice(extra);
+            true
+        }
+        Damage::Garbage { bytes: garbage } => {
+            *bytes = garbage.clone();
+            true
+        }
+    }
+}
+
+proptest! {
+    /// The startup scrub is total over arbitrarily damaged cache directories:
+    /// it never panics, every entry is afterwards either served bit-identical
+    /// or sitting in `quarantine/`, and the scrub counters reconcile exactly
+    /// with a directory walk.
+    #[test]
+    fn scrub_contains_arbitrary_damage_and_counters_reconcile(
+        cases in prop::collection::vec((damage_strategy(), result_strategy()), 1..6),
+    ) {
+        let dir = temp_dir("scrub-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut written = Vec::new();
+        for (i, (damage, result)) in cases.iter().enumerate() {
+            let fp = i as u64;
+            let mut bytes = encode_result(result);
+            let original = bytes.clone();
+            let damaged = apply_damage(damage, &mut bytes);
+            std::fs::write(dir.join(format!("res-{fp:016x}.lnx")), &bytes).unwrap();
+            written.push((fp, original, damaged));
+        }
+
+        let tier = DiskTier::open(&PersistConfig::new(&dir)).unwrap();
+        let scrub = tier.scrub_report();
+        prop_assert_eq!(scrub.scanned, written.len() as u64);
+
+        // Counters reconcile with what is actually on disk.
+        let quarantine = tier.quarantine_dir();
+        let quarantined_files = std::fs::read_dir(&quarantine)
+            .map(|entries| entries.count() as u64)
+            .unwrap_or(0);
+        prop_assert_eq!(scrub.quarantined, quarantined_files);
+        let mut live = 0u64;
+        let mut live_bytes = 0u64;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let meta = entry.unwrap().metadata().unwrap();
+            if meta.is_dir() {
+                continue;
+            }
+            live += 1;
+            live_bytes += meta.len();
+        }
+        prop_assert_eq!(scrub.entries, live);
+        prop_assert_eq!(scrub.bytes, live_bytes);
+        prop_assert_eq!(scrub.scanned, scrub.quarantined + live);
+        let stats = tier.stats();
+        prop_assert_eq!(stats.scrub_scanned, scrub.scanned);
+        prop_assert_eq!(stats.scrub_quarantined, scrub.quarantined);
+        prop_assert_eq!(stats.entries, live);
+        prop_assert_eq!(stats.bytes, live_bytes);
+
+        // Every entry is served bit-identical or quarantined — never wrong data,
+        // never silently deleted.
+        for (fp, original, damaged) in &written {
+            let in_quarantine = quarantine.join(format!("res-{fp:016x}.lnx")).exists();
+            match tier.load_result(*fp) {
+                Some(loaded) => {
+                    prop_assert!(!in_quarantine, "entry {fp} both live and quarantined");
+                    if !damaged {
+                        // Undamaged entries must serve bit-identical.
+                        prop_assert_eq!(&encode_result(&loaded), original);
+                    }
+                }
+                None => {
+                    prop_assert!(
+                        *damaged,
+                        "undamaged entry {} must survive the scrub",
+                        fp
+                    );
+                    prop_assert!(
+                        in_quarantine,
+                        "damaged entry {} must be quarantined, not deleted",
+                        fp
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

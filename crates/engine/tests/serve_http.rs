@@ -583,6 +583,150 @@ fn oversized_lines_get_431_and_truncated_bodies_get_400() {
 }
 
 // ---------------------------------------------------------------------------
+// Slow and hostile clients: the connection cap and the request read deadline
+// ---------------------------------------------------------------------------
+
+/// Exact-name sample lookup in a Prometheus exposition body.
+fn sample(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("no sample named {name} in exposition"))
+}
+
+#[test]
+fn connection_cap_rejects_overflow_with_503_and_recovers_on_close() {
+    let _no_faults = exclude_faults();
+    let mut config = tiny_serve_config(1);
+    config.max_connections = 2;
+    let server = start(config, 120);
+    let addr = server.addr();
+
+    // Two keep-alive connections occupy the whole cap...
+    let held: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut stream = connect(addr);
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: linx\r\n\r\n")
+                .unwrap();
+            let resp = read_response(&mut stream, &mut Vec::new());
+            assert_eq!(resp.status, 200);
+            stream
+        })
+        .collect();
+
+    // ...so a third is refused the moment it connects — a typed 503 with
+    // Retry-After arrives before the client has sent a single byte.
+    let mut stream = connect(addr);
+    let resp = read_response(&mut stream, &mut Vec::new());
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+    assert!(
+        resp.body.contains("\"code\":\"overloaded\""),
+        "{}",
+        resp.body
+    );
+    assert_eq!(resp.header("Connection"), Some("close"));
+    drop(stream);
+
+    // Closing the held connections frees the cap: a scraper gets back in,
+    // the rejection was counted, and the gauge is back down to the scraper
+    // itself. (Early scrapes may still catch the cap or the draining gauge,
+    // so poll.)
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = http(addr, "GET", "/metrics", None);
+        if resp.status == 200 && sample(&resp.body, "linx_http_connections_now") <= 1.0 {
+            assert!(
+                sample(&resp.body, "linx_http_conn_rejected_total") >= 1.0,
+                "the refused connection must be counted"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cap never released after the held connections closed"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.join();
+}
+
+#[test]
+fn slowloris_dribble_is_closed_with_408_at_the_read_deadline() {
+    let _no_faults = exclude_faults();
+    let mut config = tiny_serve_config(1);
+    config.request_read_timeout_millis = 600;
+    let server = start(config, 120);
+    let addr = server.addr();
+
+    // Dribble a request header one byte at a time, far slower than any honest
+    // client — the cumulative deadline must cut the connection off with a 408
+    // even though every individual read keeps "making progress".
+    let mut stream = connect(addr);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .unwrap();
+    let partial = b"GET /healthz HTTP/1.1\r\nHost: li";
+    let t0 = Instant::now();
+    let mut sent = 0;
+    let mut buf = Vec::new();
+    loop {
+        if sent < partial.len() {
+            // EPIPE after the server closes is the expected end of the dribble.
+            if stream.write_all(&partial[sent..sent + 1]).is_err() {
+                break;
+            }
+            sent += 1;
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => {}
+        }
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "slowloris connection was never cut off"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let resp = read_response(&mut stream, &mut buf);
+    assert_eq!(resp.status, 408, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"request_timeout\""),
+        "{}",
+        resp.body
+    );
+    assert_eq!(resp.header("Connection"), Some("close"));
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(500),
+        "408 before the deadline: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "408 took far longer than deadline + one poll tick: {elapsed:?}"
+    );
+
+    // The defense is observable: the close was counted for operators.
+    let metrics = http(addr, "GET", "/metrics", None);
+    assert!(
+        sample(&metrics.body, "linx_http_slow_client_closes_total") >= 1.0,
+        "slow-client close must be counted"
+    );
+    server.join();
+}
+
+// ---------------------------------------------------------------------------
 // Soak: concurrent clients against a fault-armed server
 // ---------------------------------------------------------------------------
 
@@ -773,11 +917,11 @@ fn drain_completes_in_flight_jobs_while_rejecting_new_ones() {
 // Metrics over the wire
 // ---------------------------------------------------------------------------
 
-/// The engine's 36-family golden set (pinned independently in
-/// `tests/telemetry.rs`) plus the five HTTP families the daemon appends. If
+/// The engine's 39-family golden set (pinned independently in
+/// `tests/telemetry.rs`) plus the seven HTTP families the daemon appends. If
 /// either side drifts, this wire-level check and the in-process golden test
 /// disagree and point straight at the exposition seam.
-const WIRE_FAMILIES: [&str; 41] = [
+const WIRE_FAMILIES: [&str; 46] = [
     "linx_requests_submitted_total counter",
     "linx_requests_coalesced_total counter",
     "linx_requests_rejected_total counter",
@@ -805,6 +949,8 @@ const WIRE_FAMILIES: [&str; 41] = [
     "linx_disk_retries_total counter",
     "linx_breaker_state gauge",
     "linx_breaker_trips_total counter",
+    "linx_scrub_scanned_total counter",
+    "linx_scrub_quarantined_total counter",
     "linx_route_micros histogram",
     "linx_admit_micros histogram",
     "linx_cache_lookup_micros histogram",
@@ -812,12 +958,15 @@ const WIRE_FAMILIES: [&str; 41] = [
     "linx_execute_micros histogram",
     "linx_disk_read_micros histogram",
     "linx_disk_write_micros histogram",
+    "linx_disk_sync_micros histogram",
     "linx_disk_evict_micros histogram",
     "linx_request_total_micros histogram",
     "linx_http_connections_total counter",
     "linx_http_connections_now gauge",
     "linx_http_responses_total counter",
     "linx_http_parse_errors_total counter",
+    "linx_http_conn_rejected_total counter",
+    "linx_http_slow_client_closes_total counter",
     "linx_http_request_micros histogram",
 ];
 

@@ -144,7 +144,7 @@ fn telemetry_merges_across_shards() {
 /// The exact set of Prometheus metric families the exposition emits, in order.
 /// A rename or removal here is a breaking change for scrapers — update this
 /// list only deliberately, alongside docs/ARCHITECTURE.md.
-const GOLDEN_FAMILIES: [&str; 36] = [
+const GOLDEN_FAMILIES: [&str; 39] = [
     "linx_requests_submitted_total counter",
     "linx_requests_coalesced_total counter",
     "linx_requests_rejected_total counter",
@@ -172,6 +172,8 @@ const GOLDEN_FAMILIES: [&str; 36] = [
     "linx_disk_retries_total counter",
     "linx_breaker_state gauge",
     "linx_breaker_trips_total counter",
+    "linx_scrub_scanned_total counter",
+    "linx_scrub_quarantined_total counter",
     "linx_route_micros histogram",
     "linx_admit_micros histogram",
     "linx_cache_lookup_micros histogram",
@@ -179,6 +181,7 @@ const GOLDEN_FAMILIES: [&str; 36] = [
     "linx_execute_micros histogram",
     "linx_disk_read_micros histogram",
     "linx_disk_write_micros histogram",
+    "linx_disk_sync_micros histogram",
     "linx_disk_evict_micros histogram",
     "linx_request_total_micros histogram",
 ];
